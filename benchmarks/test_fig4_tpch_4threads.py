@@ -1,0 +1,29 @@
+"""Figure 4: TPC-H on 4 threads.
+
+Same series as Figure 3 with intra-query parallelism enabled for the
+database backends (the Python baseline cannot parallelize — Section V-B).
+"""
+
+from repro.bench import format_series, geomean, speedup_summary
+
+from conftest import REPEATS, save_series
+
+
+def test_fig4_series(benchmark, tpch_bench):
+    measurements = benchmark.pedantic(
+        lambda: tpch_bench.run(threads=4, repeats=REPEATS), rounds=1, iterations=1
+    )
+    text = format_series(
+        f"Figure 4: TPC-H 4-thread runtimes (SF={tpch_bench.scale_factor})",
+        measurements,
+    )
+    text += "\n\n" + speedup_summary(measurements)
+    save_series("fig4_tpch_4threads", text)
+
+    by = {}
+    for m in measurements:
+        if not m.excluded and m.ms == m.ms:
+            by.setdefault(m.label, {})[m.workload] = m.ms
+    shared = set(by["Python"]) & set(by["Pytond/hyper"])
+    ratios = [by["Python"][w] / by["Pytond/hyper"][w] for w in shared]
+    assert geomean(ratios) > 1.0

@@ -1,0 +1,22 @@
+"""Figure 6: data-science workloads on 4 threads."""
+
+from repro.bench import format_series, speedup_summary
+
+from conftest import REPEATS, save_series
+
+WORKLOADS = ["crime_index", "birth_analysis", "hybrid_covar_nf", "hybrid_covar_f",
+             "hybrid_mv_nf", "hybrid_mv_f", "n3", "n9"]
+
+
+def test_fig6_series(benchmark, ds_bench):
+    measurements = benchmark.pedantic(
+        lambda: ds_bench.run(WORKLOADS, threads=4, repeats=REPEATS),
+        rounds=1, iterations=1,
+    )
+    text = format_series(
+        f"Figure 6: data-science workloads, 4 threads (scale={ds_bench.scale})",
+        measurements,
+    )
+    text += "\n\n" + speedup_summary(measurements)
+    save_series("fig6_hybrid_4threads", text)
+    assert any(not m.excluded for m in measurements)

@@ -1,0 +1,37 @@
+"""Figure 7: thread scalability for representative TPC-H queries.
+
+Q4, Q6, Q13, Q22 on 1–4 threads; speedup is relative to each
+configuration's own single-thread runtime.  The Python baseline stays flat
+(Pandas-style, no parallelism).
+"""
+
+from repro.bench import scalability_table
+
+from conftest import REPEATS, save_series
+
+QUERIES = [4, 6, 13, 22]
+CONFIGS = [
+    ("python", None),
+    ("pytond", "duckdb"),
+    ("pytond", "hyper"),
+    ("pytond", "lingodb"),
+    ("grizzly", "duckdb"),
+    ("grizzly", "hyper"),
+]
+
+
+def test_fig7_scalability(benchmark, tpch_bench):
+    measurements = benchmark.pedantic(
+        lambda: tpch_bench.scalability(QUERIES, CONFIGS, thread_counts=(1, 2, 3, 4),
+                                       repeats=REPEATS),
+        rounds=1, iterations=1,
+    )
+    text = "Figure 7: TPC-H scalability (speedup vs own 1-thread time)\n"
+    text += scalability_table(measurements)
+    save_series("fig7_scalability_tpch", text)
+
+    # Shape: the Python baseline never scales.
+    python = [m for m in measurements if m.system == "python"]
+    base = {m.workload: m.ms for m in python if m.threads == 1}
+    for m in python:
+        assert m.ms == base[m.workload]

@@ -1,0 +1,35 @@
+"""Figure 8: thread scalability for the eight data-science workloads."""
+
+from repro.bench import Measurement, scalability_table, time_callable
+
+from conftest import REPEATS, save_series
+
+WORKLOADS = ["crime_index", "birth_analysis", "hybrid_covar_nf", "hybrid_covar_f",
+             "hybrid_mv_nf", "hybrid_mv_f", "n3", "n9"]
+CONFIGS = [("python", None), ("pytond", "duckdb"), ("pytond", "hyper")]
+
+
+def _sweep(ds_bench):
+    out = []
+    for name in WORKLOADS:
+        for system, backend in CONFIGS:
+            for threads in (1, 2, 3, 4):
+                if system == "python":
+                    if threads == 1:
+                        ms = time_callable(ds_bench.python_runner(name), 1, REPEATS)
+                    else:
+                        ms = out[-1].ms
+                    out.append(Measurement(name, "python", None, threads, ms))
+                else:
+                    runner = ds_bench.sql_runner(name, system, backend, threads)
+                    ms = time_callable(runner, 1, REPEATS)
+                    out.append(Measurement(name, system, backend, threads, ms))
+    return out
+
+
+def test_fig8_scalability(benchmark, ds_bench):
+    measurements = benchmark.pedantic(lambda: _sweep(ds_bench), rounds=1, iterations=1)
+    text = "Figure 8: hybrid workload scalability (speedup vs own 1-thread time)\n"
+    text += scalability_table(measurements)
+    save_series("fig8_scalability_hybrid", text)
+    assert len(measurements) == len(WORKLOADS) * len(CONFIGS) * 4

@@ -1,0 +1,88 @@
+"""Figure 9: covariance matrix computation — NumPy vs PyTond dense/sparse.
+
+Three sweeps (each axis varied with the others fixed, as in the paper):
+
+* density 1e-3 .. 1.0            (rows=20k, cols=8 at default scale)
+* rows 2k .. 50k                 (cols=8, density=1)
+* cols 2 .. 16                   (rows=20k, density=1)
+
+Series: NumPy einsum, PyTond/DuckDB dense, PyTond/DuckDB sparse,
+PyTond/Hyper dense.  PyTond/Hyper sparse is excluded as in the paper.
+The shape claim: the sparse layout wins at low density and loses at
+density 1; dense PyTond is competitive across matrix shapes.
+"""
+
+import os
+
+import numpy as np
+
+from repro import connect
+from repro.bench import time_callable
+from repro.workloads.covariance import (
+    covariance_dense, covariance_sparse, dense_table, make_matrix,
+    numpy_covariance, sparse_table,
+)
+
+from conftest import REPEATS, save_series
+
+SCALE = float(os.environ.get("REPRO_FIG9_SCALE", "1.0"))
+BASE_ROWS = int(20_000 * SCALE)
+BASE_COLS = 8
+
+
+def _measure(rows, cols, density):
+    m = make_matrix(rows, cols, density)
+    db = connect()
+    db.register("matrix", dense_table(m), primary_key="ID")
+    db.register("matrix_coo", sparse_table(m))
+
+    out = {"numpy": time_callable(lambda: numpy_covariance(m), 1, REPEATS)}
+    dense_duck = covariance_dense.sql("duckdb", db=db)
+    dense_hyper = covariance_dense.sql("hyper", db=db)
+    sparse_duck = covariance_sparse.sql("duckdb", db=db)
+    from repro.backends import DuckDBSim, HyperSim
+
+    out["pytond_duckdb_dense"] = time_callable(
+        lambda: db.execute(dense_duck, config=DuckDBSim.config()), 1, REPEATS)
+    out["pytond_duckdb_sparse"] = time_callable(
+        lambda: db.execute(sparse_duck, config=DuckDBSim.config()), 1, REPEATS)
+    out["pytond_hyper_dense"] = time_callable(
+        lambda: db.execute(dense_hyper, config=HyperSim.config()), 1, REPEATS)
+    return out
+
+
+def _sweep():
+    lines = []
+    results = {}
+    lines.append("series: numpy, pytond_duckdb_dense, pytond_duckdb_sparse, pytond_hyper_dense")
+    lines.append(f"\n-- density sweep (rows={BASE_ROWS}, cols={BASE_COLS}) --")
+    for density in (0.001, 0.01, 0.1, 1.0):
+        r = _measure(BASE_ROWS, BASE_COLS, density)
+        results[("density", density)] = r
+        lines.append(f"density={density:<8} " +
+                     " ".join(f"{k}={v:9.2f}ms" for k, v in r.items()))
+    lines.append(f"\n-- row sweep (cols={BASE_COLS}, density=1.0) --")
+    for rows in (int(2_000 * SCALE), int(10_000 * SCALE), int(50_000 * SCALE)):
+        r = _measure(rows, BASE_COLS, 1.0)
+        results[("rows", rows)] = r
+        lines.append(f"rows={rows:<10} " +
+                     " ".join(f"{k}={v:9.2f}ms" for k, v in r.items()))
+    lines.append(f"\n-- column sweep (rows={BASE_ROWS}, density=1.0) --")
+    for cols in (2, 4, 8, 16):
+        r = _measure(BASE_ROWS, cols, 1.0)
+        results[("cols", cols)] = r
+        lines.append(f"cols={cols:<10} " +
+                     " ".join(f"{k}={v:9.2f}ms" for k, v in r.items()))
+    return results, "\n".join(lines)
+
+
+def test_fig9_covariance(benchmark):
+    results, text = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    save_series("fig9_covariance", "Figure 9: covariance micro-benchmark\n" + text)
+
+    # Shape: sparse dominates dense at the lowest density and the ranking
+    # flips at full density (the crossover of the paper's left-most chart).
+    low = results[("density", 0.001)]
+    full = results[("density", 1.0)]
+    assert low["pytond_duckdb_sparse"] < low["pytond_duckdb_dense"]
+    assert full["pytond_duckdb_sparse"] > full["pytond_duckdb_dense"]

@@ -1,0 +1,11 @@
+"""Table I: capability matrix of in-database Python execution approaches."""
+
+from repro.bench import capability_matrix
+
+from conftest import save_series
+
+
+def test_table1_capability_matrix(benchmark):
+    text = benchmark.pedantic(capability_matrix, rounds=1, iterations=1)
+    save_series("table1_capabilities", text)
+    assert "PyTond" in text

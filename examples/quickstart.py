@@ -1,0 +1,70 @@
+"""Quickstart: compile a Pandas-style function to SQL and run it in-database.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro.dataframe as pd
+from repro import connect, pytond
+
+# ---------------------------------------------------------------------------
+# 1. Create an in-memory analytical database and load a table.
+# ---------------------------------------------------------------------------
+db = connect()
+rng = np.random.default_rng(0)
+n = 50_000
+db.register(
+    "orders",
+    {
+        "order_id": np.arange(1, n + 1),
+        "region": np.array(["north", "south", "east", "west"], dtype=object)[
+            rng.integers(0, 4, size=n)
+        ],
+        "amount": np.round(rng.lognormal(4.0, 1.0, size=n), 2),
+        "discount": rng.integers(0, 30, size=n) / 100.0,
+        "order_date": np.datetime64("1995-01-01") + rng.integers(0, 1000, size=n).astype("timedelta64[D]"),
+    },
+    primary_key="order_id",
+)
+
+
+# ---------------------------------------------------------------------------
+# 2. Write ordinary Pandas/NumPy code and add the @pytond decorator.
+#    The function still runs as plain Python; the decorator captures the
+#    source statically and compiles it to SQL on demand.
+# ---------------------------------------------------------------------------
+@pytond(db=db)
+def revenue_by_region(orders):
+    recent = orders[orders.order_date >= '1996-01-01']
+    recent['net'] = recent.amount * (1 - recent.discount)
+    summary = recent.groupby('region').agg(
+        total_net=('net', 'sum'),
+        n_orders=('net', 'count'),
+        avg_order=('net', 'mean'),
+    ).reset_index()
+    return summary.sort_values('total_net', ascending=False)
+
+
+# ---------------------------------------------------------------------------
+# 3. Inspect the pipeline: TondIR before/after optimization, generated SQL.
+# ---------------------------------------------------------------------------
+print("=== TondIR (unoptimized / 'Grizzly-simulated') ===")
+print(revenue_by_region.tondir("O0"))
+print("\n=== TondIR (fully optimized, O4) ===")
+print(revenue_by_region.tondir("O4"))
+print("\n=== Generated SQL (DuckDB profile) ===")
+print(revenue_by_region.sql("duckdb"))
+
+# ---------------------------------------------------------------------------
+# 4. Execute in-database on different backend profiles — and compare against
+#    the plain-Python execution of exactly the same function.
+# ---------------------------------------------------------------------------
+print("\n=== In-database result (Hyper profile, 4 threads) ===")
+result = revenue_by_region.run(db, "hyper", threads=4)
+print(result.to_dict())
+
+frames = pd.DataFrame({c: db.catalog.get("orders").column(c) for c in db.schema("orders").columns})
+python_result = revenue_by_region(frames)
+print("\n=== Plain-Python result (same function, eager) ===")
+print(python_result.reset_index(drop=True).to_dict())

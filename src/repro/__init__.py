@@ -1,0 +1,33 @@
+"""repro: reproduction of "PyTond: Efficient Python Data Science on the
+Shoulders of Databases" (ICDE 2024).
+
+Public API::
+
+    from repro import pytond, connect, DataFrame
+
+    db = connect()
+    db.register("sales", {...}, primary_key="id")
+
+    @pytond(db=db)
+    def top_products(sales):
+        big = sales[sales.amount > 100]
+        return big.groupby("product").agg({"amount": "sum"}).reset_index()
+
+    top_products.sql("duckdb")     # generated SQL
+    top_products.run(db, "hyper")  # in-database execution
+"""
+
+from .backends import DuckDBSim, HyperSim, LingoDBSim, available_backends, get_backend
+from .core import PytondFunction, TableInfo, pytond
+from .dataframe import DataFrame, Series
+from .sqlengine import Database, EngineConfig, connect
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "pytond", "PytondFunction", "TableInfo",
+    "connect", "Database", "EngineConfig",
+    "DataFrame", "Series",
+    "DuckDBSim", "HyperSim", "LingoDBSim", "get_backend", "available_backends",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Simulated database backends (DuckDB / Hyper / LingoDB substitutes).
+
+Each backend pairs an :class:`~repro.sqlengine.EngineConfig` (execution
+profile) with a SQL dialect descriptor used by PyTond's code generator
+(Section III-E "Backend Adaptation").
+"""
+
+from .base import Backend, get_backend, available_backends
+from .duckdb_sim import DuckDBSim
+from .hyper_sim import HyperSim
+from .lingodb_sim import LingoDBSim
+
+__all__ = [
+    "Backend",
+    "DuckDBSim",
+    "HyperSim",
+    "LingoDBSim",
+    "get_backend",
+    "available_backends",
+]

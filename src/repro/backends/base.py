@@ -1,0 +1,57 @@
+"""Backend abstraction: engine profile + SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..sqlengine.executor import EngineConfig
+
+__all__ = ["Dialect", "Backend", "get_backend", "available_backends"]
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Surface-syntax knobs consumed by the SQL code generator."""
+
+    name: str = "standard"
+    # How to spell "extract the year of a date column".
+    year_function: str = "EXTRACT(YEAR FROM {arg})"
+    # How to spell substring extraction (1-based start, length).
+    substring_function: str = "SUBSTR({arg}, {start}, {length})"
+    # strftime-style date formatting.
+    strftime_function: str = "STRFTIME({arg}, {fmt})"
+    # Whether the dialect supports the ROW_NUMBER window function.
+    supports_window: bool = True
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A named backend: engine execution profile + dialect."""
+
+    name: str
+    engine_config: EngineConfig
+    dialect: Dialect
+    # Feature restrictions mirroring the paper's exclusions.
+    rejects: frozenset = frozenset()
+
+    def config(self, threads: int = 1) -> EngineConfig:
+        return replace(self.engine_config, threads=threads)
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown backend {name!r}; available: {sorted(_REGISTRY)}") from None
+
+
+def available_backends() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,36 @@
+"""DuckDB-profile backend: vectorized (morsel-at-a-time) interpreter.
+
+Matches the execution paradigm the paper attributes to DuckDB: a
+column-store, batch-vectorized interpreted engine with intra-query
+parallelism and a planner that performs filter pushdown and projection
+pruning but keeps the syntactic join order (the weaker planning is why the
+TondIR-level optimizations help DuckDB more than Hyper — Section V-B).
+"""
+
+from __future__ import annotations
+
+from ..sqlengine.executor import EngineConfig
+from .base import Backend, Dialect, register_backend
+
+__all__ = ["DuckDBSim"]
+
+DuckDBSim = register_backend(
+    Backend(
+        name="duckdb",
+        engine_config=EngineConfig(
+            name="duckdb",
+            mode="vectorized",
+            threads=1,
+            join_reorder=False,
+            supports_window=True,
+            morsel_size=2048,
+        ),
+        dialect=Dialect(
+            name="duckdb",
+            year_function="EXTRACT(YEAR FROM {arg})",
+            substring_function="SUBSTR({arg}, {start}, {length})",
+            strftime_function="STRFTIME({arg}, {fmt})",
+            supports_window=True,
+        ),
+    )
+)

@@ -1,0 +1,33 @@
+"""Hyper-profile backend: compiled (fused whole-column) execution.
+
+Represents the "compiled query engine" class in the paper's experiments:
+lower per-tuple interpretation overhead and a stronger planner
+(cardinality-based join re-ordering on top of pushdown/pruning).
+"""
+
+from __future__ import annotations
+
+from ..sqlengine.executor import EngineConfig
+from .base import Backend, Dialect, register_backend
+
+__all__ = ["HyperSim"]
+
+HyperSim = register_backend(
+    Backend(
+        name="hyper",
+        engine_config=EngineConfig(
+            name="hyper",
+            mode="compiled",
+            threads=1,
+            join_reorder=True,
+            supports_window=True,
+        ),
+        dialect=Dialect(
+            name="hyper",
+            year_function="EXTRACT(YEAR FROM {arg})",
+            substring_function="SUBSTRING({arg}, {start}, {length})",
+            strftime_function="TO_CHAR({arg}, {fmt})",
+            supports_window=True,
+        ),
+    )
+)

@@ -1,0 +1,35 @@
+"""LingoDB-profile backend: compiled execution, research-prototype limits.
+
+Mirrors the paper's stated restrictions (Section V): no SQL window
+functions (so UID generation — and therefore the Grizzly-simulated
+baseline — cannot run on it) and a join-processing limitation that rejects
+the plan generated for TPC-H Q12.
+"""
+
+from __future__ import annotations
+
+from ..sqlengine.executor import EngineConfig
+from .base import Backend, Dialect, register_backend
+
+__all__ = ["LingoDBSim"]
+
+LingoDBSim = register_backend(
+    Backend(
+        name="lingodb",
+        engine_config=EngineConfig(
+            name="lingodb",
+            mode="compiled",
+            threads=1,
+            join_reorder=True,
+            supports_window=False,
+        ),
+        dialect=Dialect(
+            name="lingodb",
+            year_function="EXTRACT(YEAR FROM {arg})",
+            substring_function="SUBSTR({arg}, {start}, {length})",
+            strftime_function="STRFTIME({arg}, {fmt})",
+            supports_window=False,
+        ),
+        rejects=frozenset({"tpch_q12"}),
+    )
+)

@@ -1,0 +1,13 @@
+"""Benchmark harness and reporting for the paper's figures."""
+
+from .harness import Measurement, SYSTEMS, TpchBench, WorkloadBench, geomean, time_callable
+from .report import capability_matrix, format_series, scalability_table, speedup_summary
+from .validate import ValidationResult, compare_results, validate_all, validate_tpch, validate_workloads
+
+__all__ = [
+    "Measurement", "SYSTEMS", "TpchBench", "WorkloadBench",
+    "geomean", "time_callable",
+    "capability_matrix", "format_series", "scalability_table", "speedup_summary",
+    "ValidationResult", "compare_results", "validate_all", "validate_tpch",
+    "validate_workloads",
+]

@@ -1,0 +1,97 @@
+"""Command-line benchmark runner: ``python -m repro.bench <figure> [...]``.
+
+Examples::
+
+    python -m repro.bench table1
+    python -m repro.bench fig3 --sf 0.01
+    python -m repro.bench fig5 --scale 0.05 --threads 1
+    python -m repro.bench fig10
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import TpchBench, WorkloadBench
+from .report import capability_matrix, format_series, scalability_table, speedup_summary
+
+DS_WORKLOADS = ["crime_index", "birth_analysis", "hybrid_covar_nf", "hybrid_covar_f",
+                "hybrid_mv_nf", "hybrid_mv_f", "n3", "n9"]
+
+
+def _fig_tpch(args, threads: int) -> str:
+    bench = TpchBench(scale_factor=args.sf)
+    measurements = bench.run(threads=threads, repeats=args.repeats)
+    title = f"TPC-H runtimes, {threads} thread(s), SF={bench.scale_factor}"
+    return format_series(title, measurements) + "\n\n" + speedup_summary(measurements)
+
+
+def _fig_ds(args, threads: int) -> str:
+    bench = WorkloadBench(scale=args.scale)
+    measurements = bench.run(DS_WORKLOADS, threads=threads, repeats=args.repeats)
+    title = f"Data-science workloads, {threads} thread(s), scale={bench.scale}"
+    return format_series(title, measurements) + "\n\n" + speedup_summary(measurements)
+
+
+def _fig7(args) -> str:
+    bench = TpchBench(scale_factor=args.sf)
+    configs = [("python", None), ("pytond", "duckdb"), ("pytond", "hyper")]
+    measurements = bench.scalability([4, 6, 13, 22], configs, repeats=args.repeats)
+    return "TPC-H scalability\n" + scalability_table(measurements)
+
+
+def _fig10(args) -> str:
+    tpch = TpchBench(scale_factor=args.sf)
+    ds = WorkloadBench(scale=args.scale)
+    lines = ["Optimization breakdown (ms per level)"]
+    for q in (9, 15):
+        for backend, series in tpch.optimization_breakdown(q, repeats=args.repeats).items():
+            cells = "  ".join(f"{lvl}={ms:8.2f}" for lvl, ms in series.items())
+            lines.append(f"tpch_q{q:<10} {backend:<8} {cells}")
+    for name in ("crime_index", "hybrid_covar_f"):
+        for backend, series in ds.optimization_breakdown(name, repeats=args.repeats).items():
+            cells = "  ".join(f"{lvl}={ms:8.2f}" for lvl, ms in series.items())
+            lines.append(f"{name:<16} {backend:<8} {cells}")
+    return "\n".join(lines)
+
+
+FIGURES = {
+    "table1": lambda args: capability_matrix(),
+    "fig3": lambda args: _fig_tpch(args, threads=1),
+    "fig4": lambda args: _fig_tpch(args, threads=4),
+    "fig5": lambda args: _fig_ds(args, threads=1),
+    "fig6": lambda args: _fig_ds(args, threads=4),
+    "fig7": _fig7,
+    "fig10": _fig10,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument("figure", choices=sorted(FIGURES) + ["all"],
+                        help="which figure/table to regenerate")
+    parser.add_argument("--sf", type=float, default=0.005,
+                        help="TPC-H scale factor (default 0.005)")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="data-science workload scale (default 0.05)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timed rounds per configuration")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    targets = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in targets:
+        print(f"\n===== {name} =====")
+        print(FIGURES[name](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

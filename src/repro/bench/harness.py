@@ -1,0 +1,271 @@
+"""Benchmark harness: runs {Python, Grizzly-sim, PyTond} x backends x threads.
+
+Follows the paper's methodology (Section V-A/B): data is pre-loaded into
+the database (load time excluded), SQL is generated once per configuration,
+warm-up rounds precede the timed rounds, and the mean of the timed rounds
+is reported.  The *Grizzly-simulated* competitor is PyTond's translation
+with optimizations disabled (level O0), exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..backends import get_backend
+from ..dataframe import DataFrame
+from ..errors import ReproError, UnsupportedFeatureError
+from ..sqlengine import connect
+from ..workloads import WORKLOADS
+from ..workloads.tpch import QUERIES, QUERY_TABLES, generate, register_tpch
+
+__all__ = [
+    "Measurement", "time_callable", "TpchBench", "WorkloadBench",
+    "SYSTEMS", "geomean",
+]
+
+SYSTEMS = ["python", "grizzly", "pytond"]
+_SYSTEM_LEVEL = {"grizzly": "O0", "pytond": "O4"}
+
+
+@dataclass
+class Measurement:
+    workload: str
+    system: str           # python | grizzly | pytond
+    backend: str | None   # None for python
+    threads: int
+    ms: float
+    excluded: bool = False
+    note: str = ""
+
+    @property
+    def label(self) -> str:
+        if self.system == "python":
+            return "Python"
+        return f"{self.system.capitalize()}/{self.backend}"
+
+
+def time_callable(fn: Callable, warmups: int = 1, repeats: int = 3) -> float:
+    """Mean wall-clock milliseconds over *repeats* runs after warm-up."""
+    for _ in range(warmups):
+        fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append((time.perf_counter() - start) * 1000.0)
+    return float(np.mean(times))
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+class TpchBench:
+    """TPC-H experiment driver (Figures 3, 4, 7, 10)."""
+
+    def __init__(self, scale_factor: float | None = None, seed: int = 42):
+        if scale_factor is None:
+            scale_factor = float(os.environ.get("REPRO_TPCH_SF", "0.005"))
+        self.scale_factor = scale_factor
+        self.dataset = generate(scale_factor=scale_factor, seed=seed)
+        self.db = connect()
+        register_tpch(self.db, self.dataset)
+        self.frames = {name: DataFrame(cols) for name, cols in self.dataset.items()}
+        self._sql_cache: dict[tuple[int, str, str], str] = {}
+
+    # -- single measurements -------------------------------------------------
+    def python_runner(self, query: int) -> Callable:
+        fn = QUERIES[query]
+        frames = [self.frames[t] for t in QUERY_TABLES[query]]
+        return lambda: fn(*frames)
+
+    def sql_for(self, query: int, system: str, backend: str) -> str:
+        level = _SYSTEM_LEVEL[system]
+        key = (query, level, backend)
+        if key not in self._sql_cache:
+            self._sql_cache[key] = QUERIES[query].sql(backend, level=level, db=self.db)
+        return self._sql_cache[key]
+
+    def sql_runner(self, query: int, system: str, backend: str, threads: int) -> Callable:
+        backend_obj = get_backend(backend)
+        if f"tpch_q{query}" in backend_obj.rejects:
+            raise UnsupportedFeatureError(f"{backend}: rejects TPC-H Q{query}")
+        if system == "grizzly" and not backend_obj.engine_config.supports_window:
+            raise UnsupportedFeatureError(
+                f"{backend}: no window functions; Grizzly-simulated UID generation unavailable"
+            )
+        sql = self.sql_for(query, system, backend)
+        config = backend_obj.config(threads=threads)
+        return lambda: self.db.execute(sql, config=config)
+
+    # -- sweeps -------------------------------------------------------------------
+    def run(
+        self,
+        queries: Iterable[int] = range(1, 23),
+        systems: Iterable[str] = ("python", "grizzly", "pytond"),
+        backends: Iterable[str] = ("duckdb", "hyper", "lingodb"),
+        threads: int = 1,
+        warmups: int = 1,
+        repeats: int = 2,
+    ) -> list[Measurement]:
+        out: list[Measurement] = []
+        for q in queries:
+            name = f"tpch_q{q}"
+            for system in systems:
+                if system == "python":
+                    ms = time_callable(self.python_runner(q), warmups, repeats)
+                    out.append(Measurement(name, "python", None, 1, ms))
+                    continue
+                for backend in backends:
+                    if system == "grizzly" and backend == "lingodb":
+                        out.append(Measurement(name, system, backend, threads, float("nan"),
+                                               excluded=True, note="no window functions"))
+                        continue
+                    try:
+                        runner = self.sql_runner(q, system, backend, threads)
+                        ms = time_callable(runner, warmups, repeats)
+                        out.append(Measurement(name, system, backend, threads, ms))
+                    except (UnsupportedFeatureError, ReproError) as exc:
+                        out.append(Measurement(name, system, backend, threads, float("nan"),
+                                               excluded=True, note=str(exc)))
+        return out
+
+    def scalability(
+        self,
+        queries: Iterable[int],
+        systems_backends: Iterable[tuple[str, str | None]],
+        thread_counts: Iterable[int] = (1, 2, 3, 4),
+        warmups: int = 1,
+        repeats: int = 2,
+    ) -> list[Measurement]:
+        """Per-configuration timings across thread counts (Figure 7)."""
+        out: list[Measurement] = []
+        for q in queries:
+            name = f"tpch_q{q}"
+            for system, backend in systems_backends:
+                for threads in thread_counts:
+                    if system == "python":
+                        if threads == 1:
+                            ms = time_callable(self.python_runner(q), warmups, repeats)
+                        else:
+                            ms = out[-1].ms  # Pandas-style: no parallelism
+                        out.append(Measurement(name, "python", None, threads, ms))
+                        continue
+                    try:
+                        runner = self.sql_runner(q, system, backend, threads)
+                        ms = time_callable(runner, warmups, repeats)
+                        out.append(Measurement(name, system, backend, threads, ms))
+                    except (UnsupportedFeatureError, ReproError) as exc:
+                        out.append(Measurement(name, system, backend, threads, float("nan"),
+                                               excluded=True, note=str(exc)))
+        return out
+
+    def optimization_breakdown(
+        self,
+        query: int,
+        backends: Iterable[str] = ("duckdb", "hyper"),
+        levels: Iterable[str] = ("O0", "O1", "O2", "O3", "O4"),
+        warmups: int = 1,
+        repeats: int = 2,
+    ) -> dict[str, dict[str, float]]:
+        """O0..O4 timings per backend (Figure 10)."""
+        out: dict[str, dict[str, float]] = {}
+        fn = QUERIES[query]
+        for backend in backends:
+            backend_obj = get_backend(backend)
+            series: dict[str, float] = {}
+            for level in levels:
+                sql = fn.sql(backend, level=level, db=self.db)
+                config = backend_obj.config(threads=1)
+                series[level] = time_callable(lambda: self.db.execute(sql, config=config),
+                                              warmups, repeats)
+            out[backend] = series
+        return out
+
+
+class WorkloadBench:
+    """Hybrid data-science workload driver (Figures 5, 6, 8, 10)."""
+
+    def __init__(self, scale: float | None = None):
+        if scale is None:
+            scale = float(os.environ.get("REPRO_DS_SCALE", "0.05"))
+        self.scale = scale
+        self.envs: dict[str, tuple] = {}
+
+    def _env(self, name: str):
+        if name not in self.envs:
+            workload = WORKLOADS[name]
+            dataset = workload.make_data(scale=self.scale)
+            db = connect()
+            workload.register(db, dataset)
+            frames = [DataFrame(dataset[t]) for t in workload.tables]
+            self.envs[name] = (workload, db, frames)
+        return self.envs[name]
+
+    def python_runner(self, name: str) -> Callable:
+        workload, _, frames = self._env(name)
+        return lambda: workload.fn(*frames)
+
+    def sql_runner(self, name: str, system: str, backend: str, threads: int) -> Callable:
+        workload, db, _ = self._env(name)
+        backend_obj = get_backend(backend)
+        level = _SYSTEM_LEVEL[system]
+        sql = workload.fn.sql(backend, level=level, db=db)
+        config = backend_obj.config(threads=threads)
+        return lambda: db.execute(sql, config=config)
+
+    def run(
+        self,
+        names: Iterable[str],
+        systems: Iterable[str] = ("python", "grizzly", "pytond"),
+        backends: Iterable[str] = ("duckdb", "hyper", "lingodb"),
+        threads: int = 1,
+        warmups: int = 1,
+        repeats: int = 2,
+    ) -> list[Measurement]:
+        out: list[Measurement] = []
+        for name in names:
+            for system in systems:
+                if system == "python":
+                    ms = time_callable(self.python_runner(name), warmups, repeats)
+                    out.append(Measurement(name, "python", None, 1, ms))
+                    continue
+                for backend in backends:
+                    backend_obj = get_backend(backend)
+                    needs_window = system == "grizzly" or name.startswith("hybrid")
+                    if not backend_obj.engine_config.supports_window and system == "grizzly":
+                        out.append(Measurement(name, system, backend, threads, float("nan"),
+                                               excluded=True, note="no window functions"))
+                        continue
+                    try:
+                        runner = self.sql_runner(name, system, backend, threads)
+                        ms = time_callable(runner, warmups, repeats)
+                        out.append(Measurement(name, system, backend, threads, ms))
+                    except (UnsupportedFeatureError, ReproError) as exc:
+                        out.append(Measurement(name, system, backend, threads, float("nan"),
+                                               excluded=True, note=str(exc)))
+        return out
+
+    def optimization_breakdown(self, name: str, backends=("duckdb", "hyper"),
+                               levels=("O0", "O1", "O2", "O3", "O4"),
+                               warmups: int = 1, repeats: int = 2) -> dict[str, dict[str, float]]:
+        workload, db, _ = self._env(name)
+        out: dict[str, dict[str, float]] = {}
+        for backend in backends:
+            backend_obj = get_backend(backend)
+            series: dict[str, float] = {}
+            for level in levels:
+                sql = workload.fn.sql(backend, level=level, db=db)
+                config = backend_obj.config(threads=1)
+                series[level] = time_callable(lambda: db.execute(sql, config=config),
+                                              warmups, repeats)
+            out[backend] = series
+        return out

@@ -1,0 +1,91 @@
+"""Reporting helpers: figure-style series tables and Table I."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .harness import Measurement, geomean
+
+__all__ = ["format_series", "capability_matrix", "speedup_summary", "scalability_table"]
+
+
+def format_series(title: str, measurements: list[Measurement]) -> str:
+    """Render measurements as the per-workload series a paper figure plots."""
+    workloads: list[str] = []
+    labels: list[str] = []
+    table: dict[tuple[str, str], Measurement] = {}
+    for m in measurements:
+        if m.workload not in workloads:
+            workloads.append(m.workload)
+        if m.label not in labels:
+            labels.append(m.label)
+        table[(m.workload, m.label)] = m
+
+    width = max(len(w) for w in workloads) + 2
+    lines = [title, "=" * len(title)]
+    header = " " * width + "".join(f"{label:>20}" for label in labels)
+    lines.append(header)
+    for w in workloads:
+        cells = []
+        for label in labels:
+            m = table.get((w, label))
+            if m is None:
+                cells.append(f"{'-':>20}")
+            elif m.excluded:
+                cells.append(f"{'excluded':>20}")
+            else:
+                cells.append(f"{m.ms:>18.2f}ms")
+        lines.append(f"{w:<{width}}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def speedup_summary(measurements: list[Measurement], base: str = "Python") -> str:
+    """Geometric-mean speedups over the *base* series (paper Section V-B)."""
+    by_workload: dict[str, dict[str, float]] = {}
+    for m in measurements:
+        if not m.excluded and m.ms == m.ms:
+            by_workload.setdefault(m.workload, {})[m.label] = m.ms
+    labels = sorted({m.label for m in measurements if m.label != base})
+    lines = ["Geometric-mean speedup vs " + base]
+    for label in labels:
+        ratios = []
+        for w, series in by_workload.items():
+            if base in series and label in series and series[label] > 0:
+                ratios.append(series[base] / series[label])
+        if ratios:
+            lines.append(f"  {label:<20} {geomean(ratios):6.2f}x  (n={len(ratios)})")
+    return "\n".join(lines)
+
+
+def scalability_table(measurements: list[Measurement]) -> str:
+    """Speedup over each configuration's own single-thread time (Fig. 7/8)."""
+    base: dict[tuple[str, str], float] = {}
+    for m in measurements:
+        if m.threads == 1 and not m.excluded:
+            base[(m.workload, m.label)] = m.ms
+    lines = ["workload, system, threads, speedup_vs_1t"]
+    for m in measurements:
+        if m.excluded or m.ms != m.ms:
+            continue
+        b = base.get((m.workload, m.label))
+        if not b:
+            continue
+        lines.append(f"{m.workload}, {m.label}, {m.threads}, {b / m.ms:.2f}")
+    return "\n".join(lines)
+
+
+def capability_matrix() -> str:
+    """Table I: capabilities of in-database Python execution approaches."""
+    rows = [
+        ("Approach", "GenericPy", "Pandas", "NumPy", "MultiLayout", "SQLRewrite"),
+        ("ByePy [5]", "yes", "no", "no", "partial", "no"),
+        ("Blatcher et al. [4]", "no", "no", "partial", "no", "no"),
+        ("Grizzly [6]", "partial", "partial", "no", "partial", "no"),
+        ("PyFroid [8]", "no", "yes", "no", "partial", "partial"),
+        ("PyTond (this repro)", "no", "yes", "yes", "yes", "yes"),
+    ]
+    widths = [max(len(r[i]) for r in rows) + 2 for i in range(len(rows[0]))]
+    lines = []
+    for r in rows:
+        lines.append("".join(f"{c:<{w}}" for c, w in zip(r, widths)))
+    return "\n".join(lines)

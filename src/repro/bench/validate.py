@@ -1,0 +1,137 @@
+"""Correctness validation harness: Python baseline vs in-database execution.
+
+Used by the test-suite and as a standalone check
+(``python -c "from repro.bench.validate import validate_all; print(validate_all())"``):
+runs every TPC-H query and every data-science workload on every backend and
+compares against the eager Python execution of the same function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..backends import get_backend
+from ..dataframe import DataFrame
+from ..errors import ReproError, UnsupportedFeatureError
+from ..sqlengine import connect
+from ..workloads import WORKLOADS
+from ..workloads.tpch import QUERIES, QUERY_TABLES, generate, register_tpch
+
+__all__ = ["ValidationResult", "compare_results", "validate_tpch", "validate_workloads", "validate_all"]
+
+
+@dataclass
+class ValidationResult:
+    name: str
+    backend: str
+    level: str
+    ok: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        suffix = f" ({self.detail})" if self.detail and not self.ok else ""
+        return f"{self.name} [{self.backend}/{self.level}]: {status}{suffix}"
+
+
+def compare_results(python_result, db_result, rel_tol: float = 1e-6) -> tuple[bool, str]:
+    """Compare a Python-baseline result against a database DataFrame."""
+    if isinstance(python_result, np.ndarray):
+        d = db_result.to_dict()
+        if "ID" in d:
+            order = np.argsort(d["ID"])
+            got = np.column_stack([np.asarray(d[k])[order] for k in d if k != "ID"])
+        else:
+            got = np.column_stack([np.asarray(v) for v in d.values()])
+        ref = python_result.reshape(-1, 1) if python_result.ndim == 1 else python_result
+        if got.shape != ref.shape:
+            return False, f"shape {got.shape} != {ref.shape}"
+        if not np.allclose(got, ref, rtol=rel_tol, equal_nan=True):
+            return False, "array values differ"
+        return True, ""
+    if hasattr(python_result, "columns"):
+        a = _rows(python_result.reset_index(drop=True).to_dict())
+        b = _rows(db_result.to_dict())
+        if a == b:
+            return True, ""
+        if sorted(map(str, a)) == sorted(map(str, b)):
+            return True, "row order differs within sort ties"
+        return False, f"rows differ: {a[:2]} vs {b[:2]}"
+    # scalar
+    got = list(db_result.to_dict().values())[0][0]
+    ref = float(python_result)
+    if got is None or got != got:
+        return (ref != ref), "scalar NULL"
+    if abs(float(got) - ref) <= rel_tol * max(1.0, abs(ref)):
+        return True, ""
+    return False, f"scalar {got} != {ref}"
+
+
+def _rows(d: dict) -> list[tuple]:
+    cols = list(d.values())
+    n = len(cols[0]) if cols else 0
+    return [
+        tuple(round(c[i], 6) if isinstance(c[i], float) else c[i] for c in cols)
+        for i in range(n)
+    ]
+
+
+def validate_tpch(
+    scale_factor: float = 0.002,
+    backends: tuple[str, ...] = ("duckdb", "hyper", "lingodb"),
+    levels: tuple[str, ...] = ("O0", "O4"),
+    seed: int = 7,
+) -> list[ValidationResult]:
+    dataset = generate(scale_factor=scale_factor, seed=seed)
+    db = connect()
+    register_tpch(db, dataset)
+    frames = {name: DataFrame(cols) for name, cols in dataset.items()}
+    out: list[ValidationResult] = []
+    for q, fn in QUERIES.items():
+        py = fn(*[frames[t] for t in QUERY_TABLES[q]])
+        for backend in backends:
+            if f"tpch_q{q}" in get_backend(backend).rejects:
+                continue
+            for level in levels:
+                name = f"tpch_q{q}"
+                try:
+                    res = fn.run(db, backend, level=level)
+                    ok, detail = compare_results(py, res)
+                except (ReproError, UnsupportedFeatureError) as exc:
+                    ok, detail = False, f"{type(exc).__name__}: {exc}"
+                out.append(ValidationResult(name, backend, level, ok, detail))
+    return out
+
+
+def validate_workloads(
+    scale: float = 0.01,
+    backends: tuple[str, ...] = ("duckdb", "hyper"),
+    levels: tuple[str, ...] = ("O0", "O4"),
+) -> list[ValidationResult]:
+    out: list[ValidationResult] = []
+    for name, workload in WORKLOADS.items():
+        dataset = workload.make_data(scale=scale)
+        db = connect()
+        workload.register(db, dataset)
+        frames = [DataFrame(dataset[t]) for t in workload.tables]
+        py = workload.fn(*frames)
+        for backend in backends:
+            for level in levels:
+                try:
+                    res = workload.fn.run(db, backend, level=level)
+                    ok, detail = compare_results(py, res)
+                except (ReproError, UnsupportedFeatureError) as exc:
+                    ok, detail = False, f"{type(exc).__name__}: {exc}"
+                out.append(ValidationResult(name, backend, level, ok, detail))
+    return out
+
+
+def validate_all(scale_factor: float = 0.002, scale: float = 0.01) -> str:
+    """Run every validation; returns a human-readable report."""
+    results = validate_tpch(scale_factor) + validate_workloads(scale)
+    failures = [r for r in results if not r.ok]
+    lines = [f"validated {len(results)} configurations, {len(failures)} failure(s)"]
+    lines += [str(r) for r in failures]
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""PyTond core: the paper's contribution (translation, TondIR, codegen)."""
+
+from .anf import anf_source, to_anf
+from .decorator import PytondFunction, pytond
+from .translate.engine import TableInfo, Translator
+
+__all__ = ["pytond", "PytondFunction", "Translator", "TableInfo", "to_anf", "anf_source"]

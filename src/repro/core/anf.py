@@ -1,0 +1,189 @@
+"""A-Normal Form conversion of Python function ASTs (Section III-B).
+
+Nested expressions are hoisted into assignments to fresh variables so every
+statement the translator sees is a *simple* operation: the arguments of any
+call / subscript / binary operation are atomic (names, constants, constant
+containers, lambdas, or single attribute accesses).
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+
+from ..errors import TranslationError
+
+__all__ = ["to_anf", "anf_source", "ANFStatement"]
+
+ANFStatement = ast.stmt
+
+
+def _is_constant_container(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        return all(_is_atomic_const(e) for e in node.elts)
+    if isinstance(node, ast.Dict):
+        return all(
+            k is not None and _is_atomic_const(k) and _is_atomic_const(v)
+            for k, v in zip(node.keys, node.values)
+        )
+    return False
+
+
+def _is_atomic_const(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub) and isinstance(node.operand, ast.Constant):
+        return True
+    if _is_constant_container(node):
+        return True
+    if isinstance(node, ast.Call):
+        # Constant constructors like np.array([...]) with constant args.
+        return all(_is_atomic_const(a) for a in node.args) and _is_np_array_call(node)
+    return False
+
+
+def _is_np_array_call(node: ast.Call) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "array"
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+    )
+
+
+def _is_atomic(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return True
+    if _is_atomic_const(node):
+        return True
+    if isinstance(node, ast.Lambda):
+        return True
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return True
+    if isinstance(node, ast.Slice):
+        return all(
+            part is None or _is_atomic(part)
+            for part in (node.lower, node.upper, node.step)
+        )
+    return False
+
+
+class _ANFTransformer:
+    def __init__(self):
+        self._counter = itertools.count(1)
+        self.statements: list[ast.stmt] = []
+
+    def fresh(self) -> str:
+        return f"__anf{next(self._counter)}"
+
+    # -- expression normalization -------------------------------------------------
+    def atomize(self, node: ast.expr) -> ast.expr:
+        """Return an atomic expression, hoisting *node* if needed."""
+        simple = self.simplify(node)
+        if _is_atomic(simple):
+            return simple
+        name = self.fresh()
+        self.statements.append(
+            ast.Assign(targets=[ast.Name(id=name, ctx=ast.Store())], value=simple)
+        )
+        return ast.Name(id=name, ctx=ast.Load())
+
+    def simplify(self, node: ast.expr) -> ast.expr:
+        """One-level simple expression: children are atomic."""
+        if _is_atomic(node):
+            return node
+        if isinstance(node, ast.BinOp):
+            return ast.BinOp(left=self.atomize(node.left), op=node.op, right=self.atomize(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return ast.UnaryOp(op=node.op, operand=self.atomize(node.operand))
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise TranslationError("chained comparisons are not supported")
+            return ast.Compare(
+                left=self.atomize(node.left), ops=node.ops,
+                comparators=[self.atomize(node.comparators[0])],
+            )
+        if isinstance(node, ast.BoolOp):
+            return ast.BoolOp(op=node.op, values=[self.atomize(v) for v in node.values])
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                func = ast.Attribute(value=self.atomize(func.value), attr=func.attr, ctx=ast.Load())
+            elif not isinstance(func, ast.Name):
+                raise TranslationError(f"unsupported call target: {ast.dump(func)}")
+            args = [self.atomize(a) for a in node.args]
+            keywords = [
+                ast.keyword(arg=kw.arg, value=self.atomize(kw.value)) for kw in node.keywords
+            ]
+            return ast.Call(func=func, args=args, keywords=keywords)
+        if isinstance(node, ast.Subscript):
+            return ast.Subscript(
+                value=self.atomize(node.value), slice=self.atomize(node.slice), ctx=node.ctx
+            )
+        if isinstance(node, ast.Attribute):
+            return ast.Attribute(value=self.atomize(node.value), attr=node.attr, ctx=node.ctx)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            ctor = type(node)
+            return ctor(elts=[self.atomize(e) for e in node.elts], ctx=ast.Load())
+        if isinstance(node, ast.Dict):
+            return ast.Dict(
+                keys=[self.atomize(k) if k is not None else None for k in node.keys],
+                values=[self.atomize(v) for v in node.values],
+            )
+        raise TranslationError(f"unsupported expression: {ast.dump(node)}")
+
+    # -- statements ----------------------------------------------------------
+    def process(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) != 1:
+                raise TranslationError("multiple assignment targets are not supported")
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                value = self.simplify(stmt.value)
+                self.statements.append(ast.Assign(targets=[target], value=value))
+                return
+            if isinstance(target, ast.Subscript):
+                new_target = ast.Subscript(
+                    value=self.atomize(target.value),
+                    slice=self.atomize(target.slice),
+                    ctx=ast.Store(),
+                )
+                value = self.atomize(stmt.value)
+                self.statements.append(ast.Assign(targets=[new_target], value=value))
+                return
+            raise TranslationError(f"unsupported assignment target: {ast.dump(target)}")
+        if isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                raise TranslationError("functions must return a value")
+            value = self.atomize(stmt.value)
+            self.statements.append(ast.Return(value=value))
+            return
+        if isinstance(stmt, ast.Expr):
+            # Bare expression statements have no effect on the translation.
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None and isinstance(stmt.target, ast.Name):
+            value = self.simplify(stmt.value)
+            self.statements.append(
+                ast.Assign(targets=[ast.Name(id=stmt.target.id, ctx=ast.Store())], value=value)
+            )
+            return
+        raise TranslationError(f"unsupported statement: {ast.dump(stmt)}")
+
+
+def to_anf(func_def: ast.FunctionDef) -> list[ast.stmt]:
+    """Normalize the body of *func_def* into A-Normal Form statements."""
+    transformer = _ANFTransformer()
+    for stmt in func_def.body:
+        transformer.process(stmt)
+    module = ast.Module(body=transformer.statements, type_ignores=[])
+    ast.fix_missing_locations(module)
+    return transformer.statements
+
+
+def anf_source(func_def: ast.FunctionDef) -> str:
+    """The ANF body rendered back to Python source (for tests/debugging)."""
+    statements = to_anf(func_def)
+    module = ast.Module(body=statements, type_ignores=[])
+    ast.fix_missing_locations(module)
+    return ast.unparse(module)

@@ -1,0 +1,5 @@
+"""TondIR to SQL code generation."""
+
+from .sqlgen import SQLGenerator, generate_sql
+
+__all__ = ["SQLGenerator", "generate_sql"]

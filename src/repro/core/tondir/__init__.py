@@ -1,0 +1,14 @@
+"""TondIR: intermediate representation, analyses, and optimizer."""
+
+from .ir import (
+    Agg, AssignAtom, Atom, BinOp, Const, ConstRelAtom, ExistsAtom, Ext,
+    FilterAtom, Head, If, OuterAtom, Program, RelAtom, Rule, SortSpec, Term, Var,
+)
+from .optimize import OPT_LEVELS, optimize
+
+__all__ = [
+    "Program", "Rule", "Head", "SortSpec",
+    "RelAtom", "ConstRelAtom", "ExistsAtom", "AssignAtom", "FilterAtom", "OuterAtom",
+    "Term", "Var", "Const", "BinOp", "If", "Agg", "Ext", "Atom",
+    "optimize", "OPT_LEVELS",
+]

@@ -1,0 +1,215 @@
+"""Program analyses: dependencies, flow breakers, uniqueness propagation."""
+
+from __future__ import annotations
+
+from .ir import (
+    Agg, AssignAtom, Atom, ConstRelAtom, ExistsAtom, Ext, FilterAtom,
+    OuterAtom, Program, RelAtom, Rule, Term, atom_vars, term_vars,
+)
+
+__all__ = [
+    "references", "consumers", "contains_agg_term", "contains_ext",
+    "is_flow_breaker", "unique_head_vars", "body_unique_vars", "used_vars",
+]
+
+
+def _walk_terms(atom: Atom):
+    if isinstance(atom, AssignAtom):
+        yield atom.term
+    elif isinstance(atom, FilterAtom):
+        yield atom.term
+    elif isinstance(atom, ExistsAtom):
+        for inner in atom.body:
+            yield from _walk_terms(inner)
+
+
+def _term_contains(term: Term, predicate) -> bool:
+    if predicate(term):
+        return True
+    children = []
+    from .ir import BinOp, If
+
+    if isinstance(term, BinOp):
+        children = [term.left, term.right]
+    elif isinstance(term, If):
+        children = [term.cond, term.then, term.otherwise]
+    elif isinstance(term, Agg) and term.arg is not None:
+        children = [term.arg]
+    elif isinstance(term, Ext):
+        children = list(term.args)
+    return any(_term_contains(c, predicate) for c in children)
+
+
+def contains_agg_term(rule: Rule) -> bool:
+    """Does the rule body contain any aggregate term?"""
+    for atom in rule.body:
+        for term in _walk_terms(atom):
+            if _term_contains(term, lambda t: isinstance(t, Agg)):
+                return True
+    return False
+
+
+def contains_ext(rule: Rule, name: str) -> bool:
+    """Does the rule body call external function *name* anywhere?"""
+    for atom in rule.body:
+        for term in _walk_terms(atom):
+            if _term_contains(term, lambda t: isinstance(t, Ext) and t.name == name):
+                return True
+    return False
+
+
+def references(rule: Rule) -> set[str]:
+    """Relations this rule reads (including inside exists bodies)."""
+    out: set[str] = set()
+
+    def visit(atoms):
+        for atom in atoms:
+            if isinstance(atom, RelAtom):
+                out.add(atom.rel)
+            elif isinstance(atom, ExistsAtom):
+                visit(atom.body)
+
+    visit(rule.body)
+    return out
+
+
+def consumers(program: Program) -> dict[str, list[Rule]]:
+    """Map from relation name to the rules that read it."""
+    out: dict[str, list[Rule]] = {}
+    for rule in program.rules:
+        for rel in references(rule):
+            out.setdefault(rel, []).append(rule)
+    return out
+
+
+def is_flow_breaker(rule: Rule, program: Program) -> bool:
+    """Flow breakers per Table VII of the paper.
+
+    Aggregate / group-by / distinct / sort-limit / outer-join / sink rules
+    cannot be fused into their consumers.  Rules generating a UID are also
+    breakers because the generated numbering depends on the relation the
+    window function runs over (Section IV "Rule Inlining").
+    """
+    if rule.head.rel == program.sink:
+        return True
+    if rule.head.group is not None:
+        return True
+    if rule.head.distinct:
+        return True
+    if rule.head.sort is not None:
+        return True
+    if contains_agg_term(rule):
+        return True
+    if any(isinstance(a, OuterAtom) for a in rule.body):
+        return True
+    if contains_ext(rule, "uid"):
+        return True
+    return False
+
+
+def used_vars(rule: Rule) -> set[str]:
+    """Variables the rule actually uses (beyond just binding them).
+
+    A bound variable counts as used when it appears in the head (vars,
+    group, sort), in any assignment/filter/exists term, or when it is bound
+    more than once (an implicit equi-join).
+    """
+    used: set[str] = set(rule.head.vars)
+    if rule.head.group:
+        used.update(rule.head.group)
+    if rule.head.sort:
+        used.update(v for v, _ in rule.head.sort.keys)
+    binding_counts: dict[str, int] = {}
+    for atom in rule.body:
+        if isinstance(atom, (RelAtom, ConstRelAtom)):
+            for v in atom.vars:
+                if v != "_":
+                    binding_counts[v] = binding_counts.get(v, 0) + 1
+        elif isinstance(atom, AssignAtom):
+            used.update(term_vars(atom.term))
+            # An assignment to a variable that a relation atom also binds is
+            # an equality constraint — both bindings are live.
+            binding_counts[atom.var] = binding_counts.get(atom.var, 0) + 1
+        elif isinstance(atom, FilterAtom):
+            used.update(term_vars(atom.term))
+        elif isinstance(atom, ExistsAtom):
+            used.update(atom_vars(atom))
+        elif isinstance(atom, OuterAtom):
+            for l, r in atom.pairs:
+                used.add(l)
+                used.add(r)
+    used.update(v for v, c in binding_counts.items() if c > 1)
+    return used
+
+
+def unique_head_vars(program: Program, base_unique: dict[str, set[str]]) -> dict[str, set[str]]:
+    """Which head variables of each rule are row-unique in its output.
+
+    *base_unique* maps base-table names to their unique column names (from
+    the database catalog).  Propagation rules:
+
+    * a group-by with a single key makes that key unique;
+    * ``uid()`` assignments are unique by construction;
+    * variables bound to unique source columns stay unique when every other
+      joined relation joins through its own unique key (an N:1 join);
+    * a distinct head over a single variable is unique.
+    """
+    out: dict[str, set[str]] = {rel: set(cols) for rel, cols in base_unique.items()}
+    for rule in program.rules:
+        unique_in_body = body_unique_vars(rule, out)
+        head_unique: set[str] = set()
+        if rule.head.group is not None:
+            if len(rule.head.group) == 1:
+                head_unique.add(rule.head.group[0])
+        elif rule.head.distinct and len(rule.head.vars) == 1:
+            head_unique.add(rule.head.vars[0])
+        else:
+            head_unique = {v for v in rule.head.vars if v in unique_in_body}
+        out[rule.head.rel] = head_unique
+    return out
+
+
+def body_unique_vars(rule: Rule, unique_of: dict[str, set[str]]) -> set[str]:
+    """Variables that are row-unique in the rule's joined body relation."""
+    rel_atoms = rule.rel_atoms()
+    if not rel_atoms:
+        return set()
+
+    def atom_unique_vars(atom: RelAtom) -> set[str]:
+        unique_cols = unique_of.get(atom.rel, set())
+        return {v for v in atom.vars if v in unique_cols and v != "_"}
+
+    uid_vars = {
+        a.var for a in rule.body
+        if isinstance(a, AssignAtom) and isinstance(a.term, Ext) and a.term.name == "uid"
+    }
+
+    if len(rel_atoms) == 1:
+        return atom_unique_vars(rel_atoms[0]) | uid_vars
+
+    # Multi-way join: a variable from atom A stays unique if every other
+    # atom B joins to the body through one of B's unique variables.
+    shared: dict[str, int] = {}
+    for atom in rel_atoms:
+        for v in set(atom.vars):
+            if v != "_":
+                shared[v] = shared.get(v, 0) + 1
+    join_vars = {v for v, c in shared.items() if c > 1}
+
+    result: set[str] = set(uid_vars)
+    for i, atom in enumerate(rel_atoms):
+        candidates = atom_unique_vars(atom)
+        if not candidates:
+            continue
+        others_n_to_1 = True
+        for j, other in enumerate(rel_atoms):
+            if i == j:
+                continue
+            other_join = {v for v in other.vars if v in join_vars}
+            other_unique = atom_unique_vars(other)
+            if not (other_join & other_unique):
+                others_n_to_1 = False
+                break
+        if others_n_to_1:
+            result |= candidates
+    return result

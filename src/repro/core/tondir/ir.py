@@ -1,0 +1,335 @@
+"""TondIR: the Datalog-inspired intermediate representation of Table IV.
+
+Grammar correspondence (paper Table IV):
+
+* ``Program``  — a list of rules plus the sink relation name.
+* ``Rule``     — ``Head :- Body.``
+* ``Head``     — relation access with optional ``group(x)`` and
+  ``sort(x, b)[limit(n)]`` clauses.
+* Body atoms   — relation access (:class:`RelAtom`), constant relation
+  (:class:`ConstRelAtom`), existential filter (:class:`ExistsAtom`), and
+  logical/assignment atoms.  The paper folds comparison and assignment into
+  one ``x θ t`` form where an already-bound left side means comparison; we
+  keep them as distinct classes (:class:`FilterAtom` / :class:`AssignAtom`)
+  with the same semantics, which simplifies the optimizer.
+* Terms        — variables, aggregations, external functions, conditionals,
+  binary operations, constants.
+
+Outer joins are encoded with :class:`OuterAtom` markers, the translation of
+the paper's ``outer_left/outer_right/outer_full`` external atoms
+(Section III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+__all__ = [
+    "Term", "Var", "Const", "BinOp", "If", "Agg", "Ext",
+    "Atom", "RelAtom", "ConstRelAtom", "ExistsAtom", "AssignAtom",
+    "FilterAtom", "OuterAtom",
+    "SortSpec", "Head", "Rule", "Program",
+    "term_vars", "atom_vars", "map_term_vars", "rename_term",
+]
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+class Term:
+    """Base class for TondIR terms."""
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    value: object  # int | float | bool | str | numpy datetime64 | None
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BinOp(Term):
+    op: str  # + - * / % = <> < <= > >= and or like
+    left: Term
+    right: Term
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class If(Term):
+    cond: Term
+    then: Term
+    otherwise: Term
+
+    def __repr__(self) -> str:
+        return f"if({self.cond!r}, {self.then!r}, {self.otherwise!r})"
+
+
+@dataclass(frozen=True)
+class Agg(Term):
+    func: str  # sum min max avg count count_distinct
+    arg: Optional[Term]  # None for count(*)
+    distinct: bool = False
+
+    def __repr__(self) -> str:
+        inner = "*" if self.arg is None else repr(self.arg)
+        d = "distinct " if self.distinct else ""
+        return f"{self.func}({d}{inner})"
+
+
+@dataclass(frozen=True)
+class Ext(Term):
+    """External function call: ``uid()``, ``year(x)``, ``like(x, p)``, ..."""
+
+    name: str
+    args: tuple[Term, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+# ---------------------------------------------------------------------------
+# Atoms
+# ---------------------------------------------------------------------------
+
+
+class Atom:
+    """Base class for body atoms."""
+
+
+@dataclass
+class RelAtom(Atom):
+    """Access to relation *rel*, binding positional columns to variables."""
+
+    rel: str
+    vars: list[str]
+
+    def __repr__(self) -> str:
+        return f"{self.rel}({', '.join(self.vars)})"
+
+
+@dataclass
+class ConstRelAtom(Atom):
+    """A constant inline relation (``[<c>]`` in the grammar)."""
+
+    rows: list[list[object]]
+    vars: list[str]
+
+    def __repr__(self) -> str:
+        return f"const({self.rows!r} as {', '.join(self.vars)})"
+
+
+@dataclass
+class ExistsAtom(Atom):
+    """Existential filter over a sub-body: ``exists(B)`` / ``not exists``."""
+
+    body: list[Atom]
+    negated: bool = False
+
+    def __repr__(self) -> str:
+        prefix = "not exists" if self.negated else "exists"
+        return f"{prefix}({', '.join(map(repr, self.body))})"
+
+
+@dataclass
+class AssignAtom(Atom):
+    """``(x = t)`` where x is fresh — an assignment."""
+
+    var: str
+    term: Term
+
+    def __repr__(self) -> str:
+        return f"({self.var} := {self.term!r})"
+
+
+@dataclass
+class FilterAtom(Atom):
+    """A boolean condition over already-bound variables."""
+
+    term: Term
+
+    def __repr__(self) -> str:
+        return f"({self.term!r})"
+
+
+@dataclass
+class OuterAtom(Atom):
+    """Outer-join marker (``outer_left`` / ``outer_right`` / ``outer_full``).
+
+    ``left_rel`` / ``right_rel`` are indices of the RelAtoms in the body
+    that participate in the outer join; ``pairs`` are the joined variable
+    pairs (left var name, right var name).
+    """
+
+    kind: str  # left | right | full
+    left_rel: int
+    right_rel: int
+    pairs: list[tuple[str, str]]
+
+    def __repr__(self) -> str:
+        return f"outer_{self.kind}({self.pairs!r})"
+
+
+# ---------------------------------------------------------------------------
+# Head / Rule / Program
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SortSpec:
+    keys: list[tuple[str, bool]]  # (var, ascending)
+    limit: Optional[int] = None
+
+    def __repr__(self) -> str:
+        keys = ", ".join(f"{v}{'' if asc else ' desc'}" for v, asc in self.keys)
+        lim = f" limit({self.limit})" if self.limit is not None else ""
+        return f"sort({keys}){lim}"
+
+
+@dataclass
+class Head:
+    rel: str
+    vars: list[str]
+    group: Optional[list[str]] = None
+    sort: Optional[SortSpec] = None
+    distinct: bool = False
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.group is not None:
+            extra += f" group({', '.join(self.group)})"
+        if self.sort is not None:
+            extra += f" {self.sort!r}"
+        if self.distinct:
+            extra += " distinct"
+        return f"{self.rel}({', '.join(self.vars)}){extra}"
+
+
+@dataclass
+class Rule:
+    head: Head
+    body: list[Atom]
+
+    def __repr__(self) -> str:
+        return f"{self.head!r} :- {', '.join(map(repr, self.body))}."
+
+    def rel_atoms(self) -> list[RelAtom]:
+        return [a for a in self.body if isinstance(a, RelAtom)]
+
+    def assigned_vars(self) -> set[str]:
+        return {a.var for a in self.body if isinstance(a, AssignAtom)}
+
+    def bound_vars(self) -> set[str]:
+        bound: set[str] = set()
+        for atom in self.body:
+            if isinstance(atom, (RelAtom, ConstRelAtom)):
+                bound.update(atom.vars)
+            elif isinstance(atom, AssignAtom):
+                bound.add(atom.var)
+        return bound
+
+
+@dataclass
+class Program:
+    rules: list[Rule]
+    sink: str
+
+    def __repr__(self) -> str:
+        return "\n".join(map(repr, self.rules)) + f"\n-- sink: {self.sink}"
+
+    def rule_for(self, rel: str) -> Optional[Rule]:
+        for rule in self.rules:
+            if rule.head.rel == rel:
+                return rule
+        return None
+
+    def copy(self) -> "Program":
+        import copy
+
+        return copy.deepcopy(self)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def term_vars(term: Term) -> set[str]:
+    """Free variables of a term."""
+    if isinstance(term, Var):
+        return {term.name}
+    if isinstance(term, Const):
+        return set()
+    if isinstance(term, BinOp):
+        return term_vars(term.left) | term_vars(term.right)
+    if isinstance(term, If):
+        return term_vars(term.cond) | term_vars(term.then) | term_vars(term.otherwise)
+    if isinstance(term, Agg):
+        return term_vars(term.arg) if term.arg is not None else set()
+    if isinstance(term, Ext):
+        out: set[str] = set()
+        for a in term.args:
+            out |= term_vars(a)
+        return out
+    raise TypeError(f"not a term: {term!r}")
+
+
+def atom_vars(atom: Atom) -> set[str]:
+    """All variables an atom mentions (bound or used)."""
+    if isinstance(atom, (RelAtom, ConstRelAtom)):
+        return set(atom.vars)
+    if isinstance(atom, AssignAtom):
+        return {atom.var} | term_vars(atom.term)
+    if isinstance(atom, FilterAtom):
+        return term_vars(atom.term)
+    if isinstance(atom, ExistsAtom):
+        out: set[str] = set()
+        for a in atom.body:
+            out |= atom_vars(a)
+        return out
+    if isinstance(atom, OuterAtom):
+        out = set()
+        for l, r in atom.pairs:
+            out.add(l)
+            out.add(r)
+        return out
+    raise TypeError(f"not an atom: {atom!r}")
+
+
+def map_term_vars(term: Term, mapping: dict[str, Term]) -> Term:
+    """Substitute variables in a term by other terms."""
+    if isinstance(term, Var):
+        return mapping.get(term.name, term)
+    if isinstance(term, Const):
+        return term
+    if isinstance(term, BinOp):
+        return BinOp(term.op, map_term_vars(term.left, mapping), map_term_vars(term.right, mapping))
+    if isinstance(term, If):
+        return If(
+            map_term_vars(term.cond, mapping),
+            map_term_vars(term.then, mapping),
+            map_term_vars(term.otherwise, mapping),
+        )
+    if isinstance(term, Agg):
+        return Agg(term.func, map_term_vars(term.arg, mapping) if term.arg is not None else None, term.distinct)
+    if isinstance(term, Ext):
+        return Ext(term.name, tuple(map_term_vars(a, mapping) for a in term.args))
+    raise TypeError(f"not a term: {term!r}")
+
+
+def rename_term(term: Term, renames: dict[str, str]) -> Term:
+    """Rename variables in a term."""
+    return map_term_vars(term, {old: Var(new) for old, new in renames.items()})

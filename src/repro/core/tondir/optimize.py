@@ -1,0 +1,404 @@
+"""TondIR optimization passes (Section IV of the paper).
+
+Levels match Figure 10's breakdown:
+
+* **O1** — local + global dead-code elimination;
+* **O2** — O1 + group/aggregate elimination;
+* **O3** — O2 + self-join elimination;
+* **O4** — O3 + rule inlining.
+
+Each pass is a pure ``Program -> bool`` transformer (returns whether it
+changed anything); :func:`optimize` runs the enabled passes to fixpoint.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .analysis import (
+    body_unique_vars, consumers, contains_agg_term, is_flow_breaker,
+    references, unique_head_vars, used_vars,
+)
+from .ir import (
+    Agg, AssignAtom, Atom, BinOp, Const, ConstRelAtom, ExistsAtom, Ext,
+    FilterAtom, If, OuterAtom, Program, RelAtom, Rule, Term, Var,
+    map_term_vars, rename_term, term_vars,
+)
+
+__all__ = ["optimize", "OPT_LEVELS", "local_dce", "global_dce",
+           "group_aggregate_elimination", "self_join_elimination", "rule_inlining"]
+
+OPT_LEVELS = {
+    "O0": (),
+    "O1": ("dce",),
+    "O2": ("dce", "groupagg"),
+    "O3": ("dce", "groupagg", "selfjoin"),
+    "O4": ("dce", "groupagg", "selfjoin", "inline"),
+}
+
+_fresh_counter = itertools.count(1)
+
+
+def _fresh(prefix: str = "t") -> str:
+    return f"__{prefix}{next(_fresh_counter)}"
+
+
+# ---------------------------------------------------------------------------
+# O1a: local dead code elimination
+# ---------------------------------------------------------------------------
+
+def local_dce(program: Program) -> bool:
+    """Remove assignments whose variable is never consumed (per rule)."""
+    changed = False
+    for rule in program.rules:
+        while True:
+            used = used_vars(rule)
+            removable = [
+                a for a in rule.body
+                if isinstance(a, AssignAtom) and a.var not in used
+                and not _has_side_effect(a.term)
+            ]
+            if not removable:
+                break
+            for atom in removable:
+                rule.body.remove(atom)
+            changed = True
+    return changed
+
+
+def _has_side_effect(term: Term) -> bool:
+    # uid() numbering is positional; keep such assignments for safety.
+    if isinstance(term, Ext) and term.name == "uid":
+        return False
+    return False
+
+
+# ---------------------------------------------------------------------------
+# O1b: global dead code elimination
+# ---------------------------------------------------------------------------
+
+def global_dce(program: Program) -> bool:
+    """Drop unused head columns and unreachable rules program-wide."""
+    changed = False
+
+    # 1. Remove rules that no one reads (and are not the sink).
+    while True:
+        cons = consumers(program)
+        dead = [
+            r for r in program.rules
+            if r.head.rel != program.sink and not cons.get(r.head.rel)
+        ]
+        if not dead:
+            break
+        for r in dead:
+            program.rules.remove(r)
+        changed = True
+
+    # 2. Column pruning: for each producer, keep only head positions that
+    #    some consumer actually uses.
+    cons = consumers(program)
+    for producer in program.rules:
+        rel = producer.head.rel
+        if rel == program.sink:
+            continue
+        readers = cons.get(rel, [])
+        used_positions: set[int] = set()
+        for reader in readers:
+            reader_used = used_vars(reader)
+
+            def visit(atoms):
+                for atom in atoms:
+                    if isinstance(atom, RelAtom) and atom.rel == rel:
+                        for pos, var in enumerate(atom.vars):
+                            if var != "_" and var in reader_used:
+                                used_positions.add(pos)
+                    elif isinstance(atom, ExistsAtom):
+                        # Inside exists, every bound variable can constrain.
+                        for inner in atom.body:
+                            if isinstance(inner, RelAtom) and inner.rel == rel:
+                                for pos, var in enumerate(inner.vars):
+                                    if var != "_":
+                                        used_positions.add(pos)
+
+            visit(reader.body)
+        arity = len(producer.head.vars)
+        if len(used_positions) == arity:
+            continue
+        keep = sorted(used_positions)
+        if not keep:
+            keep = [0]  # keep one column so the relation stays well-formed
+        # Shrink producer head.
+        producer.head.vars = [producer.head.vars[i] for i in keep]
+        # Shrink every access in consumers.
+        for reader in readers:
+            def shrink(atoms):
+                for atom in atoms:
+                    if isinstance(atom, RelAtom) and atom.rel == rel and len(atom.vars) == arity:
+                        atom.vars = [atom.vars[i] for i in keep]
+                    elif isinstance(atom, ExistsAtom):
+                        shrink(atom.body)
+
+            shrink(reader.body)
+        changed = True
+    if changed:
+        # Pruned heads can strand assignments: clean locally again.
+        local_dce(program)
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# O2: group/aggregate elimination
+# ---------------------------------------------------------------------------
+
+def group_aggregate_elimination(program: Program, base_unique: dict[str, set[str]]) -> bool:
+    """Remove group-bys over keys that are already unique (Section IV).
+
+    When the grouping column is unique in the rule's body, every group has
+    exactly one row: the ``group`` clause is dropped and each aggregate
+    collapses to its argument (``count`` collapses to 1).
+    """
+    changed = False
+    unique_of = unique_head_vars(program, base_unique)
+    for rule in program.rules:
+        if rule.head.group is None or len(rule.head.group) != 1:
+            continue
+        key = rule.head.group[0]
+        body_unique = body_unique_vars(rule, unique_of)
+        if key not in body_unique:
+            continue
+        rule.head.group = None
+        for atom in rule.body:
+            if isinstance(atom, AssignAtom):
+                atom.term = _collapse_aggregates(atom.term)
+        changed = True
+    if changed:
+        unique_of = unique_head_vars(program, base_unique)
+    return changed
+
+
+def _collapse_aggregates(term: Term) -> Term:
+    if isinstance(term, Agg):
+        if term.func == "count":
+            return Const(1)
+        if term.func == "count_distinct":
+            return Const(1)
+        return _collapse_aggregates(term.arg)
+    if isinstance(term, BinOp):
+        return BinOp(term.op, _collapse_aggregates(term.left), _collapse_aggregates(term.right))
+    if isinstance(term, If):
+        return If(
+            _collapse_aggregates(term.cond),
+            _collapse_aggregates(term.then),
+            _collapse_aggregates(term.otherwise),
+        )
+    if isinstance(term, Ext):
+        return Ext(term.name, tuple(_collapse_aggregates(a) for a in term.args))
+    return term
+
+
+# ---------------------------------------------------------------------------
+# O3: self-join elimination
+# ---------------------------------------------------------------------------
+
+def self_join_elimination(program: Program, base_unique: dict[str, set[str]]) -> bool:
+    """Merge redundant self-joins on unique columns (Section IV).
+
+    Two accesses of the same relation joined on a unique column always pair
+    a row with itself, so the second access can be substituted by the
+    first.
+    """
+    changed = False
+    unique_of = unique_head_vars(program, base_unique)
+    for rule in program.rules:
+        if any(isinstance(a, OuterAtom) for a in rule.body):
+            continue
+        while _eliminate_one_self_join(rule, unique_of):
+            changed = True
+    return changed
+
+
+def _eliminate_one_self_join(rule: Rule, unique_of: dict[str, set[str]]) -> bool:
+    rel_atoms = rule.rel_atoms()
+    for i in range(len(rel_atoms)):
+        for j in range(i + 1, len(rel_atoms)):
+            a, b = rel_atoms[i], rel_atoms[j]
+            if a.rel != b.rel or len(a.vars) != len(b.vars):
+                continue
+            unique_cols = unique_of.get(a.rel, set())
+            joined_on_unique = any(
+                av == bv and av != "_" and av in unique_cols
+                for av, bv in zip(a.vars, b.vars)
+            )
+            if not joined_on_unique:
+                continue
+            renames = {
+                bv: av
+                for av, bv in zip(a.vars, b.vars)
+                if bv != av and bv != "_" and av != "_"
+            }
+            # Fill positions where a has '_' but b binds a variable.
+            for pos, (av, bv) in enumerate(zip(a.vars, b.vars)):
+                if av == "_" and bv != "_":
+                    a.vars[pos] = bv
+            rule.body.remove(b)
+            _rename_rule_vars(rule, renames)
+            return True
+    return False
+
+
+def _rename_rule_vars(rule: Rule, renames: dict[str, str]) -> None:
+    if not renames:
+        return
+    rule.head.vars = [renames.get(v, v) for v in rule.head.vars]
+    if rule.head.group is not None:
+        rule.head.group = [renames.get(v, v) for v in rule.head.group]
+    if rule.head.sort is not None:
+        rule.head.sort.keys = [(renames.get(v, v), asc) for v, asc in rule.head.sort.keys]
+    for atom in rule.body:
+        _rename_atom_vars(atom, renames)
+
+
+def _rename_atom_vars(atom: Atom, renames: dict[str, str]) -> None:
+    if isinstance(atom, (RelAtom, ConstRelAtom)):
+        atom.vars = [renames.get(v, v) for v in atom.vars]
+    elif isinstance(atom, AssignAtom):
+        atom.var = renames.get(atom.var, atom.var)
+        atom.term = rename_term(atom.term, renames)
+    elif isinstance(atom, FilterAtom):
+        atom.term = rename_term(atom.term, renames)
+    elif isinstance(atom, ExistsAtom):
+        for inner in atom.body:
+            _rename_atom_vars(inner, renames)
+    elif isinstance(atom, OuterAtom):
+        atom.pairs = [(renames.get(l, l), renames.get(r, r)) for l, r in atom.pairs]
+
+
+# ---------------------------------------------------------------------------
+# O4: rule inlining
+# ---------------------------------------------------------------------------
+
+def rule_inlining(program: Program) -> bool:
+    """Fuse producer rules into consumers until flow breakers (Section IV)."""
+    changed = False
+    while True:
+        cons = consumers(program)
+        target = None
+        for producer in program.rules:
+            if is_flow_breaker(producer, program):
+                continue
+            readers = cons.get(producer.head.rel, [])
+            if not readers:
+                continue
+            total_accesses = sum(
+                sum(1 for a in r.rel_atoms() if a.rel == producer.head.rel)
+                for r in readers
+            )
+            if total_accesses > 1 and not _is_cheap(producer):
+                continue
+            if any(_accesses_in_exists(r, producer.head.rel) for r in readers):
+                continue
+            # Outer-join markers index relation atoms positionally; do not
+            # shift them by splicing a body into such a reader.
+            if any(any(isinstance(a, OuterAtom) for a in r.body) for r in readers):
+                continue
+            target = producer
+            break
+        if target is None:
+            return changed
+        for reader in cons.get(target.head.rel, []):
+            _inline_into(reader, target)
+        program.rules.remove(target)
+        changed = True
+
+
+def _is_cheap(rule: Rule) -> bool:
+    """Cheap enough to duplicate: one source, projections and filters only."""
+    if len(rule.rel_atoms()) != 1:
+        return False
+    return all(isinstance(a, (RelAtom, AssignAtom, FilterAtom)) for a in rule.body)
+
+
+def _accesses_in_exists(rule: Rule, rel: str) -> bool:
+    for atom in rule.body:
+        if isinstance(atom, ExistsAtom):
+            for inner in atom.body:
+                if isinstance(inner, RelAtom) and inner.rel == rel:
+                    return True
+    return False
+
+
+def _inline_into(reader: Rule, producer: Rule) -> None:
+    """Replace each access to the producer's relation with its body."""
+    while True:
+        access = next(
+            (a for a in reader.rel_atoms() if a.rel == producer.head.rel), None
+        )
+        if access is None:
+            return
+        position = reader.body.index(access)
+
+        # Map producer head vars -> reader's access vars; all other producer
+        # vars get fresh names to avoid capture.
+        renames: dict[str, str] = {}
+        for head_var, reader_var in zip(producer.head.vars, access.vars):
+            renames[head_var] = reader_var
+        producer_vars: set[str] = set()
+        for atom in producer.body:
+            if isinstance(atom, (RelAtom, ConstRelAtom)):
+                producer_vars.update(v for v in atom.vars if v != "_")
+            elif isinstance(atom, AssignAtom):
+                producer_vars.add(atom.var)
+                producer_vars.update(term_vars(atom.term))
+            elif isinstance(atom, FilterAtom):
+                producer_vars.update(term_vars(atom.term))
+            elif isinstance(atom, ExistsAtom):
+                from .ir import atom_vars
+
+                producer_vars.update(atom_vars(atom))
+        for v in sorted(producer_vars):
+            if v not in renames:
+                renames[v] = _fresh(v.strip("_"))
+
+        import copy
+
+        new_atoms: list[Atom] = []
+        for atom in producer.body:
+            cloned = copy.deepcopy(atom)
+            _rename_atom_vars(cloned, renames)
+            new_atoms.append(cloned)
+
+        # Drop '_' placeholders in the access: positions the reader ignores
+        # are dead in the inlined body and cleaned up by DCE later.
+        reader.body[position : position + 1] = new_atoms
+
+
+# ---------------------------------------------------------------------------
+# Pipeline
+# ---------------------------------------------------------------------------
+
+def optimize(
+    program: Program,
+    level: str = "O4",
+    base_unique: dict[str, set[str]] | None = None,
+    max_rounds: int = 20,
+) -> Program:
+    """Run the optimization pipeline at *level* ('O0'..'O4') to fixpoint."""
+    if level not in OPT_LEVELS:
+        raise ValueError(f"unknown optimization level {level!r}")
+    passes = OPT_LEVELS[level]
+    base_unique = base_unique or {}
+    program = program.copy()
+    for _ in range(max_rounds):
+        changed = False
+        if "dce" in passes:
+            changed |= local_dce(program)
+            changed |= global_dce(program)
+        if "groupagg" in passes:
+            changed |= group_aggregate_elimination(program, base_unique)
+        if "selfjoin" in passes:
+            changed |= self_join_elimination(program, base_unique)
+        if "inline" in passes:
+            changed |= rule_inlining(program)
+        if not changed:
+            break
+    return program

@@ -1,0 +1,7 @@
+"""Pandas/NumPy to TondIR translation."""
+
+from .engine import TableInfo, Translator
+from .einsum_planner import lower_dense, lower_sparse, normalize_spec, optimize_path, parse_spec
+
+__all__ = ["Translator", "TableInfo", "parse_spec", "normalize_spec",
+           "lower_dense", "lower_sparse", "optimize_path"]

@@ -1,0 +1,1420 @@
+"""The Pandas/NumPy -> TondIR translator (Sections III-B/C/D of the paper).
+
+A static abstract interpreter over the ANF-normalized function body: every
+Python variable is bound to a symbolic value (:mod:`.symbols`), every
+DataFrame/array operation appends TondIR rules.  The resulting program is
+deliberately *unoptimized* — one rule per API call, exactly the
+"Grizzly-simulated" baseline of the paper — and is then improved by the
+optimizer passes (:mod:`..tondir.optimize`).
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+
+import numpy as np
+
+from ...errors import TranslationError
+from ..anf import to_anf
+from ..tondir.ir import (
+    Agg, AssignAtom, BinOp, Const, ConstRelAtom, ExistsAtom, Ext, FilterAtom,
+    Head, If, OuterAtom, Program, RelAtom, Rule, SortSpec, Term, Var,
+)
+from .einsum_planner import _Emitter, lower_dense, lower_sparse
+from .symbols import (
+    ColumnInfo, SymConstArray, SymDtAccessor, SymFrame, SymGroupBy,
+    SymScalar, SymScalarRel, SymSeries, SymSeriesGroupBy, SymStrAccessor,
+    sanitize,
+)
+
+__all__ = ["Translator", "TableInfo"]
+
+_MODULES = {"np", "numpy", "pd", "pandas"}
+
+_CMP_OPS = {
+    ast.Eq: "=", ast.NotEq: "<>", ast.Lt: "<", ast.LtE: "<=",
+    ast.Gt: ">", ast.GtE: ">=",
+}
+_BIN_OPS = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/", ast.Mod: "%"}
+
+_AGG_FUNCS = {"sum": "sum", "mean": "avg", "min": "min", "max": "max",
+              "count": "count", "nunique": "count_distinct", "size": "size",
+              "std": "stddev", "var": "var", "first": "min"}
+
+
+class TableInfo:
+    """Schema metadata for one input table, as seen by the translator."""
+
+    def __init__(self, name: str, columns: list[str], dtypes: dict[str, str] | None = None,
+                 unique: set[str] | None = None):
+        self.name = name
+        self.columns = list(columns)
+        self.dtypes = dtypes or {}
+        self.unique = unique or set()
+
+    @classmethod
+    def from_schema(cls, schema) -> "TableInfo":
+        """Build from a :class:`repro.sqlengine.TableSchema`."""
+        dtypes = {}
+        for col, dt in zip(schema.columns, schema.dtypes):
+            kind = getattr(dt, "kind", "O")
+            dtypes[col] = {"i": "int", "u": "int", "f": "float", "b": "bool",
+                           "M": "date"}.get(kind, "str")
+        return cls(schema.name, schema.columns, dtypes, set(schema.unique_columns))
+
+
+class _ModuleRef:
+    def __init__(self, name: str):
+        self.name = name
+
+
+class Translator:
+    """Translates one decorated function into a TondIR Program."""
+
+    def __init__(
+        self,
+        tables: dict[str, TableInfo],
+        pivot_values: dict[str, list] | None = None,
+        layout: str = "dense",
+        pivot_probe=None,
+    ):
+        self.tables = tables
+        self.pivot_values = pivot_values or {}
+        self.layout = layout
+        # Optional callback (rel, column) -> list of distinct values, used
+        # when pivot domains are not given in the decorator (the paper:
+        # "or by querying the target columns before code generation").
+        self.pivot_probe = pivot_probe
+        self.rules: list[Rule] = []
+        self.env: dict[str, object] = {}
+        self._rel_counter = itertools.count(1)
+        self._var_counter = itertools.count(1)
+        self._sink: str | None = None
+        self._emitter = _Emitter(new_rel=self.new_rel, emit=self.emit)
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+    def new_rel(self) -> str:
+        return f"v{next(self._rel_counter)}"
+
+    def fresh_var(self, base: str = "x") -> str:
+        return f"{sanitize(base)}_{next(self._var_counter)}"
+
+    def emit(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def base_unique(self) -> dict[str, set[str]]:
+        return {info.name: set(info.unique) for info in self.tables.values()}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def translate(self, func_def: ast.FunctionDef) -> Program:
+        params = [a.arg for a in func_def.args.args]
+        for param in params:
+            info = self.tables.get(param)
+            if info is None:
+                raise TranslationError(
+                    f"no table metadata for parameter {param!r}; pass tables={{...}}"
+                )
+            cols = [
+                ColumnInfo(
+                    name=c, var=sanitize(c),
+                    dtype=info.dtypes.get(c, "unknown"),
+                    unique=c in info.unique,
+                )
+                for c in info.columns
+            ]
+            kind = "sparse" if (self.layout == "sparse" and set(info.columns) >= {"val"}) else "frame"
+            self.env[param] = SymFrame(rel=info.name, cols=cols, kind=kind)
+
+        statements = to_anf(func_def)
+        result: object = None
+        for stmt in statements:
+            if isinstance(stmt, ast.Return):
+                result = self.eval_expr(stmt.value)
+                break
+            self.exec_stmt(stmt)
+        if result is None:
+            raise TranslationError("function must end in a return statement")
+        sink = self._finalize(result)
+        return Program(rules=self.rules, sink=sink)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                self.env[target.id] = self.eval_expr(stmt.value)
+                return
+            if isinstance(target, ast.Subscript):
+                self._exec_setitem(target, stmt.value)
+                return
+        raise TranslationError(f"unsupported statement: {ast.dump(stmt)}")
+
+    def _exec_setitem(self, target: ast.Subscript, value_node: ast.expr) -> None:
+        frame_sym = self.eval_expr(target.value)
+        key = self.eval_expr(target.slice)
+        if not isinstance(key, SymScalar) or not isinstance(key.value, str):
+            raise TranslationError("only df['column'] = ... assignment is supported")
+        if not isinstance(frame_sym, SymFrame):
+            raise TranslationError("subscript assignment requires a DataFrame")
+        value = self.eval_expr(value_node)
+        new_frame = self._frame_set_column(frame_sym, key.value, value)
+        if isinstance(target.value, ast.Name):
+            self.env[target.value.id] = new_frame
+        else:
+            raise TranslationError("subscript assignment target must be a name")
+
+    def _frame_set_column(self, frame: SymFrame, name: str, value) -> SymFrame:
+        if not frame.cols:  # empty DataFrame(): first column defines the frame
+            series = self._as_series(value)
+            return self._project_series_frame(series, name)
+        if isinstance(value, SymScalar):
+            value = SymSeries(frame=frame, term=self._const_term(value), dtype=value.dtype)
+        if isinstance(value, SymSeries) and value.frame.rel == frame.rel:
+            return self._with_computed_column(frame, name, value)
+        if isinstance(value, (SymSeries, SymFrame)):
+            return self._implicit_join_column(frame, name, value)
+        raise TranslationError(f"cannot assign {type(value).__name__} as a column")
+
+    def _with_computed_column(self, frame: SymFrame, name: str, series: SymSeries) -> SymFrame:
+        rel = self.new_rel()
+        out_var = self._unique_var(name, frame.vars)
+        body = [frame.atom()] + list(series.extra_atoms) + [AssignAtom(out_var, series.term)]
+        existing = [c for c in frame.cols if c.name != name]
+        head_vars = [c.var for c in existing] + [out_var]
+        self.emit(Rule(Head(rel, head_vars), body))
+        cols = [c.renamed(c.name) for c in existing]
+        cols.append(ColumnInfo(name=name, var=out_var, dtype=series.dtype))
+        return SymFrame(rel=rel, cols=cols, kind=frame.kind,
+                        index_cols=list(frame.index_cols), hidden_id=frame.hidden_id,
+                        ordering=list(frame.ordering) if frame.ordering else None)
+
+    def _implicit_join_column(self, frame: SymFrame, name: str, value) -> SymFrame:
+        """Appending a column from another frame: the paper's implicit join.
+
+        Both sides get a UID column, are joined on it, and the new column is
+        projected in (Section III-C "Implicit Joins").
+        """
+        series = self._as_series(value)
+        other = series.frame
+        left_id = self._ensure_uid_frame(frame)
+        right_id = self._ensure_uid_frame(other)
+        rel = self.new_rel()
+        right_atom = right_id.atom()
+        # Join on the shared ID variable.
+        renames: dict[str, str] = {}
+        left_vars = set(left_id.vars)
+        for pos, col in enumerate(right_id.cols):
+            if col.var == "__uid":
+                continue
+            if col.var in left_vars:
+                renames[col.var] = self.fresh_var(col.var)
+                right_atom.vars[pos] = renames[col.var]
+        term = series.term
+        from ..tondir.ir import rename_term
+
+        term = rename_term(term, renames)
+        out_var = self._unique_var(name, left_id.vars)
+        body = [left_id.atom(), right_atom, AssignAtom(out_var, term)]
+        existing = [c for c in left_id.cols if c.name != name and c.var != "__uid"]
+        head_vars = [c.var for c in existing] + [out_var]
+        self.emit(Rule(Head(rel, head_vars), body))
+        cols = [c.renamed(c.name) for c in existing]
+        cols.append(ColumnInfo(name=name, var=out_var, dtype=series.dtype))
+        return SymFrame(rel=rel, cols=cols, kind=frame.kind)
+
+    def _ensure_uid_frame(self, frame: SymFrame) -> SymFrame:
+        if any(c.var == "__uid" for c in frame.cols):
+            return frame
+        rel = self.new_rel()
+        body = [frame.atom(), AssignAtom("__uid", Ext("uid", ()))]
+        head_vars = ["__uid"] + frame.vars
+        self.emit(Rule(Head(rel, head_vars), body))
+        cols = [ColumnInfo(name="__uid", var="__uid", dtype="int", unique=True)]
+        cols += [c.renamed(c.name) for c in frame.cols]
+        return SymFrame(rel=rel, cols=cols, kind=frame.kind)
+
+    def _project_series_frame(self, series: SymSeries, name: str) -> SymFrame:
+        rel = self.new_rel()
+        out_var = self._unique_var(name, [])
+        body = [series.frame.atom()] + list(series.extra_atoms) + [AssignAtom(out_var, series.term)]
+        self.emit(Rule(Head(rel, [out_var]), body))
+        return SymFrame(rel=rel, cols=[ColumnInfo(name=name, var=out_var, dtype=series.dtype)])
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def eval_expr(self, node: ast.expr):
+        if isinstance(node, ast.Name):
+            if node.id in _MODULES:
+                return _ModuleRef(node.id)
+            if node.id not in self.env:
+                raise TranslationError(f"unknown variable {node.id!r}")
+            return self.env[node.id]
+        if isinstance(node, ast.Constant):
+            return SymScalar(node.value, dtype=_py_dtype(node.value))
+        if isinstance(node, ast.UnaryOp):
+            return self._eval_unary(node)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return [self._const_value(e) for e in node.elts]
+        if isinstance(node, ast.Dict):
+            return {
+                self._const_value(k): self._const_value(v)
+                for k, v in zip(node.keys, node.values)
+            }
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.Compare):
+            return self._eval_compare(node)
+        if isinstance(node, ast.BoolOp):
+            return self._eval_boolop(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Lambda):
+            return node
+        raise TranslationError(f"unsupported expression: {ast.dump(node)}")
+
+    def _const_value(self, node: ast.expr):
+        value = self.eval_expr(node)
+        if isinstance(value, SymScalar):
+            return value.value
+        if isinstance(value, (list, dict)):
+            return value
+        raise TranslationError("expected a constant")
+
+    # -- unary ----------------------------------------------------------------
+    def _eval_unary(self, node: ast.UnaryOp):
+        operand = self.eval_expr(node.operand)
+        if isinstance(node.op, ast.USub):
+            if isinstance(operand, SymScalar):
+                return SymScalar(-operand.value, operand.dtype)
+            series = self._as_series(operand)
+            return series.with_term(Ext("neg", (series.term,)))
+        if isinstance(node.op, ast.Invert):
+            series = self._as_series(operand)
+            return self._negate_mask(series)
+        raise TranslationError(f"unsupported unary operator {node.op!r}")
+
+    def _negate_mask(self, series: SymSeries) -> SymSeries:
+        exists = getattr(series, "exists_atoms", None) or []
+        if exists:
+            if len(exists) != 1 or not _is_true(series.term):
+                raise TranslationError("cannot negate a combined mask containing isin")
+            flipped = ExistsAtom(body=exists[0].body, negated=not exists[0].negated)
+            out = series.with_term(Const(True))
+            out.exists_atoms = [flipped]  # type: ignore[attr-defined]
+            return out
+        return series.with_term(Ext("not", (series.term,)), dtype="bool")
+
+    # -- attribute ----------------------------------------------------------------
+    def _eval_attribute(self, node: ast.Attribute):
+        if isinstance(node.value, ast.Name) and node.value.id in _MODULES:
+            return _ModuleRef(f"{node.value.id}.{node.attr}")
+        base = self.eval_expr(node.value)
+        attr = node.attr
+        if isinstance(base, SymFrame):
+            if base.has_col(attr):
+                return self._frame_col_series(base, attr)
+            raise TranslationError(f"frame has no column {attr!r}")
+        if isinstance(base, SymSeries):
+            if attr == "str":
+                return SymStrAccessor(base)
+            if attr == "dt":
+                return SymDtAccessor(base)
+            raise TranslationError(f"unsupported Series attribute {attr!r}")
+        if isinstance(base, SymDtAccessor):
+            field = {"year": "year", "month": "month", "day": "day"}.get(attr)
+            if field is None:
+                raise TranslationError(f"unsupported .dt field {attr!r}")
+            return base.series.with_term(Ext(field, (base.series.term,)), dtype="int")
+        raise TranslationError(f"unsupported attribute access {attr!r} on {type(base).__name__}")
+
+    def _frame_col_series(self, frame: SymFrame, name: str) -> SymSeries:
+        col = frame.col(name)
+        return SymSeries(frame=frame, term=Var(col.var), name=name, dtype=col.dtype)
+
+    # -- subscript ----------------------------------------------------------------
+    def _eval_subscript(self, node: ast.Subscript):
+        base = self.eval_expr(node.value)
+        key = self.eval_expr(node.slice)
+        if isinstance(base, SymFrame):
+            if isinstance(key, SymScalar) and isinstance(key.value, str):
+                return self._frame_col_series(base, key.value)
+            if isinstance(key, list):
+                return self._project(base, key)
+            if isinstance(key, SymSeries):
+                return self._filter_frame(base, key)
+        if isinstance(base, SymSeries):
+            if isinstance(key, SymSeries):
+                filtered = self._filter_frame(base.frame, key)
+                # Rebase the series term onto the filtered frame (same vars).
+                out = SymSeries(frame=filtered, term=base.term, name=base.name, dtype=base.dtype)
+                return out
+        if isinstance(base, SymGroupBy):
+            if isinstance(key, SymScalar) and isinstance(key.value, str):
+                return SymSeriesGroupBy(base, key.value)
+            if isinstance(key, list):
+                return SymGroupBy(base.frame, base.keys, base.as_index)
+        if isinstance(base, SymStrAccessor) and isinstance(key, SymScalar):
+            raise TranslationError("str slicing uses .str.slice(start, stop)")
+        raise TranslationError(
+            f"unsupported subscript {type(base).__name__}[{type(key).__name__}]"
+        )
+
+    def _project(self, frame: SymFrame, names: list[str]) -> SymFrame:
+        cols = [frame.col(n) for n in names]
+        rel = self.new_rel()
+        ordering = None
+        head_cols = [c.renamed(c.name) for c in cols]
+        if frame.ordering is not None:
+            # Keep ordering key columns alive (hidden) through projections so
+            # a later head()/sink can re-establish the row order.
+            kept = {c.var for c in cols}
+            for var, _asc in frame.ordering:
+                if var not in kept:
+                    src = next((c for c in frame.cols if c.var == var), None)
+                    if src is None:
+                        break
+                    head_cols.append(src.renamed(f"__ord_{var}"))
+                    kept.add(var)
+            else:
+                ordering = list(frame.ordering)
+        self.emit(Rule(Head(rel, [c.var for c in head_cols]), [frame.atom()]))
+        return SymFrame(rel=rel, cols=head_cols, kind=frame.kind,
+                        hidden_id=frame.hidden_id, ordering=ordering)
+
+    def _filter_frame(self, frame: SymFrame, mask: SymSeries) -> SymFrame:
+        if mask.frame.rel != frame.rel:
+            raise TranslationError("filter mask must derive from the same DataFrame")
+        rel = self.new_rel()
+        body: list = [frame.atom()] + list(mask.extra_atoms)
+        for exists in getattr(mask, "exists_atoms", None) or []:
+            body.append(exists)
+        if not _is_true(mask.term):
+            body.append(FilterAtom(mask.term))
+        self.emit(Rule(Head(rel, list(frame.vars)), body))
+        return SymFrame(rel=rel, cols=[c.renamed(c.name) for c in frame.cols],
+                        kind=frame.kind, index_cols=list(frame.index_cols),
+                        hidden_id=frame.hidden_id,
+                        ordering=list(frame.ordering) if frame.ordering else None)
+
+    # -- binary / compare / bool ----------------------------------------------------
+    def _const_term(self, scalar: SymScalar) -> Term:
+        return Const(scalar.value)
+
+    def _as_series(self, value) -> SymSeries:
+        if isinstance(value, SymSeries):
+            return value
+        if isinstance(value, SymFrame) and len(value.cols) == 1:
+            return self._frame_col_series(value, value.cols[0].name)
+        if isinstance(value, SymFrame) and value.kind == "array" and value.width == 1:
+            # A column vector behaves as a Series (its ID column is the index).
+            return self._frame_col_series(value, value.value_cols()[0].name)
+        if isinstance(value, SymFrame) and value.index_cols and len(value.cols) == len(value.index_cols) + 1:
+            value_col = next(c for c in value.cols if c.name not in value.index_cols)
+            return self._frame_col_series(value, value_col.name)
+        raise TranslationError(f"expected a Series, got {type(value).__name__}")
+
+    def _coerce_operand(self, value, reference: SymSeries | None):
+        """Turn an operand into (term, extra_atoms, dtype)."""
+        if isinstance(value, SymScalar):
+            const = value.value
+            if (
+                reference is not None and reference.dtype == "date"
+                and isinstance(const, str)
+            ):
+                const = np.datetime64(const, "D")
+            return Const(const), [], _py_dtype(const)
+        if isinstance(value, SymScalarRel):
+            return Var(value.var), [value.atom()], value.dtype
+        if isinstance(value, SymSeries):
+            if reference is not None and value.frame.rel != reference.frame.rel:
+                raise TranslationError(
+                    "cannot combine Series from different DataFrames; merge them first"
+                )
+            return value.term, list(value.extra_atoms), value.dtype
+        raise TranslationError(f"unsupported operand {type(value).__name__}")
+
+    def _eval_binop(self, node: ast.BinOp):
+        left = self.eval_expr(node.left)
+        right = self.eval_expr(node.right)
+        # Pandas boolean masks combine with & / | (ast.BitAnd / ast.BitOr).
+        if isinstance(node.op, ast.BitAnd):
+            return self._combine_masks("and", [left, right])
+        if isinstance(node.op, ast.BitOr):
+            return self._combine_masks("or", [left, right])
+        op = _BIN_OPS.get(type(node.op))
+        if op is None:
+            raise TranslationError(f"unsupported binary operator {node.op!r}")
+        if isinstance(left, SymScalar) and isinstance(right, SymScalar):
+            return SymScalar(_fold_py(op, left.value, right.value))
+        if isinstance(left, SymScalarRel) and isinstance(right, (SymScalar, SymScalarRel)) or (
+            isinstance(right, SymScalarRel) and isinstance(left, SymScalar)
+        ):
+            return self._scalar_rel_binop(op, left, right)
+        if isinstance(left, (SymFrame,)) and left.kind == "array":
+            return self._array_elementwise(op, left, right)
+        if isinstance(right, SymFrame) and right.kind == "array":
+            return self._array_elementwise(op, right, left, swapped=True)
+        series_ref = left if isinstance(left, SymSeries) else right if isinstance(right, SymSeries) else None
+        lt, lx, ld = self._coerce_operand(left, series_ref if isinstance(right, SymSeries) else None)
+        rt, rx, rd = self._coerce_operand(right, series_ref if isinstance(left, SymSeries) else None)
+        frame = series_ref.frame if series_ref is not None else None
+        if frame is None:
+            raise TranslationError("binary operation needs at least one Series")
+        dtype = "float" if op == "/" else ("float" if "float" in (ld, rd) else ld or rd)
+        out = SymSeries(frame=frame, term=BinOp(op, lt, rt), dtype=dtype)
+        out.extra_atoms = lx + rx
+        return out
+
+    def _scalar_rel_binop(self, op: str, left, right) -> SymScalarRel:
+        body: list = []
+        terms: list[Term] = []
+        for side in (left, right):
+            if isinstance(side, SymScalarRel):
+                body.append(side.atom())
+                terms.append(Var(side.var))
+            else:
+                terms.append(Const(side.value))
+        var = f"s_{next(self._var_counter)}"
+        body.append(AssignAtom(var, BinOp(op, terms[0], terms[1])))
+        rel = self.new_rel()
+        self.emit(Rule(Head(rel, [var]), body))
+        return SymScalarRel(rel=rel, var=var, dtype="float")
+
+    def _array_elementwise(self, op: str, array: SymFrame, other, swapped: bool = False):
+        if not isinstance(other, SymScalar):
+            raise TranslationError("array elementwise ops support scalars only")
+        const = Const(other.value)
+        values = array.value_cols()
+        out_vars = [self.fresh_var(c.var) for c in values]
+        body: list = [array.atom()]
+        for out, col in zip(out_vars, values):
+            term = BinOp(op, const, Var(col.var)) if swapped else BinOp(op, Var(col.var), const)
+            body.append(AssignAtom(out, term))
+        rel = self.new_rel()
+        id_cols = [c for c in array.cols if c.var == "ID"]
+        head = [c.var for c in id_cols] + out_vars
+        self.emit(Rule(Head(rel, head), body))
+        cols = [c.renamed(c.name) for c in id_cols]
+        cols += [ColumnInfo(name=v, var=v, dtype="float") for v in out_vars]
+        return SymFrame(rel=rel, cols=cols, kind="array")
+
+    def _eval_compare(self, node: ast.Compare):
+        op = _CMP_OPS.get(type(node.ops[0]))
+        if op is None:
+            raise TranslationError(f"unsupported comparison {node.ops[0]!r}")
+        left = self.eval_expr(node.left)
+        right = self.eval_expr(node.comparators[0])
+        if isinstance(left, SymFrame) and left.kind == "array" and left.width == 1:
+            left = self._as_series(left)
+        if isinstance(right, SymFrame) and right.kind == "array" and right.width == 1:
+            right = self._as_series(right)
+        series_ref = left if isinstance(left, SymSeries) else right if isinstance(right, SymSeries) else None
+        if series_ref is None:
+            raise TranslationError("comparison needs at least one Series")
+        lt, lx, _ = self._coerce_operand(left, series_ref)
+        rt, rx, _ = self._coerce_operand(right, series_ref)
+        out = SymSeries(frame=series_ref.frame, term=BinOp(op, lt, rt), dtype="bool")
+        out.extra_atoms = lx + rx
+        return out
+
+    def _eval_boolop(self, node: ast.BoolOp):
+        op = "and" if isinstance(node.op, ast.And) else "or"
+        values = [self.eval_expr(v) for v in node.values]
+        return self._combine_masks(op, values)
+
+    def _combine_masks(self, op: str, values: list) -> SymSeries:
+        series = [self._as_series(v) for v in values]
+        frame = series[0].frame
+        exists: list[ExistsAtom] = []
+        terms: list[Term] = []
+        extra: list[RelAtom] = []
+        for s in series:
+            if s.frame.rel != frame.rel:
+                raise TranslationError("cannot combine masks from different DataFrames")
+            s_exists = getattr(s, "exists_atoms", None) or []
+            if s_exists and op == "or":
+                raise TranslationError("isin masks cannot be OR-combined")
+            exists.extend(s_exists)
+            if not _is_true(s.term):
+                terms.append(s.term)
+            extra.extend(s.extra_atoms)
+        term: Term = Const(True)
+        if terms:
+            term = terms[0]
+            for t in terms[1:]:
+                term = BinOp(op, term, t)
+        out = SymSeries(frame=frame, term=term, dtype="bool")
+        out.extra_atoms = extra
+        if exists:
+            out.exists_atoms = exists  # type: ignore[attr-defined]
+        return out
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def _eval_call(self, node: ast.Call):
+        func = node.func
+        kwargs = {kw.arg: kw.value for kw in node.keywords}
+        if isinstance(func, ast.Name):
+            if func.id == "len":
+                target = self.eval_expr(node.args[0])
+                return self._scalar_agg(self._count_series(target), "count")
+            raise TranslationError(f"unsupported function {func.id!r}")
+        if not isinstance(func, ast.Attribute):
+            raise TranslationError("unsupported call form")
+
+        base = self.eval_expr(func.value)
+        method = func.attr
+        if isinstance(base, _ModuleRef):
+            return self._module_call(base, method, node.args, kwargs)
+        if isinstance(base, SymFrame):
+            return self._frame_call(base, method, node.args, kwargs)
+        if isinstance(base, SymSeries):
+            return self._series_call(base, method, node.args, kwargs)
+        if isinstance(base, SymGroupBy):
+            return self._groupby_call(base, method, node.args, kwargs)
+        if isinstance(base, SymSeriesGroupBy):
+            return self._series_groupby_call(base, method, node.args, kwargs)
+        if isinstance(base, SymStrAccessor):
+            return self._str_call(base, method, node.args, kwargs)
+        if isinstance(base, SymScalarRel):
+            raise TranslationError(f"unsupported method {method!r} on a scalar")
+        raise TranslationError(f"unsupported method {method!r} on {type(base).__name__}")
+
+    def _count_series(self, target) -> SymSeries:
+        if isinstance(target, SymFrame):
+            col = target.cols[0]
+            return self._frame_col_series(target, col.name)
+        return self._as_series(target)
+
+    # -- numpy / pandas module functions ----------------------------------------
+    def _module_call(self, ref: _ModuleRef, method: str, args, kwargs):
+        name = ref.name.split(".")[-1] if "." in ref.name else method
+        # Either np.einsum(...) parsed as module 'np' + method 'einsum', or
+        # the attribute itself resolved to 'np.einsum'.
+        if "." in ref.name and ref.name.split(".")[-1] != method:
+            raise TranslationError(f"unsupported module call {ref.name}.{method}")
+        if method == "einsum":
+            return self._einsum(args, kwargs)
+        if method == "array":
+            values = self.eval_expr(args[0])
+            return SymConstArray(values=values)
+        if method == "sqrt":
+            series = self._as_series(self.eval_expr(args[0]))
+            return series.with_term(Ext("sqrt", (series.term,)), dtype="float")
+        if method == "abs":
+            series = self._as_series(self.eval_expr(args[0]))
+            return series.with_term(Ext("abs", (series.term,)), dtype=series.dtype)
+        if method == "where":
+            cond = self._as_series(self.eval_expr(args[0]))
+            then = self.eval_expr(args[1])
+            other = self.eval_expr(args[2])
+            tt, tx, td = self._coerce_operand(then, cond if isinstance(then, SymSeries) else None)
+            ot, ox, _ = self._coerce_operand(other, cond if isinstance(other, SymSeries) else None)
+            out = cond.with_term(If(cond.term, tt, ot), dtype=td)
+            out.extra_atoms = cond.extra_atoms + tx + ox
+            return out
+        if method == "DataFrame":
+            if args:
+                raise TranslationError("only empty pd.DataFrame() construction is supported")
+            return SymFrame(rel="", cols=[])
+        if method == "dot":
+            return self._einsum_spec("ij,jk->ik", [self.eval_expr(a) for a in args])
+        raise TranslationError(f"unsupported module function {method!r}")
+
+    def _einsum(self, args, kwargs):
+        spec_sym = self.eval_expr(args[0])
+        if not isinstance(spec_sym, SymScalar) or not isinstance(spec_sym.value, str):
+            raise TranslationError("einsum spec must be a string literal")
+        operands = [self.eval_expr(a) for a in args[1:]]
+        return self._einsum_spec(spec_sym.value, operands)
+
+    def _einsum_spec(self, spec: str, operands: list):
+        if self.layout == "sparse":
+            return lower_sparse(self._emitter, spec, operands)
+        from .einsum_planner import optimize_path, parse_spec
+
+        inputs, output = parse_spec(spec)
+        if len(inputs) > 2:
+            steps = optimize_path(inputs, output)
+            ops = list(operands)
+            result = None
+            for a, b, pair_spec in steps:
+                pair_ops = [ops[a], ops[b]] if a != b else [ops[a]]
+                result = lower_dense(self._emitter, pair_spec, pair_ops)
+                ops = [op for k, op in enumerate(ops) if k not in (a, b)]
+                ops.append(result)
+            return result
+        return lower_dense(self._emitter, spec, operands)
+
+    # -- DataFrame methods ---------------------------------------------------------
+    def _frame_call(self, frame: SymFrame, method: str, args, kwargs):
+        if method == "merge":
+            return self._merge(frame, args, kwargs)
+        if method == "groupby":
+            by = self.eval_expr(args[0])
+            keys = [by.value] if isinstance(by, SymScalar) else list(by)
+            as_index = True
+            if "as_index" in kwargs:
+                as_index = bool(self._const_value(kwargs["as_index"]))
+            return SymGroupBy(frame=frame, keys=keys, as_index=as_index)
+        if method == "sort_values":
+            return self._sort_values(frame, args, kwargs)
+        if method == "head":
+            n = int(self._const_value(args[0])) if args else 5
+            return self._head(frame, n)
+        if method == "nlargest":
+            n = int(self._const_value(args[0]))
+            by = self.eval_expr(args[1])
+            keys = [by.value] if isinstance(by, SymScalar) else list(by)
+            sorted_frame = self._emit_sort(frame, keys, [False] * len(keys), limit=n)
+            return sorted_frame
+        if method == "drop":
+            return self._drop(frame, args, kwargs)
+        if method == "rename":
+            mapping = self._const_value(kwargs["columns"]) if "columns" in kwargs else self._const_value(args[0])
+            cols = [c.renamed(mapping.get(c.name, c.name)) for c in frame.cols]
+            return SymFrame(rel=frame.rel, cols=cols, kind=frame.kind,
+                            index_cols=list(frame.index_cols), hidden_id=frame.hidden_id,
+                            ordering=list(frame.ordering) if frame.ordering else None)
+        if method == "reset_index":
+            return SymFrame(rel=frame.rel, cols=[c.renamed(c.name) for c in frame.cols],
+                            kind=frame.kind, index_cols=[], hidden_id=frame.hidden_id,
+                            ordering=list(frame.ordering) if frame.ordering else None)
+        if method == "drop_duplicates":
+            subset = None
+            if args:
+                val = self.eval_expr(args[0])
+                subset = [val.value] if isinstance(val, SymScalar) else list(val)
+            if "subset" in kwargs:
+                val = self.eval_expr(kwargs["subset"])
+                subset = [val.value] if isinstance(val, SymScalar) else list(val)
+            target = self._project(frame, subset) if subset else frame
+            rel = self.new_rel()
+            self.emit(Rule(Head(rel, list(target.vars), distinct=True), [target.atom()]))
+            return SymFrame(rel=rel, cols=[c.renamed(c.name) for c in target.cols], kind=frame.kind)
+        if method == "to_numpy":
+            return self._to_numpy(frame)
+        if method == "copy":
+            return frame
+        if method == "pivot_table":
+            return self._pivot_table(frame, args, kwargs)
+        if method == "aggregate" or method == "agg":
+            return self._frame_aggregate(frame, args, kwargs)
+        if method == "apply":
+            return self._frame_apply(frame, args, kwargs)
+        if method == "count":
+            series = self._frame_col_series(frame, frame.cols[0].name)
+            return self._scalar_agg(series, "count")
+        if method == "fillna":
+            value = self._const_value(args[0])
+            cols = []
+            rel = self.new_rel()
+            body: list = [frame.atom()]
+            out_vars = []
+            for c in frame.cols:
+                out = self.fresh_var(c.var)
+                body.append(AssignAtom(out, Ext("coalesce", (Var(c.var), Const(value)))))
+                out_vars.append(out)
+                cols.append(ColumnInfo(name=c.name, var=out, dtype=c.dtype))
+            self.emit(Rule(Head(rel, out_vars), body))
+            return SymFrame(rel=rel, cols=cols, kind=frame.kind)
+        if method in ("sum", "all", "round", "nonzero", "compress", "transpose") and frame.kind == "array":
+            return self._array_call(frame, method, args, kwargs)
+        raise TranslationError(f"unsupported DataFrame method {method!r}")
+
+    def _sort_values(self, frame: SymFrame, args, kwargs) -> SymFrame:
+        by_node = kwargs.get("by") or (args[0] if args else None)
+        if by_node is None:
+            raise TranslationError("sort_values requires by=")
+        by = self.eval_expr(by_node)
+        keys = [by.value] if isinstance(by, SymScalar) else list(by)
+        ascending: list[bool] = [True] * len(keys)
+        if "ascending" in kwargs:
+            asc = self.eval_expr(kwargs["ascending"])
+            if isinstance(asc, SymScalar):
+                ascending = [bool(asc.value)] * len(keys)
+            else:
+                ascending = [bool(a) for a in asc]
+        return self._emit_sort(frame, keys, ascending, limit=None)
+
+    def _emit_sort(self, frame: SymFrame, keys: list[str], ascending: list[bool], limit) -> SymFrame:
+        rel = self.new_rel()
+        key_pairs = [(frame.col(k).var, asc) for k, asc in zip(keys, ascending)]
+        sort = SortSpec(keys=list(key_pairs), limit=limit)
+        self.emit(Rule(Head(rel, list(frame.vars), sort=sort), [frame.atom()]))
+        return SymFrame(rel=rel, cols=[c.renamed(c.name) for c in frame.cols],
+                        kind=frame.kind, index_cols=list(frame.index_cols),
+                        hidden_id=frame.hidden_id, ordering=list(key_pairs))
+
+    def _head(self, frame: SymFrame, n: int) -> SymFrame:
+        # Peephole: head() directly after sort_values folds into its rule so
+        # ORDER BY + LIMIT stay in one CTE (Section III-E "Sort and Limit").
+        defining = self.rules[-1] if self.rules else None
+        if (
+            defining is not None
+            and defining.head.rel == frame.rel
+            and defining.head.sort is not None
+            and defining.head.sort.limit is None
+        ):
+            defining.head.sort.limit = n
+            return frame
+        rel = self.new_rel()
+        keys = [kv for kv in (frame.ordering or []) if kv[0] in frame.vars]
+        self.emit(Rule(Head(rel, list(frame.vars), sort=SortSpec(keys=keys, limit=n)),
+                       [frame.atom()]))
+        return SymFrame(rel=rel, cols=[c.renamed(c.name) for c in frame.cols], kind=frame.kind,
+                        ordering=keys or None)
+
+    def _drop(self, frame: SymFrame, args, kwargs) -> SymFrame:
+        names_node = kwargs.get("columns") or (args[0] if args else None)
+        if names_node is None:
+            raise TranslationError("drop requires columns")
+        names = self.eval_expr(names_node)
+        names = [names.value] if isinstance(names, SymScalar) else list(names)
+        dropped = [c for c in frame.cols if c.name in names]
+        kept = [c.renamed(c.name) for c in frame.cols if c.name not in names]
+        # Keep a dropped unique id column alive under a hidden name so a
+        # following to_numpy() can reuse it (the paper "ignores" such drops).
+        hidden = next((c for c in dropped if c.unique and c.dtype == "int"), None)
+        rel = self.new_rel()
+        out_cols = list(kept)
+        if hidden is not None:
+            out_cols.append(ColumnInfo(name="__hidden_id", var=hidden.var,
+                                       dtype=hidden.dtype, unique=True))
+        self.emit(Rule(Head(rel, [c.var for c in out_cols]), [frame.atom()]))
+        return SymFrame(rel=rel, cols=out_cols, kind=frame.kind)
+
+    def _to_numpy(self, frame: SymFrame) -> SymFrame:
+        """Frame -> dense array (ID, c0..cn); reuses a unique id when known."""
+        id_col = next(
+            (c for c in frame.cols if c.unique and c.dtype == "int"), None
+        )
+        body: list = [frame.atom()]
+        value_cols = [c for c in frame.cols if c is not id_col and c.name != "__hidden_id"]
+        if id_col is None:
+            body.append(AssignAtom("__uid", Ext("uid", ())))
+            id_var = "__uid"
+        else:
+            id_var = id_col.var
+        rel = self.new_rel()
+        bound = set(frame.vars)
+        out_vars = []
+        for i, c in enumerate(value_cols):
+            out = f"c{i}"
+            if out == c.var:
+                out_vars.append(out)
+                continue
+            if out in bound:
+                out = self.fresh_var(out)
+            body.append(AssignAtom(out, Var(c.var)))
+            out_vars.append(out)
+        if id_var != "ID":
+            body.append(AssignAtom("ID", Var(id_var)))
+        self.emit(Rule(Head(rel, ["ID"] + out_vars), body))
+        cols = [ColumnInfo(name="ID", var="ID", dtype="int", unique=True)]
+        cols += [ColumnInfo(name=v, var=v, dtype="float") for v in out_vars]
+        return SymFrame(rel=rel, cols=cols, kind="array")
+
+    def _pivot_table(self, frame: SymFrame, args, kwargs):
+        index = self._const_value(kwargs["index"])
+        columns = self._const_value(kwargs["columns"])
+        values = self._const_value(kwargs["values"])
+        aggfunc = self._const_value(kwargs.get("aggfunc", ast.Constant("sum")))
+        distinct_values = self.pivot_values.get(columns)
+        if distinct_values is None and self.pivot_probe is not None:
+            base_rel = self._pivot_base_relation(frame, columns)
+            if base_rel is not None:
+                distinct_values = self.pivot_probe(base_rel, columns)
+        if distinct_values is None:
+            raise TranslationError(
+                f"pivot_table on {columns!r} needs pivot_values in the decorator "
+                "(or a database connection to query them)"
+            )
+        func = _AGG_FUNCS.get(aggfunc, aggfunc)
+        idx_col = frame.col(index)
+        col_col = frame.col(columns)
+        val_col = frame.col(values)
+        rel = self.new_rel()
+        body: list = [frame.atom()]
+        out_vars = []
+        out_cols = [ColumnInfo(name=index, var=idx_col.var, dtype=idx_col.dtype, unique=True)]
+        for dv in distinct_values:
+            out = self._unique_var(str(dv), frame.vars + out_vars)
+            cond = BinOp("=", Var(col_col.var), Const(dv))
+            if func == "count":
+                # COUNT of a pivot cell = SUM(CASE WHEN match THEN 1 ELSE 0).
+                agg = Agg("sum", If(cond, Const(1), Const(0)))
+            elif func == "sum":
+                agg = Agg("sum", If(cond, Var(val_col.var), Const(0)))
+            else:
+                # avg/min/max must ignore non-matching rows entirely (NULL).
+                agg = Agg(func, If(cond, Var(val_col.var), Const(None)))
+            body.append(AssignAtom(out, agg))
+            out_vars.append(out)
+            out_cols.append(ColumnInfo(name=str(dv), var=out, dtype="float"))
+        self.emit(Rule(Head(rel, [idx_col.var] + out_vars, group=[idx_col.var]), body))
+        return SymFrame(rel=rel, cols=out_cols, index_cols=[index])
+
+    def _pivot_base_relation(self, frame: SymFrame, column: str) -> str | None:
+        """Base table providing *column*, if its domain can be probed."""
+        for info in self.tables.values():
+            if column in info.columns:
+                return info.name
+        return None
+
+    def _frame_aggregate(self, frame: SymFrame, args, kwargs):
+        spec = self.eval_expr(args[0])
+        if isinstance(spec, SymScalar):
+            func = _AGG_FUNCS[spec.value]
+            rel = self.new_rel()
+            body: list = [frame.atom()]
+            out_vars = []
+            cols = []
+            for c in frame.cols:
+                out = self.fresh_var(c.var)
+                body.append(AssignAtom(out, Agg(func, Var(c.var))))
+                out_vars.append(out)
+                cols.append(ColumnInfo(name=c.name, var=out, dtype=c.dtype))
+            self.emit(Rule(Head(rel, out_vars), body))
+            return SymFrame(rel=rel, cols=cols)
+        raise TranslationError("frame aggregate supports a single function name")
+
+    def _frame_apply(self, frame: SymFrame, args, kwargs):
+        lam = args[0]
+        axis = self._const_value(kwargs["axis"]) if "axis" in kwargs else (
+            self._const_value(args[1]) if len(args) > 1 else 0
+        )
+        if not isinstance(lam, ast.Lambda) or axis != 1:
+            raise TranslationError("apply supports lambda with axis=1 only")
+        row_param = lam.args.args[0].arg
+        term = self._lambda_term(lam.body, row_param, frame)
+        return SymSeries(frame=frame, term=term, dtype="unknown")
+
+    def _lambda_term(self, node: ast.expr, row: str, frame: SymFrame) -> Term:
+        if isinstance(node, ast.Constant):
+            return Const(node.value)
+        if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name) and node.value.id == row:
+            key = node.slice
+            if isinstance(key, ast.Constant):
+                return Var(frame.col(key.value).var)
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) and node.value.id == row:
+            return Var(frame.col(node.attr).var)
+        if isinstance(node, ast.BinOp):
+            op = _BIN_OPS.get(type(node.op))
+            if op is None:
+                raise TranslationError("unsupported operator in lambda")
+            return BinOp(op, self._lambda_term(node.left, row, frame),
+                         self._lambda_term(node.right, row, frame))
+        if isinstance(node, ast.Compare) and len(node.ops) == 1:
+            op = _CMP_OPS[type(node.ops[0])]
+            return BinOp(op, self._lambda_term(node.left, row, frame),
+                         self._lambda_term(node.comparators[0], row, frame))
+        if isinstance(node, ast.IfExp):
+            return If(self._lambda_term(node.test, row, frame),
+                      self._lambda_term(node.body, row, frame),
+                      self._lambda_term(node.orelse, row, frame))
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return Ext("neg", (self._lambda_term(node.operand, row, frame),))
+        raise TranslationError(f"unsupported lambda expression: {ast.dump(node)}")
+
+    # -- dense array methods --------------------------------------------------------
+    def _array_call(self, frame: SymFrame, method: str, args, kwargs):
+        if method == "sum":
+            axis = None
+            if "axis" in kwargs:
+                axis = self._const_value(kwargs["axis"])
+            elif args:
+                axis = self._const_value(args[0])
+            spec = {None: "ij->", 0: "ij->j", 1: "ij->i"}[axis]
+            if frame.width == 1 and axis in (None, 0):
+                spec = "i->"
+            return self._einsum_spec(spec, [frame])
+        if method == "round":
+            digits = int(self._const_value(args[0])) if args else 0
+            values = frame.value_cols()
+            rel = self.new_rel()
+            body: list = [frame.atom()]
+            out_vars = []
+            for c in values:
+                out = self.fresh_var(c.var)
+                body.append(AssignAtom(out, Ext("round", (Var(c.var), Const(digits)))))
+                out_vars.append(out)
+            self.emit(Rule(Head(rel, ["ID"] + out_vars), body))
+            cols = [ColumnInfo(name="ID", var="ID", dtype="int", unique=True)]
+            cols += [ColumnInfo(name=v, var=v, dtype="float") for v in out_vars]
+            return SymFrame(rel=rel, cols=cols, kind="array")
+        if method == "all":
+            # all(v) == (min over the boolean-as-int values) for 0/1 data.
+            values = frame.value_cols()
+            rel = self.new_rel()
+            arg = values[0].var
+            self.emit(Rule(Head(rel, ["v"]), [frame.atom(), AssignAtom("v", Agg("min", Var(arg)))]))
+            return SymScalarRel(rel=rel, var="v", dtype="float")
+        if method == "nonzero":
+            values = frame.value_cols()
+            rel = self.new_rel()
+            body = [frame.atom(), FilterAtom(BinOp("<>", Var(values[0].var), Const(0)))]
+            self.emit(Rule(Head(rel, ["ID"]), body))
+            return SymFrame(rel=rel, cols=[ColumnInfo(name="ID", var="ID", dtype="int", unique=True)],
+                            kind="array")
+        if method == "compress":
+            mask = self._const_value(args[0])
+            axis = self._const_value(kwargs["axis"]) if "axis" in kwargs else 1
+            if axis != 1:
+                raise TranslationError("compress supports axis=1 only")
+            values = frame.value_cols()
+            kept = [c for keep, c in zip(mask, values) if keep]
+            rel = self.new_rel()
+            self.emit(Rule(Head(rel, ["ID"] + [c.var for c in kept]), [frame.atom()]))
+            cols = [ColumnInfo(name="ID", var="ID", dtype="int", unique=True)]
+            cols += [c.renamed(c.name) for c in kept]
+            return SymFrame(rel=rel, cols=cols, kind="array")
+        if method == "transpose":
+            return self._einsum_spec("ij->ji", [frame])
+        raise TranslationError(f"unsupported array method {method!r}")
+
+    # -- merge --------------------------------------------------------------
+    def _merge(self, left: SymFrame, args, kwargs) -> SymFrame:
+        right = self.eval_expr(args[0])
+        if not isinstance(right, SymFrame):
+            raise TranslationError("merge target must be a DataFrame")
+        how = "inner"
+        if "how" in kwargs:
+            how = self._const_value(kwargs["how"])
+        on = left_on = right_on = None
+        if "on" in kwargs:
+            on = self._const_value(kwargs["on"])
+        if "left_on" in kwargs:
+            left_on = self._const_value(kwargs["left_on"])
+        if "right_on" in kwargs:
+            right_on = self._const_value(kwargs["right_on"])
+        if on is not None:
+            left_on = right_on = on
+        if how == "cross":
+            left_keys: list[str] = []
+            right_keys: list[str] = []
+        else:
+            if left_on is None or right_on is None:
+                common = [c for c in left.column_names if c in set(right.column_names)]
+                if not common:
+                    raise TranslationError("no common columns to merge on")
+                left_on = right_on = common
+            left_keys = [left_on] if isinstance(left_on, str) else list(left_on)
+            right_keys = [right_on] if isinstance(right_on, str) else list(right_on)
+
+        from ...dataframe.merge import resolve_merged_columns
+
+        left_pairs, right_pairs = resolve_merged_columns(
+            left.column_names, right.column_names, left_keys, right_keys, ("_x", "_y")
+        )
+
+        # Variable naming: join keys share a variable; everything else is
+        # unique (Section III-C).
+        used: list[str] = []
+        left_atom = RelAtom(left.rel, [""] * len(left.cols))
+        right_atom = RelAtom(right.rel, [""] * len(right.cols))
+        out_cols: list[ColumnInfo] = []
+        left_var_of: dict[str, str] = {}
+        for pos, (col, (src, out_name)) in enumerate(zip(left.cols, left_pairs)):
+            var = self._unique_var(out_name, used)
+            used.append(var)
+            left_atom.vars[pos] = var
+            left_var_of[src] = var
+            out_cols.append(ColumnInfo(name=out_name, var=var, dtype=col.dtype, unique=col.unique))
+
+        key_var: dict[str, str] = {}
+        for lk, rk in zip(left_keys, right_keys):
+            key_var[rk] = left_var_of[lk]
+
+        right_out: list[ColumnInfo] = []
+        right_pair_map = dict(right_pairs)
+        pairs_for_outer: list[tuple[str, str]] = []
+        key_copies: list[AssignAtom] = []
+        for pos, col in enumerate(right.cols):
+            if col.name in key_var and how in ("inner", "cross"):
+                shared = key_var[col.name]
+                right_atom.vars[pos] = shared
+                if col.name in right_pair_map:
+                    # Differently-named keys keep the right column too
+                    # (Pandas keeps both c_custkey and o_custkey).
+                    var = self._unique_var(right_pair_map[col.name], used)
+                    used.append(var)
+                    key_copies.append(AssignAtom(var, Var(shared)))
+                    right_out.append(ColumnInfo(name=right_pair_map[col.name], var=var,
+                                                dtype=col.dtype, unique=col.unique))
+                continue
+            if col.name in key_var:
+                # Outer joins keep both sides separate + OuterAtom pairs.
+                var = self._unique_var(col.name + "_r", used)
+                used.append(var)
+                right_atom.vars[pos] = var
+                pairs_for_outer.append((key_var[col.name], var))
+                if col.name in right_pair_map:
+                    right_out.append(ColumnInfo(name=right_pair_map[col.name], var=var,
+                                                dtype=col.dtype, unique=col.unique))
+                continue
+            out_name = right_pair_map.get(col.name, col.name)
+            var = self._unique_var(out_name, used)
+            used.append(var)
+            right_atom.vars[pos] = var
+            right_out.append(ColumnInfo(name=out_name, var=var, dtype=col.dtype, unique=col.unique))
+
+        body: list = [left_atom, right_atom] + key_copies
+        if how in ("left", "right", "outer"):
+            kind = {"left": "left", "right": "right", "outer": "full"}[how]
+            body.append(OuterAtom(kind=kind, left_rel=0, right_rel=1, pairs=pairs_for_outer))
+        out_cols += right_out
+
+        # Key uniqueness: joining N:1 against a unique right key preserves
+        # the left key's uniqueness (and vice versa).
+        right_key_unique = all(right.col(rk).unique for rk in right_keys) if right_keys else False
+        left_key_unique = all(left.col(lk).unique for lk in left_keys) if left_keys else False
+        for c in out_cols:
+            if c.unique:
+                from_left = any(c.var == left_atom.vars[i] for i in range(len(left.cols)))
+                if from_left and not right_key_unique:
+                    c.unique = False
+                if not from_left and not left_key_unique:
+                    c.unique = False
+
+        rel = self.new_rel()
+        self.emit(Rule(Head(rel, [c.var for c in out_cols]), body))
+        return SymFrame(rel=rel, cols=out_cols)
+
+    # -- Series methods --------------------------------------------------------
+    def _series_call(self, series: SymSeries, method: str, args, kwargs):
+        if method in ("sum", "mean", "min", "max", "count", "nunique", "std", "var"):
+            return self._scalar_agg(series, _AGG_FUNCS[method])
+        if method == "unique":
+            rel = self.new_rel()
+            var = self._unique_var(series.name or "value", [])
+            body = [series.frame.atom()] + list(series.extra_atoms) + [AssignAtom(var, series.term)]
+            self.emit(Rule(Head(rel, [var], distinct=True), body))
+            return SymFrame(rel=rel, cols=[ColumnInfo(name=series.name or "value", var=var,
+                                                      dtype=series.dtype, unique=True)])
+        if method == "isin":
+            return self._isin(series, args)
+        if method == "between":
+            low = self.eval_expr(args[0])
+            high = self.eval_expr(args[1])
+            lt, lx, _ = self._coerce_operand(low, series)
+            ht, hx, _ = self._coerce_operand(high, series)
+            term = BinOp("and", BinOp(">=", series.term, lt), BinOp("<=", series.term, ht))
+            out = series.with_term(term, dtype="bool")
+            out.extra_atoms = series.extra_atoms + lx + hx
+            return out
+        if method == "round":
+            digits = int(self._const_value(args[0])) if args else 0
+            return series.with_term(Ext("round", (series.term, Const(digits))), dtype="float")
+        if method == "abs":
+            return series.with_term(Ext("abs", (series.term,)))
+        if method == "fillna":
+            value = self._const_value(args[0])
+            return series.with_term(Ext("coalesce", (series.term, Const(value))))
+        if method == "astype":
+            target = self._const_value(args[0])
+            cast = {"int": "cast_int", "int64": "cast_int", "float": "cast_float",
+                    "float64": "cast_float", "str": "cast_str"}.get(str(target))
+            if cast is None:
+                raise TranslationError(f"unsupported astype target {target!r}")
+            return series.with_term(Ext(cast, (series.term,)),
+                                    dtype={"cast_int": "int", "cast_float": "float", "cast_str": "str"}[cast])
+        if method == "isna" or method == "isnull":
+            return series.with_term(Ext("isnull", (series.term,)), dtype="bool")
+        if method == "notna" or method == "notnull":
+            return series.with_term(Ext("notnull", (series.term,)), dtype="bool")
+        if method == "reset_index":
+            return series
+        if method == "to_numpy":
+            frame = self._project_series_frame(series, series.name or "c0")
+            return self._to_numpy(frame)
+        if method == "head":
+            frame = self._project_series_frame(series, series.name or "value")
+            return self._head(frame, int(self._const_value(args[0])) if args else 5)
+        if method == "value_counts":
+            # GROUP BY value + COUNT(*), sorted by descending frequency.
+            name = series.name or "value"
+            rel = self.new_rel()
+            key_var = self._unique_var(name, [])
+            count_var = self._unique_var("count", [key_var])
+            body = [series.frame.atom()] + list(series.extra_atoms)
+            body.append(AssignAtom(key_var, series.term))
+            body.append(AssignAtom(count_var, Agg("count", None)))
+            self.emit(Rule(Head(rel, [key_var, count_var], group=[key_var],
+                                sort=SortSpec([(count_var, False)])), body))
+            cols = [ColumnInfo(name=name, var=key_var, dtype=series.dtype, unique=True),
+                    ColumnInfo(name="count", var=count_var, dtype="int")]
+            return SymFrame(rel=rel, cols=cols, index_cols=[name],
+                            ordering=[(count_var, False)])
+        if method in ("nlargest", "nsmallest"):
+            n = int(self._const_value(args[0]))
+            frame = self._project_series_frame(series, series.name or "value")
+            ascending = method == "nsmallest"
+            return self._emit_sort(frame, [frame.cols[0].name], [ascending], limit=n)
+        raise TranslationError(f"unsupported Series method {method!r}")
+
+    def _scalar_agg(self, series: SymSeries, func: str) -> SymScalarRel:
+        rel = self.new_rel()
+        var = f"s_{next(self._var_counter)}"
+        if func == "count_distinct":
+            agg = Agg("count_distinct", series.term)
+        elif func == "size":
+            agg = Agg("count", None)
+        else:
+            agg = Agg(func, series.term)
+        body = [series.frame.atom()] + list(series.extra_atoms) + [AssignAtom(var, agg)]
+        self.emit(Rule(Head(rel, [var]), body))
+        dtype = "int" if func in ("count", "count_distinct") else ("float" if func == "avg" else series.dtype)
+        return SymScalarRel(rel=rel, var=var, dtype=dtype)
+
+    def _isin(self, series: SymSeries, args) -> SymSeries:
+        target = self.eval_expr(args[0])
+        if isinstance(target, list):
+            out = series.with_term(Ext("in_list", (series.term, Const(tuple(target)))), dtype="bool")
+            return out
+        if isinstance(target, SymFrame):
+            target = self._as_series(target)
+        if isinstance(target, SymSeries):
+            from ..tondir.ir import rename_term
+
+            other_frame = target.frame
+            # Freshen the inner relation's variables so they cannot capture
+            # (and silently correlate with) same-named outer variables.
+            inner_atom = RelAtom(other_frame.rel, [self.fresh_var(v) for v in other_frame.vars])
+            renames = dict(zip(other_frame.vars, inner_atom.vars))
+            inner_term = rename_term(target.term, renames)
+            inner = [
+                inner_atom,
+                FilterAtom(BinOp("=", inner_term, series.term)),
+            ]
+            exists = ExistsAtom(body=inner, negated=False)
+        else:
+            raise TranslationError("unsupported isin target")
+        out = series.with_term(Const(True), dtype="bool")
+        out.exists_atoms = [exists]  # type: ignore[attr-defined]
+        return out
+
+    # -- GroupBy -----------------------------------------------------------------
+    def _groupby_call(self, gb: SymGroupBy, method: str, args, kwargs):
+        if method in ("sum", "mean", "min", "max", "count", "nunique", "first"):
+            items = [(c.name, c.name, method) for c in gb.frame.cols if c.name not in gb.keys]
+            return self._emit_groupby(gb, items)
+        if method == "size":
+            return self._emit_groupby(gb, [("size", None, "size")])
+        if method in ("agg", "aggregate"):
+            items: list[tuple[str, str | None, str]] = []
+            if args:
+                spec = self.eval_expr(args[0])
+                if isinstance(spec, dict):
+                    for src, func in spec.items():
+                        if isinstance(func, list):
+                            for f in func:
+                                items.append((f"{src}_{f}", src, f))
+                        else:
+                            items.append((src, src, func))
+                elif isinstance(spec, SymScalar):
+                    for c in gb.frame.cols:
+                        if c.name not in gb.keys:
+                            items.append((c.name, c.name, spec.value))
+                else:
+                    raise TranslationError("unsupported agg spec")
+            for out_name, kw in kwargs.items():
+                pair = self.eval_expr(kw)
+                if not isinstance(pair, list) or len(pair) != 2:
+                    raise TranslationError("named agg expects (column, func) tuples")
+                items.append((out_name, pair[0], pair[1]))
+            return self._emit_groupby(gb, items)
+        raise TranslationError(f"unsupported GroupBy method {method!r}")
+
+    def _series_groupby_call(self, sgb: SymSeriesGroupBy, method: str, args, kwargs):
+        if method in ("sum", "mean", "min", "max", "count", "nunique", "size"):
+            src = None if method == "size" else sgb.column
+            out = self._emit_groupby(sgb.groupby, [(sgb.column if src else "size", src, method)])
+            return out
+        if method in ("agg", "aggregate"):
+            spec = self.eval_expr(args[0])
+            if isinstance(spec, SymScalar):
+                return self._emit_groupby(sgb.groupby, [(sgb.column, sgb.column, spec.value)])
+            raise TranslationError("unsupported series agg spec")
+        raise TranslationError(f"unsupported SeriesGroupBy method {method!r}")
+
+    def _emit_groupby(self, gb: SymGroupBy, items: list[tuple[str, str | None, str]]) -> SymFrame:
+        frame = gb.frame
+        key_cols = [frame.col(k) for k in gb.keys]
+        rel = self.new_rel()
+        body: list = [frame.atom()]
+        out_cols: list[ColumnInfo] = [c.renamed(c.name) for c in key_cols]
+        out_vars = [c.var for c in key_cols]
+        for out_name, src, func in items:
+            func_ir = _AGG_FUNCS.get(func, func)
+            var = self._unique_var(out_name, frame.vars + out_vars)
+            if func_ir == "size":
+                agg = Agg("count", None)
+            elif func_ir == "count_distinct":
+                agg = Agg("count_distinct", Var(frame.col(src).var))
+            else:
+                agg = Agg(func_ir, Var(frame.col(src).var))
+            body.append(AssignAtom(var, agg))
+            out_vars.append(var)
+            dtype = "int" if func_ir in ("count", "count_distinct", "size") else (
+                "float" if func_ir == "avg" else (frame.col(src).dtype if src else "int")
+            )
+            out_cols.append(ColumnInfo(name=out_name, var=var, dtype=dtype))
+        if len(key_cols) == 1:
+            out_cols[0].unique = True
+        self.emit(Rule(Head(rel, out_vars, group=[c.var for c in key_cols]), body))
+        return SymFrame(rel=rel, cols=out_cols,
+                        index_cols=list(gb.keys) if gb.as_index else [])
+
+    # -- str accessor ---------------------------------------------------------
+    def _str_call(self, acc: SymStrAccessor, method: str, args, kwargs):
+        series = acc.series
+        if method in ("contains", "startswith", "endswith"):
+            pattern = self._const_value(args[0])
+            ext = {"contains": "contains", "startswith": "startswith", "endswith": "endswith"}[method]
+            return series.with_term(Ext(ext, (series.term, Const(pattern))), dtype="bool")
+        if method == "like":
+            pattern = self._const_value(args[0])
+            return series.with_term(BinOp("like", series.term, Const(pattern)), dtype="bool")
+        if method == "slice":
+            start = int(self._const_value(args[0])) if args else 0
+            stop = self._const_value(args[1]) if len(args) > 1 else None
+            length = (stop - start) if stop is not None else 10**6
+            return series.with_term(
+                Ext("substr", (series.term, Const(start + 1), Const(length))), dtype="str"
+            )
+        if method == "upper":
+            return series.with_term(Ext("upper", (series.term,)), dtype="str")
+        if method == "lower":
+            return series.with_term(Ext("lower", (series.term,)), dtype="str")
+        if method == "len":
+            return series.with_term(Ext("length", (series.term,)), dtype="int")
+        if method == "strftime":
+            fmt = self._const_value(args[0])
+            return series.with_term(Ext("strftime", (series.term, Const(fmt))), dtype="str")
+        raise TranslationError(f"unsupported .str method {method!r}")
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def _unique_var(self, base: str, used: list[str]) -> str:
+        var = sanitize(base)
+        if var not in used:
+            return var
+        return self.fresh_var(base)
+
+    def _finalize(self, result) -> str:
+        if isinstance(result, SymScalarRel):
+            return result.rel
+        if isinstance(result, SymSeries):
+            result = self._project_series_frame(result, result.name or "value")
+        if isinstance(result, SymFrame):
+            visible_cols = [c for c in result.cols if not c.name.startswith("__")]
+            has_hidden = len(visible_cols) != len(result.cols)
+            defining = self.rules[-1] if self.rules else None
+            if defining is not None and defining.head.rel == result.rel:
+                # Rename head vars to the pandas-visible column names.
+                mapping = {}
+                for c in visible_cols:
+                    out_name = sanitize(c.name)
+                    if out_name != c.var:
+                        mapping[c.var] = out_name
+                if mapping or has_hidden:
+                    # emit a projection instead of renaming in place (safe);
+                    # hidden ordering columns stay bound in the body but are
+                    # not projected.
+                    rel = self.new_rel()
+                    body: list = [result.atom()]
+                    head_vars = []
+                    for c in visible_cols:
+                        out_name = self._unique_var(c.name, head_vars)
+                        if out_name != c.var:
+                            body.append(AssignAtom(out_name, Var(c.var)))
+                        head_vars.append(out_name)
+                    sort = defining.head.sort
+                    if sort is not None:
+                        defining.head.sort = None
+                        sort = SortSpec(
+                            keys=[(mapping.get(v, v), asc) for v, asc in sort.keys],
+                            limit=sort.limit,
+                        )
+                    elif result.ordering:
+                        sort = SortSpec(
+                            keys=[(mapping.get(v, v), asc) for v, asc in result.ordering],
+                        )
+                    self.emit(Rule(Head(rel, head_vars, sort=sort), body))
+                    return rel
+                if defining.head.sort is None and result.ordering:
+                    # Re-establish upstream row ordering in the final select.
+                    defining.head.sort = SortSpec(keys=list(result.ordering))
+                return result.rel
+            # Result defined earlier (or a base table): emit a copy rule,
+            # replicating any sort on its defining rule.
+            rel = self.new_rel()
+            sort = None
+            if defining is not None:
+                src_rule = next((r for r in self.rules if r.head.rel == result.rel), None)
+                if src_rule is not None and src_rule.head.sort is not None:
+                    sort = SortSpec(keys=list(src_rule.head.sort.keys),
+                                    limit=src_rule.head.sort.limit)
+            if sort is None and result.ordering:
+                sort = SortSpec(keys=list(result.ordering))
+            body = [result.atom()]
+            head_vars: list[str] = []
+            extra_assigns: list = []
+            for c in visible_cols:
+                out_name = self._unique_var(c.name, head_vars)
+                if out_name != c.var:
+                    extra_assigns.append(AssignAtom(out_name, Var(c.var)))
+                head_vars.append(out_name)
+            if sort is not None:
+                rename = dict((c.var, h) for c, h in zip(visible_cols, head_vars))
+                sort = SortSpec(
+                    keys=[(rename.get(v, v), asc) for v, asc in sort.keys],
+                    limit=sort.limit,
+                )
+            self.emit(Rule(Head(rel, head_vars, sort=sort), body + extra_assigns))
+            return rel
+        if isinstance(result, SymScalar):
+            rel = self.new_rel()
+            self.emit(Rule(Head(rel, ["value"]), [AssignAtom("value", Const(result.value))]))
+            return rel
+        raise TranslationError(f"cannot return {type(result).__name__} from a @pytond function")
+
+
+def _py_dtype(value) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, np.datetime64):
+        return "date"
+    return "unknown"
+
+
+def _fold_py(op: str, a, b):
+    import operator
+
+    return {"+": operator.add, "-": operator.sub, "*": operator.mul,
+            "/": operator.truediv, "%": operator.mod}[op](a, b)
+
+
+def _is_true(term: Term) -> bool:
+    return isinstance(term, Const) and term.value is True

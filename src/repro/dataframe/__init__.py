@@ -1,0 +1,24 @@
+"""Pandas-substitute DataFrame library (substrate #1 of the reproduction).
+
+Provides the eager, single-threaded "Python" baseline of the paper's
+benchmarks and the surface API that ``@pytond`` functions are written
+against.
+"""
+
+from .datetimes import to_datetime
+from .frame import DataFrame, concat
+from .index import Index, MultiIndex, RangeIndex
+from .io import read_csv, to_csv
+from .series import Series
+
+__all__ = [
+    "DataFrame",
+    "Series",
+    "Index",
+    "MultiIndex",
+    "RangeIndex",
+    "concat",
+    "read_csv",
+    "to_csv",
+    "to_datetime",
+]

@@ -1,0 +1,111 @@
+"""Shared helpers for the DataFrame library: dtype and null handling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "is_string_array",
+    "is_datetime_array",
+    "isna_array",
+    "coerce_array",
+    "take_with_nulls",
+    "combine_dtypes",
+]
+
+_MISSING = None
+
+
+def coerce_array(values) -> np.ndarray:
+    """Convert arbitrary python values into a canonical numpy column.
+
+    Strings become ``object`` arrays, dates stay ``datetime64[D]``, bools /
+    ints / floats keep their natural numpy dtype.
+    """
+    if isinstance(values, np.ndarray):
+        arr = values
+    elif np.isscalar(values) or values is None:
+        arr = np.asarray(values if values is not None else np.nan)
+    else:
+        values = list(values) if not isinstance(values, (list, tuple)) else values
+        arr = np.asarray(values)
+    if arr.dtype.kind == "U":
+        arr = arr.astype(object)
+    if arr.dtype.kind == "M":
+        arr = arr.astype("datetime64[D]")
+    if arr.dtype == object and len(arr):
+        # Promote homogeneous numeric object arrays to numeric dtype.
+        sample = next((v for v in arr if v is not None), None)
+        if isinstance(sample, bool):
+            if all(v is None or isinstance(v, bool) for v in arr):
+                if not any(v is None for v in arr):
+                    arr = arr.astype(bool)
+        elif isinstance(sample, (int, float, np.integer, np.floating)):
+            if all(v is None or isinstance(v, (int, float, np.integer, np.floating)) for v in arr):
+                if any(v is None for v in arr):
+                    arr = np.array([np.nan if v is None else float(v) for v in arr], dtype=np.float64)
+                elif all(isinstance(v, (int, np.integer)) for v in arr):
+                    arr = arr.astype(np.int64)
+                else:
+                    arr = arr.astype(np.float64)
+    return arr
+
+
+def is_string_array(arr: np.ndarray) -> bool:
+    return arr.dtype == object
+
+
+def is_datetime_array(arr: np.ndarray) -> bool:
+    return arr.dtype.kind == "M"
+
+
+def isna_array(arr: np.ndarray) -> np.ndarray:
+    """Element-wise missingness mask for any canonical column array."""
+    if arr.dtype.kind == "f":
+        return np.isnan(arr)
+    if arr.dtype.kind == "M":
+        return np.isnat(arr)
+    if arr.dtype == object:
+        return np.fromiter(
+            (v is None or (isinstance(v, float) and v != v) for v in arr),
+            dtype=bool, count=len(arr),
+        )
+    return np.zeros(len(arr), dtype=bool)
+
+
+def take_with_nulls(arr: np.ndarray, positions: np.ndarray, missing: np.ndarray) -> np.ndarray:
+    """Gather *positions* from *arr*, writing nulls where *missing* is true.
+
+    Used by outer merges: integer columns are promoted to float so that NaN
+    can represent the unmatched side, matching Pandas behaviour.
+    """
+    if not missing.any():
+        return arr[positions]
+    if len(arr) == 0:
+        # Every row is padding: build an all-null column of the right type.
+        if arr.dtype == object:
+            return np.full(len(positions), None, dtype=object)
+        if arr.dtype.kind == "M":
+            return np.full(len(positions), np.datetime64("NaT"), dtype="datetime64[D]")
+        return np.full(len(positions), np.nan)
+    safe = np.where(missing, 0, positions)
+    out = arr[safe]
+    if out.dtype.kind in ("i", "u", "b"):
+        out = out.astype(np.float64)
+    if out.dtype.kind == "f":
+        out[missing] = np.nan
+    elif out.dtype.kind == "M":
+        out[missing] = np.datetime64("NaT")
+    else:
+        out = out.astype(object)
+        out[missing] = None
+    return out
+
+
+def combine_dtypes(a: np.ndarray, b: np.ndarray) -> np.dtype:
+    """Result dtype when concatenating two column arrays."""
+    if a.dtype == b.dtype:
+        return a.dtype
+    if a.dtype == object or b.dtype == object:
+        return np.dtype(object)
+    return np.promote_types(a.dtype, b.dtype)

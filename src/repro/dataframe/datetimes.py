@@ -1,0 +1,68 @@
+"""The ``Series.dt`` accessor: vectorized calendar field extraction."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .series import Series
+
+__all__ = ["DatetimeAccessor", "to_datetime"]
+
+
+def to_datetime(values) -> np.ndarray:
+    """Parse ISO date strings / date objects into a datetime64[D] array."""
+    arr = np.asarray(values)
+    if arr.dtype.kind == "M":
+        return arr.astype("datetime64[D]")
+    return np.array([np.datetime64(v, "D") if v is not None else np.datetime64("NaT") for v in arr], dtype="datetime64[D]")
+
+
+class DatetimeAccessor:
+    """Implements ``series.dt.<field>`` for datetime64 Series."""
+
+    def __init__(self, series: "Series"):
+        self._series = series
+
+    def _wrap(self, values: np.ndarray) -> "Series":
+        from .series import Series
+
+        return Series(values, index=self._series.index, name=self._series.name)
+
+    def _days(self) -> np.ndarray:
+        return self._series.values.astype("datetime64[D]")
+
+    @property
+    def year(self) -> "Series":
+        years = self._days().astype("datetime64[Y]").astype(np.int64) + 1970
+        return self._wrap(years)
+
+    @property
+    def month(self) -> "Series":
+        months = self._days().astype("datetime64[M]").astype(np.int64)
+        return self._wrap(months % 12 + 1)
+
+    @property
+    def day(self) -> "Series":
+        days = self._days()
+        month_start = days.astype("datetime64[M]").astype("datetime64[D]")
+        return self._wrap((days - month_start).astype(np.int64) + 1)
+
+    @property
+    def dayofweek(self) -> "Series":
+        # 1970-01-01 was a Thursday (weekday 3).
+        epoch_days = self._days().astype(np.int64)
+        return self._wrap((epoch_days + 3) % 7)
+
+    @property
+    def quarter(self) -> "Series":
+        months = self._days().astype("datetime64[M]").astype(np.int64) % 12
+        return self._wrap(months // 3 + 1)
+
+    def strftime(self, fmt: str) -> "Series":
+        out = np.empty(len(self._series), dtype=object)
+        for i, v in enumerate(self._days()):
+            out[i] = None if np.isnat(v) else v.astype("datetime64[D]").item().strftime(fmt)
+        return self._wrap(out)

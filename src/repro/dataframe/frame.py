@@ -1,0 +1,472 @@
+"""The DataFrame class: a columnar, eagerly-evaluated 2-D table.
+
+Implements the Pandas API subset listed in Table II of the paper plus the
+operations required by the TPC-H queries and the hybrid data-science
+workloads of Section V.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from ..errors import DataFrameError
+from ._common import coerce_array, combine_dtypes, isna_array
+from .groupby import GroupBy
+from .index import Index, MultiIndex, RangeIndex, ensure_index
+from .merge import merge as _merge
+from .pivot import pivot_table as _pivot_table
+from .series import Series
+
+__all__ = ["DataFrame", "concat"]
+
+
+class DataFrame:
+    """A dict of named, equal-length numpy columns plus a row index."""
+
+    def __init__(self, data: Mapping | None = None, index=None, columns: Iterable[str] | None = None):
+        self._data: dict[str, np.ndarray] = {}
+        n: int | None = None
+        if data is None:
+            data = {}
+        if isinstance(data, DataFrame):
+            self._data = {k: v.copy() for k, v in data._data.items()}
+            self._index = data._index
+            return
+        if isinstance(data, np.ndarray):
+            if data.ndim != 2:
+                raise DataFrameError("DataFrame from ndarray requires a 2-D array")
+            names = list(columns) if columns is not None else [f"c{i}" for i in range(data.shape[1])]
+            data = {name: data[:, i] for i, name in enumerate(names)}
+            columns = None
+        for name, col in data.items():
+            if isinstance(col, Series):
+                col = col.values
+            arr = coerce_array(col)
+            if arr.ndim == 0:
+                arr = arr.reshape(1)
+            if n is None:
+                n = len(arr)
+            elif len(arr) == 1 and n > 1:
+                arr = np.repeat(arr, n)
+            elif len(arr) != n:
+                raise DataFrameError(f"column {name!r} length {len(arr)} != {n}")
+            self._data[str(name)] = arr
+        if columns is not None:
+            ordered = {}
+            for name in columns:
+                ordered[str(name)] = self._data.get(str(name), np.empty(n or 0, dtype=object))
+            self._data = ordered
+        self._index = ensure_index(index, n if n is not None else 0)
+        if len(self._index) != (n if n is not None else 0):
+            raise DataFrameError("index length does not match data length")
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> list[str]:
+        return list(self._data.keys())
+
+    @property
+    def index(self) -> Index:
+        return self._index
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self._index), len(self._data))
+
+    @property
+    def empty(self) -> bool:
+        return len(self._index) == 0 or not self._data
+
+    @property
+    def dtypes(self) -> dict[str, np.dtype]:
+        return {k: v.dtype for k, v in self._data.items()}
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, col: str) -> bool:
+        return col in self._data
+
+    def __repr__(self) -> str:
+        parts = []
+        for name, col in list(self._data.items())[:12]:
+            parts.append(f"{name}={col[:4].tolist()!r}...")
+        return f"DataFrame(n={len(self)}, {', '.join(parts)})"
+
+    def copy(self) -> "DataFrame":
+        out = DataFrame.__new__(DataFrame)
+        out._data = {k: v.copy() for k, v in self._data.items()}
+        out._index = self._index
+        return out
+
+    def _column(self, name: str) -> np.ndarray:
+        if name not in self._data:
+            raise KeyError(name)
+        return self._data[name]
+
+    # ------------------------------------------------------------------
+    # Selection / assignment
+    # ------------------------------------------------------------------
+    def __getitem__(self, key):
+        if isinstance(key, str):
+            return Series(self._column(key), index=self._index, name=key)
+        if isinstance(key, Series):
+            key = key.values
+        if isinstance(key, np.ndarray) and key.dtype == bool:
+            if len(key) != len(self):
+                raise DataFrameError("boolean mask length mismatch")
+            return self._take_mask(key)
+        if isinstance(key, (list, tuple)):
+            missing = [k for k in key if k not in self._data]
+            if missing:
+                raise KeyError(missing[0])
+            out = DataFrame.__new__(DataFrame)
+            out._data = {k: self._data[k] for k in key}
+            out._index = self._index
+            return out
+        raise DataFrameError(f"unsupported DataFrame key: {key!r}")
+
+    def __getattr__(self, name: str):
+        data = object.__getattribute__(self, "_data")
+        if name in data:
+            return Series(data[name], index=object.__getattribute__(self, "_index"), name=name)
+        raise AttributeError(name)
+
+    def __setitem__(self, key: str, value):
+        if isinstance(value, Series):
+            value = value.values
+        arr = coerce_array(value)
+        if arr.ndim == 0:
+            arr = np.repeat(arr.reshape(1), max(len(self), 1))
+        if not self._data:
+            self._index = RangeIndex(len(arr))
+        elif len(arr) == 1 and len(self) > 1:
+            arr = np.repeat(arr, len(self))
+        elif len(arr) != len(self):
+            raise DataFrameError(f"assigned column length {len(arr)} != {len(self)}")
+        self._data[str(key)] = arr
+
+    def _take_mask(self, mask: np.ndarray) -> "DataFrame":
+        out = DataFrame.__new__(DataFrame)
+        out._data = {k: v[mask] for k, v in self._data.items()}
+        out._index = self._index[mask]
+        return out
+
+    def take(self, positions: np.ndarray) -> "DataFrame":
+        positions = np.asarray(positions)
+        out = DataFrame.__new__(DataFrame)
+        out._data = {k: v[positions] for k, v in self._data.items()}
+        out._index = self._index.take(positions)
+        return out
+
+    @property
+    def loc(self) -> "_Loc":
+        return _Loc(self)
+
+    @property
+    def iloc(self) -> "_ILoc":
+        return _ILoc(self)
+
+    def head(self, n: int = 5) -> "DataFrame":
+        return self.take(np.arange(min(n, len(self))))
+
+    def tail(self, n: int = 5) -> "DataFrame":
+        start = max(len(self) - n, 0)
+        return self.take(np.arange(start, len(self)))
+
+    # ------------------------------------------------------------------
+    # Column-level mutation helpers
+    # ------------------------------------------------------------------
+    def drop(self, labels=None, axis: int = 0, columns=None) -> "DataFrame":
+        if columns is None:
+            if axis != 1:
+                raise DataFrameError("drop only supports axis=1 / columns=")
+            columns = labels
+        if isinstance(columns, str):
+            columns = [columns]
+        out = DataFrame.__new__(DataFrame)
+        out._data = {k: v for k, v in self._data.items() if k not in set(columns)}
+        out._index = self._index
+        return out
+
+    def rename(self, columns: Mapping[str, str]) -> "DataFrame":
+        out = DataFrame.__new__(DataFrame)
+        out._data = {columns.get(k, k): v for k, v in self._data.items()}
+        out._index = self._index
+        return out
+
+    def assign(self, **kwargs) -> "DataFrame":
+        out = self.copy()
+        for name, value in kwargs.items():
+            if callable(value):
+                value = value(out)
+            out[name] = value
+        return out
+
+    def astype(self, mapping) -> "DataFrame":
+        out = self.copy()
+        if not isinstance(mapping, Mapping):
+            mapping = {c: mapping for c in out.columns}
+        for col, dtype in mapping.items():
+            out[col] = Series(out._data[col]).astype(dtype).values
+        return out
+
+    def fillna(self, value) -> "DataFrame":
+        out = self.copy()
+        for col in out.columns:
+            out[col] = Series(out._data[col]).fillna(value).values
+        return out
+
+    def dropna(self, subset: list[str] | None = None) -> "DataFrame":
+        cols = subset if subset is not None else self.columns
+        mask = np.ones(len(self), dtype=bool)
+        for col in cols:
+            mask &= ~isna_array(self._data[col])
+        return self._take_mask(mask)
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+    def merge(self, right: "DataFrame", how: str = "inner", on=None, left_on=None,
+              right_on=None, suffixes: tuple[str, str] = ("_x", "_y")) -> "DataFrame":
+        return _merge(self, right, how=how, on=on, left_on=left_on, right_on=right_on, suffixes=suffixes)
+
+    def groupby(self, by, as_index: bool = True, sort: bool = True) -> GroupBy:
+        keys = [by] if isinstance(by, str) else list(by)
+        return GroupBy(self, keys, as_index=as_index, sort=sort)
+
+    def pivot_table(self, index: str, columns: str, values: str, aggfunc: str = "sum", fill_value=0) -> "DataFrame":
+        return _pivot_table(self, index=index, columns=columns, values=values, aggfunc=aggfunc, fill_value=fill_value)
+
+    def sort_values(self, by, ascending=True) -> "DataFrame":
+        keys = [by] if isinstance(by, str) else list(by)
+        orders = [ascending] * len(keys) if isinstance(ascending, bool) else list(ascending)
+        if len(orders) != len(keys):
+            raise DataFrameError("ascending list length must match sort keys")
+        order = np.arange(len(self))
+        # Stable sort from last key to first implements lexicographic order.
+        for key, asc in reversed(list(zip(keys, orders))):
+            col = self._data[key][order]
+            if col.dtype == object:
+                sub = np.array(
+                    sorted(range(len(col)), key=lambda i: (col[i] is None, col[i])),
+                    dtype=np.int64,
+                )
+            else:
+                sub = np.argsort(col, kind="stable")
+            if not asc:
+                sub = _reverse_stable(col, sub)
+            order = order[sub]
+        return self.take(order)
+
+    def drop_duplicates(self, subset=None) -> "DataFrame":
+        cols = self.columns if subset is None else ([subset] if isinstance(subset, str) else list(subset))
+        seen: set = set()
+        keep: list[int] = []
+        arrays = [self._data[c] for c in cols]
+        for i in range(len(self)):
+            key = tuple(a[i] for a in arrays)
+            if key not in seen:
+                seen.add(key)
+                keep.append(i)
+        return self.take(np.asarray(keep, dtype=np.int64))
+
+    def nlargest(self, n: int, columns) -> "DataFrame":
+        return self.sort_values(columns, ascending=False).head(n)
+
+    def nsmallest(self, n: int, columns) -> "DataFrame":
+        return self.sort_values(columns, ascending=True).head(n)
+
+    def isin(self, other) -> "DataFrame":
+        out = DataFrame.__new__(DataFrame)
+        out._data = {}
+        for col in self.columns:
+            values = other[col] if (hasattr(other, "columns") and col in other.columns) else other
+            out._data[col] = self[col].isin(values).values
+        out._index = self._index
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions / iteration
+    # ------------------------------------------------------------------
+    def aggregate(self, func) -> Series:
+        if isinstance(func, dict):
+            names, vals = [], []
+            for col, f in func.items():
+                names.append(col)
+                vals.append(self[col].aggregate(f))
+            return Series(np.array(vals, dtype=object), index=Index(np.array(names, dtype=object)), name=None)
+        names = self.columns
+        vals = [self[c].aggregate(func) for c in names]
+        return Series(np.array(vals, dtype=object), index=Index(np.array(names, dtype=object)), name=None)
+
+    agg = aggregate
+
+    def sum(self) -> Series:
+        return self.aggregate("sum")
+
+    def mean(self) -> Series:
+        return self.aggregate("mean")
+
+    def count(self) -> Series:
+        return self.aggregate("count")
+
+    def apply(self, func: Callable, axis: int = 0):
+        if axis == 1:
+            rows = [_Row(self, i) for i in range(len(self))]
+            out = np.array([func(r) for r in rows], dtype=object)
+            return Series(coerce_array(out), index=self._index)
+        return self.aggregate(func)
+
+    def itertuples(self, index: bool = True):
+        cols = self.columns
+        arrays = [self._data[c] for c in cols]
+        for i in range(len(self)):
+            values = tuple(a[i] for a in arrays)
+            yield (self._index.values[i],) + values if index else values
+
+    def iterrows(self):
+        for i in range(len(self)):
+            yield self._index.values[i], _Row(self, i)
+
+    # ------------------------------------------------------------------
+    # Index handling / conversion
+    # ------------------------------------------------------------------
+    def reset_index(self, drop: bool = False) -> "DataFrame":
+        out = DataFrame.__new__(DataFrame)
+        if drop or isinstance(self._index, RangeIndex):
+            out._data = dict(self._data)
+        else:
+            out._data = {}
+            for name, col in self._index.to_frame_columns().items():
+                out._data[name] = col
+            out._data.update(self._data)
+        out._index = RangeIndex(len(self))
+        return out
+
+    def set_index(self, keys) -> "DataFrame":
+        names = [keys] if isinstance(keys, str) else list(keys)
+        out = DataFrame.__new__(DataFrame)
+        out._data = {k: v for k, v in self._data.items() if k not in set(names)}
+        if len(names) == 1:
+            out._index = Index(self._data[names[0]], name=names[0])
+        else:
+            out._index = MultiIndex([self._data[n] for n in names], names)
+        return out
+
+    def to_numpy(self, dtype=None) -> np.ndarray:
+        if not self._data:
+            return np.empty((0, 0))
+        cols = list(self._data.values())
+        target = dtype
+        if target is None:
+            target = cols[0].dtype
+            for c in cols[1:]:
+                target = combine_dtypes(np.empty(0, dtype=target), c)
+        return np.column_stack([c.astype(target) for c in cols])
+
+    values = property(to_numpy)
+
+    def to_dict(self, orient: str = "list") -> dict:
+        if orient == "list":
+            return {k: v.tolist() for k, v in self._data.items()}
+        if orient == "records":
+            cols = self.columns
+            return [dict(zip(cols, row)) for row in zip(*self._data.values())]
+        raise DataFrameError(f"unsupported orient {orient!r}")
+
+    def equals(self, other: "DataFrame") -> bool:
+        if self.columns != other.columns or len(self) != len(other):
+            return False
+        for col in self.columns:
+            a, b = self._data[col], other._data[col]
+            if a.dtype.kind == "f" and b.dtype.kind == "f":
+                if not np.allclose(a, b, equal_nan=True):
+                    return False
+            elif not np.array_equal(a, b):
+                return False
+        return True
+
+
+class _Row:
+    """Light row view used by ``apply(axis=1)`` and ``iterrows``."""
+
+    def __init__(self, frame: DataFrame, i: int):
+        self._frame = frame
+        self._i = i
+
+    def __getitem__(self, col: str):
+        return self._frame._data[col][self._i]
+
+    def __getattr__(self, col: str):
+        try:
+            return self._frame._data[col][self._i]
+        except KeyError:
+            raise AttributeError(col) from None
+
+    def keys(self):
+        return self._frame.columns
+
+
+class _Loc:
+    def __init__(self, frame: DataFrame):
+        self._frame = frame
+
+    def __getitem__(self, key):
+        if isinstance(key, tuple):
+            rows, cols = key
+            sub = self._frame[rows] if not isinstance(rows, slice) else self._frame
+            if isinstance(cols, str):
+                return sub[cols]
+            return sub[list(cols)]
+        return self._frame[key]
+
+
+class _ILoc:
+    def __init__(self, frame: DataFrame):
+        self._frame = frame
+
+    def __getitem__(self, key):
+        if isinstance(key, (int, np.integer)):
+            return _Row(self._frame, int(key))
+        if isinstance(key, slice):
+            return self._frame.take(np.arange(len(self._frame))[key])
+        return self._frame.take(np.asarray(key))
+
+
+def _reverse_stable(col: np.ndarray, ascending_order: np.ndarray) -> np.ndarray:
+    """Descending stable order: reverse runs of equal keys keep stability."""
+    reversed_order = ascending_order[::-1]
+    sorted_vals = col[reversed_order]
+    # Restore stability within equal-key runs (ties must keep original order).
+    out = reversed_order.copy()
+    start = 0
+    n = len(sorted_vals)
+    for i in range(1, n + 1):
+        if i == n or sorted_vals[i] != sorted_vals[i - 1]:
+            if i - start > 1:
+                out[start:i] = out[start:i][::-1]
+            start = i
+    return out
+
+
+def concat(frames: list[DataFrame], ignore_index: bool = True) -> DataFrame:
+    """Row-wise concatenation of DataFrames with identical columns."""
+    if not frames:
+        return DataFrame({})
+    cols = frames[0].columns
+    for f in frames[1:]:
+        if f.columns != cols:
+            raise DataFrameError("concat requires identical column sets")
+    data = {}
+    for c in cols:
+        arrays = [f._data[c] for f in frames]
+        target = arrays[0].dtype
+        for a in arrays[1:]:
+            target = combine_dtypes(np.empty(0, dtype=target), a)
+        data[c] = np.concatenate([a.astype(target) for a in arrays])
+    return DataFrame(data)

@@ -1,0 +1,346 @@
+"""GroupBy machinery: factorize group keys, reduce columns per group."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..errors import DataFrameError
+from ._common import isna_array
+from .index import Index, MultiIndex
+from .series import Series
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .frame import DataFrame
+
+__all__ = ["GroupBy", "SeriesGroupBy", "factorize_keys", "group_reduce"]
+
+
+def factorize_keys(arrays: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndarray], int]:
+    """Map rows of *arrays* to dense group ids (first-appearance order).
+
+    Returns ``(group_ids, unique_key_arrays, n_groups)``.
+    """
+    n = len(arrays[0]) if arrays else 0
+    ids = np.empty(n, dtype=np.int64)
+    seen: dict[tuple, int] = {}
+    uniques: list[tuple] = []
+    for i in range(n):
+        key = tuple(a[i] for a in arrays)
+        gid = seen.get(key)
+        if gid is None:
+            gid = len(uniques)
+            seen[key] = gid
+            uniques.append(key)
+        ids[i] = gid
+    key_arrays = []
+    for level in range(len(arrays)):
+        vals = [u[level] for u in uniques]
+        arr = np.empty(len(vals), dtype=arrays[level].dtype if arrays[level].dtype != object else object)
+        for i, v in enumerate(vals):
+            arr[i] = v
+        key_arrays.append(arr)
+    return ids, key_arrays, len(uniques)
+
+
+def group_reduce(values: np.ndarray, gids: np.ndarray, ngroups: int, func: str) -> np.ndarray:
+    """Reduce *values* per group id with aggregate *func* (null-skipping)."""
+    valid = ~isna_array(values)
+    if func == "size":
+        return np.bincount(gids, minlength=ngroups).astype(np.int64)
+    if func == "count":
+        return np.bincount(gids[valid], minlength=ngroups).astype(np.int64)
+
+    if values.dtype == object or values.dtype.kind == "M":
+        return _group_reduce_python(values, gids, ngroups, func, valid)
+
+    vals = values.astype(np.float64) if func in ("mean", "std", "var") else values
+    if func == "sum":
+        # bincount-with-weights is an order of magnitude faster than
+        # np.add.at and releases the GIL.
+        out = np.bincount(gids[valid], weights=vals[valid].astype(np.float64),
+                          minlength=ngroups)
+        if vals.dtype.kind in ("i", "u", "b") and np.abs(out).max(initial=0) < 2**52:
+            return out.astype(np.int64)
+        return out
+    if func == "mean":
+        sums = np.bincount(gids[valid], weights=vals[valid], minlength=ngroups)
+        counts = np.bincount(gids[valid], minlength=ngroups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return sums / counts
+    if func in ("min", "max"):
+        fill = np.inf if func == "min" else -np.inf
+        v = vals[valid].astype(np.float64)
+        g = gids[valid]
+        out = np.full(ngroups, fill, dtype=np.float64)
+        if len(g):
+            order = np.argsort(g, kind="stable")
+            sorted_g = g[order]
+            boundaries = np.empty(len(sorted_g), dtype=bool)
+            boundaries[0] = True
+            boundaries[1:] = sorted_g[1:] != sorted_g[:-1]
+            starts = np.nonzero(boundaries)[0]
+            ufunc = np.minimum if func == "min" else np.maximum
+            reduced = ufunc.reduceat(v[order], starts)
+            out[sorted_g[starts]] = reduced
+        if values.dtype.kind in ("i", "u") and np.isfinite(out).all():
+            return out.astype(values.dtype)
+        out[out == fill] = np.nan  # empty groups aggregate to NULL
+        return out
+    if func in ("std", "var"):
+        sums = np.bincount(gids[valid], weights=vals[valid], minlength=ngroups)
+        sq = np.bincount(gids[valid], weights=vals[valid] ** 2, minlength=ngroups)
+        counts = np.bincount(gids[valid], minlength=ngroups).astype(np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            var = (sq - sums**2 / counts) / (counts - 1)
+        var = np.where(var < 0, 0.0, var)
+        return np.sqrt(var) if func == "std" else var
+    if func == "nunique":
+        return _group_reduce_python(values, gids, ngroups, "nunique", valid)
+    if func == "first":
+        return _group_reduce_python(values, gids, ngroups, "first", valid)
+    raise DataFrameError(f"unsupported aggregate: {func!r}")
+
+
+def _group_reduce_python(values: np.ndarray, gids: np.ndarray, ngroups: int, func: str, valid: np.ndarray) -> np.ndarray:
+    buckets: list[list] = [[] for _ in range(ngroups)]
+    for i in range(len(values)):
+        if valid[i]:
+            buckets[gids[i]].append(values[i])
+    out = np.empty(ngroups, dtype=object)
+    for g, bucket in enumerate(buckets):
+        if not bucket:
+            out[g] = None
+        elif func == "min":
+            out[g] = min(bucket)
+        elif func == "max":
+            out[g] = max(bucket)
+        elif func == "sum":
+            out[g] = sum(bucket)
+        elif func == "mean":
+            out[g] = sum(bucket) / len(bucket)
+        elif func == "nunique":
+            out[g] = len(set(bucket))
+        elif func == "first":
+            out[g] = bucket[0]
+        else:
+            raise DataFrameError(f"unsupported aggregate {func!r} for object column")
+    if func == "nunique":
+        return np.array([0 if v is None else v for v in out], dtype=np.int64)
+    if values.dtype.kind == "M" and all(v is not None for v in out):
+        return np.array(out.tolist(), dtype="datetime64[D]")
+    return out
+
+
+_AGG_ALIASES = {"nunique": "nunique", "size": "size", "count": "count", "std": "std", "var": "var",
+                "sum": "sum", "mean": "mean", "min": "min", "max": "max", "first": "first", "avg": "mean"}
+
+
+def _normalize_func(func) -> str:
+    if isinstance(func, str):
+        if func not in _AGG_ALIASES:
+            raise DataFrameError(f"unknown aggregate function {func!r}")
+        return _AGG_ALIASES[func]
+    if callable(func):
+        name = getattr(func, "__name__", "")
+        if name in ("sum", "amin", "min", "amax", "max", "mean", "len"):
+            return {"amin": "min", "amax": "max", "len": "size"}.get(name, name)
+    raise DataFrameError(f"unsupported aggregate function {func!r}")
+
+
+class GroupBy:
+    """Result of ``DataFrame.groupby(keys)``."""
+
+    def __init__(self, frame: "DataFrame", keys: list[str], as_index: bool = True, sort: bool = True):
+        for k in keys:
+            if k not in frame.columns:
+                raise DataFrameError(f"groupby key {k!r} not found")
+        self._frame = frame
+        self._keys = keys
+        self._as_index = as_index
+        self._sort = sort
+        arrays = [frame[k].values for k in keys]
+        self._gids, self._key_arrays, self._ngroups = factorize_keys(arrays)
+
+    # -- selection -----------------------------------------------------------
+    def __getitem__(self, item):
+        if isinstance(item, str):
+            return SeriesGroupBy(self, item)
+        return GroupBy._with_columns(self, list(item))
+
+    @staticmethod
+    def _with_columns(gb: "GroupBy", cols: list[str]) -> "GroupBy":
+        sub = gb._frame[cols + [k for k in gb._keys if k not in cols]]
+        out = GroupBy.__new__(GroupBy)
+        out._frame = sub
+        out._keys = gb._keys
+        out._as_index = gb._as_index
+        out._sort = gb._sort
+        out._gids = gb._gids
+        out._key_arrays = gb._key_arrays
+        out._ngroups = gb._ngroups
+        return out
+
+    # -- core aggregation ------------------------------------------------------
+    def _result_order(self) -> np.ndarray:
+        if not self._sort:
+            return np.arange(self._ngroups)
+        arrays = self._key_arrays
+        if any(a.dtype == object for a in arrays):
+            def sort_key(g):
+                return tuple((a[g] is None, a[g]) for a in arrays)
+
+            return np.array(sorted(range(self._ngroups), key=sort_key), dtype=np.int64)
+        return np.lexsort(tuple(reversed(arrays)))
+
+    def _build_frame(self, agg_cols: dict[str, np.ndarray]) -> "DataFrame":
+        from .frame import DataFrame
+
+        order = self._result_order()
+        keys = [a[order] for a in self._key_arrays]
+        data = {name: col[order] for name, col in agg_cols.items()}
+        if self._as_index:
+            index = Index(keys[0], name=self._keys[0]) if len(keys) == 1 else MultiIndex(keys, self._keys)
+            return DataFrame(data, index=index)
+        out: dict[str, np.ndarray] = {k: arr for k, arr in zip(self._keys, keys)}
+        out.update(data)
+        return DataFrame(out)
+
+    def _value_columns(self) -> list[str]:
+        return [c for c in self._frame.columns if c not in self._keys]
+
+    def _agg_single(self, col: str, func: str) -> np.ndarray:
+        return group_reduce(self._frame[col].values, self._gids, self._ngroups, func)
+
+    def aggregate(self, spec=None, **named):
+        cols: dict[str, np.ndarray] = {}
+        if named:
+            for out_name, how in named.items():
+                if isinstance(how, tuple):
+                    src, func = how
+                else:
+                    raise DataFrameError("named aggregation expects (column, func) tuples")
+                cols[out_name] = self._agg_single(src, _normalize_func(func))
+            return self._build_frame(cols)
+        if isinstance(spec, dict):
+            for src, how in spec.items():
+                if isinstance(how, (list, tuple)):
+                    for f in how:
+                        func = _normalize_func(f)
+                        cols[f"{src}_{func}" if len(how) > 1 else src] = self._agg_single(src, func)
+                else:
+                    cols[src] = self._agg_single(src, _normalize_func(how))
+            return self._build_frame(cols)
+        if isinstance(spec, str) or callable(spec):
+            func = _normalize_func(spec)
+            for src in self._value_columns():
+                cols[src] = self._agg_single(src, func)
+            return self._build_frame(cols)
+        raise DataFrameError(f"unsupported aggregation spec: {spec!r}")
+
+    agg = aggregate
+
+    # -- shorthand reductions ----------------------------------------------------
+    def _all_columns(self, func: str) -> "DataFrame":
+        cols = {c: self._agg_single(c, func) for c in self._value_columns()}
+        return self._build_frame(cols)
+
+    def sum(self):
+        return self._all_columns("sum")
+
+    def mean(self):
+        return self._all_columns("mean")
+
+    def min(self):
+        return self._all_columns("min")
+
+    def max(self):
+        return self._all_columns("max")
+
+    def count(self):
+        return self._all_columns("count")
+
+    def nunique(self):
+        return self._all_columns("nunique")
+
+    def first(self):
+        return self._all_columns("first")
+
+    def size(self) -> Series:
+        order = self._result_order()
+        counts = np.bincount(self._gids, minlength=self._ngroups)[order]
+        keys = [a[order] for a in self._key_arrays]
+        index = Index(keys[0], name=self._keys[0]) if len(keys) == 1 else MultiIndex(keys, self._keys)
+        return Series(counts.astype(np.int64), index=index, name="size")
+
+    @property
+    def ngroups(self) -> int:
+        return self._ngroups
+
+
+class SeriesGroupBy:
+    """Result of ``df.groupby(keys)[column]``."""
+
+    def __init__(self, parent: GroupBy, column: str):
+        if column not in parent._frame.columns:
+            raise DataFrameError(f"column {column!r} not found")
+        self._parent = parent
+        self._column = column
+
+    def _reduce(self, func: str) -> Series:
+        parent = self._parent
+        vals = group_reduce(parent._frame[self._column].values, parent._gids, parent._ngroups, func)
+        order = parent._result_order()
+        keys = [a[order] for a in parent._key_arrays]
+        index = (
+            Index(keys[0], name=parent._keys[0])
+            if len(keys) == 1
+            else MultiIndex(keys, parent._keys)
+        )
+        result = Series(vals[order], index=index, name=self._column)
+        if parent._as_index:
+            return result
+        return result.reset_index()
+
+    def sum(self):
+        return self._reduce("sum")
+
+    def mean(self):
+        return self._reduce("mean")
+
+    def min(self):
+        return self._reduce("min")
+
+    def max(self):
+        return self._reduce("max")
+
+    def count(self):
+        return self._reduce("count")
+
+    def nunique(self):
+        return self._reduce("nunique")
+
+    def size(self):
+        return self._reduce("size")
+
+    def first(self):
+        return self._reduce("first")
+
+    def std(self):
+        return self._reduce("std")
+
+    def var(self):
+        return self._reduce("var")
+
+    def aggregate(self, func):
+        if isinstance(func, (list, tuple)):
+            from .frame import DataFrame
+
+            parts = {_normalize_func(f): self._reduce(_normalize_func(f)) for f in func}
+            first = next(iter(parts.values()))
+            data = {name: s.values for name, s in parts.items()}
+            return DataFrame(data, index=first.index)
+        return self._reduce(_normalize_func(func))
+
+    agg = aggregate

@@ -1,0 +1,148 @@
+"""Index objects for the Pandas-substitute DataFrame library.
+
+Only the index behaviour exercised by the paper's workloads is implemented:
+a default integer range index, a value index produced by ``groupby`` /
+``set_index``, and a multi-level index for multi-key group-bys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Index", "RangeIndex", "MultiIndex", "ensure_index"]
+
+
+class Index:
+    """An immutable 1-D labelling of DataFrame/Series rows."""
+
+    def __init__(self, values: Iterable, name: str | None = None):
+        self._values = np.asarray(values)
+        self.name = name
+
+    # -- basic protocol ----------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        return self._values
+
+    @property
+    def nlevels(self) -> int:
+        return 1
+
+    @property
+    def names(self) -> list[str | None]:
+        return [self.name]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __getitem__(self, item):
+        if isinstance(item, (int, np.integer)):
+            return self._values[item]
+        return Index(self._values[item], name=self.name)
+
+    def __eq__(self, other) -> bool:  # type: ignore[override]
+        if not isinstance(other, Index):
+            return NotImplemented
+        return (
+            self.nlevels == other.nlevels
+            and len(self) == len(other)
+            and bool(np.all(self._values == other._values))
+        )
+
+    def __hash__(self):  # Index is conceptually immutable
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Index({self._values.tolist()!r}, name={self.name!r})"
+
+    # -- helpers used by DataFrame/Series ----------------------------------
+    def take(self, positions: np.ndarray) -> "Index":
+        return Index(self._values[positions], name=self.name)
+
+    def to_frame_columns(self) -> dict[str, np.ndarray]:
+        """Columns created when this index is reset into a DataFrame."""
+        return {self.name if self.name is not None else "index": self._values}
+
+    def argsort(self, ascending: bool = True) -> np.ndarray:
+        order = np.argsort(self._values, kind="stable")
+        return order if ascending else order[::-1]
+
+
+class RangeIndex(Index):
+    """The default 0..n-1 positional index."""
+
+    def __init__(self, n: int):
+        super().__init__(np.arange(n, dtype=np.int64), name=None)
+        self._n = n
+
+    def take(self, positions: np.ndarray) -> Index:
+        return Index(self._values[positions], name=None)
+
+    def __repr__(self) -> str:
+        return f"RangeIndex({self._n})"
+
+    def to_frame_columns(self) -> dict[str, np.ndarray]:
+        return {"index": self._values}
+
+
+class MultiIndex(Index):
+    """A multi-level index produced by multi-key group-bys."""
+
+    def __init__(self, arrays: Sequence[np.ndarray], names: Sequence[str | None]):
+        arrays = [np.asarray(a) for a in arrays]
+        if not arrays:
+            raise ValueError("MultiIndex requires at least one level")
+        lengths = {len(a) for a in arrays}
+        if len(lengths) != 1:
+            raise ValueError("MultiIndex levels must have equal length")
+        self._arrays = list(arrays)
+        self._names = list(names)
+        # A tuple-per-row object array keeps __getitem__/values simple.
+        tuples = np.empty(len(arrays[0]), dtype=object)
+        for i in range(len(arrays[0])):
+            tuples[i] = tuple(a[i] for a in arrays)
+        super().__init__(tuples, name=None)
+
+    @property
+    def nlevels(self) -> int:
+        return len(self._arrays)
+
+    @property
+    def names(self) -> list[str | None]:
+        return list(self._names)
+
+    @property
+    def levels_arrays(self) -> list[np.ndarray]:
+        return list(self._arrays)
+
+    def take(self, positions: np.ndarray) -> "MultiIndex":
+        return MultiIndex([a[positions] for a in self._arrays], self._names)
+
+    def to_frame_columns(self) -> dict[str, np.ndarray]:
+        cols: dict[str, np.ndarray] = {}
+        for i, (arr, name) in enumerate(zip(self._arrays, self._names)):
+            cols[name if name is not None else f"level_{i}"] = arr
+        return cols
+
+    def argsort(self, ascending: bool = True) -> np.ndarray:
+        order = np.lexsort(tuple(reversed(self._arrays)))
+        return order if ascending else order[::-1]
+
+    def __repr__(self) -> str:
+        return f"MultiIndex(names={self._names!r}, n={len(self)})"
+
+
+def ensure_index(obj, n: int | None = None) -> Index:
+    """Coerce *obj* into an Index; ``None`` becomes a RangeIndex of *n*."""
+    if obj is None:
+        if n is None:
+            raise ValueError("need a length to build a default index")
+        return RangeIndex(n)
+    if isinstance(obj, Index):
+        return obj
+    return Index(np.asarray(obj))

@@ -1,0 +1,67 @@
+"""CSV input/output for the DataFrame library."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .frame import DataFrame
+
+__all__ = ["read_csv", "to_csv"]
+
+
+def _infer_column(values: list[str]):
+    """Infer int / float / date / string dtype from raw CSV strings."""
+    def non_empty():
+        return (v for v in values if v != "")
+
+    try:
+        out = np.array([int(v) if v != "" else 0 for v in values], dtype=np.int64)
+        if any(v == "" for v in values):
+            return np.array([float(v) if v != "" else np.nan for v in values], dtype=np.float64)
+        return out
+    except ValueError:
+        pass
+    try:
+        return np.array([float(v) if v != "" else np.nan for v in values], dtype=np.float64)
+    except ValueError:
+        pass
+    sample = next(non_empty(), None)
+    if sample is not None and len(sample) == 10 and sample[4] == "-" and sample[7] == "-":
+        try:
+            return np.array(
+                [np.datetime64(v, "D") if v != "" else np.datetime64("NaT") for v in values],
+                dtype="datetime64[D]",
+            )
+        except ValueError:
+            pass
+    return np.array([v if v != "" else None for v in values], dtype=object)
+
+
+def read_csv(path: str | Path, sep: str = ",", names: list[str] | None = None) -> DataFrame:
+    """Read a delimited text file into a DataFrame with dtype inference."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh, delimiter=sep)
+        rows = list(reader)
+    if not rows:
+        return DataFrame({})
+    if names is None:
+        header, rows = rows[0], rows[1:]
+    else:
+        header = names
+    columns: dict[str, list[str]] = {name: [] for name in header}
+    for row in rows:
+        for name, value in zip(header, row):
+            columns[name].append(value)
+    return DataFrame({name: _infer_column(vals) for name, vals in columns.items()})
+
+
+def to_csv(frame: DataFrame, path: str | Path, sep: str = ",", index: bool = False) -> None:
+    """Write a DataFrame to a delimited text file."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh, delimiter=sep)
+        writer.writerow(frame.columns)
+        for row in frame.itertuples(index=False):
+            writer.writerow(["" if v is None else v for v in row])

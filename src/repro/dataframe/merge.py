@@ -1,0 +1,169 @@
+"""DataFrame merge (join) implementation.
+
+A hash join supporting inner / left / right / outer / cross joins with the
+Pandas suffix-renaming rules described in Section III-C of the paper
+(implicit renaming of overlapping column names to ``_x`` / ``_y``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import DataFrameError
+from ._common import take_with_nulls
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .frame import DataFrame
+
+__all__ = ["merge", "resolve_merged_columns"]
+
+
+def _key_rows(frame: "DataFrame", keys: list[str]) -> list[tuple]:
+    arrays = [frame[k].values for k in keys]
+    n = len(frame)
+    return [tuple(a[i] for a in arrays) for i in range(n)]
+
+
+def resolve_merged_columns(
+    left_cols: list[str],
+    right_cols: list[str],
+    left_on: list[str],
+    right_on: list[str],
+    suffixes: tuple[str, str],
+) -> tuple[list[tuple[str, str]], list[tuple[str, str]]]:
+    """Compute output column names following Pandas implicit renaming.
+
+    Returns ``(left_pairs, right_pairs)`` where each pair is
+    ``(source_column, output_column)``.  When the join key has the same name
+    on both sides, only the left copy is kept.  Other overlapping names get
+    the suffixes.
+    """
+    shared_keys = {l for l, r in zip(left_on, right_on) if l == r}
+    overlap = (set(left_cols) & set(right_cols)) - shared_keys
+    left_pairs = []
+    for col in left_cols:
+        out = col + suffixes[0] if col in overlap else col
+        left_pairs.append((col, out))
+    right_pairs = []
+    for col in right_cols:
+        if col in shared_keys:
+            continue
+        out = col + suffixes[1] if col in overlap else col
+        right_pairs.append((col, out))
+    return left_pairs, right_pairs
+
+
+def merge(
+    left: "DataFrame",
+    right: "DataFrame",
+    how: str = "inner",
+    on: str | list[str] | None = None,
+    left_on: str | list[str] | None = None,
+    right_on: str | list[str] | None = None,
+    suffixes: tuple[str, str] = ("_x", "_y"),
+) -> "DataFrame":
+    from .frame import DataFrame
+
+    if how == "cross":
+        return _cross_join(left, right, suffixes)
+
+    if on is not None:
+        left_on = right_on = on
+    if left_on is None or right_on is None:
+        common = [c for c in left.columns if c in set(right.columns)]
+        if not common:
+            raise DataFrameError("no common columns to merge on")
+        left_on = right_on = common
+    left_keys = [left_on] if isinstance(left_on, str) else list(left_on)
+    right_keys = [right_on] if isinstance(right_on, str) else list(right_on)
+    if len(left_keys) != len(right_keys):
+        raise DataFrameError("left_on and right_on must have equal length")
+    for k in left_keys:
+        if k not in left.columns:
+            raise DataFrameError(f"left merge key {k!r} not found")
+    for k in right_keys:
+        if k not in right.columns:
+            raise DataFrameError(f"right merge key {k!r} not found")
+
+    lrows = _key_rows(left, left_keys)
+    rrows = _key_rows(right, right_keys)
+
+    table: dict[tuple, list[int]] = {}
+    for j, key in enumerate(rrows):
+        if any(k is None or (isinstance(k, float) and np.isnan(k)) for k in key):
+            continue
+        table.setdefault(key, []).append(j)
+
+    left_pos: list[int] = []
+    right_pos: list[int] = []
+    right_missing: list[bool] = []
+    left_missing: list[bool] = []
+    matched_right = np.zeros(len(right), dtype=bool) if how in ("right", "outer") else None
+
+    for i, key in enumerate(lrows):
+        null_key = any(k is None or (isinstance(k, float) and np.isnan(k)) for k in key)
+        matches = table.get(key, []) if not null_key else []
+        if matches:
+            for j in matches:
+                left_pos.append(i)
+                right_pos.append(j)
+                right_missing.append(False)
+                left_missing.append(False)
+                if matched_right is not None:
+                    matched_right[j] = True
+        elif how in ("left", "outer"):
+            left_pos.append(i)
+            right_pos.append(0)
+            right_missing.append(True)
+            left_missing.append(False)
+
+    if matched_right is not None:
+        for j in np.nonzero(~matched_right)[0]:
+            left_pos.append(0)
+            right_pos.append(int(j))
+            right_missing.append(False)
+            left_missing.append(True)
+
+    lp = np.asarray(left_pos, dtype=np.int64)
+    rp = np.asarray(right_pos, dtype=np.int64)
+    lmiss = np.asarray(left_missing, dtype=bool)
+    rmiss = np.asarray(right_missing, dtype=bool)
+
+    left_pairs, right_pairs = resolve_merged_columns(
+        list(left.columns), list(right.columns), left_keys, right_keys, suffixes
+    )
+
+    data: dict[str, np.ndarray] = {}
+    key_name_map = dict(zip(left_keys, right_keys))
+    for src, out in left_pairs:
+        col = take_with_nulls(left[src].values, lp, lmiss)
+        # For shared join keys, rows that come only from the right side must
+        # carry the right key value.
+        if src in key_name_map and lmiss.any():
+            rcol = right[key_name_map[src]].values
+            col = col.copy() if col.dtype == object else col
+            filler = rcol[rp[lmiss]]
+            if col.dtype.kind == "f" and filler.dtype.kind in ("i", "u"):
+                filler = filler.astype(np.float64)
+            col[lmiss] = filler
+        data[out] = col
+    for src, out in right_pairs:
+        data[out] = take_with_nulls(right[src].values, rp, rmiss)
+    return DataFrame(data)
+
+
+def _cross_join(left: "DataFrame", right: "DataFrame", suffixes: tuple[str, str]) -> "DataFrame":
+    from .frame import DataFrame
+
+    nl, nr = len(left), len(right)
+    lp = np.repeat(np.arange(nl, dtype=np.int64), nr)
+    rp = np.tile(np.arange(nr, dtype=np.int64), nl)
+    left_pairs, right_pairs = resolve_merged_columns(list(left.columns), list(right.columns), [], [], suffixes)
+    data: dict[str, np.ndarray] = {}
+    for src, out in left_pairs:
+        data[out] = left[src].values[lp]
+    for src, out in right_pairs:
+        data[out] = right[src].values[rp]
+    return DataFrame(data)

@@ -1,0 +1,530 @@
+"""The Series class: a named, indexed 1-D column.
+
+This is the Pandas-substitute used both as the "Python" baseline competitor
+in the paper's benchmarks and as the surface API that ``@pytond`` functions
+are written against.  Semantics follow Pandas for the operation subset the
+paper's workloads exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..errors import DataFrameError
+from ._common import coerce_array, isna_array
+from .datetimes import DatetimeAccessor
+from .index import Index, RangeIndex, ensure_index
+from .strings import StringAccessor
+
+__all__ = ["Series"]
+
+_BINARY_NUMPY_OPS = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "truediv": np.true_divide,
+    "floordiv": np.floor_divide,
+    "mod": np.mod,
+    "pow": np.power,
+}
+
+_COMPARE_OPS = {
+    "eq": np.equal,
+    "ne": np.not_equal,
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+}
+
+
+class Series:
+    """A 1-D labelled array of homogeneous values."""
+
+    def __init__(self, data, index: Index | Iterable | None = None, name: str | None = None):
+        self._data = coerce_array(data)
+        if self._data.ndim != 1:
+            raise DataFrameError("Series data must be one-dimensional")
+        self._index = ensure_index(index, len(self._data))
+        if len(self._index) != len(self._data):
+            raise DataFrameError("index length does not match data length")
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def index(self) -> Index:
+        return self._index
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def shape(self) -> tuple[int]:
+        return (len(self._data),)
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    @property
+    def empty(self) -> bool:
+        return len(self._data) == 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __array__(self, dtype=None):
+        arr = self._data
+        return arr.astype(dtype) if dtype is not None else arr
+
+    def __repr__(self) -> str:
+        head = ", ".join(repr(v) for v in self._data[:8])
+        suffix = ", ..." if len(self) > 8 else ""
+        return f"Series([{head}{suffix}], name={self.name!r}, n={len(self)})"
+
+    def copy(self) -> "Series":
+        return Series(self._data.copy(), index=self._index, name=self.name)
+
+    def rename(self, name: str) -> "Series":
+        return Series(self._data, index=self._index, name=name)
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def __getitem__(self, key):
+        if isinstance(key, Series):
+            key = key.values
+        if isinstance(key, np.ndarray) and key.dtype == bool:
+            return Series(self._data[key], index=self._index[key], name=self.name)
+        if isinstance(key, (list, np.ndarray)):
+            positions = np.asarray(key)
+            return Series(self._data[positions], index=self._index.take(positions), name=self.name)
+        if isinstance(key, slice):
+            return Series(self._data[key], index=Index(self._index.values[key]), name=self.name)
+        if isinstance(key, (int, np.integer, str)):
+            # Label-based lookup on the index, falling back to positional for
+            # the default range index with integer keys.
+            if isinstance(self._index, RangeIndex) and not isinstance(key, str):
+                return self._data[key]
+            matches = np.nonzero(self._index.values == key)[0]
+            if len(matches) == 0:
+                raise KeyError(key)
+            return self._data[matches[0]]
+        raise DataFrameError(f"unsupported Series key: {key!r}")
+
+    @property
+    def iloc(self) -> "_SeriesILoc":
+        return _SeriesILoc(self)
+
+    def head(self, n: int = 5) -> "Series":
+        return Series(self._data[:n], index=Index(self._index.values[:n], name=self._index.name), name=self.name)
+
+    def take(self, positions: np.ndarray) -> "Series":
+        positions = np.asarray(positions)
+        return Series(self._data[positions], index=self._index.take(positions), name=self.name)
+
+    # ------------------------------------------------------------------
+    # Arithmetic / comparison operators
+    # ------------------------------------------------------------------
+    def _coerce_other(self, other):
+        if isinstance(other, Series):
+            if len(other) != len(self):
+                raise DataFrameError("Series length mismatch in binary operation")
+            return other.values
+        return other
+
+    def _binary(self, other, ufunc) -> "Series":
+        other = self._coerce_other(other)
+        left = self._data
+        if left.dtype == object or (isinstance(other, np.ndarray) and other.dtype == object):
+            out = np.empty(len(left), dtype=object)
+            rvals = other if isinstance(other, np.ndarray) else np.full(len(left), other, dtype=object)
+            for i in range(len(left)):
+                a, b = left[i], rvals[i]
+                out[i] = None if a is None or b is None else ufunc(a, b)
+            return Series(out, index=self._index, name=self.name)
+        return Series(ufunc(left, other), index=self._index, name=self.name)
+
+    def __add__(self, other):
+        if self._data.dtype == object:
+            return self._binary(other, lambda a, b: a + b)
+        return self._binary(other, np.add)
+
+    def __radd__(self, other):
+        if self._data.dtype == object:
+            other_arr = self._coerce_other(other)
+            out = np.empty(len(self._data), dtype=object)
+            rvals = other_arr if isinstance(other_arr, np.ndarray) else np.full(len(self._data), other_arr, dtype=object)
+            for i in range(len(self._data)):
+                a, b = rvals[i], self._data[i]
+                out[i] = None if a is None or b is None else a + b
+            return Series(out, index=self._index, name=self.name)
+        return self._binary(other, np.add)
+
+    def __sub__(self, other):
+        return self._binary(other, np.subtract)
+
+    def __rsub__(self, other):
+        other = self._coerce_other(other)
+        return Series(np.subtract(other, self._data), index=self._index, name=self.name)
+
+    def __mul__(self, other):
+        return self._binary(other, np.multiply)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self._binary(other, np.true_divide)
+
+    def __rtruediv__(self, other):
+        other = self._coerce_other(other)
+        return Series(np.true_divide(other, self._data), index=self._index, name=self.name)
+
+    def __floordiv__(self, other):
+        return self._binary(other, np.floor_divide)
+
+    def __mod__(self, other):
+        return self._binary(other, np.mod)
+
+    def __pow__(self, other):
+        return self._binary(other, np.power)
+
+    def __neg__(self):
+        return Series(-self._data, index=self._index, name=self.name)
+
+    def _compare(self, other, ufunc) -> "Series":
+        other = self._coerce_other(other)
+        left = self._data
+        if left.dtype.kind == "M" and isinstance(other, str):
+            other = np.datetime64(other, "D")
+        if left.dtype == object or (isinstance(other, np.ndarray) and other.dtype == object):
+            rvals = other if isinstance(other, np.ndarray) else None
+            out = np.zeros(len(left), dtype=bool)
+            py_op = {
+                np.equal: lambda a, b: a == b,
+                np.not_equal: lambda a, b: a != b,
+                np.less: lambda a, b: a < b,
+                np.less_equal: lambda a, b: a <= b,
+                np.greater: lambda a, b: a > b,
+                np.greater_equal: lambda a, b: a >= b,
+            }[ufunc]
+            for i in range(len(left)):
+                a = left[i]
+                b = rvals[i] if rvals is not None else other
+                if a is None or b is None:
+                    out[i] = False
+                else:
+                    out[i] = py_op(a, b)
+            return Series(out, index=self._index, name=self.name)
+        result = ufunc(left, other)
+        if left.dtype.kind == "f":
+            # NaN never compares true, matching both Pandas and SQL NULL.
+            nan_mask = np.isnan(left)
+            if nan_mask.any():
+                result = result & ~nan_mask
+        return Series(result, index=self._index, name=self.name)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._compare(other, np.equal)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._compare(other, np.not_equal)
+
+    def __lt__(self, other):
+        return self._compare(other, np.less)
+
+    def __le__(self, other):
+        return self._compare(other, np.less_equal)
+
+    def __gt__(self, other):
+        return self._compare(other, np.greater)
+
+    def __ge__(self, other):
+        return self._compare(other, np.greater_equal)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __and__(self, other):
+        return self._binary(other, np.logical_and)
+
+    def __or__(self, other):
+        return self._binary(other, np.logical_or)
+
+    def __invert__(self):
+        return Series(~self._data.astype(bool), index=self._index, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Missing data
+    # ------------------------------------------------------------------
+    def isna(self) -> "Series":
+        return Series(isna_array(self._data), index=self._index, name=self.name)
+
+    isnull = isna
+
+    def notna(self) -> "Series":
+        return Series(~isna_array(self._data), index=self._index, name=self.name)
+
+    notnull = notna
+
+    def fillna(self, value) -> "Series":
+        mask = isna_array(self._data)
+        if not mask.any():
+            return self.copy()
+        out = self._data.copy()
+        if out.dtype == object:
+            out[mask] = value
+        elif out.dtype.kind == "f":
+            out[mask] = float(value)
+        elif out.dtype.kind == "M":
+            out[mask] = np.datetime64(value, "D")
+        return Series(out, index=self._index, name=self.name)
+
+    def dropna(self) -> "Series":
+        mask = ~isna_array(self._data)
+        return Series(self._data[mask], index=self._index[mask], name=self.name)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def _valid(self) -> np.ndarray:
+        mask = isna_array(self._data)
+        return self._data[~mask] if mask.any() else self._data
+
+    def sum(self, *args, **kwargs):
+        # Extra arguments tolerated for numpy protocol compatibility
+        # (np.sum(series) dispatches here with axis/out/...).
+        vals = self._valid()
+        if len(vals) == 0:
+            return 0
+        return vals.sum()
+
+    def mean(self):
+        vals = self._valid()
+        return float(np.mean(vals)) if len(vals) else float("nan")
+
+    def min(self):
+        vals = self._valid()
+        if len(vals) == 0:
+            return None
+        if vals.dtype == object:
+            return min(vals)
+        return vals.min()
+
+    def max(self):
+        vals = self._valid()
+        if len(vals) == 0:
+            return None
+        if vals.dtype == object:
+            return max(vals)
+        return vals.max()
+
+    def count(self) -> int:
+        return int((~isna_array(self._data)).sum())
+
+    def nunique(self) -> int:
+        vals = self._valid()
+        if vals.dtype == object:
+            return len(set(vals))
+        return len(np.unique(vals))
+
+    def std(self, ddof: int = 1):
+        vals = self._valid()
+        return float(np.std(vals, ddof=ddof)) if len(vals) > ddof else float("nan")
+
+    def var(self, ddof: int = 1):
+        vals = self._valid()
+        return float(np.var(vals, ddof=ddof)) if len(vals) > ddof else float("nan")
+
+    def median(self):
+        vals = self._valid()
+        return float(np.median(vals)) if len(vals) else float("nan")
+
+    def prod(self):
+        vals = self._valid()
+        return vals.prod() if len(vals) else 1
+
+    def any(self) -> bool:
+        return bool(np.any(self._data.astype(bool)))
+
+    def all(self) -> bool:
+        return bool(np.all(self._data.astype(bool)))
+
+    def idxmax(self):
+        return self._index.values[int(np.argmax(self._data))]
+
+    def idxmin(self):
+        return self._index.values[int(np.argmin(self._data))]
+
+    def aggregate(self, func):
+        if isinstance(func, str):
+            return getattr(self, func)()
+        return func(self)
+
+    agg = aggregate
+
+    # ------------------------------------------------------------------
+    # Element-wise methods
+    # ------------------------------------------------------------------
+    def abs(self) -> "Series":
+        return Series(np.abs(self._data), index=self._index, name=self.name)
+
+    def round(self, decimals: int = 0) -> "Series":
+        return Series(np.round(self._data.astype(np.float64), decimals), index=self._index, name=self.name)
+
+    def astype(self, dtype) -> "Series":
+        if dtype in (str, "str"):
+            out = np.array([None if v is None else str(v) for v in self._data], dtype=object)
+            return Series(out, index=self._index, name=self.name)
+        return Series(self._data.astype(dtype), index=self._index, name=self.name)
+
+    def between(self, low, high, inclusive: str = "both") -> "Series":
+        if self._data.dtype.kind == "M":
+            low = np.datetime64(low, "D") if isinstance(low, str) else low
+            high = np.datetime64(high, "D") if isinstance(high, str) else high
+        if inclusive == "both":
+            return Series((self._data >= low) & (self._data <= high), index=self._index, name=self.name)
+        if inclusive == "left":
+            return Series((self._data >= low) & (self._data < high), index=self._index, name=self.name)
+        if inclusive == "right":
+            return Series((self._data > low) & (self._data <= high), index=self._index, name=self.name)
+        return Series((self._data > low) & (self._data < high), index=self._index, name=self.name)
+
+    def isin(self, values) -> "Series":
+        if isinstance(values, Series):
+            values = values.values
+        if hasattr(values, "values") and not isinstance(values, np.ndarray):
+            values = values.values
+        if self._data.dtype == object:
+            lookup = set(v for v in np.asarray(values, dtype=object))
+            out = np.array([v in lookup for v in self._data], dtype=bool)
+            return Series(out, index=self._index, name=self.name)
+        return Series(np.isin(self._data, np.asarray(values)), index=self._index, name=self.name)
+
+    def map(self, func: Callable | dict) -> "Series":
+        if isinstance(func, dict):
+            getter = func.get
+            out = np.array([getter(v, None) for v in self._data], dtype=object)
+        else:
+            out = np.array([func(v) for v in self._data], dtype=object)
+        return Series(coerce_array(out), index=self._index, name=self.name)
+
+    def apply(self, func: Callable) -> "Series":
+        return self.map(func)
+
+    def clip(self, lower=None, upper=None) -> "Series":
+        return Series(np.clip(self._data, lower, upper), index=self._index, name=self.name)
+
+    def cumsum(self) -> "Series":
+        return Series(np.cumsum(self._data), index=self._index, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Order / distinct
+    # ------------------------------------------------------------------
+    def unique(self) -> np.ndarray:
+        if self._data.dtype == object:
+            seen: dict = {}
+            for v in self._data:
+                seen.setdefault(v, None)
+            return np.array(list(seen.keys()), dtype=object)
+        _, first = np.unique(self._data, return_index=True)
+        return self._data[np.sort(first)]
+
+    def value_counts(self, ascending: bool = False) -> "Series":
+        if self._data.dtype == object:
+            counts: dict = {}
+            for v in self._data:
+                if v is None:
+                    continue
+                counts[v] = counts.get(v, 0) + 1
+            keys = np.array(list(counts.keys()), dtype=object)
+            vals = np.array(list(counts.values()), dtype=np.int64)
+        else:
+            keys, vals = np.unique(self._valid(), return_counts=True)
+        order = np.argsort(vals, kind="stable")
+        if not ascending:
+            order = order[::-1]
+        return Series(vals[order], index=Index(keys[order], name=self.name), name="count")
+
+    def sort_values(self, ascending: bool = True) -> "Series":
+        if self._data.dtype == object:
+            order = np.array(sorted(range(len(self._data)), key=lambda i: (self._data[i] is None, self._data[i])), dtype=np.int64)
+        else:
+            order = np.argsort(self._data, kind="stable")
+        if not ascending:
+            order = order[::-1]
+        return self.take(order)
+
+    def nlargest(self, n: int) -> "Series":
+        return self.sort_values(ascending=False).head(n)
+
+    def nsmallest(self, n: int) -> "Series":
+        return self.sort_values(ascending=True).head(n)
+
+    def reset_index(self, drop: bool = False):
+        if drop:
+            return Series(self._data, name=self.name)
+        from .frame import DataFrame
+
+        cols = self._index.to_frame_columns()
+        cols[self.name if self.name is not None else "values"] = self._data
+        return DataFrame(cols)
+
+    def drop_duplicates(self) -> "Series":
+        vals = self.unique()
+        return Series(vals, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Conversion & accessors
+    # ------------------------------------------------------------------
+    def to_numpy(self, dtype=None) -> np.ndarray:
+        arr = self._data
+        return arr.astype(dtype) if dtype is not None else arr.copy()
+
+    def tolist(self) -> list:
+        return self._data.tolist()
+
+    to_list = tolist
+
+    def to_frame(self, name: str | None = None):
+        from .frame import DataFrame
+
+        return DataFrame({name or self.name or "values": self._data}, index=self._index)
+
+    @property
+    def str(self) -> StringAccessor:
+        return StringAccessor(self)
+
+    @property
+    def dt(self) -> DatetimeAccessor:
+        return DatetimeAccessor(self)
+
+
+class _SeriesILoc:
+    """Positional selection for Series (``s.iloc[i]`` / ``s.iloc[a:b]``)."""
+
+    def __init__(self, series: Series):
+        self._series = series
+
+    def __getitem__(self, key):
+        if isinstance(key, (int, np.integer)):
+            return self._series.values[key]
+        if isinstance(key, slice):
+            return Series(
+                self._series.values[key],
+                index=Index(self._series.index.values[key]),
+                name=self._series.name,
+            )
+        positions = np.asarray(key)
+        return self._series.take(positions)

@@ -1,0 +1,42 @@
+"""Exception hierarchy shared across the repro packages."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DataFrameError(ReproError):
+    """Invalid operation on a DataFrame/Series."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL engine errors."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be parsed."""
+
+
+class SQLBindError(SQLError):
+    """Name resolution / type checking of a query failed."""
+
+
+class SQLExecutionError(SQLError):
+    """Runtime failure while executing a physical plan."""
+
+
+class UnsupportedFeatureError(SQLError):
+    """Backend does not implement the requested SQL feature.
+
+    Used by the research-prototype LingoDB backend simulation to reject
+    window functions and certain join plans, mirroring the exclusions in
+    Section V of the paper.
+    """
+
+
+class TranslationError(ReproError):
+    """The @pytond translator could not compile the Python source."""
+
+
+class TondIRError(ReproError):
+    """Malformed TondIR program."""

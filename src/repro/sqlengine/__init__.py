@@ -1,0 +1,25 @@
+"""In-memory columnar SQL engine (substrate #2 of the reproduction).
+
+A pure-Python/NumPy analytical RDBMS: SQL parser, catalog with constraint
+metadata, planner with filter pushdown + join ordering, vectorized and
+"compiled" execution modes, intra-query thread parallelism.
+"""
+
+from .catalog import Catalog, TableSchema
+from .database import Database, connect
+from .executor import EngineConfig, Executor
+from .parser import parse, parse_expression
+from .table import Chunk, Table
+
+__all__ = [
+    "Catalog",
+    "TableSchema",
+    "Database",
+    "connect",
+    "EngineConfig",
+    "Executor",
+    "parse",
+    "parse_expression",
+    "Chunk",
+    "Table",
+]

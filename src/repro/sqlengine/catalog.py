@@ -1,0 +1,74 @@
+"""Database catalog: table registry, schemas, and constraint metadata.
+
+PyTond queries this catalog for contextual information (primary keys,
+uniqueness, cardinalities, column names/types) that drives IR-level
+optimizations — Section III-A of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SQLBindError
+from .table import Table
+
+__all__ = ["Catalog", "TableSchema"]
+
+
+class TableSchema:
+    """Static description of a table, as exposed to the PyTond translator."""
+
+    def __init__(self, name: str, columns: list[str], dtypes: list[np.dtype],
+                 primary_key: list[str], unique_columns: set[str], nrows: int):
+        self.name = name
+        self.columns = columns
+        self.dtypes = dtypes
+        self.primary_key = primary_key
+        self.unique_columns = unique_columns
+        self.nrows = nrows
+
+    def is_unique(self, column: str) -> bool:
+        return column in self.unique_columns
+
+    def __repr__(self) -> str:
+        return f"TableSchema({self.name!r}, columns={self.columns})"
+
+
+class Catalog:
+    """Mutable registry of base tables."""
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+
+    def register(self, table: Table, replace: bool = True) -> None:
+        if not replace and table.name in self._tables:
+            raise SQLBindError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def drop(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    def get(self, name: str) -> Table:
+        if name not in self._tables:
+            raise SQLBindError(f"unknown table {name!r}")
+        return self._tables[name]
+
+    def has(self, name: str) -> bool:
+        return name in self._tables
+
+    def names(self) -> list[str]:
+        return list(self._tables.keys())
+
+    def schema(self, name: str) -> TableSchema:
+        table = self.get(name)
+        return TableSchema(
+            name=table.name,
+            columns=list(table.columns),
+            dtypes=[a.dtype for a in table.arrays],
+            primary_key=list(table.primary_key),
+            unique_columns=set(table.unique_columns),
+            nrows=table.nrows,
+        )
+
+    def estimated_rows(self, name: str) -> int:
+        return self.get(name).nrows

@@ -1,0 +1,92 @@
+"""User-facing database connection API (the engine's equivalent of
+``duckdb.connect()``)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..dataframe import DataFrame
+from .catalog import Catalog, TableSchema
+from .executor import EngineConfig, Executor
+from .parser import parse
+from .table import Chunk, Table
+
+__all__ = ["Database", "connect"]
+
+
+class Database:
+    """An in-memory analytical database instance."""
+
+    def __init__(self, config: EngineConfig | None = None):
+        self.catalog = Catalog()
+        self.config = config or EngineConfig()
+
+    # -- data definition ---------------------------------------------------
+    def register(
+        self,
+        name: str,
+        data,
+        primary_key: list[str] | str | None = None,
+        unique: list[str] | None = None,
+    ) -> None:
+        """Register a table from a DataFrame or a mapping of columns."""
+        if isinstance(primary_key, str):
+            primary_key = [primary_key]
+        if isinstance(data, DataFrame):
+            mapping: Mapping = {c: data[c].values for c in data.columns}
+        else:
+            mapping = data
+        self.catalog.register(Table(name, mapping, primary_key=primary_key, unique=unique))
+
+    def drop(self, name: str) -> None:
+        self.catalog.drop(name)
+
+    def tables(self) -> list[str]:
+        return self.catalog.names()
+
+    def schema(self, name: str) -> TableSchema:
+        return self.catalog.schema(name)
+
+    # -- querying -------------------------------------------------------------
+    def execute_chunk(self, sql: str, config: EngineConfig | None = None) -> Chunk:
+        query = parse(sql)
+        executor = Executor(self.catalog, config or self.config)
+        return executor.execute(query)
+
+    def explain(self, sql: str, config: EngineConfig | None = None) -> str:
+        """EXPLAIN ANALYZE: execute the query, returning the physical plan
+        trace (scans with pushed-down filters, join order and cardinalities,
+        aggregation, sort/limit) instead of the result."""
+        query = parse(sql)
+        trace: list[str] = []
+        executor = Executor(self.catalog, config or self.config, trace=trace)
+        executor.execute(query)
+        return "\n".join(trace)
+
+    def execute(self, sql: str, config: EngineConfig | None = None) -> DataFrame:
+        chunk = self.execute_chunk(sql, config)
+        data: dict[str, np.ndarray] = {}
+        for col, arr in zip(chunk.columns, chunk.arrays):
+            out_name = col
+            i = 1
+            while out_name in data:  # disambiguate duplicate output names
+                out_name = f"{col}_{i}"
+                i += 1
+            data[out_name] = arr
+        return DataFrame(data)
+
+    def with_config(self, **overrides) -> "Database":
+        """A view of the same catalog under a different engine config."""
+        from dataclasses import replace
+
+        other = Database.__new__(Database)
+        other.catalog = self.catalog
+        other.config = replace(self.config, **overrides)
+        return other
+
+
+def connect(config: EngineConfig | None = None) -> Database:
+    """Create a fresh in-memory database."""
+    return Database(config)

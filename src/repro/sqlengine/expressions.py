@@ -1,0 +1,479 @@
+"""Expression evaluation over runtime chunks.
+
+The evaluator resolves column references through a :class:`Scope` (alias ->
+slot mapping built by the executor), applies SQL null semantics (comparisons
+with NULL are false, arithmetic propagates NULL via NaN/None), and delegates
+subquery forms back to the executor through a callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import SQLBindError
+from ..dataframe._common import isna_array
+from ..dataframe.strings import like_to_regex
+from .functions import call_function
+from .sqlast import (
+    AggCall, BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef, ExistsExpr,
+    Expr, FuncCall, InList, InSubquery, IsNull, LikeExpr, Literal,
+    ScalarSubquery, Star, UnaryOp, WindowCall,
+)
+from .table import Chunk
+
+__all__ = ["Scope", "Evaluator", "expr_columns", "contains_aggregate", "expr_key"]
+
+
+class Scope:
+    """Maps (qualifier, column) names to slots of a chunk."""
+
+    def __init__(self):
+        self.qualified: dict[tuple[str, str], int] = {}
+        self.unqualified: dict[str, int] = {}
+        self.ambiguous: set[str] = set()
+        self.parent: Optional["Scope"] = None
+
+    def add(self, qualifier: str | None, column: str, slot: int) -> None:
+        if qualifier is not None:
+            self.qualified[(qualifier, column)] = slot
+        if column in self.unqualified and self.unqualified[column] != slot:
+            self.ambiguous.add(column)
+        else:
+            self.unqualified[column] = slot
+
+    def resolve(self, ref: ColumnRef) -> int | None:
+        if ref.table is not None:
+            return self.qualified.get((ref.table, ref.name))
+        if ref.name in self.ambiguous:
+            raise SQLBindError(f"ambiguous column reference {ref.name!r}")
+        return self.unqualified.get(ref.name)
+
+
+def expr_columns(expr: Expr) -> list[ColumnRef]:
+    """All column references in *expr* (excluding subquery bodies)."""
+    out: list[ColumnRef] = []
+
+    def walk(e) -> None:
+        if isinstance(e, ColumnRef):
+            out.append(e)
+        elif isinstance(e, BinaryOp):
+            walk(e.left)
+            walk(e.right)
+        elif isinstance(e, UnaryOp):
+            walk(e.operand)
+        elif isinstance(e, FuncCall):
+            for a in e.args:
+                walk(a)
+        elif isinstance(e, AggCall):
+            if e.arg is not None:
+                walk(e.arg)
+        elif isinstance(e, CaseExpr):
+            for c, v in e.branches:
+                walk(c)
+                walk(v)
+            if e.default is not None:
+                walk(e.default)
+        elif isinstance(e, CastExpr):
+            walk(e.operand)
+        elif isinstance(e, (InList, InSubquery)):
+            walk(e.operand)
+            if isinstance(e, InList):
+                for item in e.items:
+                    walk(item)
+        elif isinstance(e, BetweenExpr):
+            walk(e.operand)
+            walk(e.low)
+            walk(e.high)
+        elif isinstance(e, (IsNull, LikeExpr)):
+            walk(e.operand)
+        elif isinstance(e, WindowCall):
+            for p in e.partition_by:
+                walk(p)
+            for o in e.order_by:
+                walk(o.expr)
+
+    walk(expr)
+    return out
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    if isinstance(expr, AggCall):
+        return True
+    if isinstance(expr, BinaryOp):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, UnaryOp):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, FuncCall):
+        return any(contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, CaseExpr):
+        return (
+            any(contains_aggregate(c) or contains_aggregate(v) for c, v in expr.branches)
+            or (expr.default is not None and contains_aggregate(expr.default))
+        )
+    if isinstance(expr, CastExpr):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, BetweenExpr):
+        return any(contains_aggregate(e) for e in (expr.operand, expr.low, expr.high))
+    if isinstance(expr, (IsNull, LikeExpr)):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, InList):
+        return contains_aggregate(expr.operand)
+    return False
+
+
+def expr_key(expr: Expr) -> str:
+    """A structural key used to match SELECT items against GROUP BY exprs."""
+    if isinstance(expr, ColumnRef):
+        return f"col:{expr.table or ''}.{expr.name}"
+    if isinstance(expr, Literal):
+        return f"lit:{expr.value!r}"
+    if isinstance(expr, BinaryOp):
+        return f"({expr_key(expr.left)}{expr.op}{expr_key(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        return f"({expr.op}{expr_key(expr.operand)})"
+    if isinstance(expr, FuncCall):
+        return f"{expr.name}({','.join(expr_key(a) for a in expr.args)})"
+    if isinstance(expr, CastExpr):
+        return f"cast({expr_key(expr.operand)},{expr.type_name})"
+    if isinstance(expr, CaseExpr):
+        parts = [f"{expr_key(c)}->{expr_key(v)}" for c, v in expr.branches]
+        if expr.default is not None:
+            parts.append(f"else->{expr_key(expr.default)}")
+        return f"case({';'.join(parts)})"
+    if isinstance(expr, LikeExpr):
+        return f"like({expr_key(expr.operand)},{expr.pattern},{expr.negated})"
+    if isinstance(expr, BetweenExpr):
+        return f"between({expr_key(expr.operand)},{expr_key(expr.low)},{expr_key(expr.high)})"
+    if isinstance(expr, IsNull):
+        return f"isnull({expr_key(expr.operand)},{expr.negated})"
+    if isinstance(expr, InList):
+        return f"in({expr_key(expr.operand)},{','.join(expr_key(i) for i in expr.items)})"
+    return repr(expr)
+
+
+_CMP_OPS = {"=", "<>", "<", "<=", ">", ">="}
+
+
+def _null_safe_compare(left, right, op: str, n: int) -> np.ndarray:
+    """Vectorized comparison with SQL semantics (NULL compares false)."""
+    larr = left if isinstance(left, np.ndarray) else None
+    rarr = right if isinstance(right, np.ndarray) else None
+
+    # Date/string literal coercion.
+    if larr is not None and larr.dtype.kind == "M" and isinstance(right, str):
+        right = np.datetime64(right, "D")
+    if rarr is not None and rarr.dtype.kind == "M" and isinstance(left, str):
+        left = np.datetime64(left, "D")
+
+    obj = (larr is not None and larr.dtype == object) or (rarr is not None and rarr.dtype == object)
+    if obj:
+        lv = larr if larr is not None else np.full(n, left, dtype=object)
+        rv = rarr if rarr is not None else np.full(n, right, dtype=object)
+        out = np.zeros(n, dtype=bool)
+        import operator
+
+        py_op = {"=": operator.eq, "<>": operator.ne, "<": operator.lt,
+                 "<=": operator.le, ">": operator.gt, ">=": operator.ge}[op]
+        for i in range(n):
+            a, b = lv[i], rv[i]
+            if a is None or b is None:
+                continue
+            out[i] = py_op(a, b)
+        return out
+
+    ufunc = {"=": np.equal, "<>": np.not_equal, "<": np.less,
+             "<=": np.less_equal, ">": np.greater, ">=": np.greater_equal}[op]
+    with np.errstate(invalid="ignore"):
+        result = ufunc(left, right)
+    if isinstance(result, np.ndarray):
+        for side in (larr, rarr):
+            if side is not None and side.dtype.kind == "f":
+                result &= ~np.isnan(side)
+            if side is not None and side.dtype.kind == "M":
+                result &= ~np.isnat(side)
+    return result
+
+
+class Evaluator:
+    """Evaluates expressions over a chunk, with optional grouped mode."""
+
+    def __init__(
+        self,
+        chunk: Chunk,
+        scope: Scope,
+        subquery_executor: Callable | None = None,
+        correlated_resolver: Callable | None = None,
+    ):
+        self.chunk = chunk
+        self.scope = scope
+        self.subquery_executor = subquery_executor
+        self.correlated_resolver = correlated_resolver
+        # grouped-mode state, set by executor when aggregating
+        self.gids: np.ndarray | None = None
+        self.ngroups: int | None = None
+        self.group_first: np.ndarray | None = None  # first row position per group
+        self.group_key_values: dict[str, np.ndarray] = {}
+
+    @property
+    def nrows(self) -> int:
+        if self.gids is not None:
+            return int(self.ngroups or 0)
+        return self.chunk.nrows
+
+    # -- entry points -------------------------------------------------------
+    def eval(self, expr: Expr):
+        """Evaluate to a numpy array (length nrows) or a python scalar."""
+        return self._eval(expr)
+
+    def eval_array(self, expr: Expr) -> np.ndarray:
+        value = self._eval(expr)
+        if isinstance(value, np.ndarray) and value.ndim == 1 and len(value) == self.nrows:
+            return value
+        n = self.nrows
+        # Typed scalar fast paths: constants broadcast without the object
+        # round-trip (this dominates CASE/COALESCE evaluation cost).
+        if value is None:
+            return np.full(n, np.nan)
+        if isinstance(value, (bool, np.bool_)):
+            return np.full(n, bool(value))
+        if isinstance(value, (int, np.integer)):
+            return np.full(n, int(value), dtype=np.int64)
+        if isinstance(value, (float, np.floating)):
+            return np.full(n, float(value), dtype=np.float64)
+        if isinstance(value, np.datetime64):
+            return np.full(n, value, dtype="datetime64[D]")
+        if isinstance(value, str):
+            out = np.empty(n, dtype=object)
+            out[:] = value
+            return out
+        out = np.empty(n, dtype=object)
+        out[:] = value
+        from ..dataframe._common import coerce_array
+
+        return coerce_array(out)
+
+    def eval_mask(self, expr: Expr) -> np.ndarray:
+        value = self._eval(expr)
+        if not isinstance(value, np.ndarray):
+            return np.full(self.nrows, bool(value))
+        if value.dtype != bool:
+            value = value.astype(bool)
+        return value
+
+    # -- dispatch -------------------------------------------------------------
+    def _eval(self, expr: Expr):
+        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        if method is None:
+            raise SQLBindError(f"cannot evaluate {type(expr).__name__}")
+        return method(expr)
+
+    def _column(self, slot: int) -> np.ndarray:
+        col = self.chunk.arrays[slot]
+        if self.gids is not None:
+            # Non-aggregate column in grouped context: representative value.
+            return col[self.group_first]
+        return col
+
+    def _eval_Literal(self, expr: Literal):
+        return expr.value
+
+    def _eval_ColumnRef(self, expr: ColumnRef):
+        if self.gids is not None:
+            key = expr_key(expr)
+            if key in self.group_key_values:
+                return self.group_key_values[key]
+        slot = self.scope.resolve(expr)
+        if slot is None:
+            if self.correlated_resolver is not None:
+                resolved = self.correlated_resolver(expr)
+                if resolved is not None:
+                    return resolved
+            raise SQLBindError(f"cannot resolve column {expr!r}")
+        return self._column(slot)
+
+    def _eval_Star(self, expr: Star):
+        raise SQLBindError("* is only allowed directly in a select list")
+
+    def _eval_BinaryOp(self, expr: BinaryOp):
+        op = expr.op
+        if op in ("AND", "OR"):
+            left = self.eval_mask(expr.left)
+            right = self.eval_mask(expr.right)
+            return left & right if op == "AND" else left | right
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        if op in _CMP_OPS:
+            return _null_safe_compare(left, right, op, self.nrows)
+        if op == "||":
+            lv = left if isinstance(left, np.ndarray) else np.full(self.nrows, left, dtype=object)
+            rv = right if isinstance(right, np.ndarray) else np.full(self.nrows, right, dtype=object)
+            out = np.empty(self.nrows, dtype=object)
+            for i in range(self.nrows):
+                a, b = lv[i], rv[i]
+                out[i] = None if a is None or b is None else str(a) + str(b)
+            return out
+        # Date +/- interval.
+        left, right = self._coerce_interval(left, right, op)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                larr = np.asarray(left)
+                if larr.dtype.kind in ("i", "u") and not isinstance(right, np.ndarray) and isinstance(right, int):
+                    return left / right  # python semantics: true division
+                return np.true_divide(left, right)
+            if op == "%":
+                return np.mod(left, right)
+        raise SQLBindError(f"unknown binary operator {op!r}")
+
+    @staticmethod
+    def _coerce_interval(left, right, op):
+        if isinstance(right, np.timedelta64) or isinstance(left, np.timedelta64):
+            return left, right
+        return left, right
+
+    def _eval_UnaryOp(self, expr: UnaryOp):
+        value = self._eval(expr.operand)
+        if expr.op == "-":
+            return -value
+        if expr.op == "NOT":
+            if isinstance(value, np.ndarray):
+                return ~value.astype(bool)
+            return not value
+        raise SQLBindError(f"unknown unary operator {expr.op!r}")
+
+    def _eval_FuncCall(self, expr: FuncCall):
+        if expr.name == "INTERVAL":
+            amount = int(self._eval(expr.args[0]))
+            unit = str(self._eval(expr.args[1])).upper().rstrip("S")
+            code = {"DAY": "D", "MONTH": "M", "YEAR": "Y", "WEEK": "W"}.get(unit)
+            if code is None:
+                raise SQLBindError(f"unsupported interval unit {unit!r}")
+            return np.timedelta64(amount, code)
+        args = [self._eval(a) for a in expr.args]
+        return call_function(expr.name, args, self.nrows)
+
+    def _eval_AggCall(self, expr: AggCall):
+        if self.gids is None:
+            raise SQLBindError("aggregate used outside of an aggregation context")
+        from ..dataframe.groupby import group_reduce
+
+        func = {"SUM": "sum", "MIN": "min", "MAX": "max", "AVG": "mean",
+                "COUNT": "count", "STDDEV": "std", "VAR": "var"}[expr.func]
+        if expr.func == "COUNT" and expr.arg is None:
+            return np.bincount(self.gids, minlength=self.ngroups).astype(np.int64)
+        if expr.distinct:
+            func = "nunique"
+        # Aggregate argument is evaluated on the *full* chunk.
+        saved = (self.gids, self.ngroups, self.group_first)
+        self.gids = None
+        try:
+            arg = self.eval_array(expr.arg)
+        finally:
+            self.gids, self.ngroups, self.group_first = saved
+        result = group_reduce(arg, self.gids, int(self.ngroups), func)
+        if result.dtype == object:
+            from ..dataframe._common import coerce_array
+
+            result = coerce_array(result)
+        if func == "sum":
+            # SQL SUM over an empty group is NULL (Pandas would say 0).
+            valid = ~isna_array(arg)
+            counts = np.bincount(self.gids[valid], minlength=int(self.ngroups))
+            if (counts == 0).any():
+                result = result.astype(np.float64)
+                result[counts == 0] = np.nan
+        return result
+
+    def _eval_CaseExpr(self, expr: CaseExpr):
+        conditions = [self.eval_mask(c) for c, _ in expr.branches]
+        values = [self.eval_array(v) for _, v in expr.branches]
+        default = self.eval_array(expr.default) if expr.default is not None else None
+        if default is None:
+            sample = values[0]
+            if sample.dtype == object:
+                default = np.full(self.nrows, None, dtype=object)
+            elif sample.dtype.kind == "M":
+                default = np.full(self.nrows, np.datetime64("NaT"), dtype=sample.dtype)
+            else:
+                default = np.full(self.nrows, np.nan)
+        target = default.dtype
+        for v in values:
+            if v.dtype != target:
+                target = np.promote_types(v.dtype, target) if v.dtype != object and target != object else np.dtype(object)
+        values = [v.astype(target) for v in values]
+        return np.select(conditions, values, default=default.astype(target))
+
+    def _eval_CastExpr(self, expr: CastExpr):
+        value = self.eval_array(expr.operand)
+        t = expr.type_name
+        if t in ("INT", "INTEGER", "BIGINT", "SMALLINT"):
+            return value.astype(np.int64)
+        if t in ("FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC"):
+            return value.astype(np.float64)
+        if t in ("VARCHAR", "TEXT", "CHAR", "STRING"):
+            return np.array([None if v is None else str(v) for v in value.astype(object)], dtype=object)
+        if t == "DATE":
+            if value.dtype == object:
+                return np.array([np.datetime64(v, "D") if v is not None else np.datetime64("NaT") for v in value], dtype="datetime64[D]")
+            return value.astype("datetime64[D]")
+        if t in ("BOOL", "BOOLEAN"):
+            return value.astype(bool)
+        raise SQLBindError(f"unsupported cast target {t!r}")
+
+    def _eval_InList(self, expr: InList):
+        operand = self.eval_array(expr.operand)
+        items = [self._eval(i) for i in expr.items]
+        if operand.dtype == object:
+            lookup = set(items)
+            mask = np.array([v in lookup for v in operand], dtype=bool)
+        else:
+            mask = np.isin(operand, np.asarray(items))
+        return ~mask if expr.negated else mask
+
+    def _eval_BetweenExpr(self, expr: BetweenExpr):
+        operand = self._eval(expr.operand)
+        low = self._eval(expr.low)
+        high = self._eval(expr.high)
+        mask = _null_safe_compare(operand, low, ">=", self.nrows) & _null_safe_compare(operand, high, "<=", self.nrows)
+        return ~mask if expr.negated else mask
+
+    def _eval_IsNull(self, expr: IsNull):
+        value = self.eval_array(expr.operand)
+        mask = isna_array(value)
+        return ~mask if expr.negated else mask
+
+    def _eval_LikeExpr(self, expr: LikeExpr):
+        operand = self.eval_array(expr.operand).astype(object)
+        regex = like_to_regex(expr.pattern)
+        mask = np.array(
+            [v is not None and regex.match(v) is not None for v in operand], dtype=bool
+        )
+        return ~mask if expr.negated else mask
+
+    # -- subquery forms (delegated to the executor) ------------------------------
+    def _eval_ScalarSubquery(self, expr: ScalarSubquery):
+        if self.subquery_executor is None:
+            raise SQLBindError("scalar subquery not supported in this context")
+        return self.subquery_executor("scalar", expr.query, self)
+
+    def _eval_InSubquery(self, expr: InSubquery):
+        if self.subquery_executor is None:
+            raise SQLBindError("IN subquery not supported in this context")
+        mask = self.subquery_executor("in", expr.query, self, self.eval_array(expr.operand))
+        return ~mask if expr.negated else mask
+
+    def _eval_ExistsExpr(self, expr: ExistsExpr):
+        if self.subquery_executor is None:
+            raise SQLBindError("EXISTS not supported in this context")
+        mask = self.subquery_executor("exists", expr.query, self, None)
+        return ~mask if expr.negated else mask
+
+    def _eval_WindowCall(self, expr: WindowCall):
+        raise SQLBindError("window functions are evaluated by the executor")

@@ -1,0 +1,162 @@
+"""Scalar SQL function implementations over numpy columns.
+
+Dialect adaptation (Section III-E "Backend Adaptation"): each backend
+exposes the same implementations under its own surface names, e.g. DuckDB's
+``strftime`` vs Hyper's ``to_char``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SQLBindError
+from ..dataframe._common import isna_array
+
+__all__ = ["call_function", "FUNCTION_ALIASES"]
+
+# Surface name (per dialect) -> canonical name.
+FUNCTION_ALIASES = {
+    "SUBSTRING": "SUBSTR",
+    "TO_CHAR": "STRFTIME",
+    "CHAR_LENGTH": "LENGTH",
+    "LEN": "LENGTH",
+    "POW": "POWER",
+    "CEILING": "CEIL",
+    "DATE_PART": "DATEPART",
+}
+
+
+def _as_array(value, n: int) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        return value
+    return np.full(n, value)
+
+
+def _string_map(arr: np.ndarray, func) -> np.ndarray:
+    out = np.empty(len(arr), dtype=object)
+    for i, v in enumerate(arr):
+        out[i] = None if v is None else func(v)
+    return out
+
+
+def call_function(name: str, args: list, n: int):
+    """Evaluate scalar function *name* over evaluated argument columns.
+
+    Each arg is either a numpy array of length *n* or a python scalar.
+    Returns an array of length *n* (or a scalar for scalar inputs).
+    """
+    name = FUNCTION_ALIASES.get(name, name)
+
+    if name == "ROUND":
+        x = args[0]
+        digits = int(args[1]) if len(args) > 1 else 0
+        arr = np.asarray(x, dtype=np.float64)
+        return np.round(arr, digits)
+    if name == "ABS":
+        return np.abs(args[0])
+    if name == "SQRT":
+        return np.sqrt(np.asarray(args[0], dtype=np.float64))
+    if name == "POWER":
+        return np.power(np.asarray(args[0], dtype=np.float64), args[1])
+    if name == "FLOOR":
+        return np.floor(np.asarray(args[0], dtype=np.float64))
+    if name == "CEIL":
+        return np.ceil(np.asarray(args[0], dtype=np.float64))
+    if name == "EXP":
+        return np.exp(np.asarray(args[0], dtype=np.float64))
+    if name == "LN":
+        return np.log(np.asarray(args[0], dtype=np.float64))
+    if name == "GREATEST":
+        out = _as_array(args[0], n)
+        for other in args[1:]:
+            out = np.maximum(out, _as_array(other, n))
+        return out
+    if name == "LEAST":
+        out = _as_array(args[0], n)
+        for other in args[1:]:
+            out = np.minimum(out, _as_array(other, n))
+        return out
+
+    if name == "UPPER":
+        return _string_map(_as_array(args[0], n).astype(object), str.upper)
+    if name == "LOWER":
+        return _string_map(_as_array(args[0], n).astype(object), str.lower)
+    if name == "TRIM":
+        return _string_map(_as_array(args[0], n).astype(object), str.strip)
+    if name == "LENGTH":
+        arr = _as_array(args[0], n).astype(object)
+        return np.array([-1 if v is None else len(v) for v in arr], dtype=np.int64)
+    if name == "SUBSTR":
+        arr = _as_array(args[0], n).astype(object)
+        start = int(args[1])
+        length = int(args[2]) if len(args) > 2 else None
+        lo = start - 1  # SQL SUBSTR is 1-based
+        hi = None if length is None else lo + length
+        return _string_map(arr, lambda s: s[lo:hi])
+    if name == "CONCAT":
+        parts = [_as_array(a, n).astype(object) for a in args]
+        out = np.empty(n, dtype=object)
+        for i in range(n):
+            vals = [p[i] for p in parts]
+            out[i] = None if any(v is None for v in vals) else "".join(str(v) for v in vals)
+        return out
+    if name == "REPLACE":
+        arr = _as_array(args[0], n).astype(object)
+        old, new = str(args[1]), str(args[2])
+        return _string_map(arr, lambda s: s.replace(old, new))
+    if name == "STRPOS":
+        arr = _as_array(args[0], n).astype(object)
+        needle = str(args[1])
+        return np.array([0 if v is None else v.find(needle) + 1 for v in arr], dtype=np.int64)
+
+    if name in ("EXTRACT_YEAR", "YEAR"):
+        arr = _as_array(args[0], n).astype("datetime64[D]")
+        return arr.astype("datetime64[Y]").astype(np.int64) + 1970
+    if name in ("EXTRACT_MONTH", "MONTH"):
+        arr = _as_array(args[0], n).astype("datetime64[D]")
+        return arr.astype("datetime64[M]").astype(np.int64) % 12 + 1
+    if name in ("EXTRACT_DAY", "DAY"):
+        arr = _as_array(args[0], n).astype("datetime64[D]")
+        month_start = arr.astype("datetime64[M]").astype("datetime64[D]")
+        return (arr - month_start).astype(np.int64) + 1
+    if name == "DATEPART":
+        part = str(args[0]).upper()
+        return call_function(f"EXTRACT_{part}", [args[1]], n)
+    if name == "STRFTIME":
+        arr = _as_array(args[0], n).astype("datetime64[D]")
+        fmt = str(args[1])
+        out = np.empty(n, dtype=object)
+        for i, v in enumerate(arr):
+            out[i] = None if np.isnat(v) else v.item().strftime(fmt)
+        return out
+    if name == "MAKEDATE":
+        year, month, day = (int(a) for a in args)
+        return np.datetime64(f"{year:04d}-{month:02d}-{day:02d}", "D")
+
+    if name == "COALESCE":
+        out = _as_array(args[0], n)
+        if out.dtype.kind in ("i", "u", "b"):
+            return out
+        out = out.copy()
+        for other in args[1:]:
+            missing = isna_array(out)
+            if not missing.any():
+                break
+            filler = _as_array(other, n)
+            if out.dtype == object:
+                out[missing] = filler[missing] if isinstance(other, np.ndarray) else other
+            else:
+                out[missing] = filler[missing].astype(out.dtype) if isinstance(other, np.ndarray) else other
+        return out
+    if name == "NULLIF":
+        a = _as_array(args[0], n)
+        b = args[1]
+        out = a.astype(np.float64) if a.dtype.kind in ("i", "u") else a.copy()
+        equal = a == (b if not isinstance(b, np.ndarray) else b)
+        if out.dtype == object:
+            out[equal] = None
+        elif out.dtype.kind == "f":
+            out[equal] = np.nan
+        return out
+
+    raise SQLBindError(f"unknown SQL function {name!r}")

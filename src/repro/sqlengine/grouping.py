@@ -1,0 +1,70 @@
+"""Vectorized group-key factorization for the SQL engine's hash aggregate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataframe._common import isna_array
+
+__all__ = ["factorize", "factorize_many"]
+
+
+def factorize(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Dense group ids for one key column.  Returns ``(gids, uniques)``.
+
+    Group ids follow sorted-unique order for numeric/date keys (cheap and
+    deterministic); object keys fall back to a first-appearance dict.
+    """
+    if arr.dtype.kind in ("i", "u", "b", "f", "M"):
+        uniques, gids = np.unique(arr, return_inverse=True)
+        return gids.astype(np.int64), uniques
+    # Object (string) keys: a dict pass is O(n) vs the O(n log n) string
+    # argsort inside np.unique, and it tolerates None values.
+    seen: dict = {}
+    gids = np.empty(len(arr), dtype=np.int64)
+    order: list = []
+    for i, v in enumerate(arr):
+        g = seen.get(v)
+        if g is None:
+            g = len(order)
+            seen[v] = g
+            order.append(v)
+        gids[i] = g
+    uniques = np.empty(len(order), dtype=object)
+    uniques[:] = order
+    return gids, uniques
+
+
+def factorize_many(arrays: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndarray], int]:
+    """Dense group ids for composite keys.
+
+    Factorizes each key column independently, packs the per-column ids into
+    a single int64 code, and factorizes the codes.  Returns
+    ``(gids, unique_key_columns, ngroups)``.
+    """
+    if len(arrays) == 1:
+        gids, uniques = factorize(arrays[0])
+        return gids, [uniques], len(uniques)
+    per_col: list[tuple[np.ndarray, np.ndarray]] = [factorize(a) for a in arrays]
+    codes = np.zeros(len(arrays[0]), dtype=np.int64)
+    multiplier = 1
+    for gids, uniques in reversed(per_col):
+        codes += gids * multiplier
+        multiplier *= max(len(uniques), 1)
+    combined, combined_uniques = np.unique(codes, return_inverse=True)
+    ngroups = len(combined)
+    # Decode combined codes back into per-column unique values.
+    key_cols: list[np.ndarray] = []
+    remaining = combined.copy()
+    multipliers = []
+    m = 1
+    sizes = [len(u) for _, u in per_col]
+    for size in reversed(sizes):
+        multipliers.append(m)
+        m *= max(size, 1)
+    multipliers = list(reversed(multipliers))
+    for (gids, uniques), mult in zip(per_col, multipliers):
+        idx = remaining // mult
+        remaining = remaining % mult
+        key_cols.append(uniques[idx])
+    return combined_uniques.astype(np.int64), key_cols, ngroups

@@ -1,0 +1,203 @@
+"""Vectorized hash-join primitives for the SQL engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataframe._common import isna_array, take_with_nulls
+from .table import Chunk
+
+__all__ = ["join_positions", "combine_chunks", "semi_join_mask"]
+
+
+def _ranges_gather(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ranges [starts[i], starts[i]+counts[i]) — fully vectorized."""
+    nonzero = counts > 0
+    starts = starts[nonzero]
+    counts = counts[nonzero]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    ends = np.cumsum(counts)
+    out[0] = starts[0]
+    boundaries = ends[:-1]
+    out[boundaries] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(out)
+
+
+def _is_fast_key(arr: np.ndarray) -> bool:
+    return arr.dtype.kind in ("i", "u", "b", "M")
+
+
+def _to_int_key(arr: np.ndarray) -> np.ndarray:
+    if arr.dtype.kind == "M":
+        return arr.astype("datetime64[D]").astype(np.int64)
+    return arr.astype(np.int64)
+
+
+def _composite_int_key(arrays: list[np.ndarray], other: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray] | None:
+    """Pack multiple int key columns into one int64 key per side, if safe."""
+    packed_a = np.zeros(len(arrays[0]) if arrays[0] is not None else 0, dtype=np.int64)
+    packed_b = np.zeros(len(other[0]) if other[0] is not None else 0, dtype=np.int64)
+    multiplier = 1
+    for a, b in zip(reversed(arrays), reversed(other)):
+        ai, bi = _to_int_key(a), _to_int_key(b)
+        lo = min(ai.min() if len(ai) else 0, bi.min() if len(bi) else 0)
+        hi = max(ai.max() if len(ai) else 0, bi.max() if len(bi) else 0)
+        span = int(hi) - int(lo) + 1
+        if span <= 0 or multiplier > 2**62 // max(span, 1):
+            return None
+        packed_a = packed_a + (ai - lo) * multiplier
+        packed_b = packed_b + (bi - lo) * multiplier
+        multiplier *= span
+    return packed_a, packed_b
+
+
+def join_positions(
+    left_keys: list[np.ndarray],
+    right_keys: list[np.ndarray],
+    how: str = "inner",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Compute matching row positions for an equi-join.
+
+    Returns ``(left_pos, right_pos, left_missing, right_missing)`` where the
+    missing masks flag rows padded in by outer joins (their positions are 0
+    and must be null-filled).
+    """
+    nl = len(left_keys[0]) if left_keys else 0
+    nr = len(right_keys[0]) if right_keys else 0
+
+    fast = all(_is_fast_key(a) for a in left_keys) and all(_is_fast_key(a) for a in right_keys)
+    if fast and nl and nr:
+        if len(left_keys) == 1:
+            lk, rk = _to_int_key(left_keys[0]), _to_int_key(right_keys[0])
+        else:
+            packed = _composite_int_key(left_keys, right_keys)
+            if packed is None:
+                fast = False
+            else:
+                lk, rk = packed
+        if fast:
+            return _join_positions_int(lk, rk, how)
+    return _join_positions_generic(left_keys, right_keys, nl, nr, how)
+
+
+def _join_positions_int(lk: np.ndarray, rk: np.ndarray, how: str):
+    order = np.argsort(rk, kind="stable")
+    rs = rk[order]
+    lo = np.searchsorted(rs, lk, side="left")
+    hi = np.searchsorted(rs, lk, side="right")
+    counts = hi - lo
+    left_pos = np.repeat(np.arange(len(lk), dtype=np.int64), counts)
+    right_pos = order[_ranges_gather(lo, counts)]
+    left_missing = np.zeros(len(left_pos), dtype=bool)
+    right_missing = np.zeros(len(right_pos), dtype=bool)
+
+    if how in ("left", "full"):
+        unmatched = np.nonzero(counts == 0)[0]
+        if len(unmatched):
+            left_pos = np.concatenate([left_pos, unmatched])
+            right_pos = np.concatenate([right_pos, np.zeros(len(unmatched), dtype=np.int64)])
+            left_missing = np.concatenate([left_missing, np.zeros(len(unmatched), dtype=bool)])
+            right_missing = np.concatenate([right_missing, np.ones(len(unmatched), dtype=bool)])
+    if how in ("right", "full"):
+        matched = np.zeros(len(rk), dtype=bool)
+        matched[right_pos[~right_missing]] = True
+        unmatched_r = np.nonzero(~matched)[0]
+        if len(unmatched_r):
+            left_pos = np.concatenate([left_pos, np.zeros(len(unmatched_r), dtype=np.int64)])
+            right_pos = np.concatenate([right_pos, unmatched_r])
+            left_missing = np.concatenate([left_missing, np.ones(len(unmatched_r), dtype=bool)])
+            right_missing = np.concatenate([right_missing, np.zeros(len(unmatched_r), dtype=bool)])
+    return left_pos, right_pos, left_missing, right_missing
+
+
+def _join_positions_generic(left_keys, right_keys, nl, nr, how):
+    table: dict[tuple, list[int]] = {}
+    r_null = np.zeros(nr, dtype=bool)
+    for a in right_keys:
+        r_null |= isna_array(a)
+    for j in range(nr):
+        if r_null[j]:
+            continue
+        key = tuple(a[j] for a in right_keys)
+        table.setdefault(key, []).append(j)
+
+    l_null = np.zeros(nl, dtype=bool)
+    for a in left_keys:
+        l_null |= isna_array(a)
+
+    left_pos: list[int] = []
+    right_pos: list[int] = []
+    left_missing: list[bool] = []
+    right_missing: list[bool] = []
+    matched_r = np.zeros(nr, dtype=bool)
+    for i in range(nl):
+        matches = [] if l_null[i] else table.get(tuple(a[i] for a in left_keys), [])
+        if matches:
+            for j in matches:
+                left_pos.append(i)
+                right_pos.append(j)
+                left_missing.append(False)
+                right_missing.append(False)
+                matched_r[j] = True
+        elif how in ("left", "full"):
+            left_pos.append(i)
+            right_pos.append(0)
+            left_missing.append(False)
+            right_missing.append(True)
+    if how in ("right", "full"):
+        for j in np.nonzero(~matched_r)[0]:
+            left_pos.append(0)
+            right_pos.append(int(j))
+            left_missing.append(True)
+            right_missing.append(False)
+    return (
+        np.asarray(left_pos, dtype=np.int64),
+        np.asarray(right_pos, dtype=np.int64),
+        np.asarray(left_missing, dtype=bool),
+        np.asarray(right_missing, dtype=bool),
+    )
+
+
+def combine_chunks(
+    left: Chunk, right: Chunk,
+    left_pos: np.ndarray, right_pos: np.ndarray,
+    left_missing: np.ndarray, right_missing: np.ndarray,
+) -> Chunk:
+    """Materialize the joined chunk from position/missing vectors."""
+    columns = list(left.columns) + list(right.columns)
+    arrays = [take_with_nulls(a, left_pos, left_missing) for a in left.arrays]
+    arrays += [take_with_nulls(a, right_pos, right_missing) for a in right.arrays]
+    return Chunk(columns, arrays)
+
+
+def semi_join_mask(probe_keys: list[np.ndarray], build_keys: list[np.ndarray]) -> np.ndarray:
+    """Boolean mask over probe rows that have a match in build keys."""
+    n = len(probe_keys[0]) if probe_keys else 0
+    if not n:
+        return np.zeros(0, dtype=bool)
+    fast = all(_is_fast_key(a) for a in probe_keys) and all(_is_fast_key(a) for a in build_keys)
+    if fast and len(build_keys[0]):
+        if len(probe_keys) == 1:
+            pk, bk = _to_int_key(probe_keys[0]), _to_int_key(build_keys[0])
+        else:
+            packed = _composite_int_key(probe_keys, build_keys)
+            if packed is None:
+                fast = False
+            else:
+                pk, bk = packed
+        if fast:
+            return np.isin(pk, bk)
+    build_null = np.zeros(len(build_keys[0]) if build_keys else 0, dtype=bool)
+    for a in build_keys:
+        build_null |= isna_array(a)
+    keys = set()
+    for j in range(len(build_null)):
+        if not build_null[j]:
+            keys.add(tuple(a[j] for a in build_keys))
+    out = np.zeros(n, dtype=bool)
+    for i in range(n):
+        out[i] = tuple(a[i] for a in probe_keys) in keys
+    return out

@@ -1,0 +1,124 @@
+"""SQL tokenizer for the in-memory engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SQLSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE", "BETWEEN",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "DISTINCT", "WITH",
+    "JOIN", "LEFT", "RIGHT", "FULL", "INNER", "OUTER", "CROSS", "ON",
+    "EXISTS", "VALUES", "UNION", "ALL", "ASC", "DESC", "OVER", "PARTITION",
+    "DATE", "INTERVAL", "EXTRACT", "TRUE", "FALSE", "CREATE", "TABLE",
+    "INSERT", "INTO", "PRIMARY", "KEY", "UNIQUE", "DROP", "LIMIT", "OFFSET",
+}
+
+_TWO_CHAR = {"<=", ">=", "<>", "!=", "||"}
+_ONE_CHAR = set("+-*/%(),.<>=;")
+
+
+@dataclass
+class Token:
+    """A lexical token: kind is one of KEYWORD/IDENT/NUMBER/STRING/OP/EOF."""
+
+    kind: str
+    value: str
+    pos: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.value == word
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split *sql* into tokens; raises SQLSyntaxError on bad characters."""
+    tokens: list[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i)
+            if end == -1:
+                raise SQLSyntaxError(f"unterminated block comment at {i}")
+            i = end + 2
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while j < n:
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            if j >= n:
+                raise SQLSyntaxError(f"unterminated string literal at {i}")
+            tokens.append(Token("STRING", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j == -1:
+                raise SQLSyntaxError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token("IDENT", sql[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                cj = sql[j]
+                if cj.isdigit():
+                    j += 1
+                elif cj == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif cj in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and sql[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token("NUMBER", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        two = sql[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token("OP", two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR or ch in "{}":
+            tokens.append(Token("OP", ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

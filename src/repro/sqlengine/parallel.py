@@ -1,0 +1,78 @@
+"""Intra-query parallelism: morsel-driven filter/projection evaluation.
+
+The two simulated backends both parallelize scans/filters/projections across
+a thread pool (NumPy kernels release the GIL on large arrays, so the
+speedups are real, mirroring the scalability analysis of Section V-C).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["partition_bounds", "parallel_masks", "parallel_arrays", "run_partitions"]
+
+_POOL_LOCK = threading.Lock()
+_POOLS: dict[int, ThreadPoolExecutor] = {}
+
+
+def _pool(threads: int) -> ThreadPoolExecutor:
+    """Shared, lazily-created worker pools (pool startup is ~1ms; creating
+    one per operator would dominate small queries)."""
+    with _POOL_LOCK:
+        pool = _POOLS.get(threads)
+        if pool is None:
+            pool = ThreadPoolExecutor(max_workers=threads)
+            _POOLS[threads] = pool
+        return pool
+
+
+def partition_bounds(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into at most *parts* contiguous slices."""
+    parts = max(1, min(parts, n if n else 1))
+    step = (n + parts - 1) // parts if n else 0
+    out = []
+    start = 0
+    while start < n:
+        stop = min(start + step, n)
+        out.append((start, stop))
+        start = stop
+    return out or [(0, 0)]
+
+
+def run_partitions(n: int, threads: int, worker: Callable[[int, int], object]) -> list:
+    """Run ``worker(start, stop)`` over partitions, in a pool if threads>1."""
+    bounds = partition_bounds(n, threads)
+    if threads <= 1 or len(bounds) <= 1 or n < 4096:
+        # Tiny inputs: thread handoff costs more than the work itself.
+        return [worker(start, stop) for start, stop in bounds]
+    pool = _pool(threads)
+    futures = [pool.submit(worker, start, stop) for start, stop in bounds]
+    return [f.result() for f in futures]
+
+
+def parallel_masks(n: int, threads: int, make_mask: Callable[[int, int], np.ndarray]) -> np.ndarray:
+    """Evaluate a boolean mask over row partitions and concatenate."""
+    parts = run_partitions(n, threads, make_mask)
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+def parallel_arrays(n: int, threads: int, make_arrays: Callable[[int, int], list[np.ndarray]]) -> list[np.ndarray]:
+    """Evaluate a list of columns over row partitions and concatenate each."""
+    parts = run_partitions(n, threads, make_arrays)
+    if len(parts) == 1:
+        return parts[0]
+    out = []
+    for i in range(len(parts[0])):
+        segments = [p[i] for p in parts]
+        target = segments[0].dtype
+        for s in segments[1:]:
+            if s.dtype != target:
+                target = np.dtype(object) if (s.dtype == object or target == object) else np.promote_types(s.dtype, target)
+        out.append(np.concatenate([s.astype(target) for s in segments]))
+    return out

@@ -1,0 +1,519 @@
+"""Recursive-descent SQL parser producing the AST in :mod:`sqlast`."""
+
+from __future__ import annotations
+
+from ..errors import SQLSyntaxError
+from .lexer import Token, tokenize
+from .sqlast import (
+    AggCall, BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef, ExistsExpr,
+    Expr, FuncCall, InList, InSubquery, IsNull, JoinClause, LikeExpr, Literal,
+    OrderItem, Query, ScalarSubquery, Select, SelectItem, Star, SubqueryRef,
+    TableRef, UnaryOp, ValuesClause, WindowCall, WithQuery,
+)
+
+__all__ = ["parse", "parse_expression"]
+
+_AGG_FUNCS = {"SUM", "MIN", "MAX", "AVG", "COUNT", "STDDEV", "VAR"}
+_WINDOW_FUNCS = {"ROW_NUMBER", "RANK"}
+
+
+def parse(sql: str) -> Query:
+    """Parse a statement (optional WITH chain + SELECT) into a Query."""
+    parser = _Parser(tokenize(sql))
+    query = parser.parse_query()
+    parser.expect_eof()
+    return query
+
+
+def parse_expression(sql: str) -> Expr:
+    """Parse a standalone scalar expression (used by tests)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -----------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "EOF":
+            self._pos += 1
+        return tok
+
+    def _accept_keyword(self, *words: str) -> bool:
+        tok = self._peek()
+        if tok.kind == "KEYWORD" and tok.value in words:
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        tok = self._advance()
+        if not (tok.kind == "KEYWORD" and tok.value == word):
+            raise SQLSyntaxError(f"expected {word} but found {tok.value!r} at {tok.pos}")
+
+    def _accept_op(self, op: str) -> bool:
+        tok = self._peek()
+        if tok.kind == "OP" and tok.value == op:
+            self._advance()
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        tok = self._advance()
+        if not (tok.kind == "OP" and tok.value == op):
+            raise SQLSyntaxError(f"expected {op!r} but found {tok.value!r} at {tok.pos}")
+
+    def _expect_ident(self) -> str:
+        tok = self._advance()
+        if tok.kind == "IDENT":
+            return tok.value
+        if tok.kind == "KEYWORD":  # permit keywords as identifiers where safe
+            return tok.value.lower()
+        raise SQLSyntaxError(f"expected identifier but found {tok.value!r} at {tok.pos}")
+
+    def expect_eof(self) -> None:
+        self._accept_op(";")
+        tok = self._peek()
+        if tok.kind != "EOF":
+            raise SQLSyntaxError(f"unexpected trailing input {tok.value!r} at {tok.pos}")
+
+    # -- statements -----------------------------------------------------------
+    def parse_query(self) -> Query:
+        ctes: list[WithQuery] = []
+        if self._accept_keyword("WITH"):
+            while True:
+                ctes.append(self._parse_cte())
+                if not self._accept_op(","):
+                    break
+        body = self._parse_select()
+        return Query(ctes=ctes, body=body)
+
+    def _parse_cte(self) -> WithQuery:
+        name = self._expect_ident()
+        column_names = None
+        if self._accept_op("("):
+            column_names = [self._expect_ident()]
+            while self._accept_op(","):
+                column_names.append(self._expect_ident())
+            self._expect_op(")")
+        self._expect_keyword("AS")
+        # The paper's examples use { ... }; standard SQL uses ( ... ).
+        open_brace = self._peek().kind == "OP" and self._peek().value == "{"
+        if open_brace:
+            self._advance()
+        else:
+            self._expect_op("(")
+        if self._peek().is_keyword("VALUES"):
+            inner: Select | ValuesClause = self._parse_values()
+        else:
+            inner = self._parse_select()
+        if open_brace:
+            self._expect_op("}")
+        else:
+            self._expect_op(")")
+        return WithQuery(name=name, column_names=column_names, query=inner)
+
+    def _parse_values(self) -> ValuesClause:
+        self._expect_keyword("VALUES")
+        rows: list[list[Expr]] = []
+        while True:
+            self._expect_op("(")
+            row = [self.parse_expr()]
+            while self._accept_op(","):
+                row.append(self.parse_expr())
+            self._expect_op(")")
+            rows.append(row)
+            if not self._accept_op(","):
+                break
+        return ValuesClause(rows=rows)
+
+    def _parse_select(self) -> Select:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        if not distinct:
+            self._accept_keyword("ALL")
+        items = [self._parse_select_item()]
+        while self._accept_op(","):
+            items.append(self._parse_select_item())
+
+        relations: list = []
+        joins: list[JoinClause] = []
+        if self._accept_keyword("FROM"):
+            relations.append(self._parse_relation())
+            while True:
+                if self._accept_op(","):
+                    relations.append(self._parse_relation())
+                    continue
+                join_kind = self._maybe_join_kind()
+                if join_kind is None:
+                    break
+                relation = self._parse_relation()
+                condition = None
+                if self._accept_keyword("ON"):
+                    condition = self.parse_expr()
+                elif join_kind != "CROSS":
+                    raise SQLSyntaxError(f"{join_kind} JOIN requires ON")
+                joins.append(JoinClause(kind=join_kind, relation=relation, condition=condition))
+
+        where = self.parse_expr() if self._accept_keyword("WHERE") else None
+
+        group_by: list[Expr] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self.parse_expr())
+            while self._accept_op(","):
+                group_by.append(self.parse_expr())
+
+        having = self.parse_expr() if self._accept_keyword("HAVING") else None
+
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept_op(","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            tok = self._advance()
+            if tok.kind != "NUMBER":
+                raise SQLSyntaxError(f"LIMIT expects a number, found {tok.value!r}")
+            limit = int(tok.value)
+
+        return Select(
+            items=items, relations=relations, joins=joins, where=where,
+            group_by=group_by, having=having, order_by=order_by,
+            limit=limit, distinct=distinct,
+        )
+
+    def _maybe_join_kind(self) -> str | None:
+        tok = self._peek()
+        if tok.kind != "KEYWORD":
+            return None
+        if tok.value == "JOIN":
+            self._advance()
+            return "INNER"
+        if tok.value == "INNER":
+            self._advance()
+            self._expect_keyword("JOIN")
+            return "INNER"
+        if tok.value in ("LEFT", "RIGHT", "FULL"):
+            kind = tok.value
+            self._advance()
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            return kind
+        if tok.value == "CROSS":
+            self._advance()
+            self._expect_keyword("JOIN")
+            return "CROSS"
+        return None
+
+    def _parse_relation(self):
+        if self._accept_op("("):
+            if self._peek().is_keyword("VALUES"):
+                inner: Select | ValuesClause = self._parse_values()
+            else:
+                inner = self._parse_select()
+            self._expect_op(")")
+            self._accept_keyword("AS")
+            alias = self._expect_ident()
+            column_names = None
+            if self._accept_op("("):
+                column_names = [self._expect_ident()]
+                while self._accept_op(","):
+                    column_names.append(self._expect_ident())
+                self._expect_op(")")
+            return SubqueryRef(query=inner, alias=alias, column_names=column_names)
+        name = self._expect_ident()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._peek().kind == "IDENT":
+            alias = self._advance().value
+        return TableRef(name=name, alias=alias)
+
+    def _parse_select_item(self) -> SelectItem:
+        tok = self._peek()
+        if tok.kind == "OP" and tok.value == "*":
+            self._advance()
+            return SelectItem(expr=Star(), alias=None)
+        if (
+            tok.kind == "IDENT"
+            and self._peek(1).kind == "OP" and self._peek(1).value == "."
+            and self._peek(2).kind == "OP" and self._peek(2).value == "*"
+        ):
+            table = self._advance().value
+            self._advance()
+            self._advance()
+            return SelectItem(expr=Star(table=table), alias=None)
+        expr = self.parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._peek().kind == "IDENT":
+            alias = self._advance().value
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(expr=expr, ascending=ascending)
+
+    # -- expressions -------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            left = BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._accept_keyword("NOT"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        while True:
+            tok = self._peek()
+            if tok.kind == "OP" and tok.value in ("=", "<>", "!=", "<", "<=", ">", ">="):
+                self._advance()
+                op = "<>" if tok.value == "!=" else tok.value
+                left = BinaryOp(op, left, self._parse_additive())
+                continue
+            if tok.kind == "KEYWORD" and tok.value in ("LIKE", "IN", "BETWEEN", "IS", "NOT"):
+                negated = False
+                if tok.value == "NOT":
+                    nxt = self._peek(1)
+                    if nxt.kind == "KEYWORD" and nxt.value in ("LIKE", "IN", "BETWEEN"):
+                        self._advance()
+                        negated = True
+                        tok = self._peek()
+                    else:
+                        break
+                if tok.value == "LIKE":
+                    self._advance()
+                    pattern_tok = self._advance()
+                    if pattern_tok.kind != "STRING":
+                        raise SQLSyntaxError("LIKE expects a string literal pattern")
+                    left = LikeExpr(operand=left, pattern=pattern_tok.value, negated=negated)
+                    continue
+                if tok.value == "IN":
+                    self._advance()
+                    self._expect_op("(")
+                    if self._peek().is_keyword("SELECT") or self._peek().is_keyword("WITH"):
+                        sub = self._parse_select()
+                        self._expect_op(")")
+                        left = InSubquery(operand=left, query=sub, negated=negated)
+                    else:
+                        items = [self.parse_expr()]
+                        while self._accept_op(","):
+                            items.append(self.parse_expr())
+                        self._expect_op(")")
+                        left = InList(operand=left, items=items, negated=negated)
+                    continue
+                if tok.value == "BETWEEN":
+                    self._advance()
+                    low = self._parse_additive()
+                    self._expect_keyword("AND")
+                    high = self._parse_additive()
+                    left = BetweenExpr(operand=left, low=low, high=high, negated=negated)
+                    continue
+                if tok.value == "IS":
+                    self._advance()
+                    neg = self._accept_keyword("NOT")
+                    self._expect_keyword("NULL")
+                    left = IsNull(operand=left, negated=neg)
+                    continue
+            break
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            tok = self._peek()
+            if tok.kind == "OP" and tok.value in ("+", "-", "||"):
+                self._advance()
+                left = BinaryOp(tok.value, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            tok = self._peek()
+            if tok.kind == "OP" and tok.value in ("*", "/", "%"):
+                self._advance()
+                left = BinaryOp(tok.value, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        if self._accept_op("-"):
+            return UnaryOp("-", self._parse_unary())
+        if self._accept_op("+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        tok = self._peek()
+        if tok.kind == "NUMBER":
+            self._advance()
+            text = tok.value
+            if "." in text or "e" in text or "E" in text:
+                return Literal(float(text))
+            return Literal(int(text))
+        if tok.kind == "STRING":
+            self._advance()
+            return Literal(tok.value)
+        if tok.kind == "KEYWORD":
+            return self._parse_keyword_primary(tok)
+        if tok.kind == "OP" and tok.value == "(":
+            self._advance()
+            if self._peek().is_keyword("SELECT"):
+                sub = self._parse_select()
+                self._expect_op(")")
+                return ScalarSubquery(query=sub)
+            expr = self.parse_expr()
+            self._expect_op(")")
+            return expr
+        if tok.kind == "IDENT":
+            return self._parse_identifier_primary()
+        raise SQLSyntaxError(f"unexpected token {tok.value!r} at {tok.pos}")
+
+    def _parse_keyword_primary(self, tok: Token) -> Expr:
+        if tok.value == "NULL":
+            self._advance()
+            return Literal(None)
+        if tok.value in ("TRUE", "FALSE"):
+            self._advance()
+            return Literal(tok.value == "TRUE")
+        if tok.value == "DATE":
+            self._advance()
+            lit = self._advance()
+            if lit.kind != "STRING":
+                raise SQLSyntaxError("DATE expects a string literal")
+            import numpy as np
+
+            return Literal(np.datetime64(lit.value, "D"))
+        if tok.value == "INTERVAL":
+            self._advance()
+            amount = self._advance()
+            if amount.kind not in ("STRING", "NUMBER"):
+                raise SQLSyntaxError("INTERVAL expects a quantity")
+            unit = self._expect_ident().upper()
+            return FuncCall("INTERVAL", [Literal(int(str(amount.value))), Literal(unit)])
+        if tok.value == "CASE":
+            self._advance()
+            branches: list[tuple[Expr, Expr]] = []
+            while self._accept_keyword("WHEN"):
+                cond = self.parse_expr()
+                self._expect_keyword("THEN")
+                value = self.parse_expr()
+                branches.append((cond, value))
+            default = self.parse_expr() if self._accept_keyword("ELSE") else None
+            self._expect_keyword("END")
+            return CaseExpr(branches=branches, default=default)
+        if tok.value == "CAST":
+            self._advance()
+            self._expect_op("(")
+            operand = self.parse_expr()
+            self._expect_keyword("AS")
+            type_name = self._expect_ident().upper()
+            # Allow parameterized types like DECIMAL(12, 2).
+            if self._accept_op("("):
+                while not self._accept_op(")"):
+                    self._advance()
+            self._expect_op(")")
+            return CastExpr(operand=operand, type_name=type_name)
+        if tok.value == "EXTRACT":
+            self._advance()
+            self._expect_op("(")
+            field = self._expect_ident().upper()
+            self._expect_keyword("FROM")
+            operand = self.parse_expr()
+            self._expect_op(")")
+            return FuncCall(f"EXTRACT_{field}", [operand])
+        if tok.value == "EXISTS":
+            self._advance()
+            self._expect_op("(")
+            sub = self._parse_select()
+            self._expect_op(")")
+            return ExistsExpr(query=sub, negated=False)
+        if tok.value == "NOT":
+            self._advance()
+            return UnaryOp("NOT", self._parse_primary())
+        raise SQLSyntaxError(f"unexpected keyword {tok.value} at {tok.pos}")
+
+    def _parse_identifier_primary(self) -> Expr:
+        name = self._advance().value
+        # Function call?
+        if self._peek().kind == "OP" and self._peek().value == "(":
+            self._advance()
+            upper = name.upper()
+            if upper in _WINDOW_FUNCS:
+                self._expect_op(")")
+                return self._parse_over(upper)
+            distinct = False
+            args: list[Expr] = []
+            star = False
+            if self._peek().kind == "OP" and self._peek().value == "*":
+                self._advance()
+                star = True
+            elif not (self._peek().kind == "OP" and self._peek().value == ")"):
+                distinct = self._accept_keyword("DISTINCT")
+                args.append(self.parse_expr())
+                while self._accept_op(","):
+                    args.append(self.parse_expr())
+            self._expect_op(")")
+            if upper in _AGG_FUNCS:
+                if upper == "COUNT" and star:
+                    return AggCall("COUNT", None)
+                return AggCall(upper, args[0] if args else None, distinct=distinct)
+            return FuncCall(upper, args)
+        # Qualified column?
+        if self._peek().kind == "OP" and self._peek().value == ".":
+            self._advance()
+            col = self._expect_ident()
+            return ColumnRef(name=col, table=name)
+        return ColumnRef(name=name)
+
+    def _parse_over(self, func: str) -> WindowCall:
+        self._expect_keyword("OVER")
+        self._expect_op("(")
+        partition_by: list[Expr] = []
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("PARTITION"):
+            self._expect_keyword("BY")
+            partition_by.append(self.parse_expr())
+            while self._accept_op(","):
+                partition_by.append(self.parse_expr())
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept_op(","):
+                order_by.append(self._parse_order_item())
+        self._expect_op(")")
+        return WindowCall(func=func, partition_by=partition_by, order_by=order_by)

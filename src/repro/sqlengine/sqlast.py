@@ -1,0 +1,208 @@
+"""Abstract syntax tree for the SQL dialect understood by the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "Expr", "Literal", "ColumnRef", "Star", "BinaryOp", "UnaryOp", "FuncCall",
+    "AggCall", "CaseExpr", "CastExpr", "InList", "InSubquery", "ExistsExpr",
+    "ScalarSubquery", "BetweenExpr", "IsNull", "LikeExpr", "WindowCall",
+    "TableRef", "SubqueryRef", "JoinClause", "SelectItem", "OrderItem",
+    "Select", "ValuesClause", "WithQuery", "Query",
+]
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass
+class Literal(Expr):
+    value: object  # int | float | str | bool | None | numpy datetime64
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r})"
+
+
+@dataclass
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"Col({self.table + '.' if self.table else ''}{self.name})"
+
+
+@dataclass
+class Star(Expr):
+    table: Optional[str] = None
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str  # + - * / % = <> < <= > >= AND OR ||
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # NOT, -
+    operand: Expr
+
+
+@dataclass
+class FuncCall(Expr):
+    name: str
+    args: list[Expr]
+
+
+@dataclass
+class AggCall(Expr):
+    func: str  # SUM MIN MAX AVG COUNT
+    arg: Optional[Expr]  # None for COUNT(*)
+    distinct: bool = False
+
+
+@dataclass
+class WindowCall(Expr):
+    func: str  # ROW_NUMBER
+    partition_by: list[Expr] = field(default_factory=list)
+    order_by: list["OrderItem"] = field(default_factory=list)
+
+
+@dataclass
+class CaseExpr(Expr):
+    branches: list[tuple[Expr, Expr]]  # (condition, value)
+    default: Optional[Expr]
+
+
+@dataclass
+class CastExpr(Expr):
+    operand: Expr
+    type_name: str
+
+
+@dataclass
+class InList(Expr):
+    operand: Expr
+    items: list[Expr]
+    negated: bool = False
+
+
+@dataclass
+class InSubquery(Expr):
+    operand: Expr
+    query: "Select"
+    negated: bool = False
+
+
+@dataclass
+class ExistsExpr(Expr):
+    query: "Select"
+    negated: bool = False
+
+
+@dataclass
+class ScalarSubquery(Expr):
+    query: "Select"
+
+
+@dataclass
+class BetweenExpr(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass
+class LikeExpr(Expr):
+    operand: Expr
+    pattern: str
+    negated: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Relations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class SubqueryRef:
+    query: Union["Select", "ValuesClause"]
+    alias: str
+    column_names: Optional[list[str]] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+
+@dataclass
+class JoinClause:
+    kind: str  # INNER LEFT RIGHT FULL CROSS
+    relation: Union[TableRef, SubqueryRef]
+    condition: Optional[Expr]
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class Select:
+    items: list[SelectItem]
+    relations: list[Union[TableRef, SubqueryRef]] = field(default_factory=list)
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass
+class ValuesClause:
+    rows: list[list[Expr]]
+
+
+@dataclass
+class WithQuery:
+    name: str
+    column_names: Optional[list[str]]
+    query: Union[Select, ValuesClause]
+
+
+@dataclass
+class Query:
+    """A full statement: optional WITH chain plus the final SELECT."""
+
+    ctes: list[WithQuery]
+    body: Select

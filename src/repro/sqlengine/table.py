@@ -1,0 +1,116 @@
+"""In-memory columnar tables and runtime chunks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import SQLBindError
+from ..dataframe._common import coerce_array
+
+__all__ = ["Table", "Chunk"]
+
+
+class Table:
+    """A named base table with constraint metadata.
+
+    Constraint metadata (primary key / unique columns) is what PyTond's
+    translator reads from the database catalog to drive the
+    group-aggregate-elimination and self-join-elimination optimizations
+    (Section III-A / IV of the paper).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        data: Mapping[str, np.ndarray],
+        primary_key: list[str] | None = None,
+        unique: Iterable[str] | None = None,
+    ):
+        self.name = name
+        self.columns: list[str] = []
+        self.arrays: list[np.ndarray] = []
+        n = None
+        for col, values in data.items():
+            arr = coerce_array(values)
+            if n is None:
+                n = len(arr)
+            elif len(arr) != n:
+                raise SQLBindError(f"column {col!r} length mismatch in table {name!r}")
+            self.columns.append(str(col))
+            self.arrays.append(arr)
+        self.nrows = n if n is not None else 0
+        self.primary_key = list(primary_key) if primary_key else []
+        self.unique_columns = set(unique) if unique else set()
+        if len(self.primary_key) == 1:
+            self.unique_columns.add(self.primary_key[0])
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.arrays[self.columns.index(name)]
+        except ValueError:
+            raise SQLBindError(f"column {name!r} not found in table {self.name!r}") from None
+
+    def chunk(self) -> "Chunk":
+        return Chunk(list(self.columns), list(self.arrays))
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, cols={self.columns}, n={self.nrows})"
+
+
+class Chunk:
+    """A runtime relation: ordered column names + equal-length arrays."""
+
+    __slots__ = ("columns", "arrays")
+
+    def __init__(self, columns: list[str], arrays: list[np.ndarray]):
+        self.columns = columns
+        self.arrays = arrays
+
+    @property
+    def nrows(self) -> int:
+        return len(self.arrays[0]) if self.arrays else 0
+
+    @property
+    def ncols(self) -> int:
+        return len(self.columns)
+
+    def slot(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise SQLBindError(f"column {name!r} not found") from None
+
+    def take(self, positions: np.ndarray) -> "Chunk":
+        return Chunk(list(self.columns), [a[positions] for a in self.arrays])
+
+    def mask(self, mask: np.ndarray) -> "Chunk":
+        return Chunk(list(self.columns), [a[mask] for a in self.arrays])
+
+    def slice(self, start: int, stop: int) -> "Chunk":
+        return Chunk(list(self.columns), [a[start:stop] for a in self.arrays])
+
+    def head(self, n: int) -> "Chunk":
+        return self.slice(0, n)
+
+    @staticmethod
+    def concat(chunks: list["Chunk"]) -> "Chunk":
+        if not chunks:
+            return Chunk([], [])
+        first = chunks[0]
+        arrays = []
+        for i in range(first.ncols):
+            parts = [c.arrays[i] for c in chunks]
+            target = parts[0].dtype
+            for p in parts[1:]:
+                if p.dtype != target:
+                    target = np.promote_types(target, p.dtype) if p.dtype != object and target != object else np.dtype(object)
+            arrays.append(np.concatenate([p.astype(target) for p in parts]))
+        return Chunk(list(first.columns), arrays)
+
+    def to_dict(self) -> dict[str, list]:
+        return {c: a.tolist() for c, a in zip(self.columns, self.arrays)}
+
+    def __repr__(self) -> str:
+        return f"Chunk(cols={self.columns}, n={self.nrows})"

@@ -1,0 +1,101 @@
+"""Window function evaluation (ROW_NUMBER / RANK) and shared sort helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataframe._common import isna_array
+from .grouping import factorize, factorize_many
+
+__all__ = ["sort_positions", "row_number", "rank"]
+
+
+def _sort_key(arr: np.ndarray, ascending: bool) -> np.ndarray:
+    """Transform a column into an int/float key usable by lexsort."""
+    if arr.dtype.kind in ("i", "u", "b"):
+        key = arr.astype(np.int64)
+        return key if ascending else -key
+    if arr.dtype.kind == "f":
+        key = arr.copy()
+        nan = np.isnan(key)
+        if ascending:
+            key[nan] = np.inf  # nulls sort last
+            return key
+        key = -key
+        key[nan] = np.inf
+        return key
+    if arr.dtype.kind == "M":
+        key = arr.astype("datetime64[D]").astype(np.int64)
+        nat = isna_array(arr)
+        if not ascending:
+            key = -key
+        key[nat] = np.iinfo(np.int64).max  # nulls sort last either way
+        return key
+    # object (strings): factorize to ranks; uniques from np.unique are sorted.
+    gids, uniques = factorize(arr)
+    if uniques.dtype == object:
+        # dict-based factorization is first-appearance ordered; re-rank.
+        order = sorted(range(len(uniques)), key=lambda i: (uniques[i] is None, uniques[i]))
+        remap = np.empty(len(uniques), dtype=np.int64)
+        for rank_, idx in enumerate(order):
+            remap[idx] = rank_
+        gids = remap[gids]
+    return gids if ascending else -gids
+
+
+def sort_positions(arrays: list[np.ndarray], ascendings: list[bool]) -> np.ndarray:
+    """Stable multi-key argsort (first array is the primary key)."""
+    if not arrays:
+        return np.arange(0)
+    keys = [_sort_key(arr, asc) for arr, asc in zip(arrays, ascendings)]
+    # np.lexsort sorts by the LAST key first -> reverse.
+    return np.lexsort(tuple(reversed(keys)))
+
+
+def row_number(
+    n: int,
+    partition_arrays: list[np.ndarray],
+    order_arrays: list[np.ndarray],
+    order_ascendings: list[bool],
+) -> np.ndarray:
+    """ROW_NUMBER() OVER (PARTITION BY ... ORDER BY ...): 1-based ranks."""
+    if not partition_arrays:
+        if not order_arrays:
+            return np.arange(1, n + 1, dtype=np.int64)
+        order = sort_positions(order_arrays, order_ascendings)
+        out = np.empty(n, dtype=np.int64)
+        out[order] = np.arange(1, n + 1)
+        return out
+    gids, _, ngroups = factorize_many(partition_arrays)
+    sort_arrays = [gids] + list(order_arrays)
+    sort_asc = [True] + list(order_ascendings)
+    order = sort_positions(sort_arrays, sort_asc)
+    sorted_gids = gids[order]
+    boundaries = np.empty(n, dtype=bool)
+    if n:
+        boundaries[0] = True
+        boundaries[1:] = sorted_gids[1:] != sorted_gids[:-1]
+    starts = np.nonzero(boundaries)[0]
+    within = np.arange(n, dtype=np.int64)
+    within -= np.repeat(starts, np.diff(np.append(starts, n)))
+    out = np.empty(n, dtype=np.int64)
+    out[order] = within + 1
+    return out
+
+
+def rank(
+    n: int,
+    partition_arrays: list[np.ndarray],
+    order_arrays: list[np.ndarray],
+    order_ascendings: list[bool],
+) -> np.ndarray:
+    """RANK() with gaps, 1-based."""
+    rn = row_number(n, partition_arrays, order_arrays, order_ascendings)
+    if not order_arrays:
+        return rn
+    # Rows with equal order keys (within a partition) share the minimum rn.
+    key_arrays = list(partition_arrays) + list(order_arrays)
+    gids, _, ngroups = factorize_many(key_arrays)
+    mins = np.full(ngroups, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(mins, gids, rn)
+    return mins[gids]

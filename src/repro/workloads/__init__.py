@@ -1,0 +1,6 @@
+"""Benchmark workloads: TPC-H plus the paper's seven data-science pipelines."""
+
+from . import birth_analysis, crime_index, hybrid, n3, n9  # noqa: F401 (registry side effects)
+from .registry import WORKLOADS, Workload
+
+__all__ = ["WORKLOADS", "Workload"]

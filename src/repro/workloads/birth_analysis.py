@@ -1,0 +1,57 @@
+"""Birth Analysis workload — pivot_table + conditional (fancy-index-style)
+classification over a names-by-year dataset (Section V-A of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import pytond
+from .registry import Workload, register_workload
+
+__all__ = ["birth_analysis", "make_data", "WORKLOAD"]
+
+_NAMES = [
+    "Leslie", "Leslee", "Lesley", "Lesli", "Mary", "John", "Linda", "James",
+    "Patricia", "Robert", "Jennifer", "Michael", "Barbara", "William",
+    "Elizabeth", "David", "Susan", "Richard", "Jessica", "Joseph", "Sarah",
+    "Thomas", "Karen", "Charles",
+]
+
+
+@pytond(pivot_values={"sex": ["F", "M"]})
+def birth_analysis(names):
+    lesl = names[names.name.str.startswith('Lesl')]
+    table = lesl.pivot_table(index='year', columns='sex', values='births', aggfunc='sum')
+    t = table.reset_index()
+    t['total'] = t.F + t.M
+    t['ratio'] = t.F / (t.F + t.M)
+    t['lean'] = np.where(t.ratio > 0.5, 1, 0)
+    out = t[['year', 'total', 'ratio', 'lean']]
+    return out.sort_values('year')
+
+
+def make_data(scale: float = 1.0, seed: int = 17) -> dict:
+    """Names-by-year rows; scale=1 is ~500k rows."""
+    rng = np.random.default_rng(seed)
+    n = max(int(500_000 * scale), 500)
+    years = rng.integers(1880, 2011, size=n)
+    name_idx = rng.integers(0, len(_NAMES), size=n)
+    names = np.array(_NAMES, dtype=object)[name_idx]
+    sexes = np.where(rng.random(n) < 0.5, "F", "M").astype(object)
+    births = rng.integers(5, 5000, size=n)
+    return {
+        "names": {
+            "year": years.astype(np.int64),
+            "name": names,
+            "sex": sexes,
+            "births": births.astype(np.int64),
+        }
+    }
+
+
+WORKLOAD = register_workload(Workload(
+    name="birth_analysis",
+    fn=birth_analysis,
+    tables=["names"],
+    make_data=make_data,
+))

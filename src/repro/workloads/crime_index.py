@@ -1,0 +1,57 @@
+"""Crime Index workload (Weld [11], scaled) — a hybrid Pandas/NumPy pipeline.
+
+Filters a city-statistics DataFrame, converts it to a dense array, computes
+a weighted crime score with einsum, filters the resulting vector, and
+reduces it — exactly the Pandas -> NumPy -> Pandas shape described in
+Section V-A of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import pytond
+from .registry import Workload, register_workload
+
+__all__ = ["crime_index", "make_data", "WORKLOAD"]
+
+CRIME_WEIGHTS = [2e-7, 5e-7, -1e-4]
+
+
+@pytond()
+def crime_index(crime_data):
+    d = crime_data[(crime_data.total_population > 500000)
+                   & (crime_data.adult_population > 200000)]
+    d = d[['city_id', 'total_population', 'adult_population', 'num_robberies']]
+    a = d.drop('city_id', axis=1).to_numpy()
+    weights = np.array([2e-07, 5e-07, -0.0001])
+    scores = np.einsum('ij,j->i', a, weights)
+    high = scores[scores > 0.35]
+    return high.sum()
+
+
+def make_data(scale: float = 1.0, seed: int = 13) -> dict:
+    """Synthetic city statistics; scale=1 is ~100k rows (paper uses SF 100)."""
+    rng = np.random.default_rng(seed)
+    n = max(int(100_000 * scale), 100)
+    total = rng.integers(10_000, 5_000_000, size=n).astype(np.float64)
+    adult = np.round(total * rng.uniform(0.5, 0.9, size=n))
+    robberies = np.round(total * rng.uniform(0.0001, 0.005, size=n))
+    return {
+        "crime_data": {
+            "city_id": np.arange(1, n + 1, dtype=np.int64),
+            "city_name": np.array([f"city_{i}" for i in range(n)], dtype=object),
+            "total_population": total,
+            "adult_population": adult,
+            "num_robberies": robberies,
+        }
+    }
+
+
+WORKLOAD = register_workload(Workload(
+    name="crime_index",
+    fn=crime_index,
+    tables=["crime_data"],
+    make_data=make_data,
+    primary_keys={"crime_data": "city_id"},
+))

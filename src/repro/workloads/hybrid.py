@@ -1,0 +1,88 @@
+"""Hybrid matrix-calculation workloads (Section V-A, "Hybrid Matrix
+Calculation Experiments").
+
+Both pipelines join two large feature tables with Pandas, convert the
+result to a NumPy array, and run an einsum over it — a covariance matrix
+(``'ij,ik->jk'``) or a matrix-vector product (``'ij,j->i'``).  The
+*Filtered* variants additionally apply a join-dependent filter between the
+join and the einsum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import pytond
+from .registry import Workload, register_workload
+
+__all__ = [
+    "hybrid_covar_nf", "hybrid_covar_f", "hybrid_mv_nf", "hybrid_mv_f",
+    "make_data",
+]
+
+MV_WEIGHTS = [0.5, -1.0, 2.0, 0.25, 1.5, -0.75, 1.0, -2.0]
+
+
+@pytond()
+def hybrid_covar_nf(feat_a, feat_b):
+    j = feat_a.merge(feat_b, on='id')
+    a = j.drop('id', axis=1).to_numpy()
+    cov = np.einsum('ij,ik->jk', a, a)
+    return cov
+
+
+@pytond()
+def hybrid_covar_f(feat_a, feat_b):
+    j = feat_a.merge(feat_b, on='id')
+    j = j[j.x0 + j.y0 > 1.0]
+    a = j.drop('id', axis=1).to_numpy()
+    cov = np.einsum('ij,ik->jk', a, a)
+    return cov
+
+
+@pytond()
+def hybrid_mv_nf(feat_a, feat_b):
+    j = feat_a.merge(feat_b, on='id')
+    a = j.drop('id', axis=1).to_numpy()
+    w = np.array([0.5, -1.0, 2.0, 0.25, 1.5, -0.75, 1.0, -2.0])
+    v = np.einsum('ij,j->i', a, w)
+    return v
+
+
+@pytond()
+def hybrid_mv_f(feat_a, feat_b):
+    j = feat_a.merge(feat_b, on='id')
+    j = j[j.x0 + j.y0 > 1.0]
+    a = j.drop('id', axis=1).to_numpy()
+    w = np.array([0.5, -1.0, 2.0, 0.25, 1.5, -0.75, 1.0, -2.0])
+    v = np.einsum('ij,j->i', a, w)
+    return v
+
+
+def make_data(scale: float = 1.0, seed: int = 23) -> dict:
+    """Two feature tables sharing ids; scale=1 is 200k rows x 4+4 columns."""
+    rng = np.random.default_rng(seed)
+    n = max(int(200_000 * scale), 100)
+    ids = np.arange(1, n + 1, dtype=np.int64)
+    data_a = {"id": ids}
+    for k in range(4):
+        data_a[f"x{k}"] = rng.normal(0.0, 1.0, size=n)
+    data_b = {"id": ids}
+    for k in range(4):
+        data_b[f"y{k}"] = rng.normal(0.5, 1.0, size=n)
+    return {"feat_a": data_a, "feat_b": data_b}
+
+
+for _name, _fn in [
+    ("hybrid_covar_nf", hybrid_covar_nf),
+    ("hybrid_covar_f", hybrid_covar_f),
+    ("hybrid_mv_nf", hybrid_mv_nf),
+    ("hybrid_mv_f", hybrid_mv_f),
+]:
+    register_workload(Workload(
+        name=_name,
+        fn=_fn,
+        tables=["feat_a", "feat_b"],
+        make_data=make_data,
+        primary_keys={"feat_a": "id", "feat_b": "id"},
+    ))

@@ -1,0 +1,74 @@
+"""Kaggle notebook N3 (airline delays, per PyFroid [8]) — synthetic stand-in.
+
+A relational-algebra-heavy pipeline over airline on-time data: filter out
+cancelled flights, derive speed, aggregate per carrier, join carrier names
+and rank — the paper reports two orders of magnitude speedup for PyTond
+here thanks to whole-pipeline fusion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import pytond
+from .registry import Workload, register_workload
+
+__all__ = ["n3", "make_data", "WORKLOAD"]
+
+_CARRIERS = ["AA", "UA", "DL", "WN", "B6", "AS", "NK", "F9", "HA", "G4"]
+
+
+@pytond()
+def n3(flights, carriers):
+    f = flights[(flights.cancelled == 0) & (flights.diverted == 0)]
+    f = f[f.dep_delay > -30.0]
+    f['speed'] = f.distance / (f.air_time / 60.0)
+    f['delayed'] = np.where(f.arr_delay > 15.0, 1, 0)
+    g = f.groupby('carrier').agg(
+        num_flights=('arr_delay', 'count'),
+        avg_dep_delay=('dep_delay', 'mean'),
+        avg_arr_delay=('arr_delay', 'mean'),
+        max_arr_delay=('arr_delay', 'max'),
+        delayed_flights=('delayed', 'sum'),
+        avg_speed=('speed', 'mean'),
+    ).reset_index()
+    g['delayed_share'] = g.delayed_flights / g.num_flights
+    j = g.merge(carriers, on='carrier')
+    j = j[j.num_flights > 50]
+    out = j[['carrier', 'carrier_name', 'num_flights', 'avg_dep_delay',
+             'avg_arr_delay', 'max_arr_delay', 'delayed_share', 'avg_speed']]
+    return out.sort_values('avg_arr_delay', ascending=False)
+
+
+def make_data(scale: float = 1.0, seed: int = 29) -> dict:
+    """Synthetic on-time performance data; scale=1 is ~1M rows."""
+    rng = np.random.default_rng(seed)
+    n = max(int(1_000_000 * scale), 1000)
+    distance = rng.integers(100, 3000, size=n).astype(np.float64)
+    air_time = distance / rng.uniform(6.0, 9.0, size=n) * 60.0 / 60.0 + rng.uniform(20, 60, size=n)
+    return {
+        "flights": {
+            "flight_id": np.arange(1, n + 1, dtype=np.int64),
+            "carrier": np.array(_CARRIERS, dtype=object)[rng.integers(0, len(_CARRIERS), size=n)],
+            "origin": np.array([f"AP{k}" for k in rng.integers(0, 300, size=n)], dtype=object),
+            "dep_delay": np.round(rng.normal(8.0, 25.0, size=n), 1),
+            "arr_delay": np.round(rng.normal(5.0, 30.0, size=n), 1),
+            "distance": distance,
+            "air_time": np.round(air_time, 1),
+            "cancelled": (rng.random(n) < 0.02).astype(np.int64),
+            "diverted": (rng.random(n) < 0.01).astype(np.int64),
+        },
+        "carriers": {
+            "carrier": np.array(_CARRIERS, dtype=object),
+            "carrier_name": np.array([f"{c} Airlines Inc." for c in _CARRIERS], dtype=object),
+        },
+    }
+
+
+WORKLOAD = register_workload(Workload(
+    name="n3",
+    fn=n3,
+    tables=["flights", "carriers"],
+    make_data=make_data,
+    primary_keys={"flights": "flight_id", "carriers": "carrier"},
+))

@@ -1,0 +1,70 @@
+"""Kaggle notebook N9 (e-commerce analysis, per PyFroid [8]) — synthetic
+stand-in: per-category revenue analysis over an order-items fact table."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import pytond
+from .registry import Workload, register_workload
+
+__all__ = ["n9", "make_data", "WORKLOAD"]
+
+_CATEGORIES = [
+    "electronics", "furniture", "clothing", "books", "toys", "garden",
+    "sports", "beauty", "grocery", "automotive",
+]
+
+
+@pytond()
+def n9(order_items, products):
+    o = order_items[order_items.status == 'delivered']
+    o['revenue'] = o.price * o.quantity
+    o['freight_share'] = o.freight / (o.price * o.quantity)
+    j = o.merge(products, on='product_id')
+    g = j.groupby('category').agg(
+        orders=('order_id', 'nunique'),
+        items=('quantity', 'sum'),
+        revenue=('revenue', 'sum'),
+        avg_price=('price', 'mean'),
+        avg_freight_share=('freight_share', 'mean'),
+    ).reset_index()
+    total = g.revenue.sum()
+    g['revenue_share'] = g.revenue / total
+    g = g[g.items > 10]
+    return g.sort_values('revenue', ascending=False)
+
+
+def make_data(scale: float = 1.0, seed: int = 31) -> dict:
+    """Synthetic order items; scale=1 is ~500k rows over 20k products."""
+    rng = np.random.default_rng(seed)
+    n = max(int(500_000 * scale), 1000)
+    n_products = max(int(20_000 * scale), 50)
+    product_ids = np.arange(1, n_products + 1, dtype=np.int64)
+    return {
+        "order_items": {
+            "item_id": np.arange(1, n + 1, dtype=np.int64),
+            "order_id": rng.integers(1, max(n // 3, 2), size=n).astype(np.int64),
+            "product_id": rng.integers(1, n_products + 1, size=n).astype(np.int64),
+            "price": np.round(rng.lognormal(3.0, 1.0, size=n), 2),
+            "freight": np.round(rng.uniform(1.0, 40.0, size=n), 2),
+            "quantity": rng.integers(1, 5, size=n).astype(np.int64),
+            "status": np.where(rng.random(n) < 0.95, "delivered", "cancelled").astype(object),
+        },
+        "products": {
+            "product_id": product_ids,
+            "category": np.array(_CATEGORIES, dtype=object)[
+                rng.integers(0, len(_CATEGORIES), size=n_products)
+            ],
+            "weight_g": rng.integers(50, 30_000, size=n_products).astype(np.int64),
+        },
+    }
+
+
+WORKLOAD = register_workload(Workload(
+    name="n9",
+    fn=n9,
+    tables=["order_items", "products"],
+    make_data=make_data,
+    primary_keys={"order_items": "item_id", "products": "product_id"},
+))

@@ -1,0 +1,41 @@
+"""Common workload descriptor used by the benchmark harness and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Workload", "WORKLOADS", "register_workload"]
+
+
+@dataclass
+class Workload:
+    """One benchmarkable pipeline.
+
+    * ``fn`` — the ``@pytond``-decorated function;
+    * ``tables`` — parameter order: table names the function reads;
+    * ``make_data(scale, seed)`` — synthetic dataset builder returning
+      ``{table: {column: array}}``;
+    * ``primary_keys`` — per-table PK for catalog registration;
+    * ``python_runnable`` — False when the Python baseline cannot execute
+      the function directly (e.g. the sparse-layout variants).
+    """
+
+    name: str
+    fn: Callable
+    tables: list[str]
+    make_data: Callable
+    primary_keys: dict[str, str | None] = field(default_factory=dict)
+    python_runnable: bool = True
+
+    def register(self, db, dataset: dict) -> None:
+        for table in self.tables:
+            db.register(table, dataset[table], primary_key=self.primary_keys.get(table))
+
+
+WORKLOADS: dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload) -> Workload:
+    WORKLOADS[workload.name] = workload
+    return workload

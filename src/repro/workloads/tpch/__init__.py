@@ -1,0 +1,7 @@
+"""TPC-H benchmark: generator, schema, and the 22 queries."""
+
+from .datagen import generate
+from .queries import QUERIES, QUERY_TABLES
+from .schema import PRIMARY_KEYS, TABLES, register_tpch
+
+__all__ = ["generate", "QUERIES", "QUERY_TABLES", "TABLES", "PRIMARY_KEYS", "register_tpch"]

@@ -1,0 +1,270 @@
+"""Deterministic dbgen-style TPC-H data generator (NumPy, seeded).
+
+Follows the TPC-H specification's table cardinalities and value domains
+closely enough that all 22 queries exercise their intended operator mixes
+and selectivities: dates span 1992–1998, discounts 0–0.10, p_type triples,
+Brand#NM names, comment text that satisfies every LIKE predicate, etc.
+Scale factor 1.0 corresponds to the paper's dataset; tests and laptop
+benches use smaller factors (row counts scale linearly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["generate", "REGIONS", "NATIONS", "SEGMENTS", "PRIORITIES", "SHIPMODES"]
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+# (name, region index) — the 25 standard TPC-H nations.
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIPINSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+
+TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+CONTAINER_SYLL1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLL2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+    "lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+    "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+    "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat",
+    "white", "yellow",
+]
+
+_COMMENT_WORDS = [
+    "carefully", "furiously", "quickly", "slyly", "blithely", "even",
+    "final", "ironic", "regular", "express", "bold", "pending", "silent",
+    "daring", "unusual", "packages", "deposits", "accounts", "theodolites",
+    "instructions", "platelets", "foxes", "ideas", "dependencies", "pinto",
+    "beans", "requests", "asymptotes", "courts", "dolphins", "multipliers",
+]
+
+_EPOCH_START = np.datetime64("1992-01-01", "D")
+_ORDER_SPAN_DAYS = 2405  # 1992-01-01 .. 1998-08-02
+
+
+def _comments(rng: np.random.Generator, n: int, special_frac: float = 0.0,
+               special_words: tuple[str, str] | None = None) -> np.ndarray:
+    """Random comment strings; a fraction embed '<w1> ... <w2>' in order."""
+    w = rng.integers(0, len(_COMMENT_WORDS), size=(n, 4))
+    out = np.empty(n, dtype=object)
+    words = _COMMENT_WORDS
+    for i in range(n):
+        out[i] = f"{words[w[i, 0]]} {words[w[i, 1]]} {words[w[i, 2]]} {words[w[i, 3]]}"
+    if special_frac > 0 and special_words is not None:
+        count = max(int(n * special_frac), 1)
+        idx = rng.choice(n, size=count, replace=False)
+        w1, w2 = special_words
+        for i in idx:
+            out[i] = f"{words[w[i, 0]]} {w1} {words[w[i, 1]]} {w2} {words[w[i, 2]]}"
+    return out
+
+
+def _phones(rng: np.random.Generator, nation_keys: np.ndarray) -> np.ndarray:
+    local = rng.integers(100, 999, size=(len(nation_keys), 3))
+    out = np.empty(len(nation_keys), dtype=object)
+    for i, nk in enumerate(nation_keys):
+        out[i] = f"{nk + 10}-{local[i, 0]}-{local[i, 1]}-{local[i, 2]}"
+    return out
+
+
+def _dates(base: np.ndarray) -> np.ndarray:
+    return _EPOCH_START + base.astype("timedelta64[D]")
+
+
+def generate(scale_factor: float = 0.01, seed: int = 42) -> dict[str, dict[str, np.ndarray]]:
+    """Generate the full eight-table TPC-H dataset at *scale_factor*."""
+    rng = np.random.default_rng(seed)
+    sf = float(scale_factor)
+
+    n_supplier = max(int(10_000 * sf), 20)
+    n_part = max(int(200_000 * sf), 50)
+    n_customer = max(int(150_000 * sf), 40)
+    n_orders = max(int(1_500_000 * sf), 100)
+
+    dataset: dict[str, dict[str, np.ndarray]] = {}
+
+    # -- region / nation ------------------------------------------------------
+    dataset["region"] = {
+        "r_regionkey": np.arange(len(REGIONS), dtype=np.int64),
+        "r_name": np.array(REGIONS, dtype=object),
+        "r_comment": _comments(rng, len(REGIONS)),
+    }
+    dataset["nation"] = {
+        "n_nationkey": np.arange(len(NATIONS), dtype=np.int64),
+        "n_name": np.array([n for n, _ in NATIONS], dtype=object),
+        "n_regionkey": np.array([r for _, r in NATIONS], dtype=np.int64),
+        "n_comment": _comments(rng, len(NATIONS)),
+    }
+
+    # -- supplier ----------------------------------------------------------------
+    s_nation = rng.integers(0, len(NATIONS), size=n_supplier)
+    dataset["supplier"] = {
+        "s_suppkey": np.arange(1, n_supplier + 1, dtype=np.int64),
+        "s_name": np.array([f"Supplier#{i:09d}" for i in range(1, n_supplier + 1)], dtype=object),
+        "s_address": _comments(rng, n_supplier),
+        "s_nationkey": s_nation,
+        "s_phone": _phones(rng, s_nation),
+        "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, size=n_supplier), 2),
+        # ~5 per mille of suppliers have "Customer ... Complaints" (Q16).
+        "s_comment": _comments(rng, n_supplier, special_frac=0.01,
+                               special_words=("Customer", "Complaints")),
+    }
+
+    # -- part -----------------------------------------------------------------
+    name_idx = rng.integers(0, len(COLORS), size=(n_part, 5))
+    p_name = np.empty(n_part, dtype=object)
+    for i in range(n_part):
+        p_name[i] = " ".join(COLORS[j] for j in name_idx[i])
+    mfgr = rng.integers(1, 6, size=n_part)
+    brand = mfgr * 10 + rng.integers(1, 6, size=n_part)
+    t1 = rng.integers(0, len(TYPE_SYLL1), size=n_part)
+    t2 = rng.integers(0, len(TYPE_SYLL2), size=n_part)
+    t3 = rng.integers(0, len(TYPE_SYLL3), size=n_part)
+    p_type = np.empty(n_part, dtype=object)
+    for i in range(n_part):
+        p_type[i] = f"{TYPE_SYLL1[t1[i]]} {TYPE_SYLL2[t2[i]]} {TYPE_SYLL3[t3[i]]}"
+    c1 = rng.integers(0, len(CONTAINER_SYLL1), size=n_part)
+    c2 = rng.integers(0, len(CONTAINER_SYLL2), size=n_part)
+    p_container = np.empty(n_part, dtype=object)
+    for i in range(n_part):
+        p_container[i] = f"{CONTAINER_SYLL1[c1[i]]} {CONTAINER_SYLL2[c2[i]]}"
+    partkeys = np.arange(1, n_part + 1, dtype=np.int64)
+    dataset["part"] = {
+        "p_partkey": partkeys,
+        "p_name": p_name,
+        "p_mfgr": np.array([f"Manufacturer#{m}" for m in mfgr], dtype=object),
+        "p_brand": np.array([f"Brand#{b}" for b in brand], dtype=object),
+        "p_type": p_type,
+        "p_size": rng.integers(1, 51, size=n_part),
+        "p_container": p_container,
+        "p_retailprice": np.round(900.0 + (partkeys % 1000) / 10.0 + 100.0 * (partkeys % 10), 2),
+        "p_comment": _comments(rng, n_part),
+    }
+
+    # -- partsupp (4 suppliers per part) ---------------------------------------
+    ps_part = np.repeat(partkeys, 4)
+    ps_supp = np.empty(len(ps_part), dtype=np.int64)
+    for k in range(4):
+        ps_supp[k::4] = (partkeys + k * (n_supplier // 4 + 1)) % n_supplier + 1
+    dataset["partsupp"] = {
+        "ps_partkey": ps_part,
+        "ps_suppkey": ps_supp,
+        "ps_availqty": rng.integers(1, 10_000, size=len(ps_part)),
+        "ps_supplycost": np.round(rng.uniform(1.0, 1000.0, size=len(ps_part)), 2),
+        "ps_comment": _comments(rng, len(ps_part)),
+    }
+
+    # -- customer ----------------------------------------------------------------
+    c_nation = rng.integers(0, len(NATIONS), size=n_customer)
+    custkeys = np.arange(1, n_customer + 1, dtype=np.int64)
+    dataset["customer"] = {
+        "c_custkey": custkeys,
+        "c_name": np.array([f"Customer#{i:09d}" for i in custkeys], dtype=object),
+        "c_address": _comments(rng, n_customer),
+        "c_nationkey": c_nation,
+        "c_phone": _phones(rng, c_nation),
+        "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, size=n_customer), 2),
+        "c_mktsegment": np.array(SEGMENTS, dtype=object)[rng.integers(0, len(SEGMENTS), size=n_customer)],
+        "c_comment": _comments(rng, n_customer),
+    }
+
+    # -- orders (1/3 of customers have no orders, per spec) ---------------------------
+    orderkeys = np.arange(1, n_orders + 1, dtype=np.int64)
+    eligible = custkeys[custkeys % 3 != 0]
+    o_cust = eligible[rng.integers(0, len(eligible), size=n_orders)]
+    o_date_off = rng.integers(0, _ORDER_SPAN_DAYS - 151, size=n_orders)
+    o_orderdate = _dates(o_date_off)
+    dataset["orders"] = {
+        "o_orderkey": orderkeys,
+        "o_custkey": o_cust,
+        "o_orderstatus": np.array(["F", "O", "P"], dtype=object)[
+            rng.choice(3, size=n_orders, p=[0.49, 0.49, 0.02])
+        ],
+        "o_totalprice": np.round(rng.uniform(1000.0, 500_000.0, size=n_orders), 2),
+        "o_orderdate": o_orderdate,
+        "o_orderpriority": np.array(PRIORITIES, dtype=object)[
+            rng.integers(0, len(PRIORITIES), size=n_orders)
+        ],
+        "o_clerk": np.array([f"Clerk#{i:09d}" for i in rng.integers(1, max(int(n_orders / 1000), 2), size=n_orders)], dtype=object),
+        "o_shippriority": np.zeros(n_orders, dtype=np.int64),
+        "o_comment": _comments(rng, n_orders, special_frac=0.01,
+                               special_words=("special", "requests")),
+    }
+
+    # -- lineitem (1..7 lines per order) ------------------------------------------
+    lines_per_order = rng.integers(1, 8, size=n_orders)
+    l_order = np.repeat(orderkeys, lines_per_order)
+    n_lineitem = len(l_order)
+    l_linenumber = np.concatenate([np.arange(1, k + 1) for k in lines_per_order]).astype(np.int64)
+    l_part = rng.integers(1, n_part + 1, size=n_lineitem)
+    # The supplier must be one of the part's 4 partsupp suppliers.
+    which = rng.integers(0, 4, size=n_lineitem)
+    l_supp = (l_part + which * (n_supplier // 4 + 1)) % n_supplier + 1
+    l_qty = rng.integers(1, 51, size=n_lineitem).astype(np.float64)
+    l_price = np.round(l_qty * (90_000.0 + (l_part % 20_000) + 100.0 * (l_part % 10)) / 100.0, 2)
+    l_discount = np.round(rng.integers(0, 11, size=n_lineitem) / 100.0, 2)
+    l_tax = np.round(rng.integers(0, 9, size=n_lineitem) / 100.0, 2)
+
+    order_date_off = np.repeat(o_date_off, lines_per_order)
+    ship_off = order_date_off + rng.integers(1, 122, size=n_lineitem)
+    commit_off = order_date_off + rng.integers(30, 91, size=n_lineitem)
+    receipt_off = ship_off + rng.integers(1, 31, size=n_lineitem)
+
+    ship_date = _dates(ship_off)
+    receipt_date = _dates(receipt_off)
+    today = _EPOCH_START + np.timedelta64(_ORDER_SPAN_DAYS - 151 + 121, "D")
+    returnflag = np.where(
+        receipt_date <= _EPOCH_START + np.timedelta64(1460, "D"),
+        np.array(["R", "A"], dtype=object)[rng.integers(0, 2, size=n_lineitem)],
+        np.array("N", dtype=object),
+    ).astype(object)
+    linestatus = np.where(ship_date > _EPOCH_START + np.timedelta64(1710, "D"), "O", "F").astype(object)
+
+    dataset["lineitem"] = {
+        "l_orderkey": l_order,
+        "l_partkey": l_part,
+        "l_suppkey": l_supp,
+        "l_linenumber": l_linenumber,
+        "l_quantity": l_qty,
+        "l_extendedprice": l_price,
+        "l_discount": l_discount,
+        "l_tax": l_tax,
+        "l_returnflag": returnflag,
+        "l_linestatus": linestatus,
+        "l_shipdate": ship_date,
+        "l_commitdate": _dates(commit_off),
+        "l_receiptdate": receipt_date,
+        "l_shipinstruct": np.array(SHIPINSTRUCT, dtype=object)[
+            rng.integers(0, len(SHIPINSTRUCT), size=n_lineitem)
+        ],
+        "l_shipmode": np.array(SHIPMODES, dtype=object)[
+            rng.integers(0, len(SHIPMODES), size=n_lineitem)
+        ],
+        "l_comment": _comments(rng, n_lineitem),
+    }
+    return dataset

@@ -1,0 +1,371 @@
+"""All 22 TPC-H queries written against the Pandas-substitute API.
+
+Each query is a plain Pandas/NumPy-style function decorated with
+``@pytond()`` — calling it runs the eager Python baseline, while
+``.sql(backend, db=db)`` / ``.run(db, backend)`` go through the full
+translation pipeline.  Formulations follow the DataFrame TPC-H of the
+paper's reference [34] (merge/filter/groupby style, no SQL-isms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core import pytond
+
+__all__ = ["QUERIES", "QUERY_TABLES"]
+
+
+@pytond()
+def q1(lineitem):
+    l = lineitem[lineitem.l_shipdate <= '1998-09-02']
+    l['disc_price'] = l.l_extendedprice * (1 - l.l_discount)
+    l['charge'] = l.l_extendedprice * (1 - l.l_discount) * (1 + l.l_tax)
+    g = l.groupby(['l_returnflag', 'l_linestatus']).agg(
+        sum_qty=('l_quantity', 'sum'),
+        sum_base_price=('l_extendedprice', 'sum'),
+        sum_disc_price=('disc_price', 'sum'),
+        sum_charge=('charge', 'sum'),
+        avg_qty=('l_quantity', 'mean'),
+        avg_price=('l_extendedprice', 'mean'),
+        avg_disc=('l_discount', 'mean'),
+        count_order=('l_quantity', 'count'),
+    ).reset_index()
+    return g.sort_values(['l_returnflag', 'l_linestatus'])
+
+
+@pytond()
+def q2(part, supplier, partsupp, nation, region):
+    p = part[(part.p_size == 15) & (part.p_type.str.endswith('BRASS'))]
+    r = region[region.r_name == 'EUROPE']
+    j = partsupp.merge(p, left_on='ps_partkey', right_on='p_partkey')
+    j = j.merge(supplier, left_on='ps_suppkey', right_on='s_suppkey')
+    j = j.merge(nation, left_on='s_nationkey', right_on='n_nationkey')
+    j = j.merge(r, left_on='n_regionkey', right_on='r_regionkey')
+    mins = j.groupby('p_partkey').agg(min_cost=('ps_supplycost', 'min')).reset_index()
+    j2 = j.merge(mins, on='p_partkey')
+    j2 = j2[j2.ps_supplycost == j2.min_cost]
+    out = j2[['s_acctbal', 's_name', 'n_name', 'p_partkey', 'p_mfgr',
+              's_address', 's_phone', 's_comment']]
+    out = out.sort_values(['s_acctbal', 'n_name', 's_name', 'p_partkey'],
+                          ascending=[False, True, True, True])
+    return out.head(100)
+
+
+@pytond()
+def q3(customer, orders, lineitem):
+    c = customer[customer.c_mktsegment == 'BUILDING']
+    o = orders[orders.o_orderdate < '1995-03-15']
+    l = lineitem[lineitem.l_shipdate > '1995-03-15']
+    j = c.merge(o, left_on='c_custkey', right_on='o_custkey')
+    j = j.merge(l, left_on='o_orderkey', right_on='l_orderkey')
+    j['volume'] = j.l_extendedprice * (1 - j.l_discount)
+    g = j.groupby(['o_orderkey', 'o_orderdate', 'o_shippriority']).agg(
+        revenue=('volume', 'sum')).reset_index()
+    g = g.sort_values(['revenue', 'o_orderdate'], ascending=[False, True])
+    return g.head(10)
+
+
+@pytond()
+def q4(orders, lineitem):
+    l = lineitem[lineitem.l_commitdate < lineitem.l_receiptdate]
+    o = orders[(orders.o_orderdate >= '1993-07-01') & (orders.o_orderdate < '1993-10-01')]
+    o = o[o.o_orderkey.isin(l.l_orderkey)]
+    g = o.groupby('o_orderpriority').agg(order_count=('o_orderkey', 'count')).reset_index()
+    return g.sort_values('o_orderpriority')
+
+
+@pytond()
+def q5(customer, orders, lineitem, supplier, nation, region):
+    o = orders[(orders.o_orderdate >= '1994-01-01') & (orders.o_orderdate < '1995-01-01')]
+    r = region[region.r_name == 'ASIA']
+    j = customer.merge(o, left_on='c_custkey', right_on='o_custkey')
+    j = j.merge(lineitem, left_on='o_orderkey', right_on='l_orderkey')
+    j = j.merge(supplier, left_on='l_suppkey', right_on='s_suppkey')
+    j = j[j.c_nationkey == j.s_nationkey]
+    j = j.merge(nation, left_on='s_nationkey', right_on='n_nationkey')
+    j = j.merge(r, left_on='n_regionkey', right_on='r_regionkey')
+    j['volume'] = j.l_extendedprice * (1 - j.l_discount)
+    g = j.groupby('n_name').agg(revenue=('volume', 'sum')).reset_index()
+    return g.sort_values('revenue', ascending=False)
+
+
+@pytond()
+def q6(lineitem):
+    l = lineitem[(lineitem.l_shipdate >= '1994-01-01')
+                 & (lineitem.l_shipdate < '1995-01-01')
+                 & (lineitem.l_discount >= 0.05)
+                 & (lineitem.l_discount <= 0.07)
+                 & (lineitem.l_quantity < 24)]
+    rev = l.l_extendedprice * l.l_discount
+    return rev.sum()
+
+
+@pytond()
+def q7(supplier, lineitem, orders, customer, nation):
+    l = lineitem[(lineitem.l_shipdate >= '1995-01-01') & (lineitem.l_shipdate <= '1996-12-31')]
+    j = supplier.merge(l, left_on='s_suppkey', right_on='l_suppkey')
+    j = j.merge(orders, left_on='l_orderkey', right_on='o_orderkey')
+    j = j.merge(customer, left_on='o_custkey', right_on='c_custkey')
+    n1 = nation.rename(columns={'n_nationkey': 'n1_key', 'n_name': 'supp_nation',
+                                'n_regionkey': 'n1_rk', 'n_comment': 'n1_cm'})
+    n2 = nation.rename(columns={'n_nationkey': 'n2_key', 'n_name': 'cust_nation',
+                                'n_regionkey': 'n2_rk', 'n_comment': 'n2_cm'})
+    j = j.merge(n1, left_on='s_nationkey', right_on='n1_key')
+    j = j.merge(n2, left_on='c_nationkey', right_on='n2_key')
+    j = j[((j.supp_nation == 'FRANCE') & (j.cust_nation == 'GERMANY'))
+          | ((j.supp_nation == 'GERMANY') & (j.cust_nation == 'FRANCE'))]
+    j['l_year'] = j.l_shipdate.dt.year
+    j['volume'] = j.l_extendedprice * (1 - j.l_discount)
+    g = j.groupby(['supp_nation', 'cust_nation', 'l_year']).agg(
+        revenue=('volume', 'sum')).reset_index()
+    return g.sort_values(['supp_nation', 'cust_nation', 'l_year'])
+
+
+@pytond()
+def q8(part, supplier, lineitem, orders, customer, nation, region):
+    p = part[part.p_type == 'ECONOMY ANODIZED STEEL']
+    o = orders[(orders.o_orderdate >= '1995-01-01') & (orders.o_orderdate <= '1996-12-31')]
+    r = region[region.r_name == 'AMERICA']
+    j = p.merge(lineitem, left_on='p_partkey', right_on='l_partkey')
+    j = j.merge(supplier, left_on='l_suppkey', right_on='s_suppkey')
+    j = j.merge(o, left_on='l_orderkey', right_on='o_orderkey')
+    j = j.merge(customer, left_on='o_custkey', right_on='c_custkey')
+    n1 = nation.rename(columns={'n_nationkey': 'n1_key', 'n_name': 'n1_name',
+                                'n_regionkey': 'n1_rk', 'n_comment': 'n1_cm'})
+    n2 = nation.rename(columns={'n_nationkey': 'n2_key', 'n_name': 'supp_nation',
+                                'n_regionkey': 'n2_rk', 'n_comment': 'n2_cm'})
+    j = j.merge(n1, left_on='c_nationkey', right_on='n1_key')
+    j = j.merge(r, left_on='n1_rk', right_on='r_regionkey')
+    j = j.merge(n2, left_on='s_nationkey', right_on='n2_key')
+    j['o_year'] = j.o_orderdate.dt.year
+    j['volume'] = j.l_extendedprice * (1 - j.l_discount)
+    j['brazil_volume'] = np.where(j.supp_nation == 'BRAZIL', j.volume, 0.0)
+    g = j.groupby('o_year').agg(brazil=('brazil_volume', 'sum'),
+                                total=('volume', 'sum')).reset_index()
+    g['mkt_share'] = g.brazil / g.total
+    out = g[['o_year', 'mkt_share']]
+    return out.sort_values('o_year')
+
+
+@pytond()
+def q9(part, supplier, lineitem, partsupp, orders, nation):
+    p = part[part.p_name.str.contains('green')]
+    j = p.merge(lineitem, left_on='p_partkey', right_on='l_partkey')
+    j = j.merge(supplier, left_on='l_suppkey', right_on='s_suppkey')
+    j = j.merge(partsupp, left_on=['l_suppkey', 'l_partkey'],
+                right_on=['ps_suppkey', 'ps_partkey'])
+    j = j.merge(orders, left_on='l_orderkey', right_on='o_orderkey')
+    j = j.merge(nation, left_on='s_nationkey', right_on='n_nationkey')
+    j['o_year'] = j.o_orderdate.dt.year
+    j['amount'] = j.l_extendedprice * (1 - j.l_discount) - j.ps_supplycost * j.l_quantity
+    g = j.groupby(['n_name', 'o_year']).agg(sum_profit=('amount', 'sum')).reset_index()
+    return g.sort_values(['n_name', 'o_year'], ascending=[True, False])
+
+
+@pytond()
+def q10(customer, orders, lineitem, nation):
+    o = orders[(orders.o_orderdate >= '1993-10-01') & (orders.o_orderdate < '1994-01-01')]
+    l = lineitem[lineitem.l_returnflag == 'R']
+    j = customer.merge(o, left_on='c_custkey', right_on='o_custkey')
+    j = j.merge(l, left_on='o_orderkey', right_on='l_orderkey')
+    j = j.merge(nation, left_on='c_nationkey', right_on='n_nationkey')
+    j['volume'] = j.l_extendedprice * (1 - j.l_discount)
+    g = j.groupby(['c_custkey', 'c_name', 'c_acctbal', 'c_phone', 'n_name',
+                   'c_address', 'c_comment']).agg(revenue=('volume', 'sum')).reset_index()
+    g = g.sort_values('revenue', ascending=False)
+    return g.head(20)
+
+
+@pytond()
+def q11(partsupp, supplier, nation):
+    n = nation[nation.n_name == 'GERMANY']
+    j = partsupp.merge(supplier, left_on='ps_suppkey', right_on='s_suppkey')
+    j = j.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    j['value'] = j.ps_supplycost * j.ps_availqty
+    total = j.value.sum()
+    threshold = total * 0.0001
+    g = j.groupby('ps_partkey').agg(value=('value', 'sum')).reset_index()
+    g = g[g.value > threshold]
+    return g.sort_values('value', ascending=False)
+
+
+@pytond()
+def q12(orders, lineitem):
+    l = lineitem[lineitem.l_shipmode.isin(['MAIL', 'SHIP'])]
+    l = l[(l.l_commitdate < l.l_receiptdate) & (l.l_shipdate < l.l_commitdate)]
+    l = l[(l.l_receiptdate >= '1994-01-01') & (l.l_receiptdate < '1995-01-01')]
+    j = orders.merge(l, left_on='o_orderkey', right_on='l_orderkey')
+    j['high'] = np.where((j.o_orderpriority == '1-URGENT') | (j.o_orderpriority == '2-HIGH'), 1, 0)
+    j['low'] = np.where((j.o_orderpriority != '1-URGENT') & (j.o_orderpriority != '2-HIGH'), 1, 0)
+    g = j.groupby('l_shipmode').agg(high_line_count=('high', 'sum'),
+                                    low_line_count=('low', 'sum')).reset_index()
+    return g.sort_values('l_shipmode')
+
+
+@pytond()
+def q13(customer, orders):
+    o = orders[~orders.o_comment.str.like('%special%requests%')]
+    j = customer.merge(o, left_on='c_custkey', right_on='o_custkey', how='left')
+    g = j.groupby('c_custkey').agg(c_count=('o_orderkey', 'count')).reset_index()
+    d = g.groupby('c_count').agg(custdist=('c_custkey', 'count')).reset_index()
+    return d.sort_values(['custdist', 'c_count'], ascending=[False, False])
+
+
+@pytond()
+def q14(lineitem, part):
+    l = lineitem[(lineitem.l_shipdate >= '1995-09-01') & (lineitem.l_shipdate < '1995-10-01')]
+    j = l.merge(part, left_on='l_partkey', right_on='p_partkey')
+    j['volume'] = j.l_extendedprice * (1 - j.l_discount)
+    j['promo'] = np.where(j.p_type.str.startswith('PROMO'), j.volume, 0.0)
+    promo = j.promo.sum()
+    total = j.volume.sum()
+    ratio = promo / total
+    return ratio * 100.0
+
+
+@pytond()
+def q15(lineitem, supplier):
+    l = lineitem[(lineitem.l_shipdate >= '1996-01-01') & (lineitem.l_shipdate < '1996-04-01')]
+    l['volume'] = l.l_extendedprice * (1 - l.l_discount)
+    rev = l.groupby('l_suppkey').agg(total_revenue=('volume', 'sum')).reset_index()
+    top = rev.total_revenue.max()
+    best = rev[rev.total_revenue == top]
+    j = supplier.merge(best, left_on='s_suppkey', right_on='l_suppkey')
+    out = j[['s_suppkey', 's_name', 's_address', 's_phone', 'total_revenue']]
+    return out.sort_values('s_suppkey')
+
+
+@pytond()
+def q16(partsupp, part, supplier):
+    p = part[(part.p_brand != 'Brand#45')
+             & (~part.p_type.str.startswith('MEDIUM POLISHED'))
+             & (part.p_size.isin([49, 14, 23, 45, 19, 3, 36, 9]))]
+    bad = supplier[supplier.s_comment.str.like('%Customer%Complaints%')]
+    ps = partsupp[~partsupp.ps_suppkey.isin(bad.s_suppkey)]
+    j = ps.merge(p, left_on='ps_partkey', right_on='p_partkey')
+    g = j.groupby(['p_brand', 'p_type', 'p_size']).agg(
+        supplier_cnt=('ps_suppkey', 'nunique')).reset_index()
+    return g.sort_values(['supplier_cnt', 'p_brand', 'p_type', 'p_size'],
+                         ascending=[False, True, True, True])
+
+
+@pytond()
+def q17(lineitem, part):
+    p = part[(part.p_brand == 'Brand#23') & (part.p_container == 'MED BOX')]
+    j = lineitem.merge(p, left_on='l_partkey', right_on='p_partkey')
+    avgs = j.groupby('p_partkey').agg(avg_qty=('l_quantity', 'mean')).reset_index()
+    j2 = j.merge(avgs, on='p_partkey')
+    j2 = j2[j2.l_quantity < 0.2 * j2.avg_qty]
+    total = j2.l_extendedprice.sum()
+    return total / 7.0
+
+
+@pytond()
+def q18(customer, orders, lineitem):
+    g = lineitem.groupby('l_orderkey').agg(sum_qty=('l_quantity', 'sum')).reset_index()
+    big = g[g.sum_qty > 300]
+    j = orders.merge(big, left_on='o_orderkey', right_on='l_orderkey')
+    j = j.merge(customer, left_on='o_custkey', right_on='c_custkey')
+    out = j[['c_name', 'c_custkey', 'o_orderkey', 'o_orderdate', 'o_totalprice', 'sum_qty']]
+    out = out.sort_values(['o_totalprice', 'o_orderdate'], ascending=[False, True])
+    return out.head(100)
+
+
+@pytond()
+def q19(lineitem, part):
+    j = lineitem.merge(part, left_on='l_partkey', right_on='p_partkey')
+    j = j[j.l_shipmode.isin(['AIR', 'REG AIR']) & (j.l_shipinstruct == 'DELIVER IN PERSON')]
+    m1 = ((j.p_brand == 'Brand#12')
+          & (j.p_container.isin(['SM CASE', 'SM BOX', 'SM PACK', 'SM PKG']))
+          & (j.l_quantity >= 1) & (j.l_quantity <= 11)
+          & (j.p_size >= 1) & (j.p_size <= 5))
+    m2 = ((j.p_brand == 'Brand#23')
+          & (j.p_container.isin(['MED BAG', 'MED BOX', 'MED PKG', 'MED PACK']))
+          & (j.l_quantity >= 10) & (j.l_quantity <= 20)
+          & (j.p_size >= 1) & (j.p_size <= 10))
+    m3 = ((j.p_brand == 'Brand#34')
+          & (j.p_container.isin(['LG CASE', 'LG BOX', 'LG PACK', 'LG PKG']))
+          & (j.l_quantity >= 20) & (j.l_quantity <= 30)
+          & (j.p_size >= 1) & (j.p_size <= 15))
+    j2 = j[m1 | m2 | m3]
+    rev = j2.l_extendedprice * (1 - j2.l_discount)
+    return rev.sum()
+
+
+@pytond()
+def q20(supplier, nation, partsupp, part, lineitem):
+    p = part[part.p_name.str.startswith('forest')]
+    l = lineitem[(lineitem.l_shipdate >= '1994-01-01') & (lineitem.l_shipdate < '1995-01-01')]
+    lg = l.groupby(['l_partkey', 'l_suppkey']).agg(sum_qty=('l_quantity', 'sum')).reset_index()
+    ps = partsupp[partsupp.ps_partkey.isin(p.p_partkey)]
+    j = ps.merge(lg, left_on=['ps_partkey', 'ps_suppkey'], right_on=['l_partkey', 'l_suppkey'])
+    j = j[j.ps_availqty > 0.5 * j.sum_qty]
+    n = nation[nation.n_name == 'CANADA']
+    s = supplier.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    s = s[s.s_suppkey.isin(j.ps_suppkey)]
+    out = s[['s_name', 's_address']]
+    return out.sort_values('s_name')
+
+
+@pytond()
+def q21(supplier, lineitem, orders, nation):
+    n = nation[nation.n_name == 'SAUDI ARABIA']
+    late = lineitem[lineitem.l_receiptdate > lineitem.l_commitdate]
+    nsupp = lineitem.groupby('l_orderkey').agg(nsupp=('l_suppkey', 'nunique')).reset_index()
+    nlate = late.groupby('l_orderkey').agg(nlate=('l_suppkey', 'nunique')).reset_index()
+    j = late.merge(nsupp, on='l_orderkey')
+    j = j.merge(nlate, on='l_orderkey')
+    j = j[(j.nsupp > 1) & (j.nlate == 1)]
+    j = j.merge(orders, left_on='l_orderkey', right_on='o_orderkey')
+    j = j[j.o_orderstatus == 'F']
+    j = j.merge(supplier, left_on='l_suppkey', right_on='s_suppkey')
+    j = j.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    g = j.groupby('s_name').agg(numwait=('l_orderkey', 'count')).reset_index()
+    g = g.sort_values(['numwait', 's_name'], ascending=[False, True])
+    return g.head(100)
+
+
+@pytond()
+def q22(customer, orders):
+    c = customer.copy()
+    c['cntrycode'] = c.c_phone.str.slice(0, 2)
+    c = c[c.cntrycode.isin(['13', '31', '23', '29', '30', '18', '17'])]
+    pos = c[c.c_acctbal > 0.0]
+    avg_bal = pos.c_acctbal.mean()
+    c = c[c.c_acctbal > avg_bal]
+    c = c[~c.c_custkey.isin(orders.o_custkey)]
+    g = c.groupby('cntrycode').agg(numcust=('c_custkey', 'count'),
+                                   totacctbal=('c_acctbal', 'sum')).reset_index()
+    return g.sort_values('cntrycode')
+
+
+QUERIES = {i: fn for i, fn in enumerate(
+    [q1, q2, q3, q4, q5, q6, q7, q8, q9, q10, q11,
+     q12, q13, q14, q15, q16, q17, q18, q19, q20, q21, q22], start=1)}
+
+# Tables each query reads (parameter order).
+QUERY_TABLES = {
+    1: ["lineitem"],
+    2: ["part", "supplier", "partsupp", "nation", "region"],
+    3: ["customer", "orders", "lineitem"],
+    4: ["orders", "lineitem"],
+    5: ["customer", "orders", "lineitem", "supplier", "nation", "region"],
+    6: ["lineitem"],
+    7: ["supplier", "lineitem", "orders", "customer", "nation"],
+    8: ["part", "supplier", "lineitem", "orders", "customer", "nation", "region"],
+    9: ["part", "supplier", "lineitem", "partsupp", "orders", "nation"],
+    10: ["customer", "orders", "lineitem", "nation"],
+    11: ["partsupp", "supplier", "nation"],
+    12: ["orders", "lineitem"],
+    13: ["customer", "orders"],
+    14: ["lineitem", "part"],
+    15: ["lineitem", "supplier"],
+    16: ["partsupp", "part", "supplier"],
+    17: ["lineitem", "part"],
+    18: ["customer", "orders", "lineitem"],
+    19: ["lineitem", "part"],
+    20: ["supplier", "nation", "partsupp", "part", "lineitem"],
+    21: ["supplier", "lineitem", "orders", "nation"],
+    22: ["customer", "orders"],
+}

@@ -1,0 +1,48 @@
+"""TPC-H schema metadata: columns, keys, and loading helpers."""
+
+from __future__ import annotations
+
+__all__ = ["TABLES", "PRIMARY_KEYS", "register_tpch", "TABLE_ORDER"]
+
+TABLE_ORDER = [
+    "region", "nation", "supplier", "part", "partsupp",
+    "customer", "orders", "lineitem",
+]
+
+TABLES: dict[str, list[str]] = {
+    "region": ["r_regionkey", "r_name", "r_comment"],
+    "nation": ["n_nationkey", "n_name", "n_regionkey", "n_comment"],
+    "supplier": ["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone",
+                 "s_acctbal", "s_comment"],
+    "part": ["p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
+             "p_container", "p_retailprice", "p_comment"],
+    "partsupp": ["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost",
+                 "ps_comment"],
+    "customer": ["c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
+                 "c_acctbal", "c_mktsegment", "c_comment"],
+    "orders": ["o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+               "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority",
+               "o_comment"],
+    "lineitem": ["l_orderkey", "l_partkey", "l_suppkey", "l_linenumber",
+                 "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+                 "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
+                 "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment"],
+}
+
+PRIMARY_KEYS: dict[str, str | None] = {
+    "region": "r_regionkey",
+    "nation": "n_nationkey",
+    "supplier": "s_suppkey",
+    "part": "p_partkey",
+    "partsupp": None,  # composite (ps_partkey, ps_suppkey)
+    "customer": "c_custkey",
+    "orders": "o_orderkey",
+    "lineitem": None,  # composite (l_orderkey, l_linenumber)
+}
+
+
+def register_tpch(db, dataset: dict) -> None:
+    """Register a generated TPC-H dataset (dict of table -> columns dict)."""
+    for name in TABLE_ORDER:
+        pk = PRIMARY_KEYS[name]
+        db.register(name, dataset[name], primary_key=pk)

@@ -1,0 +1,51 @@
+"""Shared fixtures: a small deterministic TPC-H instance and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.dataframe as rpd
+from repro import connect
+from repro.workloads.tpch import generate, register_tpch
+
+
+@pytest.fixture(scope="session")
+def tpch_dataset():
+    return generate(scale_factor=0.002, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tpch_db(tpch_dataset):
+    db = connect()
+    register_tpch(db, tpch_dataset)
+    return db
+
+
+@pytest.fixture(scope="session")
+def tpch_frames(tpch_dataset):
+    return {name: rpd.DataFrame(cols) for name, cols in tpch_dataset.items()}
+
+
+@pytest.fixture()
+def simple_db():
+    db = connect()
+    db.register(
+        "emp",
+        {
+            "id": [1, 2, 3, 4, 5],
+            "dept": ["a", "b", "a", "b", "c"],
+            "sal": [10.0, 20.0, 30.0, 40.0, 50.0],
+            "age": [30, 40, 50, 60, 25],
+        },
+        primary_key="id",
+    )
+    db.register(
+        "dept",
+        {"dept": ["a", "b", "c"], "city": ["x", "y", "x"]},
+        primary_key="dept",
+    )
+    return db
+
+
+from tests.helpers import assert_frame_matches, rows  # noqa: E402,F401

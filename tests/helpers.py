@@ -1,0 +1,25 @@
+"""Assertion helpers shared by test modules."""
+
+from __future__ import annotations
+
+
+def rows(result) -> list[tuple]:
+    """Row tuples of a DataFrame-like result, rounding floats."""
+    d = result.to_dict() if hasattr(result, "to_dict") else result
+    cols = list(d.values())
+    n = len(cols[0]) if cols else 0
+    out = []
+    for i in range(n):
+        out.append(tuple(
+            round(c[i], 6) if isinstance(c[i], float) else c[i] for c in cols
+        ))
+    return out
+
+
+def assert_frame_matches(python_result, db_result, sort: bool = False):
+    """Python-baseline result equals the in-database result."""
+    a = rows(python_result.reset_index(drop=True))
+    b = rows(db_result)
+    if sort:
+        a, b = sorted(map(str, a)), sorted(map(str, b))
+    assert a == b, f"mismatch:\n python={a[:5]}\n db={b[:5]}"

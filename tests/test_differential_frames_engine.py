@@ -1,0 +1,117 @@
+"""Differential tests: the DataFrame library vs the SQL engine on the same
+TPC-H data — the two substrates must agree operation by operation."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import to_datetime
+
+from tests.helpers import rows
+
+
+class TestScansAndFilters:
+    def test_row_counts(self, tpch_db, tpch_frames):
+        for table in ("lineitem", "orders", "customer"):
+            sql_n = tpch_db.execute(f"SELECT COUNT(*) AS n FROM {table}")["n"].tolist()[0]
+            assert sql_n == len(tpch_frames[table])
+
+    def test_filter_selectivity(self, tpch_db, tpch_frames):
+        py = len(tpch_frames["lineitem"][tpch_frames["lineitem"].l_quantity > 25])
+        sql = tpch_db.execute(
+            "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity > 25")["n"].tolist()[0]
+        assert py == sql
+
+    def test_date_filter_agrees(self, tpch_db, tpch_frames):
+        li = tpch_frames["lineitem"]
+        py = len(li[(li.l_shipdate >= '1994-01-01') & (li.l_shipdate < '1995-01-01')])
+        sql = tpch_db.execute(
+            "SELECT COUNT(*) AS n FROM lineitem WHERE l_shipdate >= DATE '1994-01-01' "
+            "AND l_shipdate < DATE '1995-01-01'")["n"].tolist()[0]
+        assert py == sql
+
+    def test_string_predicate_agrees(self, tpch_db, tpch_frames):
+        p = tpch_frames["part"]
+        py = len(p[p.p_name.str.contains("green")])
+        sql = tpch_db.execute(
+            "SELECT COUNT(*) AS n FROM part WHERE p_name LIKE '%green%'")["n"].tolist()[0]
+        assert py == sql
+
+    def test_isin_agrees(self, tpch_db, tpch_frames):
+        li = tpch_frames["lineitem"]
+        py = len(li[li.l_shipmode.isin(["MAIL", "SHIP"])])
+        sql = tpch_db.execute(
+            "SELECT COUNT(*) AS n FROM lineitem WHERE l_shipmode IN ('MAIL', 'SHIP')"
+        )["n"].tolist()[0]
+        assert py == sql
+
+
+class TestAggregation:
+    def test_groupby_sum_agrees(self, tpch_db, tpch_frames):
+        py = tpch_frames["lineitem"].groupby("l_returnflag").agg(
+            s=("l_quantity", "sum")).reset_index()
+        sql = tpch_db.execute(
+            "SELECT l_returnflag, SUM(l_quantity) AS s FROM lineitem "
+            "GROUP BY l_returnflag ORDER BY l_returnflag")
+        assert rows(py.reset_index(drop=True)) == rows(sql)
+
+    def test_avg_and_count_agree(self, tpch_db, tpch_frames):
+        py_avg = float(tpch_frames["orders"].o_totalprice.mean())
+        sql_avg = tpch_db.execute("SELECT AVG(o_totalprice) AS a FROM orders")["a"].tolist()[0]
+        assert py_avg == pytest.approx(sql_avg)
+
+    def test_nunique_agrees(self, tpch_db, tpch_frames):
+        py = tpch_frames["lineitem"].l_suppkey.nunique()
+        sql = tpch_db.execute("SELECT COUNT(DISTINCT l_suppkey) AS n FROM lineitem")["n"].tolist()[0]
+        assert py == sql
+
+    def test_multi_key_group_count(self, tpch_db, tpch_frames):
+        py = tpch_frames["lineitem"].groupby(["l_returnflag", "l_linestatus"]).size()
+        sql = tpch_db.execute(
+            "SELECT l_returnflag, l_linestatus, COUNT(*) AS n FROM lineitem "
+            "GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus")
+        assert py.tolist() == sql["n"].tolist()
+
+
+class TestJoins:
+    def test_inner_join_cardinality(self, tpch_db, tpch_frames):
+        py = len(tpch_frames["orders"].merge(tpch_frames["customer"],
+                                             left_on="o_custkey", right_on="c_custkey"))
+        sql = tpch_db.execute(
+            "SELECT COUNT(*) AS n FROM orders, customer WHERE o_custkey = c_custkey"
+        )["n"].tolist()[0]
+        assert py == sql
+
+    def test_left_join_cardinality(self, tpch_db, tpch_frames):
+        py = len(tpch_frames["customer"].merge(tpch_frames["orders"],
+                                               left_on="c_custkey", right_on="o_custkey",
+                                               how="left"))
+        sql = tpch_db.execute(
+            "SELECT COUNT(*) AS n FROM customer LEFT JOIN orders ON c_custkey = o_custkey"
+        )["n"].tolist()[0]
+        assert py == sql
+
+    def test_semi_join_agrees(self, tpch_db, tpch_frames):
+        o = tpch_frames["orders"]
+        li = tpch_frames["lineitem"]
+        late = li[li.l_commitdate < li.l_receiptdate]
+        py = len(o[o.o_orderkey.isin(late.l_orderkey)])
+        sql = tpch_db.execute(
+            "SELECT COUNT(*) AS n FROM orders WHERE EXISTS ("
+            "SELECT 1 FROM lineitem WHERE l_orderkey = o_orderkey "
+            "AND l_commitdate < l_receiptdate)")["n"].tolist()[0]
+        assert py == sql
+
+
+class TestToDatetime:
+    def test_parse_strings(self):
+        arr = to_datetime(["1994-01-01", "1995-06-15"])
+        assert arr.dtype.kind == "M"
+        assert str(arr[0]) == "1994-01-01"
+
+    def test_none_becomes_nat(self):
+        arr = to_datetime(["1994-01-01", None])
+        assert np.isnat(arr[1])
+
+    def test_passthrough_datetimes(self):
+        src = np.array(["1994-01-01"], dtype="datetime64[D]")
+        assert to_datetime(src).dtype == src.dtype

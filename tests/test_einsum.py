@@ -1,0 +1,242 @@
+"""Einsum planner/kernels: dense and sparse lowering vs NumPy ground truth."""
+
+import numpy as np
+import pytest
+
+from repro import connect, pytond
+from repro.core.translate.einsum_planner import normalize_spec, optimize_path, parse_spec
+from repro.errors import TranslationError
+from repro.workloads.covariance import dense_table, sparse_table
+
+
+def run_dense(fn, matrices, widths=None, backend="hyper"):
+    """Register dense matrices and execute the decorated einsum function."""
+    db = connect()
+    for name, m in matrices.items():
+        db.register(name, dense_table(np.atleast_2d(m.T).T if m.ndim == 1 else m),
+                    primary_key="ID")
+    return db, fn.run(db, backend)
+
+
+def as_matrix(result):
+    d = result.to_dict()
+    if "ID" in d:
+        order = np.argsort(d["ID"])
+        cols = [np.asarray(d[k])[order] for k in d if k != "ID"]
+        return np.column_stack(cols)
+    return np.column_stack([np.asarray(v) for v in d.values()])
+
+
+class TestSpecParsing:
+    def test_parse(self):
+        assert parse_spec("ij,ik->jk") == (["ij", "ik"], "jk")
+
+    def test_parse_unary(self):
+        assert parse_spec("ij->i") == (["ij"], "i")
+
+    def test_parse_scalar_operand(self):
+        assert parse_spec(",ij->ij") == (["", "ij"], "ij")
+
+    def test_implicit_spec_rejected(self):
+        with pytest.raises(TranslationError):
+            parse_spec("ij,jk")
+
+    def test_bad_characters(self):
+        with pytest.raises(TranslationError):
+            parse_spec("i1->1")
+
+    def test_normalize_first_appearance(self):
+        # The paper's example: 'ab,cc->ba' becomes 'ij,kk->ji'.
+        norm, mapping = normalize_spec("ab,cc->ba")
+        assert norm == "ij,kk->ji"
+        assert mapping == {"a": "i", "b": "j", "c": "k"}
+
+    def test_normalize_identity(self):
+        assert normalize_spec("ij,ik->jk")[0] == "ij,ik->jk"
+
+
+class TestOptimizePath:
+    def test_binary_passthrough(self):
+        steps = optimize_path(["ij", "jk"], "ik")
+        assert steps == [(0, 1, "ij,jk->ik")]
+
+    def test_ternary_greedy(self):
+        steps = optimize_path(["ij", "jk", "kl"], "il")
+        assert len(steps) == 2
+        # each step is a valid binary spec
+        for _, _, spec in steps:
+            assert spec.count(",") == 1
+
+    def test_shared_index_contracted_first(self):
+        steps = optimize_path(["ij", "ij", "kl"], "kl")
+        assert steps[0][:2] == (0, 1)
+
+
+class TestDenseKernels:
+    def test_matrix_sum_es_full(self):
+        m = np.arange(12, dtype=np.float64).reshape(4, 3)
+
+        @pytond()
+        def f(matrix):
+            a = matrix.to_numpy()
+            return np.einsum('ij->', a)
+        db, res = run_dense(f, {"matrix": m})
+        assert list(res.to_dict().values())[0][0] == pytest.approx(m.sum())
+
+    def test_row_sum(self):
+        m = np.arange(12, dtype=np.float64).reshape(4, 3)
+
+        @pytond()
+        def f(matrix):
+            a = matrix.to_numpy()
+            return np.einsum('ij->i', a)
+        db, res = run_dense(f, {"matrix": m})
+        got = as_matrix(res).ravel()
+        assert got == pytest.approx(m.sum(axis=1))
+
+    def test_col_sum_reshapes_to_vector(self):
+        m = np.arange(12, dtype=np.float64).reshape(4, 3)
+
+        @pytond()
+        def f(matrix):
+            a = matrix.to_numpy()
+            return np.einsum('ij->j', a)
+        db, res = run_dense(f, {"matrix": m})
+        got = as_matrix(res).ravel()
+        assert got == pytest.approx(m.sum(axis=0))
+
+    def test_hadamard_es7(self):
+        m = np.arange(6, dtype=np.float64).reshape(3, 2) + 1.0
+
+        @pytond()
+        def f(matrix):
+            a = matrix.to_numpy()
+            return np.einsum('ij,ij->ij', a, a)
+        db, res = run_dense(f, {"matrix": m})
+        assert as_matrix(res) == pytest.approx(m * m)
+
+    def test_batch_outer_es8_covariance(self):
+        m = np.random.default_rng(0).normal(size=(50, 4))
+
+        @pytond()
+        def f(matrix):
+            a = matrix.to_numpy()
+            return np.einsum('ij,ik->jk', a, a)
+        db, res = run_dense(f, {"matrix": m})
+        assert as_matrix(res) == pytest.approx(np.einsum("ij,ik->jk", m, m))
+
+    def test_es9(self):
+        m = np.random.default_rng(1).normal(size=(20, 3))
+
+        @pytond()
+        def f(matrix):
+            a = matrix.to_numpy()
+            return np.einsum('ij,ik->ij', a, a)
+        db, res = run_dense(f, {"matrix": m})
+        assert as_matrix(res) == pytest.approx(np.einsum("ij,ik->ij", m, m))
+
+    def test_matvec_constant_weights(self):
+        m = np.random.default_rng(2).normal(size=(30, 3))
+
+        @pytond()
+        def f(matrix):
+            a = matrix.to_numpy()
+            w = np.array([1.0, -2.0, 0.5])
+            return np.einsum('ij,j->i', a, w)
+        db, res = run_dense(f, {"matrix": m})
+        got = as_matrix(res).ravel()
+        assert got == pytest.approx(m @ np.array([1.0, -2.0, 0.5]))
+
+    def test_matmul_constant_matrix(self):
+        m = np.random.default_rng(3).normal(size=(10, 3))
+        w = [[1.0, 0.0], [0.5, 1.0], [-1.0, 2.0]]
+
+        @pytond()
+        def f(matrix):
+            a = matrix.to_numpy()
+            w = np.array([[1.0, 0.0], [0.5, 1.0], [-1.0, 2.0]])
+            return np.einsum('ij,jk->ik', a, w)
+        db, res = run_dense(f, {"matrix": m})
+        assert as_matrix(res) == pytest.approx(m @ np.array(w))
+
+    def test_scalar_times_matrix_es6(self):
+        m = np.arange(6, dtype=np.float64).reshape(3, 2)
+
+        @pytond()
+        def f(matrix):
+            a = matrix.to_numpy()
+            return np.einsum(',ij->ij', 2.5, a)
+        db, res = run_dense(f, {"matrix": m})
+        assert as_matrix(res) == pytest.approx(2.5 * m)
+
+    def test_matmul_between_relations(self):
+        m1 = np.random.default_rng(4).normal(size=(8, 3))
+        m2 = np.random.default_rng(5).normal(size=(3, 2))
+
+        @pytond()
+        def f(m_left, m_right):
+            a = m_left.to_numpy()
+            b = m_right.to_numpy()
+            return np.einsum('ij,jk->ik', a, b)
+        db = connect()
+        db.register("m_left", dense_table(m1), primary_key="ID")
+        db.register("m_right", dense_table(m2), primary_key="ID")
+        res = f.run(db, "hyper")
+        assert as_matrix(res) == pytest.approx(m1 @ m2)
+
+    def test_dense_transpose_rejected(self):
+        @pytond()
+        def f(matrix):
+            a = matrix.to_numpy()
+            return np.einsum('ij->ji', a)
+        db = connect()
+        db.register("matrix", dense_table(np.eye(3)), primary_key="ID")
+        with pytest.raises(TranslationError):
+            f.sql("hyper", db=db)
+
+
+class TestSparseLowering:
+    @staticmethod
+    def _db(m):
+        db = connect()
+        db.register("m_coo", sparse_table(m))
+        return db
+
+    def test_sparse_covariance(self):
+        m = np.where(np.random.default_rng(6).random((40, 5)) < 0.3,
+                     np.random.default_rng(7).normal(size=(40, 5)), 0.0)
+
+        @pytond(layout="sparse")
+        def f(m_coo):
+            return np.einsum('ij,ik->jk', m_coo, m_coo)
+        db = self._db(m)
+        res = f.run(db, "hyper")
+        ref = np.einsum("ij,ik->jk", m, m)
+        d = res.to_dict()
+        got = np.zeros_like(ref)
+        for r, c, v in zip(d["d_j"], d["d_k"], d["val"]):
+            got[int(r), int(c)] = v
+        # COO only produces non-zero combinations; compare those
+        assert got == pytest.approx(np.where(got != 0, ref, got))
+
+    def test_sparse_full_contraction(self):
+        m = np.where(np.random.default_rng(8).random((20, 4)) < 0.5,
+                     np.random.default_rng(9).normal(size=(20, 4)), 0.0)
+
+        @pytond(layout="sparse")
+        def f(m_coo):
+            return np.einsum('ij,ij->', m_coo, m_coo)
+        db = self._db(m)
+        res = f.run(db, "hyper")
+        got = list(res.to_dict().values())[0][0]
+        assert got == pytest.approx((m * m).sum())
+
+    def test_sparse_requires_coo_operands(self):
+        @pytond(layout="sparse")
+        def f(matrix):
+            a = matrix.to_numpy()
+            return np.einsum('ij,ik->jk', a, a)
+        db = connect()
+        db.register("matrix", dense_table(np.eye(2)), primary_key="ID")
+        with pytest.raises(TranslationError):
+            f.sql("hyper", db=db)

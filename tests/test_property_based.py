@@ -1,0 +1,246 @@
+"""Property-based tests (hypothesis) for core data structures and invariants.
+
+Three families:
+* DataFrame-library algebraic invariants (filter/sort/groupby/merge);
+* SQL engine vs. the DataFrame library on equivalent operations;
+* optimizer semantics preservation on generated TondIR programs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.dataframe as rpd
+from repro import connect
+from repro.core.codegen import generate_sql
+from repro.core.tondir.ir import (
+    Agg, AssignAtom, BinOp, Const, FilterAtom, Head, Program, RelAtom, Rule, Var,
+)
+from repro.core.tondir.optimize import optimize
+from repro.sqlengine import EngineConfig
+from repro.sqlengine.grouping import factorize_many
+from repro.sqlengine.joins import join_positions, semi_join_mask
+from repro.sqlengine.window import row_number, sort_positions
+
+ints = st.integers(min_value=-100, max_value=100)
+int_lists = st.lists(ints, min_size=0, max_size=40)
+key_lists = st.lists(st.integers(min_value=0, max_value=6), min_size=0, max_size=40)
+float_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32),
+    min_size=0, max_size=40,
+)
+
+
+class TestSeriesProperties:
+    @given(int_lists)
+    def test_filter_then_count(self, xs):
+        s = rpd.Series(xs)
+        mask = s > 0
+        assert len(s[mask]) == sum(1 for x in xs if x > 0)
+
+    @given(int_lists)
+    def test_sort_is_permutation_and_ordered(self, xs):
+        s = rpd.Series(xs).sort_values()
+        out = s.tolist()
+        assert sorted(xs) == out
+
+    @given(int_lists)
+    def test_unique_preserves_set(self, xs):
+        s = rpd.Series(xs)
+        assert set(s.unique().tolist()) == set(xs)
+
+    @given(int_lists, ints)
+    def test_isin_matches_python(self, xs, probe):
+        s = rpd.Series(xs)
+        assert s.isin([probe]).tolist() == [x == probe for x in xs]
+
+    @given(float_lists)
+    def test_sum_matches_numpy(self, xs):
+        if not xs:
+            return
+        s = rpd.Series(xs)
+        assert float(s.sum()) == pytest.approx(float(np.sum(np.array(xs, dtype=np.float64))), rel=1e-6)
+
+
+class TestGroupByProperties:
+    @given(key_lists)
+    def test_group_sizes_sum_to_total(self, ks):
+        if not ks:
+            return
+        df = rpd.DataFrame({"k": ks, "v": list(range(len(ks)))})
+        sizes = df.groupby("k").size()
+        assert int(np.sum(sizes.values)) == len(ks)
+
+    @given(key_lists)
+    def test_group_sums_partition_total(self, ks):
+        if not ks:
+            return
+        vs = list(range(len(ks)))
+        df = rpd.DataFrame({"k": ks, "v": vs})
+        out = df.groupby("k").agg({"v": "sum"}).reset_index()
+        assert int(np.sum(out["v"].values)) == sum(vs)
+
+    @given(key_lists)
+    def test_factorize_many_roundtrip(self, ks):
+        if not ks:
+            return
+        arr = np.array(ks, dtype=np.int64)
+        gids, uniques, ngroups = factorize_many([arr])
+        assert ngroups == len(np.unique(arr))
+        assert np.array_equal(uniques[0][gids], arr)
+
+
+class TestJoinProperties:
+    @given(key_lists, key_lists)
+    def test_inner_join_count_matches_bruteforce(self, ls, rs):
+        l = np.array(ls, dtype=np.int64)
+        r = np.array(rs, dtype=np.int64)
+        lp, rp, lm, rm = join_positions([l], [r], "inner")
+        brute = sum(1 for a in ls for b in rs if a == b)
+        assert len(lp) == brute
+        assert np.array_equal(l[lp], r[rp])
+
+    @given(key_lists, key_lists)
+    def test_left_join_covers_all_left_rows(self, ls, rs):
+        l = np.array(ls, dtype=np.int64)
+        r = np.array(rs, dtype=np.int64)
+        lp, rp, lm, rm = join_positions([l], [r], "left")
+        assert set(lp.tolist()) == set(range(len(ls)))
+
+    @given(key_lists, key_lists)
+    def test_semi_join_matches_membership(self, ls, rs):
+        l = np.array(ls, dtype=np.int64)
+        r = np.array(rs, dtype=np.int64)
+        mask = semi_join_mask([l], [r])
+        rset = set(rs)
+        assert mask.tolist() == [x in rset for x in ls]
+
+    @given(key_lists, key_lists)
+    def test_full_join_row_count(self, ls, rs):
+        l = np.array(ls, dtype=np.int64)
+        r = np.array(rs, dtype=np.int64)
+        lp, rp, lm, rm = join_positions([l], [r], "full")
+        inner = sum(1 for a in ls for b in rs if a == b)
+        unmatched_l = sum(1 for a in ls if a not in set(rs))
+        unmatched_r = sum(1 for b in rs if b not in set(ls))
+        assert len(lp) == inner + unmatched_l + unmatched_r
+
+
+class TestSortWindowProperties:
+    @given(int_lists)
+    def test_sort_positions_agree_with_argsort(self, xs):
+        arr = np.array(xs, dtype=np.int64)
+        pos = sort_positions([arr], [True])
+        assert np.array_equal(arr[pos], np.sort(arr))
+
+    @given(int_lists)
+    def test_sort_descending_reverses(self, xs):
+        arr = np.array(xs, dtype=np.int64)
+        pos = sort_positions([arr], [False])
+        assert np.array_equal(arr[pos], np.sort(arr)[::-1])
+
+    @given(int_lists)
+    def test_row_number_is_permutation(self, xs):
+        arr = np.array(xs, dtype=np.int64)
+        rn = row_number(len(arr), [], [arr], [True])
+        assert sorted(rn.tolist()) == list(range(1, len(arr) + 1))
+
+    @given(key_lists)
+    def test_row_number_partitioned(self, ks):
+        arr = np.array(ks, dtype=np.int64)
+        rn = row_number(len(arr), [arr], [], [])
+        for key in set(ks):
+            group = rn[arr == key]
+            assert sorted(group.tolist()) == list(range(1, len(group) + 1))
+
+
+class TestEngineVsFrames:
+    @settings(max_examples=25, deadline=None)
+    @given(key_lists, st.integers(min_value=-5, max_value=5))
+    def test_filter_aggregate_pipeline(self, ks, threshold):
+        if not ks:
+            return
+        vs = [float(i) for i in range(len(ks))]
+        df = rpd.DataFrame({"k": ks, "v": vs})
+        db = connect()
+        db.register("t", {"k": np.array(ks, dtype=np.int64), "v": np.array(vs)})
+        py = df[df.k > threshold].groupby("k").agg({"v": "sum"}).reset_index()
+        out = db.execute(f"SELECT k, SUM(v) AS v FROM t WHERE k > {threshold} "
+                         "GROUP BY k ORDER BY k")
+        assert py["k"].tolist() == out["k"].tolist()
+        assert py["v"].tolist() == pytest.approx(out["v"].tolist())
+
+    @settings(max_examples=25, deadline=None)
+    @given(key_lists, key_lists)
+    def test_join_pipeline(self, ls, rs):
+        db = connect()
+        db.register("l", {"k": np.array(ls, dtype=np.int64)})
+        db.register("r", {"k": np.array(rs, dtype=np.int64)})
+        out = db.execute("SELECT COUNT(*) AS n FROM l, r WHERE l.k = r.k")
+        brute = sum(1 for a in ls for b in rs if a == b)
+        assert out["n"].tolist() == [brute]
+
+    @settings(max_examples=15, deadline=None)
+    @given(key_lists)
+    def test_modes_and_threads_agree(self, ks):
+        if not ks:
+            return
+        db = connect()
+        db.register("t", {"k": np.array(ks, dtype=np.int64)})
+        sql = "SELECT k, COUNT(*) AS n FROM t GROUP BY k ORDER BY k"
+        ref = db.execute(sql, config=EngineConfig(mode="compiled", threads=1)).to_dict()
+        for mode in ("compiled", "vectorized"):
+            for threads in (2, 3):
+                got = db.execute(sql, config=EngineConfig(mode=mode, threads=threads,
+                                                          morsel_size=3)).to_dict()
+                assert got == ref
+
+
+class TestOptimizerSemantics:
+    """Optimizing a random filter/project chain never changes its result."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                           st.sampled_from([">", "<", "<>"]),
+                           st.integers(min_value=-5, max_value=5)),
+                 min_size=1, max_size=4),
+        st.integers(min_value=0, max_value=9999),
+    )
+    def test_chain_of_filters(self, predicates, seed):
+        rng = np.random.default_rng(seed)
+        n = 30
+        data = {
+            "id": np.arange(n, dtype=np.int64),
+            "a": rng.integers(-5, 6, size=n),
+            "b": rng.integers(-5, 6, size=n),
+            "c": rng.integers(-5, 6, size=n),
+        }
+        db = connect()
+        db.register("base", data, primary_key="id")
+
+        rules = []
+        prev = "base"
+        cols = ["id", "a", "b", "c"]
+        for i, (col, op, k) in enumerate(predicates):
+            rel = f"f{i}"
+            rules.append(Rule(
+                Head(rel, list(cols)),
+                [RelAtom(prev, list(cols)), FilterAtom(BinOp(op, Var(col), Const(int(k))))],
+            ))
+            prev = rel
+        rules.append(Rule(
+            Head("sink", ["s", "n"]),
+            [RelAtom(prev, list(cols)),
+             AssignAtom("s", Agg("sum", Var("a"))),
+             AssignAtom("n", Agg("count", None))],
+        ))
+        program = Program(rules=rules, sink="sink")
+        schemas = {"base": cols}
+
+        raw_sql = generate_sql(program, dict(schemas))
+        opt_sql = generate_sql(optimize(program, "O4", base_unique={"base": {"id"}}),
+                               dict(schemas))
+        raw = db.execute(raw_sql).to_dict()
+        opt = db.execute(opt_sql).to_dict()
+        assert raw == opt

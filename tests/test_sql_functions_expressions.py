@@ -1,0 +1,143 @@
+"""Unit tests for scalar SQL functions and expression null semantics."""
+
+import numpy as np
+import pytest
+
+from repro import connect
+from repro.errors import SQLBindError
+from repro.sqlengine.functions import call_function
+from repro.sqlengine.expressions import expr_key
+from repro.sqlengine.parser import parse_expression
+
+
+@pytest.fixture()
+def db():
+    db = connect()
+    db.register("t", {
+        "i": [1, -2, 3],
+        "f": [1.25, np.nan, 2.75],
+        "s": ["Hello", None, "world"],
+        "d": np.array(["1994-03-15", "1995-07-01", "1996-12-31"], dtype="datetime64[D]"),
+    })
+    return db
+
+
+class TestNumericFunctions:
+    def test_round_digits(self):
+        out = call_function("ROUND", [np.array([1.234, 5.678]), 1], 2)
+        assert out.tolist() == [1.2, 5.7]
+
+    def test_abs_sqrt_power(self):
+        assert call_function("ABS", [np.array([-3, 4])], 2).tolist() == [3, 4]
+        assert call_function("SQRT", [np.array([4.0])], 1).tolist() == [2.0]
+        assert call_function("POWER", [np.array([2.0]), 3], 1).tolist() == [8.0]
+
+    def test_floor_ceil(self):
+        assert call_function("FLOOR", [np.array([1.7])], 1).tolist() == [1.0]
+        assert call_function("CEIL", [np.array([1.2])], 1).tolist() == [2.0]
+
+    def test_greatest_least(self):
+        a, b = np.array([1, 9]), np.array([5, 2])
+        assert call_function("GREATEST", [a, b], 2).tolist() == [5, 9]
+        assert call_function("LEAST", [a, b], 2).tolist() == [1, 2]
+
+    def test_alias_resolution(self):
+        assert call_function("POW", [np.array([2.0]), 2], 1).tolist() == [4.0]
+
+    def test_unknown_function(self):
+        with pytest.raises(SQLBindError):
+            call_function("FROBNICATE", [np.array([1])], 1)
+
+
+class TestStringFunctions:
+    def test_upper_lower_null_propagation(self):
+        arr = np.array(["ab", None], dtype=object)
+        assert call_function("UPPER", [arr], 2).tolist() == ["AB", None]
+        assert call_function("LOWER", [arr], 2).tolist() == ["ab", None]
+
+    def test_substr_one_based(self):
+        arr = np.array(["hello"], dtype=object)
+        assert call_function("SUBSTR", [arr, 2, 3], 1).tolist() == ["ell"]
+
+    def test_length_trim_replace(self):
+        assert call_function("LENGTH", [np.array(["abc"], dtype=object)], 1).tolist() == [3]
+        assert call_function("TRIM", [np.array([" x "], dtype=object)], 1).tolist() == ["x"]
+        assert call_function("REPLACE", [np.array(["aba"], dtype=object), "a", "c"], 1).tolist() == ["cbc"]
+
+    def test_concat(self):
+        out = call_function("CONCAT", [np.array(["a"], dtype=object), np.array(["b"], dtype=object)], 1)
+        assert out.tolist() == ["ab"]
+
+    def test_strpos(self):
+        assert call_function("STRPOS", [np.array(["hello"], dtype=object), "ll"], 1).tolist() == [3]
+
+
+class TestDateFunctions:
+    def test_extract_parts(self):
+        d = np.array(["1994-03-15"], dtype="datetime64[D]")
+        assert call_function("EXTRACT_YEAR", [d], 1).tolist() == [1994]
+        assert call_function("EXTRACT_MONTH", [d], 1).tolist() == [3]
+        assert call_function("EXTRACT_DAY", [d], 1).tolist() == [15]
+
+    def test_strftime_and_to_char_alias(self):
+        d = np.array(["1994-03-15"], dtype="datetime64[D]")
+        assert call_function("STRFTIME", [d, "%Y/%m"], 1).tolist() == ["1994/03"]
+        assert call_function("TO_CHAR", [d, "%Y"], 1).tolist() == ["1994"]
+
+    def test_makedate(self):
+        out = call_function("MAKEDATE", [1994, 3, 15], 1)
+        assert out == np.datetime64("1994-03-15")
+
+
+class TestNullHandling:
+    def test_coalesce(self):
+        arr = np.array([1.0, np.nan])
+        assert call_function("COALESCE", [arr, 0.0], 2).tolist() == [1.0, 0.0]
+
+    def test_coalesce_strings(self):
+        arr = np.array(["a", None], dtype=object)
+        assert call_function("COALESCE", [arr, "?"], 2).tolist() == ["a", "?"]
+
+    def test_nullif(self):
+        arr = np.array([1.0, 2.0])
+        out = call_function("NULLIF", [arr, 2.0], 2)
+        assert out[0] == 1.0 and np.isnan(out[1])
+
+    def test_null_comparison_in_query(self, db):
+        out = db.execute("SELECT i FROM t WHERE f > 0")
+        assert out["i"].tolist() == [1, 3]  # NaN row filtered out
+
+    def test_is_null_in_query(self, db):
+        assert db.execute("SELECT i FROM t WHERE s IS NULL")["i"].tolist() == [-2]
+        assert db.execute("SELECT i FROM t WHERE f IS NOT NULL")["i"].tolist() == [1, 3]
+
+    def test_like_skips_nulls(self, db):
+        out = db.execute("SELECT i FROM t WHERE s LIKE '%o%'")
+        assert out["i"].tolist() == [1, 3]
+
+    def test_arithmetic_propagates_nan(self, db):
+        out = db.execute("SELECT f + 1 AS g FROM t")
+        assert np.isnan(out["g"].values[1])
+
+    def test_string_concat_null(self, db):
+        out = db.execute("SELECT s || '!' AS e FROM t")
+        assert out["e"].values[1] is None
+
+
+class TestExprKey:
+    def test_structural_equality(self):
+        a = parse_expression("EXTRACT(YEAR FROM d)")
+        b = parse_expression("EXTRACT(YEAR FROM d)")
+        assert expr_key(a) == expr_key(b)
+
+    def test_structural_difference(self):
+        a = parse_expression("a + 1")
+        b = parse_expression("a + 2")
+        assert expr_key(a) != expr_key(b)
+
+    def test_group_by_expression_matching(self, db):
+        # matching between SELECT item and GROUP BY uses expr_key
+        out = db.execute(
+            "SELECT EXTRACT(YEAR FROM d) AS y, COUNT(*) AS n "
+            "FROM t GROUP BY EXTRACT(YEAR FROM d) ORDER BY y")
+        assert out["y"].tolist() == [1994, 1995, 1996]

@@ -1,0 +1,232 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlengine.lexer import Token, tokenize
+from repro.sqlengine.parser import parse, parse_expression
+from repro.sqlengine.sqlast import (
+    AggCall, BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef, ExistsExpr,
+    FuncCall, InList, InSubquery, IsNull, LikeExpr, Literal, ScalarSubquery,
+    Star, WindowCall,
+)
+
+
+class TestLexer:
+    def test_keywords_upper(self):
+        toks = tokenize("select A from B")
+        assert toks[0].kind == "KEYWORD" and toks[0].value == "SELECT"
+        assert toks[1].kind == "IDENT" and toks[1].value == "A"
+
+    def test_numbers(self):
+        toks = tokenize("1 2.5 1e3 2.5E-2")
+        assert [t.value for t in toks[:-1]] == ["1", "2.5", "1e3", "2.5E-2"]
+
+    def test_string_with_escape(self):
+        toks = tokenize("'it''s'")
+        assert toks[0].kind == "STRING" and toks[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_two_char_operators(self):
+        toks = tokenize("a <= b <> c || d")
+        ops = [t.value for t in toks if t.kind == "OP"]
+        assert ops == ["<=", "<>", "||"]
+
+    def test_comments_skipped(self):
+        toks = tokenize("SELECT 1 -- trailing\n/* block */ FROM t")
+        kinds = [t.value for t in toks if t.kind == "KEYWORD"]
+        assert kinds == ["SELECT", "FROM"]
+
+    def test_quoted_identifier(self):
+        toks = tokenize('"weird name"')
+        assert toks[0].kind == "IDENT" and toks[0].value == "weird name"
+
+    def test_bad_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+class TestExpressionParsing:
+    def test_precedence_mul_before_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, BinaryOp) and e.op == "+"
+        assert isinstance(e.right, BinaryOp) and e.right.op == "*"
+
+    def test_parens(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*"
+
+    def test_and_or_precedence(self):
+        e = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert e.op == "OR"
+        assert isinstance(e.right, BinaryOp) and e.right.op == "AND"
+
+    def test_not(self):
+        e = parse_expression("NOT a = 1")
+        assert e.op == "NOT"
+
+    def test_comparison_chain_rejected(self):
+        # standard SQL has no chained comparisons; parser treats as nested
+        e = parse_expression("a < b")
+        assert e.op == "<"
+
+    def test_like(self):
+        e = parse_expression("name LIKE '%green%'")
+        assert isinstance(e, LikeExpr) and not e.negated
+
+    def test_not_like(self):
+        e = parse_expression("name NOT LIKE 'x%'")
+        assert isinstance(e, LikeExpr) and e.negated
+
+    def test_in_list(self):
+        e = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(e, InList) and len(e.items) == 3
+
+    def test_not_in_list(self):
+        e = parse_expression("x NOT IN (1)")
+        assert isinstance(e, InList) and e.negated
+
+    def test_in_subquery(self):
+        e = parse_expression("x IN (SELECT y FROM t)")
+        assert isinstance(e, InSubquery)
+
+    def test_between(self):
+        e = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(e, BetweenExpr)
+
+    def test_is_null(self):
+        assert isinstance(parse_expression("x IS NULL"), IsNull)
+        e = parse_expression("x IS NOT NULL")
+        assert isinstance(e, IsNull) and e.negated
+
+    def test_case_when(self):
+        e = parse_expression("CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END")
+        assert isinstance(e, CaseExpr)
+        assert len(e.branches) == 2
+        assert isinstance(e.default, Literal)
+
+    def test_cast(self):
+        e = parse_expression("CAST(x AS DOUBLE)")
+        assert isinstance(e, CastExpr) and e.type_name == "DOUBLE"
+
+    def test_cast_parameterized(self):
+        e = parse_expression("CAST(x AS DECIMAL(12, 2))")
+        assert e.type_name == "DECIMAL"
+
+    def test_extract(self):
+        e = parse_expression("EXTRACT(YEAR FROM d)")
+        assert isinstance(e, FuncCall) and e.name == "EXTRACT_YEAR"
+
+    def test_date_literal(self):
+        e = parse_expression("DATE '1994-01-01'")
+        assert isinstance(e, Literal) and isinstance(e.value, np.datetime64)
+
+    def test_interval(self):
+        e = parse_expression("INTERVAL '3' DAY")
+        assert isinstance(e, FuncCall) and e.name == "INTERVAL"
+
+    def test_exists(self):
+        e = parse_expression("EXISTS (SELECT 1 FROM t)")
+        assert isinstance(e, ExistsExpr)
+
+    def test_scalar_subquery(self):
+        e = parse_expression("(SELECT MAX(x) FROM t)")
+        assert isinstance(e, ScalarSubquery)
+
+    def test_agg_calls(self):
+        assert parse_expression("COUNT(*)").arg is None
+        e = parse_expression("COUNT(DISTINCT x)")
+        assert isinstance(e, AggCall) and e.distinct
+        assert parse_expression("SUM(a + b)").func == "SUM"
+
+    def test_window(self):
+        e = parse_expression("ROW_NUMBER() OVER (PARTITION BY a ORDER BY b DESC)")
+        assert isinstance(e, WindowCall)
+        assert len(e.partition_by) == 1
+        assert e.order_by[0].ascending is False
+
+    def test_qualified_column(self):
+        e = parse_expression("t1.col")
+        assert isinstance(e, ColumnRef) and e.table == "t1"
+
+    def test_concat_operator(self):
+        assert parse_expression("a || b").op == "||"
+
+    def test_unary_minus(self):
+        e = parse_expression("-x")
+        assert e.op == "-"
+
+
+class TestStatementParsing:
+    def test_simple_select(self):
+        q = parse("SELECT a, b AS bee FROM t WHERE a > 1")
+        assert len(q.body.items) == 2
+        assert q.body.items[1].alias == "bee"
+        assert q.body.relations[0].name == "t"
+
+    def test_star(self):
+        q = parse("SELECT * FROM t")
+        assert isinstance(q.body.items[0].expr, Star)
+
+    def test_qualified_star(self):
+        q = parse("SELECT t.* FROM t")
+        assert q.body.items[0].expr.table == "t"
+
+    def test_implicit_alias(self):
+        q = parse("SELECT a FROM mytable m")
+        assert q.body.relations[0].alias == "m"
+
+    def test_comma_join(self):
+        q = parse("SELECT 1 FROM a, b, c")
+        assert len(q.body.relations) == 3
+
+    def test_explicit_joins(self):
+        q = parse("SELECT 1 FROM a LEFT JOIN b ON a.x = b.y JOIN c ON c.z = a.x")
+        assert [j.kind for j in q.body.joins] == ["LEFT", "INNER"]
+
+    def test_join_requires_on(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT 1 FROM a JOIN b")
+
+    def test_group_having_order_limit(self):
+        q = parse("SELECT k, SUM(v) AS s FROM t GROUP BY k HAVING SUM(v) > 3 "
+                  "ORDER BY s DESC, k LIMIT 7")
+        assert len(q.body.group_by) == 1
+        assert q.body.having is not None
+        assert q.body.order_by[0].ascending is False
+        assert q.body.limit == 7
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").body.distinct
+
+    def test_with_chain(self):
+        q = parse("WITH x(a) AS (SELECT 1), y AS (SELECT a FROM x) SELECT * FROM y")
+        assert [c.name for c in q.ctes] == ["x", "y"]
+        assert q.ctes[0].column_names == ["a"]
+
+    def test_with_values(self):
+        q = parse("WITH v(n, s) AS (VALUES (1, 'a'), (2, 'b')) SELECT * FROM v")
+        assert len(q.ctes[0].query.rows) == 2
+
+    def test_cte_brace_syntax(self):
+        # The paper's examples write CTE bodies in { ... }.
+        q = parse("WITH r1(a) AS { SELECT 1 } SELECT * FROM r1")
+        assert q.ctes[0].name == "r1"
+
+    def test_subquery_in_from(self):
+        q = parse("SELECT s.a FROM (SELECT 1 AS a) AS s")
+        assert q.body.relations[0].alias == "s"
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT 1 FROM t extra grabage ,")
+
+    def test_semicolon_ok(self):
+        parse("SELECT 1;")

@@ -1,0 +1,283 @@
+"""Unit tests for the four TondIR optimization passes (Section IV)."""
+
+import pytest
+
+from repro.core.tondir.ir import (
+    Agg, AssignAtom, BinOp, Const, ExistsAtom, Ext, FilterAtom, Head,
+    OuterAtom, Program, RelAtom, Rule, SortSpec, Var,
+)
+from repro.core.tondir.optimize import (
+    OPT_LEVELS, global_dce, group_aggregate_elimination, local_dce, optimize,
+    rule_inlining, self_join_elimination,
+)
+
+
+class TestLocalDCE:
+    def test_removes_unused_assignment(self):
+        # The paper's example: R1(y) :- R(a,b), (x=a), (y=a*b).
+        p = Program(rules=[Rule(
+            Head("R1", ["y"]),
+            [RelAtom("R", ["a", "b"]),
+             AssignAtom("x", Var("a")),
+             AssignAtom("y", BinOp("*", Var("a"), Var("b")))],
+        )], sink="R1")
+        assert local_dce(p)
+        assigns = [a for a in p.rules[0].body if isinstance(a, AssignAtom)]
+        assert [a.var for a in assigns] == ["y"]
+
+    def test_keeps_transitively_used(self):
+        p = Program(rules=[Rule(
+            Head("R1", ["y"]),
+            [RelAtom("R", ["a"]),
+             AssignAtom("x", Var("a")),
+             AssignAtom("y", BinOp("+", Var("x"), Const(1)))],
+        )], sink="R1")
+        assert not local_dce(p)
+
+    def test_removes_assignment_chains(self):
+        p = Program(rules=[Rule(
+            Head("R1", ["a"]),
+            [RelAtom("R", ["a"]),
+             AssignAtom("x", Var("a")),
+             AssignAtom("y", Var("x"))],
+        )], sink="R1")
+        assert local_dce(p)
+        assert not [a for a in p.rules[0].body if isinstance(a, AssignAtom)]
+
+    def test_keeps_sort_and_group_vars(self):
+        p = Program(rules=[Rule(
+            Head("R1", ["a"], sort=SortSpec([("s", True)])),
+            [RelAtom("R", ["a", "b"]), AssignAtom("s", Var("b"))],
+        )], sink="R1")
+        assert not local_dce(p)
+
+
+class TestGlobalDCE:
+    def test_paper_column_pruning_example(self):
+        # R1 produces c,d that R2 never uses.
+        p = Program(rules=[
+            Rule(Head("R1", ["a", "b", "c", "d"]),
+                 [RelAtom("R", ["a", "b", "c", "d"]),
+                  FilterAtom(BinOp("<", Var("a"), Const(10)))]),
+            Rule(Head("R2", ["a", "s"], group=["a"]),
+                 [RelAtom("R1", ["a", "b", "c", "d"]),
+                  AssignAtom("s", Agg("sum", Var("b")))]),
+        ], sink="R2")
+        assert global_dce(p)
+        assert p.rules[0].head.vars == ["a", "b"]
+        assert p.rules[1].rel_atoms()[0].vars == ["a", "b"]
+
+    def test_drops_unreachable_rules(self):
+        p = Program(rules=[
+            Rule(Head("dead", ["x"]), [RelAtom("R", ["x"])]),
+            Rule(Head("live", ["x"]), [RelAtom("R", ["x"])]),
+        ], sink="live")
+        assert global_dce(p)
+        assert [r.head.rel for r in p.rules] == ["live"]
+
+    def test_exists_access_keeps_columns(self):
+        p = Program(rules=[
+            Rule(Head("sub", ["k", "v"]), [RelAtom("R", ["k", "v"])]),
+            Rule(Head("out", ["x"]),
+                 [RelAtom("S", ["x"]),
+                  ExistsAtom([RelAtom("sub", ["k", "v"]),
+                              FilterAtom(BinOp("=", Var("k"), Var("x")))])]),
+        ], sink="out")
+        global_dce(p)
+        assert p.rules[0].head.vars == ["k", "v"]
+
+    def test_sink_never_pruned(self):
+        p = Program(rules=[
+            Rule(Head("only", ["a", "b"]), [RelAtom("R", ["a", "b"])]),
+        ], sink="only")
+        assert not global_dce(p)
+        assert p.rules[0].head.vars == ["a", "b"]
+
+
+class TestGroupAggregateElimination:
+    def _program(self):
+        return Program(rules=[Rule(
+            Head("R1", ["ID", "s"], group=["ID"]),
+            [RelAtom("R", ["ID", "a", "b", "c"]),
+             AssignAtom("s", Agg("sum", Var("b")))],
+        )], sink="R1")
+
+    def test_paper_example(self):
+        p = self._program()
+        assert group_aggregate_elimination(p, {"R": {"ID"}})
+        r = p.rules[0]
+        assert r.head.group is None
+        assign = next(a for a in r.body if isinstance(a, AssignAtom))
+        assert assign.term == Var("b")
+
+    def test_requires_uniqueness(self):
+        p = self._program()
+        assert not group_aggregate_elimination(p, {"R": set()})
+        assert p.rules[0].head.group == ["ID"]
+
+    def test_count_becomes_one(self):
+        p = Program(rules=[Rule(
+            Head("R1", ["ID", "n"], group=["ID"]),
+            [RelAtom("R", ["ID", "a"]), AssignAtom("n", Agg("count", Var("a")))],
+        )], sink="R1")
+        group_aggregate_elimination(p, {"R": {"ID"}})
+        assign = next(a for a in p.rules[0].body if isinstance(a, AssignAtom))
+        assert assign.term == Const(1)
+
+    def test_multi_key_group_untouched(self):
+        p = Program(rules=[Rule(
+            Head("R1", ["ID", "k", "s"], group=["ID", "k"]),
+            [RelAtom("R", ["ID", "k", "b"]), AssignAtom("s", Agg("sum", Var("b")))],
+        )], sink="R1")
+        assert not group_aggregate_elimination(p, {"R": {"ID"}})
+
+
+class TestSelfJoinElimination:
+    def test_paper_example(self):
+        p = Program(rules=[Rule(
+            Head("R1", ["z"]),
+            [RelAtom("R", ["a", "b1", "c1", "d1"]),
+             RelAtom("R", ["a", "b2", "c2", "d2"]),
+             AssignAtom("z", BinOp("*", Var("b1"), Var("c2")))],
+        )], sink="R1")
+        assert self_join_elimination(p, {"R": {"a"}})
+        r = p.rules[0]
+        assert len(r.rel_atoms()) == 1
+        assign = next(a for a in r.body if isinstance(a, AssignAtom))
+        assert assign.term == BinOp("*", Var("b1"), Var("c1"))
+
+    def test_requires_unique_join_column(self):
+        p = Program(rules=[Rule(
+            Head("R1", ["z"]),
+            [RelAtom("R", ["a", "b1"]), RelAtom("R", ["a", "b2"]),
+             AssignAtom("z", BinOp("*", Var("b1"), Var("b2")))],
+        )], sink="R1")
+        assert not self_join_elimination(p, {"R": set()})
+
+    def test_different_relations_untouched(self):
+        p = Program(rules=[Rule(
+            Head("R1", ["b1"]),
+            [RelAtom("R", ["a", "b1"]), RelAtom("S", ["a", "b2"])],
+        )], sink="R1")
+        assert not self_join_elimination(p, {"R": {"a"}, "S": {"a"}})
+
+    def test_three_way_self_join_collapses(self):
+        p = Program(rules=[Rule(
+            Head("R1", ["b1", "b2", "b3"]),
+            [RelAtom("R", ["a", "b1"]), RelAtom("R", ["a", "b2"]),
+             RelAtom("R", ["a", "b3"])],
+        )], sink="R1")
+        assert self_join_elimination(p, {"R": {"a"}})
+        assert len(p.rules[0].rel_atoms()) == 1
+
+
+class TestRuleInlining:
+    def test_paper_example_collapses_chain(self):
+        p = Program(rules=[
+            Rule(Head("R2", ["b", "c", "d"]),
+                 [RelAtom("R1", ["a", "b", "c", "d"]),
+                  FilterAtom(BinOp(">", Var("a"), Const(1000)))]),
+            Rule(Head("R3", ["b", "d"]),
+                 [RelAtom("R2", ["b", "c", "d"]),
+                  FilterAtom(BinOp("<>", Var("c"), Const("A")))]),
+            Rule(Head("R5", ["e", "g"]),
+                 [RelAtom("R4", ["e", "f", "g"]),
+                  FilterAtom(BinOp(">", Var("f"), Const(100)))]),
+            Rule(Head("R6", ["b", "g"]),
+                 [RelAtom("R3", ["b", "x"]), RelAtom("R5", ["x", "g"])]),
+            Rule(Head("R7", ["b", "m"], group=["b"]),
+                 [RelAtom("R6", ["b", "g"]), AssignAtom("m", Agg("max", Var("g")))]),
+        ], sink="R7")
+        out = optimize(p, "O4")
+        assert len(out.rules) == 1
+        body_rels = [a.rel for a in out.rules[0].rel_atoms()]
+        assert sorted(body_rels) == ["R1", "R4"]
+
+    def test_flow_breaker_not_inlined(self):
+        p = Program(rules=[
+            Rule(Head("G", ["k", "s"], group=["k"]),
+                 [RelAtom("R", ["k", "v"]), AssignAtom("s", Agg("sum", Var("v")))]),
+            Rule(Head("out", ["k", "s"]),
+                 [RelAtom("G", ["k", "s"]), FilterAtom(BinOp(">", Var("s"), Const(0)))]),
+        ], sink="out")
+        out = optimize(p, "O4")
+        assert len(out.rules) == 2
+
+    def test_uid_rule_not_inlined(self):
+        p = Program(rules=[
+            Rule(Head("U", ["i", "v"]),
+                 [RelAtom("R", ["v"]), AssignAtom("i", Ext("uid", ()))]),
+            Rule(Head("out", ["i"]), [RelAtom("U", ["i", "v"])]),
+        ], sink="out")
+        out = optimize(p, "O4")
+        assert len(out.rules) == 2
+
+    def test_cheap_rule_inlined_into_two_readers(self):
+        p = Program(rules=[
+            Rule(Head("F", ["a", "b"]),
+                 [RelAtom("R", ["a", "b"]), FilterAtom(BinOp(">", Var("a"), Const(0)))]),
+            Rule(Head("out", ["x", "y"]),
+                 [RelAtom("F", ["x", "k"]), RelAtom("F", ["k", "y"])]),
+        ], sink="out")
+        out = optimize(p, "O4")
+        assert len(out.rules) == 1
+        assert all(a.rel == "R" for a in out.rules[0].rel_atoms())
+
+    def test_outer_join_reader_not_spliced(self):
+        p = Program(rules=[
+            Rule(Head("F", ["a"]),
+                 [RelAtom("R", ["a"]), FilterAtom(BinOp(">", Var("a"), Const(0)))]),
+            Rule(Head("out", ["a", "b"]),
+                 [RelAtom("F", ["a"]), RelAtom("S", ["b"]),
+                  OuterAtom("left", 0, 1, [("a", "b")])]),
+        ], sink="out")
+        out = optimize(p, "O4")
+        assert len(out.rules) == 2
+
+
+class TestPipeline:
+    def test_levels_defined(self):
+        assert set(OPT_LEVELS) == {"O0", "O1", "O2", "O3", "O4"}
+        assert OPT_LEVELS["O0"] == ()
+
+    def test_o0_is_identity(self):
+        p = Program(rules=[Rule(
+            Head("R1", ["y"]),
+            [RelAtom("R", ["a", "b"]),
+             AssignAtom("x", Var("a")),
+             AssignAtom("y", Var("b"))],
+        )], sink="R1")
+        out = optimize(p, "O0")
+        assert len([a for a in out.rules[0].body if isinstance(a, AssignAtom)]) == 2
+
+    def test_optimize_is_pure(self):
+        p = Program(rules=[Rule(
+            Head("R1", ["y"]),
+            [RelAtom("R", ["a", "b"]),
+             AssignAtom("x", Var("a")),
+             AssignAtom("y", Var("b"))],
+        )], sink="R1")
+        optimize(p, "O4")
+        assert len([a for a in p.rules[0].body if isinstance(a, AssignAtom)]) == 2
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            optimize(Program(rules=[], sink="x"), "O9")
+
+    def test_covariance_pattern_self_join_plus_groupagg(self):
+        """The end-to-end Figure 2 pattern: join on unique id, self-join of
+        the view, group by the unique id — O4 collapses everything."""
+        p = Program(rules=[
+            Rule(Head("v1", ["ID", "c0", "c1"]),
+                 [RelAtom("x", ["ID", "c0"]), RelAtom("y", ["ID", "c1"])]),
+            Rule(Head("v2", ["ID", "p"], group=["ID"]),
+                 [RelAtom("v1", ["ID", "a0", "a1"]),
+                  RelAtom("v1", ["ID", "b0", "b1"]),
+                  AssignAtom("p", Agg("sum", BinOp("*", Var("a0"), Var("b1"))))]),
+        ], sink="v2")
+        out = optimize(p, "O4", base_unique={"x": {"ID"}, "y": {"ID"}})
+        sink_rule = out.rules[-1]
+        # Self-join eliminated: only one access of v1 (inlined to x,y).
+        assert sink_rule.head.group is None
+        rels = sorted(a.rel for a in sink_rule.rel_atoms())
+        assert rels == ["x", "y"]

@@ -1,0 +1,152 @@
+"""Tests for the textual TondIR parser and printer round-trips."""
+
+import pytest
+
+from repro.core.codegen import generate_sql
+from repro.core.tondir.ir import (
+    Agg, AssignAtom, BinOp, Const, ExistsAtom, Ext, FilterAtom, If, RelAtom, Var,
+)
+from repro.core.tondir.optimize import optimize
+from repro.core.tondir.parser import parse_program, parse_rule, parse_term
+from repro.errors import TondIRError
+from repro.sqlengine import connect
+
+
+class TestTermParsing:
+    def test_variable(self):
+        assert parse_term("x") == Var("x")
+
+    def test_constants(self):
+        assert parse_term("42") == Const(42)
+        assert parse_term("1.5") == Const(1.5)
+        assert parse_term("'hi'") == Const("hi")
+        assert parse_term("'it''s'") == Const("it's")
+        assert parse_term("True") == Const(True)
+        assert parse_term("None") == Const(None)
+
+    def test_negative_number(self):
+        assert parse_term("-3") == Const(-3)
+
+    def test_precedence(self):
+        t = parse_term("a + b * c")
+        assert isinstance(t, BinOp) and t.op == "+"
+        assert isinstance(t.right, BinOp) and t.right.op == "*"
+
+    def test_parens(self):
+        t = parse_term("(a + b) * c")
+        assert t.op == "*"
+
+    def test_comparison_and_logic(self):
+        t = parse_term("a > 1 and b <> 'x' or c = 2")
+        assert t.op == "or"
+        assert t.left.op == "and"
+
+    def test_if(self):
+        t = parse_term("if(a = 1, 10, 20)")
+        assert isinstance(t, If)
+
+    def test_nested_if(self):
+        t = parse_term("if(a = 1, 1, if(a = 2, 2, 0))")
+        assert isinstance(t.otherwise, If)
+
+    def test_aggregates(self):
+        assert parse_term("sum(x)") == Agg("sum", Var("x"))
+        assert parse_term("count(*)") == Agg("count", None)
+        assert parse_term("avg(x * y)") == Agg("avg", BinOp("*", Var("x"), Var("y")))
+
+    def test_external_functions(self):
+        assert parse_term("uid()") == Ext("uid", ())
+        assert parse_term("year(d)") == Ext("year", (Var("d"),))
+        assert parse_term("substr(s, 1, 2)") == Ext("substr", (Var("s"), Const(1), Const(2)))
+
+    def test_like(self):
+        t = parse_term("s like '%green%'")
+        assert t == BinOp("like", Var("s"), Const("%green%"))
+
+    def test_trailing_garbage(self):
+        with pytest.raises(TondIRError):
+            parse_term("a b")
+
+
+class TestRuleParsing:
+    def test_simple_rule(self):
+        r = parse_rule("R1(a, b) :- R(a, b, c)")
+        assert r.head.rel == "R1"
+        assert r.head.vars == ["a", "b"]
+        assert r.rel_atoms()[0].rel == "R"
+
+    def test_filter_and_assign(self):
+        r = parse_rule("F(a, y) :- R(a, b), (b > 10), (y := a * 2)")
+        kinds = [type(x).__name__ for x in r.body]
+        assert kinds == ["RelAtom", "FilterAtom", "AssignAtom"]
+
+    def test_group_head(self):
+        r = parse_rule("G(k, s) group(k) :- R(k, v), (s := sum(v))")
+        assert r.head.group == ["k"]
+
+    def test_sort_limit_head(self):
+        r = parse_rule("T(a) sort(a desc) limit(5) :- R(a, b)")
+        assert r.head.sort.keys == [("a", False)]
+        assert r.head.sort.limit == 5
+
+    def test_distinct_head(self):
+        r = parse_rule("D(a) distinct :- R(a, b)")
+        assert r.head.distinct
+
+    def test_exists(self):
+        r = parse_rule("F(a) :- R(a, b), exists(S(x, y), (x = a))")
+        ex = [x for x in r.body if isinstance(x, ExistsAtom)]
+        assert len(ex) == 1 and not ex[0].negated
+
+    def test_not_exists(self):
+        r = parse_rule("F(a) :- R(a, b), not exists(S(x), (x = a))")
+        ex = [x for x in r.body if isinstance(x, ExistsAtom)]
+        assert ex[0].negated
+
+
+class TestProgramParsing:
+    PROGRAM = """
+    v1(a, b) :- R(a, b, c), (c > 0).
+    v2(a, s) group(a) :- v1(a, b), (s := sum(b)).
+    -- sink: v2
+    """
+
+    def test_parse_program(self):
+        p = parse_program(self.PROGRAM)
+        assert len(p.rules) == 2
+        assert p.sink == "v2"
+
+    def test_sink_defaults_to_last(self):
+        p = parse_program("v1(a) :- R(a).")
+        assert p.sink == "v1"
+
+    def test_roundtrip_through_printer(self):
+        p = parse_program(self.PROGRAM)
+        reparsed = parse_program(repr(p))
+        assert repr(reparsed) == repr(p)
+
+    def test_roundtrip_complex(self):
+        text = (
+            "F(a, y) sort(y desc) limit(3) :- R(a, b, c), (b like '%x%'), "
+            "(y := if((a > 1), sum(b), 0)).\n-- sink: F"
+        )
+        p = parse_program(text)
+        assert repr(parse_program(repr(p))) == repr(p)
+
+    def test_parsed_program_optimizes_and_executes(self):
+        p = parse_program("""
+        v1(a, b) :- base(a, b, c), (c > 0).
+        v2(b2, b) :- v1(a, b), (b2 := b * 2).
+        v3(s) :- v2(b2, b), (s := sum(b2)).
+        -- sink: v3
+        """)
+        opt = optimize(p, "O4")
+        assert len(opt.rules) == 1
+        db = connect()
+        db.register("base", {"a": [1, 2], "b": [10, 20], "c": [1, -1]})
+        sql = generate_sql(opt, {"base": ["a", "b", "c"]})
+        assert db.execute(sql).to_dict() == {"s": [20]}
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(TondIRError):
+            parse_program("-- sink: x")

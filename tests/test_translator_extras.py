@@ -1,0 +1,134 @@
+"""Translator coverage for value_counts / nlargest / nsmallest and the
+interaction of ordering propagation with projections."""
+
+import numpy as np
+import pytest
+
+import repro.dataframe as rpd
+from repro import connect, pytond
+
+from tests.helpers import rows
+
+
+@pytest.fixture()
+def env():
+    data = {
+        "events": {
+            "eid": np.arange(1, 13, dtype=np.int64),
+            "kind": np.array(list("aabbbcccddda"), dtype=object),
+            "score": np.array([5.0, 1.0, 9.0, 2.0, 8.0, 3.0,
+                               7.0, 4.0, 6.0, 0.5, 9.5, 2.5]),
+        }
+    }
+    db = connect()
+    db.register("events", data["events"], primary_key="eid")
+    return db, rpd.DataFrame(data["events"])
+
+
+class TestValueCounts:
+    def test_value_counts_matches_python(self, env):
+        db, frame = env
+
+        @pytond()
+        def f(events):
+            return events.kind.value_counts()
+        py = f(frame)
+        res = f.run(db, "hyper")
+        d = res.to_dict()
+        py_pairs = dict(zip(py.index.values.tolist(), py.tolist()))
+        db_pairs = dict(zip(d["kind"], d["count"]))
+        assert py_pairs == db_pairs
+
+    def test_value_counts_sorted_descending(self, env):
+        db, _ = env
+
+        @pytond()
+        def f(events):
+            return events.kind.value_counts()
+        counts = f.run(db, "hyper").to_dict()["count"]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_value_counts_sql_shape(self, env):
+        db, _ = env
+
+        @pytond()
+        def f(events):
+            return events.kind.value_counts()
+        sql = f.sql("hyper", db=db)
+        assert "COUNT(*)" in sql and "GROUP BY" in sql and "ORDER BY" in sql
+
+
+class TestNLargest:
+    def test_series_nlargest(self, env):
+        db, frame = env
+
+        @pytond()
+        def f(events):
+            return events.score.nlargest(3)
+        py = sorted(f(frame).tolist(), reverse=True)
+        got = f.run(db, "hyper").to_dict()["score"]
+        assert got == py
+
+    def test_series_nsmallest(self, env):
+        db, frame = env
+
+        @pytond()
+        def f(events):
+            return events.score.nsmallest(2)
+        py = sorted(f(frame).tolist())
+        got = f.run(db, "hyper").to_dict()["score"]
+        assert got == py
+
+    def test_frame_nlargest(self, env):
+        db, frame = env
+
+        @pytond()
+        def f(events):
+            return events.nlargest(4, 'score')
+        py = f(frame)
+        res = f.run(db, "hyper")
+        assert rows(py.reset_index(drop=True)) == rows(res)
+
+    def test_nlargest_limit_in_sql(self, env):
+        db, _ = env
+
+        @pytond()
+        def f(events):
+            return events.score.nlargest(3)
+        assert "LIMIT 3" in f.sql("hyper", db=db)
+
+
+class TestOrderingThroughOps:
+    def test_sort_then_computed_column(self, env):
+        db, frame = env
+
+        @pytond()
+        def f(events):
+            s = events.sort_values('score', ascending=False)
+            s['double'] = s.score * 2
+            return s[['eid', 'double']]
+        py = f(frame)
+        res = f.run(db, "hyper")
+        assert rows(py.reset_index(drop=True)) == rows(res)
+
+    def test_sort_then_filter_preserves_order(self, env):
+        db, frame = env
+
+        @pytond()
+        def f(events):
+            s = events.sort_values('score')
+            return s[s.kind != 'a'][['eid', 'score']]
+        py = f(frame)
+        res = f.run(db, "hyper")
+        assert rows(py.reset_index(drop=True)) == rows(res)
+
+    def test_sort_projection_head(self, env):
+        db, frame = env
+
+        @pytond()
+        def f(events):
+            s = events.sort_values('score', ascending=False)
+            return s[['eid']].head(3)
+        py = f(frame)
+        res = f.run(db, "hyper")
+        assert rows(py.reset_index(drop=True)) == rows(res)

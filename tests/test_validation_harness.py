@@ -1,0 +1,87 @@
+"""Tests for the validation harness and remaining window functions."""
+
+import numpy as np
+import pytest
+
+import repro.dataframe as rpd
+from repro import connect
+from repro.bench.validate import (
+    ValidationResult, compare_results, validate_tpch, validate_workloads,
+)
+from repro.sqlengine.window import rank
+
+
+class TestCompareResults:
+    def test_frames_equal(self):
+        a = rpd.DataFrame({"x": [1, 2]})
+        db = connect()
+        db.register("t", {"x": [1, 2]})
+        ok, _ = compare_results(a, db.execute("SELECT x FROM t"))
+        assert ok
+
+    def test_frames_differ(self):
+        a = rpd.DataFrame({"x": [1, 2]})
+        db = connect()
+        db.register("t", {"x": [1, 3]})
+        ok, detail = compare_results(a, db.execute("SELECT x FROM t"))
+        assert not ok and "rows differ" in detail
+
+    def test_tie_order_tolerated(self):
+        a = rpd.DataFrame({"x": [1, 2]})
+        db = connect()
+        db.register("t", {"x": [2, 1]})
+        ok, detail = compare_results(a, db.execute("SELECT x FROM t"))
+        assert ok and "order" in detail
+
+    def test_scalar(self):
+        db = connect()
+        db.register("t", {"x": [1, 2]})
+        ok, _ = compare_results(3.0, db.execute("SELECT SUM(x) AS s FROM t"))
+        assert ok
+
+    def test_array_with_id(self):
+        db = connect()
+        db.register("t", {"ID": [2, 1], "c0": [20.0, 10.0]})
+        ok, _ = compare_results(np.array([10.0, 20.0]),
+                                db.execute("SELECT ID, c0 FROM t"))
+        assert ok
+
+    def test_array_shape_mismatch(self):
+        db = connect()
+        db.register("t", {"ID": [1], "c0": [1.0]})
+        ok, detail = compare_results(np.array([1.0, 2.0]),
+                                     db.execute("SELECT ID, c0 FROM t"))
+        assert not ok and "shape" in detail
+
+
+class TestValidationSweeps:
+    def test_tpch_subset_validates(self):
+        results = validate_tpch(scale_factor=0.002, backends=("hyper",), levels=("O4",))
+        assert len(results) == 22
+        assert all(r.ok for r in results), [str(r) for r in results if not r.ok]
+
+    def test_workloads_validate(self):
+        results = validate_workloads(scale=0.005, backends=("hyper",), levels=("O4",))
+        assert results and all(r.ok for r in results), [str(r) for r in results if not r.ok]
+
+    def test_result_string(self):
+        r = ValidationResult("q1", "hyper", "O4", False, "boom")
+        assert "FAIL" in str(r) and "boom" in str(r)
+
+
+class TestRankWindow:
+    def test_rank_with_gaps(self):
+        db = connect()
+        db.register("t", {"v": [10, 20, 20, 30]})
+        out = db.execute("SELECT v, RANK() OVER (ORDER BY v) AS r FROM t ORDER BY v, r")
+        assert out["r"].tolist() == [1, 2, 2, 4]
+
+    def test_rank_partitioned(self):
+        parts = np.array([0, 0, 1, 1])
+        vals = np.array([5, 5, 1, 2])
+        out = rank(4, [parts], [vals], [True])
+        assert out.tolist() == [1, 1, 1, 2]
+
+    def test_rank_no_order_is_row_number(self):
+        out = rank(3, [], [], [])
+        assert out.tolist() == [1, 2, 3]

@@ -24,6 +24,9 @@ DuckDBSim = register_backend(
             join_reorder=False,
             supports_window=True,
             morsel_size=2048,
+            parallel_join=True,
+            parallel_agg=True,
+            plan_cache=True,
         ),
         dialect=Dialect(
             name="duckdb",

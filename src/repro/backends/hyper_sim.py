@@ -21,6 +21,9 @@ HyperSim = register_backend(
             threads=1,
             join_reorder=True,
             supports_window=True,
+            parallel_join=True,
+            parallel_agg=True,
+            plan_cache=True,
         ),
         dialect=Dialect(
             name="hyper",

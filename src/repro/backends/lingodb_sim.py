@@ -22,6 +22,9 @@ LingoDBSim = register_backend(
             threads=1,
             join_reorder=True,
             supports_window=False,
+            parallel_join=True,
+            parallel_agg=True,
+            plan_cache=True,
         ),
         dialect=Dialect(
             name="lingodb",

@@ -1,14 +1,19 @@
 """In-memory columnar SQL engine (substrate #2 of the reproduction).
 
 A pure-Python/NumPy analytical RDBMS: SQL parser, catalog with constraint
-metadata, planner with filter pushdown + join ordering, vectorized and
-"compiled" execution modes, intra-query thread parallelism.
+metadata, a cost-aware physical planner (filter pushdown, projection
+pruning, cardinality-estimated join ordering) compiling to an explicit
+operator pipeline, vectorized and "compiled" execution modes, intra-query
+thread parallelism (filters, projections, hash-join probes, hash-aggregate
+reductions), and a per-connection plan cache.
 """
 
 from .catalog import Catalog, TableSchema
 from .database import Database, connect
 from .executor import EngineConfig, Executor
 from .parser import parse, parse_expression
+from .plan import PhysicalPlan
+from .planner import Planner
 from .table import Chunk, Table
 
 __all__ = [
@@ -20,6 +25,8 @@ __all__ = [
     "Executor",
     "parse",
     "parse_expression",
+    "PhysicalPlan",
+    "Planner",
     "Chunk",
     "Table",
 ]

@@ -39,14 +39,19 @@ class Catalog:
 
     def __init__(self):
         self._tables: dict[str, Table] = {}
+        # Bumped on every DDL change; cached physical plans are invalidated
+        # when their recorded version no longer matches.
+        self.version = 0
 
     def register(self, table: Table, replace: bool = True) -> None:
         if not replace and table.name in self._tables:
             raise SQLBindError(f"table {table.name!r} already exists")
         self._tables[table.name] = table
+        self.version += 1
 
     def drop(self, name: str) -> None:
-        self._tables.pop(name, None)
+        if self._tables.pop(name, None) is not None:
+            self.version += 1
 
     def get(self, name: str) -> Table:
         if name not in self._tables:

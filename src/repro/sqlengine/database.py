@@ -1,9 +1,10 @@
 """User-facing database connection API (the engine's equivalent of
-``duckdb.connect()``)."""
+``duckdb.connect()``), including the keyed physical-plan cache."""
 
 from __future__ import annotations
 
-from typing import Mapping
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
 
 import numpy as np
 
@@ -11,9 +12,29 @@ from ..dataframe import DataFrame
 from .catalog import Catalog, TableSchema
 from .executor import EngineConfig, Executor
 from .parser import parse
+from .plan import PhysicalPlan
+from .planner import Planner, RelSchema
+from .sqlast import Query, ValuesClause
 from .table import Chunk, Table
 
 __all__ = ["Database", "connect"]
+
+_PLAN_CACHE_LIMIT = 256
+
+
+@dataclass
+class PlanCacheEntry:
+    """Parsed AST plus compiled per-SELECT plans for one (sql, config) key.
+
+    The entry keeps the parsed :class:`Query` alive, which makes the
+    ``id(Select) -> PhysicalPlan`` map stable (ids of dead objects can be
+    recycled; live ones cannot).
+    """
+
+    query: Query
+    plans: dict[int, PhysicalPlan] = field(default_factory=dict)
+    catalog_version: int = 0
+    hits: int = 0
 
 
 class Database:
@@ -22,6 +43,7 @@ class Database:
     def __init__(self, config: EngineConfig | None = None):
         self.catalog = Catalog()
         self.config = config or EngineConfig()
+        self._plan_cache: dict[tuple, PlanCacheEntry] = {}
 
     # -- data definition ---------------------------------------------------
     def register(
@@ -49,21 +71,87 @@ class Database:
     def schema(self, name: str) -> TableSchema:
         return self.catalog.schema(name)
 
+    # -- plan cache --------------------------------------------------------
+    def _plan_entry(self, sql: str, config: EngineConfig) -> Optional[PlanCacheEntry]:
+        """The cache entry for (sql, planning-relevant config), if caching
+        is enabled.  Stale entries (catalog changed) are rebuilt in place."""
+        if not config.plan_cache:
+            return None
+        key = (sql, config.join_reorder)
+        entry = self._plan_cache.get(key)
+        if entry is not None and entry.catalog_version == self.catalog.version:
+            entry.hits += 1
+            return entry
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            # Evict the oldest entry (dict preserves insertion order) so a
+            # hot repeated query survives sweeps of one-off statements.
+            self._plan_cache.pop(next(iter(self._plan_cache)))
+        entry = PlanCacheEntry(parse(sql), catalog_version=self.catalog.version)
+        self._plan_cache[key] = entry
+        return entry
+
+    @property
+    def plan_cache_stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._plan_cache),
+            "hits": sum(e.hits for e in self._plan_cache.values()),
+        }
+
+    def clear_plan_cache(self) -> None:
+        self._plan_cache.clear()
+
     # -- querying -------------------------------------------------------------
     def execute_chunk(self, sql: str, config: EngineConfig | None = None) -> Chunk:
-        query = parse(sql)
-        executor = Executor(self.catalog, config or self.config)
-        return executor.execute(query)
+        cfg = config or self.config
+        entry = self._plan_entry(sql, cfg)
+        if entry is None:
+            executor = Executor(self.catalog, cfg)
+            return executor.execute(parse(sql))
+        executor = Executor(self.catalog, cfg, plans=entry.plans)
+        return executor.execute(entry.query)
 
     def explain(self, sql: str, config: EngineConfig | None = None) -> str:
         """EXPLAIN ANALYZE: execute the query, returning the physical plan
         trace (scans with pushed-down filters, join order and cardinalities,
         aggregation, sort/limit) instead of the result."""
-        query = parse(sql)
+        cfg = config or self.config
+        entry = self._plan_entry(sql, cfg)
         trace: list[str] = []
-        executor = Executor(self.catalog, config or self.config, trace=trace)
-        executor.execute(query)
+        executor = Executor(self.catalog, cfg, trace=trace,
+                            plans=entry.plans if entry else None)
+        executor.execute(entry.query if entry else parse(sql))
         return "\n".join(trace)
+
+    def explain_plan(self, sql: str, config: EngineConfig | None = None) -> str:
+        """EXPLAIN: render the statically-compiled physical plan tree
+        (operators, pushed-down predicates, join order, cardinality
+        estimates) without executing the query.
+
+        Plans built here are throwaway — execution-time planning sees the
+        materialized CTE cardinalities, which the static estimates here do
+        not, so they must never seed the shared plan cache.
+        """
+        cfg = config or self.config
+        query = parse(sql)
+        planner = Planner(self.catalog, cfg)
+
+        lines: list[str] = []
+        env_schemas: dict[str, RelSchema] = {}
+        for cte in query.ctes:
+            if isinstance(cte.query, ValuesClause):
+                ncols = len(cte.query.rows[0]) if cte.query.rows else 0
+                columns = cte.column_names or [f"col{i}" for i in range(ncols)]
+                env_schemas[cte.name] = RelSchema(list(columns), float(len(cte.query.rows)))
+                lines.append(f"CTE {cte.name}: VALUES ({len(cte.query.rows)} rows)")
+                continue
+            plan = planner.plan_select(cte.query, env_schemas)
+            columns = cte.column_names or plan.output_columns
+            env_schemas[cte.name] = RelSchema(list(columns), plan.est_rows or 1000.0)
+            lines.append(f"CTE {cte.name}:")
+            lines.extend("  " + ln for ln in plan.render().splitlines())
+        plan = planner.plan_select(query.body, env_schemas)
+        lines.append(plan.render())
+        return "\n".join(lines)
 
     def execute(self, sql: str, config: EngineConfig | None = None) -> DataFrame:
         chunk = self.execute_chunk(sql, config)
@@ -84,6 +172,7 @@ class Database:
         other = Database.__new__(Database)
         other.catalog = self.catalog
         other.config = replace(self.config, **overrides)
+        other._plan_cache = {}
         return other
 
 

@@ -1,4 +1,10 @@
-"""The query executor: logical planning + physical evaluation of a Query.
+"""The query executor: drives physical plans produced by the planner.
+
+Layering (see ``docs/ARCHITECTURE.md``): the :mod:`.planner` compiles each
+``SELECT`` body into a :class:`~.plan.PhysicalPlan` (pushdown, projection
+pruning, cardinality-estimated join ordering); this module executes those
+plans and owns the pieces that need run-time data — subquery evaluation,
+window functions, projection/aggregation expression evaluation.
 
 Two execution modes distinguish the simulated backends (cf. DESIGN.md):
 
@@ -8,25 +14,29 @@ Two execution modes distinguish the simulated backends (cf. DESIGN.md):
   join re-ordering by estimated cardinality (a "more advanced planner",
   which is how the paper explains Hyper's edge over DuckDB).
 
-Both modes parallelize filter/projection work across a thread pool.
+Both modes parallelize filters, projections, hash-join probes, and
+hash-aggregate reductions across a shared thread pool.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from ..errors import SQLBindError, SQLExecutionError, UnsupportedFeatureError
+from ..errors import SQLBindError, UnsupportedFeatureError
 from .catalog import Catalog
 from .expressions import Evaluator, Scope, contains_aggregate, expr_columns, expr_key
-from .grouping import factorize_many
-from .joins import combine_chunks, join_positions, semi_join_mask
-from .parallel import parallel_arrays, parallel_masks
+from .grouping import factorize_many, parallel_group_reduce
+from .joins import semi_join_mask
+from .parallel import parallel_arrays, parallel_map
+from .plan import ExecContext, PhysicalPlan
+from .planner import (
+    Planner, RelSchema, has_subquery, has_window, split_conjuncts,
+)
 from .sqlast import (
-    AggCall, BinaryOp, ColumnRef, ExistsExpr, Expr, InSubquery, OrderItem,
-    Query, ScalarSubquery, Select, SelectItem, Star, SubqueryRef, TableRef,
-    ValuesClause, WindowCall,
+    AggCall, BinaryOp, ColumnRef, Expr, Query, Select, SelectItem, Star,
+    TableRef, ValuesClause, WindowCall,
 )
 from .table import Chunk
 from .window import row_number, rank, sort_positions
@@ -45,92 +55,30 @@ class EngineConfig:
     supports_window: bool = True
     morsel_size: int = 2048
     rejected_join_patterns: frozenset = frozenset()
-
-
-@dataclass
-class _Source:
-    binding: str
-    chunk: Chunk
-
-
-def split_conjuncts(expr: Expr | None) -> list[Expr]:
-    if expr is None:
-        return []
-    if isinstance(expr, BinaryOp) and expr.op == "AND":
-        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
-    return [expr]
-
-
-def _has_subquery(expr: Expr) -> bool:
-    if isinstance(expr, (InSubquery, ExistsExpr, ScalarSubquery)):
-        return True
-    for attr in ("left", "right", "operand", "low", "high"):
-        child = getattr(expr, attr, None)
-        if isinstance(child, Expr) and _has_subquery(child):
-            return True
-    for attr in ("args", "items"):
-        children = getattr(expr, attr, None)
-        if children:
-            if any(isinstance(c, Expr) and _has_subquery(c) for c in children):
-                return True
-    branches = getattr(expr, "branches", None)
-    if branches:
-        for cond, value in branches:
-            if _has_subquery(cond) or _has_subquery(value):
-                return True
-        default = getattr(expr, "default", None)
-        if default is not None and _has_subquery(default):
-            return True
-    return False
-
-
-def _subqueries_of(expr: Expr):
-    """Yield Select bodies nested in an expression."""
-    if isinstance(expr, (InSubquery, ExistsExpr)):
-        yield expr.query
-    if isinstance(expr, ScalarSubquery):
-        yield expr.query
-    for attr in ("left", "right", "operand", "low", "high"):
-        child = getattr(expr, attr, None)
-        if isinstance(child, Expr):
-            yield from _subqueries_of(child)
-    for attr in ("args", "items"):
-        children = getattr(expr, attr, None)
-        if children:
-            for c in children:
-                if isinstance(c, Expr):
-                    yield from _subqueries_of(c)
-    branches = getattr(expr, "branches", None)
-    if branches:
-        for cond, value in branches:
-            yield from _subqueries_of(cond)
-            yield from _subqueries_of(value)
-        default = getattr(expr, "default", None)
-        if default is not None:
-            yield from _subqueries_of(default)
-
-
-def _has_window(expr: Expr) -> bool:
-    if isinstance(expr, WindowCall):
-        return True
-    for attr in ("left", "right", "operand"):
-        child = getattr(expr, attr, None)
-        if isinstance(child, Expr) and _has_window(child):
-            return True
-    children = getattr(expr, "args", None)
-    if children and any(isinstance(c, Expr) and _has_window(c) for c in children):
-        return True
-    return False
+    # Physical-plan knobs: morsel-parallel join probe / aggregate reduction,
+    # and whether Database may reuse compiled plans across executions.
+    parallel_join: bool = True
+    parallel_agg: bool = True
+    plan_cache: bool = True
 
 
 class Executor:
-    """Executes parsed queries against a catalog."""
+    """Executes parsed queries against a catalog.
+
+    ``plans`` (optional) is a shared plan map — ``id(Select) -> PhysicalPlan``
+    — owned by a :class:`~.database.Database` plan-cache entry.  When absent,
+    a throwaway map scoped to one ``execute()`` call is used, so repeated
+    subquery bodies within a statement still plan once.
+    """
 
     def __init__(self, catalog: Catalog, config: EngineConfig | None = None,
-                 trace: list[str] | None = None):
+                 trace: list[str] | None = None,
+                 plans: dict[int, PhysicalPlan] | None = None):
         self.catalog = catalog
         self.config = config or EngineConfig()
         self.trace = trace
+        self.plans = plans
+        self._active_plans: dict[int, PhysicalPlan] = {}
 
     def _note(self, message: str) -> None:
         if self.trace is not None:
@@ -140,6 +88,10 @@ class Executor:
     # Entry points
     # ------------------------------------------------------------------
     def execute(self, query: Query) -> Chunk:
+        # A fresh local plan map per execution unless a Database-owned one
+        # was supplied (caching by id() is only safe while the parsed AST
+        # is kept alive, which the Database plan cache guarantees).
+        self._active_plans = self.plans if self.plans is not None else {}
         env: dict[str, Chunk] = {}
         for cte in query.ctes:
             chunk = self._execute_body(cte.query, env)
@@ -175,397 +127,33 @@ class Executor:
         return Chunk(columns, [coerce_array(np.array(c, dtype=object)) for c in raw_cols])
 
     # ------------------------------------------------------------------
-    # SELECT pipeline
+    # Plan-driven SELECT execution
     # ------------------------------------------------------------------
-    def _execute_select(self, select: Select, env: dict[str, Chunk], outer: Evaluator | None = None) -> Chunk:
-        sources = [self._resolve_relation(rel, env) for rel in select.relations]
+    def plan_for(self, select: Select, env: dict[str, Chunk],
+                 cacheable: bool = True) -> PhysicalPlan:
+        """Fetch (or build and remember) the physical plan for a body."""
+        plan = self._active_plans.get(id(select))
+        if plan is not None:
+            plan.cache_hits += 1
+            self._note("plan cache hit: reusing compiled plan")
+            return plan
+        env_schemas = {
+            name: RelSchema(list(c.columns), float(c.nrows))
+            for name, c in env.items()
+        }
+        plan = Planner(self.catalog, self.config).plan_select(select, env_schemas)
+        if cacheable:
+            self._active_plans[id(select)] = plan
+            # Derived-table bodies were planned as part of this plan; register
+            # their subplans so SubqueryScan execution reuses them.
+            for body, subplan in plan.subquery_plans():
+                self._active_plans.setdefault(id(body), subplan)
+        return plan
 
-        if not sources:
-            chunk = Chunk(["__one"], [np.zeros(1, dtype=np.int64)])
-            scope = Scope()
-            residual = split_conjuncts(select.where)
-        else:
-            chunk, scope, residual = self._plan_from_where(select, sources, env)
-
-        # Explicit JOIN clauses fold onto the accumulated relation.
-        if select.joins:
-            refs, star = self._collect_needed_columns(select)
-            for jc in select.joins:
-                src = self._resolve_relation(jc.relation, env)
-                src.chunk = self._prune_source(src, refs, star)
-                chunk, scope = self._apply_explicit_join(chunk, scope, jc, src, env)
-
-        def subquery_cb(kind, sub_select, outer_eval, operand=None):
-            return self._subquery(kind, sub_select, env, outer_eval, operand)
-
-        evaluator = Evaluator(chunk, scope, subquery_executor=subquery_cb)
-
-        # Residual WHERE conjuncts (subqueries & anything not pushed down).
-        if residual:
-            before = chunk.nrows
-            mask = np.ones(chunk.nrows, dtype=bool)
-            for conj in residual:
-                mask &= evaluator.eval_mask(conj)
-            chunk = chunk.mask(mask)
-            self._note(f"residual filter: {len(residual)} predicate(s), "
-                       f"{before} -> {chunk.nrows} rows")
-            evaluator = Evaluator(chunk, scope, subquery_executor=subquery_cb)
-
-        # Window functions.
-        window_values = self._eval_windows(select, chunk, scope, subquery_cb)
-
-        has_agg = bool(select.group_by) or any(
-            contains_aggregate(item.expr) for item in select.items
-        ) or (select.having is not None and contains_aggregate(select.having))
-
-        if has_agg:
-            out_chunk, order_eval = self._project_grouped(select, chunk, scope, subquery_cb, window_values)
-        else:
-            out_chunk, order_eval = self._project_plain(select, chunk, scope, subquery_cb, window_values)
-
-        if select.distinct and out_chunk.nrows:
-            gids, _, ngroups = factorize_many(out_chunk.arrays)
-            # Keep the first occurrence of each distinct row, in input order.
-            positions = np.arange(len(gids) - 1, -1, -1, dtype=np.int64)
-            first = np.zeros(ngroups, dtype=np.int64)
-            first[gids[positions]] = positions
-            out_chunk = out_chunk.take(np.sort(first))
-            order_eval = None  # ordering must reference output columns now
-
-        if select.order_by:
-            out_chunk = self._apply_order(select, out_chunk, order_eval)
-            self._note(f"sort: {len(select.order_by)} key(s)")
-        if select.limit is not None:
-            out_chunk = out_chunk.head(select.limit)
-            self._note(f"limit: {select.limit}")
-        return out_chunk
-
-    # ------------------------------------------------------------------
-    # FROM/WHERE planning
-    # ------------------------------------------------------------------
-    def _resolve_relation(self, rel, env: dict[str, Chunk]) -> _Source:
-        if isinstance(rel, TableRef):
-            if rel.name in env:
-                chunk = env[rel.name]
-                return _Source(rel.binding, Chunk(list(chunk.columns), list(chunk.arrays)))
-            table = self.catalog.get(rel.name)
-            return _Source(rel.binding, table.chunk())
-        if isinstance(rel, SubqueryRef):
-            chunk = self._execute_body(rel.query, env)
-            if rel.column_names is not None:
-                chunk = Chunk(list(rel.column_names), chunk.arrays)
-            return _Source(rel.binding, chunk)
-        raise SQLBindError(f"unsupported relation {rel!r}")
-
-    def _collect_needed_columns(self, select: Select) -> tuple[set, bool]:
-        """All (qualifier, name) column references in the whole statement.
-
-        Returns ``(refs, has_star)``; used for projection pruning of scans.
-        Subquery bodies are walked too (their correlated references must
-        keep outer columns alive).
-        """
-        refs: set = set()
-        star = False
-
-        def walk_expr(e):
-            nonlocal star
-            if isinstance(e, Star):
-                star = True
-                return
-            for ref in expr_columns(e):
-                refs.add((ref.table, ref.name))
-            for sub in _subqueries_of(e):
-                walk_select(sub)
-
-        def walk_select(s: Select):
-            nonlocal star
-            for item in s.items:
-                walk_expr(item.expr)
-            if s.where is not None:
-                walk_expr(s.where)
-            for g in s.group_by:
-                walk_expr(g)
-            if s.having is not None:
-                walk_expr(s.having)
-            for o in s.order_by:
-                walk_expr(o.expr)
-            for jc in s.joins:
-                if jc.condition is not None:
-                    walk_expr(jc.condition)
-
-        walk_select(select)
-        return refs, star
-
-    def _prune_source(self, source: _Source, refs: set, star: bool) -> Chunk:
-        chunk = source.chunk
-        if star:
-            return chunk
-        wanted = {name for (qual, name) in refs if qual is None or qual == source.binding}
-        keep = [i for i, c in enumerate(chunk.columns) if c in wanted]
-        if len(keep) == len(chunk.columns):
-            return chunk
-        if not keep:
-            keep = [0]
-        return Chunk([chunk.columns[i] for i in keep], [chunk.arrays[i] for i in keep])
-
-    def _plan_from_where(self, select: Select, sources: list[_Source], env) -> tuple[Chunk, Scope, list[Expr]]:
-        refs, star = self._collect_needed_columns(select)
-        for s in sources:
-            s.chunk = self._prune_source(s, refs, star)
-        conjuncts = split_conjuncts(select.where)
-        pushdown: dict[int, list[Expr]] = {i: [] for i in range(len(sources))}
-        edges: list[tuple[int, int, Expr, Expr]] = []
-        residual: list[Expr] = []
-
-        col_homes: dict[str, list[int]] = {}
-        binding_index = {s.binding: i for i, s in enumerate(sources)}
-        for i, s in enumerate(sources):
-            for c in s.chunk.columns:
-                col_homes.setdefault(c, []).append(i)
-
-        def owner_set(expr: Expr) -> set[int] | None:
-            owners: set[int] = set()
-            for ref in expr_columns(expr):
-                if ref.table is not None:
-                    idx = binding_index.get(ref.table)
-                    if idx is None:
-                        return None  # outer/correlated reference
-                    owners.add(idx)
-                else:
-                    homes = col_homes.get(ref.name)
-                    if not homes:
-                        return None
-                    if len(homes) > 1:
-                        raise SQLBindError(f"ambiguous column {ref.name!r}")
-                    owners.add(homes[0])
-            return owners
-
-        for conj in conjuncts:
-            if _has_subquery(conj):
-                residual.append(conj)
-                continue
-            owners = owner_set(conj)
-            if owners is None:
-                residual.append(conj)
-                continue
-            if len(owners) == 1:
-                pushdown[next(iter(owners))].append(conj)
-                continue
-            if (
-                len(owners) == 2
-                and isinstance(conj, BinaryOp)
-                and conj.op == "="
-            ):
-                left_owners = owner_set(conj.left)
-                right_owners = owner_set(conj.right)
-                if (
-                    left_owners is not None and right_owners is not None
-                    and len(left_owners) == 1 and len(right_owners) == 1
-                    and left_owners != right_owners
-                ):
-                    i, j = next(iter(left_owners)), next(iter(right_owners))
-                    edges.append((i, j, conj.left, conj.right))
-                    continue
-            residual.append(conj)
-
-        # Filter each source early (pushdown).
-        filtered: list[Chunk] = []
-        for i, s in enumerate(sources):
-            chunk = s.chunk
-            if pushdown[i]:
-                chunk = self._filter_chunk(chunk, s.binding, pushdown[i])
-            filtered.append(chunk)
-
-        chunk, scope = self._join_sources(sources, filtered, edges)
-        return chunk, scope, residual
-
-    def _single_scope(self, binding: str, chunk: Chunk) -> Scope:
-        scope = Scope()
-        for slot, col in enumerate(chunk.columns):
-            scope.add(binding, col, slot)
-        return scope
-
-    def _filter_chunk(self, chunk: Chunk, binding: str, exprs: list[Expr]) -> Chunk:
-        scope = self._single_scope(binding, chunk)
-        n = chunk.nrows
-        threads = self.config.threads
-        morsel = self.config.morsel_size if self.config.mode == "vectorized" else None
-
-        def make_mask(start: int, stop: int) -> np.ndarray:
-            if morsel is None:
-                sub = chunk.slice(start, stop)
-                ev = Evaluator(sub, scope)
-                mask = np.ones(stop - start, dtype=bool)
-                for e in exprs:
-                    mask &= ev.eval_mask(e)
-                return mask
-            parts = [np.zeros(0, dtype=bool)]
-            pos = start
-            while pos < stop:
-                end = min(pos + morsel, stop)
-                sub = chunk.slice(pos, end)
-                ev = Evaluator(sub, scope)
-                mask = np.ones(end - pos, dtype=bool)
-                for e in exprs:
-                    mask &= ev.eval_mask(e)
-                parts.append(mask)
-                pos = end
-            return np.concatenate(parts) if len(parts) > 2 else parts[-1]
-
-        mask = parallel_masks(n, threads, make_mask)
-        out = chunk.mask(mask)
-        self._note(
-            f"scan+filter {binding}: {len(exprs)} predicate(s) pushed down, "
-            f"{n} -> {out.nrows} rows"
-        )
-        return out
-
-    def _join_sources(self, sources: list[_Source], chunks: list[Chunk], edges) -> tuple[Chunk, Scope]:
-        n = len(sources)
-        if n == 1:
-            return chunks[0], self._single_scope(sources[0].binding, chunks[0])
-
-        remaining = set(range(n))
-        if self.config.join_reorder:
-            start = min(remaining, key=lambda i: chunks[i].nrows)
-        else:
-            start = 0
-        acc_bindings = [sources[start].binding]
-        acc_chunk = chunks[start]
-        acc_offsets = {sources[start].binding: 0}
-        remaining.discard(start)
-
-        def build_scope() -> Scope:
-            scope = Scope()
-            for b, off in acc_offsets.items():
-                idx = next(i for i, s in enumerate(sources) if s.binding == b)
-                for k, col in enumerate(chunks[idx].columns):
-                    scope.add(b, col, off + k)
-            return scope
-
-        while remaining:
-            # Edges connecting acc to a remaining source.
-            candidates: dict[int, list[tuple[Expr, Expr]]] = {}
-            acc_set = {next(i for i, s in enumerate(sources) if s.binding == b) for b in acc_bindings}
-            for (i, j, le, re_) in edges:
-                if i in acc_set and j in remaining:
-                    candidates.setdefault(j, []).append((le, re_))
-                elif j in acc_set and i in remaining:
-                    candidates.setdefault(i, []).append((re_, le))
-            if candidates:
-                if self.config.join_reorder:
-                    nxt = min(candidates, key=lambda j: chunks[j].nrows)
-                else:
-                    nxt = min(candidates)  # syntactic order
-                pairs = candidates[nxt]
-            else:
-                nxt = min(remaining)
-                pairs = []
-
-            right_chunk = chunks[nxt]
-            right_binding = sources[nxt].binding
-            if pairs:
-                acc_scope = build_scope()
-                left_eval = Evaluator(acc_chunk, acc_scope)
-                right_eval = Evaluator(right_chunk, self._single_scope(right_binding, right_chunk))
-                lkeys = [left_eval.eval_array(le) for le, _ in pairs]
-                rkeys = [right_eval.eval_array(re_) for _, re_ in pairs]
-                lp, rp, lmiss, rmiss = join_positions(lkeys, rkeys, "inner")
-                new_chunk = combine_chunks(acc_chunk, right_chunk, lp, rp, lmiss, rmiss)
-                self._note(
-                    f"hash join + {right_binding} on {len(pairs)} key(s): "
-                    f"{acc_chunk.nrows} x {right_chunk.nrows} -> {new_chunk.nrows} rows"
-                )
-            else:
-                nl, nr = acc_chunk.nrows, right_chunk.nrows
-                if nl * nr > 50_000_000:
-                    raise SQLExecutionError(
-                        f"refusing cartesian product of {nl} x {nr} rows"
-                    )
-                lp = np.repeat(np.arange(nl, dtype=np.int64), nr)
-                rp = np.tile(np.arange(nr, dtype=np.int64), nl)
-                zeros = np.zeros(len(lp), dtype=bool)
-                new_chunk = combine_chunks(acc_chunk, right_chunk, lp, rp, zeros, zeros)
-                self._note(
-                    f"cartesian product + {right_binding}: {nl} x {nr} -> {len(lp)} rows"
-                )
-
-            acc_offsets[right_binding] = acc_chunk.ncols
-            acc_chunk = new_chunk
-            acc_bindings.append(right_binding)
-            remaining.discard(nxt)
-
-        return acc_chunk, build_scope()
-
-    def _apply_explicit_join(self, chunk: Chunk, scope: Scope, jc, src: _Source, env) -> tuple[Chunk, Scope]:
-        kind = jc.kind.lower()
-        right_chunk = src.chunk
-        right_scope = self._single_scope(src.binding, right_chunk)
-        conjuncts = split_conjuncts(jc.condition)
-        pairs: list[tuple[Expr, Expr]] = []
-        residual: list[Expr] = []
-        right_cols = set(right_chunk.columns)
-
-        def side_of(e: Expr) -> str | None:
-            refs = expr_columns(e)
-            if not refs:
-                return None
-            sides = set()
-            for r in refs:
-                if r.table == src.binding or (r.table is None and r.name in right_cols and scope.resolve(ColumnRef(r.name)) is None):
-                    sides.add("right")
-                else:
-                    sides.add("left")
-            return sides.pop() if len(sides) == 1 else None
-
-        for conj in conjuncts:
-            if isinstance(conj, BinaryOp) and conj.op == "=":
-                ls, rs = side_of(conj.left), side_of(conj.right)
-                if ls == "left" and rs == "right":
-                    pairs.append((conj.left, conj.right))
-                    continue
-                if ls == "right" and rs == "left":
-                    pairs.append((conj.right, conj.left))
-                    continue
-            residual.append(conj)
-
-        if residual and kind in ("left", "right", "full"):
-            raise UnsupportedFeatureError(
-                f"{self.config.name}: non-equi conditions on outer joins are not supported"
-            )
-        if not pairs and kind != "cross":
-            raise UnsupportedFeatureError("explicit join requires at least one equi condition")
-
-        how = {"inner": "inner", "left": "left", "right": "right", "full": "full", "cross": "inner"}[kind]
-        if kind == "cross":
-            nl, nr = chunk.nrows, right_chunk.nrows
-            lp = np.repeat(np.arange(nl, dtype=np.int64), nr)
-            rp = np.tile(np.arange(nr, dtype=np.int64), nl)
-            lmiss = np.zeros(len(lp), dtype=bool)
-            rmiss = lmiss
-        else:
-            left_eval = Evaluator(chunk, scope)
-            right_eval = Evaluator(right_chunk, right_scope)
-            lkeys = [left_eval.eval_array(le) for le, _ in pairs]
-            rkeys = [right_eval.eval_array(re_) for _, re_ in pairs]
-            lp, rp, lmiss, rmiss = join_positions(lkeys, rkeys, how)
-
-        new_chunk = combine_chunks(chunk, right_chunk, lp, rp, lmiss, rmiss)
-        new_scope = Scope()
-        new_scope.qualified = dict(scope.qualified)
-        new_scope.unqualified = dict(scope.unqualified)
-        new_scope.ambiguous = set(scope.ambiguous)
-        offset = chunk.ncols
-        for k, col in enumerate(right_chunk.columns):
-            new_scope.add(src.binding, col, offset + k)
-
-        if residual:
-            ev = Evaluator(new_chunk, new_scope)
-            mask = np.ones(new_chunk.nrows, dtype=bool)
-            for conj in residual:
-                mask &= ev.eval_mask(conj)
-            new_chunk = new_chunk.mask(mask)
-        return new_chunk, new_scope
+    def _execute_select(self, select: Select, env: dict[str, Chunk],
+                        cacheable: bool = True) -> Chunk:
+        plan = self.plan_for(select, env, cacheable=cacheable)
+        return plan.execute(ExecContext(self, env))
 
     # ------------------------------------------------------------------
     # Windows
@@ -636,7 +224,7 @@ class Executor:
         n = chunk.nrows
         threads = self.config.threads
         morsel = self.config.morsel_size if self.config.mode == "vectorized" else None
-        simple = not window_values and not any(_has_subquery(it.expr) for it in items)
+        simple = not window_values and not any(has_subquery(it.expr) for it in items)
 
         if simple and n > 1:
             def make_arrays(start: int, stop: int) -> list[np.ndarray]:
@@ -670,11 +258,9 @@ class Executor:
     def _eval_with_windows(self, evaluator: Evaluator, expr: Expr, window_values) -> np.ndarray:
         if isinstance(expr, WindowCall):
             return window_values[id(expr)]
-        if window_values and _has_window(expr):
+        if window_values and has_window(expr):
             # Rebuild expression bottom-up substituting window arrays.
             import copy
-
-            from .sqlast import Literal
 
             def substitute(e):
                 if isinstance(e, WindowCall):
@@ -705,9 +291,42 @@ class Executor:
             return ev2.eval_array(new_expr)
         return evaluator.eval_array(expr)
 
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    _PARALLEL_AGG_FUNCS = {"SUM": "sum", "AVG": "mean", "MIN": "min",
+                           "MAX": "max", "COUNT": "count"}
+
+    def _parallel_aggregate(self, expr: Expr, evaluator: Evaluator,
+                            gids: np.ndarray, ngroups: int) -> np.ndarray | None:
+        """Morsel-parallel partial reduction for a bare aggregate item.
+
+        Returns ``None`` when *expr* isn't a plain partial-mergeable
+        aggregate; the caller falls back to the grouped evaluator.
+        """
+        if not isinstance(expr, AggCall) or expr.distinct:
+            return None
+        func = self._PARALLEL_AGG_FUNCS.get(expr.func)
+        if func is None:
+            return None
+        if expr.arg is None:
+            if expr.func != "COUNT":
+                return None
+            return parallel_group_reduce(None, gids, ngroups, "size",
+                                         self.config.threads)
+        if has_subquery(expr.arg) or has_window(expr.arg):
+            return None
+        saved = (evaluator.gids, evaluator.ngroups, evaluator.group_first)
+        evaluator.gids = None
+        try:
+            arg = evaluator.eval_array(expr.arg)
+        finally:
+            evaluator.gids, evaluator.ngroups, evaluator.group_first = saved
+        return parallel_group_reduce(arg, gids, ngroups, func,
+                                     self.config.threads,
+                                     sql_null_empty=(func == "sum"))
+
     def _project_grouped(self, select: Select, chunk: Chunk, scope: Scope, subquery_cb, window_values):
-        if window_values:
-            raise UnsupportedFeatureError("window functions cannot be combined with aggregation")
         items = self._expand_items(select, chunk, scope)
         names = [self._output_name(it, i) for i, it in enumerate(items)]
 
@@ -736,11 +355,24 @@ class Executor:
         for gexpr, uniq in zip(select.group_by, key_uniques):
             evaluator.group_key_values[expr_key(gexpr)] = uniq
 
-        if self.config.threads > 1 and chunk.nrows >= 4096 and len(items) > 1:
-            # Aggregate expressions are independent: evaluate them across
-            # the worker pool (NumPy reductions release the GIL).
-            from .parallel import _pool
+        parallel = (self.config.parallel_agg and self.config.threads > 1
+                    and chunk.nrows >= 4096)
+        arrays: list[np.ndarray | None] = [None] * len(items)
+        pending: list[tuple[int, SelectItem]] = []
+        serial: list[tuple[int, SelectItem]] = []
+        for i, it in enumerate(items):
+            if parallel:
+                arrays[i] = self._parallel_aggregate(it.expr, evaluator, gids, ngroups)
+            if arrays[i] is None:
+                # Items with subqueries must stay off the worker pool: the
+                # nested query runs its own parallel operators on the same
+                # pool, and a worker blocking on futures queued behind
+                # itself deadlocks.
+                (serial if has_subquery(it.expr) else pending).append((i, it))
 
+        if parallel and len(pending) > 1:
+            # Remaining expressions are independent: evaluate them across
+            # the worker pool (NumPy reductions release the GIL).
             def eval_item(it):
                 ev = Evaluator(chunk, scope, subquery_executor=subquery_cb)
                 ev.gids = gids
@@ -749,10 +381,14 @@ class Executor:
                 ev.group_key_values = evaluator.group_key_values
                 return ev.eval_array(it.expr)
 
-            pool = _pool(self.config.threads)
-            arrays = list(pool.map(eval_item, items))
+            results = parallel_map(self.config.threads, eval_item,
+                                   [it for _, it in pending])
+            for (i, _), arr in zip(pending, results):
+                arrays[i] = arr
         else:
-            arrays = [evaluator.eval_array(it.expr) for it in items]
+            serial = pending + serial
+        for i, it in serial:
+            arrays[i] = evaluator.eval_array(it.expr)
         out = Chunk(names, arrays)
 
         if select.having is not None:
@@ -852,7 +488,7 @@ class Executor:
             limit=None,
             distinct=False,
         )
-        inner_chunk = self._execute_select(inner_select, env)
+        inner_chunk = self._execute_select(inner_select, env, cacheable=False)
         outer_keys = [outer_eval.eval_array(ref) for _, ref in correlated]
         return semi_join_mask(outer_keys, list(inner_chunk.arrays))
 

@@ -1,12 +1,14 @@
-"""Vectorized group-key factorization for the SQL engine's hash aggregate."""
+"""Vectorized group-key factorization and morsel-parallel reductions for
+the SQL engine's hash aggregate."""
 
 from __future__ import annotations
 
 import numpy as np
 
 from ..dataframe._common import isna_array
+from .parallel import run_partitions
 
-__all__ = ["factorize", "factorize_many"]
+__all__ = ["factorize", "factorize_many", "parallel_group_reduce"]
 
 
 def factorize(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -68,3 +70,106 @@ def factorize_many(arrays: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndarra
         remaining = remaining % mult
         key_cols.append(uniques[idx])
     return combined_uniques.astype(np.int64), key_cols, ngroups
+
+
+def parallel_group_reduce(
+    values: np.ndarray | None,
+    gids: np.ndarray,
+    ngroups: int,
+    func: str,
+    threads: int,
+    sql_null_empty: bool = False,
+) -> np.ndarray | None:
+    """Morsel-parallel group reduction with partial-aggregate merging.
+
+    Rows are partitioned across the shared worker pool; each partition
+    computes a partial aggregate state (``np.bincount`` and reduceat-based
+    kernels release the GIL) and the partials are merged serially.  Result
+    semantics match :func:`repro.dataframe.groupby.group_reduce` exactly
+    (null-skipping, int downcast rules, NULL for empty min/max groups).
+
+    Returns ``None`` when the dtype/func combination has no partial-merge
+    implementation — the caller must fall back to the serial path.
+    """
+    n = len(gids)
+    if func == "size":
+        parts = run_partitions(
+            n, threads, lambda a, b: np.bincount(gids[a:b], minlength=ngroups)
+        )
+        out = parts[0]
+        for p in parts[1:]:
+            out = out + p
+        return out.astype(np.int64)
+
+    if values is None or values.dtype == object or values.dtype.kind == "M":
+        return None
+    if func not in ("sum", "mean", "min", "max", "count"):
+        return None
+
+    valid = ~isna_array(values)
+    if func == "count":
+        parts = run_partitions(
+            n, threads,
+            lambda a, b: np.bincount(gids[a:b][valid[a:b]], minlength=ngroups),
+        )
+        out = parts[0]
+        for p in parts[1:]:
+            out = out + p
+        return out.astype(np.int64)
+
+    if func in ("sum", "mean"):
+        def partial(a: int, b: int):
+            ok = valid[a:b]
+            g = gids[a:b][ok]
+            v = values[a:b][ok].astype(np.float64)
+            return (
+                np.bincount(g, weights=v, minlength=ngroups),
+                np.bincount(g, minlength=ngroups),
+            )
+
+        parts = run_partitions(n, threads, partial)
+        sums = parts[0][0]
+        counts = parts[0][1]
+        for s, c in parts[1:]:
+            sums = sums + s
+            counts = counts + c
+        if func == "sum":
+            if sql_null_empty and (counts == 0).any():
+                # SQL SUM over an empty group is NULL (Pandas would say 0).
+                sums = sums.astype(np.float64)
+                sums[counts == 0] = np.nan
+                return sums
+            if values.dtype.kind in ("i", "u", "b") and np.abs(sums).max(initial=0) < 2**52:
+                return sums.astype(np.int64)
+            return sums
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return sums / counts
+
+    # min / max
+    fill = np.inf if func == "min" else -np.inf
+    ufunc = np.minimum if func == "min" else np.maximum
+
+    def partial_minmax(a: int, b: int) -> np.ndarray:
+        ok = valid[a:b]
+        g = gids[a:b][ok]
+        v = values[a:b][ok].astype(np.float64)
+        out = np.full(ngroups, fill, dtype=np.float64)
+        if len(g):
+            order = np.argsort(g, kind="stable")
+            sorted_g = g[order]
+            boundaries = np.empty(len(sorted_g), dtype=bool)
+            boundaries[0] = True
+            boundaries[1:] = sorted_g[1:] != sorted_g[:-1]
+            starts = np.nonzero(boundaries)[0]
+            out[sorted_g[starts]] = ufunc.reduceat(v[order], starts)
+        return out
+
+    parts = run_partitions(n, threads, partial_minmax)
+    out = parts[0]
+    for p in parts[1:]:
+        out = ufunc(out, p)
+    if values.dtype.kind in ("i", "u") and np.isfinite(out).all():
+        return out.astype(values.dtype)
+    out = out.copy()
+    out[out == fill] = np.nan  # empty groups aggregate to NULL
+    return out

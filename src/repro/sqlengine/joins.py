@@ -1,10 +1,18 @@
-"""Vectorized hash-join primitives for the SQL engine."""
+"""Vectorized hash-join primitives for the SQL engine.
+
+The integer fast path builds the join index (a stable sort of the build
+side) once, then probes it with ``np.searchsorted``; since searchsorted
+releases the GIL, probing is morsel-parallel across the shared worker pool
+when the caller passes ``threads > 1``.  Partition results concatenate in
+partition order, so the output row order is bit-identical to a serial probe.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from ..dataframe._common import isna_array, take_with_nulls
+from .parallel import parallel_map, run_partitions
 from .table import Chunk
 
 __all__ = ["join_positions", "combine_chunks", "semi_join_mask"]
@@ -58,15 +66,28 @@ def join_positions(
     left_keys: list[np.ndarray],
     right_keys: list[np.ndarray],
     how: str = "inner",
+    threads: int = 1,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Compute matching row positions for an equi-join.
 
     Returns ``(left_pos, right_pos, left_missing, right_missing)`` where the
     missing masks flag rows padded in by outer joins (their positions are 0
-    and must be null-filled).
+    and must be null-filled).  With ``threads > 1`` the probe side is
+    partitioned across the worker pool (integer fast path only).
     """
     nl = len(left_keys[0]) if left_keys else 0
     nr = len(right_keys[0]) if right_keys else 0
+
+    if nr > 4 * nl and nr >= 4096:
+        # Strongly asymmetric join: build the index on the small side and
+        # probe with the large one (morsel-parallel).  Output rows come out
+        # grouped by the probe side, which is a different — equally valid —
+        # row order than probing left-over-right.
+        swapped_how = {"inner": "inner", "left": "right", "right": "left",
+                       "full": "full"}[how]
+        rp, lp, rmiss, lmiss = join_positions(right_keys, left_keys,
+                                              swapped_how, threads)
+        return lp, rp, lmiss, rmiss
 
     fast = all(_is_fast_key(a) for a in left_keys) and all(_is_fast_key(a) for a in right_keys)
     if fast and nl and nr:
@@ -79,18 +100,79 @@ def join_positions(
             else:
                 lk, rk = packed
         if fast:
-            return _join_positions_int(lk, rk, how)
+            return _join_positions_int(lk, rk, how, threads)
     return _join_positions_generic(left_keys, right_keys, nl, nr, how)
 
 
-def _join_positions_int(lk: np.ndarray, rk: np.ndarray, how: str):
-    order = np.argsort(rk, kind="stable")
-    rs = rk[order]
-    lo = np.searchsorted(rs, lk, side="left")
-    hi = np.searchsorted(rs, lk, side="right")
-    counts = hi - lo
-    left_pos = np.repeat(np.arange(len(lk), dtype=np.int64), counts)
-    right_pos = order[_ranges_gather(lo, counts)]
+# Classic hash-table prime ladder (roughly doubling); a prime modulus
+# scatters strided key patterns (TPC-H surrogate keys, packed composites)
+# that a power-of-two modulus would alias onto a few residues.
+_PRIMES = [
+    53, 97, 193, 389, 769, 1543, 3079, 6151, 12289, 24593, 49157, 98317,
+    196613, 393241, 786433, 1572869, 3145739, 6291469, 12582917, 25165843,
+    50331653, 100663319, 201326611, 402653189, 805306457, 1610612741,
+]
+
+
+def _hash_table_size(n: int) -> int:
+    want = 4 * max(n, 1)
+    for p in _PRIMES:
+        if p >= want:
+            return p
+    return _PRIMES[-1]
+
+
+def _join_positions_int(lk: np.ndarray, rk: np.ndarray, how: str, threads: int = 1):
+    # Build a dense counting index once.  When the key span is modest
+    # (typical for surrogate keys) buckets are the keys themselves; for
+    # sparse keys (e.g. packed composites) keys hash into a prime-sized
+    # table and candidate pairs are verified vectorized.  Either way the
+    # probe is pure fancy indexing, which releases the GIL — so
+    # morsel-parallel probes genuinely overlap (a searchsorted-based probe
+    # holds the GIL and cannot scale across threads).
+    kmin = int(rk.min())
+    span = int(rk.max()) - kmin + 1
+    exact = 0 < span <= max(1 << 20, 2 * (len(rk) + len(lk)))
+    if exact:
+        table_size = span
+        keys_r = rk.astype(np.int64) - kmin
+    else:
+        table_size = _hash_table_size(len(rk))
+        keys_r = (rk.astype(np.int64) - kmin) % table_size
+    order = np.argsort(keys_r, kind="stable")
+    group_counts = np.bincount(keys_r, minlength=table_size)
+    group_starts = np.concatenate(
+        ([0], np.cumsum(group_counts[:-1], dtype=np.int64))
+    )
+
+    def probe(start: int, stop: int):
+        keys = lk[start:stop].astype(np.int64) - kmin
+        if exact:
+            in_bounds = (keys >= 0) & (keys < table_size)
+            keys = np.where(in_bounds, keys, 0)
+            counts = np.where(in_bounds, group_counts[keys], 0)
+        else:
+            keys = keys % table_size
+            counts = group_counts[keys]
+        lo = group_starts[keys]
+        left_pos = np.repeat(np.arange(start, stop, dtype=np.int64), counts)
+        right_pos = order[_ranges_gather(lo, counts)]
+        if not exact:
+            # Hash buckets may mix distinct keys: verify candidate pairs.
+            ok = rk[right_pos] == lk[left_pos]
+            if not ok.all():
+                left_pos = left_pos[ok]
+                right_pos = right_pos[ok]
+                counts = np.bincount(left_pos - start, minlength=stop - start)
+        return left_pos, right_pos, counts
+
+    parts = run_partitions(len(lk), threads, probe)
+    if len(parts) == 1:
+        left_pos, right_pos, counts = parts[0]
+    else:
+        left_pos = np.concatenate([p[0] for p in parts])
+        right_pos = np.concatenate([p[1] for p in parts])
+        counts = np.concatenate([p[2] for p in parts])
     left_missing = np.zeros(len(left_pos), dtype=bool)
     right_missing = np.zeros(len(right_pos), dtype=bool)
 
@@ -165,11 +247,19 @@ def combine_chunks(
     left: Chunk, right: Chunk,
     left_pos: np.ndarray, right_pos: np.ndarray,
     left_missing: np.ndarray, right_missing: np.ndarray,
+    threads: int = 1,
 ) -> Chunk:
-    """Materialize the joined chunk from position/missing vectors."""
+    """Materialize the joined chunk from position/missing vectors.
+
+    Column gathers are independent and fancy indexing releases the GIL, so
+    with ``threads > 1`` they run across the worker pool.
+    """
     columns = list(left.columns) + list(right.columns)
-    arrays = [take_with_nulls(a, left_pos, left_missing) for a in left.arrays]
-    arrays += [take_with_nulls(a, right_pos, right_missing) for a in right.arrays]
+    jobs = [(a, left_pos, left_missing) for a in left.arrays]
+    jobs += [(a, right_pos, right_missing) for a in right.arrays]
+    if threads > 1 and len(left_pos) < 4096:
+        threads = 1  # not worth the handoff
+    arrays = parallel_map(threads, lambda job: take_with_nulls(*job), jobs)
     return Chunk(columns, arrays)
 
 

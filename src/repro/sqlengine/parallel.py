@@ -7,13 +7,15 @@ speedups are real, mirroring the scalability analysis of Section V-C).
 
 from __future__ import annotations
 
+import atexit
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 import numpy as np
 
-__all__ = ["partition_bounds", "parallel_masks", "parallel_arrays", "run_partitions"]
+__all__ = ["partition_bounds", "parallel_masks", "parallel_arrays",
+           "run_partitions", "parallel_map", "shutdown_pools"]
 
 _POOL_LOCK = threading.Lock()
 _POOLS: dict[int, ThreadPoolExecutor] = {}
@@ -28,6 +30,34 @@ def _pool(threads: int) -> ThreadPoolExecutor:
             pool = ThreadPoolExecutor(max_workers=threads)
             _POOLS[threads] = pool
         return pool
+
+
+def parallel_map(threads: int, fn: Callable, items) -> list:
+    """Map *fn* over *items* on the shared pool (serial when ``threads<=1``
+    or fewer than two items).  Callers must not hand this work that itself
+    re-enters the pool (e.g. subquery evaluation) — a worker blocking on
+    futures queued behind itself deadlocks."""
+    items = list(items)
+    if threads <= 1 or len(items) <= 1:
+        return [fn(it) for it in items]
+    return list(_pool(threads).map(fn, items))
+
+
+def shutdown_pools(wait: bool = True) -> None:
+    """Shut down and forget every shared worker pool.
+
+    Safe to call at any point — the next parallel operator lazily recreates
+    its pool.  Registered via ``atexit`` so interpreter shutdown never races
+    in-flight workers, and called by the test suite between sessions.
+    """
+    with _POOL_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+atexit.register(shutdown_pools)
 
 
 def partition_bounds(n: int, parts: int) -> list[tuple[int, int]]:

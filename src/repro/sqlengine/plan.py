@@ -1,0 +1,600 @@
+"""Physical query operators: the executable plan representation.
+
+A :class:`PhysicalPlan` is a tree of composable operators produced by
+:mod:`.planner` (one plan per ``SELECT`` body).  Each operator knows how to
+
+* ``execute(ctx)`` itself into a :class:`OpResult` (chunk + scope), and
+* render itself for ``EXPLAIN`` (:meth:`PhysicalPlan.render`).
+
+The split mirrors production engines: the planner makes every decision that
+can be made statically (pushdown, projection pruning, join order from
+cardinality estimates), while operators only carry out those decisions.
+Data-dependent work — subquery execution, window evaluation — is delegated
+back to the :class:`~.executor.Executor` through :class:`ExecContext`.
+
+``HashJoin`` probes and ``HashAggregate`` reductions are morsel-parallel
+across the shared :mod:`.parallel` pool (NumPy kernels release the GIL),
+extending the seed engine's filter/projection parallelism to the two
+operators that dominate join-heavy workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..errors import SQLExecutionError, UnsupportedFeatureError
+from .expressions import Evaluator, Scope
+from .joins import combine_chunks, join_positions
+from .parallel import parallel_map, parallel_masks
+from .sqlast import (
+    AggCall, BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef, ExistsExpr,
+    Expr, FuncCall, InList, InSubquery, IsNull, LikeExpr, Literal,
+    ScalarSubquery, Select, Star, UnaryOp, WindowCall,
+)
+from .table import Chunk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executor import Executor
+
+__all__ = [
+    "ExecContext", "OpResult", "Operator", "Scan", "SubqueryScan", "DualScan",
+    "Filter", "CrossJoin", "HashJoin", "ResidualFilter", "Project",
+    "HashAggregate", "Distinct", "Sort", "Limit", "PhysicalPlan",
+    "expr_to_str",
+]
+
+
+# ---------------------------------------------------------------------------
+# Rendering helpers
+# ---------------------------------------------------------------------------
+
+def expr_to_str(expr: Expr) -> str:
+    """Compact SQL-ish rendering of an expression for EXPLAIN output."""
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    if isinstance(expr, ColumnRef):
+        return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, Star):
+        return "*"
+    if isinstance(expr, BinaryOp):
+        return f"({expr_to_str(expr.left)} {expr.op} {expr_to_str(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        return f"({expr.op} {expr_to_str(expr.operand)})"
+    if isinstance(expr, FuncCall):
+        return f"{expr.name}({', '.join(expr_to_str(a) for a in expr.args)})"
+    if isinstance(expr, AggCall):
+        arg = "*" if expr.arg is None else expr_to_str(expr.arg)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.func}({distinct}{arg})"
+    if isinstance(expr, WindowCall):
+        return f"{expr.func}() OVER (...)"
+    if isinstance(expr, CastExpr):
+        return f"CAST({expr_to_str(expr.operand)} AS {expr.type_name})"
+    if isinstance(expr, CaseExpr):
+        return "CASE ... END"
+    if isinstance(expr, InList):
+        neg = "NOT " if expr.negated else ""
+        return f"{expr_to_str(expr.operand)} {neg}IN (...)"
+    if isinstance(expr, InSubquery):
+        neg = "NOT " if expr.negated else ""
+        return f"{expr_to_str(expr.operand)} {neg}IN (subquery)"
+    if isinstance(expr, ExistsExpr):
+        return ("NOT " if expr.negated else "") + "EXISTS (subquery)"
+    if isinstance(expr, ScalarSubquery):
+        return "(subquery)"
+    if isinstance(expr, BetweenExpr):
+        neg = "NOT " if expr.negated else ""
+        return (f"{expr_to_str(expr.operand)} {neg}BETWEEN "
+                f"{expr_to_str(expr.low)} AND {expr_to_str(expr.high)}")
+    if isinstance(expr, IsNull):
+        return f"{expr_to_str(expr.operand)} IS {'NOT ' if expr.negated else ''}NULL"
+    if isinstance(expr, LikeExpr):
+        neg = "NOT " if expr.negated else ""
+        return f"{expr_to_str(expr.operand)} {neg}LIKE {expr.pattern!r}"
+    return type(expr).__name__
+
+
+def _fmt_est(est: float | None) -> str:
+    if est is None:
+        return ""
+    return f"  [est={int(round(est))} rows]"
+
+
+# ---------------------------------------------------------------------------
+# Execution context / results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExecContext:
+    """Everything an operator needs at run time."""
+
+    executor: "Executor"
+    env: dict[str, Chunk]
+
+    @property
+    def config(self):
+        return self.executor.config
+
+    def note(self, message: str) -> None:
+        self.executor._note(message)
+
+    def subquery_cb(self):
+        env = self.env
+
+        def cb(kind, sub_select, outer_eval, operand=None):
+            return self.executor._subquery(kind, sub_select, env, outer_eval, operand)
+
+        return cb
+
+
+@dataclass
+class OpResult:
+    """A materialized relation flowing between operators."""
+
+    chunk: Chunk
+    scope: Scope
+    # Evaluator over the pre-projection relation, used by Sort to evaluate
+    # ORDER BY expressions that reference non-projected columns.
+    order_eval: Optional[Evaluator] = None
+
+
+def _single_scope(binding: str, chunk: Chunk) -> Scope:
+    scope = Scope()
+    for slot, col in enumerate(chunk.columns):
+        scope.add(binding, col, slot)
+    return scope
+
+
+# ---------------------------------------------------------------------------
+# Operators
+# ---------------------------------------------------------------------------
+
+class Operator:
+    """Base physical operator."""
+
+    est_rows: float | None = None
+
+    def children(self) -> list["Operator"]:
+        return []
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        raise NotImplementedError
+
+
+@dataclass
+class Scan(Operator):
+    """Read a base table (or materialized CTE) and prune to needed columns."""
+
+    binding: str
+    table: str
+    keep_columns: list[str] | None  # None = keep all (SELECT *)
+    est_rows: float | None = None
+
+    def label(self) -> str:
+        cols = "*" if self.keep_columns is None else f"[{', '.join(self.keep_columns)}]"
+        name = self.table if self.table == self.binding else f"{self.table} AS {self.binding}"
+        return f"Scan {name} cols={cols}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        if self.table in ctx.env:
+            src = ctx.env[self.table]
+            chunk = Chunk(list(src.columns), list(src.arrays))
+        else:
+            chunk = ctx.executor.catalog.get(self.table).chunk()
+        if self.keep_columns is not None:
+            chunk = chunk.project(self.keep_columns)
+        return OpResult(chunk, _single_scope(self.binding, chunk))
+
+
+@dataclass
+class SubqueryScan(Operator):
+    """A derived table in FROM: execute the nested body, rename, prune."""
+
+    binding: str
+    body: object  # Select | ValuesClause
+    column_names: list[str] | None
+    keep_columns: list[str] | None
+    subplan: Optional["PhysicalPlan"] = None
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.subplan.root] if self.subplan is not None else []
+
+    def label(self) -> str:
+        return f"SubqueryScan AS {self.binding}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        chunk = ctx.executor._execute_body(self.body, ctx.env)
+        if self.column_names is not None:
+            chunk = Chunk(list(self.column_names), chunk.arrays)
+        if self.keep_columns is not None:
+            chunk = chunk.project(self.keep_columns)
+        return OpResult(chunk, _single_scope(self.binding, chunk))
+
+
+@dataclass
+class DualScan(Operator):
+    """The implicit one-row relation behind a FROM-less SELECT."""
+
+    est_rows: float | None = 1.0
+
+    def label(self) -> str:
+        return "DualScan"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        chunk = Chunk(["__one"], [np.zeros(1, dtype=np.int64)])
+        return OpResult(chunk, Scope())
+
+
+@dataclass
+class Filter(Operator):
+    """Pushed-down filter directly above a scan (no subqueries allowed).
+
+    Morsel-parallel: the mask is evaluated over row partitions on the shared
+    pool; vectorized mode additionally chops each partition into morsels.
+    """
+
+    child: Operator
+    binding: str
+    predicates: list[Expr]
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        preds = " AND ".join(expr_to_str(p) for p in self.predicates)
+        return f"Filter {preds}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        res = self.child.execute(ctx)
+        chunk, scope = res.chunk, res.scope
+        config = ctx.config
+        n = chunk.nrows
+        morsel = config.morsel_size if config.mode == "vectorized" else None
+        exprs = self.predicates
+
+        def make_mask(start: int, stop: int) -> np.ndarray:
+            if morsel is None:
+                sub = chunk.slice(start, stop)
+                ev = Evaluator(sub, scope)
+                mask = np.ones(stop - start, dtype=bool)
+                for e in exprs:
+                    mask &= ev.eval_mask(e)
+                return mask
+            parts = [np.zeros(0, dtype=bool)]
+            pos = start
+            while pos < stop:
+                end = min(pos + morsel, stop)
+                sub = chunk.slice(pos, end)
+                ev = Evaluator(sub, scope)
+                mask = np.ones(end - pos, dtype=bool)
+                for e in exprs:
+                    mask &= ev.eval_mask(e)
+                parts.append(mask)
+                pos = end
+            return np.concatenate(parts) if len(parts) > 2 else parts[-1]
+
+        mask = parallel_masks(n, config.threads, make_mask)
+        if config.threads > 1 and n >= 4096:
+            # Boolean-mask gathers release the GIL; materialize the
+            # surviving rows column-parallel.
+            out = Chunk(list(chunk.columns),
+                        parallel_map(config.threads, lambda a: a[mask],
+                                     chunk.arrays))
+        else:
+            out = chunk.mask(mask)
+        ctx.note(
+            f"scan+filter {self.binding}: {len(exprs)} predicate(s) pushed down, "
+            f"{n} -> {out.nrows} rows"
+        )
+        return OpResult(out, scope)
+
+
+def _merge_scopes(left: Scope, right_binding: str, right_chunk: Chunk, offset: int) -> Scope:
+    scope = Scope()
+    scope.qualified = dict(left.qualified)
+    scope.unqualified = dict(left.unqualified)
+    scope.ambiguous = set(left.ambiguous)
+    for k, col in enumerate(right_chunk.columns):
+        scope.add(right_binding, col, offset + k)
+    return scope
+
+
+@dataclass
+class CrossJoin(Operator):
+    """Cartesian product (guarded against blow-ups)."""
+
+    left: Operator
+    right: Operator
+    right_binding: str
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return f"CrossJoin + {self.right_binding}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        lres = self.left.execute(ctx)
+        rres = self.right.execute(ctx)
+        nl, nr = lres.chunk.nrows, rres.chunk.nrows
+        if nl * nr > 50_000_000:
+            raise SQLExecutionError(
+                f"refusing cartesian product of {nl} x {nr} rows"
+            )
+        lp = np.repeat(np.arange(nl, dtype=np.int64), nr)
+        rp = np.tile(np.arange(nr, dtype=np.int64), nl)
+        zeros = np.zeros(len(lp), dtype=bool)
+        chunk = combine_chunks(lres.chunk, rres.chunk, lp, rp, zeros, zeros)
+        ctx.note(
+            f"cartesian product + {self.right_binding}: {nl} x {nr} -> {len(lp)} rows"
+        )
+        scope = _merge_scopes(lres.scope, self.right_binding, rres.chunk, lres.chunk.ncols)
+        return OpResult(chunk, scope)
+
+
+@dataclass
+class HashJoin(Operator):
+    """Equi hash join; probe side is partitioned across the worker pool.
+
+    ``pairs`` are (left_expr, right_expr) equi-key pairs; ``residual``
+    conjuncts (non-equi parts of an explicit ON) filter the joined chunk.
+    """
+
+    left: Operator
+    right: Operator
+    right_binding: str
+    pairs: list[tuple[Expr, Expr]]
+    how: str = "inner"
+    residual: list[Expr] = field(default_factory=list)
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        conds = ", ".join(
+            f"{expr_to_str(l)} = {expr_to_str(r)}" for l, r in self.pairs
+        )
+        how = "" if self.how == "inner" else f" {self.how.upper()}"
+        return f"HashJoin{how} + {self.right_binding} on {conds}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        lres = self.left.execute(ctx)
+        rres = self.right.execute(ctx)
+        left_chunk, right_chunk = lres.chunk, rres.chunk
+        left_eval = Evaluator(left_chunk, lres.scope)
+        right_eval = Evaluator(right_chunk, rres.scope)
+        lkeys = [left_eval.eval_array(le) for le, _ in self.pairs]
+        rkeys = [right_eval.eval_array(re_) for _, re_ in self.pairs]
+        threads = ctx.config.threads if ctx.config.parallel_join else 1
+        lp, rp, lmiss, rmiss = join_positions(lkeys, rkeys, self.how, threads=threads)
+        chunk = combine_chunks(left_chunk, right_chunk, lp, rp, lmiss, rmiss,
+                               threads=threads)
+        ctx.note(
+            f"hash join + {self.right_binding} on {len(self.pairs)} key(s): "
+            f"{left_chunk.nrows} x {right_chunk.nrows} -> {chunk.nrows} rows"
+        )
+        scope = _merge_scopes(lres.scope, self.right_binding, right_chunk, left_chunk.ncols)
+        if self.residual:
+            ev = Evaluator(chunk, scope)
+            mask = np.ones(chunk.nrows, dtype=bool)
+            for conj in self.residual:
+                mask &= ev.eval_mask(conj)
+            chunk = chunk.mask(mask)
+        return OpResult(chunk, scope)
+
+
+@dataclass
+class ResidualFilter(Operator):
+    """Post-join WHERE conjuncts (subqueries and multi-source predicates)."""
+
+    child: Operator
+    predicates: list[Expr]
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        preds = " AND ".join(expr_to_str(p) for p in self.predicates)
+        return f"Filter(residual) {preds}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        res = self.child.execute(ctx)
+        chunk = res.chunk
+        before = chunk.nrows
+        evaluator = Evaluator(chunk, res.scope, subquery_executor=ctx.subquery_cb())
+        mask = np.ones(chunk.nrows, dtype=bool)
+        for conj in self.predicates:
+            mask &= evaluator.eval_mask(conj)
+        chunk = chunk.mask(mask)
+        ctx.note(f"residual filter: {len(self.predicates)} predicate(s), "
+                 f"{before} -> {chunk.nrows} rows")
+        return OpResult(chunk, res.scope)
+
+
+@dataclass
+class Project(Operator):
+    """Plain projection (includes window-function evaluation)."""
+
+    child: Operator
+    select: Select
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        items = ", ".join(expr_to_str(it.expr) for it in self.select.items)
+        return f"Project {items}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        res = self.child.execute(ctx)
+        executor = ctx.executor
+        cb = ctx.subquery_cb()
+        window_values = executor._eval_windows(self.select, res.chunk, res.scope, cb)
+        chunk, order_eval = executor._project_plain(
+            self.select, res.chunk, res.scope, cb, window_values
+        )
+        return OpResult(chunk, res.scope, order_eval=order_eval)
+
+
+@dataclass
+class HashAggregate(Operator):
+    """Grouped projection: factorize keys, reduce aggregates, apply HAVING.
+
+    Reductions over large inputs run morsel-parallel (partial per-partition
+    reductions merged by the combinators in :mod:`.grouping`).
+    """
+
+    child: Operator
+    select: Select
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        keys = ", ".join(expr_to_str(g) for g in self.select.group_by)
+        naggs = sum(1 for it in self.select.items if not isinstance(it.expr, Star))
+        label = f"HashAggregate keys=[{keys}] items={naggs}"
+        if self.select.having is not None:
+            label += f" having={expr_to_str(self.select.having)}"
+        return label
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        res = self.child.execute(ctx)
+        executor = ctx.executor
+        cb = ctx.subquery_cb()
+        window_values = executor._eval_windows(self.select, res.chunk, res.scope, cb)
+        if window_values:
+            raise UnsupportedFeatureError(
+                "window functions cannot be combined with aggregation"
+            )
+        chunk, order_eval = executor._project_grouped(
+            self.select, res.chunk, res.scope, cb, window_values
+        )
+        return OpResult(chunk, res.scope, order_eval=order_eval)
+
+
+@dataclass
+class Distinct(Operator):
+    """Deduplicate output rows, keeping first occurrence in input order."""
+
+    child: Operator
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        return "Distinct"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        from .grouping import factorize_many
+
+        res = self.child.execute(ctx)
+        chunk = res.chunk
+        if chunk.nrows:
+            gids, _, ngroups = factorize_many(chunk.arrays)
+            positions = np.arange(len(gids) - 1, -1, -1, dtype=np.int64)
+            first = np.zeros(ngroups, dtype=np.int64)
+            first[gids[positions]] = positions
+            chunk = chunk.take(np.sort(first))
+        # Ordering must reference output columns from here on.
+        return OpResult(chunk, res.scope, order_eval=None)
+
+
+@dataclass
+class Sort(Operator):
+    """ORDER BY over the projected output (stable multi-key sort)."""
+
+    child: Operator
+    select: Select
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        keys = ", ".join(
+            expr_to_str(o.expr) + ("" if o.ascending else " DESC")
+            for o in self.select.order_by
+        )
+        return f"Sort {keys}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        res = self.child.execute(ctx)
+        chunk = ctx.executor._apply_order(self.select, res.chunk, res.order_eval)
+        ctx.note(f"sort: {len(self.select.order_by)} key(s)")
+        return OpResult(chunk, res.scope)
+
+
+@dataclass
+class Limit(Operator):
+    child: Operator
+    n: int = 0
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"Limit {self.n}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        res = self.child.execute(ctx)
+        chunk = res.chunk.head(self.n)
+        ctx.note(f"limit: {self.n}")
+        return OpResult(chunk, res.scope)
+
+
+# ---------------------------------------------------------------------------
+# The plan object
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PhysicalPlan:
+    """Root of a compiled operator tree for one SELECT body."""
+
+    root: Operator
+    output_columns: list[str]
+    est_rows: float | None = None
+    cache_hits: int = 0
+
+    def execute(self, ctx: ExecContext) -> Chunk:
+        return self.root.execute(ctx).chunk
+
+    def render(self) -> str:
+        lines: list[str] = []
+
+        def walk(op: Operator, depth: int) -> None:
+            lines.append("  " * depth + op.label() + _fmt_est(op.est_rows))
+            for child in op.children():
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+    def subquery_plans(self):
+        """Yield ``(body, subplan)`` for every derived table in the tree
+        (recursively), so callers can register them for reuse."""
+
+        def walk(op: Operator):
+            if isinstance(op, SubqueryScan) and op.subplan is not None:
+                yield op.body, op.subplan
+                yield from walk(op.subplan.root)
+            else:
+                for child in op.children():
+                    yield from walk(child)
+
+        yield from walk(self.root)

@@ -1,0 +1,583 @@
+"""Cost-aware physical planner: SELECT AST -> operator tree.
+
+Planning is fully static — it needs only the catalog (schemas, row counts,
+uniqueness constraints) and the AST, never the data — so plans can be built
+for ``EXPLAIN`` without executing, and cached per (sql, config) on the
+:class:`~.database.Database`.
+
+Decisions made here:
+
+* **predicate pushdown** — WHERE conjuncts owned by a single FROM source
+  become a :class:`~.plan.Filter` directly above that source's scan;
+  equality conjuncts spanning two sources become hash-join edges; the rest
+  (subqueries, correlated references, 3+-source predicates) stay residual;
+* **projection pruning** — each scan keeps only columns referenced anywhere
+  in the statement (including nested subqueries);
+* **join ordering** — a greedy bushy-to-left-deep order driven by estimated
+  post-filter cardinalities (selectivity heuristics below), generalizing the
+  seed's inline ``join_reorder`` flag;
+* **operator selection** — HashAggregate vs Project, Distinct, Sort, Limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SQLBindError, UnsupportedFeatureError
+from .catalog import Catalog
+from .plan import (
+    CrossJoin, Distinct, DualScan, Filter, HashAggregate, HashJoin, Limit,
+    Operator, PhysicalPlan, Project, ResidualFilter, Scan, Sort, SubqueryScan,
+)
+from .expressions import contains_aggregate, expr_columns
+from .sqlast import (
+    BetweenExpr, BinaryOp, ColumnRef, ExistsExpr, Expr, InList, InSubquery,
+    IsNull, LikeExpr, ScalarSubquery, Select, SelectItem, Star, SubqueryRef,
+    TableRef, ValuesClause, WindowCall,
+)
+
+__all__ = ["Planner", "RelSchema", "split_conjuncts", "has_subquery",
+           "subqueries_of", "has_window", "collect_needed_columns"]
+
+
+# ---------------------------------------------------------------------------
+# AST-walking helpers (shared with the executor)
+# ---------------------------------------------------------------------------
+
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def has_subquery(expr: Expr) -> bool:
+    if isinstance(expr, (InSubquery, ExistsExpr, ScalarSubquery)):
+        return True
+    for attr in ("left", "right", "operand", "low", "high", "arg"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, Expr) and has_subquery(child):
+            return True
+    for attr in ("args", "items"):
+        children = getattr(expr, attr, None)
+        if children:
+            if any(isinstance(c, Expr) and has_subquery(c) for c in children):
+                return True
+    branches = getattr(expr, "branches", None)
+    if branches:
+        for cond, value in branches:
+            if has_subquery(cond) or has_subquery(value):
+                return True
+        default = getattr(expr, "default", None)
+        if default is not None and has_subquery(default):
+            return True
+    return False
+
+
+def subqueries_of(expr: Expr):
+    """Yield Select bodies nested in an expression."""
+    if isinstance(expr, (InSubquery, ExistsExpr)):
+        yield expr.query
+    if isinstance(expr, ScalarSubquery):
+        yield expr.query
+    for attr in ("left", "right", "operand", "low", "high", "arg"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, Expr):
+            yield from subqueries_of(child)
+    for attr in ("args", "items"):
+        children = getattr(expr, attr, None)
+        if children:
+            for c in children:
+                if isinstance(c, Expr):
+                    yield from subqueries_of(c)
+    branches = getattr(expr, "branches", None)
+    if branches:
+        for cond, value in branches:
+            yield from subqueries_of(cond)
+            yield from subqueries_of(value)
+        default = getattr(expr, "default", None)
+        if default is not None:
+            yield from subqueries_of(default)
+
+
+def has_window(expr: Expr) -> bool:
+    if isinstance(expr, WindowCall):
+        return True
+    for attr in ("left", "right", "operand"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, Expr) and has_window(child):
+            return True
+    children = getattr(expr, "args", None)
+    if children and any(isinstance(c, Expr) and has_window(c) for c in children):
+        return True
+    return False
+
+
+def collect_needed_columns(select: Select) -> tuple[set, bool]:
+    """All (qualifier, name) column references in the whole statement.
+
+    Returns ``(refs, has_star)``; used for projection pruning of scans.
+    Subquery bodies are walked too (their correlated references must keep
+    outer columns alive).
+    """
+    refs: set = set()
+    star = False
+
+    def walk_expr(e):
+        nonlocal star
+        if isinstance(e, Star):
+            star = True
+            return
+        for ref in expr_columns(e):
+            refs.add((ref.table, ref.name))
+        for sub in subqueries_of(e):
+            walk_select(sub)
+
+    def walk_select(s: Select):
+        for item in s.items:
+            walk_expr(item.expr)
+        if s.where is not None:
+            walk_expr(s.where)
+        for g in s.group_by:
+            walk_expr(g)
+        if s.having is not None:
+            walk_expr(s.having)
+        for o in s.order_by:
+            walk_expr(o.expr)
+        for jc in s.joins:
+            if jc.condition is not None:
+                walk_expr(jc.condition)
+
+    walk_select(select)
+    return refs, star
+
+
+# ---------------------------------------------------------------------------
+# Relation schemas
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RelSchema:
+    """Static shape of a relation visible to the planner."""
+
+    columns: list[str]
+    nrows: float
+    unique: set[str] = field(default_factory=set)
+
+
+@dataclass
+class _Source:
+    """A FROM-clause source annotated with planner state."""
+
+    binding: str
+    schema: RelSchema
+    op: Operator
+    pruned_columns: list[str]
+    est: float
+    table_name: str | None = None  # base-table sources can be sampled
+
+
+# ---------------------------------------------------------------------------
+# Selectivity heuristics
+# ---------------------------------------------------------------------------
+
+_RANGE_OPS = {"<", "<=", ">", ">="}
+
+
+def _selectivity(expr: Expr, schema: RelSchema) -> float:
+    """Fraction of rows estimated to survive a pushed-down predicate."""
+    if isinstance(expr, BinaryOp):
+        if expr.op == "=":
+            for side in (expr.left, expr.right):
+                if isinstance(side, ColumnRef) and side.name in schema.unique:
+                    return 1.0 / max(schema.nrows, 1.0)
+            return 0.1
+        if expr.op in _RANGE_OPS:
+            return 0.3
+        if expr.op == "<>":
+            return 0.9
+        if expr.op == "OR":
+            return min(1.0, _selectivity(expr.left, schema) + _selectivity(expr.right, schema))
+    if isinstance(expr, BetweenExpr):
+        return 0.75 if expr.negated else 0.25
+    if isinstance(expr, InList):
+        sel = min(0.5, 0.05 * max(len(expr.items), 1))
+        return 1.0 - sel if expr.negated else sel
+    if isinstance(expr, LikeExpr):
+        return 0.75 if expr.negated else 0.25
+    if isinstance(expr, IsNull):
+        return 0.95 if expr.negated else 0.05
+    return 0.5
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+class Planner:
+    """Builds a :class:`PhysicalPlan` for a SELECT body."""
+
+    def __init__(self, catalog: Catalog, config):
+        self.catalog = catalog
+        self.config = config
+
+    # -- schemas ------------------------------------------------------------
+    def relation_schema(self, rel, env: dict[str, RelSchema]) -> RelSchema:
+        if isinstance(rel, TableRef):
+            if rel.name in env:
+                return env[rel.name]
+            schema = self.catalog.schema(rel.name)
+            return RelSchema(list(schema.columns), float(schema.nrows),
+                             set(schema.unique_columns))
+        raise SQLBindError(f"unsupported relation {rel!r}")
+
+    def body_schema(self, body, env: dict[str, RelSchema]):
+        """(columns, est_rows, subplan) of a nested Select/VALUES body."""
+        if isinstance(body, ValuesClause):
+            ncols = len(body.rows[0]) if body.rows else 0
+            return [f"col{i}" for i in range(ncols)], float(len(body.rows)), None
+        plan = self.plan_select(body, env)
+        return list(plan.output_columns), plan.est_rows or 1000.0, plan
+
+    # -- entry point --------------------------------------------------------
+    def plan_select(self, select: Select, env: dict[str, RelSchema]) -> PhysicalPlan:
+        refs, star = collect_needed_columns(select)
+
+        sources = [self._make_source(rel, env, refs, star)
+                   for rel in select.relations]
+
+        if not sources:
+            root: Operator = DualScan()
+            acc_columns: list[str] = []
+            binding_columns: dict[str, list[str]] = {}
+            est = 1.0
+            residual = split_conjuncts(select.where)
+        else:
+            root, acc_columns, binding_columns, est, residual = (
+                self._plan_from_where(select, sources)
+            )
+
+        # Explicit JOIN clauses fold onto the accumulated relation.
+        for jc in select.joins:
+            root, acc_columns, binding_columns, est = self._fold_explicit_join(
+                jc, root, acc_columns, binding_columns, est, env, refs, star
+            )
+
+        if residual:
+            est = max(1.0, est * 0.5 ** len(residual))
+            root = ResidualFilter(root, residual, est_rows=est)
+
+        has_agg = bool(select.group_by) or any(
+            contains_aggregate(item.expr) for item in select.items
+        ) or (select.having is not None and contains_aggregate(select.having))
+
+        if has_agg:
+            if select.group_by:
+                est = max(1.0, est / 10.0)
+                if select.having is not None:
+                    est = max(1.0, est * 0.5)
+            else:
+                est = 1.0
+            root = HashAggregate(root, select, est_rows=est)
+        else:
+            root = Project(root, select, est_rows=est)
+
+        if select.distinct:
+            est = max(1.0, est * 0.9)
+            root = Distinct(root, est_rows=est)
+        if select.order_by:
+            root = Sort(root, select, est_rows=est)
+        if select.limit is not None:
+            est = min(est, float(select.limit))
+            root = Limit(root, select.limit, est_rows=est)
+
+        out_columns = self._output_columns(select, acc_columns, binding_columns)
+        return PhysicalPlan(root, out_columns, est_rows=est)
+
+    # -- FROM sources -------------------------------------------------------
+    def _make_source(self, rel, env, refs: set, star: bool) -> _Source:
+        binding = rel.binding
+        table_name = None
+        if isinstance(rel, TableRef):
+            schema = self.relation_schema(rel, env)
+            keep = self._pruned_columns(schema.columns, binding, refs, star)
+            op: Operator = Scan(binding, rel.name, None if star else keep,
+                                est_rows=schema.nrows)
+            if rel.name not in env:
+                table_name = rel.name
+        elif isinstance(rel, SubqueryRef):
+            # Plan the derived table exactly once; nested derived tables
+            # would otherwise be re-planned exponentially with depth.
+            columns, est, subplan = self.body_schema(rel.query, env)
+            if rel.column_names is not None:
+                columns = list(rel.column_names)
+            schema = RelSchema(columns, est)
+            keep = self._pruned_columns(schema.columns, binding, refs, star)
+            op = SubqueryScan(binding, rel.query, rel.column_names,
+                              None if star else keep, subplan=subplan,
+                              est_rows=est)
+        else:
+            raise SQLBindError(f"unsupported relation {rel!r}")
+        pruned = schema.columns if star else keep
+        return _Source(binding, schema, op, list(pruned), schema.nrows,
+                       table_name=table_name)
+
+    @staticmethod
+    def _pruned_columns(columns: list[str], binding: str, refs: set, star: bool) -> list[str]:
+        if star:
+            return list(columns)
+        wanted = {name for (qual, name) in refs if qual is None or qual == binding}
+        keep = [c for c in columns if c in wanted]
+        if not keep:
+            keep = [columns[0]] if columns else []
+        return keep
+
+    # -- pushdown + join ordering -------------------------------------------
+    def _plan_from_where(self, select: Select, sources: list[_Source]):
+        conjuncts = split_conjuncts(select.where)
+        pushdown: dict[int, list[Expr]] = {i: [] for i in range(len(sources))}
+        edges: list[tuple[int, int, Expr, Expr]] = []
+        residual: list[Expr] = []
+
+        col_homes: dict[str, list[int]] = {}
+        binding_index = {s.binding: i for i, s in enumerate(sources)}
+        for i, s in enumerate(sources):
+            for c in s.pruned_columns:
+                col_homes.setdefault(c, []).append(i)
+
+        def owner_set(expr: Expr) -> set[int] | None:
+            owners: set[int] = set()
+            for ref in expr_columns(expr):
+                if ref.table is not None:
+                    idx = binding_index.get(ref.table)
+                    if idx is None:
+                        return None  # outer/correlated reference
+                    owners.add(idx)
+                else:
+                    homes = col_homes.get(ref.name)
+                    if not homes:
+                        return None
+                    if len(set(homes)) > 1:
+                        raise SQLBindError(f"ambiguous column {ref.name!r}")
+                    owners.add(homes[0])
+            return owners
+
+        for conj in conjuncts:
+            if has_subquery(conj):
+                residual.append(conj)
+                continue
+            owners = owner_set(conj)
+            if owners is None:
+                residual.append(conj)
+                continue
+            if len(owners) == 1:
+                pushdown[next(iter(owners))].append(conj)
+                continue
+            if (
+                len(owners) == 2
+                and isinstance(conj, BinaryOp)
+                and conj.op == "="
+            ):
+                left_owners = owner_set(conj.left)
+                right_owners = owner_set(conj.right)
+                if (
+                    left_owners is not None and right_owners is not None
+                    and len(left_owners) == 1 and len(right_owners) == 1
+                    and left_owners != right_owners
+                ):
+                    i, j = next(iter(left_owners)), next(iter(right_owners))
+                    edges.append((i, j, conj.left, conj.right))
+                    continue
+            residual.append(conj)
+
+        # Wrap each source in its pushed-down filter and estimate output.
+        for i, s in enumerate(sources):
+            if pushdown[i]:
+                sel = self._sampled_selectivity(s, pushdown[i])
+                if sel is None:
+                    sel = 1.0
+                    for p in pushdown[i]:
+                        sel *= _selectivity(p, s.schema)
+                s.est = max(1.0, s.schema.nrows * sel)
+                s.op = Filter(s.op, s.binding, pushdown[i], est_rows=s.est)
+
+        root, acc_columns, binding_columns, est = self._order_joins(sources, edges)
+        return root, acc_columns, binding_columns, est, residual
+
+    _SAMPLE_ROWS = 4096
+
+    def _sampled_selectivity(self, s: _Source, preds: list[Expr]) -> float | None:
+        """Observed selectivity of the pushed-down predicates on a strided
+        sample of the base table (the catalog is in memory, so the planner
+        has perfect statistics on tap).  ``None`` when the source isn't a
+        base table or the sample can't be evaluated (caller falls back to
+        the closed-form heuristics)."""
+        if s.table_name is None or not self.catalog.has(s.table_name):
+            return None
+        table = self.catalog.get(s.table_name)
+        if table.nrows == 0:
+            return None
+        needed = {ref.name for p in preds for ref in expr_columns(p)}
+        columns = [c for c in table.columns if c in needed]
+        if not columns:
+            return None
+        from .expressions import Evaluator, Scope
+        from .table import Chunk
+
+        step = max(1, table.nrows // self._SAMPLE_ROWS)
+        chunk = Chunk(columns, [table.column(c)[::step] for c in columns])
+        scope = Scope()
+        for slot, col in enumerate(columns):
+            scope.add(s.binding, col, slot)
+        try:
+            ev = Evaluator(chunk, scope)
+            import numpy as np
+
+            mask = np.ones(chunk.nrows, dtype=bool)
+            for p in preds:
+                mask &= ev.eval_mask(p)
+        except Exception:
+            return None  # unevaluable statically (correlated refs, etc.)
+        return float(mask.mean()) if chunk.nrows else None
+
+    def _order_joins(self, sources: list[_Source], edges):
+        n = len(sources)
+        reorder = self.config.join_reorder
+        remaining = set(range(n))
+        if reorder:
+            start = min(remaining, key=lambda i: sources[i].est)
+        else:
+            start = 0
+        remaining.discard(start)
+
+        root = sources[start].op
+        est = sources[start].est
+        acc_set = {start}
+        acc_columns = list(sources[start].pruned_columns)
+        binding_columns = {sources[start].binding: list(sources[start].pruned_columns)}
+
+        while remaining:
+            candidates: dict[int, list[tuple[Expr, Expr]]] = {}
+            for (i, j, le, re_) in edges:
+                if i in acc_set and j in remaining:
+                    candidates.setdefault(j, []).append((le, re_))
+                elif j in acc_set and i in remaining:
+                    candidates.setdefault(i, []).append((re_, le))
+            if candidates:
+                if reorder:
+                    nxt = min(candidates, key=lambda j: sources[j].est)
+                else:
+                    nxt = min(candidates)  # syntactic order
+                pairs = candidates[nxt]
+            else:
+                nxt = min(remaining)
+                pairs = []
+
+            src = sources[nxt]
+            if pairs:
+                est = max(est, src.est)
+                root = HashJoin(root, src.op, src.binding, pairs, "inner",
+                                est_rows=est)
+            else:
+                est = est * src.est
+                root = CrossJoin(root, src.op, src.binding, est_rows=est)
+            acc_set.add(nxt)
+            acc_columns.extend(src.pruned_columns)
+            binding_columns[src.binding] = list(src.pruned_columns)
+            remaining.discard(nxt)
+
+        return root, acc_columns, binding_columns, est
+
+    # -- explicit JOIN clauses ----------------------------------------------
+    def _fold_explicit_join(self, jc, root, acc_columns, binding_columns,
+                            est, env, refs: set, star: bool):
+        kind = jc.kind.lower()
+        src = self._make_source(jc.relation, env, refs, star)
+        right_cols = set(src.pruned_columns)
+
+        left_name_count: dict[str, int] = {}
+        for cols in binding_columns.values():
+            for c in cols:
+                left_name_count[c] = left_name_count.get(c, 0) + 1
+
+        def side_of(e: Expr) -> str | None:
+            col_refs = expr_columns(e)
+            if not col_refs:
+                return None
+            sides = set()
+            for r in col_refs:
+                if r.table == src.binding:
+                    sides.add("right")
+                elif r.table is not None:
+                    sides.add("left")
+                elif r.name in right_cols and left_name_count.get(r.name, 0) == 0:
+                    sides.add("right")
+                else:
+                    if left_name_count.get(r.name, 0) > 1:
+                        raise SQLBindError(f"ambiguous column reference {r.name!r}")
+                    sides.add("left")
+            return sides.pop() if len(sides) == 1 else None
+
+        pairs: list[tuple[Expr, Expr]] = []
+        residual: list[Expr] = []
+        for conj in split_conjuncts(jc.condition):
+            if isinstance(conj, BinaryOp) and conj.op == "=":
+                ls, rs = side_of(conj.left), side_of(conj.right)
+                if ls == "left" and rs == "right":
+                    pairs.append((conj.left, conj.right))
+                    continue
+                if ls == "right" and rs == "left":
+                    pairs.append((conj.right, conj.left))
+                    continue
+            residual.append(conj)
+
+        if residual and kind in ("left", "right", "full"):
+            raise UnsupportedFeatureError(
+                f"{self.config.name}: non-equi conditions on outer joins are not supported"
+            )
+        if not pairs and kind != "cross":
+            raise UnsupportedFeatureError(
+                "explicit join requires at least one equi condition"
+            )
+
+        if kind == "cross":
+            est = est * src.est
+            root = CrossJoin(root, src.op, src.binding, est_rows=est)
+        else:
+            how = {"inner": "inner", "left": "left", "right": "right",
+                   "full": "full"}[kind]
+            est = max(est, src.est)
+            root = HashJoin(root, src.op, src.binding, pairs, how,
+                            residual=residual, est_rows=est)
+
+        acc_columns = acc_columns + src.pruned_columns
+        binding_columns = dict(binding_columns)
+        binding_columns[src.binding] = list(src.pruned_columns)
+        return root, acc_columns, binding_columns, est
+
+    # -- output schema -------------------------------------------------------
+    def _output_columns(self, select: Select, acc_columns: list[str],
+                        binding_columns: dict[str, list[str]]) -> list[str]:
+        expanded: list[tuple[Expr | None, str | None]] = []
+        for item in select.items:
+            if isinstance(item.expr, Star):
+                if item.expr.table is not None:
+                    owned = set(binding_columns.get(item.expr.table, []))
+                    for col in acc_columns:
+                        if col in owned:
+                            expanded.append((None, col))
+                else:
+                    for col in acc_columns:
+                        expanded.append((None, col))
+            else:
+                expanded.append((item.expr, item.alias))
+        names: list[str] = []
+        for i, (expr, alias) in enumerate(expanded):
+            if alias:
+                names.append(alias)
+            elif isinstance(expr, ColumnRef):
+                names.append(expr.name)
+            else:
+                names.append(f"col{i}")
+        return names

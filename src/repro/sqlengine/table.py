@@ -82,6 +82,17 @@ class Chunk:
         except ValueError:
             raise SQLBindError(f"column {name!r} not found") from None
 
+    def project(self, wanted) -> "Chunk":
+        """Keep columns whose name is in *wanted* (first column if none
+        match, so downstream operators always see a row count)."""
+        names = set(wanted)
+        keep = [i for i, c in enumerate(self.columns) if c in names]
+        if len(keep) == len(self.columns):
+            return self
+        if not keep:
+            keep = [0]
+        return Chunk([self.columns[i] for i in keep], [self.arrays[i] for i in keep])
+
     def take(self, positions: np.ndarray) -> "Chunk":
         return Chunk(list(self.columns), [a[positions] for a in self.arrays])
 

@@ -48,4 +48,13 @@ def simple_db():
     return db
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _shutdown_worker_pools():
+    """Tear down the shared thread pools once the suite finishes."""
+    from repro.sqlengine.parallel import shutdown_pools
+
+    yield
+    shutdown_pools()
+
+
 from tests.helpers import assert_frame_matches, rows  # noqa: E402,F401

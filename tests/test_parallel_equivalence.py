@@ -1,0 +1,144 @@
+"""Parallel-equivalence: every (threads, morsel_size) configuration must
+produce the same rows as serial whole-column execution, including the
+empty-table and single-row edge cases that stress ``partition_bounds``."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import connect
+from repro.sqlengine import EngineConfig
+from repro.sqlengine.parallel import partition_bounds, shutdown_pools
+
+THREADS = [1, 2, 4]
+MORSELS = [7, 2048]
+
+QUERIES = [
+    "SELECT id, val * 2.0 AS v2 FROM data WHERE val > 0.5",
+    "SELECT grp, COUNT(*) AS n, SUM(val) AS s, MIN(val) AS lo, MAX(val) AS hi, "
+    "AVG(val) AS m FROM data GROUP BY grp",
+    "SELECT d.grp, SUM(d.val) AS s FROM data AS d, dims AS m "
+    "WHERE d.grp = m.grp AND m.w > 0 GROUP BY d.grp",
+    "SELECT d.id, m.label FROM data AS d JOIN dims AS m ON d.grp = m.grp "
+    "WHERE d.id < 5000 ORDER BY d.id LIMIT 50",
+    "SELECT grp, COUNT(*) AS n FROM data GROUP BY grp HAVING COUNT(*) > 10 "
+    "ORDER BY n DESC, grp",
+]
+
+
+def _make_db(nrows: int):
+    rng = np.random.default_rng(42)
+    db = connect()
+    db.register(
+        "data",
+        {
+            "id": np.arange(nrows, dtype=np.int64),
+            "grp": rng.integers(0, 13, nrows) if nrows else np.zeros(0, dtype=np.int64),
+            "val": np.round(rng.uniform(0.0, 1.0, nrows), 9),
+        },
+        primary_key="id",
+    )
+    db.register(
+        "dims",
+        {
+            "grp": np.arange(13, dtype=np.int64),
+            "w": np.array([i % 3 for i in range(13)], dtype=np.int64),
+            "label": np.array([f"g{i}" for i in range(13)], dtype=object),
+        },
+        primary_key="grp",
+    )
+    return db
+
+
+def _rows(chunk):
+    out = []
+    for i in range(chunk.nrows):
+        row = []
+        for arr in chunk.arrays:
+            v = arr[i]
+            if isinstance(v, np.generic):
+                v = v.item()
+            if isinstance(v, float):
+                v = round(v, 9) if v == v else None
+            row.append(v)
+        out.append(tuple(row))
+    return out
+
+
+def _config(mode: str, threads: int, morsel: int) -> EngineConfig:
+    return EngineConfig(name="test", mode=mode, threads=threads,
+                        morsel_size=morsel, join_reorder=True)
+
+
+@pytest.fixture(scope="module")
+def big_db():
+    # Large enough that every parallel gate (>= 4096 rows) engages.
+    return _make_db(10_000)
+
+
+def _assert_equivalent(db, sql):
+    serial = _rows(db.execute_chunk(sql, _config("compiled", 1, 2048)))
+    for mode in ("compiled", "vectorized"):
+        for threads in THREADS:
+            for morsel in MORSELS:
+                got = _rows(db.execute_chunk(sql, _config(mode, threads, morsel)))
+                assert len(got) == len(serial), (mode, threads, morsel)
+                for a, b in zip(got, serial):
+                    for x, y in zip(a, b):
+                        if isinstance(x, float) and isinstance(y, float):
+                            assert x == pytest.approx(y, rel=1e-9, abs=1e-9), \
+                                (mode, threads, morsel, sql)
+                        else:
+                            assert x == y, (mode, threads, morsel, sql)
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_parallel_matches_serial(big_db, sql):
+    _assert_equivalent(big_db, sql)
+
+
+@pytest.mark.parametrize("nrows", [0, 1])
+def test_edge_cardinalities(nrows):
+    db = _make_db(nrows)
+    for sql in QUERIES:
+        _assert_equivalent(db, sql)
+
+
+@pytest.mark.parametrize("threads", THREADS)
+@pytest.mark.parametrize("morsel", MORSELS)
+def test_global_aggregate_over_empty_table(threads, morsel):
+    db = _make_db(0)
+    cfg = _config("vectorized", threads, morsel)
+    got = db.execute_chunk("SELECT COUNT(*) AS n, SUM(val) AS s FROM data", cfg)
+    assert got.arrays[0][0] == 0
+    assert np.isnan(got.arrays[1][0])  # SUM of nothing is NULL
+
+
+class TestPartitionBoundsEdges:
+    def test_empty_input_single_empty_partition(self):
+        assert partition_bounds(0, 4) == [(0, 0)]
+
+    def test_single_row(self):
+        assert partition_bounds(1, 4) == [(0, 1)]
+
+    def test_threads_larger_than_rows(self):
+        bounds = partition_bounds(3, 8)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 3
+        assert all(stop > start for start, stop in bounds)
+
+
+def test_shutdown_pools_allows_reuse(big_db):
+    sql = QUERIES[0]
+    before = _rows(big_db.execute_chunk(sql, _config("compiled", 4, 2048)))
+    shutdown_pools()
+    # pools are lazily recreated after shutdown
+    after = _rows(big_db.execute_chunk(sql, _config("compiled", 4, 2048)))
+    assert before == after
+
+
+def test_shutdown_pools_idempotent():
+    shutdown_pools()
+    shutdown_pools()

@@ -1,0 +1,138 @@
+"""Golden tests for EXPLAIN plan shapes: pushdown placement, projection
+pruning, cardinality-driven join order, and plan-cache behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import connect
+from repro.sqlengine import EngineConfig
+
+
+@pytest.fixture()
+def db():
+    db = connect()
+    db.register("t", {"a": [1, 2, 3, 4], "b": ["x", "y", "x", "z"],
+                      "c": [1.0, 2.0, 3.0, 4.0]}, primary_key="a")
+    db.register("u", {"b": ["x", "y"], "w": [5, 6]})
+    db.register("big", {"k": list(range(100)), "v": [float(i) for i in range(100)]},
+                primary_key="k")
+    return db
+
+
+class TestPlanShape:
+    def test_pushdown_lands_above_scan(self, db):
+        plan = db.explain_plan("SELECT a FROM t WHERE a > 2 AND b = 'x'")
+        lines = plan.splitlines()
+        # Filter is the immediate parent of the scan, predicates conjoined.
+        assert any("Filter" in ln and "a > 2" in ln and "b = 'x'" in ln
+                   for ln in lines)
+        assert lines.index([ln for ln in lines if "Scan t" in ln][0]) == \
+            lines.index([ln for ln in lines if "Filter" in ln][0]) + 1
+
+    def test_projection_pruning(self, db):
+        plan = db.explain_plan("SELECT a FROM t WHERE a > 2")
+        # b and c are never referenced -> pruned from the scan.
+        assert "cols=[a]" in plan
+        plan_star = db.explain_plan("SELECT * FROM t")
+        assert "cols=*" in plan_star
+
+    def test_join_order_chosen_by_cardinality(self, db):
+        plan = db.explain_plan("SELECT t.a FROM t, u WHERE t.b = u.b",
+                               config=EngineConfig(join_reorder=True))
+        # u (2 rows) is the cheaper start; t is joined into it.
+        assert "HashJoin + t" in plan
+
+    def test_syntactic_join_order_without_reorder(self, db):
+        plan = db.explain_plan("SELECT t.a FROM t, u WHERE t.b = u.b",
+                               config=EngineConfig(join_reorder=False))
+        assert "HashJoin + u" in plan
+
+    def test_filtered_cardinality_drives_order(self, db):
+        # Unfiltered, big (100 rows) would never start the join; an equality
+        # on its primary key estimates ~1 row, so it becomes the build start.
+        plan = db.explain_plan(
+            "SELECT t.a FROM t, big WHERE t.a = big.k AND big.k = 7",
+            config=EngineConfig(join_reorder=True))
+        assert "HashJoin + t" in plan
+        assert "est=1 rows" in plan
+
+    def test_estimates_rendered(self, db):
+        plan = db.explain_plan("SELECT a FROM t WHERE a > 2")
+        assert "[est=4 rows]" in plan  # base scan cardinality from catalog
+
+    def test_aggregate_sort_limit_pipeline(self, db):
+        plan = db.explain_plan(
+            "SELECT b, SUM(c) AS s FROM t GROUP BY b ORDER BY s LIMIT 2")
+        lines = plan.splitlines()
+        order = [ln.strip().split()[0] for ln in lines]
+        assert order == ["Limit", "Sort", "HashAggregate", "Scan"]
+
+    def test_distinct_operator(self, db):
+        plan = db.explain_plan("SELECT DISTINCT b FROM t")
+        assert "Distinct" in plan
+
+    def test_cte_plans_rendered(self, db):
+        plan = db.explain_plan(
+            "WITH f(a) AS (SELECT a FROM t WHERE a > 1) SELECT a FROM f")
+        assert plan.startswith("CTE f:")
+        assert "Scan f" in plan
+
+    def test_explain_plan_does_not_execute(self, db):
+        # A query that would fail at run time (cartesian blow-up guard) still
+        # plans statically.
+        db.register("m", {"k": list(range(10_000))})
+        plan = db.explain_plan("SELECT t.a FROM t, m, u")
+        assert "CrossJoin" in plan
+
+
+class TestPlanCache:
+    def test_second_execution_hits_cache(self, db):
+        sql = "SELECT b, SUM(c) AS s FROM t GROUP BY b"
+        db.execute(sql)
+        assert db.plan_cache_stats["hits"] == 0
+        db.execute(sql)
+        assert db.plan_cache_stats["hits"] == 1
+        db.execute(sql)
+        assert db.plan_cache_stats["hits"] == 2
+
+    def test_cache_hit_visible_in_trace(self, db):
+        sql = "SELECT a FROM t WHERE a > 2"
+        db.execute(sql)
+        trace = db.explain(sql)
+        assert "plan cache hit" in trace
+
+    def test_ddl_invalidates_cache(self, db):
+        sql = "SELECT a FROM t"
+        db.execute(sql)
+        db.register("t2", {"x": [1]})  # bump catalog version
+        db.execute(sql)
+        # the stale entry was rebuilt, not reused
+        assert db.plan_cache_stats["hits"] == 0
+
+    def test_cached_plan_produces_same_rows(self, db):
+        sql = "SELECT t.a, u.w FROM t, u WHERE t.b = u.b ORDER BY t.a"
+        first = db.execute(sql).to_dict()
+        second = db.execute(sql).to_dict()
+        assert first == second
+        assert db.plan_cache_stats["hits"] >= 1
+
+    def test_distinct_configs_get_distinct_entries(self, db):
+        sql = "SELECT t.a FROM t, u WHERE t.b = u.b"
+        db.execute(sql, config=EngineConfig(join_reorder=True))
+        db.execute(sql, config=EngineConfig(join_reorder=False))
+        assert db.plan_cache_stats["hits"] == 0
+        assert db.plan_cache_stats["entries"] == 2
+
+    def test_plan_cache_disabled(self, db):
+        cfg = EngineConfig(plan_cache=False)
+        sql = "SELECT a FROM t"
+        db.execute(sql, config=cfg)
+        db.execute(sql, config=cfg)
+        assert db.plan_cache_stats["entries"] == 0
+
+    def test_results_unchanged_after_data_replacement(self, db):
+        sql = "SELECT SUM(a) AS s FROM t"
+        assert db.execute(sql).to_dict() == {"s": [10]}
+        db.register("t", {"a": [5, 5], "b": ["p", "q"], "c": [0.0, 0.0]})
+        assert db.execute(sql).to_dict() == {"s": [10]}

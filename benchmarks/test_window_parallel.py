@@ -1,0 +1,99 @@
+"""Partitioned running-sum benchmark for the `Window` physical operator.
+
+Measures a running-total + sliding floor/cap analytics query (the workload
+family windows unlocked) at threads=1 vs threads=4.  The thread sweep only
+asserts a real speedup when the machine actually exposes multiple cores —
+on a single-core CI box the parallel path degenerates to serial plus pool
+overhead, so there the assertion is a no-pathology bound.  Row-level
+agreement between the two paths is always asserted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro import connect
+from repro.sqlengine import EngineConfig
+from repro.sqlengine.parallel import shutdown_pools
+
+from conftest import save_series
+
+N_ROWS = int(200_000 * float(os.environ.get("REPRO_DS_SCALE", "1") or 1) * 2) or 50_000
+
+SQL = (
+    "SELECT id, "
+    "SUM(amt) OVER (PARTITION BY acct ORDER BY id "
+    "ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) AS running, "
+    "MIN(amt) OVER (PARTITION BY acct ORDER BY id "
+    "ROWS BETWEEN 250 PRECEDING AND CURRENT ROW) AS floor_250, "
+    "MAX(amt) OVER (PARTITION BY acct ORDER BY id "
+    "ROWS BETWEEN 250 PRECEDING AND CURRENT ROW) AS cap_250 "
+    "FROM trades"
+)
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _make_db(n: int):
+    rng = np.random.default_rng(11)
+    db = connect()
+    db.register(
+        "trades",
+        {
+            "id": np.arange(n, dtype=np.int64),
+            "acct": rng.integers(0, 64, n),
+            "amt": rng.uniform(0.0, 100.0, n),
+        },
+        primary_key="id",
+    )
+    return db
+
+
+def _best_ms(db, threads: int, repeats: int = 3) -> float:
+    cfg = EngineConfig(threads=threads)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        db.execute_chunk(SQL, cfg)
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def test_partitioned_running_sum_threads(benchmark):
+    n = max(N_ROWS, 50_000)
+    db = _make_db(n)
+    serial_chunk = db.execute_chunk(SQL, EngineConfig(threads=1))
+    parallel_chunk = db.execute_chunk(SQL, EngineConfig(threads=4))
+    for a, b in zip(serial_chunk.arrays, parallel_chunk.arrays):
+        np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-9)
+
+    benchmark.pedantic(
+        lambda: db.execute_chunk(SQL, EngineConfig(threads=4)),
+        rounds=1, iterations=1,
+    )
+    serial_ms = _best_ms(db, threads=1)
+    parallel_ms = _best_ms(db, threads=4)
+    speedup = serial_ms / parallel_ms
+    cores = _available_cores()
+    save_series(
+        "window_parallel",
+        f"Partitioned running-sum window, n={n}, cores={cores}\n"
+        f"threads=1 {serial_ms:8.2f} ms\n"
+        f"threads=4 {parallel_ms:8.2f} ms\n"
+        f"speedup   {speedup:8.2f}x",
+    )
+    if cores >= 4:
+        # Real hardware: partition-parallel reductions must beat serial.
+        assert speedup > 1.0, f"threads=4 slower than serial ({speedup:.2f}x)"
+    else:
+        # Single/dual-core CI: only guard against pathological slowdown.
+        assert speedup > 0.6, f"parallel pathologically slow ({speedup:.2f}x)"
+    shutdown_pools()

@@ -16,7 +16,7 @@ from ...backends.base import Dialect
 from ...errors import TondIRError
 from ..tondir.ir import (
     Agg, AssignAtom, Atom, BinOp, Const, ConstRelAtom, ExistsAtom, Ext,
-    FilterAtom, Head, If, OuterAtom, Program, RelAtom, Rule, Term, Var,
+    FilterAtom, Head, If, OuterAtom, Program, RelAtom, Rule, Term, Var, Win,
 )
 
 __all__ = ["SQLGenerator", "generate_sql"]
@@ -277,6 +277,8 @@ class SQLGenerator:
             return self._agg_sql(term, defs)
         if isinstance(term, Ext):
             return self._ext_sql(term, defs)
+        if isinstance(term, Win):
+            return self._win_sql(term, defs)
         raise TondIRError(f"cannot render term {term!r}")
 
     def _binop_sql(self, term: BinOp, defs: dict[str, str]) -> str:
@@ -323,6 +325,44 @@ class SQLGenerator:
             # the translated semantics Pandas-faithful.
             return f"COALESCE(SUM({inner}), 0)"
         return f"{func}({inner})"
+
+    _WIN_FUNC_SQL = {
+        "row_number": "ROW_NUMBER", "rank": "RANK", "dense_rank": "DENSE_RANK",
+        "ntile": "NTILE", "lag": "LAG", "lead": "LEAD",
+        "sum": "SUM", "avg": "AVG", "min": "MIN", "max": "MAX", "count": "COUNT",
+    }
+
+    _FRAME_BOUND_SQL = {
+        "unbounded_preceding": "UNBOUNDED PRECEDING",
+        "unbounded_following": "UNBOUNDED FOLLOWING",
+        "current": "CURRENT ROW",
+        "preceding": "{n} PRECEDING",
+        "following": "{n} FOLLOWING",
+    }
+
+    def _win_sql(self, term: Win, defs: dict[str, str]) -> str:
+        """Render a window term as ``FUNC(args) OVER (...)``."""
+        func = self._WIN_FUNC_SQL.get(term.func)
+        if func is None:
+            raise TondIRError(f"unknown window function {term.func!r}")
+        if func == "COUNT" and not term.args:
+            inner = "*"
+        else:
+            inner = ", ".join(self._term_sql(a, defs) for a in term.args)
+        over: list[str] = []
+        if term.partition_by:
+            over.append("PARTITION BY " + ", ".join(
+                self._term_sql(p, defs) for p in term.partition_by))
+        if term.order_by:
+            over.append("ORDER BY " + ", ".join(
+                self._term_sql(t, defs) + ("" if asc else " DESC")
+                for t, asc in term.order_by))
+        if term.frame is not None:
+            unit, sk, so, ek, eo = term.frame
+            start = self._FRAME_BOUND_SQL[sk].format(n=so)
+            end = self._FRAME_BOUND_SQL[ek].format(n=eo)
+            over.append(f"{unit.upper()} BETWEEN {start} AND {end}")
+        return f"{func}({inner}) OVER ({' '.join(over)})"
 
     def _ext_sql(self, term: Ext, defs: dict[str, str]) -> str:
         name = term.name

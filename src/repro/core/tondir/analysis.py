@@ -8,8 +8,9 @@ from .ir import (
 )
 
 __all__ = [
-    "references", "consumers", "contains_agg_term", "contains_ext",
-    "is_flow_breaker", "unique_head_vars", "body_unique_vars", "used_vars",
+    "references", "consumers", "contains_agg_term", "contains_win_term",
+    "contains_ext", "is_flow_breaker", "unique_head_vars", "body_unique_vars",
+    "used_vars",
 ]
 
 
@@ -27,7 +28,7 @@ def _term_contains(term: Term, predicate) -> bool:
     if predicate(term):
         return True
     children = []
-    from .ir import BinOp, If
+    from .ir import BinOp, If, Win
 
     if isinstance(term, BinOp):
         children = [term.left, term.right]
@@ -37,6 +38,9 @@ def _term_contains(term: Term, predicate) -> bool:
         children = [term.arg]
     elif isinstance(term, Ext):
         children = list(term.args)
+    elif isinstance(term, Win):
+        children = list(term.args) + list(term.partition_by)
+        children += [t for t, _asc in term.order_by]
     return any(_term_contains(c, predicate) for c in children)
 
 
@@ -45,6 +49,17 @@ def contains_agg_term(rule: Rule) -> bool:
     for atom in rule.body:
         for term in _walk_terms(atom):
             if _term_contains(term, lambda t: isinstance(t, Agg)):
+                return True
+    return False
+
+
+def contains_win_term(rule: Rule) -> bool:
+    """Does the rule body contain any window term?"""
+    from .ir import Win
+
+    for atom in rule.body:
+        for term in _walk_terms(atom):
+            if _term_contains(term, lambda t: isinstance(t, Win)):
                 return True
     return False
 
@@ -86,9 +101,11 @@ def is_flow_breaker(rule: Rule, program: Program) -> bool:
     """Flow breakers per Table VII of the paper.
 
     Aggregate / group-by / distinct / sort-limit / outer-join / sink rules
-    cannot be fused into their consumers.  Rules generating a UID are also
-    breakers because the generated numbering depends on the relation the
-    window function runs over (Section IV "Rule Inlining").
+    cannot be fused into their consumers.  Rules generating a UID or
+    containing a window term are also breakers because the computed value
+    depends on the whole relation the function runs over — fusing one into
+    a filtering consumer would change its input (and SQL forbids window
+    functions in WHERE) (Section IV "Rule Inlining").
     """
     if rule.head.rel == program.sink:
         return True
@@ -103,6 +120,8 @@ def is_flow_breaker(rule: Rule, program: Program) -> bool:
     if any(isinstance(a, OuterAtom) for a in rule.body):
         return True
     if contains_ext(rule, "uid"):
+        return True
+    if contains_win_term(rule):
         return True
     return False
 

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
 __all__ = [
-    "Term", "Var", "Const", "BinOp", "If", "Agg", "Ext",
+    "Term", "Var", "Const", "BinOp", "If", "Agg", "Ext", "Win",
     "Atom", "RelAtom", "ConstRelAtom", "ExistsAtom", "AssignAtom",
     "FilterAtom", "OuterAtom",
     "SortSpec", "Head", "Rule", "Program",
@@ -99,6 +99,39 @@ class Ext(Term):
 
     def __repr__(self) -> str:
         return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True)
+class Win(Term):
+    """A window-function term: ``func(args) over (partition, order, frame)``.
+
+    ``func`` is a ranking function (``row_number``/``rank``/``dense_rank``/
+    ``ntile``), an offset function (``lag``/``lead``), or an aggregate
+    (``sum``/``avg``/``min``/``max``/``count``).  ``order_by`` pairs are
+    ``(term, ascending)``; ``frame`` is ``None`` (SQL default framing) or
+    ``(unit, start_kind, start_offset, end_kind, end_offset)`` mirroring
+    :data:`repro.sqlengine.sqlast.WindowFrame`.  Unlike :class:`Agg`, a
+    window term preserves the row count of its rule's body, so rules
+    containing one are flow breakers but need no ``group`` head clause.
+    """
+
+    func: str
+    args: tuple[Term, ...] = ()
+    partition_by: tuple[Term, ...] = ()
+    order_by: tuple[tuple[Term, bool], ...] = ()
+    frame: Optional[tuple] = None
+
+    def __repr__(self) -> str:
+        inner = ", ".join(map(repr, self.args))
+        parts = []
+        if self.partition_by:
+            parts.append("part(" + ", ".join(map(repr, self.partition_by)) + ")")
+        if self.order_by:
+            parts.append("order(" + ", ".join(
+                f"{t!r}{'' if asc else ' desc'}" for t, asc in self.order_by) + ")")
+        if self.frame is not None:
+            parts.append(f"frame{self.frame!r}")
+        return f"{self.func}({inner}) over [{' '.join(parts)}]"
 
 
 # ---------------------------------------------------------------------------
@@ -284,6 +317,15 @@ def term_vars(term: Term) -> set[str]:
         for a in term.args:
             out |= term_vars(a)
         return out
+    if isinstance(term, Win):
+        out = set()
+        for a in term.args:
+            out |= term_vars(a)
+        for p in term.partition_by:
+            out |= term_vars(p)
+        for t, _asc in term.order_by:
+            out |= term_vars(t)
+        return out
     raise TypeError(f"not a term: {term!r}")
 
 
@@ -327,6 +369,14 @@ def map_term_vars(term: Term, mapping: dict[str, Term]) -> Term:
         return Agg(term.func, map_term_vars(term.arg, mapping) if term.arg is not None else None, term.distinct)
     if isinstance(term, Ext):
         return Ext(term.name, tuple(map_term_vars(a, mapping) for a in term.args))
+    if isinstance(term, Win):
+        return Win(
+            term.func,
+            tuple(map_term_vars(a, mapping) for a in term.args),
+            tuple(map_term_vars(p, mapping) for p in term.partition_by),
+            tuple((map_term_vars(t, mapping), asc) for t, asc in term.order_by),
+            term.frame,
+        )
     raise TypeError(f"not a term: {term!r}")
 
 

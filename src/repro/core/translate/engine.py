@@ -19,13 +19,13 @@ from ...errors import TranslationError
 from ..anf import to_anf
 from ..tondir.ir import (
     Agg, AssignAtom, BinOp, Const, ConstRelAtom, ExistsAtom, Ext, FilterAtom,
-    Head, If, OuterAtom, Program, RelAtom, Rule, SortSpec, Term, Var,
+    Head, If, OuterAtom, Program, RelAtom, Rule, SortSpec, Term, Var, Win,
 )
 from .einsum_planner import _Emitter, lower_dense, lower_sparse
 from .symbols import (
     ColumnInfo, SymConstArray, SymDtAccessor, SymFrame, SymGroupBy,
-    SymScalar, SymScalarRel, SymSeries, SymSeriesGroupBy, SymStrAccessor,
-    sanitize,
+    SymRollingWindow, SymScalar, SymScalarRel, SymSeries, SymSeriesGroupBy,
+    SymStrAccessor, sanitize,
 )
 
 __all__ = ["Translator", "TableInfo"]
@@ -41,6 +41,12 @@ _BIN_OPS = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/", ast.Mod: "%
 _AGG_FUNCS = {"sum": "sum", "mean": "avg", "min": "min", "max": "max",
               "count": "count", "nunique": "count_distinct", "size": "size",
               "std": "stddev", "var": "var", "first": "min"}
+
+# Pandas aggregate names usable as window (transform/rolling) functions.
+_WIN_AGGS = {"sum": "sum", "mean": "avg", "min": "min", "max": "max",
+             "count": "count", "size": "count"}
+_RANK_METHODS = {"min": "rank", "dense": "dense_rank", "first": "row_number"}
+_RUNNING_FRAME = ("rows", "unbounded_preceding", 0, "current", 0)
 
 
 class TableInfo:
@@ -589,6 +595,8 @@ class Translator:
             return self._series_groupby_call(base, method, node.args, kwargs)
         if isinstance(base, SymStrAccessor):
             return self._str_call(base, method, node.args, kwargs)
+        if isinstance(base, SymRollingWindow):
+            return self._rolling_call(base, method, node.args, kwargs)
         if isinstance(base, SymScalarRel):
             raise TranslationError(f"unsupported method {method!r} on a scalar")
         raise TranslationError(f"unsupported method {method!r} on {type(base).__name__}")
@@ -1164,7 +1172,76 @@ class Translator:
             frame = self._project_series_frame(series, series.name or "value")
             ascending = method == "nsmallest"
             return self._emit_sort(frame, [frame.cols[0].name], [ascending], limit=n)
+        if method == "shift":
+            periods = int(self._const_value(args[0])) if args else 1
+            fill = self._const_value(kwargs["fill_value"]) if "fill_value" in kwargs else None
+            return self._series_shift(series, periods, fill)
+        if method == "rank":
+            how = self._const_value(kwargs["method"]) if "method" in kwargs else "min"
+            ascending = bool(self._const_value(kwargs["ascending"])) if "ascending" in kwargs else True
+            func = _RANK_METHODS.get(how)
+            if func is None:
+                raise TranslationError(f"unsupported rank method {how!r}")
+            win = Win(func, (), (), ((series.term, ascending),))
+            return series.with_term(win, dtype="int")
+        if method == "cumsum":
+            frame2, order = self._positional_order(series.frame)
+            win = Win("sum", (series.term,), (), order, _RUNNING_FRAME)
+            out = SymSeries(frame=frame2, term=win, name=series.name, dtype=series.dtype)
+            return out
+        if method == "rolling":
+            window = int(self._const_value(args[0]) if args
+                         else self._const_value(kwargs["window"]))
+            if window <= 0:
+                raise TranslationError("rolling window must be positive")
+            min_periods = window
+            if "min_periods" in kwargs:
+                min_periods = int(self._const_value(kwargs["min_periods"]))
+            if len(args) > 1:
+                min_periods = int(self._const_value(args[1]))
+            return SymRollingWindow(series=series, window=window,
+                                    min_periods=min_periods)
         raise TranslationError(f"unsupported Series method {method!r}")
+
+    def _positional_order(self, frame: SymFrame) -> tuple[SymFrame, tuple]:
+        """An ORDER BY for positional window ops (shift/cumsum/rolling).
+
+        A frame carrying an upstream ``sort_values`` ordering reuses it;
+        otherwise the frame is extended with a ``uid()`` column (the paper's
+        positional handle) and the window orders by that.
+        """
+        if frame.ordering:
+            return frame, tuple((Var(v), asc) for v, asc in frame.ordering)
+        uid_frame = self._ensure_uid_frame(frame)
+        return uid_frame, ((Var("__uid"), True),)
+
+    def _series_shift(self, series: SymSeries, periods: int, fill) -> SymSeries:
+        frame2, order = self._positional_order(series.frame)
+        func = "lag" if periods >= 0 else "lead"
+        win_args: tuple = (series.term, Const(abs(periods)))
+        dtype = series.dtype
+        if fill is not None:
+            win_args += (Const(fill),)
+        win = Win(func, win_args, (), order)
+        return SymSeries(frame=frame2, term=win, name=series.name, dtype=dtype)
+
+    def _rolling_call(self, rolling: "SymRollingWindow", method: str, args, kwargs):
+        func = _WIN_AGGS.get(method)
+        if func is None or method == "size":
+            raise TranslationError(f"unsupported rolling aggregate {method!r}")
+        series = rolling.series
+        n = rolling.window
+        frame2, order = self._positional_order(series.frame)
+        spec = ("rows", "preceding", n - 1, "current", 0)
+        agg = Win(func, (series.term,), (), order, spec)
+        count = Win("count", (series.term,), (), order, spec)
+        # Pandas semantics: fewer than `min_periods` observations -> NaN.
+        term: Term = agg
+        if rolling.min_periods > 0:
+            term = If(BinOp(">=", count, Const(rolling.min_periods)), agg,
+                      Const(None))
+        dtype = "float" if func == "avg" else series.dtype
+        return SymSeries(frame=frame2, term=term, name=series.name, dtype=dtype)
 
     def _scalar_agg(self, series: SymSeries, func: str) -> SymScalarRel:
         rel = self.new_rel()
@@ -1237,7 +1314,74 @@ class Translator:
                     raise TranslationError("named agg expects (column, func) tuples")
                 items.append((out_name, pair[0], pair[1]))
             return self._emit_groupby(gb, items)
+        if method == "transform":
+            func = self._const_value(args[0])
+            return self._groupby_transform(gb, func)
+        if method == "cumsum":
+            return self._groupby_window_frame(gb, "sum", running=True)
+        if method == "rank":
+            how = self._const_value(kwargs["method"]) if "method" in kwargs else "min"
+            ascending = bool(self._const_value(kwargs["ascending"])) if "ascending" in kwargs else True
+            return self._groupby_window_frame(gb, self._rank_func(how),
+                                              rank_ascending=ascending)
         raise TranslationError(f"unsupported GroupBy method {method!r}")
+
+    @staticmethod
+    def _rank_func(how) -> str:
+        func = _RANK_METHODS.get(how)
+        if func is None:
+            raise TranslationError(f"unsupported rank method {how!r}")
+        return func
+
+    def _groupby_partition(self, gb: SymGroupBy) -> tuple:
+        return tuple(Var(gb.frame.col(k).var) for k in gb.keys)
+
+    def _groupby_transform(self, gb: SymGroupBy, func) -> SymFrame:
+        """``groupby(...).transform(agg)``: per-group aggregates broadcast
+        back to member rows — one window term per value column."""
+        win_func = _WIN_AGGS.get(func)
+        if win_func is None:
+            raise TranslationError(f"unsupported transform aggregate {func!r}")
+        return self._emit_groupby_windows(
+            gb, lambda col: Win(win_func, (Var(col.var),), self._groupby_partition(gb), ()),
+            dtype="float" if win_func == "avg" else None,
+        )
+
+    def _groupby_window_frame(self, gb: SymGroupBy, func: str,
+                              running: bool = False,
+                              rank_ascending: bool | None = None) -> SymFrame:
+        """Row-preserving per-group windows over every value column
+        (``cumsum`` orders by the positional uid; ``rank`` by the column)."""
+        partition = self._groupby_partition(gb)
+        if running:
+            frame2, order = self._positional_order(gb.frame)
+            gb = SymGroupBy(frame=frame2, keys=gb.keys, as_index=gb.as_index)
+            partition = self._groupby_partition(gb)
+
+            def make(col):
+                return Win(func, (Var(col.var),), partition, order, _RUNNING_FRAME)
+        else:
+            def make(col):
+                return Win(func, (), partition, ((Var(col.var), rank_ascending),))
+        return self._emit_groupby_windows(
+            gb, make, dtype="int" if rank_ascending is not None else None
+        )
+
+    def _emit_groupby_windows(self, gb: SymGroupBy, make_term,
+                              dtype: str | None = None) -> SymFrame:
+        frame = gb.frame
+        rel = self.new_rel()
+        body: list = [frame.atom()]
+        out_cols: list[ColumnInfo] = []
+        for c in frame.cols:
+            if c.name in gb.keys or c.var == "__uid":
+                continue
+            out = self.fresh_var(c.var)
+            body.append(AssignAtom(out, make_term(c)))
+            out_cols.append(ColumnInfo(name=c.name, var=out,
+                                       dtype=dtype or c.dtype))
+        self.emit(Rule(Head(rel, [c.var for c in out_cols]), body))
+        return SymFrame(rel=rel, cols=out_cols, kind=frame.kind)
 
     def _series_groupby_call(self, sgb: SymSeriesGroupBy, method: str, args, kwargs):
         if method in ("sum", "mean", "min", "max", "count", "nunique", "size"):
@@ -1249,6 +1393,42 @@ class Translator:
             if isinstance(spec, SymScalar):
                 return self._emit_groupby(sgb.groupby, [(sgb.column, sgb.column, spec.value)])
             raise TranslationError("unsupported series agg spec")
+        if method == "transform":
+            func = _WIN_AGGS.get(self._const_value(args[0]))
+            if func is None:
+                raise TranslationError("unsupported transform aggregate")
+            gb = sgb.groupby
+            col = gb.frame.col(sgb.column)
+            win = Win(func, (Var(col.var),), self._groupby_partition(gb), ())
+            return SymSeries(frame=gb.frame, term=win, name=sgb.column,
+                             dtype="float" if func == "avg" else col.dtype)
+        if method == "rank":
+            how = self._const_value(kwargs["method"]) if "method" in kwargs else "min"
+            ascending = bool(self._const_value(kwargs["ascending"])) if "ascending" in kwargs else True
+            gb = sgb.groupby
+            col = gb.frame.col(sgb.column)
+            win = Win(self._rank_func(how), (), self._groupby_partition(gb),
+                      ((Var(col.var), ascending),))
+            return SymSeries(frame=gb.frame, term=win, name=sgb.column, dtype="int")
+        if method == "cumsum":
+            gb = sgb.groupby
+            frame2, order = self._positional_order(gb.frame)
+            col = frame2.col(sgb.column)
+            partition = tuple(Var(frame2.col(k).var) for k in gb.keys)
+            win = Win("sum", (Var(col.var),), partition, order, _RUNNING_FRAME)
+            return SymSeries(frame=frame2, term=win, name=sgb.column, dtype=col.dtype)
+        if method == "shift":
+            periods = int(self._const_value(args[0])) if args else 1
+            fill = self._const_value(kwargs["fill_value"]) if "fill_value" in kwargs else None
+            gb = sgb.groupby
+            frame2, order = self._positional_order(gb.frame)
+            col = frame2.col(sgb.column)
+            partition = tuple(Var(frame2.col(k).var) for k in gb.keys)
+            win_args: tuple = (Var(col.var), Const(abs(periods)))
+            if fill is not None:
+                win_args += (Const(fill),)
+            win = Win("lag" if periods >= 0 else "lead", win_args, partition, order)
+            return SymSeries(frame=frame2, term=win, name=sgb.column, dtype=col.dtype)
         raise TranslationError(f"unsupported SeriesGroupBy method {method!r}")
 
     def _emit_groupby(self, gb: SymGroupBy, items: list[tuple[str, str | None, str]]) -> SymFrame:

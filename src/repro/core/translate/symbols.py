@@ -17,7 +17,7 @@ from ..tondir.ir import RelAtom, Term
 __all__ = [
     "ColumnInfo", "SymFrame", "SymSeries", "SymScalar", "SymScalarRel",
     "SymGroupBy", "SymSeriesGroupBy", "SymConstArray", "SymStrAccessor",
-    "SymDtAccessor", "sanitize",
+    "SymDtAccessor", "SymRollingWindow", "sanitize",
 ]
 
 _IDENT = re.compile(r"[^0-9a-zA-Z_]")
@@ -158,3 +158,12 @@ class SymStrAccessor:
 @dataclass
 class SymDtAccessor:
     series: SymSeries
+
+
+@dataclass
+class SymRollingWindow:
+    """``series.rolling(window, min_periods)`` awaiting its aggregate method."""
+
+    series: SymSeries
+    window: int
+    min_periods: int = 0

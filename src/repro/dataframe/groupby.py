@@ -14,7 +14,8 @@ from .series import Series
 if TYPE_CHECKING:  # pragma: no cover
     from .frame import DataFrame
 
-__all__ = ["GroupBy", "SeriesGroupBy", "factorize_keys", "group_reduce"]
+__all__ = ["GroupBy", "SeriesGroupBy", "factorize_keys", "group_reduce",
+           "group_transform", "group_cumsum", "group_rank", "group_shift"]
 
 
 def factorize_keys(arrays: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndarray], int]:
@@ -131,6 +132,63 @@ def _group_reduce_python(values: np.ndarray, gids: np.ndarray, ngroups: int, fun
     if values.dtype.kind == "M" and all(v is not None for v in out):
         return np.array(out.tolist(), dtype="datetime64[D]")
     return out
+
+
+def group_transform(values: np.ndarray, gids: np.ndarray, ngroups: int,
+                    func: str) -> np.ndarray:
+    """Per-group aggregate broadcast back to member rows (original order)."""
+    if func == "size":
+        return np.bincount(gids, minlength=ngroups).astype(np.int64)[gids]
+    reduced = group_reduce(values, gids, ngroups, func)
+    return reduced[gids]
+
+
+def _group_layout(gids: np.ndarray):
+    from ..sqlengine.window import build_layout
+
+    return build_layout(len(gids), [gids], [], [])
+
+
+def group_cumsum(values: np.ndarray, gids: np.ndarray) -> np.ndarray:
+    """Running sum within each group, rows kept in original order."""
+    from ..sqlengine.window import framed_aggregate
+
+    frame = ("rows", "unbounded_preceding", 0, "current", 0)
+    out = framed_aggregate(_group_layout(gids), values, "SUM", frame)
+    if values.dtype.kind in ("i", "u", "b") and not np.isnan(out).any():
+        return out.astype(np.int64)
+    return out
+
+
+def group_rank(values: np.ndarray, gids: np.ndarray, method: str = "min",
+               ascending: bool = True) -> np.ndarray:
+    """Within-group rank (1-based), rows kept in original order.
+
+    NaN/None values receive NaN ranks and do not displace valid rows,
+    matching pandas and :meth:`Series.rank`.
+    """
+    from ..sqlengine.window import _rank, _row_number, build_layout
+
+    if method not in ("first", "min", "dense"):
+        raise DataFrameError(f"unsupported rank method {method!r}")
+    na = isna_array(values)
+    if na.any():
+        valid = group_rank(values[~na], gids[~na], method, ascending)
+        out = np.full(len(values), np.nan)
+        out[~na] = valid
+        return out
+    layout = build_layout(len(gids), [gids], [values], [ascending])
+    if method == "first":
+        return _row_number(layout, 1)
+    return _rank(layout, 1, dense=(method == "dense"))
+
+
+def group_shift(values: np.ndarray, gids: np.ndarray, periods: int = 1,
+                fill_value=None) -> np.ndarray:
+    """Within-group shift (positive = toward later rows), original order."""
+    from ..sqlengine.window import shift
+
+    return shift(_group_layout(gids), values, int(periods), fill_value)
 
 
 _AGG_ALIASES = {"nunique": "nunique", "size": "size", "count": "count", "std": "std", "var": "var",
@@ -278,6 +336,48 @@ class GroupBy:
     def ngroups(self) -> int:
         return self._ngroups
 
+    # -- window-style (row-preserving) operations --------------------------------
+    def transform(self, func) -> "DataFrame":
+        """Broadcast a per-group aggregate back to every member row."""
+        from .frame import DataFrame
+
+        name = _normalize_func(func)
+        out = {c: group_transform(self._frame[c].values, self._gids,
+                                  self._ngroups, name)
+               for c in self._value_columns()}
+        return DataFrame(out, index=self._frame.index)
+
+    def cumsum(self) -> "DataFrame":
+        """Per-group running sum in original row order."""
+        from .frame import DataFrame
+
+        out = {c: group_cumsum(self._frame[c].values, self._gids)
+               for c in self._value_columns()}
+        return DataFrame(out, index=self._frame.index)
+
+    def rank(self, method: str = "min", ascending: bool = True) -> "DataFrame":
+        """Per-group rank of each value column, in original row order."""
+        from .frame import DataFrame
+
+        out = {c: group_rank(self._frame[c].values, self._gids, method, ascending)
+               for c in self._value_columns()}
+        return DataFrame(out, index=self._frame.index)
+
+    def shift(self, periods: int = 1, fill_value=None) -> "DataFrame":
+        """Per-group shift of each value column, in original row order."""
+        from .frame import DataFrame
+
+        out = {c: group_shift(self._frame[c].values, self._gids, periods, fill_value)
+               for c in self._value_columns()}
+        return DataFrame(out, index=self._frame.index)
+
+    def cumcount(self) -> Series:
+        """0-based position of each row within its group (original order)."""
+        from ..sqlengine.window import build_layout, _row_number
+
+        layout = build_layout(len(self._gids), [self._gids], [], [])
+        return Series(_row_number(layout, 1) - 1, index=self._frame.index)
+
 
 class SeriesGroupBy:
     """Result of ``df.groupby(keys)[column]``."""
@@ -344,3 +444,35 @@ class SeriesGroupBy:
         return self._reduce(_normalize_func(func))
 
     agg = aggregate
+
+    # -- window-style (row-preserving) operations --------------------------------
+    def _column_values(self) -> np.ndarray:
+        return self._parent._frame[self._column].values
+
+    def transform(self, func) -> Series:
+        """Per-group aggregate broadcast back to every member row."""
+        parent = self._parent
+        out = group_transform(self._column_values(), parent._gids,
+                              parent._ngroups, _normalize_func(func))
+        return Series(out, index=parent._frame.index, name=self._column)
+
+    def cumsum(self) -> Series:
+        """Per-group running sum in original row order."""
+        out = group_cumsum(self._column_values(), self._parent._gids)
+        return Series(out, index=self._parent._frame.index, name=self._column)
+
+    def rank(self, method: str = "min", ascending: bool = True) -> Series:
+        """Per-group rank (1-based) in original row order."""
+        out = group_rank(self._column_values(), self._parent._gids,
+                         method, ascending)
+        return Series(out, index=self._parent._frame.index, name=self._column)
+
+    def shift(self, periods: int = 1, fill_value=None) -> Series:
+        """Per-group shift in original row order."""
+        out = group_shift(self._column_values(), self._parent._gids,
+                          periods, fill_value)
+        return Series(out, index=self._parent._frame.index, name=self._column)
+
+    def cumcount(self) -> Series:
+        """0-based position of each row within its group."""
+        return self._parent.cumcount()

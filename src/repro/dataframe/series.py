@@ -429,6 +429,62 @@ class Series:
     def cumsum(self) -> "Series":
         return Series(np.cumsum(self._data), index=self._index, name=self.name)
 
+    def cummax(self) -> "Series":
+        return Series(np.maximum.accumulate(self._data), index=self._index, name=self.name)
+
+    def cummin(self) -> "Series":
+        return Series(np.minimum.accumulate(self._data), index=self._index, name=self.name)
+
+    def shift(self, periods: int = 1, fill_value=None) -> "Series":
+        """Shift values by *periods* positions (positive = toward the end),
+        filling vacated slots with *fill_value* (NaN/None by default)."""
+        from ..sqlengine.window import _null_fillable
+
+        n = len(self._data)
+        k = int(periods)
+        if k == 0:
+            return Series(self._data.copy(), index=self._index, name=self.name)
+        out, fill = _null_fillable(self._data, fill_value)
+        result = np.full(n, fill, dtype=out.dtype)
+        if abs(k) < n:
+            if k > 0:
+                result[k:] = out[: n - k]
+            else:
+                result[:k] = out[-k:]
+        return Series(result, index=self._index, name=self.name)
+
+    def diff(self, periods: int = 1) -> "Series":
+        """First discrete difference: ``s - s.shift(periods)``."""
+        return self - self.shift(periods)
+
+    def rank(self, method: str = "min", ascending: bool = True) -> "Series":
+        """Rank values (1-based).  ``method`` is ``min`` (SQL RANK),
+        ``dense`` (DENSE_RANK), or ``first`` (ROW_NUMBER order of appearance).
+        NaN/None values receive NaN ranks, matching pandas."""
+        from ..sqlengine.window import build_layout, _rank, _row_number
+
+        if method not in ("first", "min", "dense"):
+            raise DataFrameError(f"unsupported rank method {method!r}")
+        n = len(self._data)
+        na = isna_array(self._data)
+        if na.any():
+            # Nulls sort last in the layout and would displace ranks; rank
+            # only the valid subset and leave NaN for the nulls.
+            valid = Series(self._data[~na]).rank(method=method, ascending=ascending)
+            ranks = np.full(n, np.nan)
+            ranks[~na] = valid.values
+            return Series(ranks, index=self._index, name=self.name)
+        layout = build_layout(n, [], [self._data], [ascending])
+        if method == "first":
+            ranks = _row_number(layout, 1).astype(np.float64)
+        else:
+            ranks = _rank(layout, 1, dense=(method == "dense")).astype(np.float64)
+        return Series(ranks, index=self._index, name=self.name)
+
+    def rolling(self, window: int, min_periods: int | None = None) -> "_Rolling":
+        """A minimal rolling-window view: ``s.rolling(n).sum()/mean()/min()/max()``."""
+        return _Rolling(self, int(window), min_periods)
+
     # ------------------------------------------------------------------
     # Order / distinct
     # ------------------------------------------------------------------
@@ -509,6 +565,61 @@ class Series:
     @property
     def dt(self) -> DatetimeAccessor:
         return DatetimeAccessor(self)
+
+
+class _Rolling:
+    """Fixed-size trailing window over a Series (``rolling(n)``).
+
+    Windows cover the current row and the ``window - 1`` preceding rows;
+    positions with fewer than ``min_periods`` (default: ``window``) valid
+    observations yield NaN, matching pandas.
+    """
+
+    def __init__(self, series: Series, window: int, min_periods: int | None = None):
+        if window <= 0:
+            raise DataFrameError("rolling window must be positive")
+        self._series = series
+        self._window = window
+        self._min_periods = window if min_periods is None else int(min_periods)
+
+    def _frame(self) -> tuple:
+        return ("rows", "preceding", self._window - 1, "current", 0)
+
+    def _apply(self, func: str) -> Series:
+        from ..sqlengine.window import build_layout, framed_aggregate
+
+        s = self._series
+        n = len(s)
+        layout = build_layout(n, [], [], [])
+        values = s.values.astype(np.float64) if s.values.dtype.kind in ("i", "u", "b") else s.values
+        out = framed_aggregate(layout, values, func, self._frame(), threads=1)
+        counts = framed_aggregate(layout, values, "COUNT", self._frame(), threads=1)
+        out = out.astype(np.float64)
+        out[counts < self._min_periods] = np.nan
+        return Series(out, index=s.index, name=s.name)
+
+    def sum(self) -> Series:
+        return self._apply("SUM")
+
+    def mean(self) -> Series:
+        return self._apply("AVG")
+
+    def min(self) -> Series:
+        return self._apply("MIN")
+
+    def max(self) -> Series:
+        return self._apply("MAX")
+
+    def count(self) -> Series:
+        from ..sqlengine.window import build_layout, framed_aggregate
+
+        s = self._series
+        layout = build_layout(len(s), [], [], [])
+        counts = framed_aggregate(layout, s.values, "COUNT", self._frame(),
+                                  threads=1).astype(np.float64)
+        # Pandas (2.x) applies min_periods to count like any other aggregate.
+        counts[counts < self._min_periods] = np.nan
+        return Series(counts, index=s.index, name=s.name)
 
 
 class _SeriesILoc:

@@ -5,7 +5,8 @@ metadata, a cost-aware physical planner (filter pushdown, projection
 pruning, cardinality-estimated join ordering) compiling to an explicit
 operator pipeline, vectorized and "compiled" execution modes, intra-query
 thread parallelism (filters, projections, hash-join probes, hash-aggregate
-reductions), and a per-connection plan cache.
+reductions, partition-parallel window functions), and a per-connection
+plan cache.
 """
 
 from .catalog import Catalog, TableSchema

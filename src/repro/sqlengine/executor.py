@@ -3,8 +3,10 @@
 Layering (see ``docs/ARCHITECTURE.md``): the :mod:`.planner` compiles each
 ``SELECT`` body into a :class:`~.plan.PhysicalPlan` (pushdown, projection
 pruning, cardinality-estimated join ordering); this module executes those
-plans and owns the pieces that need run-time data — subquery evaluation,
-window functions, projection/aggregation expression evaluation.
+plans and owns the pieces that need run-time data — subquery evaluation and
+projection/aggregation expression evaluation.  Window functions are handled
+by the dedicated :class:`~.plan.Window` operator (kernels in
+:mod:`.window`), not here.
 
 Two execution modes distinguish the simulated backends (cf. DESIGN.md):
 
@@ -39,7 +41,7 @@ from .sqlast import (
     TableRef, ValuesClause, WindowCall,
 )
 from .table import Chunk
-from .window import row_number, rank, sort_positions
+from .window import sort_positions
 
 __all__ = ["EngineConfig", "Executor"]
 
@@ -156,45 +158,6 @@ class Executor:
         return plan.execute(ExecContext(self, env))
 
     # ------------------------------------------------------------------
-    # Windows
-    # ------------------------------------------------------------------
-    def _eval_windows(self, select: Select, chunk: Chunk, scope: Scope, subquery_cb) -> dict[int, np.ndarray]:
-        calls: list[WindowCall] = []
-
-        def collect(e: Expr) -> None:
-            if isinstance(e, WindowCall):
-                calls.append(e)
-                return
-            for attr in ("left", "right", "operand"):
-                child = getattr(e, attr, None)
-                if isinstance(child, Expr):
-                    collect(child)
-            children = getattr(e, "args", None)
-            if children:
-                for c in children:
-                    if isinstance(c, Expr):
-                        collect(c)
-
-        for item in select.items:
-            if not isinstance(item.expr, Star):
-                collect(item.expr)
-        if not calls:
-            return {}
-        if not self.config.supports_window:
-            raise UnsupportedFeatureError(
-                f"{self.config.name}: window functions are not supported by this backend"
-            )
-        evaluator = Evaluator(chunk, scope, subquery_executor=subquery_cb)
-        out: dict[int, np.ndarray] = {}
-        for call in calls:
-            parts = [evaluator.eval_array(p) for p in call.partition_by]
-            orders = [evaluator.eval_array(o.expr) for o in call.order_by]
-            ascendings = [o.ascending for o in call.order_by]
-            func = row_number if call.func == "ROW_NUMBER" else rank
-            out[id(call)] = func(chunk.nrows, parts, orders, ascendings)
-        return out
-
-    # ------------------------------------------------------------------
     # Projection
     # ------------------------------------------------------------------
     def _output_name(self, item: SelectItem, position: int) -> str:
@@ -267,12 +230,16 @@ class Executor:
                     marker = ColumnRef(name=f"__win_{id(e)}")
                     return marker
                 e2 = copy.copy(e)
-                for attr in ("left", "right", "operand"):
+                for attr in ("left", "right", "operand", "low", "high"):
                     child = getattr(e2, attr, None)
                     if isinstance(child, Expr):
                         setattr(e2, attr, substitute(child))
                 if getattr(e2, "args", None):
                     e2.args = [substitute(a) if isinstance(a, Expr) else a for a in e2.args]
+                if getattr(e2, "branches", None):
+                    e2.branches = [(substitute(c), substitute(v)) for c, v in e2.branches]
+                    if e2.default is not None:
+                        e2.default = substitute(e2.default)
                 return e2
 
             new_expr = substitute(expr)

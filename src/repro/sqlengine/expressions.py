@@ -89,6 +89,8 @@ def expr_columns(expr: Expr) -> list[ColumnRef]:
         elif isinstance(e, (IsNull, LikeExpr)):
             walk(e.operand)
         elif isinstance(e, WindowCall):
+            for a in e.args:
+                walk(a)
             for p in e.partition_by:
                 walk(p)
             for o in e.order_by:

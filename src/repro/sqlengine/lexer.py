@@ -17,6 +17,10 @@ KEYWORDS = {
     "DATE", "INTERVAL", "EXTRACT", "TRUE", "FALSE", "CREATE", "TABLE",
     "INSERT", "INTO", "PRIMARY", "KEY", "UNIQUE", "DROP", "LIMIT", "OFFSET",
 }
+# Window-frame words (ROWS, RANGE, UNBOUNDED, PRECEDING, FOLLOWING, CURRENT,
+# ROW) are deliberately NOT reserved: they only carry meaning inside an
+# OVER (...) clause, where the parser matches them contextually, so columns
+# named `range`/`row`/... keep working (sqlite treats them the same way).
 
 _TWO_CHAR = {"<=", ">=", "<>", "!=", "||"}
 _ONE_CHAR = set("+-*/%(),.<>=;")

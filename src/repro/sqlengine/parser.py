@@ -8,13 +8,15 @@ from .sqlast import (
     AggCall, BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef, ExistsExpr,
     Expr, FuncCall, InList, InSubquery, IsNull, JoinClause, LikeExpr, Literal,
     OrderItem, Query, ScalarSubquery, Select, SelectItem, Star, SubqueryRef,
-    TableRef, UnaryOp, ValuesClause, WindowCall, WithQuery,
+    TableRef, UnaryOp, ValuesClause, WindowCall, WindowFrame, WithQuery,
 )
 
 __all__ = ["parse", "parse_expression"]
 
 _AGG_FUNCS = {"SUM", "MIN", "MAX", "AVG", "COUNT", "STDDEV", "VAR"}
-_WINDOW_FUNCS = {"ROW_NUMBER", "RANK"}
+_WINDOW_FUNCS = {"ROW_NUMBER", "RANK", "DENSE_RANK", "NTILE", "LAG", "LEAD"}
+# Aggregates that may also be applied as window functions (agg(...) OVER).
+_WINDOW_AGGS = {"SUM", "MIN", "MAX", "AVG", "COUNT"}
 
 
 def parse(sql: str) -> Query:
@@ -79,6 +81,23 @@ class _Parser:
         if tok.kind == "KEYWORD":  # permit keywords as identifiers where safe
             return tok.value.lower()
         raise SQLSyntaxError(f"expected identifier but found {tok.value!r} at {tok.pos}")
+
+    def _accept_word(self, *words: str) -> bool:
+        """Accept a contextual keyword: an IDENT (or keyword) matching one of
+        *words* case-insensitively.  Used for window-frame words, which are
+        not reserved so they stay usable as column names elsewhere."""
+        tok = self._peek()
+        if tok.kind in ("IDENT", "KEYWORD") and tok.value.upper() in words:
+            self._advance()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._accept_word(word):
+            tok = self._peek()
+            raise SQLSyntaxError(
+                f"expected {word} but found {tok.value!r} at {tok.pos}"
+            )
 
     def expect_eof(self) -> None:
         self._accept_op(";")
@@ -473,9 +492,6 @@ class _Parser:
         if self._peek().kind == "OP" and self._peek().value == "(":
             self._advance()
             upper = name.upper()
-            if upper in _WINDOW_FUNCS:
-                self._expect_op(")")
-                return self._parse_over(upper)
             distinct = False
             args: list[Expr] = []
             star = False
@@ -488,7 +504,18 @@ class _Parser:
                 while self._accept_op(","):
                     args.append(self.parse_expr())
             self._expect_op(")")
+            if upper in _WINDOW_FUNCS:
+                return self._parse_over(upper, args)
             if upper in _AGG_FUNCS:
+                if self._peek().is_keyword("OVER") and upper in _WINDOW_AGGS:
+                    if distinct:
+                        raise SQLSyntaxError(
+                            "DISTINCT is not supported for window functions"
+                        )
+                    if star and upper != "COUNT":
+                        raise SQLSyntaxError(f"{upper}(*) is not valid")
+                    # COUNT(*) OVER (...) carries no argument.
+                    return self._parse_over(upper, [] if star else args)
                 if upper == "COUNT" and star:
                     return AggCall("COUNT", None)
                 return AggCall(upper, args[0] if args else None, distinct=distinct)
@@ -500,7 +527,7 @@ class _Parser:
             return ColumnRef(name=col, table=name)
         return ColumnRef(name=name)
 
-    def _parse_over(self, func: str) -> WindowCall:
+    def _parse_over(self, func: str, args: list[Expr]) -> WindowCall:
         self._expect_keyword("OVER")
         self._expect_op("(")
         partition_by: list[Expr] = []
@@ -515,5 +542,47 @@ class _Parser:
             order_by.append(self._parse_order_item())
             while self._accept_op(","):
                 order_by.append(self._parse_order_item())
+        frame = self._parse_frame()
         self._expect_op(")")
-        return WindowCall(func=func, partition_by=partition_by, order_by=order_by)
+        return WindowCall(func=func, partition_by=partition_by,
+                          order_by=order_by, args=args, frame=frame)
+
+    def _parse_frame(self) -> WindowFrame | None:
+        """Parse ``ROWS|RANGE BETWEEN <bound> AND <bound>`` (or the one-bound
+        shorthand ``ROWS <bound>``, whose end defaults to CURRENT ROW)."""
+        if self._accept_word("ROWS"):
+            unit = "rows"
+        elif self._accept_word("RANGE"):
+            unit = "range"
+        else:
+            return None
+        if self._accept_keyword("BETWEEN"):
+            start_kind, start_off = self._parse_frame_bound()
+            self._expect_keyword("AND")
+            end_kind, end_off = self._parse_frame_bound()
+        else:
+            start_kind, start_off = self._parse_frame_bound()
+            end_kind, end_off = "current", 0
+        return WindowFrame(unit=unit, start_kind=start_kind,
+                           start_offset=start_off, end_kind=end_kind,
+                           end_offset=end_off)
+
+    def _parse_frame_bound(self) -> tuple[str, int]:
+        if self._accept_word("UNBOUNDED"):
+            if self._accept_word("PRECEDING"):
+                return "unbounded_preceding", 0
+            self._expect_word("FOLLOWING")
+            return "unbounded_following", 0
+        if self._accept_word("CURRENT"):
+            self._expect_word("ROW")
+            return "current", 0
+        tok = self._advance()
+        if tok.kind != "NUMBER":
+            raise SQLSyntaxError(
+                f"expected a frame bound but found {tok.value!r} at {tok.pos}"
+            )
+        offset = int(tok.value)
+        if self._accept_word("PRECEDING"):
+            return "preceding", offset
+        self._expect_word("FOLLOWING")
+        return "following", offset

@@ -9,13 +9,16 @@ A :class:`PhysicalPlan` is a tree of composable operators produced by
 The split mirrors production engines: the planner makes every decision that
 can be made statically (pushdown, projection pruning, join order from
 cardinality estimates), while operators only carry out those decisions.
-Data-dependent work — subquery execution, window evaluation — is delegated
-back to the :class:`~.executor.Executor` through :class:`ExecContext`.
+Data-dependent work — subquery execution, projection/aggregation expression
+evaluation — is delegated back to the :class:`~.executor.Executor` through
+:class:`ExecContext`; window functions are evaluated by the dedicated
+:class:`Window` operator over the kernels in :mod:`.window`.
 
-``HashJoin`` probes and ``HashAggregate`` reductions are morsel-parallel
-across the shared :mod:`.parallel` pool (NumPy kernels release the GIL),
-extending the seed engine's filter/projection parallelism to the two
-operators that dominate join-heavy workloads.
+``HashJoin`` probes, ``HashAggregate`` reductions, and ``Window`` partition
+reductions are morsel-parallel across the shared :mod:`.parallel` pool
+(NumPy kernels release the GIL), extending the seed engine's
+filter/projection parallelism to the operators that dominate analytical
+workloads.
 """
 
 from __future__ import annotations
@@ -41,9 +44,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "ExecContext", "OpResult", "Operator", "Scan", "SubqueryScan", "DualScan",
-    "Filter", "CrossJoin", "HashJoin", "ResidualFilter", "Project",
+    "Filter", "CrossJoin", "HashJoin", "ResidualFilter", "Window", "Project",
     "HashAggregate", "Distinct", "Sort", "Limit", "PhysicalPlan",
-    "expr_to_str",
+    "expr_to_str", "window_to_str", "frame_to_str",
 ]
 
 
@@ -70,7 +73,7 @@ def expr_to_str(expr: Expr) -> str:
         distinct = "DISTINCT " if expr.distinct else ""
         return f"{expr.func}({distinct}{arg})"
     if isinstance(expr, WindowCall):
-        return f"{expr.func}() OVER (...)"
+        return window_to_str(expr)
     if isinstance(expr, CastExpr):
         return f"CAST({expr_to_str(expr.operand)} AS {expr.type_name})"
     if isinstance(expr, CaseExpr):
@@ -101,6 +104,41 @@ def _fmt_est(est: float | None) -> str:
     if est is None:
         return ""
     return f"  [est={int(round(est))} rows]"
+
+
+_BOUND_SQL = {
+    "unbounded_preceding": "UNBOUNDED PRECEDING",
+    "unbounded_following": "UNBOUNDED FOLLOWING",
+    "current": "CURRENT ROW",
+    "preceding": "{n} PRECEDING",
+    "following": "{n} FOLLOWING",
+}
+
+
+def frame_to_str(frame) -> str:
+    """SQL rendering of a :class:`~.sqlast.WindowFrame`."""
+    start = _BOUND_SQL[frame.start_kind].format(n=frame.start_offset)
+    end = _BOUND_SQL[frame.end_kind].format(n=frame.end_offset)
+    return f"{frame.unit.upper()} BETWEEN {start} AND {end}"
+
+
+def window_to_str(expr: WindowCall) -> str:
+    """SQL-ish rendering of a window call for EXPLAIN output."""
+    if expr.args:
+        args = ", ".join(expr_to_str(a) for a in expr.args)
+    else:
+        args = "*" if expr.func in ("SUM", "AVG", "MIN", "MAX", "COUNT") else ""
+    over: list[str] = []
+    if expr.partition_by:
+        over.append("PARTITION BY " + ", ".join(expr_to_str(p) for p in expr.partition_by))
+    if expr.order_by:
+        over.append("ORDER BY " + ", ".join(
+            expr_to_str(o.expr) + ("" if o.ascending else " DESC")
+            for o in expr.order_by
+        ))
+    if expr.frame is not None:
+        over.append(frame_to_str(expr.frame))
+    return f"{expr.func}({args}) OVER ({' '.join(over)})"
 
 
 # ---------------------------------------------------------------------------
@@ -139,6 +177,9 @@ class OpResult:
     # Evaluator over the pre-projection relation, used by Sort to evaluate
     # ORDER BY expressions that reference non-projected columns.
     order_eval: Optional[Evaluator] = None
+    # Window-call results computed by a Window operator below, keyed by
+    # id(WindowCall); consumed by the Project above it.
+    window_values: Optional[dict[int, np.ndarray]] = None
 
 
 def _single_scope(binding: str, chunk: Chunk) -> Scope:
@@ -153,7 +194,13 @@ def _single_scope(binding: str, chunk: Chunk) -> Scope:
 # ---------------------------------------------------------------------------
 
 class Operator:
-    """Base physical operator."""
+    """Base physical operator.
+
+    Subclasses implement ``execute`` (pull-based: recursively execute
+    children, return a materialized :class:`OpResult`), ``children`` (for
+    plan traversal/rendering), and ``label`` (one EXPLAIN line, without the
+    cardinality estimate — ``PhysicalPlan.render`` appends that).
+    """
 
     est_rows: float | None = None
 
@@ -423,8 +470,57 @@ class ResidualFilter(Operator):
 
 
 @dataclass
+class Window(Operator):
+    """Partition-parallel window-function evaluation.
+
+    Sits between the relational input and the Project that consumes the
+    results.  All window calls of the SELECT are evaluated here: calls
+    sharing a ``(PARTITION BY, ORDER BY)`` spec share one factorization and
+    one sort (:func:`~.window.build_layout`), and each kernel reduces its
+    partitions morsel-parallel on the shared worker pool.  The input chunk
+    passes through unchanged; results travel to the Project via
+    :attr:`OpResult.window_values`.
+    """
+
+    child: Operator
+    calls: list[WindowCall] = field(default_factory=list)
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        calls = ", ".join(window_to_str(c) for c in self.calls)
+        return f"Window {calls}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        from .window import evaluate_window_calls
+
+        config = ctx.config
+        if not config.supports_window:
+            raise UnsupportedFeatureError(
+                f"{config.name}: window functions are not supported by this backend"
+            )
+        res = self.child.execute(ctx)
+        values = evaluate_window_calls(
+            res.chunk, res.scope, self.calls, config, ctx.subquery_cb()
+        )
+        specs = {
+            (tuple(map(expr_to_str, c.partition_by)),
+             tuple(expr_to_str(o.expr) for o in c.order_by))
+            for c in self.calls
+        }
+        ctx.note(
+            f"window: {len(self.calls)} call(s) over {len(specs)} spec(s), "
+            f"{res.chunk.nrows} rows"
+        )
+        return OpResult(res.chunk, res.scope, order_eval=res.order_eval,
+                        window_values=values)
+
+
+@dataclass
 class Project(Operator):
-    """Plain projection (includes window-function evaluation)."""
+    """Plain projection; window arrays arrive precomputed from a Window child."""
 
     child: Operator
     select: Select
@@ -441,9 +537,8 @@ class Project(Operator):
         res = self.child.execute(ctx)
         executor = ctx.executor
         cb = ctx.subquery_cb()
-        window_values = executor._eval_windows(self.select, res.chunk, res.scope, cb)
         chunk, order_eval = executor._project_plain(
-            self.select, res.chunk, res.scope, cb, window_values
+            self.select, res.chunk, res.scope, cb, res.window_values or {}
         )
         return OpResult(chunk, res.scope, order_eval=order_eval)
 
@@ -475,13 +570,8 @@ class HashAggregate(Operator):
         res = self.child.execute(ctx)
         executor = ctx.executor
         cb = ctx.subquery_cb()
-        window_values = executor._eval_windows(self.select, res.chunk, res.scope, cb)
-        if window_values:
-            raise UnsupportedFeatureError(
-                "window functions cannot be combined with aggregation"
-            )
         chunk, order_eval = executor._project_grouped(
-            self.select, res.chunk, res.scope, cb, window_values
+            self.select, res.chunk, res.scope, cb, {}
         )
         return OpResult(chunk, res.scope, order_eval=order_eval)
 
@@ -541,6 +631,8 @@ class Sort(Operator):
 
 @dataclass
 class Limit(Operator):
+    """Keep the first *n* rows of the (already sorted) input."""
+
     child: Operator
     n: int = 0
     est_rows: float | None = None

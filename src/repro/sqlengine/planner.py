@@ -16,7 +16,8 @@ Decisions made here:
 * **join ordering** — a greedy bushy-to-left-deep order driven by estimated
   post-filter cardinalities (selectivity heuristics below), generalizing the
   seed's inline ``join_reorder`` flag;
-* **operator selection** — HashAggregate vs Project, Distinct, Sort, Limit.
+* **operator selection** — HashAggregate vs Project, Window placement for
+  select lists containing window calls, Distinct, Sort, Limit.
 """
 
 from __future__ import annotations
@@ -28,6 +29,7 @@ from .catalog import Catalog
 from .plan import (
     CrossJoin, Distinct, DualScan, Filter, HashAggregate, HashJoin, Limit,
     Operator, PhysicalPlan, Project, ResidualFilter, Scan, Sort, SubqueryScan,
+    Window,
 )
 from .expressions import contains_aggregate, expr_columns
 from .sqlast import (
@@ -37,7 +39,8 @@ from .sqlast import (
 )
 
 __all__ = ["Planner", "RelSchema", "split_conjuncts", "has_subquery",
-           "subqueries_of", "has_window", "collect_needed_columns"]
+           "subqueries_of", "has_window", "collect_windows",
+           "collect_needed_columns"]
 
 
 # ---------------------------------------------------------------------------
@@ -45,6 +48,7 @@ __all__ = ["Planner", "RelSchema", "split_conjuncts", "has_subquery",
 # ---------------------------------------------------------------------------
 
 def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a WHERE/HAVING tree of ANDs into its conjunct list."""
     if expr is None:
         return []
     if isinstance(expr, BinaryOp) and expr.op == "AND":
@@ -53,6 +57,7 @@ def split_conjuncts(expr: Expr | None) -> list[Expr]:
 
 
 def has_subquery(expr: Expr) -> bool:
+    """Does *expr* contain an IN/EXISTS/scalar subquery anywhere?"""
     if isinstance(expr, (InSubquery, ExistsExpr, ScalarSubquery)):
         return True
     for attr in ("left", "right", "operand", "low", "high", "arg"):
@@ -102,16 +107,63 @@ def subqueries_of(expr: Expr):
 
 
 def has_window(expr: Expr) -> bool:
+    """Does *expr* contain a window call anywhere (CASE branches and
+    BETWEEN bounds included)?"""
     if isinstance(expr, WindowCall):
         return True
-    for attr in ("left", "right", "operand"):
+    for attr in ("left", "right", "operand", "low", "high"):
         child = getattr(expr, attr, None)
         if isinstance(child, Expr) and has_window(child):
             return True
     children = getattr(expr, "args", None)
     if children and any(isinstance(c, Expr) and has_window(c) for c in children):
         return True
+    branches = getattr(expr, "branches", None)
+    if branches:
+        for cond, value in branches:
+            if has_window(cond) or has_window(value):
+                return True
+        default = getattr(expr, "default", None)
+        if default is not None and has_window(default):
+            return True
     return False
+
+
+def collect_windows(select: Select) -> list[WindowCall]:
+    """Every window call in the SELECT list, in select-item order.
+
+    Collected statically so the planner can place one :class:`~.plan.Window`
+    operator per plan; the AST nodes double as stable keys (the plan cache
+    keeps the parsed statement alive).
+    """
+    calls: list[WindowCall] = []
+
+    def walk(e: Expr) -> None:
+        if isinstance(e, WindowCall):
+            calls.append(e)
+            return  # nested windows inside window args are not supported
+        for attr in ("left", "right", "operand", "low", "high"):
+            child = getattr(e, attr, None)
+            if isinstance(child, Expr):
+                walk(child)
+        children = getattr(e, "args", None)
+        if children:
+            for c in children:
+                if isinstance(c, Expr):
+                    walk(c)
+        branches = getattr(e, "branches", None)
+        if branches:
+            for cond, value in branches:
+                walk(cond)
+                walk(value)
+            default = getattr(e, "default", None)
+            if default is not None:
+                walk(default)
+
+    for item in select.items:
+        if not isinstance(item.expr, Star):
+            walk(item.expr)
+    return calls
 
 
 def collect_needed_columns(select: Select) -> tuple[set, bool]:
@@ -224,6 +276,7 @@ class Planner:
 
     # -- schemas ------------------------------------------------------------
     def relation_schema(self, rel, env: dict[str, RelSchema]) -> RelSchema:
+        """Static shape of a FROM-clause relation (CTE env before catalog)."""
         if isinstance(rel, TableRef):
             if rel.name in env:
                 return env[rel.name]
@@ -242,6 +295,13 @@ class Planner:
 
     # -- entry point --------------------------------------------------------
     def plan_select(self, select: Select, env: dict[str, RelSchema]) -> PhysicalPlan:
+        """Compile one SELECT body into a :class:`PhysicalPlan`.
+
+        Bottom-up: scans (pruned to referenced columns) → pushed-down
+        filters → join tree (ordered by estimated cardinality) → residual
+        filter → Window (when the select list contains window calls) →
+        Project / HashAggregate → Distinct → Sort → Limit.
+        """
         refs, star = collect_needed_columns(select)
 
         sources = [self._make_source(rel, env, refs, star)
@@ -272,7 +332,12 @@ class Planner:
             contains_aggregate(item.expr) for item in select.items
         ) or (select.having is not None and contains_aggregate(select.having))
 
+        windows = collect_windows(select)
         if has_agg:
+            if windows:
+                raise UnsupportedFeatureError(
+                    "window functions cannot be combined with aggregation"
+                )
             if select.group_by:
                 est = max(1.0, est / 10.0)
                 if select.having is not None:
@@ -281,6 +346,8 @@ class Planner:
                 est = 1.0
             root = HashAggregate(root, select, est_rows=est)
         else:
+            if windows:
+                root = Window(root, windows, est_rows=est)
             root = Project(root, select, est_rows=est)
 
         if select.distinct:

@@ -9,6 +9,7 @@ __all__ = [
     "Expr", "Literal", "ColumnRef", "Star", "BinaryOp", "UnaryOp", "FuncCall",
     "AggCall", "CaseExpr", "CastExpr", "InList", "InSubquery", "ExistsExpr",
     "ScalarSubquery", "BetweenExpr", "IsNull", "LikeExpr", "WindowCall",
+    "WindowFrame",
     "TableRef", "SubqueryRef", "JoinClause", "SelectItem", "OrderItem",
     "Select", "ValuesClause", "WithQuery", "Query",
 ]
@@ -67,10 +68,36 @@ class AggCall(Expr):
 
 
 @dataclass
+class WindowFrame:
+    """A ``ROWS``/``RANGE BETWEEN <bound> AND <bound>`` frame clause.
+
+    Bound kinds are ``unbounded_preceding`` | ``preceding`` | ``current`` |
+    ``following`` | ``unbounded_following``; offsets are row counts and are
+    only meaningful for ``preceding``/``following``.
+    """
+
+    unit: str = "rows"  # "rows" | "range"
+    start_kind: str = "unbounded_preceding"
+    start_offset: int = 0
+    end_kind: str = "current"
+    end_offset: int = 0
+
+
+@dataclass
 class WindowCall(Expr):
-    func: str  # ROW_NUMBER
+    """``func(args) OVER (PARTITION BY ... ORDER BY ... [frame])``.
+
+    ``func`` is one of the ranking functions (ROW_NUMBER, RANK, DENSE_RANK,
+    NTILE), the offset functions (LAG, LEAD), or an aggregate (SUM, AVG,
+    MIN, MAX, COUNT) applied as a window.  ``frame`` is None when no frame
+    clause was written (the executor applies the SQL default frame).
+    """
+
+    func: str
     partition_by: list[Expr] = field(default_factory=list)
     order_by: list["OrderItem"] = field(default_factory=list)
+    args: list[Expr] = field(default_factory=list)
+    frame: Optional[WindowFrame] = None
 
 
 @dataclass

@@ -123,3 +123,56 @@ class TestMultiKey:
     def test_groupby_column_projection(self, df):
         out = df.groupby("k")[["v", "w"]].sum().reset_index()
         assert set(out.columns) == {"k", "v", "w"}
+
+
+class TestGroupWindowOps:
+    """transform / cumsum / rank / shift / cumcount (row-preserving ops)."""
+
+    @pytest.fixture()
+    def gdf(self):
+        return DataFrame({
+            "k": ["a", "b", "a", "b", "a"],
+            "v": [1, 2, 3, 4, 5],
+            "w": [10.0, 20.0, 30.0, 40.0, 50.0],
+        })
+
+    def test_transform_broadcasts_aggregate(self, gdf):
+        out = gdf.groupby("k").transform("sum")
+        assert out["v"].tolist() == [9, 6, 9, 6, 9]
+        assert out["w"].tolist() == [90.0, 60.0, 90.0, 60.0, 90.0]
+
+    def test_series_transform_mean(self, gdf):
+        out = gdf.groupby("k")["w"].transform("mean")
+        assert out.tolist() == [30.0, 30.0, 30.0, 30.0, 30.0]
+
+    def test_cumsum_preserves_row_order(self, gdf):
+        assert gdf.groupby("k")["v"].cumsum().tolist() == [1, 2, 4, 6, 9]
+        frame = gdf.groupby("k").cumsum()
+        assert frame["v"].tolist() == [1, 2, 4, 6, 9]
+
+    def test_rank_within_groups(self, gdf):
+        assert gdf.groupby("k")["w"].rank().tolist() == [1, 1, 2, 2, 3]
+        desc = gdf.groupby("k")["w"].rank(ascending=False)
+        assert desc.tolist() == [3, 2, 2, 1, 1]
+
+    def test_rank_dense_with_ties(self):
+        df = DataFrame({"k": ["a", "a", "a"], "v": [5, 5, 7]})
+        assert df.groupby("k")["v"].rank(method="dense").tolist() == [1, 1, 2]
+
+    def test_rank_nan_gets_nan_like_series_rank(self):
+        df = DataFrame({"k": ["a", "a", "a", "a"],
+                        "v": [1.0, np.nan, 2.0, 1.0]})
+        out = df.groupby("k")["v"].rank().tolist()
+        assert out[0] == 1.0 and np.isnan(out[1])
+        assert out[2] == 3.0 and out[3] == 1.0
+
+    def test_shift_within_groups(self, gdf):
+        out = gdf.groupby("k")["v"].shift(1)
+        vals = out.tolist()
+        assert np.isnan(vals[0]) and np.isnan(vals[1])
+        assert vals[2:] == [1.0, 2.0, 3.0]
+        filled = gdf.groupby("k")["v"].shift(1, fill_value=0)
+        assert filled.tolist() == [0, 0, 1, 2, 3]
+
+    def test_cumcount(self, gdf):
+        assert gdf.groupby("k").cumcount().tolist() == [0, 0, 1, 1, 2]

@@ -283,3 +283,66 @@ class TestConversion:
     def test_array_protocol(self, s):
         assert np.asarray(s).tolist() == [1, 2, 3, 4, 5]
         assert np.sum(s) == 15
+
+
+class TestWindowOps:
+    """shift / diff / rank / cummax / cummin / rolling (window-style ops)."""
+
+    def test_shift_forward_and_back(self, s):
+        assert s.shift(1).tolist()[1:] == [1, 2, 3, 4]
+        assert np.isnan(s.shift(1).tolist()[0])
+        assert s.shift(-2, fill_value=0).tolist() == [3, 4, 5, 0, 0]
+        assert s.shift(0).tolist() == [1, 2, 3, 4, 5]
+
+    def test_shift_int_fill_keeps_dtype(self, s):
+        out = s.shift(1, fill_value=0)
+        assert out.dtype == np.int64
+        assert out.tolist() == [0, 1, 2, 3, 4]
+
+    def test_shift_zero_keeps_dtype(self, s):
+        assert s.shift(0).dtype == np.int64
+
+    def test_shift_beyond_length(self, s):
+        assert all(np.isnan(v) for v in s.shift(10).tolist())
+
+    def test_diff(self, s):
+        out = s.diff()
+        assert np.isnan(out.tolist()[0])
+        assert out.tolist()[1:] == [1.0, 1.0, 1.0, 1.0]
+
+    def test_rank_methods(self):
+        s = Series([30.0, 10.0, 20.0, 20.0])
+        assert s.rank().tolist() == [4.0, 1.0, 2.0, 2.0]
+        assert s.rank(method="dense").tolist() == [3.0, 1.0, 2.0, 2.0]
+        assert s.rank(method="first").tolist() == [4.0, 1.0, 2.0, 3.0]
+        assert s.rank(ascending=False).tolist() == [1.0, 4.0, 2.0, 2.0]
+
+    def test_rank_nan_gets_nan(self):
+        out = Series([2.0, np.nan, 1.0]).rank()
+        assert out.tolist()[0] == 2.0 and np.isnan(out.tolist()[1])
+
+    def test_cummax_cummin(self):
+        s = Series([2, 5, 3, 7, 1])
+        assert s.cummax().tolist() == [2, 5, 5, 7, 7]
+        assert s.cummin().tolist() == [2, 2, 2, 2, 1]
+
+    def test_rolling_sum_min_periods(self, s):
+        out = s.rolling(2).sum()
+        assert np.isnan(out.tolist()[0])
+        assert out.tolist()[1:] == [3.0, 5.0, 7.0, 9.0]
+        partial = s.rolling(3, min_periods=1).mean()
+        assert partial.tolist() == [1.0, 1.5, 2.0, 3.0, 4.0]
+
+    def test_rolling_min_max(self, s):
+        assert s.rolling(2).min().tolist()[1:] == [1.0, 2.0, 3.0, 4.0]
+        assert s.rolling(2).max().tolist()[1:] == [2.0, 3.0, 4.0, 5.0]
+
+    def test_rolling_count_applies_min_periods(self, s):
+        out = s.rolling(3).count().tolist()
+        assert np.isnan(out[0]) and np.isnan(out[1]) and out[2:] == [3.0, 3.0, 3.0]
+        assert s.rolling(3, min_periods=1).count().tolist() == \
+            [1.0, 2.0, 3.0, 3.0, 3.0]
+
+    def test_rolling_rejects_bad_window(self, s):
+        with pytest.raises(DataFrameError):
+            s.rolling(0)

@@ -172,6 +172,64 @@ def test_generated_query_matches_sqlite_parallel(i, threads, corpus):
                         context=f"corpus[{i}][threads={threads}]")
 
 
+# Window-function corpus: partitioned ranks, LAG/LEAD with defaults, framed
+# running sums — the workload family the `Window` physical operator unlocked.
+# ROW_NUMBER ties are broken by id so both engines order deterministically,
+# and ORDER BY keys are non-nullable: the engine sorts NULLs last
+# (PostgreSQL's ascending default) while sqlite sorts them first, so a
+# nullable order key would legitimately diverge (see docs/ARCHITECTURE.md).
+WINDOW_CORPUS = [
+    "SELECT id, ROW_NUMBER() OVER (PARTITION BY cust ORDER BY amt DESC, id) "
+    "AS rn FROM sales",
+    "SELECT id, RANK() OVER (PARTITION BY tag ORDER BY qty) AS r FROM sales",
+    "SELECT id, DENSE_RANK() OVER (PARTITION BY tag ORDER BY qty DESC) AS r "
+    "FROM sales",
+    "SELECT id, NTILE(4) OVER (ORDER BY amt, id) AS quartile FROM sales",
+    "SELECT id, LAG(amt) OVER (PARTITION BY cust ORDER BY day, id) AS prev "
+    "FROM sales",
+    "SELECT id, LAG(amt, 2, 0.0) OVER (PARTITION BY cust ORDER BY id) AS prev2 "
+    "FROM sales",
+    "SELECT id, LEAD(qty, 1, -1) OVER (PARTITION BY tag ORDER BY id) AS nxt "
+    "FROM sales",
+    "SELECT id, SUM(amt) OVER (PARTITION BY cust ORDER BY id) AS running "
+    "FROM sales",
+    "SELECT id, SUM(qty) OVER (PARTITION BY tag ORDER BY id "
+    "ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) AS running FROM sales",
+    "SELECT id, AVG(amt) OVER (PARTITION BY cust ORDER BY id "
+    "ROWS BETWEEN 3 PRECEDING AND CURRENT ROW) AS avg4 FROM sales",
+    "SELECT id, MIN(amt) OVER (PARTITION BY cust ORDER BY id "
+    "ROWS BETWEEN 5 PRECEDING AND 1 FOLLOWING) AS lo FROM sales",
+    "SELECT id, MAX(qty) OVER (PARTITION BY tag ORDER BY id) AS hi FROM sales",
+    "SELECT id, COUNT(note) OVER (PARTITION BY tag) AS notes, "
+    "COUNT(*) OVER (PARTITION BY tag) AS n FROM sales",
+    "SELECT id, amt - AVG(amt) OVER (PARTITION BY cust) AS dev FROM sales "
+    "WHERE qty > 2",
+    "SELECT id, SUM(amt) OVER (ORDER BY qty) AS by_peers FROM sales",
+    "SELECT s.id, RANK() OVER (PARTITION BY c.region ORDER BY s.amt DESC, s.id) "
+    "AS r FROM sales AS s, customers AS c WHERE s.cust = c.cust",
+    "SELECT id, LAG(note) OVER (ORDER BY id) AS prev_note FROM sales",
+    "SELECT t.cust, t.rn FROM (SELECT cust, ROW_NUMBER() OVER "
+    "(PARTITION BY cust ORDER BY amt DESC, id) AS rn FROM sales) AS t "
+    "WHERE t.rn = 1",
+]
+
+
+@pytest.mark.parametrize("i", range(len(WINDOW_CORPUS)))
+def test_window_query_matches_sqlite(i, corpus):
+    db, conn = corpus
+    assert_same_results(db, conn, WINDOW_CORPUS[i], context=f"window[{i}]")
+
+
+@pytest.mark.parametrize("i", range(len(WINDOW_CORPUS)))
+@pytest.mark.parametrize("threads", [4])
+def test_window_query_matches_sqlite_parallel(i, threads, corpus):
+    """The partition-parallel Window reductions must agree with the oracle."""
+    db, conn = corpus
+    config = get_backend("hyper").config(threads=threads)
+    assert_same_results(db, conn, WINDOW_CORPUS[i], config=config,
+                        context=f"window[{i}][threads={threads}]")
+
+
 def test_to_sqlite_sql_rewrites():
     assert to_sqlite_sql("WHERE d < DATE '1995-03-15'") == "WHERE d < '1995-03-15'"
     assert to_sqlite_sql("SELECT EXTRACT(YEAR FROM o.d) FROM o") == \

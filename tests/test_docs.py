@@ -1,0 +1,38 @@
+"""Documentation hygiene: the CI doc check must pass from a clean tree.
+
+Runs the same checks as ``python tools/check_docs.py`` — intra-repo
+markdown links resolve, and every ``src/repro/sqlengine/`` module has a
+module docstring — so doc rot fails tier-1 locally, not just in CI.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_required_docs_exist():
+    for path in ("README.md", "docs/ARCHITECTURE.md", "docs/TONDIR.md"):
+        assert (REPO / path).is_file(), f"{path} is missing"
+
+
+def test_intra_repo_links_resolve():
+    assert check_docs.check_links() == []
+
+
+def test_sqlengine_modules_have_docstrings():
+    assert check_docs.check_module_docstrings() == []
+
+
+def test_checker_detects_broken_link(tmp_path, monkeypatch):
+    md = tmp_path / "bad.md"
+    md.write_text("see [here](missing/file.md) and [ok](#anchor)")
+    monkeypatch.setattr(check_docs, "REPO", tmp_path)
+    monkeypatch.setattr(check_docs, "DOC_GLOBS", ["*.md"])
+    problems = check_docs.check_links()
+    assert len(problems) == 1 and "missing/file.md" in problems[0]

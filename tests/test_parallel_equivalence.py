@@ -26,6 +26,14 @@ QUERIES = [
     "WHERE d.id < 5000 ORDER BY d.id LIMIT 50",
     "SELECT grp, COUNT(*) AS n FROM data GROUP BY grp HAVING COUNT(*) > 10 "
     "ORDER BY n DESC, grp",
+    # Window operator: partition-parallel slices must agree with serial.
+    "SELECT id, ROW_NUMBER() OVER (PARTITION BY grp ORDER BY val, id) AS rn, "
+    "SUM(val) OVER (PARTITION BY grp ORDER BY id) AS running FROM data "
+    "ORDER BY id",
+    "SELECT id, LAG(val, 1, 0.0) OVER (PARTITION BY grp ORDER BY id) AS prev, "
+    "MIN(val) OVER (PARTITION BY grp ORDER BY id "
+    "ROWS BETWEEN 7 PRECEDING AND CURRENT ROW) AS floor7 FROM data "
+    "ORDER BY id",
 ]
 
 

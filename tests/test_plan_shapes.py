@@ -85,6 +85,34 @@ class TestPlanShape:
         plan = db.explain_plan("SELECT t.a FROM t, m, u")
         assert "CrossJoin" in plan
 
+    def test_window_operator_planned_below_project(self, db):
+        plan = db.explain_plan(
+            "SELECT a, ROW_NUMBER() OVER (PARTITION BY b ORDER BY c DESC) AS rn "
+            "FROM t")
+        lines = plan.splitlines()
+        order = [ln.strip().split()[0] for ln in lines]
+        assert order == ["Project", "Window", "Scan"]
+        window_line = [ln for ln in lines if "Window" in ln][0]
+        assert "ROW_NUMBER() OVER (PARTITION BY b ORDER BY c DESC)" in window_line
+
+    def test_window_frame_rendered_in_plan(self, db):
+        plan = db.explain_plan(
+            "SELECT SUM(c) OVER (ORDER BY a ROWS BETWEEN 2 PRECEDING AND "
+            "CURRENT ROW) AS s FROM t")
+        assert "Window SUM(c) OVER (ORDER BY a ROWS BETWEEN 2 PRECEDING " \
+               "AND CURRENT ROW)" in plan
+
+    def test_window_below_sort_and_filter_above_scan(self, db):
+        plan = db.explain_plan(
+            "SELECT a, LAG(c) OVER (ORDER BY a) AS p FROM t WHERE a > 1 "
+            "ORDER BY a")
+        lines = [ln.strip().split()[0] for ln in plan.splitlines()]
+        assert lines == ["Sort", "Project", "Window", "Filter", "Scan"]
+
+    def test_no_window_node_without_window_calls(self, db):
+        plan = db.explain_plan("SELECT a FROM t")
+        assert "Window" not in plan
+
 
 class TestPlanCache:
     def test_second_execution_hits_cache(self, db):

@@ -152,6 +152,59 @@ class TestExpressionParsing:
         assert len(e.partition_by) == 1
         assert e.order_by[0].ascending is False
 
+    def test_window_offset_functions_take_args(self):
+        e = parse_expression("LAG(x, 2, 0) OVER (PARTITION BY g ORDER BY t)")
+        assert isinstance(e, WindowCall) and e.func == "LAG"
+        assert len(e.args) == 3
+        lead = parse_expression("LEAD(x) OVER (ORDER BY t)")
+        assert lead.func == "LEAD" and len(lead.args) == 1
+        ntile = parse_expression("NTILE(4) OVER (ORDER BY t)")
+        assert ntile.func == "NTILE"
+
+    def test_aggregate_over_becomes_window(self):
+        e = parse_expression("SUM(x) OVER (PARTITION BY g)")
+        assert isinstance(e, WindowCall) and e.func == "SUM"
+        assert len(e.args) == 1 and e.frame is None
+        star = parse_expression("COUNT(*) OVER (PARTITION BY g)")
+        assert isinstance(star, WindowCall) and star.args == []
+        plain = parse_expression("SUM(x)")
+        assert isinstance(plain, AggCall)
+
+    def test_distinct_window_aggregate_rejected(self):
+        # sqlite (the differential oracle) rejects this too; silently
+        # dropping DISTINCT would return wrong data.
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("COUNT(DISTINCT x) OVER (PARTITION BY g)")
+
+    def test_star_only_valid_for_count_window(self):
+        # SUM(*)/AVG(*) OVER would silently degrade to COUNT(*) otherwise.
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("SUM(*) OVER (PARTITION BY g)")
+
+    def test_frame_words_stay_usable_as_identifiers(self):
+        # ROWS/RANGE/CURRENT/ROW/... are contextual, not reserved.
+        for word in ("range", "row", "rows", "current", "preceding",
+                     "following", "unbounded"):
+            e = parse_expression(word)
+            assert isinstance(e, ColumnRef) and e.name == word
+
+    def test_window_frame_clause(self):
+        e = parse_expression(
+            "SUM(x) OVER (ORDER BY t ROWS BETWEEN 3 PRECEDING AND CURRENT ROW)")
+        f = e.frame
+        assert f.unit == "rows"
+        assert (f.start_kind, f.start_offset) == ("preceding", 3)
+        assert (f.end_kind, f.end_offset) == ("current", 0)
+        e2 = parse_expression(
+            "SUM(x) OVER (ORDER BY t ROWS BETWEEN UNBOUNDED PRECEDING "
+            "AND UNBOUNDED FOLLOWING)")
+        assert e2.frame.start_kind == "unbounded_preceding"
+        assert e2.frame.end_kind == "unbounded_following"
+        shorthand = parse_expression("SUM(x) OVER (ORDER BY t ROWS 2 PRECEDING)")
+        assert (shorthand.frame.start_kind, shorthand.frame.start_offset) == \
+            ("preceding", 2)
+        assert shorthand.frame.end_kind == "current"
+
     def test_qualified_column(self):
         e = parse_expression("t1.col")
         assert isinstance(e, ColumnRef) and e.table == "t1"

@@ -82,6 +82,8 @@ class TestRankWindow:
         out = rank(4, [parts], [vals], [True])
         assert out.tolist() == [1, 1, 1, 2]
 
-    def test_rank_no_order_is_row_number(self):
+    def test_rank_no_order_makes_all_rows_peers(self):
+        # Standard SQL (and sqlite3, the differential oracle): without an
+        # ORDER BY every row is a peer, so RANK() is 1 everywhere.
         out = rank(3, [], [], [])
-        assert out.tolist() == [1, 2, 3]
+        assert out.tolist() == [1, 1, 1]

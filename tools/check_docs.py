@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Documentation hygiene checker (run by CI and tests/test_docs.py).
+
+Two checks, both repo-relative and dependency-free:
+
+1. **Intra-repo markdown links.**  Every ``[text](target)`` in a tracked
+   markdown file whose target is not an external URL or a pure anchor must
+   resolve to an existing file or directory (anchors are stripped before
+   resolution).
+2. **Module docstrings.**  Every module under ``src/repro/sqlengine/`` must
+   open with a docstring — the engine is the layer outside contributors
+   touch first, so its modules must be self-describing.
+
+Exit status is non-zero when any check fails; each failure prints a
+``file: problem`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_GLOBS = ["*.md", "docs/**/*.md"]
+# Paper-retrieval artifacts (verbatim exports, not repo documentation).
+EXCLUDED = {"PAPER.md", "PAPERS.md", "SNIPPETS.md"}
+DOCSTRING_TREES = ["src/repro/sqlengine"]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*:")  # http:, https:, mailto:, ...
+
+
+def iter_markdown_files() -> list[Path]:
+    files: list[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(REPO.glob(pattern))
+    return sorted(p for p in set(files) if p.name not in EXCLUDED)
+
+
+def check_links() -> list[str]:
+    """Broken intra-repo link targets across all tracked markdown files."""
+    problems: list[str] = []
+    for md in iter_markdown_files():
+        text = md.read_text()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if _EXTERNAL.match(target) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                rel = md.relative_to(REPO)
+                problems.append(f"{rel}: broken link -> {target}")
+    return problems
+
+
+def check_module_docstrings() -> list[str]:
+    """Modules in the enforced trees that lack a module docstring."""
+    problems: list[str] = []
+    for tree in DOCSTRING_TREES:
+        for py in sorted((REPO / tree).rglob("*.py")):
+            module = ast.parse(py.read_text())
+            if ast.get_docstring(module) is None:
+                problems.append(
+                    f"{py.relative_to(REPO)}: missing module docstring"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_module_docstrings()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print("docs ok: links resolve, sqlengine modules documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -206,21 +206,29 @@ def rows_equal(ours: list[tuple], theirs: list[tuple],
 
 
 def run_differential(db: Database, conn: sqlite3.Connection, sql: str,
-                     config=None) -> tuple[list[tuple], list[tuple]]:
-    """Execute *sql* on both engines, returning normalized row lists."""
+                     config=None, oracle_sql: str | None = None
+                     ) -> tuple[list[tuple], list[tuple]]:
+    """Execute *sql* on both engines, returning normalized row lists.
+
+    *oracle_sql*, when given, replaces the query run on sqlite (still
+    dialect-rewritten).  Used for statements sqlite cannot express directly
+    — e.g. ``INTERSECT ALL``/``EXCEPT ALL``, which the caller rewrites into
+    an equivalent ROW_NUMBER-tagged DISTINCT set operation.
+    """
     chunk = db.execute_chunk(sql, config)
     ours = normalize_rows(zip(*[arr.tolist() if arr.dtype.kind != "M" else list(arr)
                                 for arr in chunk.arrays])) if chunk.ncols else []
-    theirs = normalize_rows(conn.execute(to_sqlite_sql(sql)).fetchall())
+    theirs = normalize_rows(conn.execute(to_sqlite_sql(oracle_sql or sql)).fetchall())
     return ours, theirs
 
 
 def assert_same_results(db: Database, conn: sqlite3.Connection, sql: str,
-                        config=None, context: str = "") -> None:
-    ours, theirs = run_differential(db, conn, sql, config)
+                        config=None, context: str = "",
+                        oracle_sql: str | None = None) -> None:
+    ours, theirs = run_differential(db, conn, sql, config, oracle_sql=oracle_sql)
     ok, detail = rows_equal(ours, theirs)
     assert ok, (
         f"{context or 'query'} diverged from sqlite3: {detail}\n"
-        f"sql: {sql}\nsqlite sql: {to_sqlite_sql(sql)}\n"
+        f"sql: {sql}\nsqlite sql: {to_sqlite_sql(oracle_sql or sql)}\n"
         f"ours[:3]={ours[:3]}\ntheirs[:3]={theirs[:3]}"
     )

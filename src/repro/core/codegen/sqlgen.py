@@ -65,15 +65,38 @@ class SQLGenerator:
     def generate(self, program: Program) -> str:
         ctes: list[str] = []
         sink_sql: str | None = None
+        # Consecutive rules sharing one head relation are a Datalog union:
+        # they render as a single CTE with UNION ALL between rule bodies.
+        groups: list[list[Rule]] = []
         for rule in program.rules:
-            self.schemas[rule.head.rel] = list(rule.head.vars)
-            is_sink = rule.head.rel == program.sink and rule is program.rules[-1]
-            body_sql = self._rule_sql(rule, is_sink=is_sink)
+            if groups and groups[-1][0].head.rel == rule.head.rel:
+                groups[-1].append(rule)
+            else:
+                groups.append([rule])
+        for gi, group in enumerate(groups):
+            head = group[0].head
+            self.schemas[head.rel] = list(head.vars)
+            is_sink = head.rel == program.sink and gi == len(groups) - 1
+            if len(group) == 1:
+                body_sql = self._rule_sql(group[0], is_sink=is_sink)
+            else:
+                for branch in group:
+                    if len(branch.head.vars) != len(head.vars):
+                        raise TondIRError(
+                            f"union branches of {head.rel!r} disagree on arity"
+                        )
+                    if branch.head.sort is not None:
+                        raise TondIRError(
+                            "a union branch cannot carry ORDER BY/LIMIT"
+                        )
+                body_sql = "\nUNION ALL\n".join(
+                    self._rule_sql(branch, is_sink=False) for branch in group
+                )
             if is_sink:
                 sink_sql = body_sql
             else:
-                cols = ", ".join(rule.head.vars)
-                ctes.append(f"{rule.head.rel}({cols}) AS (\n{body_sql}\n)")
+                cols = ", ".join(head.vars)
+                ctes.append(f"{head.rel}({cols}) AS (\n{body_sql}\n)")
         if sink_sql is None:
             # Sink defined earlier in the chain: final select reads it back.
             sink_cols = self.schemas.get(program.sink)

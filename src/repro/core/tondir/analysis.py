@@ -9,8 +9,8 @@ from .ir import (
 
 __all__ = [
     "references", "consumers", "contains_agg_term", "contains_win_term",
-    "contains_ext", "is_flow_breaker", "unique_head_vars", "body_unique_vars",
-    "used_vars",
+    "contains_ext", "is_flow_breaker", "is_union_branch", "unique_head_vars",
+    "body_unique_vars", "used_vars",
 ]
 
 
@@ -97,6 +97,16 @@ def consumers(program: Program) -> dict[str, list[Rule]]:
     return out
 
 
+def is_union_branch(rule: Rule, program: Program) -> bool:
+    """Is *rule* one of several rules defining its head relation?
+
+    Multiple rules with one head are the Datalog encoding of UNION ALL
+    (emitted for ``pd.concat``); inlining or pruning a single branch would
+    change the union, so passes must treat the branches as one unit.
+    """
+    return sum(1 for r in program.rules if r.head.rel == rule.head.rel) > 1
+
+
 def is_flow_breaker(rule: Rule, program: Program) -> bool:
     """Flow breakers per Table VII of the paper.
 
@@ -105,9 +115,12 @@ def is_flow_breaker(rule: Rule, program: Program) -> bool:
     containing a window term are also breakers because the computed value
     depends on the whole relation the function runs over — fusing one into
     a filtering consumer would change its input (and SQL forbids window
-    functions in WHERE) (Section IV "Rule Inlining").
+    functions in WHERE) (Section IV "Rule Inlining").  Union branches
+    (several rules, one head) are breakers as a unit.
     """
     if rule.head.rel == program.sink:
+        return True
+    if is_union_branch(rule, program):
         return True
     if rule.head.group is not None:
         return True
@@ -174,6 +187,7 @@ def unique_head_vars(program: Program, base_unique: dict[str, set[str]]) -> dict
     * a distinct head over a single variable is unique.
     """
     out: dict[str, set[str]] = {rel: set(cols) for rel, cols in base_unique.items()}
+    seen_rels: set[str] = set()
     for rule in program.rules:
         unique_in_body = body_unique_vars(rule, out)
         head_unique: set[str] = set()
@@ -184,6 +198,10 @@ def unique_head_vars(program: Program, base_unique: dict[str, set[str]]) -> dict
             head_unique.add(rule.head.vars[0])
         else:
             head_unique = {v for v in rule.head.vars if v in unique_in_body}
+        if rule.head.rel in seen_rels:
+            # A union of branches is never unique, even if each branch is.
+            head_unique = set()
+        seen_rels.add(rule.head.rel)
         out[rule.head.rel] = head_unique
     return out
 

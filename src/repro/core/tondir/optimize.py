@@ -95,11 +95,16 @@ def global_dce(program: Program) -> bool:
         changed = True
 
     # 2. Column pruning: for each producer, keep only head positions that
-    #    some consumer actually uses.
+    #    some consumer actually uses.  Relations defined by several rules
+    #    (union branches) are skipped: pruning them one rule at a time
+    #    would desynchronize branch arities.
     cons = consumers(program)
+    defined_count: dict[str, int] = {}
+    for r in program.rules:
+        defined_count[r.head.rel] = defined_count.get(r.head.rel, 0) + 1
     for producer in program.rules:
         rel = producer.head.rel
-        if rel == program.sink:
+        if rel == program.sink or defined_count.get(rel, 0) > 1:
             continue
         readers = cons.get(rel, [])
         used_positions: set[int] = set()

@@ -268,7 +268,13 @@ class Translator:
         if isinstance(node, ast.UnaryOp):
             return self._eval_unary(node)
         if isinstance(node, (ast.List, ast.Tuple)):
-            return [self._const_value(e) for e in node.elts]
+            # Constant elements flatten to python values; symbolic elements
+            # (e.g. the frames of a pd.concat list) stay symbolic.
+            out = []
+            for e in node.elts:
+                value = self.eval_expr(e)
+                out.append(value.value if isinstance(value, SymScalar) else value)
+            return out
         if isinstance(node, ast.Dict):
             return {
                 self._const_value(k): self._const_value(v)
@@ -290,11 +296,29 @@ class Translator:
             return node
         raise TranslationError(f"unsupported expression: {ast.dump(node)}")
 
+    _SYMBOLIC_TYPES = (SymFrame, SymSeries, SymGroupBy, SymSeriesGroupBy,
+                       SymScalarRel, SymStrAccessor, SymDtAccessor,
+                       SymRollingWindow, SymConstArray)
+
+    def _key_list(self, value, what: str) -> list[str]:
+        """Normalize a column-key argument (one name or a list of names),
+        rejecting symbolic elements with a clear error — lists may carry
+        symbolic values for pd.concat, so consumers must validate."""
+        keys = [value.value] if isinstance(value, SymScalar) else list(value)
+        if not all(isinstance(k, str) for k in keys):
+            raise TranslationError(f"{what} expects column-name strings")
+        return keys
+
     def _const_value(self, node: ast.expr):
         value = self.eval_expr(node)
         if isinstance(value, SymScalar):
             return value.value
         if isinstance(value, (list, dict)):
+            # Lists may carry symbolic elements (pd.concat operands); a
+            # constant consumer must still reject those cleanly.
+            items = value.values() if isinstance(value, dict) else value
+            if any(isinstance(v, self._SYMBOLIC_TYPES) for v in items):
+                raise TranslationError("expected a constant")
             return value
         raise TranslationError("expected a constant")
 
@@ -638,6 +662,13 @@ class Translator:
             if args:
                 raise TranslationError("only empty pd.DataFrame() construction is supported")
             return SymFrame(rel="", cols=[])
+        if method == "concat":
+            operands = self.eval_expr(args[0]) if args else None
+            if not isinstance(operands, list) or not operands or not all(
+                isinstance(f, SymFrame) for f in operands
+            ):
+                raise TranslationError("pd.concat expects a list of DataFrames")
+            return self._concat(operands)
         if method == "dot":
             return self._einsum_spec("ij,jk->ik", [self.eval_expr(a) for a in args])
         raise TranslationError(f"unsupported module function {method!r}")
@@ -667,13 +698,59 @@ class Translator:
             return result
         return lower_dense(self._emitter, spec, operands)
 
+    def _concat(self, frames: list[SymFrame]) -> SymFrame:
+        """``pd.concat([...])`` as a TondIR union: one rule per input frame,
+        all sharing the output head relation — the Datalog encoding of bag
+        union, which :mod:`..codegen.sqlgen` renders as ``UNION ALL``.
+
+        Columns align by name like the runtime ``concat`` (missing columns
+        become NULL); a frame sharing no column with the others is rejected.
+        """
+        columns: list[str] = list(frames[0].column_names)
+        seen = set(columns)
+        for f in frames[1:]:
+            for name in f.column_names:
+                if name not in seen:
+                    seen.add(name)
+                    columns.append(name)
+        # Same overlap rule as the eager dataframe concat: a frame sharing
+        # no column with the rest is rejected (empty frames are allowed).
+        if len(frames) > 1:
+            for i, f in enumerate(frames):
+                others: set = set()
+                for j, g in enumerate(frames):
+                    if j != i:
+                        others.update(g.column_names)
+                if f.column_names and others and not (set(f.column_names) & others):
+                    raise TranslationError(
+                        "pd.concat frames must share at least one column"
+                    )
+        rel = self.new_rel()
+        out_cols: list[ColumnInfo] = []
+        for name in columns:
+            dtype = next((f.col(name).dtype for f in frames if f.has_col(name)),
+                         "unknown")
+            out_cols.append(ColumnInfo(name=name, var=self.fresh_var(name),
+                                       dtype=dtype))
+        for f in frames:
+            body: list = [f.atom()]
+            head_vars: list[str] = []
+            for name in columns:
+                if f.has_col(name):
+                    head_vars.append(f.col(name).var)
+                else:
+                    null_var = self.fresh_var(name)
+                    body.append(AssignAtom(null_var, Const(None)))
+                    head_vars.append(null_var)
+            self.emit(Rule(Head(rel, head_vars), body))
+        return SymFrame(rel=rel, cols=out_cols, kind=frames[0].kind)
+
     # -- DataFrame methods ---------------------------------------------------------
     def _frame_call(self, frame: SymFrame, method: str, args, kwargs):
         if method == "merge":
             return self._merge(frame, args, kwargs)
         if method == "groupby":
-            by = self.eval_expr(args[0])
-            keys = [by.value] if isinstance(by, SymScalar) else list(by)
+            keys = self._key_list(self.eval_expr(args[0]), "groupby")
             as_index = True
             if "as_index" in kwargs:
                 as_index = bool(self._const_value(kwargs["as_index"]))
@@ -685,8 +762,7 @@ class Translator:
             return self._head(frame, n)
         if method == "nlargest":
             n = int(self._const_value(args[0]))
-            by = self.eval_expr(args[1])
-            keys = [by.value] if isinstance(by, SymScalar) else list(by)
+            keys = self._key_list(self.eval_expr(args[1]), "nlargest")
             sorted_frame = self._emit_sort(frame, keys, [False] * len(keys), limit=n)
             return sorted_frame
         if method == "drop":
@@ -747,8 +823,7 @@ class Translator:
         by_node = kwargs.get("by") or (args[0] if args else None)
         if by_node is None:
             raise TranslationError("sort_values requires by=")
-        by = self.eval_expr(by_node)
-        keys = [by.value] if isinstance(by, SymScalar) else list(by)
+        keys = self._key_list(self.eval_expr(by_node), "sort_values")
         ascending: list[bool] = [True] * len(keys)
         if "ascending" in kwargs:
             asc = self.eval_expr(kwargs["ascending"])

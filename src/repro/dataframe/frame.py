@@ -264,22 +264,25 @@ class DataFrame:
         return self.take(order)
 
     def drop_duplicates(self, subset=None) -> "DataFrame":
+        from ..sqlengine.setops import dedup_positions
+
         cols = self.columns if subset is None else ([subset] if isinstance(subset, str) else list(subset))
-        seen: set = set()
-        keep: list[int] = []
-        arrays = [self._data[c] for c in cols]
-        for i in range(len(self)):
-            key = tuple(a[i] for a in arrays)
-            if key not in seen:
-                seen.add(key)
-                keep.append(i)
-        return self.take(np.asarray(keep, dtype=np.int64))
+        if not len(self):
+            return self.copy()
+        return self.take(dedup_positions([self._data[c] for c in cols]))
+
+    def _topk(self, n: int, columns, ascending: bool) -> "DataFrame":
+        from ..sqlengine.topk import topk_positions
+
+        keys = [columns] if isinstance(columns, str) else list(columns)
+        arrays = [self._data[k] for k in keys]
+        return self.take(topk_positions(arrays, [ascending] * len(keys), n))
 
     def nlargest(self, n: int, columns) -> "DataFrame":
-        return self.sort_values(columns, ascending=False).head(n)
+        return self._topk(n, columns, ascending=False)
 
     def nsmallest(self, n: int, columns) -> "DataFrame":
-        return self.sort_values(columns, ascending=True).head(n)
+        return self._topk(n, columns, ascending=True)
 
     def isin(self, other) -> "DataFrame":
         out = DataFrame.__new__(DataFrame)
@@ -454,19 +457,55 @@ def _reverse_stable(col: np.ndarray, ascending_order: np.ndarray) -> np.ndarray:
     return out
 
 
+def _null_fill(n: int, like: list[np.ndarray]) -> np.ndarray:
+    """An all-null column of length *n*, typed after the arrays that do
+    carry the column (NaT for dates, None for strings, NaN otherwise)."""
+    kinds = {a.dtype.kind for a in like}
+    if kinds == {"M"}:
+        return np.full(n, np.datetime64("NaT"), dtype="datetime64[D]")
+    if "O" in kinds:
+        return np.full(n, None, dtype=object)
+    return np.full(n, np.nan)
+
+
 def concat(frames: list[DataFrame], ignore_index: bool = True) -> DataFrame:
-    """Row-wise concatenation of DataFrames with identical columns."""
+    """Row-wise concatenation, aligning mismatched column sets with nulls.
+
+    Like pandas, columns missing from a frame are null-filled (which also
+    promotes integer columns to float); the result's column order is the
+    first frame's columns followed by extras in order of appearance.  A
+    frame sharing no column with the rest is almost certainly a bug, so
+    zero overlap stays a hard error.  Concatenation itself runs through the
+    engine's UNION ALL kernel (:func:`repro.sqlengine.setops.combine_arrays`).
+    """
+    from ..sqlengine.setops import combine_arrays
+
     if not frames:
         return DataFrame({})
-    cols = frames[0].columns
+    columns: list[str] = list(frames[0].columns)
+    seen = set(columns)
     for f in frames[1:]:
-        if f.columns != cols:
-            raise DataFrameError("concat requires identical column sets")
+        for c in f.columns:
+            if c not in seen:
+                seen.add(c)
+                columns.append(c)
+    if len(frames) > 1:
+        for i, f in enumerate(frames):
+            others: set = set()
+            for j, g in enumerate(frames):
+                if j != i:
+                    others.update(g.columns)
+            if f.columns and others and not (set(f.columns) & others):
+                raise DataFrameError(
+                    "concat requires overlapping column sets "
+                    f"(frame {i} shares no column with the others)"
+                )
     data = {}
-    for c in cols:
-        arrays = [f._data[c] for f in frames]
-        target = arrays[0].dtype
-        for a in arrays[1:]:
-            target = combine_dtypes(np.empty(0, dtype=target), a)
-        data[c] = np.concatenate([a.astype(target) for a in arrays])
+    for c in columns:
+        present = [f._data[c] for f in frames if c in f._data]
+        parts = [
+            f._data[c] if c in f._data else _null_fill(len(f), present)
+            for f in frames
+        ]
+        data[c] = combine_arrays(parts)
     return DataFrame(data)

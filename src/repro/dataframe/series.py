@@ -523,10 +523,14 @@ class Series:
         return self.take(order)
 
     def nlargest(self, n: int) -> "Series":
-        return self.sort_values(ascending=False).head(n)
+        from ..sqlengine.topk import topk_positions
+
+        return self.take(topk_positions([self._data], [False], n))
 
     def nsmallest(self, n: int) -> "Series":
-        return self.sort_values(ascending=True).head(n)
+        from ..sqlengine.topk import topk_positions
+
+        return self.take(topk_positions([self._data], [True], n))
 
     def reset_index(self, drop: bool = False):
         if drop:
@@ -590,12 +594,31 @@ class _Rolling:
 
         s = self._series
         n = len(s)
+        values = s.values
+        kind = values.dtype.kind
+        if kind in ("i", "u", "b"):
+            values = values.astype(np.float64)
+        elif kind == "M":
+            if func not in ("MIN", "MAX"):
+                raise DataFrameError(
+                    f"rolling {func.lower()}() is not supported on "
+                    f"{values.dtype} columns (datetimes support only min/max)"
+                )
+        elif kind != "f":
+            raise DataFrameError(
+                f"rolling {func.lower()}() is not supported on "
+                f"{values.dtype} columns"
+            )
         layout = build_layout(n, [], [], [])
-        values = s.values.astype(np.float64) if s.values.dtype.kind in ("i", "u", "b") else s.values
         out = framed_aggregate(layout, values, func, self._frame(), threads=1)
         counts = framed_aggregate(layout, values, "COUNT", self._frame(), threads=1)
-        out = out.astype(np.float64)
-        out[counts < self._min_periods] = np.nan
+        below = counts < self._min_periods
+        if out.dtype.kind == "M":
+            out = out.copy()
+            out[below] = np.datetime64("NaT")
+        else:
+            out = out.astype(np.float64)
+            out[below] = np.nan
         return Series(out, index=s.index, name=s.name)
 
     def sum(self) -> Series:

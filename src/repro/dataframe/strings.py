@@ -18,16 +18,29 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["StringAccessor", "like_to_regex"]
 
 
-def like_to_regex(pattern: str) -> "re.Pattern[str]":
-    """Compile a SQL LIKE pattern (``%``/``_`` wildcards) to a regex."""
+def like_to_regex(pattern: str, escape: str | None = None) -> "re.Pattern[str]":
+    """Compile a SQL LIKE pattern (``%``/``_`` wildcards) to a regex.
+
+    *escape*, when given, is the single character of an ``ESCAPE 'c'``
+    clause: the character following it matches literally (including ``%``,
+    ``_``, and the escape character itself).  A trailing bare escape
+    character matches itself, like sqlite.
+    """
     out = []
-    for ch in pattern:
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if escape is not None and ch == escape and i + 1 < len(pattern):
+            out.append(re.escape(pattern[i + 1]))
+            i += 2
+            continue
         if ch == "%":
             out.append(".*")
         elif ch == "_":
             out.append(".")
         else:
             out.append(re.escape(ch))
+        i += 1
     return re.compile("^" + "".join(out) + "$", re.DOTALL)
 
 

@@ -77,7 +77,7 @@ class Database:
         is enabled.  Stale entries (catalog changed) are rebuilt in place."""
         if not config.plan_cache:
             return None
-        key = (sql, config.join_reorder)
+        key = (sql, config.join_reorder, config.topk_rewrite)
         entry = self._plan_cache.get(key)
         if entry is not None and entry.catalog_version == self.catalog.version:
             entry.hits += 1
@@ -144,12 +144,12 @@ class Database:
                 env_schemas[cte.name] = RelSchema(list(columns), float(len(cte.query.rows)))
                 lines.append(f"CTE {cte.name}: VALUES ({len(cte.query.rows)} rows)")
                 continue
-            plan = planner.plan_select(cte.query, env_schemas)
+            plan = planner.plan_body(cte.query, env_schemas)
             columns = cte.column_names or plan.output_columns
             env_schemas[cte.name] = RelSchema(list(columns), plan.est_rows or 1000.0)
             lines.append(f"CTE {cte.name}:")
             lines.extend("  " + ln for ln in plan.render().splitlines())
-        plan = planner.plan_select(query.body, env_schemas)
+        plan = planner.plan_body(query.body, env_schemas)
         lines.append(plan.render())
         return "\n".join(lines)
 

@@ -37,11 +37,10 @@ from .planner import (
     Planner, RelSchema, has_subquery, has_window, split_conjuncts,
 )
 from .sqlast import (
-    AggCall, BinaryOp, ColumnRef, Expr, Query, Select, SelectItem, Star,
-    TableRef, ValuesClause, WindowCall,
+    AggCall, BinaryOp, ColumnRef, CompoundSelect, Expr, Query, Select,
+    SelectItem, Star, TableRef, ValuesClause, WindowCall,
 )
 from .table import Chunk
-from .window import sort_positions
 
 __all__ = ["EngineConfig", "Executor"]
 
@@ -58,10 +57,12 @@ class EngineConfig:
     morsel_size: int = 2048
     rejected_join_patterns: frozenset = frozenset()
     # Physical-plan knobs: morsel-parallel join probe / aggregate reduction,
-    # and whether Database may reuse compiled plans across executions.
+    # whether Database may reuse compiled plans across executions, and
+    # whether ORDER BY + LIMIT fuses into the parallel TopK operator.
     parallel_join: bool = True
     parallel_agg: bool = True
     plan_cache: bool = True
+    topk_rewrite: bool = True
 
 
 class Executor:
@@ -131,9 +132,10 @@ class Executor:
     # ------------------------------------------------------------------
     # Plan-driven SELECT execution
     # ------------------------------------------------------------------
-    def plan_for(self, select: Select, env: dict[str, Chunk],
+    def plan_for(self, select, env: dict[str, Chunk],
                  cacheable: bool = True) -> PhysicalPlan:
-        """Fetch (or build and remember) the physical plan for a body."""
+        """Fetch (or build and remember) the physical plan for a body
+        (a plain SELECT or a compound select)."""
         plan = self._active_plans.get(id(select))
         if plan is not None:
             plan.cache_hits += 1
@@ -143,7 +145,7 @@ class Executor:
             name: RelSchema(list(c.columns), float(c.nrows))
             for name, c in env.items()
         }
-        plan = Planner(self.catalog, self.config).plan_select(select, env_schemas)
+        plan = Planner(self.catalog, self.config).plan_body(select, env_schemas)
         if cacheable:
             self._active_plans[id(select)] = plan
             # Derived-table bodies were planned as part of this plan; register
@@ -152,8 +154,9 @@ class Executor:
                 self._active_plans.setdefault(id(body), subplan)
         return plan
 
-    def _execute_select(self, select: Select, env: dict[str, Chunk],
+    def _execute_select(self, select, env: dict[str, Chunk],
                         cacheable: bool = True) -> Chunk:
+        """Execute a SELECT or compound-select body through its plan."""
         plan = self.plan_for(select, env, cacheable=cacheable)
         return plan.execute(ExecContext(self, env))
 
@@ -367,11 +370,16 @@ class Executor:
     # ------------------------------------------------------------------
     # ORDER BY / LIMIT
     # ------------------------------------------------------------------
-    def _apply_order(self, select: Select, out_chunk: Chunk, order_eval: Evaluator | None) -> Chunk:
+    def _order_arrays(self, order_by, out_chunk: Chunk,
+                      order_eval: Evaluator | None):
+        """Evaluate ORDER BY keys over the projected output, falling back
+        to the pre-projection evaluator for non-projected expressions.
+        Shared by the Sort and TopK operators; returns
+        ``(arrays, ascendings)``."""
         arrays: list[np.ndarray] = []
         ascendings: list[bool] = []
         out_names = {c: i for i, c in enumerate(out_chunk.columns)}
-        for item in select.order_by:
+        for item in order_by:
             expr = item.expr
             arr = None
             if isinstance(expr, ColumnRef) and expr.table is None and expr.name in out_names:
@@ -388,8 +396,7 @@ class Executor:
                 raise SQLBindError(f"cannot evaluate ORDER BY expression {expr!r}")
             arrays.append(arr)
             ascendings.append(item.ascending)
-        positions = sort_positions(arrays, ascendings)
-        return out_chunk.take(positions)
+        return arrays, ascendings
 
     # ------------------------------------------------------------------
     # Subqueries
@@ -407,7 +414,12 @@ class Executor:
             return self._execute_exists(select, env, outer_eval)
         raise SQLBindError(f"unknown subquery kind {kind!r}")
 
-    def _execute_exists(self, select: Select, env, outer_eval: Evaluator) -> np.ndarray:
+    def _execute_exists(self, select, env, outer_eval: Evaluator) -> np.ndarray:
+        if isinstance(select, CompoundSelect):
+            # Compound EXISTS bodies are never correlated-decomposed; the
+            # whole compound executes once.
+            chunk = self._execute_select(select, env)
+            return np.full(outer_eval.nrows, chunk.nrows > 0)
         inner_cols: set[str] = set()
         inner_bindings: set[str] = set()
         for rel in select.relations:

@@ -145,7 +145,8 @@ def expr_key(expr: Expr) -> str:
             parts.append(f"else->{expr_key(expr.default)}")
         return f"case({';'.join(parts)})"
     if isinstance(expr, LikeExpr):
-        return f"like({expr_key(expr.operand)},{expr.pattern},{expr.negated})"
+        return (f"like({expr_key(expr.operand)},{expr.pattern},"
+                f"{expr.negated},{expr.escape})")
     if isinstance(expr, BetweenExpr):
         return f"between({expr_key(expr.operand)},{expr_key(expr.low)},{expr_key(expr.high)})"
     if isinstance(expr, IsNull):
@@ -156,6 +157,33 @@ def expr_key(expr: Expr) -> str:
 
 
 _CMP_OPS = {"=", "<>", "<", "<=", ">", ">="}
+
+_PY_CMP = None  # lazily-built {op: np.frompyfunc} table for object arrays
+
+
+def _is_null_scalar(value) -> bool:
+    """Is a non-array comparison operand the SQL NULL (None/NaN/NaT)?"""
+    if value is None:
+        return True
+    if isinstance(value, (float, np.floating)):
+        return bool(np.isnan(value))
+    if isinstance(value, np.datetime64):
+        return bool(np.isnat(value))
+    return False
+
+
+def _object_compare_ufuncs():
+    global _PY_CMP
+    if _PY_CMP is None:
+        import operator
+
+        _PY_CMP = {
+            op: np.frompyfunc(fn, 2, 1)
+            for op, fn in (("=", operator.eq), ("<>", operator.ne),
+                           ("<", operator.lt), ("<=", operator.le),
+                           (">", operator.gt), (">=", operator.ge))
+        }
+    return _PY_CMP
 
 
 def _null_safe_compare(left, right, op: str, n: int) -> np.ndarray:
@@ -169,20 +197,30 @@ def _null_safe_compare(left, right, op: str, n: int) -> np.ndarray:
     if rarr is not None and rarr.dtype.kind == "M" and isinstance(left, str):
         left = np.datetime64(left, "D")
 
+    # A NULL scalar operand makes every comparison false, whatever the
+    # other side is (scalars included — NaN/NaT must not leak a True
+    # through the ufunc path below).
+    if (larr is None and _is_null_scalar(left)) or \
+            (rarr is None and _is_null_scalar(right)):
+        return np.zeros(n, dtype=bool)
+
     obj = (larr is not None and larr.dtype == object) or (rarr is not None and rarr.dtype == object)
     if obj:
-        lv = larr if larr is not None else np.full(n, left, dtype=object)
-        rv = rarr if rarr is not None else np.full(n, right, dtype=object)
+        # Vectorized object comparison: mask out NULLs, compare the valid
+        # rows in one np.frompyfunc call (no per-row interpreter loop).
+        valid = np.ones(n, dtype=bool)
+        if larr is not None:
+            valid &= ~isna_array(larr)
+        if rarr is not None:
+            valid &= ~isna_array(rarr)
         out = np.zeros(n, dtype=bool)
-        import operator
-
-        py_op = {"=": operator.eq, "<>": operator.ne, "<": operator.lt,
-                 "<=": operator.le, ">": operator.gt, ">=": operator.ge}[op]
-        for i in range(n):
-            a, b = lv[i], rv[i]
-            if a is None or b is None:
-                continue
-            out[i] = py_op(a, b)
+        if not valid.any():
+            return out
+        lv = larr[valid] if larr is not None else left
+        rv = rarr[valid] if rarr is not None else right
+        cmp = _object_compare_ufuncs()[op](lv, rv)
+        out[valid] = np.asarray(cmp, dtype=object).astype(bool) \
+            if isinstance(cmp, np.ndarray) else bool(cmp)
         return out
 
     ufunc = {"=": np.equal, "<>": np.not_equal, "<": np.less,
@@ -452,12 +490,22 @@ class Evaluator:
         return ~mask if expr.negated else mask
 
     def _eval_LikeExpr(self, expr: LikeExpr):
+        n = self.nrows
+        if expr.pattern is None:
+            # x LIKE NULL (or NOT LIKE NULL) is NULL: no row qualifies.
+            return np.zeros(n, dtype=bool)
         operand = self.eval_array(expr.operand).astype(object)
-        regex = like_to_regex(expr.pattern)
-        mask = np.array(
-            [v is not None and regex.match(v) is not None for v in operand], dtype=bool
+        regex = like_to_regex(expr.pattern, expr.escape)
+        if expr.negated:
+            # NULL operands stay false under NOT LIKE too (NOT NULL is NULL).
+            return np.array(
+                [isinstance(v, str) and regex.match(v) is None for v in operand],
+                dtype=bool,
+            )
+        return np.array(
+            [isinstance(v, str) and regex.match(v) is not None for v in operand],
+            dtype=bool,
         )
-        return ~mask if expr.negated else mask
 
     # -- subquery forms (delegated to the executor) ------------------------------
     def _eval_ScalarSubquery(self, expr: ScalarSubquery):

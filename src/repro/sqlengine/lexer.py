@@ -13,7 +13,8 @@ KEYWORDS = {
     "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE", "BETWEEN",
     "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "DISTINCT", "WITH",
     "JOIN", "LEFT", "RIGHT", "FULL", "INNER", "OUTER", "CROSS", "ON",
-    "EXISTS", "VALUES", "UNION", "ALL", "ASC", "DESC", "OVER", "PARTITION",
+    "EXISTS", "VALUES", "UNION", "INTERSECT", "EXCEPT", "ALL", "ASC", "DESC",
+    "OVER", "PARTITION", "ESCAPE",
     "DATE", "INTERVAL", "EXTRACT", "TRUE", "FALSE", "CREATE", "TABLE",
     "INSERT", "INTO", "PRIMARY", "KEY", "UNIQUE", "DROP", "LIMIT", "OFFSET",
 }

@@ -5,10 +5,11 @@ from __future__ import annotations
 from ..errors import SQLSyntaxError
 from .lexer import Token, tokenize
 from .sqlast import (
-    AggCall, BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef, ExistsExpr,
-    Expr, FuncCall, InList, InSubquery, IsNull, JoinClause, LikeExpr, Literal,
-    OrderItem, Query, ScalarSubquery, Select, SelectItem, Star, SubqueryRef,
-    TableRef, UnaryOp, ValuesClause, WindowCall, WindowFrame, WithQuery,
+    AggCall, BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef,
+    CompoundSelect, ExistsExpr, Expr, FuncCall, InList, InSubquery, IsNull,
+    JoinClause, LikeExpr, Literal, OrderItem, Query, ScalarSubquery, Select,
+    SelectItem, Star, SubqueryRef, TableRef, UnaryOp, ValuesClause,
+    WindowCall, WindowFrame, WithQuery,
 )
 
 __all__ = ["parse", "parse_expression"]
@@ -155,7 +156,56 @@ class _Parser:
                 break
         return ValuesClause(rows=rows)
 
-    def _parse_select(self) -> Select:
+    def _parse_select(self):
+        """A query body: one or more SELECT cores chained by set operators,
+        with a trailing ORDER BY/LIMIT that attaches to the whole compound.
+
+        Precedence follows the standard: ``INTERSECT`` binds tighter than
+        ``UNION``/``EXCEPT``, and operators of equal precedence associate
+        left.  Returns a :class:`Select` or a :class:`CompoundSelect`.
+        """
+        body = self._parse_set_op_chain()
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept_op(","):
+                order_by.append(self._parse_order_item())
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            tok = self._advance()
+            if tok.kind != "NUMBER":
+                raise SQLSyntaxError(f"LIMIT expects a number, found {tok.value!r}")
+            limit = int(tok.value)
+        body.order_by = order_by
+        body.limit = limit
+        return body
+
+    def _parse_set_op_chain(self):
+        left = self._parse_intersect_chain()
+        while True:
+            tok = self._peek()
+            if tok.kind == "KEYWORD" and tok.value in ("UNION", "EXCEPT"):
+                self._advance()
+                all_ = self._accept_keyword("ALL")
+                right = self._parse_intersect_chain()
+                left = CompoundSelect(op=tok.value.lower(), all=all_,
+                                      left=left, right=right)
+            else:
+                return left
+
+    def _parse_intersect_chain(self):
+        left = self._parse_select_core()
+        while self._accept_keyword("INTERSECT"):
+            all_ = self._accept_keyword("ALL")
+            right = self._parse_select_core()
+            left = CompoundSelect(op="intersect", all=all_, left=left,
+                                  right=right)
+        return left
+
+    def _parse_select_core(self) -> Select:
+        """One ``SELECT`` without trailing ORDER BY/LIMIT (those belong to
+        the enclosing compound; see :meth:`_parse_select`)."""
         self._expect_keyword("SELECT")
         distinct = self._accept_keyword("DISTINCT")
         if not distinct:
@@ -194,24 +244,10 @@ class _Parser:
 
         having = self.parse_expr() if self._accept_keyword("HAVING") else None
 
-        order_by: list[OrderItem] = []
-        if self._accept_keyword("ORDER"):
-            self._expect_keyword("BY")
-            order_by.append(self._parse_order_item())
-            while self._accept_op(","):
-                order_by.append(self._parse_order_item())
-
-        limit = None
-        if self._accept_keyword("LIMIT"):
-            tok = self._advance()
-            if tok.kind != "NUMBER":
-                raise SQLSyntaxError(f"LIMIT expects a number, found {tok.value!r}")
-            limit = int(tok.value)
-
         return Select(
             items=items, relations=relations, joins=joins, where=where,
-            group_by=group_by, having=having, order_by=order_by,
-            limit=limit, distinct=distinct,
+            group_by=group_by, having=having, order_by=[],
+            limit=None, distinct=distinct,
         )
 
     def _maybe_join_kind(self) -> str | None:
@@ -335,9 +371,24 @@ class _Parser:
                 if tok.value == "LIKE":
                     self._advance()
                     pattern_tok = self._advance()
-                    if pattern_tok.kind != "STRING":
-                        raise SQLSyntaxError("LIKE expects a string literal pattern")
-                    left = LikeExpr(operand=left, pattern=pattern_tok.value, negated=negated)
+                    if pattern_tok.is_keyword("NULL"):
+                        pattern = None  # x LIKE NULL is NULL -> matches no row
+                    elif pattern_tok.kind == "STRING":
+                        pattern = pattern_tok.value
+                    else:
+                        raise SQLSyntaxError(
+                            "LIKE expects a string literal (or NULL) pattern"
+                        )
+                    escape = None
+                    if self._accept_keyword("ESCAPE"):
+                        esc_tok = self._advance()
+                        if esc_tok.kind != "STRING" or len(esc_tok.value) != 1:
+                            raise SQLSyntaxError(
+                                "ESCAPE expects a single-character string literal"
+                            )
+                        escape = esc_tok.value
+                    left = LikeExpr(operand=left, pattern=pattern,
+                                    negated=negated, escape=escape)
                     continue
                 if tok.value == "IN":
                     self._advance()

@@ -45,8 +45,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "ExecContext", "OpResult", "Operator", "Scan", "SubqueryScan", "DualScan",
     "Filter", "CrossJoin", "HashJoin", "ResidualFilter", "Window", "Project",
-    "HashAggregate", "Distinct", "Sort", "Limit", "PhysicalPlan",
-    "expr_to_str", "window_to_str", "frame_to_str",
+    "HashAggregate", "Distinct", "Sort", "TopK", "Limit", "SetOp",
+    "PhysicalPlan", "expr_to_str", "window_to_str", "frame_to_str",
 ]
 
 
@@ -96,7 +96,9 @@ def expr_to_str(expr: Expr) -> str:
         return f"{expr_to_str(expr.operand)} IS {'NOT ' if expr.negated else ''}NULL"
     if isinstance(expr, LikeExpr):
         neg = "NOT " if expr.negated else ""
-        return f"{expr_to_str(expr.operand)} {neg}LIKE {expr.pattern!r}"
+        pattern = "NULL" if expr.pattern is None else repr(expr.pattern)
+        esc = f" ESCAPE {expr.escape!r}" if expr.escape is not None else ""
+        return f"{expr_to_str(expr.operand)} {neg}LIKE {pattern}{esc}"
     return type(expr).__name__
 
 
@@ -604,28 +606,72 @@ class Distinct(Operator):
         return OpResult(chunk, res.scope, order_eval=None)
 
 
+def _order_keys_str(order_by) -> str:
+    return ", ".join(
+        expr_to_str(o.expr) + ("" if o.ascending else " DESC")
+        for o in order_by
+    )
+
+
 @dataclass
 class Sort(Operator):
     """ORDER BY over the projected output (stable multi-key sort)."""
 
     child: Operator
-    select: Select
+    order_by: list  # list[OrderItem]
     est_rows: float | None = None
 
     def children(self) -> list[Operator]:
         return [self.child]
 
     def label(self) -> str:
-        keys = ", ".join(
-            expr_to_str(o.expr) + ("" if o.ascending else " DESC")
-            for o in self.select.order_by
-        )
-        return f"Sort {keys}"
+        return f"Sort {_order_keys_str(self.order_by)}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
         res = self.child.execute(ctx)
-        chunk = ctx.executor._apply_order(self.select, res.chunk, res.order_eval)
-        ctx.note(f"sort: {len(self.select.order_by)} key(s)")
+        arrays, ascendings = ctx.executor._order_arrays(
+            self.order_by, res.chunk, res.order_eval
+        )
+        from .window import sort_positions
+
+        chunk = res.chunk.take(sort_positions(arrays, ascendings))
+        ctx.note(f"sort: {len(self.order_by)} key(s)")
+        return OpResult(chunk, res.scope)
+
+
+@dataclass
+class TopK(Operator):
+    """Fused ``ORDER BY … LIMIT k``: morsel-parallel partial selection.
+
+    The planner rewrites a ``Sort`` + ``Limit`` pair into this operator;
+    results are bit-identical to the pair (stable sort, ties keep input
+    order) but only per-morsel candidates are ever sorted
+    (:func:`~.topk.topk_positions`).
+    """
+
+    child: Operator
+    order_by: list  # list[OrderItem]
+    n: int = 0
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"TopK {self.n} by {_order_keys_str(self.order_by)}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        from .topk import topk_positions
+
+        res = self.child.execute(ctx)
+        arrays, ascendings = ctx.executor._order_arrays(
+            self.order_by, res.chunk, res.order_eval
+        )
+        positions = topk_positions(arrays, ascendings, self.n,
+                                   threads=ctx.config.threads)
+        chunk = res.chunk.take(positions)
+        ctx.note(f"top-k: {len(self.order_by)} key(s), "
+                 f"{res.chunk.nrows} -> {chunk.nrows} rows")
         return OpResult(chunk, res.scope)
 
 
@@ -648,6 +694,51 @@ class Limit(Operator):
         chunk = res.chunk.head(self.n)
         ctx.note(f"limit: {self.n}")
         return OpResult(chunk, res.scope)
+
+
+_SET_OP_SQL = {"union": "UNION", "intersect": "INTERSECT", "except": "EXCEPT"}
+
+
+@dataclass
+class SetOp(Operator):
+    """A set operation over two sub-plans (UNION/INTERSECT/EXCEPT [ALL]).
+
+    Columns pair by position; output names come from the left operand
+    (checked for arity/type compatibility at plan time).  ``UNION ALL`` is
+    a cheap concatenation; the hashed variants factorize the combined rows
+    once and count per side (:mod:`.setops`), with the build side chosen by
+    the planner from cardinality estimates for the symmetric operations.
+    """
+
+    left: Operator
+    right: Operator
+    op: str  # "union" | "intersect" | "except"
+    all: bool = False
+    columns: list[str] = field(default_factory=list)
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return f"SetOp {_SET_OP_SQL[self.op]}{' ALL' if self.all else ''}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        from .setops import execute_set_op
+
+        lres = self.left.execute(ctx)
+        rres = self.right.execute(ctx)
+        chunk = execute_set_op(self.op, self.all, lres.chunk, rres.chunk,
+                               self.columns, threads=ctx.config.threads)
+        ctx.note(
+            f"set op {self.label().split(' ', 1)[1].lower()}: "
+            f"{lres.chunk.nrows} vs {rres.chunk.nrows} -> {chunk.nrows} rows"
+        )
+        # Downstream ORDER BY must reference output columns only.
+        scope = Scope()
+        for slot, col in enumerate(chunk.columns):
+            scope.add(None, col, slot)
+        return OpResult(chunk, scope, order_eval=None)
 
 
 # ---------------------------------------------------------------------------

@@ -28,19 +28,22 @@ from ..errors import SQLBindError, UnsupportedFeatureError
 from .catalog import Catalog
 from .plan import (
     CrossJoin, Distinct, DualScan, Filter, HashAggregate, HashJoin, Limit,
-    Operator, PhysicalPlan, Project, ResidualFilter, Scan, Sort, SubqueryScan,
-    Window,
+    Operator, PhysicalPlan, Project, ResidualFilter, Scan, SetOp, Sort,
+    SubqueryScan, TopK, Window,
 )
 from .expressions import contains_aggregate, expr_columns
 from .sqlast import (
-    BetweenExpr, BinaryOp, ColumnRef, ExistsExpr, Expr, InList, InSubquery,
-    IsNull, LikeExpr, ScalarSubquery, Select, SelectItem, Star, SubqueryRef,
-    TableRef, ValuesClause, WindowCall,
+    AggCall, BetweenExpr, BinaryOp, ColumnRef, CompoundSelect, ExistsExpr,
+    Expr, InList, InSubquery, IsNull, LikeExpr, Literal, ScalarSubquery,
+    Select, SelectItem, Star, SubqueryRef, TableRef, ValuesClause, WindowCall,
 )
 
 __all__ = ["Planner", "RelSchema", "split_conjuncts", "has_subquery",
            "subqueries_of", "has_window", "collect_windows",
            "collect_needed_columns"]
+
+
+_SET_OP_NAMES = {"union": "UNION", "intersect": "INTERSECT", "except": "EXCEPT"}
 
 
 # ---------------------------------------------------------------------------
@@ -186,7 +189,13 @@ def collect_needed_columns(select: Select) -> tuple[set, bool]:
         for sub in subqueries_of(e):
             walk_select(sub)
 
-    def walk_select(s: Select):
+    def walk_select(s):
+        if isinstance(s, CompoundSelect):
+            walk_select(s.left)
+            walk_select(s.right)
+            for o in s.order_by:
+                walk_expr(o.expr)
+            return
         for item in s.items:
             walk_expr(item.expr)
         if s.where is not None:
@@ -286,14 +295,137 @@ class Planner:
         raise SQLBindError(f"unsupported relation {rel!r}")
 
     def body_schema(self, body, env: dict[str, RelSchema]):
-        """(columns, est_rows, subplan) of a nested Select/VALUES body."""
+        """(columns, est_rows, subplan) of a nested body (Select, compound
+        select, or VALUES)."""
         if isinstance(body, ValuesClause):
             ncols = len(body.rows[0]) if body.rows else 0
             return [f"col{i}" for i in range(ncols)], float(len(body.rows)), None
-        plan = self.plan_select(body, env)
+        plan = self.plan_body(body, env)
         return list(plan.output_columns), plan.est_rows or 1000.0, plan
 
-    # -- entry point --------------------------------------------------------
+    # -- entry points -------------------------------------------------------
+    def plan_body(self, body, env: dict[str, RelSchema]) -> PhysicalPlan:
+        """Compile any query body — a plain SELECT or a set-operation tree."""
+        if isinstance(body, CompoundSelect):
+            return self.plan_compound(body, env)
+        return self.plan_select(body, env)
+
+    def plan_compound(self, comp: CompoundSelect,
+                      env: dict[str, RelSchema]) -> PhysicalPlan:
+        """Compile a set operation: plan both operands, verify their output
+        schemas are compatible (arity always; column types where statically
+        known), pick the build side for symmetric operations by cardinality
+        estimate, and attach the compound's trailing ORDER BY/LIMIT."""
+        left = self.plan_body(comp.left, env)
+        right = self.plan_body(comp.right, env)
+        if len(left.output_columns) != len(right.output_columns):
+            raise SQLBindError(
+                f"{_SET_OP_NAMES[comp.op]} operands must have the same number "
+                f"of columns ({len(left.output_columns)} vs "
+                f"{len(right.output_columns)})"
+            )
+        self._check_type_compatibility(comp, env)
+
+        l_est = left.est_rows or 1000.0
+        r_est = right.est_rows or 1000.0
+        if comp.op == "union":
+            est = l_est + r_est if comp.all else max(l_est + r_est, 1.0) * 0.9
+        elif comp.op == "intersect":
+            est = max(1.0, min(l_est, r_est) * 0.5)
+        else:  # except
+            est = max(1.0, l_est * 0.5)
+
+        columns = list(left.output_columns)
+        lop, rop = left.root, right.root
+        if comp.op == "intersect" and l_est > r_est:
+            # Symmetric operation: make the smaller side the probe (its
+            # occurrence numbering is the sorting-heavy half) and count the
+            # larger side.  Output columns still come from the written left.
+            lop, rop = rop, lop
+        root: Operator = SetOp(lop, rop, comp.op, comp.all, columns,
+                               est_rows=est)
+
+        root, est = self._attach_order_limit(root, comp.order_by, comp.limit, est)
+        return PhysicalPlan(root, columns, est_rows=est)
+
+    def _attach_order_limit(self, root: Operator, order_by, limit, est):
+        """Shared Sort/TopK/Limit tail for plain and compound bodies."""
+        if order_by and limit is not None and self.config.topk_rewrite:
+            est = min(est, float(limit))
+            root = TopK(root, order_by, limit, est_rows=est)
+            return root, est
+        if order_by:
+            root = Sort(root, order_by, est_rows=est)
+        if limit is not None:
+            est = min(est, float(limit))
+            root = Limit(root, limit, est_rows=est)
+        return root, est
+
+    _KIND_CLASSES = {"i": "numeric", "u": "numeric", "f": "numeric",
+                     "b": "numeric", "M": "date", "O": "string",
+                     "U": "string", "S": "string"}
+
+    def _check_type_compatibility(self, comp: CompoundSelect, env) -> None:
+        """Reject set operations pairing statically-known incompatible
+        column types (numeric vs string vs date).  Columns whose type cannot
+        be derived without executing (subqueries, CTEs, expressions) are
+        skipped — execution-time promotion covers them."""
+        lkinds = self._body_kinds(comp.left, env)
+        rkinds = self._body_kinds(comp.right, env)
+        for i, (lk, rk) in enumerate(zip(lkinds, rkinds)):
+            if lk is not None and rk is not None and lk != rk:
+                raise SQLBindError(
+                    f"{_SET_OP_NAMES[comp.op]} column {i + 1} pairs "
+                    f"incompatible types ({lk} vs {rk})"
+                )
+
+    def _body_kinds(self, body, env) -> list:
+        if isinstance(body, CompoundSelect):
+            return self._body_kinds(body.left, env)
+        kinds: list = []
+        # Per-binding column kinds, so qualified references resolve through
+        # their own alias and same-named columns of different types across
+        # bindings degrade to unknown instead of misclassifying.
+        binding_kinds: dict[str, dict[str, str | None]] = {}
+        relations = list(body.relations) + [jc.relation for jc in body.joins]
+        for rel in relations:
+            if isinstance(rel, TableRef) and rel.name not in env \
+                    and self.catalog.has(rel.name):
+                table = self.catalog.get(rel.name)
+                binding_kinds[rel.binding] = {
+                    col: self._KIND_CLASSES.get(arr.dtype.kind)
+                    for col, arr in zip(table.columns, table.arrays)
+                }
+            else:
+                return [None] * len(body.items)
+        for item in body.items:
+            kinds.append(self._item_kind(item.expr, binding_kinds))
+        return kinds
+
+    def _item_kind(self, expr: Expr, binding_kinds: dict) -> str | None:
+        if isinstance(expr, Star):
+            return None
+        if isinstance(expr, ColumnRef):
+            if expr.table is not None:
+                return binding_kinds.get(expr.table, {}).get(expr.name)
+            found = [cols[expr.name] for cols in binding_kinds.values()
+                     if expr.name in cols]
+            if not found or any(k != found[0] for k in found[1:]):
+                return None
+            return found[0]
+        if isinstance(expr, Literal):
+            if isinstance(expr.value, bool) or isinstance(expr.value, (int, float)):
+                return "numeric"
+            if isinstance(expr.value, str):
+                return "string"
+            return None
+        if isinstance(expr, AggCall):
+            if expr.func in ("COUNT", "SUM", "AVG", "STDDEV", "VAR"):
+                return "numeric"
+            if expr.arg is not None:
+                return self._item_kind(expr.arg, binding_kinds)
+        return None
+
     def plan_select(self, select: Select, env: dict[str, RelSchema]) -> PhysicalPlan:
         """Compile one SELECT body into a :class:`PhysicalPlan`.
 
@@ -353,11 +485,8 @@ class Planner:
         if select.distinct:
             est = max(1.0, est * 0.9)
             root = Distinct(root, est_rows=est)
-        if select.order_by:
-            root = Sort(root, select, est_rows=est)
-        if select.limit is not None:
-            est = min(est, float(select.limit))
-            root = Limit(root, select.limit, est_rows=est)
+        root, est = self._attach_order_limit(root, select.order_by,
+                                             select.limit, est)
 
         out_columns = self._output_columns(select, acc_columns, binding_columns)
         return PhysicalPlan(root, out_columns, est_rows=est)

@@ -11,7 +11,8 @@ __all__ = [
     "ScalarSubquery", "BetweenExpr", "IsNull", "LikeExpr", "WindowCall",
     "WindowFrame",
     "TableRef", "SubqueryRef", "JoinClause", "SelectItem", "OrderItem",
-    "Select", "ValuesClause", "WithQuery", "Query",
+    "Select", "CompoundSelect", "SelectBody", "ValuesClause", "WithQuery",
+    "Query",
 ]
 
 
@@ -153,9 +154,17 @@ class IsNull(Expr):
 
 @dataclass
 class LikeExpr(Expr):
+    """``operand [NOT] LIKE pattern [ESCAPE 'c']``.
+
+    ``pattern`` is ``None`` when the pattern was the literal ``NULL``
+    (SQL: the whole predicate is NULL, i.e. no row matches).  ``escape``
+    is the single escape character of an ``ESCAPE`` clause, if present.
+    """
+
     operand: Expr
-    pattern: str
+    pattern: Optional[str]
     negated: bool = False
+    escape: Optional[str] = None
 
 
 # ---------------------------------------------------------------------------
@@ -216,6 +225,30 @@ class Select:
 
 
 @dataclass
+class CompoundSelect:
+    """A set operation between two select bodies.
+
+    ``op`` is ``"union"`` | ``"intersect"`` | ``"except"``; ``all`` keeps
+    duplicates (multiset semantics).  A trailing ``ORDER BY``/``LIMIT``
+    written after the compound attaches here, never to the right operand
+    (SQL's grammar: set operators bind tighter than ORDER BY).  Operands
+    may themselves be compounds — ``INTERSECT`` binds tighter than
+    ``UNION``/``EXCEPT``, which associate left.
+    """
+
+    op: str  # "union" | "intersect" | "except"
+    all: bool
+    left: "SelectBody"
+    right: "SelectBody"
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+
+
+# A query body: either a plain SELECT or a tree of set operations.
+SelectBody = Union[Select, CompoundSelect]
+
+
+@dataclass
 class ValuesClause:
     rows: list[list[Expr]]
 
@@ -224,12 +257,13 @@ class ValuesClause:
 class WithQuery:
     name: str
     column_names: Optional[list[str]]
-    query: Union[Select, ValuesClause]
+    query: Union[Select, CompoundSelect, ValuesClause]
 
 
 @dataclass
 class Query:
-    """A full statement: optional WITH chain plus the final SELECT."""
+    """A full statement: optional WITH chain plus the final body (a plain
+    SELECT or a compound of set operations)."""
 
     ctes: list[WithQuery]
-    body: Select
+    body: SelectBody

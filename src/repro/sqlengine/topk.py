@@ -1,0 +1,75 @@
+"""Morsel-parallel Top-K selection: the kernel behind ``ORDER BY … LIMIT k``.
+
+A full sort of *n* rows to keep *k* of them wastes ``O(n log n)`` work; this
+module selects the top *k* with an ``O(n)`` partial-selection pass and sorts
+only the surviving candidates:
+
+1. the multi-key sort keys are derived once over the whole input (the same
+   ``_sort_key`` transforms ORDER BY uses, so NULL ordering matches; keys
+   are always numeric, never object);
+2. each morsel runs ``np.partition`` on its slice of the *primary* key to
+   find its local k-th value and keeps rows at or below it — every global
+   top-*k* row has a primary key ≤ its morsel's k-th smallest, so the
+   union of candidates is a superset of the answer;
+3. the candidates (``≈ k × morsels`` plus boundary ties) are stable-sorted
+   once over all keys with the original row position as the final
+   tie-break, and the first *k* win.
+
+Step 2 runs on the shared worker pool (``np.partition`` and boolean masks
+release the GIL).  The position tie-break makes the result bit-identical to
+a full stable sort followed by ``LIMIT k``, for every thread count and
+morsel size.
+
+Used by the :class:`~.plan.TopK` physical operator (the planner rewrites
+``Sort`` + ``Limit`` pairs into it) and by the dataframe layer's
+``nlargest``/``nsmallest``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .parallel import run_partitions
+from .window import _sort_key
+
+__all__ = ["topk_positions"]
+
+# Below this row count a single stable sort beats the candidate machinery.
+_MIN_SELECT_ROWS = 2048
+
+
+def _merge_candidates(cand: np.ndarray, lex_keys: tuple, k: int) -> np.ndarray:
+    """Stable-sort candidate positions by all keys, original position as the
+    least-significant tie-break, and keep the first *k*."""
+    final = np.lexsort((cand,) + tuple(key[cand] for key in lex_keys))
+    return cand[final[:k]]
+
+
+def topk_positions(arrays: list[np.ndarray], ascendings: list[bool],
+                   k: int, threads: int = 1) -> np.ndarray:
+    """Positions of the first *k* rows of a stable multi-key sort.
+
+    Equivalent to ``sort_positions(arrays, ascendings)[:k]`` (ties keep
+    input order), but only selection candidates are ever sorted.
+    """
+    n = len(arrays[0]) if arrays else 0
+    k = max(0, min(k, n))
+    if k == 0:
+        return np.zeros(0, dtype=np.int64)
+    keys = [_sort_key(arr, asc) for arr, asc in zip(arrays, ascendings)]
+    lex_keys = tuple(reversed(keys))  # np.lexsort: last key is primary
+
+    if n < _MIN_SELECT_ROWS or k * 4 >= n:
+        return np.lexsort(lex_keys)[:k]
+
+    primary = keys[0]
+
+    def candidates(start: int, stop: int) -> np.ndarray:
+        local = primary[start:stop]
+        # k-th smallest primary value in this morsel: rows above it cannot
+        # reach the global top-k; rows tying it must stay (stability).
+        kth = np.partition(local, k - 1)[k - 1] if k <= stop - start else local.max()
+        return start + np.nonzero(local <= kth)[0]
+
+    cand = np.concatenate(run_partitions(n, threads, candidates))
+    return _merge_candidates(cand, lex_keys, k)

@@ -226,6 +226,22 @@ class TestIndexConversion:
         both = concat([df, df])
         assert len(both) == 8
 
-    def test_concat_mismatched_columns(self, df):
+    def test_concat_aligns_mismatched_columns(self, df):
+        # pandas semantics: missing columns null-fill (ints promote to float).
+        out = concat([df, df[["a"]]])
+        assert out.columns == df.columns
+        assert len(out) == 8
+        assert out["a"].tolist() == df["a"].tolist() * 2
+        assert out["b"].tolist()[4:] == [None] * 4
+        assert all(np.isnan(v) for v in out["c"].tolist()[4:])
+
+    def test_concat_adds_new_columns_in_order(self, df):
+        other = DataFrame({"a": [9], "z": [1.0]})
+        out = concat([df, other])
+        assert out.columns == df.columns + ["z"]
+        assert np.isnan(out["z"].tolist()[0])
+        assert out["z"].tolist()[-1] == 1.0
+
+    def test_concat_zero_overlap_rejected(self, df):
         with pytest.raises(DataFrameError):
-            concat([df, df[["a"]]])
+            concat([df, DataFrame({"unrelated": [1, 2]})])

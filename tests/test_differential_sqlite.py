@@ -146,6 +146,13 @@ CORPUS = [
     "SELECT COUNT(*) AS n, SUM(amt) AS total FROM big",
     "SELECT t.tag, t.total FROM (SELECT tag, SUM(amt) AS total FROM sales "
     "GROUP BY tag) AS t WHERE t.total > 1000.0",
+    # LIKE edge cases: ESCAPE clauses and NULL patterns/operands.
+    "SELECT id FROM sales WHERE note LIKE 'l_te'",
+    "SELECT id FROM sales WHERE note LIKE 'l!_te' ESCAPE '!'",
+    "SELECT id FROM sales WHERE tag LIKE 'a!%' ESCAPE '!'",
+    "SELECT id FROM sales WHERE note LIKE NULL",
+    "SELECT id FROM sales WHERE note NOT LIKE 'o%'",
+    "SELECT id FROM sales WHERE note NOT LIKE 'l_te' AND qty > 15",
 ]
 
 
@@ -170,6 +177,106 @@ def test_generated_query_matches_sqlite_parallel(i, threads, corpus):
     config = get_backend("hyper").config(threads=threads)
     assert_same_results(db, conn, CORPUS[i], config=config,
                         context=f"corpus[{i}][threads={threads}]")
+
+
+def _all_variant_oracle(op: str, cols: str, left: str, right: str) -> str:
+    """sqlite3 has no INTERSECT ALL / EXCEPT ALL; tag each row with its
+    per-duplicate ROW_NUMBER and run the DISTINCT operation over the tagged
+    rows — (row, 1), (row, 2), … pair up exactly ``min``/``difference`` of
+    the two multiplicities, the ALL-variant semantics."""
+    tag = f"ROW_NUMBER() OVER (PARTITION BY {cols}) AS rn"
+    return (f"SELECT {cols} FROM ("
+            f"SELECT {cols}, {tag} FROM ({left}) "
+            f"{op} "
+            f"SELECT {cols}, {tag} FROM ({right}))")
+
+
+# Set-operation corpus: every form (UNION [ALL], INTERSECT [ALL],
+# EXCEPT [ALL]), standard precedence, trailing ORDER BY/LIMIT on the
+# compound, NULL key rows (set operations treat NULLs as equal), joins and
+# aggregates inside operands, CTE/derived-table compounds.  Entries are
+# (our_sql, oracle_sql): oracle_sql is None when sqlite runs the same text,
+# and an explicit rewrite where sqlite's dialect diverges (no ALL variants
+# of INTERSECT/EXCEPT; left-associative-only precedence).
+SETOP_CORPUS: list[tuple[str, str | None]] = [
+    ("SELECT cust FROM sales WHERE amt > 300.0 "
+     "UNION ALL SELECT cust FROM customers", None),
+    ("SELECT cust FROM sales UNION SELECT cust FROM customers", None),
+    ("SELECT note FROM sales UNION SELECT tag FROM sales", None),
+    ("SELECT cust FROM sales INTERSECT "
+     "SELECT cust FROM customers WHERE credit > 5.0", None),
+    ("SELECT cust FROM customers EXCEPT "
+     "SELECT cust FROM sales WHERE amt > 400.0", None),
+    ("SELECT tag, qty FROM sales WHERE qty < 3 "
+     "UNION SELECT tag, qty FROM sales WHERE qty > 17", None),
+    ("SELECT day FROM sales WHERE qty > 10 INTERSECT "
+     "SELECT day FROM sales WHERE amt > 100.0", None),
+    ("SELECT note FROM sales EXCEPT SELECT tag FROM sales", None),
+    ("SELECT note FROM sales INTERSECT "
+     "SELECT note FROM sales WHERE qty > 5", None),
+    ("SELECT c.region FROM customers AS c JOIN sales AS s ON c.cust = s.cust "
+     "WHERE s.amt > 400.0 UNION SELECT region FROM regions", None),
+    ("SELECT id FROM sales WHERE amt > 250.0 "
+     "UNION SELECT id FROM sales WHERE qty > 15 ORDER BY id LIMIT 10", None),
+    ("SELECT id, cust FROM sales WHERE tag = 'red' "
+     "UNION ALL SELECT id, cust FROM sales WHERE qty > 17 "
+     "ORDER BY id DESC, cust LIMIT 7", None),
+    ("SELECT cust FROM sales WHERE qty > 15 "
+     "UNION SELECT cust FROM sales WHERE amt > 450.0 "
+     "UNION ALL SELECT cust FROM customers WHERE credit > 9.0", None),
+    ("WITH u(cust) AS (SELECT cust FROM sales WHERE qty > 10 "
+     "UNION SELECT cust FROM customers WHERE credit > 8.0) "
+     "SELECT COUNT(*) AS n FROM u", None),
+    ("SELECT t.cust, COUNT(*) AS n FROM "
+     "(SELECT cust FROM sales WHERE amt > 300.0 "
+     "UNION ALL SELECT cust FROM sales WHERE qty > 15) AS t "
+     "GROUP BY t.cust", None),
+    ("SELECT cust, amt * 2.0 AS v FROM sales WHERE amt < 50.0 "
+     "UNION ALL SELECT cust, credit FROM customers", None),
+    ("SELECT tag FROM sales WHERE qty > 15 INTERSECT ALL "
+     "SELECT tag FROM sales WHERE amt > 200.0",
+     _all_variant_oracle(
+         "INTERSECT", "tag",
+         "SELECT tag FROM sales WHERE qty > 15",
+         "SELECT tag FROM sales WHERE amt > 200.0")),
+    ("SELECT cust FROM sales EXCEPT ALL "
+     "SELECT cust FROM sales WHERE qty > 5",
+     _all_variant_oracle(
+         "EXCEPT", "cust",
+         "SELECT cust FROM sales",
+         "SELECT cust FROM sales WHERE qty > 5")),
+    ("SELECT tag, note FROM sales WHERE qty > 8 EXCEPT ALL "
+     "SELECT tag, note FROM sales WHERE amt > 150.0",
+     _all_variant_oracle(
+         "EXCEPT", "tag, note",
+         "SELECT tag, note FROM sales WHERE qty > 8",
+         "SELECT tag, note FROM sales WHERE amt > 150.0")),
+    ("SELECT cust FROM sales WHERE day >= '2020-06-01' INTERSECT ALL "
+     "SELECT cust FROM sales WHERE tag = 'blue'",
+     _all_variant_oracle(
+         "INTERSECT", "cust",
+         "SELECT cust FROM sales WHERE day >= '2020-06-01'",
+         "SELECT cust FROM sales WHERE tag = 'blue'")),
+    # Standard precedence: INTERSECT binds tighter than UNION.  sqlite
+    # groups purely left-to-right, so the oracle spells the standard
+    # grouping out with a derived table.
+    ("SELECT cust FROM sales UNION SELECT cust FROM customers "
+     "INTERSECT SELECT cust FROM sales WHERE qty > 15",
+     "SELECT cust FROM sales UNION SELECT cust FROM "
+     "(SELECT cust FROM customers INTERSECT "
+     "SELECT cust FROM sales WHERE qty > 15)"),
+]
+
+
+@pytest.mark.parametrize("i", range(len(SETOP_CORPUS)))
+@pytest.mark.parametrize("threads", [1, 4])
+def test_set_op_query_matches_sqlite(i, threads, corpus):
+    db, conn = corpus
+    sql, oracle_sql = SETOP_CORPUS[i]
+    config = get_backend("hyper").config(threads=threads)
+    assert_same_results(db, conn, sql, config=config,
+                        context=f"setop[{i}][threads={threads}]",
+                        oracle_sql=oracle_sql)
 
 
 # Window-function corpus: partitioned ranks, LAG/LEAD with defaults, framed

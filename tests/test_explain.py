@@ -38,10 +38,22 @@ class TestExplain:
         assert "hash join + u" in plan
 
     def test_aggregate_and_sort(self, db):
+        # ORDER BY + LIMIT fuses into the TopK operator by default.
         plan = db.explain("SELECT b, SUM(c) AS s FROM t GROUP BY b ORDER BY s LIMIT 2")
         assert "hash aggregate: 1 key(s)" in plan
+        assert "top-k: 1 key(s)" in plan
+
+    def test_aggregate_and_sort_without_topk_rewrite(self, db):
+        plan = db.explain("SELECT b, SUM(c) AS s FROM t GROUP BY b ORDER BY s LIMIT 2",
+                          config=EngineConfig(topk_rewrite=False))
         assert "sort: 1 key(s)" in plan
         assert "limit: 2" in plan
+
+    def test_set_op_trace(self, db):
+        # INTERSECT is symmetric: the planner probes with the smaller side
+        # (u, 2 rows), so the trace reports the swapped operand order.
+        plan = db.explain("SELECT b FROM t INTERSECT SELECT b FROM u")
+        assert "set op intersect: 2 vs 4 -> 2 rows" in plan
 
     def test_cte_materialization(self, db):
         plan = db.explain("WITH big(a) AS (SELECT a FROM t WHERE a > 1) "

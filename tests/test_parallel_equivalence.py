@@ -34,6 +34,17 @@ QUERIES = [
     "MIN(val) OVER (PARTITION BY grp ORDER BY id "
     "ROWS BETWEEN 7 PRECEDING AND CURRENT ROW) AS floor7 FROM data "
     "ORDER BY id",
+    # Set operations: morsel-parallel counts/gathers must agree with serial.
+    "SELECT grp FROM data WHERE val > 0.5 UNION SELECT grp FROM dims",
+    "SELECT id, grp FROM data WHERE grp < 7 "
+    "UNION ALL SELECT id, grp FROM data WHERE grp > 9 ORDER BY id LIMIT 200",
+    "SELECT grp FROM data INTERSECT ALL SELECT grp FROM dims",
+    "SELECT grp FROM data WHERE val < 0.9 EXCEPT ALL "
+    "SELECT grp FROM data WHERE val >= 0.9",
+    "SELECT grp FROM dims EXCEPT SELECT grp FROM data WHERE val > 0.01",
+    # TopK: per-morsel candidate selection must match a full stable sort.
+    "SELECT id, val FROM data ORDER BY val DESC, id LIMIT 37",
+    "SELECT id, val FROM data WHERE grp <> 3 ORDER BY val, id DESC LIMIT 61",
 ]
 
 

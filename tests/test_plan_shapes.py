@@ -62,8 +62,17 @@ class TestPlanShape:
         assert "[est=4 rows]" in plan  # base scan cardinality from catalog
 
     def test_aggregate_sort_limit_pipeline(self, db):
+        # ORDER BY + LIMIT fuses into one TopK node by default.
         plan = db.explain_plan(
             "SELECT b, SUM(c) AS s FROM t GROUP BY b ORDER BY s LIMIT 2")
+        lines = plan.splitlines()
+        order = [ln.strip().split()[0] for ln in lines]
+        assert order == ["TopK", "HashAggregate", "Scan"]
+
+    def test_sort_limit_without_topk_rewrite(self, db):
+        plan = db.explain_plan(
+            "SELECT b, SUM(c) AS s FROM t GROUP BY b ORDER BY s LIMIT 2",
+            config=EngineConfig(topk_rewrite=False))
         lines = plan.splitlines()
         order = [ln.strip().split()[0] for ln in lines]
         assert order == ["Limit", "Sort", "HashAggregate", "Scan"]
@@ -112,6 +121,35 @@ class TestPlanShape:
     def test_no_window_node_without_window_calls(self, db):
         plan = db.explain_plan("SELECT a FROM t")
         assert "Window" not in plan
+
+    def test_set_op_node_shape(self, db):
+        plan = db.explain_plan("SELECT a FROM t UNION ALL SELECT w FROM u")
+        lines = [ln.strip().split()[0] for ln in plan.splitlines()]
+        assert lines == ["SetOp", "Project", "Scan", "Project", "Scan"]
+        assert "SetOp UNION ALL" in plan
+
+    def test_compound_order_limit_fuses_to_topk(self, db):
+        plan = db.explain_plan(
+            "SELECT a FROM t EXCEPT SELECT w FROM u ORDER BY a LIMIT 2")
+        lines = [ln.strip().split()[0] for ln in plan.splitlines()]
+        assert lines[0] == "TopK"
+        assert lines[1] == "SetOp"
+        assert "SetOp EXCEPT" in plan
+
+    def test_intersect_probes_smaller_side(self, db):
+        # big (100 rows) INTERSECT u (2 rows): the planner swaps operands so
+        # the 2-row side is probed; the first SetOp child is u's subtree.
+        plan = db.explain_plan("SELECT k FROM big INTERSECT SELECT w FROM u")
+        lines = plan.splitlines()
+        first_scan = next(ln for ln in lines if "Scan" in ln)
+        assert "Scan u" in first_scan
+
+    def test_compound_inside_cte_renders(self, db):
+        plan = db.explain_plan(
+            "WITH s(a) AS (SELECT a FROM t UNION SELECT w FROM u) "
+            "SELECT a FROM s")
+        assert plan.startswith("CTE s:")
+        assert "SetOp UNION" in plan
 
 
 class TestPlanCache:

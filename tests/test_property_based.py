@@ -196,6 +196,82 @@ class TestEngineVsFrames:
                 assert got == ref
 
 
+class TestCompoundSelectProperties:
+    """Randomized set operations (op × ALL × ORDER BY × LIMIT) must match
+    sqlite3 on the same data.  sqlite has no INTERSECT/EXCEPT ALL and no
+    standard precedence, so those oracle queries are spelled via the
+    ROW_NUMBER-tagging rewrite."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        key_lists, key_lists,
+        st.sampled_from(["UNION", "UNION ALL", "INTERSECT", "INTERSECT ALL",
+                         "EXCEPT", "EXCEPT ALL"]),
+        st.booleans(),  # ORDER BY?
+        st.booleans(),  # DESC?
+        st.one_of(st.none(), st.integers(min_value=0, max_value=10)),
+    )
+    def test_random_compound_matches_sqlite(self, ls, rs, op, ordered,
+                                            desc, limit):
+        from repro.bench.differential import load_sqlite, run_differential, rows_equal
+
+        db = connect()
+        db.register("t", {"a": np.array(ls, dtype=np.int64)})
+        db.register("u", {"a": np.array(rs, dtype=np.int64)})
+        conn = load_sqlite(db)
+        try:
+            tail = ""
+            if ordered:
+                tail += f" ORDER BY a{' DESC' if desc else ''}"
+                if limit is not None:
+                    tail += f" LIMIT {limit}"
+            sql = f"SELECT a FROM t {op} SELECT a FROM u{tail}"
+            if op in ("INTERSECT ALL", "EXCEPT ALL"):
+                word = op.split()[0]
+                tag = "ROW_NUMBER() OVER (PARTITION BY a) AS rn"
+                oracle = (f"SELECT a FROM ("
+                          f"SELECT a, {tag} FROM t {word} "
+                          f"SELECT a, {tag} FROM u){tail}")
+            else:
+                oracle = None
+            ours, theirs = run_differential(db, conn, sql, oracle_sql=oracle)
+            ok, detail = rows_equal(ours, theirs)
+            assert ok, f"{sql}: {detail}"
+        finally:
+            conn.close()
+
+
+class TestRollingDtypeProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2000), min_size=1,
+                    max_size=30),
+           st.integers(min_value=1, max_value=5))
+    def test_rolling_min_max_on_dates_matches_bruteforce(self, days, w):
+        base = np.datetime64("2020-01-01")
+        dates = base + np.array(days, dtype="timedelta64[D]")
+        s = rpd.Series(dates)
+        lo = s.rolling(w).min()
+        hi = s.rolling(w).max()
+        for i in range(len(days)):
+            window = days[max(0, i - w + 1): i + 1]
+            if len(window) < w:
+                assert np.isnat(lo.values[i]) and np.isnat(hi.values[i])
+            else:
+                assert lo.values[i] == base + np.timedelta64(min(window), "D")
+                assert hi.values[i] == base + np.timedelta64(max(window), "D")
+
+    def test_rolling_sum_on_dates_raises_clearly(self):
+        s = rpd.Series(np.array(["2020-01-01", "2020-01-02"],
+                                dtype="datetime64[D]"))
+        with pytest.raises(Exception, match="only min/max"):
+            s.rolling(2).sum()
+
+    def test_rolling_on_strings_raises_clearly(self):
+        s = rpd.Series(["a", "b", "c"])
+        with pytest.raises(Exception, match="not supported"):
+            s.rolling(2).mean()
+
+
 class TestOptimizerSemantics:
     """Optimizing a random filter/project chain never changes its result."""
 

@@ -1,0 +1,208 @@
+"""Unit tests for the set-operation and Top-K kernels
+(`repro.sqlengine.setops`, `repro.sqlengine.topk`) plus the plan-time
+checks of compound selects."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import connect
+from repro.errors import SQLBindError
+from repro.sqlengine import EngineConfig
+from repro.sqlengine.setops import (
+    combine_arrays, dedup_positions, execute_set_op, occurrence_numbers,
+    set_op_positions,
+)
+from repro.sqlengine.grouping import factorize_many
+from repro.sqlengine.table import Chunk
+from repro.sqlengine.topk import topk_positions
+from repro.sqlengine.window import sort_positions
+
+
+# ---------------------------------------------------------------------------
+# setops kernels
+# ---------------------------------------------------------------------------
+
+class TestOccurrenceNumbers:
+    def test_simple(self):
+        gids = np.array([0, 1, 0, 0, 1, 2], dtype=np.int64)
+        assert occurrence_numbers(gids, 3).tolist() == [0, 0, 1, 2, 1, 0]
+
+    def test_empty(self):
+        assert occurrence_numbers(np.zeros(0, dtype=np.int64), 0).tolist() == []
+
+
+class TestDedupPositions:
+    def test_first_occurrence_kept(self):
+        arr = np.array([3, 1, 3, 2, 1], dtype=np.int64)
+        assert dedup_positions([arr]).tolist() == [0, 1, 3]
+
+    def test_nulls_compare_equal(self):
+        arr = np.array(["a", None, "a", None], dtype=object)
+        assert dedup_positions([arr]).tolist() == [0, 1]
+
+    def test_nan_collapses(self):
+        arr = np.array([np.nan, 1.0, np.nan], dtype=np.float64)
+        assert dedup_positions([arr]).tolist() == [0, 1]
+
+    def test_composite_keys(self):
+        a = np.array([1, 1, 1, 2], dtype=np.int64)
+        b = np.array(["x", "y", "x", "x"], dtype=object)
+        assert dedup_positions([a, b]).tolist() == [0, 1, 3]
+
+
+def _brute_positions(op: str, all_: bool, left: list, right: list) -> list:
+    """Reference multiset semantics over plain python values."""
+    rcounts = Counter(right)
+    seen: Counter = Counter()
+    out = []
+    for i, v in enumerate(left):
+        occ = seen[v]
+        seen[v] += 1
+        r = rcounts[v]
+        if op == "intersect":
+            keep = occ < r if all_ else (occ == 0 and r > 0)
+        else:
+            keep = occ >= r if all_ else (occ == 0 and r == 0)
+        if keep:
+            out.append(i)
+    return out
+
+
+class TestSetOpPositions:
+    @pytest.mark.parametrize("op", ["intersect", "except"])
+    @pytest.mark.parametrize("all_", [False, True])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_bruteforce(self, op, all_, seed):
+        rng = np.random.default_rng(seed)
+        left = rng.integers(0, 8, 50).tolist()
+        right = rng.integers(0, 8, 30).tolist()
+        combined = np.array(left + right, dtype=np.int64)
+        gids, _, ngroups = factorize_many([combined])
+        got = set_op_positions(op, all_, gids[: len(left)], gids[len(left):],
+                               ngroups)
+        assert got.tolist() == _brute_positions(op, all_, left, right)
+
+    def test_threads_do_not_change_result(self):
+        rng = np.random.default_rng(7)
+        combined = rng.integers(0, 5, 9000)
+        gids, _, ngroups = factorize_many([combined])
+        l, r = gids[:6000], gids[6000:]
+        for op in ("intersect", "except"):
+            for all_ in (False, True):
+                serial = set_op_positions(op, all_, l, r, ngroups, threads=1)
+                parallel = set_op_positions(op, all_, l, r, ngroups, threads=4)
+                assert serial.tolist() == parallel.tolist()
+
+
+class TestExecuteSetOp:
+    def _chunks(self):
+        left = Chunk(["x"], [np.array([1, 2, 2, 3], dtype=np.int64)])
+        right = Chunk(["x"], [np.array([2, 3, 3, 4], dtype=np.int64)])
+        return left, right
+
+    def test_union_all_promotes_dtypes(self):
+        left = Chunk(["x"], [np.array([1, 2], dtype=np.int64)])
+        right = Chunk(["x"], [np.array([0.5], dtype=np.float64)])
+        out = execute_set_op("union", True, left, right, ["x"])
+        assert out.arrays[0].dtype == np.float64
+        assert out.arrays[0].tolist() == [1.0, 2.0, 0.5]
+
+    def test_union_dedups_across_sides(self):
+        left, right = self._chunks()
+        out = execute_set_op("union", False, left, right, ["x"])
+        assert out.arrays[0].tolist() == [1, 2, 3, 4]
+
+    def test_intersect_all_min_counts(self):
+        left, right = self._chunks()
+        out = execute_set_op("intersect", True, left, right, ["x"])
+        assert out.arrays[0].tolist() == [2, 3]
+
+    def test_except_all_count_difference(self):
+        left, right = self._chunks()
+        out = execute_set_op("except", True, left, right, ["x"])
+        assert out.arrays[0].tolist() == [1, 2]
+
+    def test_combine_arrays_object_fallback(self):
+        out = combine_arrays([np.array([1], dtype=np.int64),
+                              np.array(["s"], dtype=object)])
+        assert out.dtype == object
+
+
+# ---------------------------------------------------------------------------
+# topk kernel
+# ---------------------------------------------------------------------------
+
+class TestTopKPositions:
+    @pytest.mark.parametrize("threads", [1, 4])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_stable_sort_prefix(self, threads, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(0, 50, 10_000)  # heavy ties
+        tie = rng.uniform(0, 1, 10_000)
+        for k in (1, 17, 500):
+            for asc in ([True, True], [False, True], [True, False]):
+                expect = sort_positions([vals, tie], asc)[:k]
+                got = topk_positions([vals, tie], asc, k, threads=threads)
+                assert got.tolist() == expect.tolist()
+
+    def test_ties_keep_input_order(self):
+        vals = np.zeros(5000, dtype=np.int64)
+        got = topk_positions([vals], [True], 10, threads=4)
+        assert got.tolist() == list(range(10))
+
+    def test_nulls_sort_last_both_directions(self):
+        vals = np.array([np.nan, 2.0, 1.0, np.nan, 3.0])
+        assert topk_positions([vals], [True], 3).tolist() == [2, 1, 4]
+        assert topk_positions([vals], [False], 3).tolist() == [4, 1, 2]
+
+    def test_object_keys(self):
+        vals = np.array(["b", "a", "c", "a"], dtype=object)
+        assert topk_positions([vals], [True], 2).tolist() == [1, 3]
+
+    def test_k_larger_than_input(self):
+        vals = np.array([3, 1, 2], dtype=np.int64)
+        assert topk_positions([vals], [True], 99).tolist() == [1, 2, 0]
+
+    def test_k_zero(self):
+        assert topk_positions([np.array([1])], [True], 0).tolist() == []
+
+
+# ---------------------------------------------------------------------------
+# plan-time compound checks
+# ---------------------------------------------------------------------------
+
+class TestCompoundPlanChecks:
+    @pytest.fixture()
+    def db(self):
+        db = connect()
+        db.register("t", {"a": [1, 2], "b": ["x", "y"]})
+        db.register("u", {"c": [2, 3], "d": ["y", "z"]})
+        return db
+
+    def test_arity_mismatch_is_plan_time(self, db):
+        with pytest.raises(SQLBindError, match="same number of columns"):
+            db.explain_plan("SELECT a, b FROM t UNION SELECT c FROM u")
+
+    def test_type_mismatch_is_plan_time(self, db):
+        with pytest.raises(SQLBindError, match="incompatible types"):
+            db.explain_plan("SELECT a FROM t UNION SELECT d FROM u")
+
+    def test_compatible_compound_plans(self, db):
+        plan = db.explain_plan("SELECT a FROM t UNION ALL SELECT c FROM u")
+        assert "SetOp UNION ALL" in plan
+
+    def test_six_forms_execute(self, db):
+        for op in ("UNION", "UNION ALL", "INTERSECT", "INTERSECT ALL",
+                   "EXCEPT", "EXCEPT ALL"):
+            out = db.execute_chunk(f"SELECT a FROM t {op} SELECT c FROM u")
+            assert out.columns == ["a"]
+
+    def test_topk_beats_plan_cache_key(self, db):
+        sql = "SELECT a FROM t ORDER BY a LIMIT 1"
+        with_topk = db.explain_plan(sql)
+        without = db.explain_plan(sql, config=EngineConfig(topk_rewrite=False))
+        assert "TopK" in with_topk and "TopK" not in without

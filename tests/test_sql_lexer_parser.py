@@ -7,9 +7,9 @@ from repro.errors import SQLSyntaxError
 from repro.sqlengine.lexer import Token, tokenize
 from repro.sqlengine.parser import parse, parse_expression
 from repro.sqlengine.sqlast import (
-    AggCall, BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef, ExistsExpr,
-    FuncCall, InList, InSubquery, IsNull, LikeExpr, Literal, ScalarSubquery,
-    Star, WindowCall,
+    AggCall, BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef,
+    CompoundSelect, ExistsExpr, FuncCall, InList, InSubquery, IsNull,
+    LikeExpr, Literal, ScalarSubquery, Select, Star, WindowCall,
 )
 
 
@@ -283,3 +283,76 @@ class TestStatementParsing:
 
     def test_semicolon_ok(self):
         parse("SELECT 1;")
+
+
+class TestCompoundSelectParsing:
+    def test_union_all(self):
+        q = parse("SELECT a FROM t UNION ALL SELECT b FROM u")
+        body = q.body
+        assert isinstance(body, CompoundSelect)
+        assert body.op == "union" and body.all
+        assert body.left.relations[0].name == "t"
+        assert body.right.relations[0].name == "u"
+
+    def test_all_six_forms(self):
+        for text, op, all_ in [("UNION", "union", False),
+                               ("UNION ALL", "union", True),
+                               ("INTERSECT", "intersect", False),
+                               ("INTERSECT ALL", "intersect", True),
+                               ("EXCEPT", "except", False),
+                               ("EXCEPT ALL", "except", True)]:
+            body = parse(f"SELECT a FROM t {text} SELECT b FROM u").body
+            assert (body.op, body.all) == (op, all_)
+
+    def test_union_associates_left(self):
+        body = parse("SELECT a FROM t UNION SELECT b FROM u "
+                     "EXCEPT SELECT c FROM v").body
+        assert body.op == "except"
+        assert isinstance(body.left, CompoundSelect)
+        assert body.left.op == "union"
+
+    def test_intersect_binds_tighter(self):
+        body = parse("SELECT a FROM t UNION SELECT b FROM u "
+                     "INTERSECT SELECT c FROM v").body
+        assert body.op == "union"
+        assert isinstance(body.right, CompoundSelect)
+        assert body.right.op == "intersect"
+        assert isinstance(body.left, Select)
+
+    def test_trailing_order_limit_attach_to_compound(self):
+        body = parse("SELECT a FROM t UNION SELECT b FROM u "
+                     "ORDER BY a DESC LIMIT 3").body
+        assert isinstance(body, CompoundSelect)
+        assert body.limit == 3
+        assert body.order_by[0].ascending is False
+        assert body.left.order_by == [] and body.left.limit is None
+        assert body.right.order_by == [] and body.right.limit is None
+
+    def test_order_by_before_set_op_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT a FROM t ORDER BY a UNION SELECT b FROM u")
+
+    def test_compound_in_subquery_positions(self):
+        q = parse("SELECT x FROM (SELECT a FROM t UNION SELECT b FROM u) AS s "
+                  "WHERE x IN (SELECT c FROM v EXCEPT SELECT d FROM w)")
+        assert isinstance(q.body.relations[0].query, CompoundSelect)
+        assert isinstance(q.body.where.query, CompoundSelect)
+
+
+class TestLikeParsing:
+    def test_escape_clause(self):
+        e = parse_expression("name LIKE '10!%' ESCAPE '!'")
+        assert isinstance(e, LikeExpr)
+        assert e.pattern == "10!%" and e.escape == "!"
+
+    def test_null_pattern(self):
+        e = parse_expression("name LIKE NULL")
+        assert isinstance(e, LikeExpr) and e.pattern is None
+
+    def test_not_like_escape(self):
+        e = parse_expression("name NOT LIKE 'a!_b' ESCAPE '!'")
+        assert e.negated and e.escape == "!"
+
+    def test_escape_requires_single_char(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("name LIKE 'x' ESCAPE 'ab'")

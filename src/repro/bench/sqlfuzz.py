@@ -1,0 +1,460 @@
+"""Grammar-driven SQL fuzzer, differential-tested against sqlite3.
+
+The generator builds *structured* query specs (:class:`SelectSpec`) from a
+weighted grammar over a fixed fuzz schema — joins, set operations, windows,
+grouped aggregates, and NULL-heavy subquery predicates (``IN``/``NOT IN``
+with NULL-laden inner results, correlated ``EXISTS``, scalar subqueries,
+predicates under OR) — renders them to SQL, and runs each query through our
+engine (at several thread counts) and through the stdlib ``sqlite3`` oracle
+on mirrored data.  Any divergence (row mismatch, or one engine erroring
+where the other succeeds) is *shrunk*: reduction passes drop spec parts
+while the divergence reproduces, converging on a minimal repro.
+
+Determinism: every query is a pure function of its integer seed, so a
+failing seed is a stable repro across runs and machines.  The grammar stays
+inside the dialect both engines implement with identical semantics — e.g.
+``/`` is excluded (sqlite truncates integer division, we don't), ORDER BY
+keys under LIMIT are total orders, and window ORDER BY keys are non-null
+(the engines disagree on NULL placement).
+
+Entry points: :func:`build_fuzz_db`, :func:`generate` (seed -> spec),
+:func:`run_seeds` (differential sweep used by ``tests/fuzz``), and
+:func:`shrink`.  ``tools/fuzz.py`` wraps them in a CLI for longer runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..sqlengine import Database, EngineConfig, connect
+from .differential import (
+    load_sqlite, normalize_rows, rows_equal, to_sqlite_sql,
+)
+
+__all__ = ["build_fuzz_db", "generate", "render", "run_seeds", "shrink",
+           "Divergence", "SelectSpec"]
+
+
+# ---------------------------------------------------------------------------
+# Fuzz schema
+# ---------------------------------------------------------------------------
+
+def build_fuzz_db(nrows: int = 220, seed: int = 99) -> Database:
+    """The fixed two-table schema every generated query runs against.
+
+    ``orders`` is the fact side (nullable float ``disc``, nullable string
+    ``note``); ``parts`` is the dimension side whose ``grp`` overlaps
+    ``orders.cust`` and whose ``w``/``code`` columns are NULL-heavy — the
+    inner relations that make ``NOT IN`` three-valued semantics observable.
+    """
+    rng = np.random.default_rng(seed)
+    db = connect()
+    disc = np.round(rng.uniform(0.0, 8.0, nrows), 2)
+    disc[rng.random(nrows) < 0.2] = np.nan
+    db.register(
+        "orders",
+        {
+            "id": np.arange(1, nrows + 1, dtype=np.int64),
+            "cust": rng.integers(0, 26, nrows),
+            "qty": rng.integers(0, 20, nrows),
+            "amt": np.round(rng.uniform(1.0, 500.0, nrows), 2),
+            "disc": disc,
+            "day": (np.datetime64("2020-01-01") +
+                    rng.integers(0, 365, nrows).astype("timedelta64[D]")),
+            "tag": rng.choice(np.array(["red", "blue", "green", "amber"],
+                                       dtype=object), nrows),
+            "note": rng.choice(np.array(["ok", "late", "hold", None],
+                                        dtype=object), nrows),
+        },
+        primary_key="id",
+    )
+    nparts = 60
+    w = np.round(rng.uniform(0.0, 10.0, nparts), 2)
+    w[rng.random(nparts) < 0.25] = np.nan
+    db.register(
+        "parts",
+        {
+            "pid": rng.integers(0, 40, nparts),
+            "grp": rng.integers(0, 30, nparts),
+            "w": w,
+            "label": rng.choice(np.array(["red", "blue", "green", "violet"],
+                                         dtype=object), nparts),
+            "code": rng.choice(np.array(["ok", "late", "void", None],
+                                        dtype=object), nparts),
+        },
+    )
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Query specs
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SelectSpec:
+    """A renderable, shrinkable SELECT: clause parts as plain SQL strings."""
+
+    items: list[str]
+    from_: str
+    joins: list[str] = field(default_factory=list)
+    where: list[str] = field(default_factory=list)
+    group_by: list[str] = field(default_factory=list)
+    having: list[str] = field(default_factory=list)
+    order_by: list[str] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+    setop: tuple[str, "SelectSpec"] | None = None
+
+
+def render(spec: SelectSpec) -> str:
+    parts = ["SELECT " + ("DISTINCT " if spec.distinct else "") +
+             ", ".join(spec.items), "FROM " + spec.from_]
+    parts.extend(spec.joins)
+    if spec.where:
+        parts.append("WHERE " + " AND ".join(spec.where))
+    if spec.group_by:
+        parts.append("GROUP BY " + ", ".join(spec.group_by))
+    if spec.having:
+        parts.append("HAVING " + " AND ".join(spec.having))
+    if spec.setop is not None:
+        op, other = spec.setop
+        parts.append(op)
+        parts.append(render(other))
+    if spec.order_by:
+        parts.append("ORDER BY " + ", ".join(spec.order_by))
+    if spec.limit is not None:
+        parts.append(f"LIMIT {spec.limit}")
+    return " ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Grammar
+# ---------------------------------------------------------------------------
+
+class _Gen:
+    """One seeded query generation (a bag of weighted template choices)."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+
+    # -- scalar pools --------------------------------------------------------
+    def _num_lit(self) -> str:
+        return self.rng.choice(["3", "7", "12", "18", "50.0", "120.0",
+                                "250.0", "400.0", "2.5", "5.0"])
+
+    def _o_num_col(self) -> str:
+        return self.rng.choice(["o.qty", "o.amt", "o.cust", "o.disc"])
+
+    def _cmp(self) -> str:
+        return self.rng.choice(["<", "<=", ">", ">=", "=", "<>"])
+
+    # -- predicates over orders (alias o) ------------------------------------
+    def _plain_pred(self) -> str:
+        r = self.rng
+        return r.choice([
+            lambda: f"{self._o_num_col()} {self._cmp()} {self._num_lit()}",
+            lambda: f"o.qty BETWEEN {r.randint(0, 8)} AND {r.randint(9, 19)}",
+            lambda: "o.tag IN ('red', 'blue')",
+            lambda: "o.tag = " + r.choice(["'red'", "'green'", "'amber'"]),
+            lambda: "o.note IS NULL",
+            lambda: "o.note IS NOT NULL",
+            lambda: "o.note IN ('ok', NULL)",
+            lambda: "o.note NOT IN ('ok', 'late')",
+            lambda: f"o.qty NOT IN ({r.randint(0, 5)}, {r.randint(6, 12)}, NULL)",
+            lambda: f"o.qty IN ({r.randint(0, 6)}, {r.randint(7, 13)}, {r.randint(14, 19)})",
+            lambda: "o.tag LIKE " + r.choice(["'r%'", "'%e%'", "'b_ue'"]),
+            lambda: "o.note LIKE 'l_te'",
+            lambda: f"o.day >= '2020-{r.randint(1, 9):02d}-01'",
+            lambda: f"o.day < '2020-1{r.randint(0, 2)}-15'",
+            lambda: f"o.amt + o.qty > {self._num_lit()}",
+            lambda: f"(o.qty > {r.randint(10, 18)} OR o.amt < {self._num_lit()})",
+        ])()
+
+    def _parts_pred(self) -> str:
+        r = self.rng
+        return r.choice([
+            lambda: f"w > {r.choice(['1.0', '2.5', '5.0', '8.0'])}",
+            lambda: f"grp < {r.randint(5, 28)}",
+            lambda: "label = " + r.choice(["'red'", "'blue'", "'violet'"]),
+            lambda: "code IS NOT NULL",
+            lambda: f"pid >= {r.randint(0, 30)}",
+        ])()
+
+    def _subquery_pred(self) -> str:
+        r = self.rng
+        in_col, inner = r.choice([
+            ("o.cust", "SELECT grp FROM parts"),
+            ("o.qty", "SELECT pid FROM parts"),
+            ("o.note", "SELECT code FROM parts"),      # NULL-laden inner
+            ("o.tag", "SELECT label FROM parts"),
+            ("o.disc", "SELECT w FROM parts"),         # NULL-laden float
+        ])
+        inner_filtered = f"{inner} WHERE {self._parts_pred()}"
+        choices = [
+            lambda: f"{in_col} IN ({inner_filtered})",
+            lambda: f"{in_col} NOT IN ({inner_filtered})",
+            lambda: f"{in_col} IN ({inner})",
+            lambda: f"{in_col} NOT IN ({inner})",
+            lambda: f"NOT ({in_col} IN ({inner}))",
+            lambda: ("EXISTS (SELECT 1 FROM parts AS px WHERE "
+                     f"px.grp = o.cust AND px.{self._parts_pred()})"),
+            lambda: ("NOT EXISTS (SELECT 1 FROM parts AS px WHERE "
+                     f"px.grp = o.cust AND px.{self._parts_pred()})"),
+            lambda: ("o.note NOT IN (SELECT code FROM parts AS px "
+                     "WHERE px.grp = o.cust)"),        # correlated NOT IN
+            lambda: ("o.amt > (SELECT " +
+                     r.choice(["AVG(w) FROM parts",
+                               "MIN(w) * 40.0 FROM parts",
+                               f"MAX(w) FROM parts WHERE w > {r.randint(2, 11)}.0"])
+                     + ")"),                            # scalar (may be empty)
+            lambda: (f"({in_col} IN ({inner_filtered}) "
+                     f"OR {self._plain_pred()})"),      # mark-join shape
+            lambda: ("(NOT EXISTS (SELECT 1 FROM parts AS px WHERE "
+                     f"px.grp = o.cust) OR o.qty > {r.randint(5, 15)})"),
+        ]
+        return r.choice(choices)()
+
+    def _where(self, nmin: int = 0, nmax: int = 3,
+               subquery_weight: float = 0.45) -> list[str]:
+        out = []
+        for _ in range(self.rng.randint(nmin, nmax)):
+            if self.rng.random() < subquery_weight:
+                out.append(self._subquery_pred())
+            else:
+                out.append(self._plain_pred())
+        return out
+
+    # -- projections ---------------------------------------------------------
+    def _o_item(self) -> str:
+        r = self.rng
+        return r.choice([
+            "o.id", "o.cust", "o.qty", "o.amt", "o.tag", "o.note", "o.day",
+            "o.disc", "o.amt * 2.0 AS amt2", "o.qty + o.cust AS qc",
+            "o.amt - o.disc AS net",
+            "CASE WHEN o.amt > 250.0 THEN 'big' ELSE 'small' END AS bucket",
+        ])
+
+    # -- shapes --------------------------------------------------------------
+    def query(self) -> SelectSpec:
+        shape = self.rng.choices(
+            ["simple", "join", "agg", "setop", "window"],
+            weights=[30, 20, 20, 15, 15],
+        )[0]
+        return getattr(self, f"_shape_{shape}")()
+
+    def _shape_simple(self) -> SelectSpec:
+        r = self.rng
+        nitems = r.randint(1, 3)
+        items = ["o.id"] + [self._o_item() for _ in range(nitems - 1)]
+        spec = SelectSpec(items=items, from_="orders AS o",
+                          where=self._where(1, 3))
+        if r.random() < 0.25:
+            spec.order_by = [r.choice(["o.amt DESC, o.id", "o.qty, o.id",
+                                       "o.id DESC"])]
+            spec.limit = r.randint(1, 25)
+        if r.random() < 0.1:
+            spec.items = [r.choice(["o.tag", "o.cust", "o.note"])]
+            spec.distinct = True
+            spec.order_by = []
+            spec.limit = None
+        return spec
+
+    def _shape_join(self) -> SelectSpec:
+        r = self.rng
+        kind = r.choice(["JOIN", "JOIN", "LEFT JOIN"])
+        join = f"{kind} parts AS p ON o.cust = p.grp"
+        items = ["o.id", "p.pid"] + \
+            [r.choice(["o.amt", "p.label", "p.w", "o.tag"])]
+        where = self._where(0, 2)
+        if r.random() < 0.5:
+            where.append(r.choice([
+                "p.w > 3.0", "p.label = 'blue'", "p.code IS NOT NULL",
+                "p.pid < 25",
+            ]))
+        return SelectSpec(items=items, from_="orders AS o", joins=[join],
+                          where=where)
+
+    def _shape_agg(self) -> SelectSpec:
+        r = self.rng
+        keys = r.choice([["o.tag"], ["o.cust"], ["o.tag", "o.note"],
+                         ["o.note"]])
+        aggs = r.sample([
+            "COUNT(*) AS n", "SUM(o.amt) AS total", "AVG(o.qty) AS aq",
+            "MIN(o.amt) AS lo", "MAX(o.amt) AS hi", "COUNT(o.note) AS nn",
+            "SUM(o.disc) AS sd", "COUNT(DISTINCT o.cust) AS dc",
+        ], r.randint(1, 3))
+        spec = SelectSpec(items=keys + aggs, from_="orders AS o",
+                          where=self._where(0, 2), group_by=list(keys))
+        if r.random() < 0.35:
+            spec.having = [r.choice([
+                "COUNT(*) > 2", "SUM(o.amt) > 500.0", "MAX(o.amt) < 490.0",
+            ])]
+        # ORDER BY ... LIMIT over grouped output only when every key is
+        # non-nullable: the engines disagree on NULL sort placement (ours
+        # sorts NULLs last, sqlite first), which under LIMIT changes the
+        # surviving row set.
+        if r.random() < 0.3 and all(k in ("o.tag", "o.cust") for k in keys):
+            spec.order_by = [", ".join(keys)]
+            spec.limit = r.randint(1, 10)
+        return spec
+
+    def _shape_setop(self) -> SelectSpec:
+        r = self.rng
+        op = r.choice(["UNION", "UNION ALL", "INTERSECT", "EXCEPT"])
+        sig = r.choice(["int", "str"])
+        if sig == "int":
+            left_items, right_items = ["o.cust"], ["grp"]
+        else:
+            left_items, right_items = ["o.tag"], ["label"]
+        left = SelectSpec(items=left_items, from_="orders AS o",
+                          where=self._where(0, 2))
+        right = SelectSpec(items=right_items, from_="parts",
+                           where=[self._parts_pred()]
+                           if r.random() < 0.7 else [])
+        left.setop = (op, right)
+        return left
+
+    def _shape_window(self) -> SelectSpec:
+        r = self.rng
+        win = r.choice([
+            "ROW_NUMBER() OVER (PARTITION BY o.tag ORDER BY o.amt DESC, o.id) AS rn",
+            "RANK() OVER (PARTITION BY o.cust ORDER BY o.qty) AS rk",
+            "DENSE_RANK() OVER (ORDER BY o.qty DESC) AS dr",
+            "SUM(o.amt) OVER (PARTITION BY o.cust ORDER BY o.id) AS running",
+            "LAG(o.amt) OVER (PARTITION BY o.tag ORDER BY o.id) AS prev",
+            "LEAD(o.qty, 1, -1) OVER (ORDER BY o.id) AS nxt",
+            "COUNT(o.note) OVER (PARTITION BY o.tag) AS notes",
+            "AVG(o.amt) OVER (PARTITION BY o.cust ORDER BY o.id "
+            "ROWS BETWEEN 3 PRECEDING AND CURRENT ROW) AS a4",
+        ])
+        return SelectSpec(items=["o.id", win], from_="orders AS o",
+                          where=self._where(0, 2))
+
+
+def generate(seed: int) -> SelectSpec:
+    """The query spec for one seed (pure function of the seed)."""
+    return _Gen(seed).query()
+
+
+# ---------------------------------------------------------------------------
+# Differential execution + shrinking
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Divergence:
+    """A confirmed engine-vs-oracle mismatch, with its shrunk repro."""
+
+    seed: int
+    threads: int
+    sql: str
+    detail: str
+    shrunk_sql: str = ""
+
+    def report(self) -> str:
+        return (f"seed={self.seed} threads={self.threads}\n"
+                f"  divergence: {self.detail}\n"
+                f"  sql:    {self.sql}\n"
+                f"  shrunk: {self.shrunk_sql or self.sql}")
+
+
+def _diff_detail(db: Database, conn, sql: str, threads: int) -> str | None:
+    """One engine-vs-oracle comparison; a string describes any divergence
+    (row mismatch, or an error raised by only one side)."""
+    config = EngineConfig(threads=threads)
+    ours = theirs = None
+    ours_exc = theirs_exc = None
+    try:
+        chunk = db.execute_chunk(sql, config)
+        ours = normalize_rows(
+            zip(*[arr.tolist() if arr.dtype.kind != "M" else list(arr)
+                  for arr in chunk.arrays])
+        ) if chunk.ncols else []
+    except Exception as exc:  # noqa: BLE001 - any engine error is data here
+        ours_exc = exc
+    try:
+        theirs = normalize_rows(conn.execute(to_sqlite_sql(sql)).fetchall())
+    except Exception as exc:  # noqa: BLE001
+        theirs_exc = exc
+    if ours_exc is not None and theirs_exc is not None:
+        return None  # both engines reject the query: agreement
+    if ours_exc is not None:
+        return (f"our engine raised {type(ours_exc).__name__}: {ours_exc} "
+                f"(sqlite succeeded)")
+    if theirs_exc is not None:
+        return (f"sqlite raised {type(theirs_exc).__name__}: {theirs_exc} "
+                f"(our engine succeeded)")
+    ok, detail = rows_equal(ours, theirs)
+    return None if ok else detail
+
+
+def shrink(spec: SelectSpec, diverges) -> SelectSpec:
+    """Greedy spec-level shrinking: repeatedly apply the first reduction
+    that still diverges, until a fixed point.  ``diverges(spec) -> bool``."""
+    changed = True
+    while changed:
+        changed = False
+        for candidate in _reductions(spec):
+            try:
+                still = diverges(candidate)
+            except Exception:  # noqa: BLE001 - invalid reduction, skip
+                still = False
+            if still:
+                spec = candidate
+                changed = True
+                break
+    return spec
+
+
+def _reductions(spec: SelectSpec):
+    """Candidate one-step reductions of a spec, most aggressive first."""
+    if spec.setop is not None:
+        yield replace(spec, setop=None)
+        op, other = spec.setop
+        yield replace(other, setop=None)
+    if spec.limit is not None:
+        yield replace(spec, limit=None, order_by=[])
+    if spec.order_by:
+        yield replace(spec, order_by=[])
+    if spec.distinct:
+        yield replace(spec, distinct=False)
+    for i in range(len(spec.having)):
+        yield replace(spec, having=spec.having[:i] + spec.having[i + 1:])
+    for i in range(len(spec.where)):
+        yield replace(spec, where=spec.where[:i] + spec.where[i + 1:])
+    for i in range(len(spec.joins)):
+        yield replace(spec, joins=spec.joins[:i] + spec.joins[i + 1:])
+    # Drop non-key select items (keep at least one; never break GROUP BY by
+    # removing a grouped key from the select list).
+    keys = set(spec.group_by)
+    if len(spec.items) > 1 and spec.setop is None:
+        for i in range(len(spec.items) - 1, -1, -1):
+            if spec.items[i] in keys:
+                continue
+            yield replace(spec, items=spec.items[:i] + spec.items[i + 1:])
+
+
+def run_seeds(db: Database, conn, seeds, threads=(1, 4),
+              shrink_failures: bool = True) -> list[Divergence]:
+    """Differentially test the queries for *seeds*; returns divergences
+    (each with a shrunk minimal repro when *shrink_failures*)."""
+    failures: list[Divergence] = []
+    for seed in seeds:
+        spec = generate(seed)
+        sql = render(spec)
+        for t in threads:
+            detail = _diff_detail(db, conn, sql, t)
+            if detail is None:
+                continue
+            failure = Divergence(seed=seed, threads=t, sql=sql, detail=detail)
+            if shrink_failures:
+                small = shrink(
+                    spec,
+                    lambda s: _diff_detail(db, conn, render(s), t) is not None,
+                )
+                failure.shrunk_sql = render(small)
+            failures.append(failure)
+            break  # one report per seed is enough
+    return failures

@@ -66,10 +66,18 @@ def isna_array(arr: np.ndarray) -> np.ndarray:
     if arr.dtype.kind == "M":
         return np.isnat(arr)
     if arr.dtype == object:
-        return np.fromiter(
-            (v is None or (isinstance(v, float) and v != v) for v in arr),
-            dtype=bool, count=len(arr),
-        )
+        try:
+            # Vectorized elementwise comparisons (C loops): None compares
+            # equal only to None, and NaN is the one value not equal to
+            # itself — an order of magnitude faster than a Python loop.
+            neq_self = np.asarray(arr != arr, dtype=bool)
+            is_none = np.asarray(arr == None, dtype=bool)  # noqa: E711
+            return neq_self | is_none
+        except (TypeError, ValueError):  # exotic elements (arrays, etc.)
+            return np.fromiter(
+                (v is None or (isinstance(v, float) and v != v) for v in arr),
+                dtype=bool, count=len(arr),
+            )
     return np.zeros(len(arr), dtype=bool)
 
 

@@ -55,20 +55,10 @@ def resolve_merged_columns(
     return left_pairs, right_pairs
 
 
-def merge(
-    left: "DataFrame",
-    right: "DataFrame",
-    how: str = "inner",
-    on: str | list[str] | None = None,
-    left_on: str | list[str] | None = None,
-    right_on: str | list[str] | None = None,
-    suffixes: tuple[str, str] = ("_x", "_y"),
-) -> "DataFrame":
-    from .frame import DataFrame
-
-    if how == "cross":
-        return _cross_join(left, right, suffixes)
-
+def _resolve_keys(left: "DataFrame", right: "DataFrame", on, left_on,
+                  right_on) -> tuple[list[str], list[str]]:
+    """Resolve and validate join keys (explicit `on`/`left_on`/`right_on`,
+    or the Pandas common-column inference).  Shared by every merge kind."""
     if on is not None:
         left_on = right_on = on
     if left_on is None or right_on is None:
@@ -86,6 +76,27 @@ def merge(
     for k in right_keys:
         if k not in right.columns:
             raise DataFrameError(f"right merge key {k!r} not found")
+    return left_keys, right_keys
+
+
+def merge(
+    left: "DataFrame",
+    right: "DataFrame",
+    how: str = "inner",
+    on: str | list[str] | None = None,
+    left_on: str | list[str] | None = None,
+    right_on: str | list[str] | None = None,
+    suffixes: tuple[str, str] = ("_x", "_y"),
+) -> "DataFrame":
+    from .frame import DataFrame
+
+    if how == "cross":
+        return _cross_join(left, right, suffixes)
+
+    if how in ("semi", "anti"):
+        return _filtering_merge(left, right, how, on, left_on, right_on)
+
+    left_keys, right_keys = _resolve_keys(left, right, on, left_on, right_on)
 
     lrows = _key_rows(left, left_keys)
     rrows = _key_rows(right, right_keys)
@@ -152,6 +163,25 @@ def merge(
     for src, out in right_pairs:
         data[out] = take_with_nulls(right[src].values, rp, rmiss)
     return DataFrame(data)
+
+
+def _filtering_merge(left: "DataFrame", right: "DataFrame", how: str,
+                     on, left_on, right_on) -> "DataFrame":
+    """``how="semi"`` / ``how="anti"``: filter *left* to rows that do (or
+    don't) have a key match in *right*, keeping only left columns and never
+    duplicating rows.  Rides the SQL engine's vectorized membership kernel
+    (:func:`repro.sqlengine.joins.semi_join_flags`); a NULL key on either
+    side never matches, so anti keeps NULL-keyed left rows.
+    """
+    from ..sqlengine.joins import semi_join_flags
+    from .frame import DataFrame
+
+    left_keys, right_keys = _resolve_keys(left, right, on, left_on, right_on)
+    flags = semi_join_flags([left[k].values for k in left_keys],
+                            [right[k].values for k in right_keys])
+    if how == "anti":
+        flags = ~flags
+    return DataFrame({c: left[c].values[flags] for c in left.columns})
 
 
 def _cross_join(left: "DataFrame", right: "DataFrame", suffixes: tuple[str, str]) -> "DataFrame":

@@ -402,15 +402,25 @@ class Series:
         return Series((self._data > low) & (self._data < high), index=self._index, name=self.name)
 
     def isin(self, values) -> "Series":
+        """Membership of each element in *values* (a list, array, Series, or
+        single-column frame).  Rides the SQL engine's vectorized membership
+        kernel; unlike SQL's ``IN``, pandas semantics make a missing
+        element match a missing value in *values*.
+        """
+        from ..sqlengine.joins import semi_join_flags
+        from ._common import coerce_array, isna_array
+
         if isinstance(values, Series):
             values = values.values
         if hasattr(values, "values") and not isinstance(values, np.ndarray):
             values = values.values
-        if self._data.dtype == object:
-            lookup = set(v for v in np.asarray(values, dtype=object))
-            out = np.array([v in lookup for v in self._data], dtype=bool)
-            return Series(out, index=self._index, name=self.name)
-        return Series(np.isin(self._data, np.asarray(values)), index=self._index, name=self.name)
+        if not isinstance(values, np.ndarray):
+            values = coerce_array(np.array(list(values), dtype=object))
+        flags = semi_join_flags([self._data], [values])
+        null_values = isna_array(values)
+        if null_values.any():
+            flags = flags | isna_array(self._data)
+        return Series(flags, index=self._index, name=self.name)
 
     def map(self, func: Callable | dict) -> "Series":
         if isinstance(func, dict):

@@ -77,7 +77,8 @@ class Database:
         is enabled.  Stale entries (catalog changed) are rebuilt in place."""
         if not config.plan_cache:
             return None
-        key = (sql, config.join_reorder, config.topk_rewrite)
+        key = (sql, config.join_reorder, config.topk_rewrite,
+               config.subquery_decorrelate)
         entry = self._plan_cache.get(key)
         if entry is not None and entry.catalog_version == self.catalog.version:
             entry.hits += 1

@@ -379,6 +379,16 @@ class Evaluator:
         return left, right
 
     def _eval_UnaryOp(self, expr: UnaryOp):
+        if expr.op == "NOT" and isinstance(expr.operand, (InSubquery, InList)):
+            # Fold the NOT into the IN node itself: its evaluator implements
+            # the three-valued negation (NULL-aware NOT IN), whereas a plain
+            # two-valued ~mask would leak rows whose predicate is UNKNOWN.
+            # This keeps the residual path identical to the planned
+            # AntiJoin/SemiJoin rewrite of NOT-wrapped conjuncts.
+            from dataclasses import replace as _replace
+
+            return self._eval(_replace(expr.operand,
+                                       negated=not expr.operand.negated))
         value = self._eval(expr.operand)
         if expr.op == "-":
             return -value
@@ -468,14 +478,43 @@ class Evaluator:
         raise SQLBindError(f"unsupported cast target {t!r}")
 
     def _eval_InList(self, expr: InList):
+        """``x [NOT] IN (a, b, ...)`` with three-valued NULL semantics.
+
+        ``x IN (...)`` is TRUE on a match, UNKNOWN (→ false) when ``x`` is
+        NULL or the list contains a NULL and nothing matched.  ``NOT IN``
+        negates the three-valued result, so an unmatched row is only kept
+        when neither the operand nor any list item is NULL.
+        """
+        n = self.nrows
         operand = self.eval_array(expr.operand)
-        items = [self._eval(i) for i in expr.items]
-        if operand.dtype == object:
-            lookup = set(items)
-            mask = np.array([v in lookup for v in operand], dtype=bool)
-        else:
-            mask = np.isin(operand, np.asarray(items))
-        return ~mask if expr.negated else mask
+        mask = np.zeros(n, dtype=bool)
+        item_null = np.zeros(n, dtype=bool)
+        scalars: list = []
+        for item in expr.items:
+            value = self._eval(item)
+            if isinstance(value, np.ndarray):
+                mask |= _null_safe_compare(operand, value, "=", n)
+                item_null |= isna_array(value)
+            elif _is_null_scalar(value):
+                item_null |= True
+            else:
+                scalars.append(value)
+        if scalars:
+            # All scalar literals resolve in one membership probe rather
+            # than one full-column compare per item (long generated lists).
+            from ..dataframe._common import coerce_array
+            from .joins import semi_join_flags
+
+            if operand.dtype.kind == "M":
+                build = np.array(
+                    [np.datetime64(v, "D") if isinstance(v, str) else v
+                     for v in scalars], dtype="datetime64[D]")
+            else:
+                build = coerce_array(np.array(scalars, dtype=object))
+            mask |= semi_join_flags([operand], [build])
+        if not expr.negated:
+            return mask
+        return ~mask & ~item_null & ~isna_array(operand)
 
     def _eval_BetweenExpr(self, expr: BetweenExpr):
         operand = self._eval(expr.operand)
@@ -514,10 +553,27 @@ class Evaluator:
         return self.subquery_executor("scalar", expr.query, self)
 
     def _eval_InSubquery(self, expr: InSubquery):
+        """``x [NOT] IN (SELECT ...)`` via the executor callback.
+
+        The callback returns ``(matched, build_has_null, build_empty)`` so
+        the three-valued ``NOT IN`` semantics can be applied here: over an
+        empty inner result NOT IN is TRUE for every row (NULL operands
+        included); a NULL anywhere — operand or inner result — otherwise
+        makes the unmatched case UNKNOWN, which filters the row out.
+        """
         if self.subquery_executor is None:
             raise SQLBindError("IN subquery not supported in this context")
-        mask = self.subquery_executor("in", expr.query, self, self.eval_array(expr.operand))
-        return ~mask if expr.negated else mask
+        operand = self.eval_array(expr.operand)
+        matched, build_has_null, build_empty = self.subquery_executor(
+            "in", expr.query, self, operand
+        )
+        if not expr.negated:
+            return matched
+        if build_empty:
+            return np.ones(self.nrows, dtype=bool)
+        if build_has_null:
+            return np.zeros(self.nrows, dtype=bool)
+        return ~matched & ~isna_array(operand)
 
     def _eval_ExistsExpr(self, expr: ExistsExpr):
         if self.subquery_executor is None:

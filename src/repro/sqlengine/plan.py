@@ -46,6 +46,7 @@ __all__ = [
     "ExecContext", "OpResult", "Operator", "Scan", "SubqueryScan", "DualScan",
     "Filter", "CrossJoin", "HashJoin", "ResidualFilter", "Window", "Project",
     "HashAggregate", "Distinct", "Sort", "TopK", "Limit", "SetOp",
+    "SemiJoin", "AntiJoin", "MarkJoin", "ScalarSubqueryScan",
     "PhysicalPlan", "expr_to_str", "window_to_str", "frame_to_str",
 ]
 
@@ -469,6 +470,252 @@ class ResidualFilter(Operator):
         ctx.note(f"residual filter: {len(self.predicates)} predicate(s), "
                  f"{before} -> {chunk.nrows} rows")
         return OpResult(chunk, res.scope)
+
+
+# ---------------------------------------------------------------------------
+# Decorrelated subquery operators
+# ---------------------------------------------------------------------------
+
+def _subquery_probe_flags(ctx: ExecContext, res: OpResult,
+                          subplan: "PhysicalPlan",
+                          probe_exprs: list[Expr]) -> tuple[np.ndarray, Chunk]:
+    """Execute the inner subplan and compute per-outer-row match flags.
+
+    ``probe_exprs`` pair positionally with the subplan's output columns; an
+    empty list is the uncorrelated-EXISTS shape (flags broadcast whether the
+    inner result is non-empty).  NULLs never match (see
+    :func:`~.joins.semi_join_flags`).
+    """
+    from .joins import semi_join_flags
+
+    inner = subplan.execute(ctx)
+    n = res.chunk.nrows
+    if not probe_exprs:
+        return np.full(n, inner.nrows > 0), inner
+    evaluator = Evaluator(res.chunk, res.scope,
+                          subquery_executor=ctx.subquery_cb())
+    probes = [evaluator.eval_array(e) for e in probe_exprs]
+    flags = semi_join_flags(probes, list(inner.arrays[:len(probes)]),
+                            threads=ctx.config.threads)
+    return flags, inner
+
+
+@dataclass
+class SemiJoin(Operator):
+    """Keep outer rows with at least one match in the subquery result.
+
+    The planner rewrites ``IN (SELECT ...)`` and (equality-correlated or
+    uncorrelated) ``EXISTS`` into this node.  The build side is the planned
+    subquery (executed once per query); the probe is morsel-parallel over
+    the GIL-free membership kernel.
+    """
+
+    child: Operator
+    subplan: "PhysicalPlan" = None  # type: ignore[assignment]
+    probe_exprs: list[Expr] = field(default_factory=list)
+    source: str = "IN"  # "IN" | "EXISTS", for EXPLAIN only
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.child, self.subplan.root]
+
+    def label(self) -> str:
+        probes = ", ".join(expr_to_str(p) for p in self.probe_exprs)
+        on = f" on [{probes}]" if probes else ""
+        return f"SemiJoin {self.source}{on}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        flags, inner = _subquery_probe_flags(ctx, res := self.child.execute(ctx),
+                                             self.subplan, self.probe_exprs)
+        chunk = res.chunk.mask(flags)
+        ctx.note(f"semi join ({self.source.lower()} subquery): "
+                 f"{res.chunk.nrows} x {inner.nrows} -> {chunk.nrows} rows")
+        return OpResult(chunk, res.scope)
+
+
+def _null_aware_anti_flags(ctx: ExecContext, res: OpResult,
+                           subplan: "PhysicalPlan",
+                           probe_exprs: list[Expr]) -> tuple[np.ndarray, int]:
+    """``NOT IN`` keep-flags with three-valued NULL semantics.
+
+    ``probe_exprs[0]`` is the IN operand (pairing with inner output column
+    0); the remaining pairs are equality-correlation keys.  Per outer row,
+    with S the correlated inner value set: keep when S is empty; otherwise
+    keep only when the operand is non-NULL, S contains no NULL, and no
+    member of S equals the operand (any NULL in play makes the unmatched
+    case UNKNOWN, which drops the row).
+    """
+    from ..dataframe._common import isna_array
+    from .joins import semi_join_flags
+
+    inner = subplan.execute(ctx)
+    n = res.chunk.nrows
+    threads = ctx.config.threads
+    evaluator = Evaluator(res.chunk, res.scope,
+                          subquery_executor=ctx.subquery_cb())
+    probes = [evaluator.eval_array(e) for e in probe_exprs]
+    build = list(inner.arrays[:len(probes)])
+    value_null = isna_array(probes[0])
+    build_value_null = isna_array(build[0]) if inner.nrows else \
+        np.zeros(0, dtype=bool)
+
+    if len(probes) == 1:  # uncorrelated NOT IN
+        if inner.nrows == 0:
+            return np.ones(n, dtype=bool), 0
+        if build_value_null.any():
+            return np.zeros(n, dtype=bool), inner.nrows
+        matched = semi_join_flags(probes, build, threads=threads)
+        return ~matched & ~value_null, inner.nrows
+
+    corr_probes, corr_build = probes[1:], build[1:]
+    group_nonempty = semi_join_flags(corr_probes, corr_build, threads=threads)
+    if build_value_null.any():
+        null_groups = [b[build_value_null] for b in corr_build]
+        group_has_null = semi_join_flags(corr_probes, null_groups,
+                                         threads=threads)
+    else:
+        group_has_null = np.zeros(n, dtype=bool)
+    matched = semi_join_flags(probes, build, threads=threads)
+    keep = ~group_nonempty | (~value_null & ~group_has_null & ~matched)
+    return keep, inner.nrows
+
+
+@dataclass
+class AntiJoin(Operator):
+    """Keep outer rows with *no* match in the subquery result.
+
+    ``null_aware=False`` is ``NOT EXISTS`` (a NULL correlation key simply
+    never matches, so the row is kept); ``null_aware=True`` is ``NOT IN``,
+    where NULLs on either side make the predicate UNKNOWN and drop the row
+    (see :func:`_null_aware_anti_flags`).
+    """
+
+    child: Operator
+    subplan: "PhysicalPlan" = None  # type: ignore[assignment]
+    probe_exprs: list[Expr] = field(default_factory=list)
+    null_aware: bool = False
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.child, self.subplan.root]
+
+    def label(self) -> str:
+        probes = ", ".join(expr_to_str(p) for p in self.probe_exprs)
+        on = f" on [{probes}]" if probes else ""
+        kind = "NOT IN (null-aware)" if self.null_aware else "NOT EXISTS"
+        return f"AntiJoin {kind}{on}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        res = self.child.execute(ctx)
+        if self.null_aware:
+            keep, inner_rows = _null_aware_anti_flags(
+                ctx, res, self.subplan, self.probe_exprs
+            )
+        else:
+            flags, inner = _subquery_probe_flags(ctx, res, self.subplan,
+                                                 self.probe_exprs)
+            keep, inner_rows = ~flags, inner.nrows
+        chunk = res.chunk.mask(keep)
+        ctx.note(f"anti join ({'not in' if self.null_aware else 'not exists'} "
+                 f"subquery): {res.chunk.nrows} x {inner_rows} "
+                 f"-> {chunk.nrows} rows")
+        return OpResult(chunk, res.scope)
+
+
+def _append_column(res: OpResult, name: str, array: np.ndarray) -> OpResult:
+    """A new OpResult with one extra (unqualified) column appended."""
+    chunk = Chunk(list(res.chunk.columns) + [name],
+                  list(res.chunk.arrays) + [array])
+    scope = Scope()
+    scope.qualified = dict(res.scope.qualified)
+    scope.unqualified = dict(res.scope.unqualified)
+    scope.ambiguous = set(res.scope.ambiguous)
+    scope.add(None, name, chunk.ncols - 1)
+    return OpResult(chunk, scope, order_eval=res.order_eval,
+                    window_values=res.window_values)
+
+
+@dataclass
+class MarkJoin(Operator):
+    """Compute a subquery predicate as a boolean *mark* column.
+
+    Used when an IN/EXISTS predicate sits under OR/CASE rather than as a
+    top-level WHERE conjunct: the row set cannot be filtered directly, so
+    the match flags are appended as a column (``__mark_N``) which the
+    rewritten residual predicate references.  ``mode`` folds the predicate's
+    own negation and NULL handling into the mark, so the stored column is
+    the plain two-valued truth of the original predicate.
+    """
+
+    child: Operator
+    subplan: "PhysicalPlan" = None  # type: ignore[assignment]
+    probe_exprs: list[Expr] = field(default_factory=list)
+    mark_name: str = "__mark_0"
+    mode: str = "semi"  # "semi" | "anti" | "anti-null"
+    source: str = "IN"  # for EXPLAIN only
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.child, self.subplan.root]
+
+    def label(self) -> str:
+        probes = ", ".join(expr_to_str(p) for p in self.probe_exprs)
+        on = f" on [{probes}]" if probes else ""
+        return f"MarkJoin {self.mark_name} = {self.source}{on}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        res = self.child.execute(ctx)
+        if self.mode == "anti-null":
+            mark, _ = _null_aware_anti_flags(ctx, res, self.subplan,
+                                             self.probe_exprs)
+        else:
+            flags, _ = _subquery_probe_flags(ctx, res, self.subplan,
+                                             self.probe_exprs)
+            mark = ~flags if self.mode == "anti" else flags
+        ctx.note(f"mark join {self.mark_name}: {res.chunk.nrows} rows")
+        return _append_column(res, self.mark_name, mark)
+
+
+@dataclass
+class ScalarSubqueryScan(Operator):
+    """Evaluate an uncorrelated scalar subquery once, broadcast the value.
+
+    The single-cell result is appended as a column (``__scalar_N``)
+    referenced by the rewritten predicate above.  More than one inner row
+    is a hard error (SQL scalar subquery cardinality rule); zero rows
+    yield NULL.
+    """
+
+    child: Operator
+    subplan: "PhysicalPlan" = None  # type: ignore[assignment]
+    scalar_name: str = "__scalar_0"
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [self.child, self.subplan.root]
+
+    def label(self) -> str:
+        return f"ScalarSubqueryScan {self.scalar_name}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        res = self.child.execute(ctx)
+        inner = self.subplan.execute(ctx)
+        if inner.nrows > 1:
+            raise SQLExecutionError(
+                f"scalar subquery returned {inner.nrows} rows "
+                f"(expected at most one)"
+            )
+        value = inner.arrays[0][0] if inner.nrows == 1 else None
+        n = res.chunk.nrows
+        if value is None:
+            column = np.full(n, np.nan)
+        elif isinstance(value, str):
+            column = np.empty(n, dtype=object)
+            column[:] = value
+        else:
+            column = np.full(n, value, dtype=inner.arrays[0].dtype)
+        ctx.note(f"scalar subquery {self.scalar_name}: value={value!r}")
+        return _append_column(res, self.scalar_name, column)
 
 
 @dataclass

@@ -22,25 +22,26 @@ Decisions made here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..errors import SQLBindError, UnsupportedFeatureError
 from .catalog import Catalog
 from .plan import (
-    CrossJoin, Distinct, DualScan, Filter, HashAggregate, HashJoin, Limit,
-    Operator, PhysicalPlan, Project, ResidualFilter, Scan, SetOp, Sort,
-    SubqueryScan, TopK, Window,
+    AntiJoin, CrossJoin, Distinct, DualScan, Filter, HashAggregate, HashJoin,
+    Limit, MarkJoin, Operator, PhysicalPlan, Project, ResidualFilter, Scan,
+    ScalarSubqueryScan, SemiJoin, SetOp, Sort, SubqueryScan, TopK, Window,
 )
 from .expressions import contains_aggregate, expr_columns
 from .sqlast import (
     AggCall, BetweenExpr, BinaryOp, ColumnRef, CompoundSelect, ExistsExpr,
     Expr, InList, InSubquery, IsNull, LikeExpr, Literal, ScalarSubquery,
-    Select, SelectItem, Star, SubqueryRef, TableRef, ValuesClause, WindowCall,
+    Select, SelectItem, Star, SubqueryRef, TableRef, UnaryOp, ValuesClause,
+    WindowCall,
 )
 
 __all__ = ["Planner", "RelSchema", "split_conjuncts", "has_subquery",
            "subqueries_of", "has_window", "collect_windows",
-           "collect_needed_columns"]
+           "collect_needed_columns", "match_subquery_form"]
 
 
 _SET_OP_NAMES = {"union": "UNION", "intersect": "INTERSECT", "except": "EXCEPT"}
@@ -107,6 +108,23 @@ def subqueries_of(expr: Expr):
         default = getattr(expr, "default", None)
         if default is not None:
             yield from subqueries_of(default)
+
+
+def match_subquery_form(conj: Expr):
+    """Match a conjunct that *is* an IN/EXISTS subquery predicate, possibly
+    under a chain of NOTs.  Returns ``(kind, negated, node)`` with kind
+    ``"in"`` | ``"exists"`` and the NOT chain folded into *negated*, or
+    ``None`` when the conjunct is some other shape."""
+    negated = False
+    e = conj
+    while isinstance(e, UnaryOp) and e.op == "NOT":
+        negated = not negated
+        e = e.operand
+    if isinstance(e, InSubquery):
+        return "in", negated != e.negated, e
+    if isinstance(e, ExistsExpr):
+        return "exists", negated != e.negated, e
+    return None
 
 
 def has_window(expr: Expr) -> bool:
@@ -227,6 +245,45 @@ class RelSchema:
     unique: set[str] = field(default_factory=set)
 
 
+class _Unanalyzable(Exception):
+    """A subquery shape whose name resolution cannot be decided statically
+    (unknown relation, opaque derived table); the predicate stays residual."""
+
+
+@dataclass
+class _Frame:
+    """Name-resolution frame of one subquery level: its FROM bindings and
+    the union of their known column names (``opaque`` when a derived table
+    contributes columns the planner cannot enumerate)."""
+
+    bindings: set
+    columns: set
+    opaque: bool = False
+
+
+def _ref_in_frames(ref: ColumnRef, frames: list) -> bool:
+    """Does *ref* resolve inside any enclosing subquery frame (innermost
+    first)?  Raises :class:`_Unanalyzable` for an unqualified name that an
+    opaque frame might or might not own."""
+    if ref.table is not None:
+        return any(ref.table in f.bindings for f in frames)
+    for f in reversed(frames):
+        if ref.name in f.columns:
+            return True
+        if f.opaque:
+            raise _Unanalyzable
+    return False
+
+
+def _conjoin(exprs: list[Expr]):
+    if not exprs:
+        return None
+    out = exprs[0]
+    for e in exprs[1:]:
+        out = BinaryOp("AND", out, e)
+    return out
+
+
 @dataclass
 class _Source:
     """A FROM-clause source annotated with planner state."""
@@ -282,6 +339,7 @@ class Planner:
     def __init__(self, catalog: Catalog, config):
         self.catalog = catalog
         self.config = config
+        self._mark_counter = 0
 
     # -- schemas ------------------------------------------------------------
     def relation_schema(self, rel, env: dict[str, RelSchema]) -> RelSchema:
@@ -456,6 +514,10 @@ class Planner:
                 jc, root, acc_columns, binding_columns, est, env, refs, star
             )
 
+        if residual and self.config.subquery_decorrelate:
+            root, residual, est = self._plan_subquery_predicates(
+                root, residual, binding_columns, env, est
+            )
         if residual:
             est = max(1.0, est * 0.5 ** len(residual))
             root = ResidualFilter(root, residual, est_rows=est)
@@ -751,6 +813,345 @@ class Planner:
         binding_columns = dict(binding_columns)
         binding_columns[src.binding] = list(src.pruned_columns)
         return root, acc_columns, binding_columns, est
+
+    # -- subquery decorrelation ----------------------------------------------
+    #
+    # WHERE conjuncts containing subqueries arrive here as residual
+    # predicates.  Three rewrites lift them into the plan (see
+    # docs/ARCHITECTURE.md "Subqueries & decorrelation" for the rule table):
+    #
+    # * a conjunct that *is* ``[NOT] IN (SELECT ...)`` / ``[NOT] EXISTS``
+    #   becomes a SemiJoin / AntiJoin above the join tree;
+    # * a subquery predicate nested under OR/CASE becomes a MarkJoin whose
+    #   boolean mark column replaces the predicate in the residual filter;
+    # * an uncorrelated scalar subquery becomes a ScalarSubqueryScan whose
+    #   broadcast column replaces the subquery node.
+    #
+    # Anything else (non-equality correlation, correlated NOT IN with
+    # unanalyzable shapes, subqueries over unknown relations) stays on the
+    # residual interpreter path, which remains the semantics reference.
+
+    def _plan_subquery_predicates(self, root, residual: list[Expr],
+                                  binding_columns: dict[str, list[str]],
+                                  env, est: float):
+        outer_bindings = set(binding_columns)
+        outer_columns: set[str] = set()
+        for cols in binding_columns.values():
+            outer_columns.update(cols)
+        kept: list[Expr] = []
+        for conj in residual:
+            if not has_subquery(conj):
+                kept.append(conj)
+                continue
+            form = match_subquery_form(conj)
+            if form is not None:
+                kind, negated, node = form
+                spec = self._decorrelate(node, env, outer_bindings,
+                                         outer_columns, kind)
+                if spec is not None:
+                    subplan, probe_exprs = spec
+                    est = max(1.0, est * 0.5)
+                    if kind == "in":
+                        if negated:
+                            root = AntiJoin(root, subplan, probe_exprs,
+                                            null_aware=True, est_rows=est)
+                        else:
+                            root = SemiJoin(root, subplan, probe_exprs,
+                                            source="IN", est_rows=est)
+                    else:
+                        if negated:
+                            root = AntiJoin(root, subplan, probe_exprs,
+                                            null_aware=False, est_rows=est)
+                        else:
+                            root = SemiJoin(root, subplan, probe_exprs,
+                                            source="EXISTS", est_rows=est)
+                    continue
+            rewritten, factories = self._mark_rewrite(conj, env,
+                                                      outer_bindings,
+                                                      outer_columns)
+            if factories:
+                for make in factories:
+                    root = make(root)
+                kept.append(rewritten)
+            else:
+                kept.append(conj)
+        return root, kept, est
+
+    def _mark_rewrite(self, conj: Expr, env, outer_bindings: set,
+                      outer_columns: set):
+        """Rewrite subquery predicates nested inside *conj* into mark/scalar
+        column references.  Returns ``(rewritten, factories)`` where each
+        factory wraps the current root in the MarkJoin/ScalarSubqueryScan
+        that produces one referenced column."""
+        import copy
+
+        factories: list = []
+
+        def rewrite(e: Expr) -> Expr:
+            form = match_subquery_form(e)
+            if form is not None:
+                kind, negated, node = form
+                spec = self._decorrelate(node, env, outer_bindings,
+                                         outer_columns, kind)
+                if spec is None:
+                    return e
+                subplan, probe_exprs = spec
+                name = f"__mark_{self._mark_counter}"
+                self._mark_counter += 1
+                if kind == "in":
+                    mode = "anti-null" if negated else "semi"
+                    source = "NOT IN" if negated else "IN"
+                else:
+                    mode = "anti" if negated else "semi"
+                    source = "NOT EXISTS" if negated else "EXISTS"
+                factories.append(
+                    lambda root, subplan=subplan, probe=probe_exprs,
+                    name=name, mode=mode, source=source:
+                    MarkJoin(root, subplan, probe, mark_name=name, mode=mode,
+                             source=source, est_rows=root.est_rows)
+                )
+                return ColumnRef(name=name)
+            if isinstance(e, ScalarSubquery):
+                spec = self._decorrelate(e, env, outer_bindings,
+                                         outer_columns, "scalar")
+                if spec is None:
+                    return e
+                subplan, _ = spec
+                name = f"__scalar_{self._mark_counter}"
+                self._mark_counter += 1
+                factories.append(
+                    lambda root, subplan=subplan, name=name:
+                    ScalarSubqueryScan(root, subplan, scalar_name=name,
+                                       est_rows=root.est_rows)
+                )
+                return ColumnRef(name=name)
+            e2 = copy.copy(e)
+            for attr in ("left", "right", "operand", "low", "high"):
+                child = getattr(e2, attr, None)
+                if isinstance(child, Expr):
+                    setattr(e2, attr, rewrite(child))
+            if getattr(e2, "args", None):
+                e2.args = [rewrite(a) if isinstance(a, Expr) else a
+                           for a in e2.args]
+            if getattr(e2, "items", None) and isinstance(e2, InList):
+                e2.items = [rewrite(i) for i in e2.items]
+            if getattr(e2, "branches", None):
+                e2.branches = [(rewrite(c), rewrite(v))
+                               for c, v in e2.branches]
+                if e2.default is not None:
+                    e2.default = rewrite(e2.default)
+            return e2
+
+        return rewrite(conj), factories
+
+    def _decorrelate(self, node, env, outer_bindings: set, outer_columns: set,
+                     kind: str):
+        """Try to turn one subquery predicate into ``(subplan, probe_exprs)``.
+
+        ``probe_exprs`` pair positionally with the subplan's output columns
+        (for ``kind="in"`` the first pair is the IN operand vs the
+        subquery's value column; the rest are equality-correlation keys).
+        Returns ``None`` when the shape must stay on the residual path.
+        """
+        body = node.query
+        try:
+            outer_refs = self._outer_refs(body, env, [])
+        except _Unanalyzable:
+            return None
+        for ref in outer_refs:
+            if ref.table is not None:
+                if ref.table not in outer_bindings:
+                    return None
+            elif ref.name not in outer_columns:
+                return None
+
+        if kind == "in" and (has_subquery(node.operand)
+                             or has_window(node.operand)):
+            return None
+
+        if not outer_refs:
+            subplan = self.plan_body(body, env)
+            if kind in ("in", "scalar") and len(subplan.output_columns) != 1:
+                return None
+            probe = [node.operand] if kind == "in" else []
+            return subplan, probe
+
+        # Correlated: restricted shape — plain SELECT over base tables,
+        # every outer reference consumed by a top-level equality conjunct.
+        if kind == "scalar" or not isinstance(body, Select):
+            return None
+        if body.joins or body.group_by or body.having is not None \
+                or body.limit is not None:
+            return None
+        if not all(isinstance(rel, TableRef) for rel in body.relations):
+            return None
+        if kind == "in" and (len(body.items) != 1
+                             or isinstance(body.items[0].expr, Star)):
+            return None
+        if any(contains_aggregate(it.expr) or has_window(it.expr)
+               for it in body.items if not isinstance(it.expr, Star)):
+            # Aggregates/windows in a correlated body compute over the whole
+            # inner relation per outer group; hoisting the correlation
+            # equality out of the WHERE would change their input.
+            return None
+        try:
+            frame = self._frame_of(body, env)
+        except _Unanalyzable:
+            return None
+        for item in body.items:
+            if not isinstance(item.expr, Star) and self._expr_side(
+                    item.expr, env, frame, outer_bindings, outer_columns
+            ) not in ("inner", "none"):
+                return None
+
+        correlated: list[tuple[Expr, Expr]] = []
+        remaining: list[Expr] = []
+        for conj in split_conjuncts(body.where):
+            side = self._expr_side(conj, env, frame, outer_bindings,
+                                   outer_columns)
+            if side in ("inner", "none"):
+                remaining.append(conj)
+                continue
+            if not (isinstance(conj, BinaryOp) and conj.op == "="):
+                return None
+            ls = self._expr_side(conj.left, env, frame, outer_bindings,
+                                 outer_columns)
+            rs = self._expr_side(conj.right, env, frame, outer_bindings,
+                                 outer_columns)
+            if ls == "inner" and rs == "outer":
+                correlated.append((conj.left, conj.right))
+            elif ls == "outer" and rs == "inner":
+                correlated.append((conj.right, conj.left))
+            else:
+                return None
+        if not correlated:
+            return None
+
+        value_items = list(body.items) if kind == "in" else []
+        items = value_items + [
+            SelectItem(expr=inner_expr, alias=f"__ck{i}")
+            for i, (inner_expr, _) in enumerate(correlated)
+        ]
+        inner_select = replace(body, items=items, where=_conjoin(remaining),
+                               order_by=[], limit=None, distinct=False)
+        subplan = self.plan_select(inner_select, env)
+        probe = ([node.operand] if kind == "in" else []) + \
+            [outer_expr for _, outer_expr in correlated]
+        return subplan, probe
+
+    def _frame_of(self, body: Select, env) -> "_Frame":
+        bindings: set[str] = set()
+        columns: set[str] = set()
+        opaque = False
+        for rel in list(body.relations) + [jc.relation for jc in body.joins]:
+            if isinstance(rel, TableRef):
+                bindings.add(rel.binding)
+                if rel.name in env:
+                    columns.update(env[rel.name].columns)
+                elif self.catalog.has(rel.name):
+                    columns.update(self.catalog.schema(rel.name).columns)
+                else:
+                    raise _Unanalyzable
+            elif isinstance(rel, SubqueryRef):
+                bindings.add(rel.binding)
+                if rel.column_names:
+                    columns.update(rel.column_names)
+                else:
+                    opaque = True
+            else:
+                raise _Unanalyzable
+        return _Frame(bindings, columns, opaque)
+
+    def _outer_refs(self, body, env, frames: list) -> list[ColumnRef]:
+        """Column references inside a subquery body that escape every
+        enclosing subquery frame (``frames`` + the body's own), i.e. must
+        resolve in the outer query.  Raises :class:`_Unanalyzable` when an
+        unqualified name cannot be classified (opaque derived tables,
+        unknown relations)."""
+        out: list[ColumnRef] = []
+        self._walk_outer_refs(body, env, list(frames), out)
+        return out
+
+    def _walk_outer_refs(self, body, env, frames: list,
+                         out: list[ColumnRef]) -> None:
+        if isinstance(body, CompoundSelect):
+            self._walk_outer_refs(body.left, env, frames, out)
+            self._walk_outer_refs(body.right, env, frames, out)
+            return  # compound ORDER BY names refer to the compound's output
+        if isinstance(body, ValuesClause):
+            for row in body.rows:
+                for e in row:
+                    self._walk_expr_refs(e, env, frames, out)
+            return
+        frames.append(self._frame_of(body, env))
+        try:
+            for item in body.items:
+                if not isinstance(item.expr, Star):
+                    self._walk_expr_refs(item.expr, env, frames, out)
+            if body.where is not None:
+                self._walk_expr_refs(body.where, env, frames, out)
+            for g in body.group_by:
+                self._walk_expr_refs(g, env, frames, out)
+            if body.having is not None:
+                self._walk_expr_refs(body.having, env, frames, out)
+            for o in body.order_by:
+                self._walk_expr_refs(o.expr, env, frames, out)
+            for jc in body.joins:
+                if jc.condition is not None:
+                    self._walk_expr_refs(jc.condition, env, frames, out)
+            for rel in list(body.relations) + \
+                    [jc.relation for jc in body.joins]:
+                if isinstance(rel, SubqueryRef):
+                    self._walk_outer_refs(rel.query, env, frames, out)
+        finally:
+            frames.pop()
+
+    def _walk_expr_refs(self, expr: Expr, env, frames: list,
+                        out: list[ColumnRef]) -> None:
+        for ref in expr_columns(expr):
+            if not _ref_in_frames(ref, frames):
+                out.append(ref)
+        for sub in subqueries_of(expr):
+            self._walk_outer_refs(sub, env, frames, out)
+
+    def _expr_side(self, expr: Expr, env, frame: "_Frame",
+                   outer_bindings: set, outer_columns: set) -> str:
+        """Classify an expression inside a subquery's top level as
+        referencing only the subquery (``"inner"``), only the outer query
+        (``"outer"``), nothing (``"none"``), or both / something
+        unclassifiable (``"mixed"``)."""
+        has_inner = has_outer = False
+        for ref in expr_columns(expr):
+            if ref.table is not None:
+                if ref.table in frame.bindings:
+                    has_inner = True
+                elif ref.table in outer_bindings:
+                    has_outer = True
+                else:
+                    return "mixed"
+            elif ref.name in frame.columns:
+                has_inner = True
+            elif frame.opaque:
+                return "mixed"
+            elif ref.name in outer_columns:
+                has_outer = True
+            else:
+                return "mixed"
+        for sub in subqueries_of(expr):
+            try:
+                nested = self._outer_refs(sub, env, [frame])
+            except _Unanalyzable:
+                return "mixed"
+            if nested:
+                return "mixed"
+            has_inner = True
+        if has_inner and has_outer:
+            return "mixed"
+        if has_inner:
+            return "inner"
+        if has_outer:
+            return "outer"
+        return "none"
 
     # -- output schema -------------------------------------------------------
     def _output_columns(self, select: Select, acc_columns: list[str],

@@ -1,0 +1,67 @@
+"""Unit tests for the fuzzer's spec renderer and shrinker."""
+
+from __future__ import annotations
+
+from repro.bench.sqlfuzz import SelectSpec, render, shrink
+
+
+def _spec():
+    return SelectSpec(
+        items=["o.id", "o.amt", "o.tag"],
+        from_="orders AS o",
+        joins=["JOIN parts AS p ON o.cust = p.grp"],
+        where=["o.amt > 10.0", "o.qty < 5", "p.w > 1.0"],
+        order_by=["o.id"],
+        limit=7,
+    )
+
+
+def test_render_clause_order():
+    sql = render(_spec())
+    assert sql.index("SELECT") < sql.index("FROM") < sql.index("JOIN")
+    assert sql.index("WHERE") < sql.index("ORDER BY") < sql.index("LIMIT")
+    assert "o.amt > 10.0 AND o.qty < 5" in sql
+
+
+def test_render_setop_before_order():
+    spec = SelectSpec(items=["o.cust"], from_="orders AS o",
+                      setop=("UNION", SelectSpec(items=["grp"],
+                                                 from_="parts")))
+    sql = render(spec)
+    assert "UNION SELECT grp FROM parts" in sql
+
+
+def test_shrink_drops_irrelevant_parts():
+    # Divergence "caused" by one conjunct: the shrinker must isolate it.
+    def diverges(spec):
+        return "o.qty < 5" in spec.where
+
+    small = shrink(_spec(), diverges)
+    assert small.where == ["o.qty < 5"]
+    assert small.joins == []
+    assert small.limit is None
+    assert small.order_by == []
+    assert len(small.items) == 1
+
+
+def test_shrink_keeps_spec_when_everything_matters():
+    spec = SelectSpec(items=["o.id"], from_="orders AS o",
+                      where=["o.amt > 1.0"])
+
+    def diverges(s):
+        return s.where == ["o.amt > 1.0"] and s.items == ["o.id"]
+
+    small = shrink(spec, diverges)
+    assert render(small) == render(spec)
+
+
+def test_shrink_survives_throwing_predicate():
+    # A reduction that makes the predicate raise must be skipped, not crash.
+    def diverges(spec):
+        if not spec.joins:
+            raise ValueError("invalid candidate")
+        return "p.w > 1.0" in spec.where
+
+    small = shrink(_spec(), diverges)
+    assert "p.w > 1.0" in small.where
+    assert small.joins  # the join had to stay

@@ -45,6 +45,19 @@ QUERIES = [
     # TopK: per-morsel candidate selection must match a full stable sort.
     "SELECT id, val FROM data ORDER BY val DESC, id LIMIT 37",
     "SELECT id, val FROM data WHERE grp <> 3 ORDER BY val, id DESC LIMIT 61",
+    # Decorrelated subqueries: morsel-parallel semi/anti probes, mark joins
+    # and scalar subquery broadcasts must agree with serial.
+    "SELECT id FROM data WHERE grp IN (SELECT grp FROM dims WHERE w > 0) "
+    "ORDER BY id",
+    "SELECT id FROM data WHERE grp NOT IN (SELECT grp FROM dims WHERE w = 1)",
+    "SELECT m.grp FROM dims AS m WHERE EXISTS "
+    "(SELECT 1 FROM data AS d WHERE d.grp = m.grp AND d.val > 0.95)",
+    "SELECT m.grp FROM dims AS m WHERE NOT EXISTS "
+    "(SELECT 1 FROM data AS d WHERE d.grp = m.grp AND d.val > 0.9995)",
+    "SELECT id FROM data WHERE grp IN (SELECT grp FROM dims WHERE w = 2) "
+    "OR val < 0.01",
+    "SELECT id FROM data WHERE val > (SELECT AVG(val) FROM data) "
+    "ORDER BY id LIMIT 40",
 ]
 
 

@@ -152,6 +152,90 @@ class TestPlanShape:
         assert "SetOp UNION" in plan
 
 
+class TestSubqueryPlanShape:
+    """Goldens for the decorrelated subquery nodes (SemiJoin / AntiJoin /
+    MarkJoin / ScalarSubqueryScan) and their residual-path fallbacks."""
+
+    def test_in_subquery_plans_semi_join(self, db):
+        plan = db.explain_plan(
+            "SELECT a FROM t WHERE b IN (SELECT b FROM u WHERE w > 5)")
+        lines = [ln.strip().split()[0] for ln in plan.splitlines()]
+        assert lines == ["Project", "SemiJoin", "Scan", "Project", "Filter",
+                        "Scan"]
+        assert "SemiJoin IN on [b]" in plan
+        assert "Filter(residual)" not in plan
+
+    def test_not_in_plans_null_aware_anti_join(self, db):
+        plan = db.explain_plan(
+            "SELECT a FROM t WHERE b NOT IN (SELECT b FROM u)")
+        assert "AntiJoin NOT IN (null-aware) on [b]" in plan
+
+    def test_correlated_exists_plans_semi_join(self, db):
+        plan = db.explain_plan(
+            "SELECT a FROM t WHERE EXISTS "
+            "(SELECT 1 FROM u WHERE u.b = t.b AND u.w > 5)")
+        assert "SemiJoin EXISTS on [t.b]" in plan
+        # The correlation key is projected out of the inner plan.
+        assert "Project u.b" in plan
+
+    def test_not_exists_plans_anti_join(self, db):
+        plan = db.explain_plan(
+            "SELECT a FROM t WHERE NOT EXISTS "
+            "(SELECT 1 FROM u WHERE u.b = t.b)")
+        assert "AntiJoin NOT EXISTS on [t.b]" in plan
+
+    def test_correlated_in_plans_semi_join_with_both_keys(self, db):
+        plan = db.explain_plan(
+            "SELECT a FROM t WHERE c IN (SELECT w FROM u WHERE u.b = t.b)")
+        assert "SemiJoin IN on [c, t.b]" in plan
+
+    def test_subquery_under_or_plans_mark_join(self, db):
+        plan = db.explain_plan(
+            "SELECT a FROM t WHERE b IN (SELECT b FROM u) OR a > 3")
+        assert "MarkJoin __mark_0 = IN on [b]" in plan
+        assert "Filter(residual) (__mark_0 OR (a > 3))" in plan
+
+    def test_scalar_subquery_plans_scan_node(self, db):
+        plan = db.explain_plan(
+            "SELECT a FROM t WHERE c > (SELECT SUM(w) FROM u)")
+        assert "ScalarSubqueryScan __scalar_0" in plan
+        assert "Filter(residual) (c > __scalar_0)" in plan
+
+    def test_decorrelation_disabled_stays_residual(self, db):
+        cfg = EngineConfig(subquery_decorrelate=False)
+        plan = db.explain_plan(
+            "SELECT a FROM t WHERE b IN (SELECT b FROM u)", config=cfg)
+        assert "SemiJoin" not in plan
+        assert "Filter(residual)" in plan
+
+    def test_correlated_window_subquery_stays_residual(self, db):
+        # Hoisting the correlation equality out of the WHERE would change a
+        # window function's input (it must run per correlation group), so
+        # this shape must not decorrelate.
+        plan = db.explain_plan(
+            "SELECT a FROM t WHERE a IN "
+            "(SELECT ROW_NUMBER() OVER (ORDER BY w) FROM u WHERE u.b = t.b)")
+        assert "SemiJoin" not in plan
+        assert "Filter(residual)" in plan
+
+    def test_non_equality_correlation_stays_residual(self, db):
+        plan = db.explain_plan(
+            "SELECT a FROM t WHERE EXISTS "
+            "(SELECT 1 FROM big WHERE big.k > t.a)")
+        assert "SemiJoin" not in plan
+        assert "Filter(residual)" in plan
+
+    def test_semi_join_inner_plan_rendered_as_child(self, db):
+        plan = db.explain_plan(
+            "SELECT a FROM t WHERE a IN (SELECT k FROM big WHERE v > 50.0)")
+        lines = plan.splitlines()
+        semi_depth = next(ln for ln in lines if "SemiJoin" in ln)
+        inner_scan = next(ln for ln in lines if "Scan big" in ln)
+        # inner plan is indented strictly deeper than the SemiJoin node
+        assert (len(inner_scan) - len(inner_scan.lstrip())) > \
+            (len(semi_depth) - len(semi_depth.lstrip()))
+
+
 class TestPlanCache:
     def test_second_execution_hits_cache(self, db):
         sql = "SELECT b, SUM(c) AS s FROM t GROUP BY b"
@@ -189,6 +273,20 @@ class TestPlanCache:
         db.execute(sql, config=EngineConfig(join_reorder=False))
         assert db.plan_cache_stats["hits"] == 0
         assert db.plan_cache_stats["entries"] == 2
+
+    def test_decorrelation_keyed_in_plan_cache(self, db):
+        sql = "SELECT a FROM t WHERE b IN (SELECT b FROM u)"
+        db.execute(sql, config=EngineConfig(subquery_decorrelate=True))
+        db.execute(sql, config=EngineConfig(subquery_decorrelate=False))
+        assert db.plan_cache_stats["hits"] == 0
+        assert db.plan_cache_stats["entries"] == 2
+
+    def test_cached_subquery_plan_reused(self, db):
+        sql = "SELECT a FROM t WHERE b IN (SELECT b FROM u WHERE w > 5)"
+        first = db.execute(sql).to_dict()
+        second = db.execute(sql).to_dict()
+        assert first == second
+        assert db.plan_cache_stats["hits"] >= 1
 
     def test_plan_cache_disabled(self, db):
         cfg = EngineConfig(plan_cache=False)

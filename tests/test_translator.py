@@ -312,6 +312,35 @@ class TestSortHeadMerge:
             return sales[~sales.product.isin(chosen.product)].sort_values('sid')
         check(f, env, tables=("sales", "products"))
 
+    def test_isin_sql_plans_as_semi_join(self, env):
+        # The translator emits an EXISTS predicate for isin-over-frame-column;
+        # the engine's planner must lift it into a parallel SemiJoin rather
+        # than interpreting it row-by-row (no materialized inner relation).
+        db, _ = env
+
+        @pytond()
+        def f(sales, products):
+            chosen = products[products.label != 'Beta']
+            return sales[sales.product.isin(chosen.product)]
+
+        sql = f.sql("duckdb", db=db)
+        assert "EXISTS" in sql
+        plan = db.explain_plan(sql)
+        assert "SemiJoin EXISTS" in plan
+        assert "Filter(residual)" not in plan
+
+    def test_not_isin_sql_plans_as_anti_join(self, env):
+        db, _ = env
+
+        @pytond()
+        def f(sales, products):
+            chosen = products[products.label == 'Beta']
+            return sales[~sales.product.isin(chosen.product)]
+
+        sql = f.sql("duckdb", db=db)
+        plan = db.explain_plan(sql)
+        assert "AntiJoin NOT EXISTS" in plan
+
     def test_implicit_join_via_column_assignment(self, env):
         # Appending a column whose series comes from a *different* frame
         # triggers the UID-based implicit join of Section III-C.

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Long-running SQL fuzz CLI: grammar-driven queries differentially tested
+against sqlite3 (see ``repro.bench.sqlfuzz`` for the grammar and shrinker).
+
+Usage (from the repo root, PYTHONPATH=src):
+
+    python tools/fuzz.py                      # 500 seeds, threads 1 and 4
+    python tools/fuzz.py --count 20000        # longer local sweep
+    python tools/fuzz.py --seed 3000 --count 500 --threads 1,4 \
+        --artifact fuzz-repro.txt             # CI mode: repro file on fail
+
+Exit status is the number of diverging seeds (0 = clean).  Each divergence
+prints the generated SQL, the mismatch detail, and the shrunk minimal
+repro; ``--artifact`` additionally writes the reports to a file (uploaded
+by the CI fuzz job on failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.differential import load_sqlite  # noqa: E402
+from repro.bench.sqlfuzz import build_fuzz_db, run_seeds  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--count", type=int, default=500,
+                        help="number of seeds to test (default 500)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="first seed (default 0)")
+    parser.add_argument("--threads", default="1,4",
+                        help="comma-separated thread counts (default 1,4)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report raw failures without shrinking")
+    parser.add_argument("--artifact", default=None,
+                        help="write divergence reports to this file")
+    parser.add_argument("--progress-every", type=int, default=2000,
+                        help="print progress every N seeds (0 = quiet)")
+    args = parser.parse_args(argv)
+    threads = tuple(int(t) for t in args.threads.split(","))
+
+    db = build_fuzz_db()
+    conn = load_sqlite(db)
+    started = time.perf_counter()
+    failures = []
+    step = max(args.progress_every, 1) if args.progress_every else args.count
+    for lo in range(args.seed, args.seed + args.count, step):
+        hi = min(lo + step, args.seed + args.count)
+        failures.extend(run_seeds(db, conn, range(lo, hi), threads=threads,
+                                  shrink_failures=not args.no_shrink))
+        if args.progress_every:
+            done = hi - args.seed
+            print(f"[fuzz] {done}/{args.count} seeds, "
+                  f"{len(failures)} divergence(s), "
+                  f"{time.perf_counter() - started:.1f}s", flush=True)
+
+    if failures:
+        reports = "\n\n".join(f.report() for f in failures)
+        print(f"\n{len(failures)} divergence(s):\n\n{reports}")
+        if args.artifact:
+            Path(args.artifact).write_text(
+                f"fuzz seeds {args.seed}..{args.seed + args.count - 1} "
+                f"threads={threads}\n\n{reports}\n"
+            )
+            print(f"\nrepro report written to {args.artifact}")
+    else:
+        print(f"[fuzz] clean: {args.count} seeds x threads {threads} in "
+              f"{time.perf_counter() - started:.1f}s")
+    return min(len(failures), 125)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,7 +6,6 @@ baseline in geometric mean, and the optimized SQL beats the eager Python
 baseline on the join-heavy queries.
 """
 
-import numpy as np
 
 from repro.bench import format_series, geomean, speedup_summary
 

@@ -14,7 +14,6 @@ density 1; dense PyTond is competitive across matrix shapes.
 
 import os
 
-import numpy as np
 
 from repro import connect
 from repro.bench import time_callable

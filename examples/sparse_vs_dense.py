@@ -10,7 +10,6 @@ Run:  python examples/sparse_vs_dense.py
 
 import time
 
-import numpy as np
 
 from repro import connect
 from repro.backends import DuckDBSim

@@ -20,13 +20,15 @@ Public API::
 from .backends import DuckDBSim, HyperSim, LingoDBSim, available_backends, get_backend
 from .core import PytondFunction, TableInfo, pytond
 from .dataframe import DataFrame, Series
-from .sqlengine import Database, EngineConfig, connect
+from .server import QueryScheduler, Session
+from .sqlengine import Database, EngineConfig, PreparedStatement, connect
 
 __version__ = "0.1.0"
 
 __all__ = [
     "pytond", "PytondFunction", "TableInfo",
-    "connect", "Database", "EngineConfig",
+    "connect", "Database", "EngineConfig", "PreparedStatement",
+    "QueryScheduler", "Session",
     "DataFrame", "Series",
     "DuckDBSim", "HyperSim", "LingoDBSim", "get_backend", "available_backends",
     "__version__",

@@ -6,6 +6,7 @@ Examples::
     python -m repro.bench fig3 --sf 0.01
     python -m repro.bench fig5 --scale 0.05 --threads 1
     python -m repro.bench fig10
+    python -m repro.bench serve --clients 8 --seconds 2
     python -m repro.bench all
 """
 
@@ -42,6 +43,23 @@ def _fig7(args) -> str:
     return "TPC-H scalability\n" + scalability_table(measurements)
 
 
+def _serve(args) -> str:
+    """Serving-layer load run: N concurrent sessions over a scheduler,
+    replaying the parameterized TPC-H mix; reports QPS and p50/p99."""
+    from ..server import make_tpch_db, run_load
+    from ..sqlengine import EngineConfig
+
+    db = make_tpch_db(scale_factor=args.sf,
+                      config=EngineConfig(threads=args.threads))
+    report = run_load(db, clients=args.clients, duration=args.seconds)
+    cache = db.cache_stats()
+    return (
+        report.summary()
+        + f"\nplan cache: {cache['entries']} entries, {cache['hits']} hits, "
+          f"{cache['misses']} misses, {cache['evictions']} evictions"
+    )
+
+
 def _fig10(args) -> str:
     tpch = TpchBench(scale_factor=args.sf)
     ds = WorkloadBench(scale=args.scale)
@@ -65,6 +83,7 @@ FIGURES = {
     "fig6": lambda args: _fig_ds(args, threads=4),
     "fig7": _fig7,
     "fig10": _fig10,
+    "serve": _serve,
 }
 
 
@@ -81,12 +100,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="data-science workload scale (default 0.05)")
     parser.add_argument("--repeats", type=int, default=1,
                         help="timed rounds per configuration")
+    serving = parser.add_argument_group("serve", "serving-layer load run")
+    serving.add_argument("--clients", type=int, default=8,
+                         help="concurrent load-generator sessions (default 8)")
+    serving.add_argument("--seconds", type=float, default=2.0,
+                         help="load duration in seconds (default 2)")
+    serving.add_argument("--threads", type=int, default=1,
+                         help="engine worker threads per query (default 1)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    targets = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    if args.figure == "all":
+        # "all" regenerates the paper's figures; the serving load run is a
+        # live-traffic experiment, invoked explicitly.
+        targets = sorted(f for f in FIGURES if f != "serve")
+    else:
+        targets = [args.figure]
     for name in targets:
         print(f"\n===== {name} =====")
         print(FIGURES[name](args))

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from .harness import Measurement, geomean
 

@@ -30,9 +30,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..sqlengine import Database, EngineConfig, connect
-from .differential import (
-    load_sqlite, normalize_rows, rows_equal, to_sqlite_sql,
-)
+from .differential import normalize_rows, rows_equal, to_sqlite_sql
 
 __all__ = ["build_fuzz_db", "generate", "render", "run_seeds", "shrink",
            "Divergence", "SelectSpec"]

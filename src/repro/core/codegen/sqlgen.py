@@ -15,8 +15,8 @@ import numpy as np
 from ...backends.base import Dialect
 from ...errors import TondIRError
 from ..tondir.ir import (
-    Agg, AssignAtom, Atom, BinOp, Const, ConstRelAtom, ExistsAtom, Ext,
-    FilterAtom, Head, If, OuterAtom, Program, RelAtom, Rule, Term, Var, Win,
+    Agg, AssignAtom, BinOp, Const, ConstRelAtom, ExistsAtom, Ext,
+    FilterAtom, If, OuterAtom, Program, RelAtom, Rule, Term, Var, Win,
 )
 
 __all__ = ["SQLGenerator", "generate_sql"]

@@ -22,8 +22,8 @@ the paper's ``outer_left/outer_right/outer_full`` external atoms
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 __all__ = [
     "Term", "Var", "Const", "BinOp", "If", "Agg", "Ext", "Win",

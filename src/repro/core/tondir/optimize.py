@@ -16,13 +16,12 @@ from __future__ import annotations
 import itertools
 
 from .analysis import (
-    body_unique_vars, consumers, contains_agg_term, is_flow_breaker,
-    references, unique_head_vars, used_vars,
+    body_unique_vars, consumers, is_flow_breaker, unique_head_vars, used_vars,
 )
 from .ir import (
     Agg, AssignAtom, Atom, BinOp, Const, ConstRelAtom, ExistsAtom, Ext,
-    FilterAtom, If, OuterAtom, Program, RelAtom, Rule, Term, Var,
-    map_term_vars, rename_term, term_vars,
+    FilterAtom, If, OuterAtom, Program, RelAtom, Rule, Term,
+    rename_term, term_vars,
 )
 
 __all__ = ["optimize", "OPT_LEVELS", "local_dce", "global_dce",

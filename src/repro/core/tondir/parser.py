@@ -13,11 +13,10 @@ from __future__ import annotations
 
 import re
 
-import numpy as np
 
 from ...errors import TondIRError
 from .ir import (
-    Agg, AssignAtom, Atom, BinOp, Const, ConstRelAtom, ExistsAtom, Ext,
+    Agg, AssignAtom, Atom, BinOp, Const, ExistsAtom, Ext,
     FilterAtom, Head, If, Program, RelAtom, Rule, SortSpec, Term, Var,
 )
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from ...errors import TranslationError
 from ..tondir.ir import (
-    Agg, AssignAtom, BinOp, Const, ConstRelAtom, FilterAtom, Head, If,
+    Agg, AssignAtom, BinOp, Const, ConstRelAtom, Head, If,
     RelAtom, Rule, Term, Var,
 )
 from .symbols import ColumnInfo, SymConstArray, SymFrame, SymScalar, SymScalarRel

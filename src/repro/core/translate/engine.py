@@ -18,7 +18,7 @@ import numpy as np
 from ...errors import TranslationError
 from ..anf import to_anf
 from ..tondir.ir import (
-    Agg, AssignAtom, BinOp, Const, ConstRelAtom, ExistsAtom, Ext, FilterAtom,
+    Agg, AssignAtom, BinOp, Const, ExistsAtom, Ext, FilterAtom,
     Head, If, OuterAtom, Program, RelAtom, Rule, SortSpec, Term, Var, Win,
 )
 from .einsum_planner import _Emitter, lower_dense, lower_sparse

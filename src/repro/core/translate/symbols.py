@@ -9,7 +9,7 @@ Section III-B) lives on :class:`ColumnInfo` / :class:`SymFrame`.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..tondir.ir import RelAtom, Term

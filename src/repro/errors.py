@@ -25,6 +25,19 @@ class SQLExecutionError(SQLError):
     """Runtime failure while executing a physical plan."""
 
 
+class QueryCancelledError(SQLError):
+    """The query was cancelled cooperatively at an operator boundary."""
+
+
+class QueryTimeoutError(SQLError):
+    """The query exceeded its execution deadline."""
+
+
+class AdmissionError(SQLError):
+    """The serving layer refused to enqueue the query (queue full or
+    scheduler shut down)."""
+
+
 class UnsupportedFeatureError(SQLError):
     """Backend does not implement the requested SQL feature.
 

@@ -1,0 +1,33 @@
+"""Serving layer: sessions and an admission-controlled query scheduler.
+
+The :mod:`repro.sqlengine` engine plans and executes one query fast; this
+package is what sits between that engine and *many* concurrent callers:
+
+* :class:`QueryScheduler` — bounded admission queue, capped concurrency,
+  per-query timeouts, cooperative cancellation, serving counters;
+* :class:`Session` — a client connection handle with per-session stats
+  (counts, rows, p50/p99 latency) and prepared-statement access;
+* :func:`run_load` — the load generator behind ``python -m repro.bench
+  serve``: N clients replaying a parameterized TPC-H mix, reporting QPS
+  and tail latency.
+
+Prepared statements themselves live on the engine
+(:meth:`repro.sqlengine.Database.prepare`): the serving layer consumes
+them, the engine compiles them.
+"""
+
+from .loadgen import LoadReport, QueryTemplate, make_tpch_db, run_load, tpch_mix
+from .scheduler import QueryScheduler, QueryTicket
+from .session import Session, percentile
+
+__all__ = [
+    "QueryScheduler",
+    "QueryTicket",
+    "Session",
+    "percentile",
+    "LoadReport",
+    "QueryTemplate",
+    "tpch_mix",
+    "make_tpch_db",
+    "run_load",
+]

@@ -1,0 +1,248 @@
+"""Load generator: N concurrent clients replaying a TPC-H/hybrid query mix.
+
+Exercises the whole serving stack — prepared statements, the plan cache,
+the admission-controlled scheduler, per-session stats — and reports the
+numbers an operator cares about: sustained QPS and p50/p99 latency.
+
+Used by ``python -m repro.bench serve`` and by the serving throughput
+benchmark; importable directly for custom mixes::
+
+    from repro.server import run_load
+    report = run_load(db, clients=8, duration=2.0)
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AdmissionError, ReproError
+from ..sqlengine.database import Database
+from .scheduler import QueryScheduler
+from .session import Session, percentile
+
+__all__ = [
+    "QueryTemplate",
+    "LoadReport",
+    "tpch_mix",
+    "run_load",
+    "make_tpch_db",
+]
+
+
+@dataclass
+class QueryTemplate:
+    """One parameterized statement of the mix plus its value generator."""
+
+    name: str
+    sql: str
+    make_params: object  # Callable[[np.random.Generator], list | dict]
+    weight: float = 1.0
+
+
+def make_tpch_db(scale_factor: float = 0.01, seed: int = 42, config=None) -> Database:
+    """A Database loaded with the TPC-H dataset at *scale_factor*."""
+    from ..sqlengine import connect
+    from ..workloads.tpch import generate, register_tpch
+
+    db = connect(config)
+    register_tpch(db, generate(scale_factor=scale_factor, seed=seed))
+    return db
+
+
+def tpch_mix() -> list[QueryTemplate]:
+    """The default serving mix: point lookups, selective scans, a join, an
+    aggregate, and a Top-K — the hybrid OLTP-ish/OLAP shape a dashboard
+    fleet generates.  All parameter values stay inside the domains the
+    TPC-H generator emits at any scale factor."""
+    return [
+        QueryTemplate(
+            "order_lookup",
+            "SELECT o_orderkey, o_totalprice, o_orderstatus "
+            "FROM orders WHERE o_orderkey = ?",
+            lambda rng: [int(rng.integers(1, 1000))],
+            weight=3.0,
+        ),
+        QueryTemplate(
+            "customer_orders",
+            "SELECT o_orderkey, o_totalprice FROM orders "
+            "WHERE o_custkey = ? AND o_totalprice > ? ORDER BY o_totalprice DESC",
+            lambda rng: [int(rng.integers(1, 200)), float(rng.uniform(0, 5e4))],
+            weight=2.0,
+        ),
+        QueryTemplate(
+            "lineitem_agg",
+            "SELECT l_returnflag, COUNT(*) AS cnt, SUM(l_extendedprice) AS rev "
+            "FROM lineitem WHERE l_quantity < :maxqty "
+            "GROUP BY l_returnflag ORDER BY l_returnflag",
+            lambda rng: {"maxqty": int(rng.integers(5, 50))},
+            weight=1.0,
+        ),
+        QueryTemplate(
+            "customer_join",
+            "SELECT c.c_name, o.o_totalprice FROM customer c, orders o "
+            "WHERE c.c_custkey = o.o_custkey AND o.o_totalprice > ? "
+            "ORDER BY o.o_totalprice DESC LIMIT 10",
+            lambda rng: [float(rng.uniform(1e5, 4e5))],
+            weight=1.0,
+        ),
+    ]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load run."""
+
+    clients: int
+    duration_s: float
+    queries: int
+    errors: int
+    rejected: int
+    timeouts: int
+    qps: float
+    p50_ms: float
+    p99_ms: float
+    per_template: dict[str, int] = field(default_factory=dict)
+    session_stats: list[dict] = field(default_factory=list)
+    scheduler_stats: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.clients} client(s), {self.duration_s:.2f}s wall clock",
+            f"queries   {self.queries:8d}   errors {self.errors}   "
+            f"rejected {self.rejected}   timeouts {self.timeouts}",
+            f"QPS       {self.qps:10.1f}",
+            f"latency   p50 {self.p50_ms:7.2f} ms   p99 {self.p99_ms:7.2f} ms",
+        ]
+        for name, count in sorted(self.per_template.items()):
+            lines.append(f"  mix {name:<16} {count:6d}")
+        return "\n".join(lines)
+
+
+def run_load(
+    db: Database,
+    *,
+    clients: int = 8,
+    duration: float = 2.0,
+    mix: list[QueryTemplate] | None = None,
+    max_concurrent: int | None = None,
+    queue_limit: int = 256,
+    timeout: float | None = 30.0,
+    prepared_fraction: float = 0.75,
+    seed: int = 0,
+) -> LoadReport:
+    """Drive *clients* concurrent sessions against *db* for *duration*
+    seconds, mixing prepared executions with ad-hoc SQL (literal values
+    interpolated, the un-prepared worst case) at ``prepared_fraction``.
+
+    Every client owns a Session; all sessions share one scheduler, so the
+    report also reflects admission behaviour under the offered load.
+    """
+    mix = mix if mix is not None else tpch_mix()
+    weights = np.array([t.weight for t in mix], dtype=np.float64)
+    weights /= weights.sum()
+    scheduler = QueryScheduler(
+        db,
+        max_concurrent=max_concurrent or clients,
+        queue_limit=queue_limit,
+        default_timeout=timeout,
+    )
+    sessions = [Session(scheduler, name=f"client-{i}") for i in range(clients)]
+    prepared = {t.name: db.prepare(t.sql) for t in mix}
+    counts_lock = threading.Lock()
+    per_template: dict[str, int] = {t.name: 0 for t in mix}
+    totals = {"queries": 0, "errors": 0, "rejected": 0}
+    latencies: list[float] = []
+    stop_at = time.monotonic() + duration
+
+    def client(idx: int) -> None:
+        rng = np.random.default_rng(seed * 1000 + idx)
+        session = sessions[idx]
+        local_counts = {t.name: 0 for t in mix}
+        local_lat: list[float] = []
+        queries = errors = rejected = 0
+        while time.monotonic() < stop_at:
+            template = mix[int(rng.choice(len(mix), p=weights))]
+            params = template.make_params(rng)
+            start = time.perf_counter()
+            try:
+                if rng.random() < prepared_fraction:
+                    session.execute(prepared[template.name], params)
+                else:
+                    session.execute(_inline(template.sql, params))
+                queries += 1
+                local_counts[template.name] += 1
+                local_lat.append((time.perf_counter() - start) * 1000.0)
+            except AdmissionError:
+                rejected += 1
+                time.sleep(0.001)  # back off, then retry the loop
+            except ReproError:
+                errors += 1
+        with counts_lock:
+            totals["queries"] += queries
+            totals["errors"] += errors
+            totals["rejected"] += rejected
+            latencies.extend(local_lat)
+            for name, c in local_counts.items():
+                per_template[name] += c
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True) for i in range(clients)]
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+    scheduler.close()
+    sched_stats = scheduler.stats()
+    return LoadReport(
+        clients=clients,
+        duration_s=wall,
+        queries=totals["queries"],
+        errors=totals["errors"],
+        rejected=totals["rejected"],
+        timeouts=sched_stats["timeouts"],
+        qps=totals["queries"] / wall if wall > 0 else float("nan"),
+        p50_ms=percentile(latencies, 50),
+        p99_ms=percentile(latencies, 99),
+        per_template=per_template,
+        session_stats=[s.stats() for s in sessions],
+        scheduler_stats=sched_stats,
+    )
+
+
+def _inline(sql: str, params) -> str:
+    """Interpolate bound values as SQL literals (the ad-hoc client shape:
+    every execution is a distinct statement text, so it re-pays parse+plan).
+    Only used with trusted generator values — real clients should bind."""
+
+    def lit(v) -> str:
+        if v is None:
+            return "NULL"
+        if isinstance(v, str):
+            return "'" + v.replace("'", "''") + "'"
+        if isinstance(v, (bool, np.bool_)):
+            return "TRUE" if v else "FALSE"
+        if isinstance(v, (int, np.integer)):
+            return repr(int(v))
+        if isinstance(v, (float, np.floating)):
+            return repr(float(v))
+        raise TypeError(f"cannot inline literal of type {type(v).__name__}")
+
+    if isinstance(params, dict):
+        out = sql
+        # Longest name first: ':max' must never clobber ':maxqty'.
+        for name in sorted(params, key=len, reverse=True):
+            out = out.replace(f":{name}", lit(params[name]))
+        return out
+    parts = sql.split("?")
+    assert len(parts) == len(params) + 1, "positional arity mismatch"
+    pieces = [parts[0]]
+    for piece, v in zip(parts[1:], params):
+        pieces.append(lit(v))
+        pieces.append(piece)
+    return "".join(pieces)

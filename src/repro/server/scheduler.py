@@ -1,0 +1,299 @@
+"""Concurrent query scheduler: admission control over the shared engine.
+
+Many client threads (or async tasks) submit queries against one
+:class:`~repro.sqlengine.Database`.  The scheduler:
+
+* **admits** work through a bounded queue — when ``queue_limit`` tickets are
+  already waiting, :meth:`QueryScheduler.submit` raises
+  :class:`~repro.errors.AdmissionError` instead of letting latency grow
+  without bound (load shedding at the front door);
+* **executes** at most ``max_concurrent`` queries at a time on its own
+  dispatcher threads; each running query fans its operators out over the
+  shared engine worker pools (:mod:`repro.sqlengine.parallel`), so engine
+  parallelism and inter-query concurrency compose without oversubscribing
+  a new pool per query;
+* **bounds** each query with an optional per-query (or scheduler-default)
+  timeout and supports cooperative cancellation — both are checked at
+  operator boundaries by ``Executor.check_runtime``;
+* **accounts** for everything: per-scheduler counters plus per-ticket
+  queue/execution timings that sessions aggregate into p50/p99 latency.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+from ..errors import AdmissionError, QueryCancelledError, QueryTimeoutError
+from ..sqlengine.database import Database, PreparedStatement
+
+__all__ = ["QueryScheduler", "QueryTicket"]
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class _SchedulerCounters:
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    timeouts: int = 0
+    rejected: int = 0
+
+
+class QueryTicket:
+    """A handle to one admitted query (a minimal Future).
+
+    States: ``queued`` → ``running`` → one of ``done`` / ``failed`` /
+    ``cancelled`` / ``timeout``.  :meth:`cancel` is immediate for queued
+    tickets and cooperative (next operator boundary) for running ones.
+    """
+
+    def __init__(self, statement, params, config, timeout, session):
+        self.statement = statement
+        self.params = params
+        self.config = config
+        self.timeout = timeout
+        self.session = session
+        self.status = "queued"
+        self.submitted_at = time.monotonic()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._done = threading.Event()
+        self._cancel = threading.Event()
+        self._chunk = None
+        self._error: BaseException | None = None
+
+    # -- caller side -------------------------------------------------------
+    def cancel(self) -> bool:
+        """Request cancellation; returns True unless already finished."""
+        if self._done.is_set():
+            return False
+        self._cancel.set()
+        return True
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result_chunk(self, timeout: float | None = None):
+        """Block for the raw result chunk; re-raises the query's error."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("query still pending")
+        if self._error is not None:
+            raise self._error
+        return self._chunk
+
+    def result(self, timeout: float | None = None):
+        """Block for the result as a DataFrame; re-raises the query's error."""
+        return Database._chunk_to_frame(self.result_chunk(timeout))
+
+    # -- timings -----------------------------------------------------------
+    @property
+    def queue_ms(self) -> float | None:
+        if self.started_at is None:
+            return None
+        return (self.started_at - self.submitted_at) * 1000.0
+
+    @property
+    def total_ms(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return (self.finished_at - self.submitted_at) * 1000.0
+
+    # -- worker side -------------------------------------------------------
+    def _finish(self, status: str, chunk=None, error=None) -> None:
+        self.status = status
+        self._chunk = chunk
+        self._error = error
+        self.finished_at = time.monotonic()
+        self._done.set()
+
+
+class QueryScheduler:
+    """Admission-controlled concurrent execution over one Database."""
+
+    def __init__(
+        self,
+        db: Database,
+        *,
+        max_concurrent: int = 4,
+        queue_limit: int = 64,
+        default_timeout: float | None = None,
+    ):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self.db = db
+        self.max_concurrent = max_concurrent
+        self.queue_limit = queue_limit
+        self.default_timeout = default_timeout
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
+        self._counters = _SchedulerCounters()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-sched-{i}",
+                daemon=True,
+            )
+            for i in range(max_concurrent)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # -- client API --------------------------------------------------------
+    def submit(
+        self,
+        statement,
+        params=None,
+        *,
+        config=None,
+        timeout: float | None = None,
+        session=None,
+    ) -> QueryTicket:
+        """Admit one query — a SQL string or a
+        :class:`~repro.sqlengine.PreparedStatement` — returning its ticket.
+
+        Raises :class:`~repro.errors.AdmissionError` when the scheduler is
+        closed or the admission queue is full (callers should back off or
+        shed the request; blocking here would just move the unbounded queue
+        into the clients).
+        """
+        if self._closed:
+            raise AdmissionError("scheduler is closed")
+        if timeout is None:
+            timeout = self.default_timeout
+        ticket = QueryTicket(statement, params, config, timeout, session)
+        try:
+            self._queue.put_nowait(ticket)
+        except queue.Full:
+            with self._lock:
+                self._counters.rejected += 1
+            message = f"admission queue full ({self.queue_limit} queries waiting)"
+            raise AdmissionError(message) from None
+        with self._lock:
+            self._counters.submitted += 1
+        return ticket
+
+    def execute(
+        self,
+        statement,
+        params=None,
+        *,
+        config=None,
+        timeout: float | None = None,
+        session=None,
+    ):
+        """Submit and block for the DataFrame result (convenience)."""
+        ticket = self.submit(
+            statement,
+            params,
+            config=config,
+            timeout=timeout,
+            session=session,
+        )
+        return ticket.result()
+
+    def stats(self) -> dict:
+        """Scheduler-level counters plus current queue depth."""
+        with self._lock:
+            c = self._counters
+            return {
+                "submitted": c.submitted,
+                "completed": c.completed,
+                "failed": c.failed,
+                "cancelled": c.cancelled,
+                "timeouts": c.timeouts,
+                "rejected": c.rejected,
+                "queued": self._queue.qsize(),
+                "max_concurrent": self.max_concurrent,
+                "queue_limit": self.queue_limit,
+            }
+
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting work; drain queued queries, then stop workers."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for w in self._workers:
+                w.join()
+            # A submit() racing close() may have landed its ticket behind
+            # the shutdown sentinels; with every worker gone, fail such
+            # stragglers so their result() raises instead of blocking.
+            while True:
+                try:
+                    ticket = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if ticket is not _SHUTDOWN:
+                    ticket._finish("failed", error=AdmissionError("scheduler is closed"))
+                    self._account("failed", ticket)
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- dispatch ----------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            ticket = self._queue.get()
+            if ticket is _SHUTDOWN:
+                return
+            self._run(ticket)
+
+    def _run(self, ticket: QueryTicket) -> None:
+        if ticket._cancel.is_set():  # cancelled while queued: never starts
+            error = QueryCancelledError("cancelled while queued")
+            ticket._finish("cancelled", error=error)
+            self._account("cancelled", ticket)
+            return
+        ticket.status = "running"
+        ticket.started_at = time.monotonic()
+        deadline = None
+        if ticket.timeout is not None:
+            deadline = ticket.started_at + ticket.timeout
+        try:
+            stmt = ticket.statement
+            if isinstance(stmt, PreparedStatement) and ticket.config is None:
+                chunk = stmt.execute_chunk(
+                    ticket.params,
+                    cancel_event=ticket._cancel,
+                    deadline=deadline,
+                )
+            else:
+                # A per-query config override must not reuse the prepared
+                # statement's plans (plans are keyed by config knobs), so
+                # route through the Database path, which caches by shape.
+                sql = stmt.sql if isinstance(stmt, PreparedStatement) else stmt
+                chunk = self.db.execute_chunk(
+                    sql,
+                    ticket.config,
+                    ticket.params,
+                    cancel_event=ticket._cancel,
+                    deadline=deadline,
+                )
+            ticket._finish("done", chunk=chunk)
+            self._account("completed", ticket)
+        except QueryTimeoutError as exc:
+            ticket._finish("timeout", error=exc)
+            self._account("timeouts", ticket)
+        except QueryCancelledError as exc:
+            ticket._finish("cancelled", error=exc)
+            self._account("cancelled", ticket)
+        except BaseException as exc:  # surfaced through ticket.result()
+            ticket._finish("failed", error=exc)
+            self._account("failed", ticket)
+
+    def _account(self, counter: str, ticket: QueryTicket) -> None:
+        with self._lock:
+            setattr(self._counters, counter, getattr(self._counters, counter) + 1)
+        if ticket.session is not None:
+            ticket.session._record(ticket)

@@ -1,0 +1,117 @@
+"""Client sessions: a thin connection object over the query scheduler.
+
+A :class:`Session` is the unit a client (one REPL, one HTTP handler, one
+load-generator thread) holds.  It routes queries through the shared
+:class:`~repro.server.scheduler.QueryScheduler`, offers ``prepare`` for the
+plan-once/execute-many hot path, and keeps per-session statistics
+(counts, rows, and a latency reservoir reduced to p50/p99).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import numpy as np
+
+from ..sqlengine.database import PreparedStatement
+
+__all__ = ["Session", "percentile"]
+
+
+def percentile(latencies_ms, q: float) -> float:
+    """The *q*-th percentile (0..100) of a latency sample, NaN when empty."""
+    if not len(latencies_ms):
+        return float("nan")
+    return float(np.percentile(np.asarray(latencies_ms, dtype=np.float64), q))
+
+
+class Session:
+    """One client's connection to a served database.
+
+    Thread-compatible: a session is meant to be used from one client thread
+    (like a DB-API connection); the internal lock only protects the stats
+    against the scheduler's dispatcher threads reporting completions.
+    """
+
+    # Bound the latency reservoir so a long-lived session cannot grow
+    # without limit; ~100k float64 is <1 MB and plenty for percentiles.
+    _MAX_LATENCIES = 100_000
+
+    def __init__(self, scheduler, name: str | None = None):
+        self._scheduler = scheduler
+        self.name = name or f"session-{id(self):x}"
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._errors = 0
+        self._timeouts = 0
+        self._cancelled = 0
+        self._rows = 0
+        self._latencies_ms: list[float] = []
+        self._latency_count = 0  # samples offered, including replaced ones
+        self._rng = random.Random(id(self))
+
+    # -- querying ----------------------------------------------------------
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Prepare against the served database (plans shared with every
+        other session executing the same statement shape)."""
+        return self._scheduler.db.prepare(sql)
+
+    def submit(self, statement, params=None, *, timeout=None, config=None):
+        """Enqueue a query (SQL text or PreparedStatement); returns the
+        ticket.  May raise AdmissionError — sessions do not retry."""
+        return self._scheduler.submit(
+            statement,
+            params,
+            config=config,
+            timeout=timeout,
+            session=self,
+        )
+
+    def execute(self, statement, params=None, *, timeout=None, config=None):
+        """Submit and block for the DataFrame result."""
+        return self.submit(statement, params, timeout=timeout, config=config).result()
+
+    # -- statistics --------------------------------------------------------
+    def _record(self, ticket) -> None:
+        """Called by the scheduler's dispatcher when a ticket finishes."""
+        with self._lock:
+            self._queries += 1
+            if ticket.status == "failed":
+                self._errors += 1
+            elif ticket.status == "timeout":
+                self._timeouts += 1
+            elif ticket.status == "cancelled":
+                self._cancelled += 1
+            elif ticket._chunk is not None:
+                self._rows += ticket._chunk.nrows
+            if ticket.total_ms is not None:
+                # Uniform reservoir sampling: once the buffer is full, each
+                # new sample replaces a random slot with probability
+                # MAX/offered, so percentiles track the whole lifetime
+                # instead of freezing on the first 100k queries.
+                self._latency_count += 1
+                if len(self._latencies_ms) < self._MAX_LATENCIES:
+                    self._latencies_ms.append(ticket.total_ms)
+                else:
+                    slot = self._rng.randrange(self._latency_count)
+                    if slot < self._MAX_LATENCIES:
+                        self._latencies_ms[slot] = ticket.total_ms
+
+    def stats(self) -> dict:
+        """Per-session counters and latency percentiles (milliseconds)."""
+        with self._lock:
+            lat = list(self._latencies_ms)
+            return {
+                "name": self.name,
+                "queries": self._queries,
+                "errors": self._errors,
+                "timeouts": self._timeouts,
+                "cancelled": self._cancelled,
+                "rows": self._rows,
+                "p50_ms": percentile(lat, 50),
+                "p99_ms": percentile(lat, 99),
+            }
+
+    def __repr__(self) -> str:
+        return f"Session({self.name!r}, queries={self._queries})"

@@ -10,8 +10,9 @@ plan cache.
 """
 
 from .catalog import Catalog, TableSchema
-from .database import Database, connect
+from .database import Database, PreparedStatement, connect
 from .executor import EngineConfig, Executor
+from .params import ParamSignature, bind_parameters, signature_of
 from .parser import parse, parse_expression
 from .plan import PhysicalPlan
 from .planner import Planner
@@ -21,9 +22,13 @@ __all__ = [
     "Catalog",
     "TableSchema",
     "Database",
+    "PreparedStatement",
     "connect",
     "EngineConfig",
     "Executor",
+    "ParamSignature",
+    "bind_parameters",
+    "signature_of",
     "parse",
     "parse_expression",
     "PhysicalPlan",

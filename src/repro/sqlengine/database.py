@@ -1,8 +1,21 @@
 """User-facing database connection API (the engine's equivalent of
-``duckdb.connect()``), including the keyed physical-plan cache."""
+``duckdb.connect()``), the shared LRU physical-plan cache, and prepared
+statements.
+
+Serving model (see ``docs/ARCHITECTURE.md`` "Serving layer"): one
+:class:`Database` may be shared by many client threads.  The plan cache is
+a bounded, lock-protected LRU keyed by *query shape* — the SQL text (with
+``?``/``:name`` placeholders) plus the planning-relevant config knobs —
+never by bound parameter values, so every execution of a prepared statement
+reuses one compiled plan.  Each ``execute`` call gets its own
+:class:`~.executor.Executor`, so runtime state (bound parameters,
+cancellation, tracing) is never shared across concurrent queries.
+"""
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
@@ -11,15 +24,14 @@ import numpy as np
 from ..dataframe import DataFrame
 from .catalog import Catalog, TableSchema
 from .executor import EngineConfig, Executor
+from .params import ParamSignature, bind_parameters, signature_of
 from .parser import parse
 from .plan import PhysicalPlan
 from .planner import Planner, RelSchema
 from .sqlast import Query, ValuesClause
 from .table import Chunk, Table
 
-__all__ = ["Database", "connect"]
-
-_PLAN_CACHE_LIMIT = 256
+__all__ = ["Database", "PreparedStatement", "connect"]
 
 
 @dataclass
@@ -28,13 +40,15 @@ class PlanCacheEntry:
 
     The entry keeps the parsed :class:`Query` alive, which makes the
     ``id(Select) -> PhysicalPlan`` map stable (ids of dead objects can be
-    recycled; live ones cannot).
+    recycled; live ones cannot).  ``signature`` is the statement's
+    placeholder shape, derived once at parse time.
     """
 
     query: Query
     plans: dict[int, PhysicalPlan] = field(default_factory=dict)
     catalog_version: int = 0
     hits: int = 0
+    signature: ParamSignature = field(default_factory=ParamSignature)
 
 
 class Database:
@@ -43,7 +57,11 @@ class Database:
     def __init__(self, config: EngineConfig | None = None):
         self.catalog = Catalog()
         self.config = config or EngineConfig()
-        self._plan_cache: dict[tuple, PlanCacheEntry] = {}
+        self._plan_cache: OrderedDict[tuple, PlanCacheEntry] = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
 
     # -- data definition ---------------------------------------------------
     def register(
@@ -72,55 +90,114 @@ class Database:
         return self.catalog.schema(name)
 
     # -- plan cache --------------------------------------------------------
+    @staticmethod
+    def _cache_key(sql: str, config: EngineConfig) -> tuple:
+        """The query-shape key: SQL text (placeholders included, literal
+        parameter values never) + the config knobs that change planning."""
+        return (sql, config.join_reorder, config.topk_rewrite,
+                config.subquery_decorrelate)
+
     def _plan_entry(self, sql: str, config: EngineConfig) -> Optional[PlanCacheEntry]:
         """The cache entry for (sql, planning-relevant config), if caching
-        is enabled.  Stale entries (catalog changed) are rebuilt in place."""
+        is enabled.  Stale entries (catalog changed) are rebuilt; the cache
+        is a bounded LRU (``EngineConfig.plan_cache_size`` on the
+        Database's own config) and safe for concurrent callers."""
         if not config.plan_cache:
             return None
-        key = (sql, config.join_reorder, config.topk_rewrite,
-               config.subquery_decorrelate)
-        entry = self._plan_cache.get(key)
-        if entry is not None and entry.catalog_version == self.catalog.version:
-            entry.hits += 1
-            return entry
-        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
-            # Evict the oldest entry (dict preserves insertion order) so a
-            # hot repeated query survives sweeps of one-off statements.
-            self._plan_cache.pop(next(iter(self._plan_cache)))
-        entry = PlanCacheEntry(parse(sql), catalog_version=self.catalog.version)
-        self._plan_cache[key] = entry
+        key = self._cache_key(sql, config)
+        version = self.catalog.version
+        with self._cache_lock:
+            entry = self._plan_cache.get(key)
+            if entry is not None and entry.catalog_version == version:
+                self._plan_cache.move_to_end(key)
+                self._cache_hits += 1
+                entry.hits += 1
+                return entry
+        # Parse outside the lock: a slow parse of one novel statement must
+        # not stall concurrent cache hits of hot ones.
+        query = parse(sql)
+        entry = PlanCacheEntry(query, catalog_version=version,
+                               signature=signature_of(query))
+        capacity = max(1, self.config.plan_cache_size)
+        with self._cache_lock:
+            current = self._plan_cache.get(key)
+            if current is not None and current.catalog_version == version:
+                # Another thread won the race to (re)build this entry.
+                self._plan_cache.move_to_end(key)
+                self._cache_hits += 1
+                current.hits += 1
+                return current
+            self._cache_misses += 1
+            self._plan_cache[key] = entry
+            self._plan_cache.move_to_end(key)
+            while len(self._plan_cache) > capacity:
+                self._plan_cache.popitem(last=False)
+                self._cache_evictions += 1
         return entry
+
+    def cache_stats(self) -> dict[str, int]:
+        """Plan-cache counters: entries/capacity and lifetime
+        hits/misses/evictions (a re-plan forced by DDL counts as a miss)."""
+        with self._cache_lock:
+            return {
+                "entries": len(self._plan_cache),
+                "capacity": max(1, self.config.plan_cache_size),
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "evictions": self._cache_evictions,
+            }
 
     @property
     def plan_cache_stats(self) -> dict[str, int]:
-        return {
-            "entries": len(self._plan_cache),
-            "hits": sum(e.hits for e in self._plan_cache.values()),
-        }
+        stats = self.cache_stats()
+        return {"entries": stats["entries"], "hits": stats["hits"]}
 
     def clear_plan_cache(self) -> None:
-        self._plan_cache.clear()
+        with self._cache_lock:
+            self._plan_cache.clear()
+            self._cache_hits = self._cache_misses = self._cache_evictions = 0
+
+    # -- prepared statements ----------------------------------------------
+    def prepare(self, sql: str, config: EngineConfig | None = None) -> "PreparedStatement":
+        """Compile *sql* (with optional ``?``/``:name`` placeholders) into a
+        reusable :class:`PreparedStatement`: parsing happens now, planning on
+        first execution, and neither is repeated on the hot path."""
+        return PreparedStatement(self, sql, config or self.config)
 
     # -- querying -------------------------------------------------------------
-    def execute_chunk(self, sql: str, config: EngineConfig | None = None) -> Chunk:
+    def execute_chunk(self, sql: str, config: EngineConfig | None = None,
+                      params=None, *, cancel_event=None,
+                      deadline: float | None = None) -> Chunk:
         cfg = config or self.config
         entry = self._plan_entry(sql, cfg)
         if entry is None:
-            executor = Executor(self.catalog, cfg)
-            return executor.execute(parse(sql))
-        executor = Executor(self.catalog, cfg, plans=entry.plans)
+            query = parse(sql)
+            bound = bind_parameters(signature_of(query), params)
+            executor = Executor(self.catalog, cfg, params=bound,
+                                cancel_event=cancel_event, deadline=deadline)
+            return executor.execute(query)
+        bound = bind_parameters(entry.signature, params)
+        executor = Executor(self.catalog, cfg, plans=entry.plans, params=bound,
+                            cancel_event=cancel_event, deadline=deadline)
         return executor.execute(entry.query)
 
-    def explain(self, sql: str, config: EngineConfig | None = None) -> str:
+    def explain(self, sql: str, config: EngineConfig | None = None,
+                params=None) -> str:
         """EXPLAIN ANALYZE: execute the query, returning the physical plan
         trace (scans with pushed-down filters, join order and cardinalities,
         aggregation, sort/limit) instead of the result."""
         cfg = config or self.config
         entry = self._plan_entry(sql, cfg)
         trace: list[str] = []
+        if entry is None:
+            query = parse(sql)
+            bound = bind_parameters(signature_of(query), params)
+        else:
+            query = entry.query
+            bound = bind_parameters(entry.signature, params)
         executor = Executor(self.catalog, cfg, trace=trace,
-                            plans=entry.plans if entry else None)
-        executor.execute(entry.query if entry else parse(sql))
+                            plans=entry.plans if entry else None, params=bound)
+        executor.execute(query)
         return "\n".join(trace)
 
     def explain_plan(self, sql: str, config: EngineConfig | None = None) -> str:
@@ -154,8 +231,8 @@ class Database:
         lines.append(plan.render())
         return "\n".join(lines)
 
-    def execute(self, sql: str, config: EngineConfig | None = None) -> DataFrame:
-        chunk = self.execute_chunk(sql, config)
+    @staticmethod
+    def _chunk_to_frame(chunk: Chunk) -> DataFrame:
         data: dict[str, np.ndarray] = {}
         for col, arr in zip(chunk.columns, chunk.arrays):
             out_name = col
@@ -166,6 +243,10 @@ class Database:
             data[out_name] = arr
         return DataFrame(data)
 
+    def execute(self, sql: str, config: EngineConfig | None = None,
+                params=None) -> DataFrame:
+        return self._chunk_to_frame(self.execute_chunk(sql, config, params))
+
     def with_config(self, **overrides) -> "Database":
         """A view of the same catalog under a different engine config."""
         from dataclasses import replace
@@ -173,8 +254,83 @@ class Database:
         other = Database.__new__(Database)
         other.catalog = self.catalog
         other.config = replace(self.config, **overrides)
-        other._plan_cache = {}
+        other._plan_cache = OrderedDict()
+        other._cache_lock = threading.Lock()
+        other._cache_hits = other._cache_misses = other._cache_evictions = 0
         return other
+
+
+class PreparedStatement:
+    """A parsed-and-planned statement executable many times with different
+    parameter values.
+
+    The statement shares the owning Database's plan-cache entry (so ad-hoc
+    executions of the same SQL reuse the same plans) but holds a direct
+    reference to it: LRU eviction of the mapping never invalidates a live
+    prepared statement, only DDL (catalog version bump) forces a re-plan.
+    The hot path — :meth:`execute` after the first call — performs no
+    parsing, no planning, and no cache lookup: it binds values, runs the
+    compiled plan, and returns.
+
+    Thread-safe: concurrent ``execute`` calls share the compiled plans but
+    nothing else (each gets a private Executor).
+    """
+
+    def __init__(self, db: Database, sql: str, config: EngineConfig):
+        self._db = db
+        self.sql = sql
+        self._config = config
+        entry = db._plan_entry(sql, config)
+        if entry is None:  # plan_cache disabled: private plan-once entry
+            query = parse(sql)
+            entry = PlanCacheEntry(query, catalog_version=db.catalog.version,
+                                   signature=signature_of(query))
+        self._entry = entry
+        self._refresh_lock = threading.Lock()
+
+    @property
+    def signature(self) -> ParamSignature:
+        """The statement's placeholder shape (positional count or names)."""
+        return self._entry.signature
+
+    def _current_entry(self) -> PlanCacheEntry:
+        entry = self._entry
+        if entry.catalog_version == self._db.catalog.version:
+            return entry
+        # DDL happened since compilation: re-resolve through the Database
+        # cache (which rebuilds stale entries) or rebuild the private entry.
+        with self._refresh_lock:
+            entry = self._entry
+            if entry.catalog_version == self._db.catalog.version:
+                return entry
+            fresh = self._db._plan_entry(self.sql, self._config)
+            if fresh is None:
+                query = parse(self.sql)
+                fresh = PlanCacheEntry(query,
+                                       catalog_version=self._db.catalog.version,
+                                       signature=signature_of(query))
+            self._entry = fresh
+            return fresh
+
+    def execute_chunk(self, params=None, *, cancel_event=None,
+                      deadline: float | None = None,
+                      trace: list[str] | None = None) -> Chunk:
+        entry = self._current_entry()
+        bound = bind_parameters(entry.signature, params)
+        executor = Executor(self._db.catalog, self._config, plans=entry.plans,
+                            params=bound, cancel_event=cancel_event,
+                            deadline=deadline, trace=trace)
+        return executor.execute(entry.query)
+
+    def execute(self, params=None, *, cancel_event=None,
+                deadline: float | None = None) -> DataFrame:
+        return Database._chunk_to_frame(
+            self.execute_chunk(params, cancel_event=cancel_event,
+                               deadline=deadline)
+        )
+
+    def __repr__(self) -> str:
+        return f"PreparedStatement({self.sql!r})"
 
 
 def connect(config: EngineConfig | None = None) -> Database:

@@ -22,13 +22,17 @@ hash-aggregate reductions across a shared thread pool.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 
 import numpy as np
 
-from ..errors import SQLBindError, SQLExecutionError, UnsupportedFeatureError
+from ..errors import (
+    QueryCancelledError, QueryTimeoutError, SQLBindError, SQLExecutionError,
+    UnsupportedFeatureError,
+)
 from .catalog import Catalog
-from .expressions import Evaluator, Scope, contains_aggregate, expr_columns, expr_key
+from .expressions import Evaluator, Scope, expr_columns, expr_key
 from .grouping import factorize_many, parallel_group_reduce
 from .joins import semi_join_mask
 from .parallel import parallel_arrays, parallel_map
@@ -62,6 +66,10 @@ class EngineConfig:
     parallel_join: bool = True
     parallel_agg: bool = True
     plan_cache: bool = True
+    # Maximum number of (sql, config) entries the Database-level plan cache
+    # retains; least-recently-used entries are evicted beyond this bound
+    # (a long-lived server must not let the cache grow with the query log).
+    plan_cache_size: int = 256
     topk_rewrite: bool = True
     # Whether the planner rewrites IN/NOT IN/EXISTS/NOT EXISTS and scalar
     # subqueries into SemiJoin/AntiJoin/MarkJoin/ScalarSubqueryScan plan
@@ -80,16 +88,37 @@ class Executor:
 
     def __init__(self, catalog: Catalog, config: EngineConfig | None = None,
                  trace: list[str] | None = None,
-                 plans: dict[int, PhysicalPlan] | None = None):
+                 plans: dict[int, PhysicalPlan] | None = None,
+                 params: dict | None = None,
+                 cancel_event=None, deadline: float | None = None):
         self.catalog = catalog
         self.config = config or EngineConfig()
         self.trace = trace
         self.plans = plans
+        # Bound placeholder values for this execution ({index_or_name:
+        # scalar}); reaches every Evaluator the operators construct.
+        self.params = params
+        # Cooperative cancellation: a threading.Event checked (with the
+        # monotonic deadline) at operator boundaries via check_runtime().
+        self.cancel_event = cancel_event
+        self.deadline = deadline
         self._active_plans: dict[int, PhysicalPlan] = {}
 
     def _note(self, message: str) -> None:
         if self.trace is not None:
             self.trace.append(message)
+
+    def check_runtime(self) -> None:
+        """Raise when this execution was cancelled or ran past its deadline.
+
+        Called by operators between pipeline stages (cooperative: a stage
+        already running on the worker pools finishes before the check
+        fires), so cancellation latency is one operator, not one query.
+        """
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            raise QueryCancelledError("query cancelled")
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise QueryTimeoutError("query exceeded its timeout")
 
     # ------------------------------------------------------------------
     # Entry points
@@ -120,7 +149,7 @@ class Executor:
 
     def _execute_values(self, values: ValuesClause) -> Chunk:
         dummy = Chunk(["__one"], [np.zeros(1, dtype=np.int64)])
-        evaluator = Evaluator(dummy, Scope())
+        evaluator = Evaluator(dummy, Scope(), params=self.params)
         ncols = len(values.rows[0])
         columns = [f"col{i}" for i in range(ncols)]
         raw_cols: list[list] = [[] for _ in range(ncols)]
@@ -195,6 +224,7 @@ class Executor:
         names = [self._output_name(it, i) for i, it in enumerate(items)]
         n = chunk.nrows
         threads = self.config.threads
+        params = self.params
         morsel = self.config.morsel_size if self.config.mode == "vectorized" else None
         simple = not window_values and not any(has_subquery(it.expr) for it in items)
 
@@ -202,27 +232,32 @@ class Executor:
             def make_arrays(start: int, stop: int) -> list[np.ndarray]:
                 if morsel is None:
                     sub = chunk.slice(start, stop)
-                    ev = Evaluator(sub, scope, subquery_executor=subquery_cb)
+                    ev = Evaluator(sub, scope, subquery_executor=subquery_cb,
+                                   params=params)
                     return [ev.eval_array(it.expr) for it in items]
                 parts: list[list[np.ndarray]] = []
                 pos = start
                 while pos < stop:
                     end = min(pos + morsel, stop)
                     sub = chunk.slice(pos, end)
-                    ev = Evaluator(sub, scope, subquery_executor=subquery_cb)
+                    ev = Evaluator(sub, scope, subquery_executor=subquery_cb,
+                                   params=params)
                     parts.append([ev.eval_array(it.expr) for it in items])
                     pos = end
                 if not parts:
-                    ev = Evaluator(chunk.slice(0, 0), scope, subquery_executor=subquery_cb)
+                    ev = Evaluator(chunk.slice(0, 0), scope,
+                                   subquery_executor=subquery_cb, params=params)
                     return [ev.eval_array(it.expr) for it in items]
                 if len(parts) == 1:
                     return parts[0]
                 return [np.concatenate([p[i] for p in parts]) for i in range(len(items))]
 
             arrays = parallel_arrays(n, threads, make_arrays)
-            evaluator = Evaluator(chunk, scope, subquery_executor=subquery_cb)
+            evaluator = Evaluator(chunk, scope, subquery_executor=subquery_cb,
+                                  params=params)
         else:
-            evaluator = Evaluator(chunk, scope, subquery_executor=subquery_cb)
+            evaluator = Evaluator(chunk, scope, subquery_executor=subquery_cb,
+                                  params=params)
             evaluator.precomputed = window_values  # type: ignore[attr-defined]
             arrays = [self._eval_with_windows(evaluator, it.expr, window_values) for it in items]
         return Chunk(names, arrays), evaluator
@@ -263,7 +298,9 @@ class Executor:
             base = evaluator.chunk.ncols
             for i, k in enumerate(window_values):
                 scope2.add(None, f"__win_{k}", base + i)
-            ev2 = Evaluator(chunk2, scope2, subquery_executor=evaluator.subquery_executor)
+            ev2 = Evaluator(chunk2, scope2,
+                            subquery_executor=evaluator.subquery_executor,
+                            params=evaluator.params)
             return ev2.eval_array(new_expr)
         return evaluator.eval_array(expr)
 
@@ -306,7 +343,8 @@ class Executor:
         items = self._expand_items(select, chunk, scope)
         names = [self._output_name(it, i) for i, it in enumerate(items)]
 
-        evaluator = Evaluator(chunk, scope, subquery_executor=subquery_cb)
+        evaluator = Evaluator(chunk, scope, subquery_executor=subquery_cb,
+                              params=self.params)
         if select.group_by:
             key_arrays = [evaluator.eval_array(g) for g in select.group_by]
             gids, key_uniques, ngroups = factorize_many(key_arrays)
@@ -350,7 +388,8 @@ class Executor:
             # Remaining expressions are independent: evaluate them across
             # the worker pool (NumPy reductions release the GIL).
             def eval_item(it):
-                ev = Evaluator(chunk, scope, subquery_executor=subquery_cb)
+                ev = Evaluator(chunk, scope, subquery_executor=subquery_cb,
+                               params=self.params)
                 ev.gids = gids
                 ev.ngroups = ngroups
                 ev.group_first = group_first
@@ -413,7 +452,7 @@ class Executor:
             if chunk.nrows > 1:
                 raise SQLExecutionError(
                     f"scalar subquery returned {chunk.nrows} rows "
-                    f"(expected at most one)"
+                    "(expected at most one)"
                 )
             if chunk.nrows == 0:
                 return None

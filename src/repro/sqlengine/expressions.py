@@ -18,7 +18,7 @@ from ..dataframe.strings import like_to_regex
 from .functions import call_function
 from .sqlast import (
     AggCall, BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef, ExistsExpr,
-    Expr, FuncCall, InList, InSubquery, IsNull, LikeExpr, Literal,
+    Expr, FuncCall, InList, InSubquery, IsNull, LikeExpr, Literal, Parameter,
     ScalarSubquery, Star, UnaryOp, WindowCall,
 )
 from .table import Chunk
@@ -129,6 +129,8 @@ def expr_key(expr: Expr) -> str:
     """A structural key used to match SELECT items against GROUP BY exprs."""
     if isinstance(expr, ColumnRef):
         return f"col:{expr.table or ''}.{expr.name}"
+    if isinstance(expr, Parameter):
+        return f"param:{expr.key!r}"
     if isinstance(expr, Literal):
         return f"lit:{expr.value!r}"
     if isinstance(expr, BinaryOp):
@@ -245,11 +247,15 @@ class Evaluator:
         scope: Scope,
         subquery_executor: Callable | None = None,
         correlated_resolver: Callable | None = None,
+        params: dict | None = None,
     ):
         self.chunk = chunk
         self.scope = scope
         self.subquery_executor = subquery_executor
         self.correlated_resolver = correlated_resolver
+        # Bound parameter values ({index_or_name: scalar}) for statements
+        # with placeholders; None for parameterless statements.
+        self.params = params
         # grouped-mode state, set by executor when aggregating
         self.gids: np.ndarray | None = None
         self.ngroups: int | None = None
@@ -318,6 +324,17 @@ class Evaluator:
 
     def _eval_Literal(self, expr: Literal):
         return expr.value
+
+    def _eval_Parameter(self, expr: Parameter):
+        if self.params is None:
+            raise SQLBindError(
+                f"statement contains placeholder {expr!r} but no parameter "
+                "values were bound"
+            )
+        try:
+            return self.params[expr.key]
+        except KeyError:
+            raise SQLBindError(f"no value bound for placeholder {expr!r}") from None
 
     def _eval_ColumnRef(self, expr: ColumnRef):
         if self.gids is not None:
@@ -530,11 +547,19 @@ class Evaluator:
 
     def _eval_LikeExpr(self, expr: LikeExpr):
         n = self.nrows
-        if expr.pattern is None:
+        pattern = expr.pattern
+        if isinstance(pattern, Parameter):
+            pattern = self._eval_Parameter(pattern)
+            if pattern is not None and not isinstance(pattern, (str, np.str_)):
+                raise SQLBindError(
+                    f"LIKE pattern parameter must be a string, "
+                    f"got {type(pattern).__name__}"
+                )
+        if pattern is None:
             # x LIKE NULL (or NOT LIKE NULL) is NULL: no row qualifies.
             return np.zeros(n, dtype=bool)
         operand = self.eval_array(expr.operand).astype(object)
-        regex = like_to_regex(expr.pattern, expr.escape)
+        regex = like_to_regex(str(pattern), expr.escape)
         if expr.negated:
             # NULL operands stay false under NOT LIKE too (NOT NULL is NULL).
             return np.array(

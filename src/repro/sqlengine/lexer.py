@@ -29,7 +29,11 @@ _ONE_CHAR = set("+-*/%(),.<>=;")
 
 @dataclass
 class Token:
-    """A lexical token: kind is one of KEYWORD/IDENT/NUMBER/STRING/OP/EOF."""
+    """A lexical token: kind is one of KEYWORD/IDENT/NUMBER/STRING/OP/PARAM/EOF.
+
+    ``PARAM`` tokens carry the placeholder name for ``:name`` parameters and
+    an empty value for positional ``?`` parameters.
+    """
 
     kind: str
     value: str
@@ -113,6 +117,19 @@ def tokenize(sql: str) -> list[Token]:
                 tokens.append(Token("KEYWORD", upper, i))
             else:
                 tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        if ch == "?":
+            tokens.append(Token("PARAM", "", i))
+            i += 1
+            continue
+        if ch == ":":
+            j = i + 1
+            if j >= n or not (sql[j].isalpha() or sql[j] == "_"):
+                raise SQLSyntaxError(f"expected parameter name after ':' at {i}")
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            tokens.append(Token("PARAM", sql[i + 1 : j], i))
             i = j
             continue
         two = sql[i : i + 2]

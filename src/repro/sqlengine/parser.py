@@ -7,9 +7,9 @@ from .lexer import Token, tokenize
 from .sqlast import (
     AggCall, BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef,
     CompoundSelect, ExistsExpr, Expr, FuncCall, InList, InSubquery, IsNull,
-    JoinClause, LikeExpr, Literal, OrderItem, Query, ScalarSubquery, Select,
-    SelectItem, Star, SubqueryRef, TableRef, UnaryOp, ValuesClause,
-    WindowCall, WindowFrame, WithQuery,
+    JoinClause, LikeExpr, Literal, OrderItem, Parameter, Query,
+    ScalarSubquery, Select, SelectItem, Star, SubqueryRef, TableRef, UnaryOp,
+    ValuesClause, WindowCall, WindowFrame, WithQuery,
 )
 
 __all__ = ["parse", "parse_expression"]
@@ -40,6 +40,8 @@ class _Parser:
     def __init__(self, tokens: list[Token]):
         self._tokens = tokens
         self._pos = 0
+        # Positional ``?`` placeholders are numbered in source order.
+        self._positional_params = 0
 
     # -- token helpers -----------------------------------------------------
     def _peek(self, offset: int = 0) -> Token:
@@ -99,6 +101,15 @@ class _Parser:
             raise SQLSyntaxError(
                 f"expected {word} but found {tok.value!r} at {tok.pos}"
             )
+
+    def _make_param(self, tok: Token) -> Parameter:
+        """Build a Parameter node from a PARAM token (positional placeholders
+        are numbered in source order)."""
+        if tok.value:
+            return Parameter(name=tok.value)
+        param = Parameter(index=self._positional_params)
+        self._positional_params += 1
+        return param
 
     def expect_eof(self) -> None:
         self._accept_op(";")
@@ -371,13 +382,17 @@ class _Parser:
                 if tok.value == "LIKE":
                     self._advance()
                     pattern_tok = self._advance()
+                    pattern: str | Parameter | None
                     if pattern_tok.is_keyword("NULL"):
                         pattern = None  # x LIKE NULL is NULL -> matches no row
                     elif pattern_tok.kind == "STRING":
                         pattern = pattern_tok.value
+                    elif pattern_tok.kind == "PARAM":
+                        pattern = self._make_param(pattern_tok)
                     else:
                         raise SQLSyntaxError(
-                            "LIKE expects a string literal (or NULL) pattern"
+                            "LIKE expects a string literal, a bind parameter, "
+                            "or NULL as its pattern"
                         )
                     escape = None
                     if self._accept_keyword("ESCAPE"):
@@ -458,6 +473,9 @@ class _Parser:
         if tok.kind == "STRING":
             self._advance()
             return Literal(tok.value)
+        if tok.kind == "PARAM":
+            self._advance()
+            return self._make_param(tok)
         if tok.kind == "KEYWORD":
             return self._parse_keyword_primary(tok)
         if tok.kind == "OP" and tok.value == "(":

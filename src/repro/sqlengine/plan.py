@@ -34,7 +34,7 @@ from .joins import combine_chunks, join_positions
 from .parallel import parallel_map, parallel_masks
 from .sqlast import (
     AggCall, BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef, ExistsExpr,
-    Expr, FuncCall, InList, InSubquery, IsNull, LikeExpr, Literal,
+    Expr, FuncCall, InList, InSubquery, IsNull, LikeExpr, Literal, Parameter,
     ScalarSubquery, Select, Star, UnaryOp, WindowCall,
 )
 from .table import Chunk
@@ -61,6 +61,8 @@ def expr_to_str(expr: Expr) -> str:
         return repr(expr.value)
     if isinstance(expr, ColumnRef):
         return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, Parameter):
+        return f":{expr.name}" if expr.name is not None else "?"
     if isinstance(expr, Star):
         return "*"
     if isinstance(expr, BinaryOp):
@@ -97,7 +99,12 @@ def expr_to_str(expr: Expr) -> str:
         return f"{expr_to_str(expr.operand)} IS {'NOT ' if expr.negated else ''}NULL"
     if isinstance(expr, LikeExpr):
         neg = "NOT " if expr.negated else ""
-        pattern = "NULL" if expr.pattern is None else repr(expr.pattern)
+        if expr.pattern is None:
+            pattern = "NULL"
+        elif isinstance(expr.pattern, Parameter):
+            pattern = expr_to_str(expr.pattern)
+        else:
+            pattern = repr(expr.pattern)
         esc = f" ESCAPE {expr.escape!r}" if expr.escape is not None else ""
         return f"{expr_to_str(expr.operand)} {neg}LIKE {pattern}{esc}"
     return type(expr).__name__
@@ -159,8 +166,18 @@ class ExecContext:
     def config(self):
         return self.executor.config
 
+    @property
+    def params(self):
+        """Bound placeholder values of this execution (None when the
+        statement has no parameters)."""
+        return self.executor.params
+
     def note(self, message: str) -> None:
         self.executor._note(message)
+
+    def checkpoint(self) -> None:
+        """Cooperative cancellation/timeout check at an operator boundary."""
+        self.executor.check_runtime()
 
     def subquery_cb(self):
         env = self.env
@@ -232,6 +249,7 @@ class Scan(Operator):
         return f"Scan {name} cols={cols}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
+        ctx.checkpoint()
         if self.table in ctx.env:
             src = ctx.env[self.table]
             chunk = Chunk(list(src.columns), list(src.arrays))
@@ -260,6 +278,7 @@ class SubqueryScan(Operator):
         return f"SubqueryScan AS {self.binding}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
+        ctx.checkpoint()
         chunk = ctx.executor._execute_body(self.body, ctx.env)
         if self.column_names is not None:
             chunk = Chunk(list(self.column_names), chunk.arrays)
@@ -304,8 +323,10 @@ class Filter(Operator):
 
     def execute(self, ctx: ExecContext) -> OpResult:
         res = self.child.execute(ctx)
+        ctx.checkpoint()
         chunk, scope = res.chunk, res.scope
         config = ctx.config
+        params = ctx.params
         n = chunk.nrows
         morsel = config.morsel_size if config.mode == "vectorized" else None
         exprs = self.predicates
@@ -313,7 +334,7 @@ class Filter(Operator):
         def make_mask(start: int, stop: int) -> np.ndarray:
             if morsel is None:
                 sub = chunk.slice(start, stop)
-                ev = Evaluator(sub, scope)
+                ev = Evaluator(sub, scope, params=params)
                 mask = np.ones(stop - start, dtype=bool)
                 for e in exprs:
                     mask &= ev.eval_mask(e)
@@ -323,7 +344,7 @@ class Filter(Operator):
             while pos < stop:
                 end = min(pos + morsel, stop)
                 sub = chunk.slice(pos, end)
-                ev = Evaluator(sub, scope)
+                ev = Evaluator(sub, scope, params=params)
                 mask = np.ones(end - pos, dtype=bool)
                 for e in exprs:
                     mask &= ev.eval_mask(e)
@@ -375,6 +396,7 @@ class CrossJoin(Operator):
     def execute(self, ctx: ExecContext) -> OpResult:
         lres = self.left.execute(ctx)
         rres = self.right.execute(ctx)
+        ctx.checkpoint()
         nl, nr = lres.chunk.nrows, rres.chunk.nrows
         if nl * nr > 50_000_000:
             raise SQLExecutionError(
@@ -420,9 +442,10 @@ class HashJoin(Operator):
     def execute(self, ctx: ExecContext) -> OpResult:
         lres = self.left.execute(ctx)
         rres = self.right.execute(ctx)
+        ctx.checkpoint()
         left_chunk, right_chunk = lres.chunk, rres.chunk
-        left_eval = Evaluator(left_chunk, lres.scope)
-        right_eval = Evaluator(right_chunk, rres.scope)
+        left_eval = Evaluator(left_chunk, lres.scope, params=ctx.params)
+        right_eval = Evaluator(right_chunk, rres.scope, params=ctx.params)
         lkeys = [left_eval.eval_array(le) for le, _ in self.pairs]
         rkeys = [right_eval.eval_array(re_) for _, re_ in self.pairs]
         threads = ctx.config.threads if ctx.config.parallel_join else 1
@@ -435,7 +458,7 @@ class HashJoin(Operator):
         )
         scope = _merge_scopes(lres.scope, self.right_binding, right_chunk, left_chunk.ncols)
         if self.residual:
-            ev = Evaluator(chunk, scope)
+            ev = Evaluator(chunk, scope, params=ctx.params)
             mask = np.ones(chunk.nrows, dtype=bool)
             for conj in self.residual:
                 mask &= ev.eval_mask(conj)
@@ -460,9 +483,11 @@ class ResidualFilter(Operator):
 
     def execute(self, ctx: ExecContext) -> OpResult:
         res = self.child.execute(ctx)
+        ctx.checkpoint()
         chunk = res.chunk
         before = chunk.nrows
-        evaluator = Evaluator(chunk, res.scope, subquery_executor=ctx.subquery_cb())
+        evaluator = Evaluator(chunk, res.scope, subquery_executor=ctx.subquery_cb(),
+                              params=ctx.params)
         mask = np.ones(chunk.nrows, dtype=bool)
         for conj in self.predicates:
             mask &= evaluator.eval_mask(conj)
@@ -493,7 +518,8 @@ def _subquery_probe_flags(ctx: ExecContext, res: OpResult,
     if not probe_exprs:
         return np.full(n, inner.nrows > 0), inner
     evaluator = Evaluator(res.chunk, res.scope,
-                          subquery_executor=ctx.subquery_cb())
+                          subquery_executor=ctx.subquery_cb(),
+                          params=ctx.params)
     probes = [evaluator.eval_array(e) for e in probe_exprs]
     flags = semi_join_flags(probes, list(inner.arrays[:len(probes)]),
                             threads=ctx.config.threads)
@@ -525,8 +551,10 @@ class SemiJoin(Operator):
         return f"SemiJoin {self.source}{on}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
-        flags, inner = _subquery_probe_flags(ctx, res := self.child.execute(ctx),
-                                             self.subplan, self.probe_exprs)
+        res = self.child.execute(ctx)
+        ctx.checkpoint()
+        flags, inner = _subquery_probe_flags(ctx, res, self.subplan,
+                                             self.probe_exprs)
         chunk = res.chunk.mask(flags)
         ctx.note(f"semi join ({self.source.lower()} subquery): "
                  f"{res.chunk.nrows} x {inner.nrows} -> {chunk.nrows} rows")
@@ -552,7 +580,8 @@ def _null_aware_anti_flags(ctx: ExecContext, res: OpResult,
     n = res.chunk.nrows
     threads = ctx.config.threads
     evaluator = Evaluator(res.chunk, res.scope,
-                          subquery_executor=ctx.subquery_cb())
+                          subquery_executor=ctx.subquery_cb(),
+                          params=ctx.params)
     probes = [evaluator.eval_array(e) for e in probe_exprs]
     build = list(inner.arrays[:len(probes)])
     value_null = isna_array(probes[0])
@@ -607,6 +636,7 @@ class AntiJoin(Operator):
 
     def execute(self, ctx: ExecContext) -> OpResult:
         res = self.child.execute(ctx)
+        ctx.checkpoint()
         if self.null_aware:
             keep, inner_rows = _null_aware_anti_flags(
                 ctx, res, self.subplan, self.probe_exprs
@@ -665,6 +695,7 @@ class MarkJoin(Operator):
 
     def execute(self, ctx: ExecContext) -> OpResult:
         res = self.child.execute(ctx)
+        ctx.checkpoint()
         if self.mode == "anti-null":
             mark, _ = _null_aware_anti_flags(ctx, res, self.subplan,
                                              self.probe_exprs)
@@ -699,6 +730,7 @@ class ScalarSubqueryScan(Operator):
 
     def execute(self, ctx: ExecContext) -> OpResult:
         res = self.child.execute(ctx)
+        ctx.checkpoint()
         inner = self.subplan.execute(ctx)
         if inner.nrows > 1:
             raise SQLExecutionError(
@@ -751,8 +783,10 @@ class Window(Operator):
                 f"{config.name}: window functions are not supported by this backend"
             )
         res = self.child.execute(ctx)
+        ctx.checkpoint()
         values = evaluate_window_calls(
-            res.chunk, res.scope, self.calls, config, ctx.subquery_cb()
+            res.chunk, res.scope, self.calls, config, ctx.subquery_cb(),
+            params=ctx.params,
         )
         specs = {
             (tuple(map(expr_to_str, c.partition_by)),
@@ -784,6 +818,7 @@ class Project(Operator):
 
     def execute(self, ctx: ExecContext) -> OpResult:
         res = self.child.execute(ctx)
+        ctx.checkpoint()
         executor = ctx.executor
         cb = ctx.subquery_cb()
         chunk, order_eval = executor._project_plain(
@@ -817,6 +852,7 @@ class HashAggregate(Operator):
 
     def execute(self, ctx: ExecContext) -> OpResult:
         res = self.child.execute(ctx)
+        ctx.checkpoint()
         executor = ctx.executor
         cb = ctx.subquery_cb()
         chunk, order_eval = executor._project_grouped(
@@ -842,6 +878,7 @@ class Distinct(Operator):
         from .grouping import factorize_many
 
         res = self.child.execute(ctx)
+        ctx.checkpoint()
         chunk = res.chunk
         if chunk.nrows:
             gids, _, ngroups = factorize_many(chunk.arrays)
@@ -876,6 +913,7 @@ class Sort(Operator):
 
     def execute(self, ctx: ExecContext) -> OpResult:
         res = self.child.execute(ctx)
+        ctx.checkpoint()
         arrays, ascendings = ctx.executor._order_arrays(
             self.order_by, res.chunk, res.order_eval
         )
@@ -911,6 +949,7 @@ class TopK(Operator):
         from .topk import topk_positions
 
         res = self.child.execute(ctx)
+        ctx.checkpoint()
         arrays, ascendings = ctx.executor._order_arrays(
             self.order_by, res.chunk, res.order_eval
         )
@@ -975,6 +1014,7 @@ class SetOp(Operator):
 
         lres = self.left.execute(ctx)
         rres = self.right.execute(ctx)
+        ctx.checkpoint()
         chunk = execute_set_op(self.op, self.all, lres.chunk, rres.chunk,
                                self.columns, threads=ctx.config.threads)
         ctx.note(

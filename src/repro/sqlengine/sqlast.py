@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 __all__ = [
-    "Expr", "Literal", "ColumnRef", "Star", "BinaryOp", "UnaryOp", "FuncCall",
+    "Expr", "Literal", "Parameter", "ColumnRef", "Star", "BinaryOp", "UnaryOp", "FuncCall",
     "AggCall", "CaseExpr", "CastExpr", "InList", "InSubquery", "ExistsExpr",
     "ScalarSubquery", "BetweenExpr", "IsNull", "LikeExpr", "WindowCall",
     "WindowFrame",
@@ -26,6 +26,29 @@ class Literal(Expr):
 
     def __repr__(self) -> str:
         return f"Lit({self.value!r})"
+
+
+@dataclass
+class Parameter(Expr):
+    """A bind-parameter placeholder: positional ``?`` or named ``:name``.
+
+    Positional parameters carry a 0-based ``index`` assigned by the parser
+    in left-to-right source order; named parameters carry ``name`` (several
+    occurrences of the same name share one bound value).  The planner treats
+    parameters as opaque scalars, so a compiled plan is reusable across
+    executions with different values — the basis of prepared statements.
+    """
+
+    index: Optional[int] = None
+    name: Optional[str] = None
+
+    @property
+    def key(self):
+        """The binding key: the name for ``:name``, the index for ``?``."""
+        return self.name if self.name is not None else self.index
+
+    def __repr__(self) -> str:
+        return f"Param(:{self.name})" if self.name is not None else f"Param(?{self.index})"
 
 
 @dataclass
@@ -156,13 +179,15 @@ class IsNull(Expr):
 class LikeExpr(Expr):
     """``operand [NOT] LIKE pattern [ESCAPE 'c']``.
 
-    ``pattern`` is ``None`` when the pattern was the literal ``NULL``
-    (SQL: the whole predicate is NULL, i.e. no row matches).  ``escape``
-    is the single escape character of an ``ESCAPE`` clause, if present.
+    ``pattern`` is a string literal, a :class:`Parameter` placeholder
+    (resolved to a string at bind time), or ``None`` when the pattern was
+    the literal ``NULL`` (SQL: the whole predicate is NULL, i.e. no row
+    matches).  ``escape`` is the single escape character of an ``ESCAPE``
+    clause, if present.
     """
 
     operand: Expr
-    pattern: Optional[str]
+    pattern: Union[str, Parameter, None]
     negated: bool = False
     escape: Optional[str] = None
 

@@ -558,7 +558,8 @@ def _const_arg(evaluator, expr, what: str):
     return value
 
 
-def evaluate_window_calls(chunk, scope, calls, config, subquery_cb=None) -> dict:
+def evaluate_window_calls(chunk, scope, calls, config, subquery_cb=None,
+                          params=None) -> dict:
     """Evaluate every :class:`~.sqlast.WindowCall` of one SELECT body.
 
     Calls are grouped by ``(PARTITION BY, ORDER BY)`` spec so each distinct
@@ -568,7 +569,8 @@ def evaluate_window_calls(chunk, scope, calls, config, subquery_cb=None) -> dict
     """
     from .expressions import Evaluator, expr_key
 
-    evaluator = Evaluator(chunk, scope, subquery_executor=subquery_cb)
+    evaluator = Evaluator(chunk, scope, subquery_executor=subquery_cb,
+                          params=params)
     n = chunk.nrows
     threads = config.threads
     layouts: dict[tuple, WindowLayout] = {}

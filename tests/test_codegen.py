@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.backends import DuckDBSim, HyperSim, LingoDBSim
+from repro.backends import DuckDBSim, HyperSim
 from repro.core.codegen import generate_sql
 from repro.core.tondir.ir import (
     Agg, AssignAtom, BinOp, Const, ConstRelAtom, ExistsAtom, Ext, FilterAtom,

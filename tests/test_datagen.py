@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.workloads.tpch import PRIMARY_KEYS, TABLES, generate
-from repro.workloads.tpch.datagen import NATIONS, REGIONS
+from repro.workloads.tpch.datagen import REGIONS
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,6 @@ empty-table and single-row edge cases that stress ``partition_bounds``."""
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 import numpy as np
 import pytest

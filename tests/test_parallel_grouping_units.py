@@ -2,7 +2,6 @@
 primitives (the pieces the executor composes)."""
 
 import numpy as np
-import pytest
 
 from repro.sqlengine.grouping import factorize, factorize_many
 from repro.sqlengine.parallel import (

@@ -1,0 +1,334 @@
+"""Concurrent serving: scheduler semantics and engine thread-safety.
+
+The stress test is the serving layer's core correctness guarantee: ≥8
+client threads hammer one Database with a mixed prepared/ad-hoc workload
+and every result must be bit-identical to serial execution — this guards
+the shared plan cache, the shared worker pools, and per-execution state
+isolation all at once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import QueryScheduler, Session, connect
+from repro.errors import (
+    AdmissionError, QueryCancelledError, QueryTimeoutError, SQLExecutionError,
+)
+from repro.server.scheduler import _SHUTDOWN as _SHUTDOWN_SENTINEL
+from repro.server.scheduler import QueryTicket
+from repro.sqlengine import EngineConfig
+from repro.sqlengine.parallel import shutdown_pools
+
+
+def make_db(threads: int = 1, rows: int = 4000) -> object:
+    rng = np.random.default_rng(7)
+    db = connect(EngineConfig(threads=threads))
+    db.register(
+        "trades",
+        {
+            "id": np.arange(rows, dtype=np.int64),
+            "acct": rng.integers(0, 40, rows),
+            "amt": np.round(rng.uniform(0.0, 1000.0, rows), 6),
+            "tag": rng.choice(np.array(["buy", "sell", "hold"], dtype=object), rows),
+        },
+        primary_key="id",
+    )
+    db.register(
+        "accounts",
+        {
+            "acct": np.arange(40, dtype=np.int64),
+            "region": rng.choice(np.array(["na", "eu", "ap"], dtype=object), 40),
+        },
+        primary_key="acct",
+    )
+    return db
+
+
+# (template, params) pairs that cover joins, aggregation, Top-K, subqueries.
+WORKLOAD = [
+    ("SELECT acct, COUNT(*) AS n, SUM(amt) AS total FROM trades "
+     "WHERE amt > ? GROUP BY acct ORDER BY acct", [250.0]),
+    ("SELECT t.id, t.amt, a.region FROM trades t, accounts a "
+     "WHERE t.acct = a.acct AND t.amt > ? ORDER BY t.amt DESC, t.id LIMIT 20",
+     [800.0]),
+    ("SELECT tag, COUNT(*) AS n FROM trades WHERE acct IN "
+     "(SELECT acct FROM accounts WHERE region = ?) GROUP BY tag ORDER BY tag",
+     ["eu"]),
+    ("SELECT id, amt FROM trades WHERE acct = ? AND amt BETWEEN ? AND ? "
+     "ORDER BY id", [3, 100.0, 900.0]),
+    ("SELECT region, AVG(amt) AS avg_amt FROM trades t, accounts a "
+     "WHERE t.acct = a.acct GROUP BY region ORDER BY region", None),
+]
+
+
+def _chunks_equal(a, b) -> bool:
+    if a.columns != b.columns or a.nrows != b.nrows:
+        return False
+    for x, y in zip(a.arrays, b.arrays):
+        if x.dtype != y.dtype:
+            return False
+        if x.dtype == object:
+            if not all((u == v) or (u is None and v is None)
+                       for u, v in zip(x.tolist(), y.tolist())):
+                return False
+        elif not np.array_equal(x, y, equal_nan=(x.dtype.kind == "f")):
+            return False
+    return True
+
+
+@pytest.mark.parametrize("engine_threads", [1, 4])
+def test_stress_mixed_prepared_adhoc_bit_identical(engine_threads):
+    """≥8 clients, mixed prepared/ad-hoc, results identical to serial."""
+    db = make_db(threads=engine_threads)
+    references = []
+    for sql, params in WORKLOAD:
+        references.append(db.execute_chunk(sql, params=params))
+    prepared = [db.prepare(sql) for sql, _ in WORKLOAD]
+
+    n_clients = 8
+    iterations = 12
+    failures: list[str] = []
+    barrier = threading.Barrier(n_clients)
+
+    def client(idx: int) -> None:
+        rng = np.random.default_rng(idx)
+        barrier.wait()
+        for it in range(iterations):
+            w = int(rng.integers(0, len(WORKLOAD)))
+            sql, params = WORKLOAD[w]
+            if rng.random() < 0.5:
+                got = prepared[w].execute_chunk(params)
+            else:
+                got = db.execute_chunk(sql, params=params)
+            if not _chunks_equal(references[w], got):
+                failures.append(
+                    f"client {idx} iter {it} workload {w}: diverged"
+                )
+                return
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(n_clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not failures, failures
+    shutdown_pools()
+
+
+class TestScheduler:
+    def test_submit_and_result(self):
+        db = make_db()
+        with QueryScheduler(db, max_concurrent=2) as sched:
+            ticket = sched.submit("SELECT COUNT(*) AS n FROM trades")
+            assert ticket.result(timeout=10).to_dict() == {"n": [4000]}
+            assert ticket.status == "done"
+            assert ticket.total_ms is not None and ticket.queue_ms is not None
+
+    def test_prepared_submission_with_params(self):
+        db = make_db()
+        stmt = db.prepare("SELECT COUNT(*) AS n FROM trades WHERE acct = ?")
+        with QueryScheduler(db, max_concurrent=2) as sched:
+            tickets = [sched.submit(stmt, [acct]) for acct in range(5)]
+            counts = [t.result(timeout=10).to_dict()["n"][0] for t in tickets]
+        assert sum(counts) == sum(
+            db.execute("SELECT COUNT(*) AS n FROM trades WHERE acct < 5")
+            .to_dict()["n"]
+        )
+
+    def test_error_propagates_through_ticket(self):
+        db = make_db()
+        with QueryScheduler(db) as sched:
+            ticket = sched.submit(
+                "SELECT (SELECT id FROM trades) AS broken FROM accounts"
+            )
+            with pytest.raises(SQLExecutionError):
+                ticket.result(timeout=10)
+            assert ticket.status == "failed"
+        assert sched.stats()["failed"] == 1
+
+    def test_admission_queue_bound(self):
+        """With the single worker held at a gate, the bounded queue fills
+        and the next submit is shed with AdmissionError."""
+        db = make_db()
+        sched = QueryScheduler(db, max_concurrent=1, queue_limit=2)
+        gate = threading.Event()
+        original = db.execute_chunk
+
+        def gated_execute(sql, config=None, params=None, **kw):
+            gate.wait(10)
+            return original(sql, config, params, **kw)
+
+        db.execute_chunk = gated_execute
+        try:
+            running = sched.submit("SELECT 1")  # occupies the worker
+            time.sleep(0.05)
+            sched.submit("SELECT 2")
+            sched.submit("SELECT 3")
+            with pytest.raises(AdmissionError, match="queue full"):
+                sched.submit("SELECT 4")
+            assert sched.stats()["rejected"] == 1
+        finally:
+            gate.set()
+            db.execute_chunk = original
+        assert running.result(timeout=10).to_dict() == {"col0": [1]}
+        sched.close()
+
+    def test_cancel_queued_ticket(self):
+        db = make_db()
+        sched = QueryScheduler(db, max_concurrent=1, queue_limit=8)
+        gate = threading.Event()
+        original = db.execute_chunk
+
+        def gated_execute(sql, config=None, params=None, **kw):
+            gate.wait(10)
+            return original(sql, config, params, **kw)
+
+        db.execute_chunk = gated_execute
+        try:
+            first = sched.submit("SELECT 1")
+            time.sleep(0.05)
+            queued = sched.submit("SELECT 2")
+            assert queued.cancel()
+            gate.set()
+            with pytest.raises(QueryCancelledError):
+                queued.result(timeout=10)
+            assert queued.status == "cancelled"
+        finally:
+            gate.set()
+            db.execute_chunk = original
+        first.result(timeout=10)
+        sched.close()
+        assert sched.stats()["cancelled"] == 1
+
+    def test_timeout_enforced(self):
+        db = make_db()
+        with QueryScheduler(db, default_timeout=0.0) as sched:
+            ticket = sched.submit("SELECT COUNT(*) AS n FROM trades")
+            with pytest.raises(QueryTimeoutError):
+                ticket.result(timeout=10)
+            assert ticket.status == "timeout"
+            assert sched.stats()["timeouts"] == 1
+
+    def test_per_query_timeout_overrides_default(self):
+        db = make_db()
+        with QueryScheduler(db, default_timeout=0.0) as sched:
+            ok = sched.submit("SELECT COUNT(*) AS n FROM trades", timeout=30.0)
+            assert ok.result(timeout=10).to_dict() == {"n": [4000]}
+
+    def test_closed_scheduler_rejects(self):
+        db = make_db()
+        sched = QueryScheduler(db)
+        sched.close()
+        with pytest.raises(AdmissionError, match="closed"):
+            sched.submit("SELECT 1")
+
+    def test_close_fails_stragglers_instead_of_hanging(self):
+        """A ticket that slips into the queue behind the shutdown sentinels
+        must fail fast, not leave result() blocked forever."""
+        db = make_db()
+        sched = QueryScheduler(db, max_concurrent=1)
+        ticket = QueryTicket("SELECT 1", None, None, None, None)
+        sched._queue.put(_SHUTDOWN_SENTINEL)  # simulate the race window
+        sched._queue.put(ticket)
+        sched.close()
+        with pytest.raises(AdmissionError, match="closed"):
+            ticket.result(timeout=5)
+
+    def test_config_override_respected_for_prepared(self):
+        db = make_db(threads=1)
+        stmt = db.prepare("SELECT COUNT(*) AS n FROM trades WHERE acct = ?")
+        override = EngineConfig(threads=4)
+        with QueryScheduler(db) as sched:
+            got = sched.submit(stmt, [3], config=override).result(timeout=10)
+            want = db.execute_chunk(stmt.sql, override, [3])
+        assert got.to_dict() == {"n": [want.arrays[0][0]]}
+
+    def test_concurrent_submissions_complete(self):
+        db = make_db()
+        with QueryScheduler(db, max_concurrent=4, queue_limit=256) as sched:
+            tickets = [
+                sched.submit("SELECT COUNT(*) AS n FROM trades WHERE acct = ?",
+                             [i % 40])
+                for i in range(64)
+            ]
+            for t in tickets:
+                assert t.result(timeout=30) is not None
+        stats = sched.stats()
+        assert stats["completed"] == 64
+        assert stats["failed"] == 0
+
+
+class TestSession:
+    def test_session_stats_percentiles(self):
+        db = make_db()
+        with QueryScheduler(db, max_concurrent=2) as sched:
+            session = Session(sched, name="alice")
+            for acct in range(10):
+                session.execute(
+                    "SELECT COUNT(*) AS n FROM trades WHERE acct = ?", [acct]
+                )
+            stats = session.stats()
+        assert stats["name"] == "alice"
+        assert stats["queries"] == 10
+        assert stats["errors"] == 0
+        assert stats["rows"] == 10
+        assert stats["p50_ms"] > 0
+        assert stats["p99_ms"] >= stats["p50_ms"]
+
+    def test_session_counts_errors(self):
+        db = make_db()
+        with QueryScheduler(db) as sched:
+            session = Session(sched)
+            with pytest.raises(SQLExecutionError):
+                session.execute(
+                    "SELECT (SELECT id FROM trades) AS broken FROM accounts"
+                )
+            assert session.stats()["errors"] == 1
+
+    def test_session_prepare_roundtrip(self):
+        db = make_db()
+        with QueryScheduler(db) as sched:
+            session = Session(sched)
+            stmt = session.prepare(
+                "SELECT COUNT(*) AS n FROM trades WHERE amt > ?"
+            )
+            via_session = session.execute(stmt, [500.0]).to_dict()
+            direct = stmt.execute([500.0]).to_dict()
+        assert via_session == direct
+
+
+class TestLoadGenerator:
+    def test_short_load_run_clean(self):
+        from repro.server import run_load
+
+        db = make_db()
+        from repro.server.loadgen import QueryTemplate
+
+        mix = [
+            QueryTemplate(
+                "count_by_acct",
+                "SELECT COUNT(*) AS n FROM trades WHERE acct = ?",
+                lambda rng: [int(rng.integers(0, 40))],
+            ),
+            QueryTemplate(
+                "topk",
+                "SELECT id, amt FROM trades WHERE amt > :cut "
+                "ORDER BY amt DESC LIMIT 5",
+                lambda rng: {"cut": float(rng.uniform(0, 900))},
+            ),
+        ]
+        report = run_load(db, clients=4, duration=0.4, mix=mix, seed=3)
+        assert report.errors == 0
+        assert report.queries > 0
+        assert report.qps > 0
+        assert report.p99_ms >= report.p50_ms
+        assert set(report.per_template) == {"count_by_acct", "topk"}
+        assert sum(report.per_template.values()) == report.queries
+        assert len(report.session_stats) == 4
+        shutdown_pools()

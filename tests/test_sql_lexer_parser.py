@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SQLSyntaxError
-from repro.sqlengine.lexer import Token, tokenize
+from repro.sqlengine.lexer import tokenize
 from repro.sqlengine.parser import parse, parse_expression
 from repro.sqlengine.sqlast import (
     AggCall, BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef,

@@ -6,7 +6,7 @@ import pytest
 import repro.dataframe as rpd
 from repro import connect
 from repro.errors import SQLBindError
-from repro.sqlengine import Catalog, Database, EngineConfig, Table
+from repro.sqlengine import Catalog, EngineConfig, Table
 from repro.sqlengine.table import Chunk
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the TondIR data structures and analyses."""
 
-import pytest
 
 from repro.core.tondir.analysis import (
     body_unique_vars, consumers, contains_agg_term, contains_ext,

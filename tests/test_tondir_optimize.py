@@ -8,7 +8,7 @@ from repro.core.tondir.ir import (
 )
 from repro.core.tondir.optimize import (
     OPT_LEVELS, global_dce, group_aggregate_elimination, local_dce, optimize,
-    rule_inlining, self_join_elimination,
+    self_join_elimination,
 )
 
 

@@ -6,11 +6,8 @@ checking translated execution against the eager Python baseline for all 22
 queries, all optimization levels, and all three backend profiles.
 """
 
-import numpy as np
 import pytest
 
-from repro.backends import get_backend
-from repro.errors import UnsupportedFeatureError
 from repro.workloads.tpch import QUERIES, QUERY_TABLES
 
 from tests.helpers import rows

@@ -1,7 +1,6 @@
 """Tests for the validation harness and remaining window functions."""
 
 import numpy as np
-import pytest
 
 import repro.dataframe as rpd
 from repro import connect

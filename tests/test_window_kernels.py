@@ -11,7 +11,7 @@ import pytest
 from repro import connect
 from repro.sqlengine import EngineConfig
 from repro.sqlengine.window import (
-    WindowLayout, build_layout, dense_rank, framed_aggregate, ntile, rank,
+    build_layout, dense_rank, framed_aggregate, ntile, rank,
     row_number, shift, sort_positions,
 )
 

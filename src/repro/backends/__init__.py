@@ -1,20 +1,64 @@
-"""Simulated database backends (DuckDB / Hyper / LingoDB substitutes).
+"""Pluggable execution backends behind the :class:`~.base.ExecutionBackend`
+Protocol (``supports``/``compile``/``execute``/``introspect``).
 
-Each backend pairs an :class:`~repro.sqlengine.EngineConfig` (execution
-profile) with a SQL dialect descriptor used by PyTond's code generator
-(Section III-E "Backend Adaptation").
+Registered unconditionally:
+
+* ``native`` — the in-process NumPy engine, plain profile;
+* ``duckdb``/``hyper``/``lingodb`` — *simulated* system profiles over the
+  native engine (PyTond's "Backend Adaptation", Section III-E), used by
+  the paper-figure harness;
+* ``sqlite`` — the stdlib sqlite3 engine as an independent oracle.
+
+Registered when the optional dependency is importable:
+
+* ``duckdb_real`` — the actual DuckDB engine.
+
+See ``docs/ARCHITECTURE.md`` ("Backends") for the Protocol, capability
+gating, and how to add a backend.
 """
 
-from .base import Backend, get_backend, available_backends
+from ..errors import BackendError
+from .base import (
+    Backend,
+    BackendInfo,
+    CompiledQuery,
+    Dialect,
+    ExecutionBackend,
+    ResultTable,
+    available_backends,
+    backend_infos,
+    get_backend,
+    register_backend,
+    rewrite_sql,
+)
+from .duckdb_real import DuckDBBackend, duckdb_available
 from .duckdb_sim import DuckDBSim
 from .hyper_sim import HyperSim
 from .lingodb_sim import LingoDBSim
+from .native import NativeBackend
+from .sqlite import SQLITE_DIALECT, SqliteBackend, load_sqlite, to_sqlite_sql
 
 __all__ = [
     "Backend",
+    "BackendError",
+    "BackendInfo",
+    "CompiledQuery",
+    "Dialect",
+    "ExecutionBackend",
+    "ResultTable",
+    "NativeBackend",
+    "SqliteBackend",
+    "DuckDBBackend",
     "DuckDBSim",
     "HyperSim",
     "LingoDBSim",
-    "get_backend",
+    "SQLITE_DIALECT",
     "available_backends",
+    "backend_infos",
+    "duckdb_available",
+    "get_backend",
+    "register_backend",
+    "rewrite_sql",
+    "load_sqlite",
+    "to_sqlite_sql",
 ]

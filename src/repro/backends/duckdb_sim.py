@@ -35,5 +35,7 @@ DuckDBSim = register_backend(
             strftime_function="STRFTIME({arg}, {fmt})",
             supports_window=True,
         ),
+        kind="simulated-profile",
+        description="DuckDB execution paradigm simulated on the native engine",
     )
 )

@@ -32,5 +32,7 @@ HyperSim = register_backend(
             strftime_function="TO_CHAR({arg}, {fmt})",
             supports_window=True,
         ),
+        kind="simulated-profile",
+        description="Hyper execution paradigm simulated on the native engine",
     )
 )

@@ -34,5 +34,7 @@ LingoDBSim = register_backend(
             supports_window=False,
         ),
         rejects=frozenset({"tpch_q12"}),
+        kind="simulated-profile",
+        description="LingoDB research prototype simulated on the native engine",
     )
 )

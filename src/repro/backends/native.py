@@ -1,0 +1,25 @@
+"""The default backend: the in-process NumPy engine, plain profile.
+
+``native`` is the engine as itself — compiled mode, join re-ordering,
+morsel-parallel operators, plan caching — with the standard SQL dialect.
+The simulated paper profiles (``duckdb``/``hyper``/``lingodb``) restrict or
+re-shape this engine to mimic other systems; ``native`` is what you want
+when you just want the fastest local execution.
+"""
+
+from __future__ import annotations
+
+from ..sqlengine.executor import EngineConfig
+from .base import Backend, Dialect, register_backend
+
+__all__ = ["NativeBackend"]
+
+NativeBackend = register_backend(
+    Backend(
+        name="native",
+        engine_config=EngineConfig(name="native"),
+        dialect=Dialect(),
+        kind="native",
+        description="in-process NumPy engine (default execution backend)",
+    )
+)

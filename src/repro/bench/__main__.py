@@ -3,6 +3,7 @@
 Examples::
 
     python -m repro.bench table1
+    python -m repro.bench backends
     python -m repro.bench fig3 --sf 0.01
     python -m repro.bench fig5 --scale 0.05 --threads 1
     python -m repro.bench fig10
@@ -15,6 +16,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..backends import backend_infos
+from ..errors import BackendError
 from .harness import TpchBench, WorkloadBench
 from .report import capability_matrix, format_series, scalability_table, speedup_summary
 
@@ -60,6 +63,19 @@ def _serve(args) -> str:
     )
 
 
+def _backends(args) -> str:
+    """The registered execution backends: name, kind, version, capabilities."""
+    lines = [f"{'name':<12} {'kind':<18} {'version':<14} capabilities"]
+    for info in backend_infos():
+        caps = ", ".join(info.capabilities)
+        avail = "" if info.available else "  [unavailable]"
+        lines.append(f"{info.name:<12} {info.kind:<18} {info.version:<14} "
+                     f"{caps}{avail}")
+        if info.description:
+            lines.append(f"{'':<12} {info.description}")
+    return "\n".join(lines)
+
+
 def _fig10(args) -> str:
     tpch = TpchBench(scale_factor=args.sf)
     ds = WorkloadBench(scale=args.scale)
@@ -77,6 +93,7 @@ def _fig10(args) -> str:
 
 FIGURES = {
     "table1": lambda args: capability_matrix(),
+    "backends": _backends,
     "fig3": lambda args: _fig_tpch(args, threads=1),
     "fig4": lambda args: _fig_tpch(args, threads=4),
     "fig5": lambda args: _fig_ds(args, threads=1),
@@ -120,7 +137,13 @@ def main(argv: list[str] | None = None) -> int:
         targets = [args.figure]
     for name in targets:
         print(f"\n===== {name} =====")
-        print(FIGURES[name](args))
+        try:
+            print(FIGURES[name](args))
+        except BackendError as exc:
+            # Registry errors (unknown/unavailable backend) are user input
+            # problems, not crashes: a clean one-line message, exit 2.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     return 0
 
 

@@ -1,208 +1,40 @@
-"""Differential testing harness: our engine vs the stdlib ``sqlite3`` oracle.
+"""Differential testing harness: our engine vs independent oracle backends.
 
-Loads the contents of a :class:`~repro.sqlengine.Database` into an in-memory
-sqlite3 database, rewrites generated SQL into sqlite's dialect (``DATE``
-literals, ``EXTRACT``, ``STRFTIME`` argument order), runs the query on both
-engines, and compares row sets cell by cell.  This is the safety net behind
-the physical-plan refactor: any planner/operator bug that changes results
-shows up as a divergence from an independent, battle-tested engine.
+Historically this module owned the sqlite3 mirror loader, the dialect
+rewrites, and the row-normalization helpers.  Those now live in
+:mod:`repro.backends` (``SqliteBackend`` and friends) — the sqlite oracle is
+a first-class registered backend, and the rewrites are derived from its
+:class:`~repro.backends.Dialect` template so there is a single source of
+truth for e.g. STRFTIME argument order.  This module keeps the
+test-friendly assertion helpers and re-exports the moved names for
+compatibility.
+
+Two entry points:
+
+* :func:`assert_same_results` — the original connection-based API: caller
+  owns a sqlite3 connection (from :func:`load_sqlite`) and we compare
+  against it.
+* :func:`assert_matches_backend` — the registry path: name any registered
+  oracle backend (``sqlite``, ``duckdb_real``) and the comparison runs
+  through its ``compile``/``execute`` Protocol methods, including mirror
+  caching.
 """
 
 from __future__ import annotations
 
-import math
-import re
 import sqlite3
 
-import numpy as np
-
+from ..backends import get_backend, load_sqlite, to_sqlite_sql
+from ..backends.rows import (  # noqa: F401 - _to_python is a compat re-export
+    chunk_rows,
+    normalize_rows,
+    rows_equal,
+    to_python_cell as _to_python,
+)
 from ..sqlengine import Database
 
 __all__ = ["load_sqlite", "to_sqlite_sql", "run_differential", "rows_equal",
-           "normalize_rows", "assert_same_results"]
-
-
-# ---------------------------------------------------------------------------
-# Loading
-# ---------------------------------------------------------------------------
-
-def _sqlite_type(dtype: np.dtype) -> str:
-    kind = dtype.kind
-    if kind in ("i", "u", "b"):
-        return "INTEGER"
-    if kind == "f":
-        return "REAL"
-    return "TEXT"  # strings and dates (ISO text compares/sorts correctly)
-
-
-def _to_python(value):
-    """Convert a numpy cell into something sqlite3 can bind."""
-    if value is None:
-        return None
-    if isinstance(value, np.datetime64):
-        if np.isnat(value):
-            return None
-        return str(np.datetime64(value, "D"))
-    if isinstance(value, np.generic):
-        value = value.item()
-    if isinstance(value, float) and math.isnan(value):
-        return None  # our engine treats NaN as SQL NULL
-    return value
-
-
-def load_sqlite(db: Database) -> sqlite3.Connection:
-    """Mirror every table of *db* into a fresh in-memory sqlite database."""
-    conn = sqlite3.connect(":memory:")
-    for name in db.tables():
-        table = db.catalog.get(name)
-        decls = ", ".join(
-            f'"{col}" {_sqlite_type(arr.dtype)}'
-            for col, arr in zip(table.columns, table.arrays)
-        )
-        conn.execute(f'CREATE TABLE "{name}" ({decls})')
-        placeholders = ", ".join("?" for _ in table.columns)
-        rows = zip(*[[_to_python(v) for v in arr.tolist()] if arr.dtype.kind != "M"
-                     else [_to_python(v) for v in arr]
-                     for arr in table.arrays])
-        conn.executemany(f'INSERT INTO "{name}" VALUES ({placeholders})', rows)
-    conn.commit()
-    return conn
-
-
-# ---------------------------------------------------------------------------
-# Dialect rewriting
-# ---------------------------------------------------------------------------
-
-def _rewrite_extract_year(sql: str) -> str:
-    """EXTRACT(YEAR FROM <expr>) -> CAST(STRFTIME('%Y', <expr>) AS INTEGER)."""
-    out = []
-    i = 0
-    pattern = re.compile(r"EXTRACT\s*\(\s*YEAR\s+FROM\s+", re.IGNORECASE)
-    while True:
-        m = pattern.search(sql, i)
-        if m is None:
-            out.append(sql[i:])
-            break
-        out.append(sql[i:m.start()])
-        # Scan to the matching close paren of EXTRACT(.
-        depth = 1
-        j = m.end()
-        while j < len(sql) and depth:
-            if sql[j] == "(":
-                depth += 1
-            elif sql[j] == ")":
-                depth -= 1
-            j += 1
-        inner = sql[m.end():j - 1]
-        out.append(f"CAST(STRFTIME('%Y', {inner}) AS INTEGER)")
-        i = j
-    return "".join(out)
-
-
-def _swap_two_args(sql: str, func: str) -> str:
-    """FUNC(a, b) -> STRFTIME(b, a) — sqlite's strftime takes format first."""
-    out = []
-    i = 0
-    pattern = re.compile(rf"{func}\s*\(", re.IGNORECASE)
-    while True:
-        m = pattern.search(sql, i)
-        if m is None:
-            out.append(sql[i:])
-            break
-        out.append(sql[i:m.start()])
-        depth = 1
-        j = m.end()
-        comma = None
-        while j < len(sql) and depth:
-            ch = sql[j]
-            if ch == "(":
-                depth += 1
-            elif ch == ")":
-                depth -= 1
-            elif ch == "," and depth == 1 and comma is None:
-                comma = j
-            j += 1
-        if comma is None:
-            out.append(sql[m.start():j])
-        else:
-            first = sql[m.end():comma].strip()
-            second = sql[comma + 1:j - 1].strip()
-            out.append(f"STRFTIME({second}, {first})")
-        i = j
-    return "".join(out)
-
-
-def to_sqlite_sql(sql: str) -> str:
-    """Rewrite our generated (duckdb-dialect) SQL into sqlite's dialect."""
-    out = re.sub(r"\bDATE\s+('(?:[^'])*')", r"\1", sql)  # DATE 'x' -> 'x'
-    # Swap pre-existing STRFTIME/TO_CHAR arguments BEFORE rewriting EXTRACT
-    # (which emits already-sqlite-ordered STRFTIME calls).
-    out = _swap_two_args(out, "STRFTIME")
-    out = _swap_two_args(out, "TO_CHAR")
-    out = _rewrite_extract_year(out)
-    out = re.sub(r"\bSUBSTRING\s*\(", "SUBSTR(", out, flags=re.IGNORECASE)
-    return out
-
-
-# ---------------------------------------------------------------------------
-# Comparison
-# ---------------------------------------------------------------------------
-
-def _norm_cell(value):
-    if value is None:
-        return None
-    if isinstance(value, np.datetime64):
-        return None if np.isnat(value) else str(np.datetime64(value, "D"))
-    if isinstance(value, np.generic):
-        value = value.item()
-    if isinstance(value, float):
-        if math.isnan(value):
-            return None
-        return value
-    if isinstance(value, bool):
-        return int(value)
-    return value
-
-
-def _sort_key(row: tuple) -> tuple:
-    key = []
-    for cell in row:
-        if cell is None:
-            key.append((0, ""))
-        elif isinstance(cell, float):
-            # Coarse rounding so float-association noise can't reorder rows.
-            key.append((1, f"{cell:.3f}"))
-        elif isinstance(cell, (int,)):
-            key.append((1, f"{float(cell):.3f}"))
-        else:
-            key.append((2, str(cell)))
-    return tuple(key)
-
-
-def normalize_rows(rows) -> list[tuple]:
-    return sorted((tuple(_norm_cell(c) for c in row) for row in rows),
-                  key=_sort_key)
-
-
-def _cells_equal(a, b, rel_tol: float, abs_tol: float) -> bool:
-    if a is None or b is None:
-        return a is None and b is None
-    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
-        return math.isclose(float(a), float(b), rel_tol=rel_tol, abs_tol=abs_tol)
-    return a == b
-
-
-def rows_equal(ours: list[tuple], theirs: list[tuple],
-               rel_tol: float = 1e-6, abs_tol: float = 1e-6) -> tuple[bool, str]:
-    if len(ours) != len(theirs):
-        return False, f"row count {len(ours)} != {len(theirs)}"
-    for i, (ra, rb) in enumerate(zip(ours, theirs)):
-        if len(ra) != len(rb):
-            return False, f"row {i}: arity {len(ra)} != {len(rb)}"
-        for j, (a, b) in enumerate(zip(ra, rb)):
-            if not _cells_equal(a, b, rel_tol, abs_tol):
-                return False, f"row {i} col {j}: {a!r} != {b!r}"
-    return True, ""
+           "normalize_rows", "assert_same_results", "assert_matches_backend"]
 
 
 def run_differential(db: Database, conn: sqlite3.Connection, sql: str,
@@ -216,8 +48,7 @@ def run_differential(db: Database, conn: sqlite3.Connection, sql: str,
     an equivalent ROW_NUMBER-tagged DISTINCT set operation.
     """
     chunk = db.execute_chunk(sql, config)
-    ours = normalize_rows(zip(*[arr.tolist() if arr.dtype.kind != "M" else list(arr)
-                                for arr in chunk.arrays])) if chunk.ncols else []
+    ours = normalize_rows(chunk_rows(chunk)) if chunk.ncols else []
     theirs = normalize_rows(conn.execute(to_sqlite_sql(oracle_sql or sql)).fetchall())
     return ours, theirs
 
@@ -230,5 +61,28 @@ def assert_same_results(db: Database, conn: sqlite3.Connection, sql: str,
     assert ok, (
         f"{context or 'query'} diverged from sqlite3: {detail}\n"
         f"sql: {sql}\nsqlite sql: {to_sqlite_sql(oracle_sql or sql)}\n"
+        f"ours[:3]={ours[:3]}\ntheirs[:3]={theirs[:3]}"
+    )
+
+
+def assert_matches_backend(db: Database, sql: str, backend: str = "sqlite",
+                           config=None, context: str = "",
+                           oracle_sql: str | None = None) -> None:
+    """Registry-path differential check: our engine vs a named oracle backend.
+
+    The oracle backend compiles *sql* (dialect rewrite) and executes it
+    against its own mirror of *db* (cached across calls, invalidated when
+    the catalog version changes), so repeated assertions on one database
+    don't re-load the data each time.
+    """
+    oracle = get_backend(backend)
+    chunk = db.execute_chunk(sql, config)
+    ours = normalize_rows(chunk_rows(chunk)) if chunk.ncols else []
+    artifact = oracle.compile(oracle_sql or sql)
+    theirs = oracle.execute(db, artifact).normalized()
+    ok, detail = rows_equal(ours, theirs)
+    assert ok, (
+        f"{context or 'query'} diverged from backend {backend!r}: {detail}\n"
+        f"sql: {sql}\noracle sql: {artifact.sql}\n"
         f"ours[:3]={ours[:3]}\ntheirs[:3]={theirs[:3]}"
     )

@@ -20,7 +20,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from ..backends import get_backend
+from ..backends import Backend, get_backend
 from ..dataframe import DataFrame
 from ..errors import ReproError, UnsupportedFeatureError
 from ..sqlengine import connect
@@ -100,15 +100,20 @@ class TpchBench:
 
     def sql_runner(self, query: int, system: str, backend: str, threads: int) -> Callable:
         backend_obj = get_backend(backend)
-        if f"tpch_q{query}" in backend_obj.rejects:
+        if f"tpch_q{query}" in getattr(backend_obj, "rejects", frozenset()):
             raise UnsupportedFeatureError(f"{backend}: rejects TPC-H Q{query}")
-        if system == "grizzly" and not backend_obj.engine_config.supports_window:
+        if system == "grizzly" and not backend_obj.supports(("window",)):
             raise UnsupportedFeatureError(
                 f"{backend}: no window functions; Grizzly-simulated UID generation unavailable"
             )
         sql = self.sql_for(query, system, backend)
-        config = backend_obj.config(threads=threads)
-        return lambda: self.db.execute(sql, config=config)
+        if isinstance(backend_obj, Backend):
+            config = backend_obj.config(threads=threads)
+            return lambda: self.db.execute(sql, config=config)
+        # Oracle backends (sqlite, duckdb_real) execute through the Protocol
+        # against a cached mirror of the benchmark tables.
+        artifact = backend_obj.compile(sql, dialect=backend_obj.dialect.name)
+        return lambda: backend_obj.execute(self.db, artifact)
 
     def explain_plan(self, query: int, system: str = "pytond",
                      backend: str = "hyper") -> str:
@@ -231,8 +236,11 @@ class WorkloadBench:
         backend_obj = get_backend(backend)
         level = _SYSTEM_LEVEL[system]
         sql = workload.fn.sql(backend, level=level, db=db)
-        config = backend_obj.config(threads=threads)
-        return lambda: db.execute(sql, config=config)
+        if isinstance(backend_obj, Backend):
+            config = backend_obj.config(threads=threads)
+            return lambda: db.execute(sql, config=config)
+        artifact = backend_obj.compile(sql, dialect=backend_obj.dialect.name)
+        return lambda: backend_obj.execute(db, artifact)
 
     def run(
         self,
@@ -253,7 +261,7 @@ class WorkloadBench:
                 for backend in backends:
                     backend_obj = get_backend(backend)
                     needs_window = system == "grizzly" or name.startswith("hybrid")
-                    if not backend_obj.engine_config.supports_window and system == "grizzly":
+                    if not backend_obj.supports(("window",)) and system == "grizzly":
                         out.append(Measurement(name, system, backend, threads, float("nan"),
                                                excluded=True, note="no window functions"))
                         continue

@@ -18,8 +18,10 @@ keys under LIMIT are total orders, and window ORDER BY keys are non-null
 (the engines disagree on NULL placement).
 
 Entry points: :func:`build_fuzz_db`, :func:`generate` (seed -> spec),
-:func:`run_seeds` (differential sweep used by ``tests/fuzz``), and
-:func:`shrink`.  ``tools/fuzz.py`` wraps them in a CLI for longer runs.
+:func:`run_seeds` (differential sweep used by ``tests/fuzz``; its
+``oracle=`` names any registered oracle backend — ``sqlite`` by default,
+``duckdb_real`` when installed), and :func:`shrink`.  ``tools/fuzz.py``
+wraps them in a CLI (``--backend``) for longer runs.
 """
 
 from __future__ import annotations
@@ -29,8 +31,10 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..backends import ExecutionBackend, get_backend
 from ..sqlengine import Database, EngineConfig, connect
-from .differential import normalize_rows, rows_equal, to_sqlite_sql
+from .differential import rows_equal
+from ..backends.rows import chunk_rows, normalize_rows
 
 __all__ = ["build_fuzz_db", "generate", "render", "run_seeds", "shrink",
            "Divergence", "SelectSpec"]
@@ -350,15 +354,18 @@ class Divergence:
     sql: str
     detail: str
     shrunk_sql: str = ""
+    oracle: str = "sqlite"
 
     def report(self) -> str:
-        return (f"seed={self.seed} threads={self.threads}\n"
+        return (f"seed={self.seed} threads={self.threads} "
+                f"oracle={self.oracle}\n"
                 f"  divergence: {self.detail}\n"
                 f"  sql:    {self.sql}\n"
                 f"  shrunk: {self.shrunk_sql or self.sql}")
 
 
-def _diff_detail(db: Database, conn, sql: str, threads: int) -> str | None:
+def _diff_detail(db: Database, oracle: ExecutionBackend, sql: str,
+                 threads: int) -> str | None:
     """One engine-vs-oracle comparison; a string describes any divergence
     (row mismatch, or an error raised by only one side)."""
     config = EngineConfig(threads=threads)
@@ -366,24 +373,21 @@ def _diff_detail(db: Database, conn, sql: str, threads: int) -> str | None:
     ours_exc = theirs_exc = None
     try:
         chunk = db.execute_chunk(sql, config)
-        ours = normalize_rows(
-            zip(*[arr.tolist() if arr.dtype.kind != "M" else list(arr)
-                  for arr in chunk.arrays])
-        ) if chunk.ncols else []
+        ours = normalize_rows(chunk_rows(chunk)) if chunk.ncols else []
     except Exception as exc:  # noqa: BLE001 - any engine error is data here
         ours_exc = exc
     try:
-        theirs = normalize_rows(conn.execute(to_sqlite_sql(sql)).fetchall())
+        theirs = oracle.execute(db, oracle.compile(sql)).normalized()
     except Exception as exc:  # noqa: BLE001
         theirs_exc = exc
     if ours_exc is not None and theirs_exc is not None:
         return None  # both engines reject the query: agreement
     if ours_exc is not None:
         return (f"our engine raised {type(ours_exc).__name__}: {ours_exc} "
-                f"(sqlite succeeded)")
+                f"({oracle.name} succeeded)")
     if theirs_exc is not None:
-        return (f"sqlite raised {type(theirs_exc).__name__}: {theirs_exc} "
-                f"(our engine succeeded)")
+        return (f"{oracle.name} raised {type(theirs_exc).__name__}: "
+                f"{theirs_exc} (our engine succeeded)")
     ok, detail = rows_equal(ours, theirs)
     return None if ok else detail
 
@@ -434,23 +438,31 @@ def _reductions(spec: SelectSpec):
             yield replace(spec, items=spec.items[:i] + spec.items[i + 1:])
 
 
-def run_seeds(db: Database, conn, seeds, threads=(1, 4),
+def run_seeds(db: Database, seeds, threads=(1, 4), oracle="sqlite",
               shrink_failures: bool = True) -> list[Divergence]:
-    """Differentially test the queries for *seeds*; returns divergences
-    (each with a shrunk minimal repro when *shrink_failures*)."""
+    """Differentially test the queries for *seeds* against *oracle* — any
+    registered oracle backend name (or backend instance); returns
+    divergences (each with a shrunk minimal repro when *shrink_failures*).
+
+    The oracle's data mirror is cached inside the backend (per catalog
+    version), so a multi-thousand-seed sweep loads the tables once.
+    """
+    oracle_obj = get_backend(oracle) if isinstance(oracle, str) else oracle
     failures: list[Divergence] = []
     for seed in seeds:
         spec = generate(seed)
         sql = render(spec)
         for t in threads:
-            detail = _diff_detail(db, conn, sql, t)
+            detail = _diff_detail(db, oracle_obj, sql, t)
             if detail is None:
                 continue
-            failure = Divergence(seed=seed, threads=t, sql=sql, detail=detail)
+            failure = Divergence(seed=seed, threads=t, sql=sql,
+                                 detail=detail, oracle=oracle_obj.name)
             if shrink_failures:
                 small = shrink(
                     spec,
-                    lambda s: _diff_detail(db, conn, render(s), t) is not None,
+                    lambda s: _diff_detail(db, oracle_obj, render(s), t)
+                    is not None,
                 )
                 failure.shrunk_sql = render(small)
             failures.append(failure)

@@ -37,7 +37,7 @@ def _quote(value: str) -> str:
     return "'" + value.replace("'", "''") + "'"
 
 
-def _const_sql(value) -> str:
+def _const_sql(value, dialect: Dialect | None = None) -> str:
     if value is None:
         return "NULL"
     if isinstance(value, bool):
@@ -47,7 +47,8 @@ def _const_sql(value) -> str:
     if isinstance(value, (float, np.floating)):
         return repr(float(value))
     if isinstance(value, np.datetime64):
-        return f"DATE {_quote(str(value.astype('datetime64[D]')))}"
+        lit = _quote(str(value.astype("datetime64[D]")))
+        return (dialect or _STANDARD_DIALECT).date_literal.format(lit=lit)
     if isinstance(value, str):
         return _quote(value)
     raise TondIRError(f"cannot render constant {value!r}")
@@ -149,7 +150,7 @@ class SQLGenerator:
                 alias = next_alias()
                 alias_of[id(atom)] = alias
                 rows = ", ".join(
-                    "(" + ", ".join(_const_sql(v) for v in row) + ")" for row in atom.rows
+                    "(" + ", ".join(_const_sql(v, self.dialect) for v in row) + ")" for row in atom.rows
                 )
                 cols = [f"c{i}" for i in range(len(atom.vars))]
                 from_items.append(f"(VALUES {rows}) AS {alias}({', '.join(cols)})")
@@ -171,7 +172,7 @@ class SQLGenerator:
                 elif isinstance(atom, ConstRelAtom):
                     alias = alias_of[id(atom)]
                     rows = ", ".join(
-                        "(" + ", ".join(_const_sql(v) for v in row) + ")" for row in atom.rows
+                        "(" + ", ".join(_const_sql(v, self.dialect) for v in row) + ")" for row in atom.rows
                     )
                     cols = [f"c{i}" for i in range(len(atom.vars))]
                     from_items.append(f"(VALUES {rows}) AS {alias}({', '.join(cols)})")
@@ -291,7 +292,7 @@ class SQLGenerator:
                 raise TondIRError(f"unbound variable {term.name!r}")
             return defs[term.name]
         if isinstance(term, Const):
-            return _const_sql(term.value)
+            return _const_sql(term.value, self.dialect)
         if isinstance(term, BinOp):
             return self._binop_sql(term, defs)
         if isinstance(term, If):
@@ -396,7 +397,7 @@ class SQLGenerator:
             values = term.args[1]
             if not isinstance(values, Const) or not isinstance(values.value, (list, tuple)):
                 raise TondIRError(f"{name} requires a constant list")
-            items = ", ".join(_const_sql(v) for v in values.value)
+            items = ", ".join(_const_sql(v, self.dialect) for v in values.value)
             keyword = "IN" if name == "in_list" else "NOT IN"
             return f"{operand} {keyword} ({items})"
         args = [self._term_sql(a, defs) for a in term.args]
@@ -429,11 +430,11 @@ class SQLGenerator:
             values = term.args[1]
             if not isinstance(values, Const) or not isinstance(values.value, (list, tuple)):
                 raise TondIRError("in_list requires a constant list")
-            items = ", ".join(_const_sql(v) for v in values.value)
+            items = ", ".join(_const_sql(v, self.dialect) for v in values.value)
             return f"{args[0]} IN ({items})"
         if name == "not_in_list":
             values = term.args[1]
-            items = ", ".join(_const_sql(v) for v in values.value)
+            items = ", ".join(_const_sql(v, self.dialect) for v in values.value)
             return f"{args[0]} NOT IN ({items})"
         if name == "isnull":
             return f"{args[0]} IS NULL"

@@ -19,8 +19,8 @@ import functools
 import inspect
 import textwrap
 
-from ..backends import Backend, get_backend
-from ..errors import TranslationError
+from ..backends import Backend, ExecutionBackend, get_backend
+from ..errors import BackendError, TranslationError
 from .codegen.sqlgen import generate_sql
 from .tondir.ir import Program
 from .tondir.optimize import OPT_LEVELS, optimize
@@ -135,7 +135,8 @@ class PytondFunction:
         self._programs[level] = program
         return program
 
-    def sql(self, backend: str | Backend = "duckdb", level: str | None = None, db=None) -> str:
+    def sql(self, backend: str | ExecutionBackend = "duckdb",
+            level: str | None = None, db=None) -> str:
         """Generate SQL for *backend* at optimization *level*."""
         program = self.tondir(level, db)
         backend_obj = get_backend(backend) if isinstance(backend, str) else backend
@@ -150,22 +151,33 @@ class PytondFunction:
     def run(
         self,
         db=None,
-        backend: str | Backend = "duckdb",
+        backend: str | ExecutionBackend = "duckdb",
         threads: int = 1,
         level: str | None = None,
     ):
-        """Execute the generated SQL on *db* and return a DataFrame."""
+        """Execute the generated SQL on *db* and return a DataFrame.
+
+        *backend* may name any registered backend: native-engine profiles
+        run in-process under their :class:`EngineConfig`; oracle backends
+        (``sqlite``, ``duckdb_real``) compile the generated SQL into their
+        own dialect and execute it against a mirror of *db*'s tables.
+        """
         db = db or self._db
         if db is None:
             raise TranslationError("run() requires a database connection")
         backend_obj = get_backend(backend) if isinstance(backend, str) else backend
         sql = self.sql(backend_obj, level, db)
-        return db.execute(sql, config=backend_obj.config(threads=threads))
+        if isinstance(backend_obj, Backend):
+            return db.execute(sql, config=backend_obj.config(threads=threads))
+        # Protocol path: sql() already generated text in the backend's own
+        # dialect, so compile() must not rewrite it a second time.
+        artifact = backend_obj.compile(sql, dialect=backend_obj.dialect.name)
+        return backend_obj.execute(db, artifact).to_dataframe()
 
     def explain(
         self,
         db=None,
-        backend: str | Backend = "duckdb",
+        backend: str | ExecutionBackend = "duckdb",
         threads: int = 1,
         level: str | None = None,
     ) -> str:
@@ -175,7 +187,14 @@ class PytondFunction:
             raise TranslationError("explain() requires a database connection")
         backend_obj = get_backend(backend) if isinstance(backend, str) else backend
         sql = self.sql(backend_obj, level, db)
-        return db.explain(sql, config=backend_obj.config(threads=threads))
+        if isinstance(backend_obj, Backend):
+            return db.explain(sql, config=backend_obj.config(threads=threads))
+        explain = getattr(backend_obj, "explain", None)
+        if explain is None:
+            raise BackendError(
+                f"backend {backend_obj.name!r} does not support explain()")
+        artifact = backend_obj.compile(sql, dialect=backend_obj.dialect.name)
+        return explain(db, artifact)
 
 
 def pytond(

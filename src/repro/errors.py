@@ -47,6 +47,12 @@ class UnsupportedFeatureError(SQLError):
     """
 
 
+class BackendError(ReproError):
+    """Backend-registry failure: an unknown backend name was requested, or
+    a registered backend cannot run in this environment (e.g. the optional
+    ``duckdb`` module is not installed)."""
+
+
 class TranslationError(ReproError):
     """The @pytond translator could not compile the Python source."""
 

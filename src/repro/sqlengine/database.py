@@ -93,9 +93,15 @@ class Database:
     @staticmethod
     def _cache_key(sql: str, config: EngineConfig) -> tuple:
         """The query-shape key: SQL text (placeholders included, literal
-        parameter values never) + the config knobs that change planning."""
-        return (sql, config.join_reorder, config.topk_rewrite,
-                config.subquery_decorrelate)
+        parameter values never) + the full backend-profile fingerprint.
+
+        Keying on a *subset* of planning flags was a latent bug: two
+        backend configs agreeing on that subset (e.g. profiles differing
+        only in execution mode or window support) would share one cache
+        entry, so the second backend executed a plan compiled for the
+        first — see :meth:`EngineConfig.plan_fingerprint`.
+        """
+        return (sql, config.plan_fingerprint())
 
     def _plan_entry(self, sql: str, config: EngineConfig) -> Optional[PlanCacheEntry]:
         """The cache entry for (sql, planning-relevant config), if caching

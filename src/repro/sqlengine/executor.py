@@ -76,6 +76,25 @@ class EngineConfig:
     # nodes; off, every subquery runs through the residual interpreter path.
     subquery_decorrelate: bool = True
 
+    def plan_fingerprint(self) -> tuple:
+        """Canonical identity of this config for plan-cache keying.
+
+        Every backend-profile knob that can influence a compiled plan or
+        its admissibility is included; only runtime-scaling knobs that
+        plans are explicitly independent of (``threads``) and cache-policy
+        knobs (``plan_cache``/``plan_cache_size``) are excluded.  Two
+        different backend profiles therefore never share a cache entry —
+        reusing a plan compiled under another profile could smuggle in the
+        wrong join order, morsel shape, or a feature (window functions)
+        the executing backend must reject.
+        """
+        return (
+            self.name, self.mode, self.join_reorder, self.supports_window,
+            self.morsel_size, tuple(sorted(self.rejected_join_patterns)),
+            self.parallel_join, self.parallel_agg, self.topk_rewrite,
+            self.subquery_decorrelate,
+        )
+
 
 class Executor:
     """Executes parsed queries against a catalog.

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.differential import load_sqlite
 from repro.bench.sqlfuzz import build_fuzz_db, generate, render, run_seeds
 
 N_SEEDS = 500
@@ -19,18 +18,16 @@ BATCH = 50
 
 
 @pytest.fixture(scope="module")
-def fuzz_env():
-    db = build_fuzz_db()
-    conn = load_sqlite(db)
-    yield db, conn
-    conn.close()
+def fuzz_db():
+    # The sqlite oracle backend mirrors the tables once (cached per
+    # catalog version), so batches share one mirror.
+    return build_fuzz_db()
 
 
 @pytest.mark.parametrize("batch", range(N_SEEDS // BATCH))
-def test_fuzz_corpus_matches_sqlite(batch, fuzz_env):
-    db, conn = fuzz_env
+def test_fuzz_corpus_matches_sqlite(batch, fuzz_db):
     seeds = range(batch * BATCH, (batch + 1) * BATCH)
-    failures = run_seeds(db, conn, seeds, threads=(1, 4))
+    failures = run_seeds(fuzz_db, seeds, threads=(1, 4), oracle="sqlite")
     if failures:
         pytest.fail("fuzz divergence(s):\n\n" +
                     "\n\n".join(f.report() for f in failures))

@@ -1,0 +1,90 @@
+"""The optional real-DuckDB oracle backend.
+
+Skipped wholesale when the ``duckdb`` module is not installed (the default
+CI legs); the ``backends-duckdb`` CI job installs it and runs these plus a
+cross-backend fuzz sweep.  ``duckdb_real`` must behave exactly like the
+sqlite oracle: registry-visible, Protocol-conformant, row-identical to the
+native engine on real queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+duckdb = pytest.importorskip("duckdb")
+
+from repro import connect  # noqa: E402
+from repro.backends import (  # noqa: E402
+    ExecutionBackend, available_backends, get_backend,
+)
+from repro.bench.differential import assert_matches_backend  # noqa: E402
+from repro.bench.sqlfuzz import build_fuzz_db, run_seeds  # noqa: E402
+
+
+@pytest.fixture
+def db():
+    d = connect()
+    rng = np.random.default_rng(11)
+    n = 80
+    d.register(
+        "sales",
+        {
+            "id": np.arange(1, n + 1, dtype=np.int64),
+            "grp": rng.integers(0, 5, n),
+            "amt": np.round(rng.uniform(1.0, 300.0, n), 2),
+            "day": (np.datetime64("2022-01-01") +
+                    rng.integers(0, 120, n).astype("timedelta64[D]")),
+            "tag": rng.choice(np.array(["a", "b", None], dtype=object), n),
+        },
+        primary_key="id",
+    )
+    return d
+
+
+def test_registered_when_importable():
+    assert "duckdb_real" in available_backends()
+    backend = get_backend("duckdb_real")
+    assert isinstance(backend, ExecutionBackend)
+    info = backend.introspect()
+    assert info.available and info.kind == "oracle"
+
+
+def test_simple_aggregate_matches_native(db):
+    assert_matches_backend(
+        db,
+        "SELECT grp, COUNT(*) AS n, SUM(amt) AS total FROM sales "
+        "WHERE day >= DATE '2022-02-01' GROUP BY grp",
+        backend="duckdb_real",
+        context="duckdb-agg",
+    )
+
+
+def test_joins_and_subqueries_match_native(db):
+    assert_matches_backend(
+        db,
+        "SELECT id, amt FROM sales WHERE amt > "
+        "(SELECT AVG(amt) FROM sales) AND tag IS NOT NULL",
+        backend="duckdb_real",
+        context="duckdb-subquery",
+    )
+
+
+def test_parameters(db):
+    backend = get_backend("duckdb_real")
+    art = backend.compile("SELECT id FROM sales WHERE grp = ? AND amt > ?")
+    res = backend.execute(db, art, params=(2, 50.0))
+    native = get_backend("native")
+    ours = native.execute(
+        db, native.compile("SELECT id FROM sales WHERE grp = ? AND amt > ?"),
+        params=(2, 50.0))
+    assert res.normalized() == ours.normalized()
+
+
+def test_fuzz_corpus_cross_backend():
+    fuzz_db = build_fuzz_db()
+    failures = run_seeds(fuzz_db, range(0, 100), threads=(1,),
+                         oracle="duckdb_real")
+    if failures:
+        pytest.fail("duckdb divergence(s):\n\n" +
+                    "\n\n".join(f.report() for f in failures))

@@ -1,0 +1,223 @@
+"""The pluggable-backend layer: Protocol conformance, registry behaviour,
+dialect-template rewriting, and oracle execution through the registry.
+
+The paper's "Backend Adaptation" (Section III-E) keeps several SQL systems
+behind one surface; this suite pins the shape of that surface — every
+registered backend implements ``supports``/``compile``/``execute``/
+``introspect`` (:class:`repro.backends.ExecutionBackend`), lookups of
+unknown names raise a typed :class:`~repro.errors.BackendError`, and the
+sqlite oracle produces the same rows as the native engine for real queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import connect, pytond
+from repro.backends import (
+    Backend,
+    BackendInfo,
+    CompiledQuery,
+    Dialect,
+    ExecutionBackend,
+    ResultTable,
+    SQLITE_DIALECT,
+    available_backends,
+    backend_infos,
+    get_backend,
+    register_backend,
+    rewrite_sql,
+)
+from repro.errors import BackendError
+
+
+@pytest.fixture
+def db():
+    d = connect()
+    rng = np.random.default_rng(5)
+    n = 60
+    d.register(
+        "events",
+        {
+            "id": np.arange(1, n + 1, dtype=np.int64),
+            "grp": rng.integers(0, 6, n),
+            "val": np.round(rng.uniform(0.0, 100.0, n), 2),
+            "day": (np.datetime64("2021-01-01") +
+                    rng.integers(0, 200, n).astype("timedelta64[D]")),
+            "tag": rng.choice(np.array(["x", "y", "z", None], dtype=object), n),
+        },
+        primary_key="id",
+    )
+    return d
+
+
+class TestRegistry:
+    def test_real_backends_always_registered(self):
+        names = set(available_backends())
+        assert {"native", "sqlite"} <= names
+        assert {"duckdb", "hyper", "lingodb"} <= names  # simulated profiles
+
+    def test_unknown_name_raises_typed_error(self):
+        with pytest.raises(BackendError) as info:
+            get_backend("postgres")
+        # The message names the requested backend and lists what exists.
+        assert "postgres" in str(info.value)
+        assert "native" in str(info.value) and "sqlite" in str(info.value)
+
+    def test_every_registered_backend_satisfies_protocol(self):
+        for name in available_backends():
+            backend = get_backend(name)
+            assert isinstance(backend, ExecutionBackend), name
+
+    def test_introspection_is_complete(self):
+        infos = {i.name: i for i in backend_infos()}
+        assert infos["native"].kind == "native"
+        assert infos["sqlite"].kind == "oracle"
+        assert infos["duckdb"].kind == "simulated-profile"
+        for info in infos.values():
+            assert isinstance(info, BackendInfo)
+            assert info.version and info.capabilities
+
+    def test_capability_gating(self):
+        assert get_backend("hyper").supports(("window", "parallel"))
+        assert not get_backend("lingodb").supports(("window",))
+        assert get_backend("sqlite").supports(("oracle",))
+        assert not get_backend("native").supports(("oracle",))
+
+    def test_register_backend_returns_instance(self):
+        probe = Backend(name="probe-tmp", engine_config=get_backend("native").engine_config,
+                        dialect=Dialect())
+        try:
+            assert register_backend(probe) is probe
+            assert get_backend("probe-tmp") is probe
+        finally:
+            from repro.backends.base import _REGISTRY
+            _REGISTRY.pop("probe-tmp", None)
+
+
+class TestDialectRewriting:
+    def test_sqlite_strftime_argument_order(self):
+        # The single source of truth is the dialect template.
+        assert SQLITE_DIALECT.strftime_function == "STRFTIME({fmt}, {arg})"
+        assert rewrite_sql("STRFTIME(x, '%Y-%m')", SQLITE_DIALECT) == \
+            "STRFTIME('%Y-%m', x)"
+
+    def test_sqlite_date_literals_are_bare(self):
+        assert rewrite_sql("WHERE d < DATE '1995-03-15'", SQLITE_DIALECT) == \
+            "WHERE d < '1995-03-15'"
+
+    def test_extract_year_expands_once(self):
+        out = rewrite_sql("SELECT EXTRACT(YEAR FROM o.d) FROM o", SQLITE_DIALECT)
+        assert out == "SELECT CAST(STRFTIME('%Y', o.d) AS INTEGER) FROM o"
+        # The emitted STRFTIME is already format-first and must not be
+        # re-swapped by the strftime pass.
+        assert out.count("STRFTIME") == 1
+
+    def test_nested_calls_rewrite_inner_args_intact(self):
+        out = rewrite_sql("SUBSTRING(STRFTIME(d, '%Y-%m'), 1, 4)", SQLITE_DIALECT)
+        assert out == "SUBSTR(STRFTIME('%Y-%m', d), 1, 4)"
+
+    def test_wrong_arity_left_untouched(self):
+        assert rewrite_sql("STRFTIME(x)", SQLITE_DIALECT) == "STRFTIME(x)"
+
+    def test_identity_for_standard_dialect(self):
+        sql = "SELECT EXTRACT(YEAR FROM d), SUBSTR(s, 1, 2) FROM t " \
+              "WHERE d > DATE '2000-01-01'"
+        assert rewrite_sql(sql, Dialect()) == sql
+
+
+class TestSqliteOracleExecution:
+    def test_execute_matches_native(self, db):
+        sql = ("SELECT grp, COUNT(*) AS n, SUM(val) AS sv FROM events "
+               "WHERE day >= DATE '2021-03-01' GROUP BY grp")
+        native = get_backend("native")
+        sqlite = get_backend("sqlite")
+        ours = native.execute(db, native.compile(sql))
+        theirs = sqlite.execute(db, sqlite.compile(sql))
+        assert ours.normalized() == theirs.normalized()
+
+    def test_compile_skips_rewrite_for_own_dialect(self):
+        sqlite = get_backend("sqlite")
+        already = "SELECT STRFTIME('%Y', d) FROM t"
+        assert sqlite.compile(already, dialect="sqlite").sql == already
+        assert sqlite.compile("SELECT x FROM t WHERE d > DATE '2020-01-01'").sql \
+            == "SELECT x FROM t WHERE d > '2020-01-01'"
+
+    def test_parameter_binding(self, db):
+        sqlite = get_backend("sqlite")
+        art = sqlite.compile("SELECT id FROM events WHERE grp = ? AND val > ?")
+        res = sqlite.execute(db, art, params=(np.int64(3), np.float64(10.0)))
+        native = get_backend("native")
+        ours = native.execute(
+            db, native.compile("SELECT id FROM events WHERE grp = ? AND val > ?"),
+            params=(3, 10.0))
+        assert res.normalized() == ours.normalized()
+
+    def test_mirror_cached_until_catalog_changes(self, db):
+        sqlite = get_backend("sqlite")
+        first = sqlite._cache.get(db)
+        assert sqlite._cache.get(db) is first
+        db.register("extra", {"a": np.array([1, 2], dtype=np.int64)})
+        fresh = sqlite._cache.get(db)
+        assert fresh is not first
+        assert fresh.execute("SELECT COUNT(*) FROM extra").fetchone()[0] == 2
+
+    def test_sql_errors_become_backend_errors(self, db):
+        sqlite = get_backend("sqlite")
+        art = CompiledQuery(backend="sqlite", sql="SELECT nope FROM events")
+        with pytest.raises(BackendError, match="sqlite"):
+            sqlite.execute(db, art)
+
+    def test_explain(self, db):
+        sqlite = get_backend("sqlite")
+        art = sqlite.compile("SELECT id FROM events WHERE id = 3")
+        assert "events" in sqlite.explain(db, art)
+
+
+class TestResultTable:
+    def test_to_dataframe_recovers_dtypes(self):
+        table = ResultTable(
+            columns=["i", "f", "d", "s"],
+            rows=[(1, 2.5, "2020-01-01", "a"),
+                  (2, None, "2020-01-02", None)],
+        )
+        frame = table.to_dataframe()
+        d = frame.to_dict()
+        assert d["i"] == [1, 2]
+        assert d["f"][0] == 2.5
+        assert d["f"][1] is None or np.isnan(d["f"][1])  # NULL as NaN
+        assert frame.columns == ["i", "f", "d", "s"]
+
+    def test_duplicate_column_names_disambiguated(self):
+        table = ResultTable(columns=["a", "a"], rows=[(1, 2)])
+        assert table.to_dataframe().columns == ["a", "a_1"]
+
+    def test_normalized_folds_nan(self):
+        table = ResultTable(columns=["x"], rows=[(float("nan"),), (1.0,)])
+        assert table.normalized() == [(None,), (1.0,)]
+
+
+class TestDecoratorIntegration:
+    def test_run_on_sqlite_matches_native(self, db):
+        @pytond(db=db)
+        def totals(events):
+            g = events.groupby("grp").agg(sv=("val", "sum"))
+            return g.reset_index()
+
+        native = totals.run(db, backend="duckdb").to_dict()
+        oracle = totals.run(db, backend="sqlite").to_dict()
+        assert set(native) == set(oracle)
+        for col in native:
+            assert native[col] == pytest.approx(oracle[col])
+
+    def test_sql_in_backend_dialect(self, db):
+        @pytond(db=db)
+        def recent(events):
+            return events[events.day >= "2021-03-01"][["id"]]
+
+        standard = recent.sql("duckdb", db=db)
+        sqlite_sql = recent.sql("sqlite", db=db)
+        assert "DATE '2021-03-01'" in standard
+        assert "DATE '2021-03-01'" not in sqlite_sql
+        assert "'2021-03-01'" in sqlite_sql

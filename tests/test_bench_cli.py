@@ -39,4 +39,12 @@ class TestExecution:
         assert "tpch_q6" in out
 
     def test_registry_complete(self):
-        assert {"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig10"} <= set(FIGURES)
+        assert {"table1", "backends", "fig3", "fig4", "fig5", "fig6", "fig7",
+                "fig10"} <= set(FIGURES)
+
+    def test_backends_listing(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("native", "sqlite", "duckdb", "hyper", "lingodb"):
+            assert name in out
+        assert "oracle" in out and "simulated-profile" in out

@@ -13,34 +13,30 @@ import pytest
 
 from repro import connect
 from repro.backends import get_backend
-from repro.bench.differential import assert_same_results, load_sqlite, to_sqlite_sql
+from repro.bench.differential import (
+    assert_matches_backend, assert_same_results, load_sqlite, to_sqlite_sql,
+)
 from repro.workloads.tpch import QUERIES
 
 
 # ---------------------------------------------------------------------------
-# TPC-H
+# TPC-H (via the backend registry: the sqlite oracle compiles + executes
+# through its ExecutionBackend protocol methods, mirror cached per catalog)
 # ---------------------------------------------------------------------------
 
-@pytest.fixture(scope="module")
-def tpch_sqlite(tpch_db):
-    conn = load_sqlite(tpch_db)
-    yield conn
-    conn.close()
-
-
 @pytest.mark.parametrize("q", sorted(QUERIES))
-def test_tpch_query_matches_sqlite(q, tpch_db, tpch_sqlite):
+def test_tpch_query_matches_sqlite(q, tpch_db):
     sql = QUERIES[q].sql("duckdb", level="O4", db=tpch_db)
-    assert_same_results(tpch_db, tpch_sqlite, sql, context=f"tpch_q{q}")
+    assert_matches_backend(tpch_db, sql, backend="sqlite", context=f"tpch_q{q}")
 
 
 @pytest.mark.parametrize("q", [1, 3, 5, 9, 10, 18])
-def test_tpch_query_matches_sqlite_parallel(q, tpch_db, tpch_sqlite):
+def test_tpch_query_matches_sqlite_parallel(q, tpch_db):
     """The morsel-parallel join/aggregate paths must agree with the oracle."""
     sql = QUERIES[q].sql("hyper", level="O4", db=tpch_db)
     config = get_backend("hyper").config(threads=4)
-    assert_same_results(tpch_db, tpch_sqlite, sql, config=config,
-                        context=f"tpch_q{q}[threads=4]")
+    assert_matches_backend(tpch_db, sql, backend="sqlite", config=config,
+                           context=f"tpch_q{q}[threads=4]")
 
 
 # ---------------------------------------------------------------------------

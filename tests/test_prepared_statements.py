@@ -289,3 +289,64 @@ class TestBindParametersUnit:
         sig = signature_of(parse("SELECT ?"))
         with pytest.raises(SQLBindError, match="datetime"):
             bind_parameters(sig, [datetime.datetime(2024, 1, 1, 12, 0)])
+
+
+class TestCrossBackendCacheIsolation:
+    """Regression: the plan cache must key on the FULL backend-profile
+    fingerprint.  It used to key on a subset of planning flags
+    (join_reorder/topk/decorrelate), so two backend configs agreeing on
+    that subset — e.g. profiles differing only in execution ``mode`` or
+    ``supports_window`` — shared one cache entry, and the second backend
+    silently executed a plan admitted/compiled under the first's profile.
+    """
+
+    SQL = "SELECT b, SUM(x) AS sx FROM t GROUP BY b"
+
+    def test_zero_cross_backend_cache_hits(self, db):
+        from repro.backends import get_backend
+
+        db.clear_plan_cache()
+        db.execute(self.SQL, config=get_backend("duckdb").config())
+        db.execute(self.SQL, config=get_backend("hyper").config())
+        stats = db.cache_stats()
+        # Two distinct backend profiles: two compilations, no sharing.
+        assert stats["misses"] == 2
+        assert stats["hits"] == 0
+        assert stats["entries"] == 2
+
+    def test_mode_only_difference_gets_distinct_entries(self, db):
+        db.clear_plan_cache()
+        a = EngineConfig(name="a", mode="vectorized")
+        b = EngineConfig(name="a", mode="compiled")
+        db.execute(self.SQL, config=a)
+        db.execute(self.SQL, config=b)
+        assert db.cache_stats()["entries"] == 2
+        assert db.cache_stats()["hits"] == 0
+
+    def test_window_support_difference_gets_distinct_entries(self, db):
+        db.clear_plan_cache()
+        yes = EngineConfig(name="a", supports_window=True)
+        no = EngineConfig(name="a", supports_window=False)
+        db.execute(self.SQL, config=yes)
+        db.execute(self.SQL, config=no)
+        assert db.cache_stats()["entries"] == 2
+
+    def test_same_profile_still_hits(self, db):
+        from repro.backends import get_backend
+
+        db.clear_plan_cache()
+        config = get_backend("hyper").config()
+        db.execute(self.SQL, config=config)
+        db.execute(self.SQL, config=config)
+        # threads is NOT part of the fingerprint: plans are thread-agnostic.
+        db.execute(self.SQL, config=get_backend("hyper").config(threads=4))
+        stats = db.cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+
+    def test_fingerprint_excludes_cache_policy_knobs(self):
+        a = EngineConfig(plan_cache_size=8)
+        b = EngineConfig(plan_cache_size=512)
+        assert a.plan_fingerprint() == b.plan_fingerprint()
+        assert EngineConfig(threads=1).plan_fingerprint() == \
+            EngineConfig(threads=4).plan_fingerprint()

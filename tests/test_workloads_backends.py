@@ -6,7 +6,7 @@ import pytest
 import repro.dataframe as rpd
 from repro import connect
 from repro.backends import DuckDBSim, HyperSim, LingoDBSim, available_backends, get_backend
-from repro.errors import UnsupportedFeatureError
+from repro.errors import BackendError, UnsupportedFeatureError
 from repro.workloads import WORKLOADS
 from repro.workloads.covariance import (
     covariance_dense, covariance_sparse, dense_table, make_matrix,
@@ -113,10 +113,13 @@ class TestCovarianceMicrobench:
 class TestBackendProfiles:
     def test_registry(self):
         assert set(available_backends()) >= {"duckdb", "hyper", "lingodb"}
+        # The real backends are registered unconditionally alongside the
+        # simulated profiles.
+        assert set(available_backends()) >= {"native", "sqlite"}
         assert get_backend("duckdb") is DuckDBSim
 
     def test_unknown_backend(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(BackendError, match="available:"):
             get_backend("oracle")
 
     def test_execution_paradigms(self):

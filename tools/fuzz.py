@@ -1,11 +1,13 @@
 #!/usr/bin/env python
 """Long-running SQL fuzz CLI: grammar-driven queries differentially tested
-against sqlite3 (see ``repro.bench.sqlfuzz`` for the grammar and shrinker).
+against oracle backends (see ``repro.bench.sqlfuzz`` for the grammar and
+shrinker, ``repro.backends`` for the registry).
 
 Usage (from the repo root, PYTHONPATH=src):
 
     python tools/fuzz.py                      # 500 seeds, threads 1 and 4
     python tools/fuzz.py --count 20000        # longer local sweep
+    python tools/fuzz.py --backend sqlite,duckdb_real  # oracle matrix
     python tools/fuzz.py --seed 3000 --count 500 --threads 1,4 \
         --artifact fuzz-repro.txt             # CI mode: repro file on fail
 
@@ -24,8 +26,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.bench.differential import load_sqlite  # noqa: E402
+from repro.backends import available_backends, get_backend  # noqa: E402
 from repro.bench.sqlfuzz import build_fuzz_db, run_seeds  # noqa: E402
+from repro.errors import BackendError  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -36,6 +39,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="first seed (default 0)")
     parser.add_argument("--threads", default="1,4",
                         help="comma-separated thread counts (default 1,4)")
+    parser.add_argument("--backend", default="sqlite",
+                        help="comma-separated oracle backends to test "
+                             "against (default sqlite)")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report raw failures without shrinking")
     parser.add_argument("--artifact", default=None,
@@ -44,21 +50,35 @@ def main(argv: list[str] | None = None) -> int:
                         help="print progress every N seeds (0 = quiet)")
     args = parser.parse_args(argv)
     threads = tuple(int(t) for t in args.threads.split(","))
+    oracle_names = [b.strip() for b in args.backend.split(",") if b.strip()]
+    try:
+        oracles = [get_backend(name) for name in oracle_names]
+    except BackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(f"registered backends: {', '.join(available_backends())}",
+              file=sys.stderr)
+        return 2
+    for oracle in oracles:
+        if not oracle.introspect().available:
+            print(f"error: backend {oracle.name!r} is not available in this "
+                  f"environment", file=sys.stderr)
+            return 2
 
     db = build_fuzz_db()
-    conn = load_sqlite(db)
     started = time.perf_counter()
     failures = []
     step = max(args.progress_every, 1) if args.progress_every else args.count
-    for lo in range(args.seed, args.seed + args.count, step):
-        hi = min(lo + step, args.seed + args.count)
-        failures.extend(run_seeds(db, conn, range(lo, hi), threads=threads,
-                                  shrink_failures=not args.no_shrink))
-        if args.progress_every:
-            done = hi - args.seed
-            print(f"[fuzz] {done}/{args.count} seeds, "
-                  f"{len(failures)} divergence(s), "
-                  f"{time.perf_counter() - started:.1f}s", flush=True)
+    for oracle in oracles:
+        for lo in range(args.seed, args.seed + args.count, step):
+            hi = min(lo + step, args.seed + args.count)
+            failures.extend(run_seeds(db, range(lo, hi), threads=threads,
+                                      oracle=oracle,
+                                      shrink_failures=not args.no_shrink))
+            if args.progress_every:
+                done = hi - args.seed
+                print(f"[fuzz:{oracle.name}] {done}/{args.count} seeds, "
+                      f"{len(failures)} divergence(s), "
+                      f"{time.perf_counter() - started:.1f}s", flush=True)
 
     if failures:
         reports = "\n\n".join(f.report() for f in failures)
@@ -66,11 +86,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.artifact:
             Path(args.artifact).write_text(
                 f"fuzz seeds {args.seed}..{args.seed + args.count - 1} "
-                f"threads={threads}\n\n{reports}\n"
+                f"threads={threads} oracles={','.join(oracle_names)}\n\n"
+                f"{reports}\n"
             )
             print(f"\nrepro report written to {args.artifact}")
     else:
-        print(f"[fuzz] clean: {args.count} seeds x threads {threads} in "
+        print(f"[fuzz] clean: {args.count} seeds x threads {threads} x "
+              f"oracles {','.join(oracle_names)} in "
               f"{time.perf_counter() - started:.1f}s")
     return min(len(failures), 125)
 

@@ -22,6 +22,7 @@ from .core import PytondFunction, TableInfo, pytond
 from .dataframe import DataFrame, Series
 from .server import QueryScheduler, Session
 from .sqlengine import Database, EngineConfig, PreparedStatement, connect
+from .storage import ColumnStore, create_store, open_store, register_materializer
 
 __version__ = "0.1.0"
 
@@ -31,5 +32,6 @@ __all__ = [
     "QueryScheduler", "Session",
     "DataFrame", "Series",
     "DuckDBSim", "HyperSim", "LingoDBSim", "get_backend", "available_backends",
+    "ColumnStore", "create_store", "open_store", "register_materializer",
     "__version__",
 ]

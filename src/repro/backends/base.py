@@ -301,7 +301,11 @@ class Backend:
     @property
     def capabilities(self) -> frozenset:
         caps = {"select", "join", "aggregate", "setops", "subqueries",
-                "params", "parallel", "explain", "plan-cache"}
+                "params", "parallel", "explain", "plan-cache",
+                # Storage features: every native profile runs on the engine,
+                # which can attach column-store tables, prune scans with
+                # zone maps, and spill joins/aggregates under memory_budget.
+                "storage", "zone-map-pruning", "spill-to-disk"}
         if self.engine_config.supports_window:
             caps.add("window")
         return frozenset(caps)

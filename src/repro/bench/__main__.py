@@ -8,6 +8,7 @@ Examples::
     python -m repro.bench fig5 --scale 0.05 --threads 1
     python -m repro.bench fig10
     python -m repro.bench serve --clients 8 --seconds 2
+    python -m repro.bench storage --sf 0.005 --budget 65536 --report out.json
     python -m repro.bench all
 """
 
@@ -76,6 +77,14 @@ def _backends(args) -> str:
     return "\n".join(lines)
 
 
+def _storage(args) -> str:
+    """Column-store ingest / reload / prune / spill report."""
+    from .storage import storage_report
+
+    return storage_report(sf=args.sf, chunk_rows=args.chunk_rows,
+                          budget=args.budget, report_path=args.report)
+
+
 def _fig10(args) -> str:
     tpch = TpchBench(scale_factor=args.sf)
     ds = WorkloadBench(scale=args.scale)
@@ -101,6 +110,7 @@ FIGURES = {
     "fig7": _fig7,
     "fig10": _fig10,
     "serve": _serve,
+    "storage": _storage,
 }
 
 
@@ -124,15 +134,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="load duration in seconds (default 2)")
     serving.add_argument("--threads", type=int, default=1,
                          help="engine worker threads per query (default 1)")
+    storage = parser.add_argument_group("storage", "column-store report")
+    storage.add_argument("--chunk-rows", type=int, default=4096,
+                         help="rows per storage chunk (default 4096)")
+    storage.add_argument("--budget", type=int, default=65536,
+                         help="memory budget in bytes for the spill run "
+                              "(default 65536)")
+    storage.add_argument("--report", default=None,
+                         help="write the storage report as JSON to this path")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.figure == "all":
-        # "all" regenerates the paper's figures; the serving load run is a
-        # live-traffic experiment, invoked explicitly.
-        targets = sorted(f for f in FIGURES if f != "serve")
+        # "all" regenerates the paper's figures; the serving load run and
+        # the storage report are separate experiments, invoked explicitly.
+        targets = sorted(f for f in FIGURES if f not in ("serve", "storage"))
     else:
         targets = [args.figure]
     for name in targets:

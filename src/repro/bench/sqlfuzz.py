@@ -36,8 +36,8 @@ from ..sqlengine import Database, EngineConfig, connect
 from .differential import rows_equal
 from ..backends.rows import chunk_rows, normalize_rows
 
-__all__ = ["build_fuzz_db", "generate", "render", "run_seeds", "shrink",
-           "Divergence", "SelectSpec"]
+__all__ = ["build_fuzz_db", "generate", "render", "run_seeds",
+           "run_seeds_spill", "shrink", "Divergence", "SelectSpec"]
 
 
 # ---------------------------------------------------------------------------
@@ -436,6 +436,72 @@ def _reductions(spec: SelectSpec):
             if spec.items[i] in keys:
                 continue
             yield replace(spec, items=spec.items[:i] + spec.items[i + 1:])
+
+
+def _spill_detail(db: Database, sql: str, budget: int, threads: int,
+                  spill_partitions: int = 5) -> str | None:
+    """One spilled-vs-in-memory comparison on our own engine: the same
+    query runs under an unconstrained config and under *budget* (forcing
+    the grace-partitioned join/aggregate fallbacks); a string describes any
+    divergence."""
+    base_cfg = EngineConfig(threads=threads)
+    spill_cfg = EngineConfig(threads=threads, memory_budget=budget,
+                             spill_partitions=spill_partitions)
+    base = spilled = None
+    base_exc = spill_exc = None
+    try:
+        chunk = db.execute_chunk(sql, base_cfg)
+        base = normalize_rows(chunk_rows(chunk)) if chunk.ncols else []
+    except Exception as exc:  # noqa: BLE001 - any engine error is data here
+        base_exc = exc
+    try:
+        chunk = db.execute_chunk(sql, spill_cfg)
+        spilled = normalize_rows(chunk_rows(chunk)) if chunk.ncols else []
+    except Exception as exc:  # noqa: BLE001
+        spill_exc = exc
+    if base_exc is not None and spill_exc is not None:
+        return None  # both configs reject the query: agreement
+    if base_exc is not None:
+        return (f"in-memory raised {type(base_exc).__name__}: {base_exc} "
+                f"(spilled succeeded)")
+    if spill_exc is not None:
+        return (f"spilled raised {type(spill_exc).__name__}: {spill_exc} "
+                f"(in-memory succeeded)")
+    ok, detail = rows_equal(base, spilled)
+    return None if ok else detail
+
+
+def run_seeds_spill(db: Database, seeds, budget: int = 1024,
+                    threads=(1, 4),
+                    shrink_failures: bool = True) -> list[Divergence]:
+    """Differentially test spilled execution against the in-memory engine.
+
+    Every seed's query runs twice per thread count — once unconstrained,
+    once under a *budget* low enough that hash joins and aggregates take
+    the grace-partitioned spill path — and the row sets must agree.
+    Divergences shrink exactly like oracle divergences.
+    """
+    failures: list[Divergence] = []
+    for seed in seeds:
+        spec = generate(seed)
+        sql = render(spec)
+        for t in threads:
+            detail = _spill_detail(db, sql, budget, t)
+            if detail is None:
+                continue
+            failure = Divergence(seed=seed, threads=t, sql=sql,
+                                 detail=detail,
+                                 oracle=f"in-memory(budget={budget})")
+            if shrink_failures:
+                small = shrink(
+                    spec,
+                    lambda s: _spill_detail(db, render(s), budget, t)
+                    is not None,
+                )
+                failure.shrunk_sql = render(small)
+            failures.append(failure)
+            break  # one report per seed is enough
+    return failures
 
 
 def run_seeds(db: Database, seeds, threads=(1, 4), oracle="sqlite",

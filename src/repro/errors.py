@@ -53,6 +53,14 @@ class BackendError(ReproError):
     ``duckdb`` module is not installed)."""
 
 
+class StorageError(ReproError):
+    """Persistent-storage failure: a corrupt or structurally invalid
+    manifest, a missing/truncated chunk file, an unknown materializer, or
+    an ingest source that cannot be read.  Raised instead of letting the
+    underlying ``json``/``numpy``/``OSError`` leak so callers can handle
+    on-disk corruption distinctly from query errors."""
+
+
 class TranslationError(ReproError):
     """The @pytond translator could not compile the Python source."""
 

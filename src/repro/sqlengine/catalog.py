@@ -69,7 +69,7 @@ class Catalog:
         return TableSchema(
             name=table.name,
             columns=list(table.columns),
-            dtypes=[a.dtype for a in table.arrays],
+            dtypes=list(table.dtypes),
             primary_key=list(table.primary_key),
             unique_columns=set(table.unique_columns),
             nrows=table.nrows,

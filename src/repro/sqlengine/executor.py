@@ -75,6 +75,16 @@ class EngineConfig:
     # subqueries into SemiJoin/AntiJoin/MarkJoin/ScalarSubqueryScan plan
     # nodes; off, every subquery runs through the residual interpreter path.
     subquery_decorrelate: bool = True
+    # Out-of-core execution (see repro.storage): when set, a HashJoin whose
+    # smaller input or a HashAggregate whose input exceeds this many bytes
+    # runs the grace-partition spill-to-disk path instead of building its
+    # hash state over the whole relation at once.  None = RAM-unbounded.
+    memory_budget: int | None = None
+    # Grace-partition fan-out for spilled joins/aggregates (>= 2).
+    spill_partitions: int = 8
+    # Whether the planner drops stored-table chunks whose zone maps
+    # (per-chunk min/max stats) cannot satisfy the pushed-down predicates.
+    zone_map_pruning: bool = True
 
     def plan_fingerprint(self) -> tuple:
         """Canonical identity of this config for plan-cache keying.
@@ -92,7 +102,8 @@ class EngineConfig:
             self.name, self.mode, self.join_reorder, self.supports_window,
             self.morsel_size, tuple(sorted(self.rejected_join_patterns)),
             self.parallel_join, self.parallel_agg, self.topk_rewrite,
-            self.subquery_decorrelate,
+            self.subquery_decorrelate, self.memory_budget,
+            self.spill_partitions, self.zone_map_pruning,
         )
 
 

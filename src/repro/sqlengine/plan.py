@@ -242,21 +242,37 @@ class Scan(Operator):
     table: str
     keep_columns: list[str] | None  # None = keep all (SELECT *)
     est_rows: float | None = None
+    # Zone-map pruning (stored tables only): the chunk ids that survive the
+    # planner's interval tests, and the table's total chunk count.  None
+    # means pruning was not attempted (in-memory table, no prunable
+    # predicates, or ``EngineConfig.zone_map_pruning`` off).
+    chunk_ids: list[int] | None = None
+    n_chunks: int = 0
 
     def label(self) -> str:
         cols = "*" if self.keep_columns is None else f"[{', '.join(self.keep_columns)}]"
         name = self.table if self.table == self.binding else f"{self.table} AS {self.binding}"
-        return f"Scan {name} cols={cols}"
+        label = f"Scan {name} cols={cols}"
+        if self.chunk_ids is not None and self.n_chunks:
+            label += f" zonemap={len(self.chunk_ids)}/{self.n_chunks} chunks"
+        return label
 
     def execute(self, ctx: ExecContext) -> OpResult:
         ctx.checkpoint()
         if self.table in ctx.env:
             src = ctx.env[self.table]
             chunk = Chunk(list(src.columns), list(src.arrays))
+            if self.keep_columns is not None:
+                chunk = chunk.project(self.keep_columns)
         else:
-            chunk = ctx.executor.catalog.get(self.table).chunk()
-        if self.keep_columns is not None:
-            chunk = chunk.project(self.keep_columns)
+            table = ctx.executor.catalog.get(self.table)
+            chunk = table.scan(self.keep_columns, self.chunk_ids)
+            if self.chunk_ids is not None and self.n_chunks:
+                ctx.note(
+                    f"scan {self.binding}: zone maps pruned "
+                    f"{self.n_chunks - len(self.chunk_ids)}/{self.n_chunks} "
+                    f"chunk(s), read {chunk.nrows} rows"
+                )
         return OpResult(chunk, _single_scope(self.binding, chunk))
 
 
@@ -449,7 +465,26 @@ class HashJoin(Operator):
         lkeys = [left_eval.eval_array(le) for le, _ in self.pairs]
         rkeys = [right_eval.eval_array(re_) for _, re_ in self.pairs]
         threads = ctx.config.threads if ctx.config.parallel_join else 1
-        lp, rp, lmiss, rmiss = join_positions(lkeys, rkeys, self.how, threads=threads)
+        spilled = None
+        budget = ctx.config.memory_budget
+        if budget is not None and left_chunk.nrows and right_chunk.nrows:
+            from ..storage.spill import chunk_nbytes, grace_join_positions, spillable_keys
+
+            build_bytes = min(chunk_nbytes(left_chunk), chunk_nbytes(right_chunk))
+            if build_bytes > budget and spillable_keys(lkeys, rkeys):
+                lp, rp, lmiss, rmiss, spilled = grace_join_positions(
+                    lkeys, rkeys, self.how, threads=threads,
+                    nparts=max(2, ctx.config.spill_partitions),
+                )
+                ctx.note(
+                    f"spill: hash join + {self.right_binding} build side "
+                    f"{build_bytes} bytes > budget {budget}, grace-partitioned "
+                    f"over {spilled.partitions} partition(s), "
+                    f"{spilled.bytes_spilled} bytes to disk"
+                )
+        if spilled is None:
+            lp, rp, lmiss, rmiss = join_positions(lkeys, rkeys, self.how,
+                                                  threads=threads)
         chunk = combine_chunks(left_chunk, right_chunk, lp, rp, lmiss, rmiss,
                                threads=threads)
         ctx.note(
@@ -855,6 +890,26 @@ class HashAggregate(Operator):
         ctx.checkpoint()
         executor = ctx.executor
         cb = ctx.subquery_cb()
+        budget = ctx.config.memory_budget
+        if (budget is not None and self.select.group_by and res.chunk.nrows
+                and res.chunk.nrows > 1):
+            from ..storage.spill import chunk_nbytes, grace_aggregate
+
+            input_bytes = chunk_nbytes(res.chunk)
+            if input_bytes > budget:
+                spilled = grace_aggregate(
+                    executor, self.select, res.chunk, res.scope, cb,
+                    nparts=max(2, ctx.config.spill_partitions),
+                )
+                if spilled is not None:
+                    chunk, order_eval, stats = spilled
+                    ctx.note(
+                        f"spill: hash aggregate input {input_bytes} bytes > "
+                        f"budget {budget}, grace-partitioned "
+                        f"{res.chunk.nrows} rows over {stats.partitions} "
+                        f"partition(s), {stats.bytes_spilled} bytes to disk"
+                    )
+                    return OpResult(chunk, res.scope, order_eval=order_eval)
         chunk, order_eval = executor._project_grouped(
             self.select, res.chunk, res.scope, cb, {}
         )

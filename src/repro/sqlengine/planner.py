@@ -330,6 +330,103 @@ def _selectivity(expr: Expr, schema: RelSchema) -> float:
 
 
 # ---------------------------------------------------------------------------
+# Zone-map interval tests
+# ---------------------------------------------------------------------------
+
+def _zone_bound(value, dtype):
+    """Coerce a predicate literal into the column's comparison domain.
+
+    Raises on an incomparable literal — the caller treats that chunk as a
+    possible match (pruning must stay conservative)."""
+    import numpy as np
+
+    kind = dtype.kind
+    if kind == "M":
+        return np.datetime64(value)
+    if kind in ("i", "u", "f", "b"):
+        if isinstance(value, bool) or isinstance(value, (int, float)):
+            return value
+        raise TypeError(f"non-numeric literal {value!r}")
+    if kind == "O":
+        if isinstance(value, str):
+            return value
+        raise TypeError(f"non-string literal {value!r}")
+    raise TypeError(f"unprunable dtype {dtype!r}")
+
+
+def _zone_interval_match(op: str, value, lo, hi) -> bool:
+    """Can ``col <op> value`` hold for any row with col in [lo, hi]?"""
+    if op == "=":
+        return bool(lo <= value <= hi)
+    if op == "<":
+        return bool(lo < value)
+    if op == "<=":
+        return bool(lo <= value)
+    if op == ">":
+        return bool(hi > value)
+    if op == ">=":
+        return bool(hi >= value)
+    return True
+
+
+_ZONE_MIRROR = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+
+def _chunk_may_match(pred: Expr, table, binding: str, cid: int) -> bool:
+    """Interval test of one pushdown conjunct against a chunk's zone map.
+
+    Only literal comparison shapes prune (``col op lit``, ``lit op col``,
+    ``col BETWEEN lit AND lit``, ``col IN (lit, ...)``); anything else —
+    including ``Parameter`` placeholders, whose values are outside the plan
+    identity — conservatively keeps the chunk.  Comparison predicates are
+    never true of NULL, so an all-NULL chunk is prunable.
+    """
+
+    def bounds(ref: Expr):
+        if not isinstance(ref, ColumnRef):
+            return None
+        if ref.table is not None and ref.table != binding:
+            return None
+        if ref.name not in table.columns:
+            return None
+        stats = table.chunk_stats(ref.name, cid)
+        if stats is None:
+            return None
+        return stats
+
+    def test(ref: Expr, op: str, lit: Expr) -> bool:
+        if not isinstance(lit, Literal):
+            return True
+        stats = bounds(ref)
+        if stats is None:
+            return True
+        if lit.value is None:
+            return False  # `col <op> NULL` is never true
+        if stats.min is None or stats.max is None:
+            return False  # no non-NULL values in this chunk
+        try:
+            value = _zone_bound(lit.value, stats.dtype)
+            return _zone_interval_match(op, value, stats.min, stats.max)
+        except Exception:
+            return True
+
+    if isinstance(pred, BinaryOp) and pred.op in ("=", "<", "<=", ">", ">="):
+        if isinstance(pred.left, ColumnRef):
+            return test(pred.left, pred.op, pred.right)
+        if isinstance(pred.right, ColumnRef):
+            return test(pred.right, _ZONE_MIRROR[pred.op], pred.left)
+        return True
+    if isinstance(pred, BetweenExpr) and not pred.negated:
+        return test(pred.operand, ">=", pred.low) and \
+            test(pred.operand, "<=", pred.high)
+    if isinstance(pred, InList) and not pred.negated:
+        if not all(isinstance(it, Literal) for it in pred.items):
+            return True
+        return any(test(pred.operand, "=", it) for it in pred.items)
+    return True
+
+
+# ---------------------------------------------------------------------------
 # Planner
 # ---------------------------------------------------------------------------
 
@@ -451,8 +548,8 @@ class Planner:
                     and self.catalog.has(rel.name):
                 table = self.catalog.get(rel.name)
                 binding_kinds[rel.binding] = {
-                    col: self._KIND_CLASSES.get(arr.dtype.kind)
-                    for col, arr in zip(table.columns, table.arrays)
+                    col: self._KIND_CLASSES.get(dt.kind)
+                    for col, dt in zip(table.columns, table.dtypes)
                 }
             else:
                 return [None] * len(body.items)
@@ -651,6 +748,7 @@ class Planner:
 
         # Wrap each source in its pushed-down filter and estimate output.
         for i, s in enumerate(sources):
+            zone_rows = self._prune_scan_chunks(s, pushdown[i])
             if pushdown[i]:
                 sel = self._sampled_selectivity(s, pushdown[i])
                 if sel is None:
@@ -658,6 +756,8 @@ class Planner:
                     for p in pushdown[i]:
                         sel *= _selectivity(p, s.schema)
                 s.est = max(1.0, s.schema.nrows * sel)
+                if zone_rows is not None:
+                    s.est = max(1.0, min(s.est, float(zone_rows)))
                 s.op = Filter(s.op, s.binding, pushdown[i], est_rows=s.est)
 
         root, acc_columns, binding_columns, est = self._order_joins(sources, edges)
@@ -684,7 +784,7 @@ class Planner:
         from .table import Chunk
 
         step = max(1, table.nrows // self._SAMPLE_ROWS)
-        chunk = Chunk(columns, [table.column(c)[::step] for c in columns])
+        chunk = Chunk(columns, [table.sample(c, step) for c in columns])
         scope = Scope()
         for slot, col in enumerate(columns):
             scope.add(s.binding, col, slot)
@@ -698,6 +798,44 @@ class Planner:
         except Exception:
             return None  # unevaluable statically (correlated refs, etc.)
         return float(mask.mean()) if chunk.nrows else None
+
+    # -- zone-map chunk pruning ---------------------------------------------
+    def _prune_scan_chunks(self, s: _Source, preds: list[Expr]) -> int | None:
+        """Statically prune a stored table's chunks against its zone maps.
+
+        Pushdown conjuncts of literal comparison shape are interval-tested
+        against each chunk's min/max stats; chunks no conjunct can match
+        are dropped from the Scan.  Decided entirely at plan time — the
+        literal values live in the SQL text (part of the plan-cache key)
+        and DDL bumps the catalog version (invalidating cached plans), so
+        a cached pruned plan can never run against changed data.
+        ``Parameter`` placeholders are never prunable: their values are not
+        part of the plan identity.
+
+        Returns the surviving row count (for cardinality estimates) or
+        None when pruning was not attempted.
+        """
+        if not self.config.zone_map_pruning or not preds:
+            return None
+        scan = s.op
+        if not isinstance(scan, Scan) or s.table_name is None:
+            return None
+        if not self.catalog.has(s.table_name):
+            return None
+        table = self.catalog.get(s.table_name)
+        nchunks = table.nchunks
+        if nchunks <= 0 or not getattr(table, "has_zone_maps", False):
+            return None
+        keep = [
+            cid for cid in range(nchunks)
+            if all(_chunk_may_match(p, table, s.binding, cid) for p in preds)
+        ]
+        scan.chunk_ids = keep
+        scan.n_chunks = nchunks
+        rows = int(sum(table.chunk_length(cid) for cid in keep))
+        scan.est_rows = float(rows)
+        s.est = max(1.0, float(rows))
+        return rows
 
     def _order_joins(self, sources: list[_Source], edges):
         n = len(sources)

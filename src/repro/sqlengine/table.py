@@ -52,8 +52,45 @@ class Table:
         except ValueError:
             raise SQLBindError(f"column {name!r} not found in table {self.name!r}") from None
 
+    @property
+    def dtypes(self) -> list[np.dtype]:
+        """Per-column dtypes without forcing column materialization.
+
+        Stored tables override this to answer from the manifest; planner
+        and catalog code must use it instead of touching ``arrays``."""
+        return [a.dtype for a in self.arrays]
+
+    def sample(self, name: str, step: int) -> np.ndarray:
+        """A strided sample of one column (planner statistics probe)."""
+        return self.column(name)[:: max(1, step)]
+
     def chunk(self) -> "Chunk":
         return Chunk(list(self.columns), list(self.arrays))
+
+    def scan(self, keep_columns: list[str] | None = None,
+             chunk_ids: list[int] | None = None) -> "Chunk":
+        """Materialize the table for a Scan operator.
+
+        *keep_columns* prunes to the referenced columns (same fallback as
+        :meth:`Chunk.project`).  *chunk_ids* selects storage chunks for
+        zone-map pruned scans — meaningless for a RAM-resident table, which
+        has a single implicit chunk, so it is ignored here; stored tables
+        override this method and honour it.
+        """
+        chunk = self.chunk()
+        if keep_columns is not None:
+            chunk = chunk.project(keep_columns)
+        return chunk
+
+    # Storage metadata defaults: a RAM-resident table is one implicit chunk
+    # with no zone maps; the stored-table subclass overrides these.
+    @property
+    def nchunks(self) -> int:
+        return 1 if self.nrows else 0
+
+    def chunk_stats(self, column: str, chunk_id: int):
+        """Per-chunk zone-map stats (``ZoneStats``) or None when untracked."""
+        return None
 
     def __repr__(self) -> str:
         return f"Table({self.name!r}, cols={self.columns}, n={self.nrows})"

@@ -1,0 +1,31 @@
+"""Persistent columnar storage and out-of-core execution support.
+
+Public surface:
+
+* :class:`ColumnStore` / :func:`open_store` / :func:`create_store` — the
+  chunked ``.npy`` + JSON-manifest on-disk format with per-chunk zone maps.
+* :class:`StoredTable` — a catalog table reading (memory-mapped) chunks on
+  demand, exposing zone-map metadata to the planner.
+* :func:`register_materializer` / :func:`materialize` / :func:`ingest` —
+  the pluggable loader layer (csv / sqlite / parquet-when-available).
+* :mod:`.spill` — grace-partitioned join/aggregate fallbacks used by the
+  engine when ``EngineConfig.memory_budget`` is exceeded.
+"""
+
+from .format import (ColumnStore, ZoneStats, create_store, open_store,
+                     DEFAULT_CHUNK_ROWS, FORMAT_NAME, FORMAT_VERSION,
+                     MANIFEST_NAME)
+from .materialize import (ingest, materialize, materializers,
+                          register_materializer)
+from .spill import (SpillStats, chunk_nbytes, grace_aggregate,
+                    grace_join_positions, partition_ids, spillable_keys)
+from .table import StoredTable
+
+__all__ = [
+    "ColumnStore", "ZoneStats", "create_store", "open_store",
+    "DEFAULT_CHUNK_ROWS", "FORMAT_NAME", "FORMAT_VERSION", "MANIFEST_NAME",
+    "StoredTable",
+    "ingest", "materialize", "materializers", "register_materializer",
+    "SpillStats", "chunk_nbytes", "grace_aggregate", "grace_join_positions",
+    "partition_ids", "spillable_keys",
+]

@@ -1,0 +1,148 @@
+"""Materializers: named ingest loaders feeding the column store.
+
+A *materializer* turns an external source into the column mapping that
+:meth:`~repro.storage.format.ColumnStore.write_table` persists.  Three ship
+built in — ``csv`` (the repo's own delimited reader with dtype inference),
+``sqlite`` (any table of an on-disk sqlite database, typed through the
+same inference the sqlite oracle mirror uses), and ``parquet`` (gated on
+``pyarrow`` being importable; the container does not bake it in, so the
+loader raises a typed :class:`~repro.errors.StorageError` when absent
+instead of an ImportError at import time).
+
+Third parties extend ingest with :func:`register_materializer`; unknown
+names raise :class:`StorageError` so a typo'd ``--format`` fails loudly.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..errors import StorageError
+
+__all__ = ["register_materializer", "materialize", "materializers",
+           "ingest"]
+
+# name -> loader(source, **options) -> Mapping[str, np.ndarray]
+_MATERIALIZERS: dict[str, Callable[..., Mapping[str, np.ndarray]]] = {}
+
+
+def register_materializer(name: str,
+                          loader: Callable[..., Mapping[str, np.ndarray]],
+                          replace: bool = False) -> None:
+    """Register *loader* under *name* for :func:`materialize`."""
+    if name in _MATERIALIZERS and not replace:
+        raise StorageError(f"materializer {name!r} already registered")
+    _MATERIALIZERS[name] = loader
+
+
+def materializers() -> list[str]:
+    """Registered materializer names (sorted)."""
+    return sorted(_MATERIALIZERS)
+
+
+def materialize(name: str, source, **options) -> Mapping[str, np.ndarray]:
+    """Run the materializer *name* over *source*, returning columns."""
+    try:
+        loader = _MATERIALIZERS[name]
+    except KeyError:
+        raise StorageError(
+            f"unknown materializer {name!r} "
+            f"(registered: {', '.join(materializers()) or 'none'})"
+        ) from None
+    return loader(source, **options)
+
+
+def ingest(store, name: str, format: str, source, *,
+           primary_key=None, unique=None, chunk_rows=None,
+           sort_by=None, **options) -> None:
+    """Materialize *source* via *format* and persist it as table *name*.
+
+    Extra keyword *options* pass through to the materializer (e.g.
+    ``table=`` / ``query=`` for sqlite, ``sep=`` for csv).
+    """
+    from .format import DEFAULT_CHUNK_ROWS
+
+    data = materialize(format, source, **options)
+    store.write_table(
+        name, data, primary_key=primary_key, unique=unique,
+        chunk_rows=chunk_rows or DEFAULT_CHUNK_ROWS, sort_by=sort_by,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Built-in loaders
+# ---------------------------------------------------------------------------
+
+def _load_csv(source, sep: str = ",",
+              names: list[str] | None = None) -> Mapping[str, np.ndarray]:
+    from ..dataframe.io import read_csv
+
+    try:
+        df = read_csv(source, sep=sep, names=names)
+    except OSError as exc:
+        raise StorageError(f"cannot read CSV {source!r}: {exc}") from exc
+    return {c: df[c].values for c in df.columns}
+
+
+def _load_sqlite(source, table: str | None = None,
+                 query: str | None = None) -> Mapping[str, np.ndarray]:
+    # Reuses the oracle mirror's column typing so sqlite-ingested tables
+    # compare cleanly against the sqlite differential backend.
+    from ..backends.base import _column_array
+
+    if (table is None) == (query is None):
+        raise StorageError(
+            "sqlite materializer needs exactly one of table= or query="
+        )
+    if table is not None and not table.replace("_", "").isalnum():
+        raise StorageError(f"suspicious sqlite table name {table!r}")
+    sql = query if query is not None else f'SELECT * FROM "{table}"'
+    try:
+        con = sqlite3.connect(source)
+        try:
+            cur = con.execute(sql)
+            cols = [d[0] for d in cur.description]
+            rows = cur.fetchall()
+        finally:
+            con.close()
+    except sqlite3.Error as exc:
+        raise StorageError(f"sqlite ingest from {source!r} failed: {exc}") from exc
+    return {c: _column_array([r[i] for r in rows])
+            for i, c in enumerate(cols)}
+
+
+def _load_parquet(source, columns: list[str] | None = None) -> Mapping[str, np.ndarray]:
+    try:
+        import pyarrow.parquet as pq
+    except ImportError:
+        raise StorageError(
+            "parquet materializer requires pyarrow, which is not installed"
+        ) from None
+    try:
+        table = pq.read_table(source, columns=columns)
+    except (OSError, ValueError) as exc:
+        raise StorageError(f"cannot read parquet {source!r}: {exc}") from exc
+    out: dict[str, np.ndarray] = {}
+    for name, col in zip(table.column_names, table.columns):
+        values = col.to_pylist()
+        arr = np.asarray(values)
+        if arr.dtype.kind not in ("i", "u", "f", "b", "M"):
+            arr = np.array(values, dtype=object)
+        out[name] = arr
+    return out
+
+
+def _load_arrays(source, **_options) -> Mapping[str, np.ndarray]:
+    """Identity loader: *source* is already a column mapping."""
+    if not isinstance(source, Mapping):
+        raise StorageError("arrays materializer expects a column mapping")
+    return source
+
+
+register_materializer("csv", _load_csv)
+register_materializer("sqlite", _load_sqlite)
+register_materializer("parquet", _load_parquet)
+register_materializer("arrays", _load_arrays)

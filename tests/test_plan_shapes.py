@@ -152,6 +152,107 @@ class TestPlanShape:
         assert "SetOp UNION" in plan
 
 
+class TestZoneMapPlanShape:
+    """Goldens for zone-map partition pruning: the Scan node renders the
+    surviving/total chunk count, and EXPLAIN ANALYZE reports the rows a
+    pruned scan actually read."""
+
+    @pytest.fixture()
+    def stored_db(self, tmp_path):
+        from repro.storage import ColumnStore
+
+        store = ColumnStore(tmp_path / "store")
+        n = 1024
+        store.write_table(
+            "events",
+            {"ts": list(range(n)), "v": [float(i % 97) for i in range(n)]},
+            primary_key="ts", chunk_rows=128, sort_by="ts")
+        db = connect()
+        store.attach(db)
+        return db
+
+    def test_scan_renders_pruned_chunk_count(self, stored_db):
+        plan = stored_db.explain_plan(
+            "SELECT COUNT(*) AS n FROM events WHERE ts BETWEEN 256 AND 300")
+        assert "Scan events" in plan
+        assert "zonemap=1/8 chunks" in plan
+
+    def test_range_spanning_chunks_keeps_them(self, stored_db):
+        plan = stored_db.explain_plan(
+            "SELECT COUNT(*) AS n FROM events WHERE ts >= 512")
+        assert "zonemap=4/8 chunks" in plan
+
+    def test_impossible_predicate_prunes_all_chunks(self, stored_db):
+        plan = stored_db.explain_plan(
+            "SELECT COUNT(*) AS n FROM events WHERE ts > 5000")
+        assert "zonemap=0/8 chunks" in plan
+        assert "est=0 rows" in plan
+
+    def test_pruning_disabled_renders_no_zonemap(self, stored_db):
+        plan = stored_db.explain_plan(
+            "SELECT COUNT(*) AS n FROM events WHERE ts BETWEEN 256 AND 300",
+            config=EngineConfig(zone_map_pruning=False))
+        assert "zonemap" not in plan
+
+    def test_in_memory_table_renders_no_zonemap(self, db):
+        plan = db.explain_plan("SELECT a FROM t WHERE a > 2")
+        assert "zonemap" not in plan
+
+    def test_unprunable_predicate_keeps_all_chunks(self, stored_db):
+        # v oscillates inside every chunk: zone intervals all contain the
+        # literal, so nothing is pruned but the scan still reports counts.
+        plan = stored_db.explain_plan(
+            "SELECT COUNT(*) AS n FROM events WHERE v = 11.0")
+        assert "zonemap=8/8 chunks" in plan
+
+    def test_explain_analyze_reports_pruned_rows(self, stored_db):
+        trace = stored_db.explain(
+            "SELECT COUNT(*) AS n FROM events WHERE ts BETWEEN 256 AND 300")
+        assert "zone maps pruned 7/8 chunk(s), read 128 rows" in trace
+
+    def test_pruned_plan_results_match_unpruned(self, stored_db):
+        sql = ("SELECT SUM(v) AS s, COUNT(*) AS n FROM events "
+               "WHERE ts BETWEEN 100 AND 900")
+        assert stored_db.execute(sql).to_dict() == stored_db.execute(
+            sql, config=EngineConfig(zone_map_pruning=False)).to_dict()
+
+
+class TestSpillPlanShape:
+    """EXPLAIN ANALYZE goldens for the memory-budget spill paths."""
+
+    @pytest.fixture()
+    def wide_db(self):
+        db = connect()
+        n = 4000
+        db.register("f", {"k": [i % 200 for i in range(n)],
+                          "v": [float(i) for i in range(n)]})
+        db.register("d", {"k": list(range(200)),
+                          "w": [float(i) for i in range(200)]})
+        return db
+
+    def test_join_and_aggregate_spill_events_in_trace(self, wide_db):
+        cfg = EngineConfig(memory_budget=1024, spill_partitions=4)
+        trace = wide_db.explain(
+            "SELECT f.k AS k, SUM(f.v + d.w) AS s FROM f JOIN d "
+            "ON f.k = d.k GROUP BY f.k", config=cfg)
+        assert "spill: hash join" in trace
+        assert "grace-partitioned over 4 partition(s)" in trace
+        assert "spill: hash aggregate" in trace
+        assert "bytes to disk" in trace
+
+    def test_no_spill_events_without_budget(self, wide_db):
+        trace = wide_db.explain(
+            "SELECT f.k AS k, SUM(f.v) AS s FROM f GROUP BY f.k")
+        assert "spill" not in trace
+
+    def test_memory_budget_keyed_in_plan_cache(self, wide_db):
+        sql = "SELECT k, SUM(v) AS s FROM f GROUP BY k"
+        wide_db.execute(sql)
+        wide_db.execute(sql, config=EngineConfig(memory_budget=1024))
+        assert wide_db.plan_cache_stats["hits"] == 0
+        assert wide_db.plan_cache_stats["entries"] == 2
+
+
 class TestSubqueryPlanShape:
     """Goldens for the decorrelated subquery nodes (SemiJoin / AntiJoin /
     MarkJoin / ScalarSubqueryScan) and their residual-path fallbacks."""

@@ -1,0 +1,293 @@
+"""Persistent column-store format tests: roundtrip, restart-without-reload,
+typed corruption errors, the materializer registry, and a property test
+that zone-map pruning never changes results.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro import connect
+from repro.errors import StorageError
+from repro.sqlengine import EngineConfig
+from repro.storage import (
+    ColumnStore, StoredTable, ingest, materialize, materializers,
+    open_store, register_materializer,
+)
+
+
+def _dataset(n=1000, seed=3):
+    rng = np.random.default_rng(seed)
+    return {
+        "id": np.arange(n, dtype=np.int64),
+        "grp": rng.integers(0, 17, n),
+        "val": np.round(rng.normal(50.0, 20.0, n), 3),
+        "day": (np.datetime64("2021-01-01") +
+                rng.integers(0, 365, n).astype("timedelta64[D]")),
+        "tag": rng.choice(np.array(["ab", "cd", "ef", "gh"], dtype=object), n),
+    }
+
+
+@pytest.fixture()
+def store(tmp_path):
+    s = ColumnStore(tmp_path / "store")
+    s.write_table("t", _dataset(), primary_key="id", chunk_rows=128,
+                  sort_by="day")
+    return s
+
+
+# ---------------------------------------------------------------------------
+# Roundtrip + restart without reload
+# ---------------------------------------------------------------------------
+
+class TestRoundtrip:
+    def test_attach_and_query(self, store):
+        db = connect()
+        assert store.attach(db) == ["t"]
+        table = db.catalog.get("t")
+        assert isinstance(table, StoredTable)
+        assert table.nchunks == 8 and table.has_zone_maps
+        out = db.execute("SELECT COUNT(*) AS n, SUM(grp) AS s FROM t")
+        data = _dataset()
+        assert out["n"][0] == 1000
+        assert out["s"][0] == int(data["grp"].sum())
+
+    def test_columns_roundtrip_exactly(self, store):
+        data = _dataset()
+        table = store.table("t")
+        order = np.argsort(data["day"], kind="stable")
+        for col in data:
+            np.testing.assert_array_equal(table.column(col), data[col][order])
+
+    def test_restart_without_reload(self, store, tmp_path):
+        """Ingest -> close -> reopen from the manifest alone: identical
+        results, sane cache/catalog counters."""
+        sql = ("SELECT grp, COUNT(*) AS n, SUM(val) AS s FROM t "
+               "WHERE day >= DATE '2021-06-01' GROUP BY grp ORDER BY grp")
+        db1 = connect()
+        store.attach(db1)
+        before = db1.execute(sql).to_dict()
+
+        reopened = open_store(store.root)  # nothing shared with `store`
+        assert reopened.catalog_version == store.catalog_version == 1
+        db2 = connect()
+        reopened.attach(db2)
+        assert db2.catalog.version == 1
+        after = db2.execute(sql).to_dict()
+        assert before == after
+        stats = db2.cache_stats()
+        assert stats["entries"] >= 0 and stats["misses"] >= 0
+
+    def test_reattach_invalidates_plans(self, store):
+        db = connect()
+        store.attach(db)
+        db.execute("SELECT COUNT(*) AS n FROM t")
+        v = db.catalog.version
+        store.write_table("t2", {"x": np.arange(5)}, chunk_rows=2)
+        store.attach(db, ["t2"])
+        assert db.catalog.version == v + 1
+
+    def test_drop_table(self, store):
+        store.drop_table("t")
+        assert store.tables() == []
+        with pytest.raises(StorageError):
+            store.table("t")
+
+
+# ---------------------------------------------------------------------------
+# Typed corruption errors
+# ---------------------------------------------------------------------------
+
+class TestCorruption:
+    def test_missing_store(self, tmp_path):
+        with pytest.raises(StorageError, match="no column store"):
+            open_store(tmp_path / "nothing-here")
+
+    def test_garbage_manifest(self, store):
+        (store.root / "manifest.json").write_text("{not json at all")
+        with pytest.raises(StorageError, match="corrupt manifest"):
+            open_store(store.root)
+
+    def test_wrong_structure_manifest(self, store):
+        doc = json.loads((store.root / "manifest.json").read_text())
+        doc["tables"] = ["t"]
+        (store.root / "manifest.json").write_text(json.dumps(doc))
+        with pytest.raises(StorageError, match="tables is not an object"):
+            open_store(store.root)
+
+    def test_nrows_chunk_mismatch(self, store):
+        doc = json.loads((store.root / "manifest.json").read_text())
+        doc["tables"]["t"]["nrows"] = 999
+        (store.root / "manifest.json").write_text(json.dumps(doc))
+        with pytest.raises(StorageError, match="chunk boundaries"):
+            open_store(store.root)
+
+    def test_unknown_format(self, store):
+        doc = json.loads((store.root / "manifest.json").read_text())
+        doc["format"] = "somebody-elses"
+        (store.root / "manifest.json").write_text(json.dumps(doc))
+        with pytest.raises(StorageError, match="unknown format"):
+            open_store(store.root)
+
+    def test_missing_chunk_file(self, store):
+        (store.root / "t" / "c000.00000.npy").unlink()
+        table = open_store(store.root).table("t")
+        with pytest.raises(StorageError, match="missing chunk file"):
+            table.scan(["id"])
+
+    def test_truncated_chunk_file(self, store):
+        path = store.root / "t" / "c000.00001.npy"
+        path.write_bytes(path.read_bytes()[:40])
+        table = open_store(store.root).table("t")
+        with pytest.raises(StorageError):
+            table.scan(["id"])
+
+    def test_wrong_dtype_chunk_file(self, store):
+        path = store.root / "t" / "c000.00000.npy"
+        np.save(path, np.zeros(128, dtype=np.float32))
+        table = open_store(store.root).table("t")
+        with pytest.raises(StorageError, match="dtype"):
+            table.scan(["id"])
+
+
+# ---------------------------------------------------------------------------
+# Materializers
+# ---------------------------------------------------------------------------
+
+class TestMaterializers:
+    def test_builtins_registered(self):
+        names = materializers()
+        for expected in ("csv", "sqlite", "parquet", "arrays"):
+            assert expected in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(StorageError, match="unknown materializer"):
+            materialize("no-such-format", "whatever")
+
+    def test_csv_ingest(self, tmp_path):
+        csv_path = tmp_path / "data.csv"
+        csv_path.write_text("a,b,d\n1,x,2024-01-02\n2,y,2024-02-03\n")
+        store = ColumnStore(tmp_path / "store")
+        ingest(store, "csvt", "csv", str(csv_path), chunk_rows=1)
+        db = connect()
+        store.attach(db)
+        out = db.execute("SELECT a, b FROM csvt ORDER BY a").to_dict()
+        assert out == {"a": [1, 2], "b": ["x", "y"]}
+
+    def test_sqlite_ingest(self, tmp_path):
+        sq = tmp_path / "src.db"
+        con = sqlite3.connect(sq)
+        con.execute("CREATE TABLE src (k INTEGER, name TEXT, v REAL)")
+        con.executemany("INSERT INTO src VALUES (?, ?, ?)",
+                        [(1, "a", 1.5), (2, "b", 2.5), (3, None, 3.5)])
+        con.commit()
+        con.close()
+        store = ColumnStore(tmp_path / "store")
+        ingest(store, "src", "sqlite", str(sq), table="src", chunk_rows=2)
+        db = connect()
+        store.attach(db)
+        out = db.execute("SELECT k, v FROM src WHERE name IS NOT NULL "
+                         "ORDER BY k").to_dict()
+        assert out == {"k": [1, 2], "v": [1.5, 2.5]}
+
+    def test_sqlite_ingest_needs_table_or_query(self, tmp_path):
+        with pytest.raises(StorageError, match="exactly one"):
+            materialize("sqlite", str(tmp_path / "x.db"))
+
+    def test_custom_materializer(self, tmp_path):
+        def load_range(source, n=4):
+            return {"x": np.arange(n, dtype=np.int64)}
+
+        register_materializer("range-test", load_range, replace=True)
+        store = ColumnStore(tmp_path / "store")
+        ingest(store, "r", "range-test", None, n=6, chunk_rows=4)
+        assert store.table("r").nrows == 6
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(StorageError, match="already registered"):
+            register_materializer("csv", lambda s: {})
+
+    def test_parquet_ingest(self, tmp_path):
+        pa = pytest.importorskip("pyarrow")
+        pq = pytest.importorskip("pyarrow.parquet")
+        table = pa.table({"a": [1, 2, 3], "s": ["x", "y", "z"]})
+        path = tmp_path / "data.parquet"
+        pq.write_table(table, path)
+        store = ColumnStore(tmp_path / "store")
+        ingest(store, "p", "parquet", str(path), chunk_rows=2)
+        db = connect()
+        store.attach(db)
+        out = db.execute("SELECT a, s FROM p ORDER BY a").to_dict()
+        assert out == {"a": [1, 2, 3], "s": ["x", "y", "z"]}
+
+    def test_parquet_without_pyarrow_raises_typed(self, monkeypatch):
+        import builtins
+
+        real_import = builtins.__import__
+
+        def no_pyarrow(name, *a, **k):
+            if name.startswith("pyarrow"):
+                raise ImportError(name)
+            return real_import(name, *a, **k)
+
+        monkeypatch.setattr(builtins, "__import__", no_pyarrow)
+        with pytest.raises(StorageError, match="requires pyarrow"):
+            materialize("parquet", "whatever.parquet")
+
+
+# ---------------------------------------------------------------------------
+# Property test: pruning never changes results
+# ---------------------------------------------------------------------------
+
+class TestPruningProperty:
+    def test_randomized_range_predicates(self, store):
+        """Zone-map pruning is an optimization, never a semantic change:
+        randomized comparison/range/IN predicates over every prunable
+        column must return identical rows with pruning on and off."""
+        db = connect()
+        store.attach(db)
+        rng = np.random.default_rng(11)
+        off = EngineConfig(zone_map_pruning=False)
+        days = [f"2021-{m:02d}-{d:02d}"
+                for m in range(1, 13) for d in (1, 15)]
+        for _ in range(40):
+            col, lo, hi = {
+                0: ("id", int(rng.integers(0, 1000)),
+                    int(rng.integers(0, 1000))),
+                1: ("grp", int(rng.integers(0, 17)), int(rng.integers(0, 17))),
+                2: ("val", round(float(rng.uniform(-20, 120)), 2),
+                    round(float(rng.uniform(-20, 120)), 2)),
+                3: ("day", f"DATE '{days[rng.integers(0, len(days))]}'",
+                    f"DATE '{days[rng.integers(0, len(days))]}'"),
+                4: ("tag", "'cd'", "'gh'"),
+            }[int(rng.integers(0, 5))]
+            lo, hi = (hi, lo) if str(lo) > str(hi) else (lo, hi)
+            pred = rng.choice([
+                f"{col} >= {lo}",
+                f"{col} < {hi}",
+                f"{col} BETWEEN {lo} AND {hi}",
+                f"{col} = {lo}",
+            ])
+            sql = (f"SELECT id, grp, val FROM t WHERE {pred} "
+                   f"ORDER BY id")
+            assert db.execute(sql).to_dict() == \
+                db.execute(sql, config=off).to_dict(), pred
+
+    def test_in_list_pruning_agrees(self, store):
+        db = connect()
+        store.attach(db)
+        off = EngineConfig(zone_map_pruning=False)
+        sql = ("SELECT COUNT(*) AS n FROM t "
+               "WHERE grp IN (1, 5, 16) AND tag IN ('ab', 'gh')")
+        assert db.execute(sql).to_dict() == \
+            db.execute(sql, config=off).to_dict()
+
+    def test_null_literal_predicate_prunes_everything(self, store):
+        db = connect()
+        store.attach(db)
+        out = db.execute("SELECT COUNT(*) AS n FROM t WHERE grp = NULL")
+        assert out["n"][0] == 0

@@ -27,7 +27,9 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.backends import available_backends, get_backend  # noqa: E402
-from repro.bench.sqlfuzz import build_fuzz_db, run_seeds  # noqa: E402
+from repro.bench.sqlfuzz import (  # noqa: E402
+    build_fuzz_db, run_seeds, run_seeds_spill,
+)
 from repro.errors import BackendError  # noqa: E402
 
 
@@ -42,6 +44,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backend", default="sqlite",
                         help="comma-separated oracle backends to test "
                              "against (default sqlite)")
+    parser.add_argument("--memory-budget", type=int, default=None,
+                        metavar="BYTES",
+                        help="spill mode: compare spilled execution under "
+                             "this memory budget against the in-memory "
+                             "engine instead of an oracle backend")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report raw failures without shrinking")
     parser.add_argument("--artifact", default=None,
@@ -50,6 +57,39 @@ def main(argv: list[str] | None = None) -> int:
                         help="print progress every N seeds (0 = quiet)")
     args = parser.parse_args(argv)
     threads = tuple(int(t) for t in args.threads.split(","))
+
+    if args.memory_budget is not None:
+        # Spill mode: the "oracle" is our own engine without a budget.
+        db = build_fuzz_db()
+        started = time.perf_counter()
+        failures = []
+        step = max(args.progress_every, 1) if args.progress_every else args.count
+        for lo in range(args.seed, args.seed + args.count, step):
+            hi = min(lo + step, args.seed + args.count)
+            failures.extend(run_seeds_spill(
+                db, range(lo, hi), budget=args.memory_budget,
+                threads=threads, shrink_failures=not args.no_shrink))
+            if args.progress_every:
+                print(f"[fuzz:spill@{args.memory_budget}] "
+                      f"{hi - args.seed}/{args.count} seeds, "
+                      f"{len(failures)} divergence(s), "
+                      f"{time.perf_counter() - started:.1f}s", flush=True)
+        if failures:
+            reports = "\n\n".join(f.report() for f in failures)
+            print(f"\n{len(failures)} divergence(s):\n\n{reports}")
+            if args.artifact:
+                Path(args.artifact).write_text(
+                    f"spill fuzz seeds {args.seed}.."
+                    f"{args.seed + args.count - 1} threads={threads} "
+                    f"budget={args.memory_budget}\n\n{reports}\n"
+                )
+                print(f"\nrepro report written to {args.artifact}")
+        else:
+            print(f"[fuzz] clean: {args.count} seeds x threads {threads} "
+                  f"spilled-vs-in-memory at budget={args.memory_budget} in "
+                  f"{time.perf_counter() - started:.1f}s")
+        return min(len(failures), 125)
+
     oracle_names = [b.strip() for b in args.backend.split(",") if b.strip()]
     try:
         oracles = [get_backend(name) for name in oracle_names]

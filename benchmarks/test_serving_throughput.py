@@ -227,7 +227,7 @@ def _stress(engine_threads: int) -> dict:
                         got = sessions[idx].submit(
                             _inline(TEMPLATES[t][0], params)
                         ).result_chunk(timeout=60)
-                except Exception as exc:  # noqa: BLE001 - recorded, asserted
+                except Exception as exc:  # recorded, asserted
                     failures.append(f"client {idx} step {step}: {exc!r}")
                     return
                 ref = references[(t, tuple(params))]

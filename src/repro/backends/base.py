@@ -29,13 +29,18 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, replace
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
 from ..errors import BackendError
 from ..sqlengine.executor import EngineConfig
 from .rows import chunk_rows, normalize_rows
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Callable, Iterable
+
+    from ..dataframe import DataFrame
 
 __all__ = [
     "Dialect", "BackendInfo", "CompiledQuery", "ResultTable",
@@ -95,7 +100,8 @@ def _split_call(sql: str, start: int) -> tuple[list[str], int]:
     return args, j
 
 
-def _rewrite_calls(sql: str, pattern: re.Pattern, render) -> str:
+def _rewrite_calls(sql: str, pattern: re.Pattern,
+                   render: "Callable[[list[str]], str | None]") -> str:
     """Replace every call matched by *pattern* (which must end at the
     opening paren) with ``render(args)``; ``render`` returning None keeps
     the original text.  Replacements are never re-scanned, so a target
@@ -201,7 +207,7 @@ class ResultTable:
         """Rows in the canonical cross-backend comparison form."""
         return normalize_rows(self.rows)
 
-    def to_dataframe(self):
+    def to_dataframe(self) -> "DataFrame":
         """Materialize as a :class:`~repro.dataframe.DataFrame`, recovering
         int64/float64/datetime64 dtypes where the column values allow."""
         from ..dataframe import DataFrame
@@ -253,7 +259,7 @@ class ExecutionBackend(Protocol):
     name: str
     dialect: Dialect
 
-    def supports(self, caps) -> bool:
+    def supports(self, caps: "Iterable[str]") -> bool:
         """True when every capability string in *caps* is provided."""
         ...
 
@@ -263,7 +269,8 @@ class ExecutionBackend(Protocol):
         it differs from their own."""
         ...
 
-    def execute(self, db, artifact: CompiledQuery, params=None) -> ResultTable:
+    def execute(self, db: object, artifact: CompiledQuery,
+                params: object = None) -> ResultTable:
         """Run a compiled artifact against *db*'s data."""
         ...
 
@@ -310,15 +317,15 @@ class Backend:
             caps.add("window")
         return frozenset(caps)
 
-    def supports(self, caps) -> bool:
+    def supports(self, caps: "Iterable[str]") -> bool:
         return set(caps) <= self.capabilities
 
     def compile(self, sql: str, dialect: str = "standard") -> CompiledQuery:
         # The engine parses every native dialect's spellings directly.
         return CompiledQuery(backend=self.name, sql=sql)
 
-    def execute(self, db, artifact: CompiledQuery, params=None,
-                threads: int = 1) -> ResultTable:
+    def execute(self, db: object, artifact: CompiledQuery,
+                params: object = None, threads: int = 1) -> ResultTable:
         chunk = db.execute_chunk(artifact.sql, self.config(threads=threads),
                                  params)
         return ResultTable(columns=list(chunk.columns),
@@ -341,12 +348,12 @@ class Backend:
 _REGISTRY: dict[str, ExecutionBackend] = {}
 
 
-def register_backend(backend):
+def register_backend(backend: ExecutionBackend) -> ExecutionBackend:
     _REGISTRY[backend.name] = backend
     return backend
 
 
-def get_backend(name: str):
+def get_backend(name: str) -> ExecutionBackend:
     try:
         return _REGISTRY[name]
     except KeyError:

@@ -14,6 +14,7 @@ fuzz corpus against it (``tools/fuzz.py --backend duckdb_real``).
 from __future__ import annotations
 
 import datetime
+from typing import TYPE_CHECKING
 import decimal
 import importlib.util
 
@@ -23,6 +24,11 @@ from ..errors import BackendError
 from .base import BackendInfo, CompiledQuery, Dialect, ResultTable, register_backend
 from .rows import to_python_cell
 from .sqlite import _OracleMirrorCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Iterable
+
+    from ..sqlengine.database import Database
 
 __all__ = ["DuckDBBackend", "duckdb_available"]
 
@@ -43,7 +49,7 @@ def _duckdb_type(dtype: np.dtype) -> str:
     return "VARCHAR"
 
 
-def _load_duckdb(db):
+def _load_duckdb(db: "Database") -> object:
     import duckdb
 
     conn = duckdb.connect(":memory:")
@@ -65,7 +71,7 @@ def _load_duckdb(db):
     return conn
 
 
-def _plain_cell(value):
+def _plain_cell(value: object) -> object:
     """DuckDB result cell -> the comparison vocabulary every backend uses
     (ISO date strings, floats instead of Decimals)."""
     if isinstance(value, (datetime.date, datetime.datetime)):
@@ -91,13 +97,14 @@ class DuckDBBackend:
     def __init__(self):
         self._cache = _OracleMirrorCache(_load_duckdb)
 
-    def supports(self, caps) -> bool:
+    def supports(self, caps: "Iterable[str]") -> bool:
         return duckdb_available() and set(caps) <= self.capabilities
 
     def compile(self, sql: str, dialect: str = "standard") -> CompiledQuery:
         return CompiledQuery(backend=self.name, sql=sql)
 
-    def execute(self, db, artifact: CompiledQuery, params=None) -> ResultTable:
+    def execute(self, db: "Database", artifact: CompiledQuery,
+                params: object = None) -> ResultTable:
         if not duckdb_available():
             raise BackendError(
                 "backend 'duckdb_real' requires the optional duckdb package"

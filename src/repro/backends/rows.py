@@ -12,14 +12,20 @@ backend registry all agree on what "the same result" means.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Iterable
+
+    from ..sqlengine.table import Chunk
 
 __all__ = ["to_python_cell", "norm_cell", "normalize_rows", "rows_equal",
            "chunk_rows"]
 
 
-def to_python_cell(value):
+def to_python_cell(value: object) -> object:
     """Convert a numpy cell into a plain Python value a DB-API driver can
     bind: NaN/NaT become None (our engine treats both as SQL NULL), dates
     become ISO day strings, numpy scalars unwrap to their Python types."""
@@ -36,7 +42,7 @@ def to_python_cell(value):
     return value
 
 
-def norm_cell(value):
+def norm_cell(value: object) -> object:
     """Canonical comparison form of one cell (see module docstring)."""
     if value is None:
         return None
@@ -68,12 +74,12 @@ def _sort_key(row: tuple) -> tuple:
     return tuple(key)
 
 
-def normalize_rows(rows) -> list[tuple]:
+def normalize_rows(rows: "Iterable[tuple]") -> list[tuple]:
     return sorted((tuple(norm_cell(c) for c in row) for row in rows),
                   key=_sort_key)
 
 
-def _cells_equal(a, b, rel_tol: float, abs_tol: float) -> bool:
+def _cells_equal(a: object, b: object, rel_tol: float, abs_tol: float) -> bool:
     if a is None or b is None:
         return a is None and b is None
     if isinstance(a, (int, float)) and isinstance(b, (int, float)):
@@ -94,7 +100,7 @@ def rows_equal(ours: list[tuple], theirs: list[tuple],
     return True, ""
 
 
-def chunk_rows(chunk) -> list[tuple]:
+def chunk_rows(chunk: "Chunk") -> list[tuple]:
     """Raw row tuples of an engine :class:`~repro.sqlengine.table.Chunk`.
 
     ``tolist()`` would degrade datetime64 columns to integers, so date

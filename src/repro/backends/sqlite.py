@@ -15,6 +15,7 @@ the baseline oracle for the differential harness and the fuzzer.
 from __future__ import annotations
 
 import sqlite3
+from typing import TYPE_CHECKING
 import threading
 import weakref
 
@@ -26,6 +27,11 @@ from .base import (
     rewrite_sql,
 )
 from .rows import to_python_cell
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Callable, Iterable
+
+    from ..sqlengine.database import Database
 
 __all__ = ["SQLITE_DIALECT", "SqliteBackend", "load_sqlite", "to_sqlite_sql"]
 
@@ -57,7 +63,7 @@ def _sqlite_type(dtype: np.dtype) -> str:
     return "TEXT"  # strings and dates (ISO text compares/sorts correctly)
 
 
-def load_sqlite(db) -> sqlite3.Connection:
+def load_sqlite(db: "Database") -> sqlite3.Connection:
     """Mirror every table of *db* into a fresh in-memory sqlite database."""
     conn = sqlite3.connect(":memory:", check_same_thread=False)
     for name in db.tables():
@@ -84,12 +90,12 @@ class _OracleMirrorCache:
     mirror; a catalog version bump (DDL) rebuilds it on next use.
     """
 
-    def __init__(self, loader):
+    def __init__(self, loader: "Callable[[Database], object]"):
         self._loader = loader
         self._mirrors = weakref.WeakKeyDictionary()
         self._lock = threading.Lock()
 
-    def get(self, db):
+    def get(self, db: "Database") -> object:
         version = db.catalog.version
         with self._lock:
             cached = self._mirrors.get(db)
@@ -115,7 +121,7 @@ class SqliteBackend:
     def __init__(self):
         self._cache = _OracleMirrorCache(load_sqlite)
 
-    def supports(self, caps) -> bool:
+    def supports(self, caps: "Iterable[str]") -> bool:
         return set(caps) <= self.capabilities
 
     def compile(self, sql: str, dialect: str = "standard") -> CompiledQuery:
@@ -123,14 +129,15 @@ class SqliteBackend:
             sql = rewrite_sql(sql, self.dialect)
         return CompiledQuery(backend=self.name, sql=sql)
 
-    def _bind_values(self, params):
+    def _bind_values(self, params: object) -> object:
         if params is None:
             return []
         if isinstance(params, dict):
             return {k: to_python_cell(v) for k, v in params.items()}
         return [to_python_cell(v) for v in params]
 
-    def execute(self, db, artifact: CompiledQuery, params=None) -> ResultTable:
+    def execute(self, db: "Database", artifact: CompiledQuery,
+                params: object = None) -> ResultTable:
         conn = self._cache.get(db)
         try:
             cursor = conn.execute(artifact.sql, self._bind_values(params))
@@ -139,7 +146,7 @@ class SqliteBackend:
         columns = [d[0] for d in cursor.description or []]
         return ResultTable(columns=columns, rows=cursor.fetchall())
 
-    def explain(self, db, artifact: CompiledQuery) -> str:
+    def explain(self, db: "Database", artifact: CompiledQuery) -> str:
         conn = self._cache.get(db)
         rows = conn.execute("EXPLAIN QUERY PLAN " + artifact.sql).fetchall()
         return "\n".join(str(row[-1]) for row in rows)

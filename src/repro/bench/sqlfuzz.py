@@ -37,7 +37,8 @@ from .differential import rows_equal
 from ..backends.rows import chunk_rows, normalize_rows
 
 __all__ = ["build_fuzz_db", "generate", "render", "run_seeds",
-           "run_seeds_spill", "shrink", "Divergence", "SelectSpec"]
+           "run_seeds_spill", "run_seeds_verify", "shrink", "Divergence",
+           "SelectSpec"]
 
 
 # ---------------------------------------------------------------------------
@@ -374,11 +375,11 @@ def _diff_detail(db: Database, oracle: ExecutionBackend, sql: str,
     try:
         chunk = db.execute_chunk(sql, config)
         ours = normalize_rows(chunk_rows(chunk)) if chunk.ncols else []
-    except Exception as exc:  # noqa: BLE001 - any engine error is data here
+    except Exception as exc:  # any engine error is data here
         ours_exc = exc
     try:
         theirs = oracle.execute(db, oracle.compile(sql)).normalized()
-    except Exception as exc:  # noqa: BLE001
+    except Exception as exc:
         theirs_exc = exc
     if ours_exc is not None and theirs_exc is not None:
         return None  # both engines reject the query: agreement
@@ -401,7 +402,7 @@ def shrink(spec: SelectSpec, diverges) -> SelectSpec:
         for candidate in _reductions(spec):
             try:
                 still = diverges(candidate)
-            except Exception:  # noqa: BLE001 - invalid reduction, skip
+            except Exception:  # invalid reduction, skip
                 still = False
             if still:
                 spec = candidate
@@ -452,12 +453,12 @@ def _spill_detail(db: Database, sql: str, budget: int, threads: int,
     try:
         chunk = db.execute_chunk(sql, base_cfg)
         base = normalize_rows(chunk_rows(chunk)) if chunk.ncols else []
-    except Exception as exc:  # noqa: BLE001 - any engine error is data here
+    except Exception as exc:  # any engine error is data here
         base_exc = exc
     try:
         chunk = db.execute_chunk(sql, spill_cfg)
         spilled = normalize_rows(chunk_rows(chunk)) if chunk.ncols else []
-    except Exception as exc:  # noqa: BLE001
+    except Exception as exc:
         spill_exc = exc
     if base_exc is not None and spill_exc is not None:
         return None  # both configs reject the query: agreement
@@ -497,6 +498,50 @@ def run_seeds_spill(db: Database, seeds, budget: int = 1024,
                     spec,
                     lambda s: _spill_detail(db, render(s), budget, t)
                     is not None,
+                )
+                failure.shrunk_sql = render(small)
+            failures.append(failure)
+            break  # one report per seed is enough
+    return failures
+
+
+def _verify_detail(db: Database, sql: str, threads: int) -> str | None:
+    """One static-verification probe: plan the query with the plan verifier
+    enabled and report a :class:`PlanInvariantError` as a divergence — the
+    verifier rejecting a planner-built plan is by definition a bug in one
+    of the two.  Ordinary user errors (parse/bind/unsupported) are not
+    divergences, and neither is successful planning."""
+    from ..errors import PlanInvariantError
+
+    config = EngineConfig(threads=threads, verify_plans=True)
+    try:
+        db.explain_plan(sql, config=config)
+    except PlanInvariantError as exc:
+        return f"plan verifier rejected a planner-built plan: {exc}"
+    except Exception:
+        return None  # invalid query — both the planner and verifier agree
+    return None
+
+
+def run_seeds_verify(db: Database, seeds, threads=(1, 4),
+                     shrink_failures: bool = True) -> list[Divergence]:
+    """Statically verify the physical plans for *seeds*: every plannable
+    query must pass the plan verifier with zero violations.  Divergences
+    shrink exactly like oracle divergences."""
+    failures: list[Divergence] = []
+    for seed in seeds:
+        spec = generate(seed)
+        sql = render(spec)
+        for t in threads:
+            detail = _verify_detail(db, sql, t)
+            if detail is None:
+                continue
+            failure = Divergence(seed=seed, threads=t, sql=sql,
+                                 detail=detail, oracle="plan-verifier")
+            if shrink_failures:
+                small = shrink(
+                    spec,
+                    lambda s: _verify_detail(db, render(s), t) is not None,
                 )
                 failure.shrunk_sql = render(small)
             failures.append(failure)

@@ -386,23 +386,46 @@ def optimize(
     base_unique: dict[str, set[str]] | None = None,
     max_rounds: int = 20,
 ) -> Program:
-    """Run the optimization pipeline at *level* ('O0'..'O4') to fixpoint."""
+    """Run the optimization pipeline at *level* ('O0'..'O4') to fixpoint.
+
+    The well-formedness checker (:mod:`repro.analysis.ir_checker`) runs
+    on the input program and again after every pass, with the
+    base-relation set frozen at entry — a pass that breaks an invariant
+    raises :class:`~repro.errors.IRInvariantError` naming that pass
+    rather than leaving a malformed program for the SQL renderer.
+    """
+    # Imported here: repro.analysis also pulls in the plan verifier (and
+    # with it the SQL engine), which must not become an import-time
+    # dependency of the core translator.
+    from ...analysis.ir_checker import check_program
+    from ...errors import TondIRError
+
     if level not in OPT_LEVELS:
-        raise ValueError(f"unknown optimization level {level!r}")
+        raise TondIRError(f"unknown optimization level {level!r}")
     passes = OPT_LEVELS[level]
     base_unique = base_unique or {}
     program = program.copy()
+    base_rels = check_program(program, stage=f"{level} input")
+
+    def checked(pass_name: str, changed: bool) -> bool:
+        if changed:
+            check_program(program, base_rels, stage=pass_name)
+        return changed
+
     for _ in range(max_rounds):
         changed = False
         if "dce" in passes:
-            changed |= local_dce(program)
-            changed |= global_dce(program)
+            changed |= checked("local_dce", local_dce(program))
+            changed |= checked("global_dce", global_dce(program))
         if "groupagg" in passes:
-            changed |= group_aggregate_elimination(program, base_unique)
+            changed |= checked(
+                "group_aggregate_elimination",
+                group_aggregate_elimination(program, base_unique))
         if "selfjoin" in passes:
-            changed |= self_join_elimination(program, base_unique)
+            changed |= checked("self_join_elimination",
+                               self_join_elimination(program, base_unique))
         if "inline" in passes:
-            changed |= rule_inlining(program)
+            changed |= checked("rule_inlining", rule_inlining(program))
         if not changed:
             break
     return program

@@ -67,3 +67,37 @@ class TranslationError(ReproError):
 
 class TondIRError(ReproError):
     """Malformed TondIR program."""
+
+
+class PlanInvariantError(SQLError):
+    """A compiled physical plan violates a structural invariant.
+
+    Raised by :mod:`repro.analysis` when the static plan verifier finds a
+    node whose synthesized schema, dtypes, or operator preconditions are
+    inconsistent — always a planner (or hand-built-plan) bug, never a user
+    error.  ``path`` names the offending node as a ``>``-separated chain
+    from the plan root; ``invariant`` is the short rule identifier (e.g.
+    ``join.keys``, ``zonemap.sound``) listed in docs/ARCHITECTURE.md.
+    """
+
+    def __init__(self, invariant: str, message: str, path: str = ""):
+        self.invariant = invariant
+        self.path = path
+        location = f" at {path}" if path else ""
+        super().__init__(f"[{invariant}]{location}: {message}")
+
+
+class IRInvariantError(TondIRError):
+    """A TondIR program violates a well-formedness invariant.
+
+    Raised by :mod:`repro.analysis` when the IR checker finds a dangling
+    variable or relation reference, a double assignment, or an
+    inconsistent union arity — before or after an optimization pass
+    (``stage`` says which pass produced the program).
+    """
+
+    def __init__(self, invariant: str, message: str, stage: str = ""):
+        self.invariant = invariant
+        self.stage = stage
+        location = f" after {stage}" if stage else ""
+        super().__init__(f"[{invariant}]{location}: {message}")

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import AdmissionError, ReproError
+from ..errors import AdmissionError, ReproError, SQLBindError
 from ..sqlengine.database import Database
 from .scheduler import QueryScheduler
 from .session import Session, percentile
@@ -231,7 +231,7 @@ def _inline(sql: str, params) -> str:
             return repr(int(v))
         if isinstance(v, (float, np.floating)):
             return repr(float(v))
-        raise TypeError(f"cannot inline literal of type {type(v).__name__}")
+        raise SQLBindError(f"cannot inline literal of type {type(v).__name__}")
 
     if isinstance(params, dict):
         out = sql

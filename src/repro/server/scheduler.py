@@ -124,7 +124,7 @@ class QueryScheduler:
         default_timeout: float | None = None,
     ):
         if max_concurrent < 1:
-            raise ValueError("max_concurrent must be >= 1")
+            raise AdmissionError("max_concurrent must be >= 1")
         self.db = db
         self.max_concurrent = max_concurrent
         self.queue_limit = queue_limit

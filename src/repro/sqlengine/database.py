@@ -215,6 +215,8 @@ class Database:
         materialized CTE cardinalities, which the static estimates here do
         not, so they must never seed the shared plan cache.
         """
+        from ..analysis import verify_plan
+
         cfg = config or self.config
         query = parse(sql)
         planner = Planner(self.catalog, cfg)
@@ -229,11 +231,17 @@ class Database:
                 lines.append(f"CTE {cte.name}: VALUES ({len(cte.query.rows)} rows)")
                 continue
             plan = planner.plan_body(cte.query, env_schemas)
+            if cfg.verify_plans:
+                verify_plan(plan, self.catalog, cfg, env_schemas)
             columns = cte.column_names or plan.output_columns
             env_schemas[cte.name] = RelSchema(list(columns), plan.est_rows or 1000.0)
             lines.append(f"CTE {cte.name}:")
             lines.extend("  " + ln for ln in plan.render().splitlines())
         plan = planner.plan_body(query.body, env_schemas)
+        if cfg.verify_plans:
+            # CTE schemas here are name-only (RelSchema), so dtype checks
+            # relax to unknown; structural invariants still apply.
+            verify_plan(plan, self.catalog, cfg, env_schemas)
         lines.append(plan.render())
         return "\n".join(lines)
 

@@ -85,6 +85,12 @@ class EngineConfig:
     # Whether the planner drops stored-table chunks whose zone maps
     # (per-chunk min/max stats) cannot satisfy the pushed-down predicates.
     zone_map_pruning: bool = True
+    # Whether every freshly compiled plan is checked by the static plan
+    # verifier (repro.analysis.plan_verifier) before it is cached or
+    # executed.  A violation raises PlanInvariantError — always a planner
+    # bug, never a user error.  Cheap (pure tree walk, no execution), so
+    # it stays on by default in tests, fuzzing, and EXPLAIN.
+    verify_plans: bool = True
 
     def plan_fingerprint(self) -> tuple:
         """Canonical identity of this config for plan-cache keying.
@@ -104,6 +110,11 @@ class EngineConfig:
             self.parallel_join, self.parallel_agg, self.topk_rewrite,
             self.subquery_decorrelate, self.memory_budget,
             self.spill_partitions, self.zone_map_pruning,
+            # verify_plans changes no plan shape, but it gates whether a
+            # plan was admitted through the static verifier — a config
+            # that verifies must not silently adopt a plan cached by one
+            # that did not.
+            self.verify_plans,
         )
 
 
@@ -209,6 +220,13 @@ class Executor:
             for name, c in env.items()
         }
         plan = Planner(self.catalog, self.config).plan_body(select, env_schemas)
+        if self.config.verify_plans:
+            # Static invariant check before the plan is cached or executed;
+            # env chunks carry materialized dtypes, so CTE columns verify
+            # with full kind information.
+            from ..analysis import verify_plan
+
+            verify_plan(plan, self.catalog, self.config, env)
         if cacheable:
             self._active_plans[id(select)] = plan
             # Derived-table bodies were planned as part of this plan; register

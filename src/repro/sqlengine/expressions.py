@@ -125,6 +125,34 @@ def contains_aggregate(expr: Expr) -> bool:
     return False
 
 
+def aggregates_of(expr: Expr):
+    """Yield every :class:`AggCall` in *expr* (same traversal as
+    :func:`contains_aggregate`; subquery bodies are not entered)."""
+    if isinstance(expr, AggCall):
+        yield expr
+        return
+    if isinstance(expr, BinaryOp):
+        children = (expr.left, expr.right)
+    elif isinstance(expr, UnaryOp):
+        children = (expr.operand,)
+    elif isinstance(expr, FuncCall):
+        children = tuple(expr.args)
+    elif isinstance(expr, CaseExpr):
+        children = tuple(e for c, v in expr.branches for e in (c, v))
+        if expr.default is not None:
+            children += (expr.default,)
+    elif isinstance(expr, CastExpr):
+        children = (expr.operand,)
+    elif isinstance(expr, BetweenExpr):
+        children = (expr.operand, expr.low, expr.high)
+    elif isinstance(expr, (IsNull, LikeExpr, InList)):
+        children = (expr.operand,)
+    else:
+        return
+    for child in children:
+        yield from aggregates_of(child)
+
+
 def expr_key(expr: Expr) -> str:
     """A structural key used to match SELECT items against GROUP BY exprs."""
     if isinstance(expr, ColumnRef):

@@ -34,13 +34,15 @@ from .joins import combine_chunks, join_positions
 from .parallel import parallel_map, parallel_masks
 from .sqlast import (
     AggCall, BetweenExpr, BinaryOp, CaseExpr, CastExpr, ColumnRef, ExistsExpr,
-    Expr, FuncCall, InList, InSubquery, IsNull, LikeExpr, Literal, Parameter,
-    ScalarSubquery, Select, Star, UnaryOp, WindowCall,
+    Expr, FuncCall, InList, InSubquery, IsNull, LikeExpr, Literal, OrderItem,
+    Parameter, ScalarSubquery, Select, Star, UnaryOp, WindowCall, WindowFrame,
 )
 from .table import Chunk
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .executor import Executor
+    from typing import Callable, Iterator
+
+    from .executor import EngineConfig, Executor
 
 __all__ = [
     "ExecContext", "OpResult", "Operator", "Scan", "SubqueryScan", "DualScan",
@@ -125,7 +127,7 @@ _BOUND_SQL = {
 }
 
 
-def frame_to_str(frame) -> str:
+def frame_to_str(frame: WindowFrame) -> str:
     """SQL rendering of a :class:`~.sqlast.WindowFrame`."""
     start = _BOUND_SQL[frame.start_kind].format(n=frame.start_offset)
     end = _BOUND_SQL[frame.end_kind].format(n=frame.end_offset)
@@ -163,11 +165,11 @@ class ExecContext:
     env: dict[str, Chunk]
 
     @property
-    def config(self):
+    def config(self) -> "EngineConfig":
         return self.executor.config
 
     @property
-    def params(self):
+    def params(self) -> object:
         """Bound placeholder values of this execution (None when the
         statement has no parameters)."""
         return self.executor.params
@@ -179,10 +181,11 @@ class ExecContext:
         """Cooperative cancellation/timeout check at an operator boundary."""
         self.executor.check_runtime()
 
-    def subquery_cb(self):
+    def subquery_cb(self) -> "Callable[..., object]":
         env = self.env
 
-        def cb(kind, sub_select, outer_eval, operand=None):
+        def cb(kind: str, sub_select: object, outer_eval: object,
+               operand: object = None) -> object:
             return self.executor._subquery(kind, sub_select, env, outer_eval, operand)
 
         return cb
@@ -945,7 +948,7 @@ class Distinct(Operator):
         return OpResult(chunk, res.scope, order_eval=None)
 
 
-def _order_keys_str(order_by) -> str:
+def _order_keys_str(order_by: list[OrderItem]) -> str:
     return ", ".join(
         expr_to_str(o.expr) + ("" if o.ascending else " DESC")
         for o in order_by
@@ -1110,11 +1113,11 @@ class PhysicalPlan:
         walk(self.root, 0)
         return "\n".join(lines)
 
-    def subquery_plans(self):
+    def subquery_plans(self) -> "Iterator[tuple[object, PhysicalPlan]]":
         """Yield ``(body, subplan)`` for every derived table in the tree
         (recursively), so callers can register them for reuse."""
 
-        def walk(op: Operator):
+        def walk(op: Operator) -> "Iterator[tuple[object, PhysicalPlan]]":
             if isinstance(op, SubqueryScan) and op.subplan is not None:
                 yield op.body, op.subplan
                 yield from walk(op.subplan.root)

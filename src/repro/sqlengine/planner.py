@@ -23,6 +23,7 @@ Decisions made here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from ..errors import SQLBindError, UnsupportedFeatureError
 from .catalog import Catalog
@@ -31,13 +32,19 @@ from .plan import (
     Limit, MarkJoin, Operator, PhysicalPlan, Project, ResidualFilter, Scan,
     ScalarSubqueryScan, SemiJoin, SetOp, Sort, SubqueryScan, TopK, Window,
 )
-from .expressions import contains_aggregate, expr_columns
+from .expressions import aggregates_of, contains_aggregate, expr_columns
+from .table import Table
 from .sqlast import (
     AggCall, BetweenExpr, BinaryOp, ColumnRef, CompoundSelect, ExistsExpr,
     Expr, InList, InSubquery, IsNull, LikeExpr, Literal, ScalarSubquery,
     Select, SelectItem, Star, SubqueryRef, TableRef, UnaryOp, ValuesClause,
     WindowCall,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Any, Iterator
+
+    from .executor import EngineConfig
 
 __all__ = ["Planner", "RelSchema", "split_conjuncts", "has_subquery",
            "subqueries_of", "has_window", "collect_windows",
@@ -84,7 +91,7 @@ def has_subquery(expr: Expr) -> bool:
     return False
 
 
-def subqueries_of(expr: Expr):
+def subqueries_of(expr: Expr) -> Iterator[Select | CompoundSelect]:
     """Yield Select bodies nested in an expression."""
     if isinstance(expr, (InSubquery, ExistsExpr)):
         yield expr.query
@@ -110,7 +117,7 @@ def subqueries_of(expr: Expr):
             yield from subqueries_of(default)
 
 
-def match_subquery_form(conj: Expr):
+def match_subquery_form(conj: Expr) -> tuple[str, bool, Expr] | None:
     """Match a conjunct that *is* an IN/EXISTS subquery predicate, possibly
     under a chain of NOTs.  Returns ``(kind, negated, node)`` with kind
     ``"in"`` | ``"exists"`` and the NOT chain folded into *negated*, or
@@ -197,7 +204,7 @@ def collect_needed_columns(select: Select) -> tuple[set, bool]:
     refs: set = set()
     star = False
 
-    def walk_expr(e):
+    def walk_expr(e: Expr) -> None:
         nonlocal star
         if isinstance(e, Star):
             star = True
@@ -207,7 +214,7 @@ def collect_needed_columns(select: Select) -> tuple[set, bool]:
         for sub in subqueries_of(e):
             walk_select(sub)
 
-    def walk_select(s):
+    def walk_select(s: Select | CompoundSelect) -> None:
         if isinstance(s, CompoundSelect):
             walk_select(s.left)
             walk_select(s.right)
@@ -275,7 +282,7 @@ def _ref_in_frames(ref: ColumnRef, frames: list) -> bool:
     return False
 
 
-def _conjoin(exprs: list[Expr]):
+def _conjoin(exprs: list[Expr]) -> Expr | None:
     if not exprs:
         return None
     out = exprs[0]
@@ -333,7 +340,7 @@ def _selectivity(expr: Expr, schema: RelSchema) -> float:
 # Zone-map interval tests
 # ---------------------------------------------------------------------------
 
-def _zone_bound(value, dtype):
+def _zone_bound(value: object, dtype: Any) -> object:
     """Coerce a predicate literal into the column's comparison domain.
 
     Raises on an incomparable literal — the caller treats that chunk as a
@@ -354,7 +361,7 @@ def _zone_bound(value, dtype):
     raise TypeError(f"unprunable dtype {dtype!r}")
 
 
-def _zone_interval_match(op: str, value, lo, hi) -> bool:
+def _zone_interval_match(op: str, value: Any, lo: Any, hi: Any) -> bool:
     """Can ``col <op> value`` hold for any row with col in [lo, hi]?"""
     if op == "=":
         return bool(lo <= value <= hi)
@@ -372,7 +379,7 @@ def _zone_interval_match(op: str, value, lo, hi) -> bool:
 _ZONE_MIRROR = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
 
 
-def _chunk_may_match(pred: Expr, table, binding: str, cid: int) -> bool:
+def _chunk_may_match(pred: Expr, table: Table, binding: str, cid: int) -> bool:
     """Interval test of one pushdown conjunct against a chunk's zone map.
 
     Only literal comparison shapes prune (``col op lit``, ``lit op col``,
@@ -382,7 +389,7 @@ def _chunk_may_match(pred: Expr, table, binding: str, cid: int) -> bool:
     never true of NULL, so an all-NULL chunk is prunable.
     """
 
-    def bounds(ref: Expr):
+    def bounds(ref: Expr) -> Any:
         if not isinstance(ref, ColumnRef):
             return None
         if ref.table is not None and ref.table != binding:
@@ -433,13 +440,13 @@ def _chunk_may_match(pred: Expr, table, binding: str, cid: int) -> bool:
 class Planner:
     """Builds a :class:`PhysicalPlan` for a SELECT body."""
 
-    def __init__(self, catalog: Catalog, config):
+    def __init__(self, catalog: Catalog, config: EngineConfig):
         self.catalog = catalog
         self.config = config
         self._mark_counter = 0
 
     # -- schemas ------------------------------------------------------------
-    def relation_schema(self, rel, env: dict[str, RelSchema]) -> RelSchema:
+    def relation_schema(self, rel: TableRef | SubqueryRef, env: dict[str, RelSchema]) -> RelSchema:
         """Static shape of a FROM-clause relation (CTE env before catalog)."""
         if isinstance(rel, TableRef):
             if rel.name in env:
@@ -449,7 +456,7 @@ class Planner:
                              set(schema.unique_columns))
         raise SQLBindError(f"unsupported relation {rel!r}")
 
-    def body_schema(self, body, env: dict[str, RelSchema]):
+    def body_schema(self, body: object, env: dict[str, RelSchema]) -> tuple[list[str], float, PhysicalPlan | None]:
         """(columns, est_rows, subplan) of a nested body (Select, compound
         select, or VALUES)."""
         if isinstance(body, ValuesClause):
@@ -459,7 +466,7 @@ class Planner:
         return list(plan.output_columns), plan.est_rows or 1000.0, plan
 
     # -- entry points -------------------------------------------------------
-    def plan_body(self, body, env: dict[str, RelSchema]) -> PhysicalPlan:
+    def plan_body(self, body: Select | CompoundSelect, env: dict[str, RelSchema]) -> PhysicalPlan:
         """Compile any query body — a plain SELECT or a set-operation tree."""
         if isinstance(body, CompoundSelect):
             return self.plan_compound(body, env)
@@ -503,7 +510,7 @@ class Planner:
         root, est = self._attach_order_limit(root, comp.order_by, comp.limit, est)
         return PhysicalPlan(root, columns, est_rows=est)
 
-    def _attach_order_limit(self, root: Operator, order_by, limit, est):
+    def _attach_order_limit(self, root: Operator, order_by: list, limit: int | None, est: float) -> tuple[Operator, float]:
         """Shared Sort/TopK/Limit tail for plain and compound bodies."""
         if order_by and limit is not None and self.config.topk_rewrite:
             est = min(est, float(limit))
@@ -520,7 +527,7 @@ class Planner:
                      "b": "numeric", "M": "date", "O": "string",
                      "U": "string", "S": "string"}
 
-    def _check_type_compatibility(self, comp: CompoundSelect, env) -> None:
+    def _check_type_compatibility(self, comp: CompoundSelect, env: dict[str, RelSchema]) -> None:
         """Reject set operations pairing statically-known incompatible
         column types (numeric vs string vs date).  Columns whose type cannot
         be derived without executing (subqueries, CTEs, expressions) are
@@ -534,7 +541,7 @@ class Planner:
                     f"incompatible types ({lk} vs {rk})"
                 )
 
-    def _body_kinds(self, body, env) -> list:
+    def _body_kinds(self, body: Select | CompoundSelect, env: dict[str, RelSchema]) -> list[str | None]:
         if isinstance(body, CompoundSelect):
             return self._body_kinds(body.left, env)
         kinds: list = []
@@ -557,7 +564,7 @@ class Planner:
             kinds.append(self._item_kind(item.expr, binding_kinds))
         return kinds
 
-    def _item_kind(self, expr: Expr, binding_kinds: dict) -> str | None:
+    def _item_kind(self, expr: Expr, binding_kinds: dict[str, dict[str, str | None]]) -> str | None:
         if isinstance(expr, Star):
             return None
         if isinstance(expr, ColumnRef):
@@ -580,6 +587,74 @@ class Planner:
             if expr.arg is not None:
                 return self._item_kind(expr.arg, binding_kinds)
         return None
+
+    _NUMERIC_AGGS = ("SUM", "AVG", "STDDEV", "VAR")
+
+    def _check_aggregate_types(self, select: Select, env: dict[str, RelSchema]) -> None:
+        """Reject numeric aggregates over statically-known string/date
+        columns at bind time.  Without this check SUM over a string column
+        reaches the kernel and surfaces as a raw TypeError mid-execution.
+
+        Mirrors the leniency of :meth:`_body_kinds`: when any relation is a
+        CTE, derived table, or otherwise non-base, kinds are unknown and the
+        check is skipped.  Object-dtype columns are only *potentially*
+        strings (an all-NULL or promoted-numeric column is stored as object
+        too), so string-ness is confirmed against a strided data sample —
+        the catalog is in memory, exactly like the selectivity probe."""
+        binding_kinds: dict[str, dict[str, str | None]] = {}
+        binding_tables: dict[str, Table] = {}
+        relations = list(select.relations) + [jc.relation for jc in select.joins]
+        for rel in relations:
+            if isinstance(rel, TableRef) and rel.name not in env \
+                    and self.catalog.has(rel.name):
+                table = self.catalog.get(rel.name)
+                binding_tables[rel.binding] = table
+                binding_kinds[rel.binding] = {
+                    col: self._KIND_CLASSES.get(dt.kind)
+                    for col, dt in zip(table.columns, table.dtypes)
+                }
+            else:
+                return
+        exprs = [item.expr for item in select.items]
+        if select.having is not None:
+            exprs.append(select.having)
+        for expr in exprs:
+            for agg in aggregates_of(expr):
+                if agg.func not in self._NUMERIC_AGGS or agg.arg is None:
+                    continue
+                kind = self._item_kind(agg.arg, binding_kinds)
+                if kind == "date" or (
+                    kind == "string"
+                    and self._definitely_string(agg.arg, binding_tables)
+                ):
+                    raise SQLBindError(
+                        f"{agg.func} requires a numeric argument, got "
+                        f"a {kind} expression"
+                    )
+
+    def _definitely_string(self, expr: Expr, binding_tables: dict[str, Table]) -> bool:
+        """Whether a "string"-kind aggregate argument is certain to hold
+        python strings at runtime.  String literals are; object-dtype
+        columns only when a sample contains a non-NULL value and every
+        non-NULL sampled value is a ``str``."""
+        if isinstance(expr, Literal):
+            return isinstance(expr.value, str)
+        if not isinstance(expr, ColumnRef):
+            return False
+        if expr.table is not None:
+            candidates = ([binding_tables[expr.table]]
+                          if expr.table in binding_tables else [])
+        else:
+            candidates = [t for t in binding_tables.values()
+                          if expr.name in t.columns]
+        if not candidates:
+            return False
+        for table in candidates:
+            step = max(1, table.nrows // self._SAMPLE_ROWS)
+            values = [v for v in table.sample(expr.name, step) if v is not None]
+            if not values or not all(isinstance(v, str) for v in values):
+                return False
+        return True
 
     def plan_select(self, select: Select, env: dict[str, RelSchema]) -> PhysicalPlan:
         """Compile one SELECT body into a :class:`PhysicalPlan`.
@@ -629,6 +704,7 @@ class Planner:
                 raise UnsupportedFeatureError(
                     "window functions cannot be combined with aggregation"
                 )
+            self._check_aggregate_types(select, env)
             if select.group_by:
                 est = max(1.0, est / 10.0)
                 if select.having is not None:
@@ -651,7 +727,7 @@ class Planner:
         return PhysicalPlan(root, out_columns, est_rows=est)
 
     # -- FROM sources -------------------------------------------------------
-    def _make_source(self, rel, env, refs: set, star: bool) -> _Source:
+    def _make_source(self, rel: TableRef | SubqueryRef, env: dict[str, RelSchema], refs: set, star: bool) -> _Source:
         binding = rel.binding
         table_name = None
         if isinstance(rel, TableRef):
@@ -689,7 +765,7 @@ class Planner:
         return keep
 
     # -- pushdown + join ordering -------------------------------------------
-    def _plan_from_where(self, select: Select, sources: list[_Source]):
+    def _plan_from_where(self, select: Select, sources: list[_Source]) -> tuple[Operator, list[str], dict[str, list[str]], float, list[Expr]]:
         conjuncts = split_conjuncts(select.where)
         pushdown: dict[int, list[Expr]] = {i: [] for i in range(len(sources))}
         edges: list[tuple[int, int, Expr, Expr]] = []
@@ -837,7 +913,9 @@ class Planner:
         s.est = max(1.0, float(rows))
         return rows
 
-    def _order_joins(self, sources: list[_Source], edges):
+    def _order_joins(self, sources: list[_Source],
+                     edges: list[tuple[int, int, Expr, Expr]]
+                     ) -> tuple[Operator, list[str], dict[str, list[str]], float]:
         n = len(sources)
         reorder = self.config.join_reorder
         remaining = set(range(n))
@@ -886,8 +964,12 @@ class Planner:
         return root, acc_columns, binding_columns, est
 
     # -- explicit JOIN clauses ----------------------------------------------
-    def _fold_explicit_join(self, jc, root, acc_columns, binding_columns,
-                            est, env, refs: set, star: bool):
+    def _fold_explicit_join(self, jc: Any, root: Operator,
+                            acc_columns: list[str],
+                            binding_columns: dict[str, list[str]],
+                            est: float, env: dict[str, RelSchema],
+                            refs: set, star: bool
+                            ) -> tuple[Operator, list[str], dict[str, list[str]], float]:
         kind = jc.kind.lower()
         src = self._make_source(jc.relation, env, refs, star)
         right_cols = set(src.pruned_columns)
@@ -969,9 +1051,10 @@ class Planner:
     # unanalyzable shapes, subqueries over unknown relations) stays on the
     # residual interpreter path, which remains the semantics reference.
 
-    def _plan_subquery_predicates(self, root, residual: list[Expr],
+    def _plan_subquery_predicates(self, root: Operator, residual: list[Expr],
                                   binding_columns: dict[str, list[str]],
-                                  env, est: float):
+                                  env: dict[str, RelSchema], est: float
+                                  ) -> tuple[Operator, list[Expr], float]:
         outer_bindings = set(binding_columns)
         outer_columns: set[str] = set()
         for cols in binding_columns.values():
@@ -1015,8 +1098,9 @@ class Planner:
                 kept.append(conj)
         return root, kept, est
 
-    def _mark_rewrite(self, conj: Expr, env, outer_bindings: set,
-                      outer_columns: set):
+    def _mark_rewrite(self, conj: Expr, env: dict[str, RelSchema],
+                      outer_bindings: set, outer_columns: set
+                      ) -> tuple[Expr, list] | None:
         """Rewrite subquery predicates nested inside *conj* into mark/scalar
         column references.  Returns ``(rewritten, factories)`` where each
         factory wraps the current root in the MarkJoin/ScalarSubqueryScan
@@ -1082,8 +1166,9 @@ class Planner:
 
         return rewrite(conj), factories
 
-    def _decorrelate(self, node, env, outer_bindings: set, outer_columns: set,
-                     kind: str):
+    def _decorrelate(self, node: Any, env: dict[str, RelSchema],
+                     outer_bindings: set, outer_columns: set,
+                     kind: str) -> tuple[PhysicalPlan, list[Expr]] | None:
         """Try to turn one subquery predicate into ``(subplan, probe_exprs)``.
 
         ``probe_exprs`` pair positionally with the subplan's output columns
@@ -1177,7 +1262,7 @@ class Planner:
             [outer_expr for _, outer_expr in correlated]
         return subplan, probe
 
-    def _frame_of(self, body: Select, env) -> "_Frame":
+    def _frame_of(self, body: Select, env: dict[str, RelSchema]) -> "_Frame":
         bindings: set[str] = set()
         columns: set[str] = set()
         opaque = False
@@ -1200,7 +1285,9 @@ class Planner:
                 raise _Unanalyzable
         return _Frame(bindings, columns, opaque)
 
-    def _outer_refs(self, body, env, frames: list) -> list[ColumnRef]:
+    def _outer_refs(self, body: Select | CompoundSelect,
+                    env: dict[str, RelSchema],
+                    frames: list) -> list[ColumnRef]:
         """Column references inside a subquery body that escape every
         enclosing subquery frame (``frames`` + the body's own), i.e. must
         resolve in the outer query.  Raises :class:`_Unanalyzable` when an
@@ -1210,7 +1297,8 @@ class Planner:
         self._walk_outer_refs(body, env, list(frames), out)
         return out
 
-    def _walk_outer_refs(self, body, env, frames: list,
+    def _walk_outer_refs(self, body: Select | CompoundSelect,
+                         env: dict[str, RelSchema], frames: list,
                          out: list[ColumnRef]) -> None:
         if isinstance(body, CompoundSelect):
             self._walk_outer_refs(body.left, env, frames, out)
@@ -1244,16 +1332,17 @@ class Planner:
         finally:
             frames.pop()
 
-    def _walk_expr_refs(self, expr: Expr, env, frames: list,
-                        out: list[ColumnRef]) -> None:
+    def _walk_expr_refs(self, expr: Expr, env: dict[str, RelSchema],
+                        frames: list, out: list[ColumnRef]) -> None:
         for ref in expr_columns(expr):
             if not _ref_in_frames(ref, frames):
                 out.append(ref)
         for sub in subqueries_of(expr):
             self._walk_outer_refs(sub, env, frames, out)
 
-    def _expr_side(self, expr: Expr, env, frame: "_Frame",
-                   outer_bindings: set, outer_columns: set) -> str:
+    def _expr_side(self, expr: Expr, env: dict[str, RelSchema],
+                   frame: "_Frame", outer_bindings: set,
+                   outer_columns: set) -> str:
         """Classify an expression inside a subquery's top level as
         referencing only the subquery (``"inner"``), only the outer query
         (``"outer"``), nothing (``"none"``), or both / something

@@ -1,0 +1,341 @@
+"""Negative unit tests for the TondIR well-formedness checker.
+
+Each ``ir.*`` invariant in :mod:`repro.analysis.ir_checker` gets at least
+one hand-built malformed program that must be rejected with an
+:class:`~repro.errors.IRInvariantError` carrying that invariant id, plus
+positive cases proving the checker accepts well-formed programs and
+infers/freezes the base-relation set correctly.
+"""
+
+import pytest
+
+from repro.analysis import check_program
+from repro.core.tondir.ir import (
+    AssignAtom,
+    BinOp,
+    Const,
+    ConstRelAtom,
+    ExistsAtom,
+    FilterAtom,
+    Head,
+    OuterAtom,
+    Program,
+    RelAtom,
+    Rule,
+    SortSpec,
+    Var,
+)
+from repro.errors import IRInvariantError, TondIRError
+
+
+def well_formed():
+    """R1(y) :- R(a, b), x := a, y := x * b, filter y > 0."""
+    return Program(
+        rules=[
+            Rule(
+                Head("R1", ["y"]),
+                [
+                    RelAtom("R", ["a", "b"]),
+                    AssignAtom("x", Var("a")),
+                    AssignAtom("y", BinOp("*", Var("x"), Var("b"))),
+                    FilterAtom(BinOp(">", Var("y"), Const(0))),
+                ],
+            )
+        ],
+        sink="R1",
+    )
+
+
+def expect(invariant, program, base_rels=None, stage=""):
+    with pytest.raises(IRInvariantError) as exc_info:
+        check_program(program, base_rels=base_rels, stage=stage)
+    assert exc_info.value.invariant == invariant, str(exc_info.value)
+    return exc_info.value
+
+
+class TestPositive:
+    def test_well_formed_passes(self):
+        base = check_program(well_formed())
+        assert base == {"R"}
+
+    def test_base_rels_inferred_then_frozen(self):
+        program = well_formed()
+        base = check_program(program)
+        # Passing the frozen set back is idempotent.
+        assert check_program(program, base_rels=base) == base
+
+    def test_is_typed_error(self):
+        # IRInvariantError sits under the engine's error hierarchy so the
+        # optimizer gate surfaces it as a TondIR failure, not a crash.
+        err = expect("ir.sink", Program(
+            rules=[Rule(Head("R1", ["a"]), [RelAtom("R", ["a"])])],
+            sink="missing"))
+        assert isinstance(err, TondIRError)
+
+    def test_stage_recorded(self):
+        err = expect("ir.sink", Program(
+            rules=[Rule(Head("R1", ["a"]), [RelAtom("R", ["a"])])],
+            sink="missing"), stage="fuse-filters")
+        assert err.stage == "fuse-filters"
+        assert "fuse-filters" in str(err)
+
+    def test_exists_sees_outer_bindings(self):
+        # An exists body may use variables bound in the enclosing rule.
+        program = Program(
+            rules=[
+                Rule(
+                    Head("R1", ["a"]),
+                    [
+                        RelAtom("R", ["a"]),
+                        ExistsAtom([
+                            RelAtom("S", ["b"]),
+                            FilterAtom(BinOp("=", Var("a"), Var("b"))),
+                        ]),
+                    ],
+                )
+            ],
+            sink="R1",
+        )
+        assert check_program(program) == {"R", "S"}
+
+    def test_empty_program(self):
+        # The translator's degenerate output (no rules) is accepted; the
+        # sink check only applies once rules exist.
+        assert check_program(Program(rules=[], sink="out")) == set()
+
+
+class TestSink:
+    def test_undefined_sink(self):
+        expect("ir.sink", Program(
+            rules=[Rule(Head("R1", ["a"]), [RelAtom("R", ["a"])])],
+            sink="R2"))
+
+    def test_base_relation_sink_allowed(self):
+        program = Program(
+            rules=[Rule(Head("R1", ["a"]), [RelAtom("R", ["a"])])],
+            sink="R")
+        assert check_program(program) == {"R"}
+
+
+class TestDanglingRel:
+    def test_deleted_rule_with_frozen_base(self):
+        # A pass that deletes a still-referenced rule must be caught: with
+        # the frozen (entry-time) base set, the orphaned read can no longer
+        # be re-classified as a base relation.
+        program = Program(
+            rules=[
+                Rule(Head("Mid", ["a"]), [RelAtom("R", ["a"])]),
+                Rule(Head("R1", ["a"]), [RelAtom("Mid", ["a"])]),
+            ],
+            sink="R1",
+        )
+        base = check_program(program)
+        assert base == {"R"}
+        del program.rules[0]  # simulate a buggy dead-rule-elimination pass
+        expect("ir.dangling-rel", program, base_rels=base)
+
+    def test_without_frozen_base_read_is_inferred(self):
+        # Same program, but with no frozen set the orphan read is (by
+        # design) inferred as a base relation — freezing is what gives the
+        # pass-pipeline its protection.
+        program = Program(
+            rules=[Rule(Head("R1", ["a"]), [RelAtom("Mid", ["a"])])],
+            sink="R1")
+        assert check_program(program) == {"Mid"}
+
+
+class TestUnionArity:
+    def test_disagreeing_arity(self):
+        expect("ir.union-arity", Program(
+            rules=[
+                Rule(Head("U", ["a"]), [RelAtom("R", ["a"])]),
+                Rule(Head("U", ["a", "b"]), [RelAtom("S", ["a", "b"])]),
+            ],
+            sink="U"))
+
+    def test_agreeing_arity_passes(self):
+        program = Program(
+            rules=[
+                Rule(Head("U", ["a"]), [RelAtom("R", ["a"])]),
+                Rule(Head("U", ["b"]), [RelAtom("S", ["b"])]),
+            ],
+            sink="U")
+        assert check_program(program) == {"R", "S"}
+
+
+class TestHeadBound:
+    def test_unbound_head_var(self):
+        expect("ir.head-bound", Program(
+            rules=[Rule(Head("R1", ["z"]), [RelAtom("R", ["a"])])],
+            sink="R1"))
+
+    def test_unbound_group_key(self):
+        expect("ir.head-bound", Program(
+            rules=[Rule(Head("R1", ["a"], group=["z"]),
+                        [RelAtom("R", ["a"])])],
+            sink="R1"))
+
+    def test_unbound_sort_key(self):
+        expect("ir.head-bound", Program(
+            rules=[Rule(Head("R1", ["a"], sort=SortSpec([("z", True)])),
+                        [RelAtom("R", ["a"])])],
+            sink="R1"))
+
+
+class TestDanglingVar:
+    def test_filter_unbound(self):
+        expect("ir.dangling-var", Program(
+            rules=[Rule(Head("R1", ["a"]),
+                        [RelAtom("R", ["a"]),
+                         FilterAtom(BinOp(">", Var("z"), Const(0)))])],
+            sink="R1"))
+
+    def test_assign_unbound(self):
+        expect("ir.dangling-var", Program(
+            rules=[Rule(Head("R1", ["a"]),
+                        [RelAtom("R", ["a"]),
+                         AssignAtom("x", BinOp("+", Var("z"), Const(1)))])],
+            sink="R1"))
+
+    def test_exists_body_unbound(self):
+        expect("ir.dangling-var", Program(
+            rules=[Rule(Head("R1", ["a"]),
+                        [RelAtom("R", ["a"]),
+                         ExistsAtom([
+                             RelAtom("S", ["b"]),
+                             FilterAtom(BinOp("=", Var("b"), Var("z"))),
+                         ])])],
+            sink="R1"))
+
+    def test_exists_local_binding_not_visible_outside(self):
+        # Variables bound inside an exists body do not leak to the rule.
+        expect("ir.dangling-var", Program(
+            rules=[Rule(Head("R1", ["a"]),
+                        [RelAtom("R", ["a"]),
+                         ExistsAtom([RelAtom("S", ["b"])]),
+                         FilterAtom(BinOp(">", Var("b"), Const(0)))])],
+            sink="R1"))
+
+    def test_outer_join_keys_unbound(self):
+        expect("ir.dangling-var", Program(
+            rules=[Rule(Head("R1", ["a"]),
+                        [RelAtom("R", ["a"]),
+                         RelAtom("S", ["b"]),
+                         OuterAtom("left", 0, 1, [("a", "z")])])],
+            sink="R1"))
+
+
+class TestSingleAssignment:
+    def test_double_assignment(self):
+        expect("ir.single-assignment", Program(
+            rules=[Rule(Head("R1", ["x"]),
+                        [RelAtom("R", ["a"]),
+                         AssignAtom("x", Var("a")),
+                         AssignAtom("x", Const(1))])],
+            sink="R1"))
+
+    def test_exists_scope_is_separate(self):
+        # The same variable name may be assigned once per scope.
+        program = Program(
+            rules=[Rule(Head("R1", ["x"]),
+                        [RelAtom("R", ["a"]),
+                         AssignAtom("x", Var("a")),
+                         ExistsAtom([
+                             RelAtom("S", ["b"]),
+                             AssignAtom("y", Var("b")),
+                             FilterAtom(BinOp("=", Var("y"), Var("x"))),
+                         ])])],
+            sink="R1")
+        assert check_program(program) == {"R", "S"}
+
+
+class TestConstArity:
+    def test_row_width_mismatch(self):
+        expect("ir.const-arity", Program(
+            rules=[Rule(Head("R1", ["a"]),
+                        [ConstRelAtom([[1, 2], [3]], ["a", "b"])])],
+            sink="R1"))
+
+    def test_matching_rows_pass(self):
+        program = Program(
+            rules=[Rule(Head("R1", ["a"]),
+                        [ConstRelAtom([[1, 2], [3, 4]], ["a", "b"])])],
+            sink="R1")
+        assert check_program(program) == set()
+
+
+class TestOuterRel:
+    def _body(self, atom):
+        return [RelAtom("R", ["a"]), RelAtom("S", ["b"]), atom]
+
+    def test_unknown_kind(self):
+        expect("ir.outer-rel", Program(
+            rules=[Rule(Head("R1", ["a"]),
+                        self._body(OuterAtom("sideways", 0, 1,
+                                             [("a", "b")])))],
+            sink="R1"))
+
+    def test_index_out_of_range(self):
+        expect("ir.outer-rel", Program(
+            rules=[Rule(Head("R1", ["a"]),
+                        self._body(OuterAtom("left", 0, 2, [("a", "b")])))],
+            sink="R1"))
+
+    def test_self_join_index(self):
+        expect("ir.outer-rel", Program(
+            rules=[Rule(Head("R1", ["a"]),
+                        self._body(OuterAtom("left", 1, 1, [("a", "b")])))],
+            sink="R1"))
+
+    def test_valid_outer_join_passes(self):
+        program = Program(
+            rules=[Rule(Head("R1", ["a"]),
+                        self._body(OuterAtom("left", 0, 1, [("a", "b")])))],
+            sink="R1")
+        assert check_program(program) == {"R", "S"}
+
+
+class TestRecursion:
+    def test_self_recursion(self):
+        expect("ir.recursion", Program(
+            rules=[Rule(Head("R1", ["a"]), [RelAtom("R1", ["a"])])],
+            sink="R1"))
+
+    def test_mutual_recursion(self):
+        expect("ir.recursion", Program(
+            rules=[
+                Rule(Head("P", ["a"]), [RelAtom("Q", ["a"])]),
+                Rule(Head("Q", ["a"]), [RelAtom("P", ["a"])]),
+            ],
+            sink="P"))
+
+    def test_diamond_is_not_recursion(self):
+        # P reads Q and R; both read S — a DAG, not a cycle.
+        program = Program(
+            rules=[
+                Rule(Head("P", ["a"]),
+                     [RelAtom("Q", ["a"]), RelAtom("R2", ["a"])]),
+                Rule(Head("Q", ["a"]), [RelAtom("S", ["a"])]),
+                Rule(Head("R2", ["a"]), [RelAtom("S", ["a"])]),
+            ],
+            sink="P")
+        assert check_program(program) == {"S"}
+
+
+class TestOptimizerIntegration:
+    def test_checker_runs_inside_optimize(self):
+        # optimize() gates every pass round with check_program; a program
+        # that is malformed on entry is rejected before any pass runs.
+        from repro.core.tondir.optimize import optimize
+
+        bad = Program(
+            rules=[Rule(Head("R1", ["z"]), [RelAtom("R", ["a"])])],
+            sink="R1")
+        with pytest.raises(IRInvariantError):
+            optimize(bad, level="O2")
+
+    def test_optimize_preserves_well_formedness(self):
+        from repro.core.tondir.optimize import optimize
+
+        out = optimize(well_formed(), level="O2")
+        check_program(out)

@@ -1,0 +1,217 @@
+"""Engine-invariant linter tests: each ENG rule fires on a minimal
+synthetic source fragment and stays quiet on the idiomatic counterpart;
+allowlist and stale-entry behaviour are exercised through ``main``.
+
+Fragments are parsed directly and visited with the real ``_Linter``
+against a *virtual* repo path, so path-scoped rules (ENG001 only in
+``sqlengine/plan.py``, ENG002 only in engine packages, ENG007 relative
+import resolution) see the same inputs they do in production.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import lint_engine  # noqa: E402
+
+PLAN = REPO / "src/repro/sqlengine/plan.py"
+ENGINE = REPO / "src/repro/sqlengine/somemodule.py"
+CORE = REPO / "src/repro/core/somemodule.py"
+TONDIR = REPO / "src/repro/core/tondir/optimize.py"
+
+
+def lint(source: str, path: Path = ENGINE):
+    findings: list[lint_engine.Finding] = []
+    tree = ast.parse(source)
+    lint_engine._Linter(path, findings).visit(tree)
+    return findings
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestOperatorCheckpoint:
+    SRC = """
+class MyScan(Operator):
+    def execute(self, ctx):
+        return ctx.env["t"]
+"""
+
+    def test_missing_checkpoint_in_plan_py(self):
+        (finding,) = lint(self.SRC, PLAN)
+        assert finding.rule == "ENG001"
+        assert finding.symbol == "MyScan"
+
+    def test_checkpoint_call_satisfies(self):
+        src = self.SRC.replace('return ctx.env["t"]',
+                               'ctx.checkpoint()\n        return 1')
+        assert lint(src, PLAN) == []
+
+    def test_exempt_operator(self):
+        src = self.SRC.replace("MyScan", "DualScan")
+        assert lint(src, PLAN) == []
+
+    def test_only_applies_to_plan_py(self):
+        assert lint(self.SRC, ENGINE) == []
+
+    def test_non_operator_class_ignored(self):
+        src = self.SRC.replace("(Operator)", "")
+        assert lint(src, PLAN) == []
+
+
+class TestTypedErrors:
+    def test_builtin_raise_in_engine_code(self):
+        (finding,) = lint("def f():\n    raise ValueError('x')\n")
+        assert finding.rule == "ENG002"
+        assert finding.symbol == "f"
+
+    def test_typed_raise_passes(self):
+        assert lint("def f():\n    raise SQLBindError('x')\n") == []
+
+    def test_not_implemented_exempt(self):
+        assert lint("def f():\n    raise NotImplementedError\n") == []
+
+    def test_bare_reraise_exempt(self):
+        assert lint("def f():\n    try:\n        g()\n"
+                    "    except KeyError:\n        raise\n") == []
+
+    def test_non_engine_package_ignored(self):
+        assert lint("def f():\n    raise ValueError('x')\n", CORE) == []
+
+
+class TestSilentBroadExcept:
+    def test_bare_except_pass(self):
+        (finding,) = lint("try:\n    f()\nexcept:\n    pass\n")
+        assert finding.rule == "ENG003"
+
+    def test_broad_exception_pass(self):
+        (finding,) = lint("try:\n    f()\nexcept Exception:\n    pass\n")
+        assert finding.rule == "ENG003"
+
+    def test_broad_with_fallback_passes(self):
+        # An explicit conservative fallback is the documented idiom.
+        assert lint("try:\n    x = f()\nexcept Exception:\n    x = None\n") \
+            == []
+
+    def test_narrow_except_pass_passes(self):
+        assert lint("try:\n    f()\nexcept KeyError:\n    pass\n") == []
+
+
+class TestLockOrder:
+    def test_refresh_inside_cache(self):
+        src = ("def f(self):\n"
+               "    with self._cache_lock:\n"
+               "        with self._refresh_lock:\n"
+               "            pass\n")
+        (finding,) = lint(src)
+        assert finding.rule == "ENG004"
+
+    def test_documented_order_passes(self):
+        src = ("def f(self):\n"
+               "    with self._refresh_lock:\n"
+               "        with self._cache_lock:\n"
+               "            pass\n")
+        assert lint(src) == []
+
+
+class TestDurationClock:
+    def test_time_time(self):
+        (finding,) = lint("import time\nstart = time.time()\n")
+        assert finding.rule == "ENG005"
+
+    def test_perf_counter_passes(self):
+        assert lint("import time\nstart = time.perf_counter()\n") == []
+
+
+class TestMutableDefault:
+    def test_list_default(self):
+        (finding,) = lint("def f(xs=[]):\n    return xs\n")
+        assert finding.rule == "ENG006"
+        assert finding.symbol == "f"
+
+    def test_dict_kwonly_default(self):
+        (finding,) = lint("def f(*, m={}):\n    return m\n")
+        assert finding.rule == "ENG006"
+
+    def test_none_default_passes(self):
+        assert lint("def f(xs=None):\n    return xs\n") == []
+
+    def test_tuple_default_passes(self):
+        assert lint("def f(xs=()):\n    return xs\n") == []
+
+
+class TestEagerAnalysisImport:
+    def test_absolute_module_level_import(self):
+        (finding,) = lint("from repro.analysis import verify_plan\n")
+        assert finding.rule == "ENG007"
+        assert finding.symbol == "<module>"
+
+    def test_relative_module_level_import(self):
+        # from ..analysis import x, seen from src/repro/sqlengine/,
+        # resolves to repro.analysis.
+        (finding,) = lint("from ..analysis import verify_plan\n")
+        assert finding.rule == "ENG007"
+
+    def test_lazy_import_passes(self):
+        assert lint("def f():\n"
+                    "    from repro.analysis import verify_plan\n"
+                    "    return verify_plan\n") == []
+
+    def test_analysis_package_itself_exempt(self):
+        assert lint("from repro.analysis import ir_checker\n",
+                    REPO / "src/repro/analysis/__init__.py") == []
+
+    def test_sibling_analysis_module_not_flagged(self):
+        # core/tondir has its own analysis module; "from .analysis import"
+        # there resolves to repro.core.tondir.analysis, not repro.analysis.
+        assert lint("from .analysis import references\n", TONDIR) == []
+
+
+class TestRunner:
+    def test_repo_tree_is_clean(self, capsys):
+        assert lint_engine.main([]) == 0
+        assert "lint_engine: clean" in capsys.readouterr().out
+
+    def test_violation_fails(self, tmp_path, capsys, monkeypatch):
+        # A file with a finding and an empty allowlist: exit 1.
+        bad = REPO / "src" / "repro" / "_lint_selftest_tmp.py"
+        bad.write_text("def f(xs=[]):\n    return xs\n")
+        try:
+            assert lint_engine.main([str(bad)]) == 1
+            assert "ENG006" in capsys.readouterr().out
+        finally:
+            bad.unlink()
+
+    def test_allowlist_suppresses(self, tmp_path, capsys, monkeypatch):
+        bad = REPO / "src" / "repro" / "_lint_selftest_tmp.py"
+        bad.write_text("def f(xs=[]):\n    return xs\n")
+        allow = tmp_path / "allow.txt"
+        allow.write_text("# justified for the self-test\n"
+                         "src/repro/_lint_selftest_tmp.py:ENG006:f\n")
+        monkeypatch.setattr(lint_engine, "ALLOWLIST", allow)
+        try:
+            assert lint_engine.main([str(bad)]) == 0
+        finally:
+            bad.unlink()
+
+    def test_stale_allowlist_entry_fails(self, tmp_path, capsys, monkeypatch):
+        # An allowlist entry with no matching finding must fail the run so
+        # suppressions cannot outlive their violations.
+        allow = tmp_path / "allow.txt"
+        allow.write_text("src/repro/nonexistent.py:ENG002:ghost\n")
+        monkeypatch.setattr(lint_engine, "ALLOWLIST", allow)
+        clean = REPO / "src" / "repro" / "errors.py"
+        assert lint_engine.main([str(clean)]) == 1
+        assert "stale allowlist entry" in capsys.readouterr().out
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -401,3 +401,43 @@ class TestPlanCache:
         assert db.execute(sql).to_dict() == {"s": [10]}
         db.register("t", {"a": [5, 5], "b": ["p", "q"], "c": [0.0, 0.0]})
         assert db.execute(sql).to_dict() == {"s": [10]}
+
+
+class TestVerifierGoldens:
+    """The static plan verifier rides along with every golden: it must
+    neither change the rendered plan shape nor reject any planner output."""
+
+    GOLDEN_QUERIES = [
+        "SELECT a FROM t WHERE a > 2 AND b = 'x'",
+        "SELECT t.a FROM t, u WHERE t.b = u.b",
+        "SELECT b, COUNT(*) AS n FROM t GROUP BY b HAVING COUNT(*) > 1",
+        "SELECT a FROM t WHERE b IN (SELECT b FROM u WHERE w > 5)",
+        "SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u WHERE u.b = t.b)",
+        "SELECT a, (SELECT MAX(w) FROM u) AS m FROM t",
+        "SELECT a FROM t ORDER BY c DESC LIMIT 2",
+        "SELECT a FROM t UNION SELECT w FROM u",
+        "WITH f AS (SELECT a, b FROM t WHERE a > 1) "
+        "SELECT b, SUM(a) AS s FROM f GROUP BY b",
+    ]
+
+    @pytest.mark.parametrize("sql", GOLDEN_QUERIES)
+    def test_goldens_verify_and_shape_is_unchanged(self, db, sql):
+        on = db.explain_plan(sql, config=EngineConfig(verify_plans=True))
+        off = db.explain_plan(sql, config=EngineConfig(verify_plans=False))
+        assert on == off
+
+    def test_verifier_rejection_names_invariant_and_path(self, db):
+        # The error payload is part of the golden contract: rule id plus a
+        # root-to-node path, so a failing fuzz artifact is actionable.
+        from repro.errors import PlanInvariantError
+        from repro.sqlengine import plan as p
+
+        plan = p.PhysicalPlan(
+            p.Limit(p.Scan("t", "t", ["a"]), n=-1), ["a"])
+        from repro.analysis import verify_plan
+        with pytest.raises(PlanInvariantError) as exc_info:
+            verify_plan(plan, db.catalog, EngineConfig())
+        err = exc_info.value
+        assert err.invariant == "limit.n"
+        assert err.path == "Limit"
+        assert "[limit.n]" in str(err) and "at Limit" in str(err)

@@ -1,0 +1,520 @@
+"""Static plan verifier tests: one hand-built malformed plan per
+invariant, plus positive sweeps proving the verifier accepts every
+planner-built plan (all 22 TPC-H queries, the physical-knob matrix).
+
+The negative plans are constructed directly from :mod:`repro.sqlengine.
+plan` operator dataclasses — exactly what a buggy planner rewrite would
+hand the executor — and must be rejected with a
+:class:`~repro.errors.PlanInvariantError` carrying the documented
+invariant id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import connect
+from repro.analysis import verify_plan
+from repro.errors import PlanInvariantError
+from repro.sqlengine import EngineConfig
+from repro.sqlengine import plan as p
+from repro.sqlengine.planner import RelSchema
+from repro.sqlengine.sqlast import (
+    AggCall,
+    BinaryOp,
+    ColumnRef,
+    InSubquery,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    ValuesClause,
+    WindowCall,
+    WindowFrame,
+)
+from repro.storage import ColumnStore
+from repro.workloads.tpch import QUERIES as TPCH_QUERIES
+
+
+@pytest.fixture()
+def db():
+    db = connect()
+    db.register("t", {"a": [1, 2, 3, 4], "b": ["x", "y", "x", "z"],
+                      "c": [1.0, 2.0, 3.0, 4.0]}, primary_key="a")
+    db.register("u", {"b": ["x", "y"], "w": [5, 6]})
+    db.register("dated", {
+        "k": [1, 2],
+        "d": np.array(["2020-01-01", "2020-01-02"], dtype="datetime64[D]"),
+    })
+    return db
+
+
+@pytest.fixture()
+def stored_db(tmp_path):
+    """A database whose table ``s`` is a persisted, zone-mapped store."""
+    store = ColumnStore(tmp_path / "store")
+    store.write_table(
+        "s",
+        {"id": np.arange(1000, dtype=np.int64),
+         "val": np.linspace(0.0, 99.9, 1000)},
+        primary_key="id", chunk_rows=128)
+    db = connect()
+    store.attach(db)
+    return db
+
+
+def scan(table="t", cols=("a", "b", "c"), binding=None, **kw):
+    return p.Scan(binding or table, table, list(cols), **kw)
+
+
+def subplan(cols=("w",), table="u"):
+    return p.PhysicalPlan(scan(table, cols), list(cols))
+
+
+def expect(invariant, root, out_cols, db=None, config=None, env=None):
+    plan = p.PhysicalPlan(root, list(out_cols))
+    with pytest.raises(PlanInvariantError) as exc_info:
+        verify_plan(plan, db.catalog if db is not None else None,
+                    config or EngineConfig(), env)
+    assert exc_info.value.invariant == invariant, str(exc_info.value)
+    return exc_info.value
+
+
+def accept(root, out_cols, db=None, config=None, env=None):
+    plan = p.PhysicalPlan(root, list(out_cols))
+    verify_plan(plan, db.catalog if db is not None else None,
+                config or EngineConfig(), env)
+
+
+def sel(*items, **kw):
+    return Select(items=[SelectItem(e, a) for e, a in items], **kw)
+
+
+class TestRootAndLeaves:
+    def test_output_columns_mismatch(self, db):
+        expect("plan.output-columns", scan(cols=("a",)), ["a", "b"], db)
+
+    def test_unknown_operator(self, db):
+        class Bogus(p.Operator):
+            pass
+
+        expect("plan.operator", Bogus(), [], db)
+
+    def test_unknown_table(self, db):
+        expect("scan.unknown-table", scan("nope", ("a",)), ["a"], db)
+
+    def test_keep_columns_not_in_table(self, db):
+        expect("scan.keep-columns", scan(cols=("a", "zz")), ["a", "zz"], db)
+
+    def test_negative_estimate(self, db):
+        expect("est.nonnegative", scan(cols=("a",), est_rows=-5.0),
+               ["a"], db)
+
+    def test_no_catalog_is_lenient(self):
+        # Without a catalog, table schemas are unknowable: declared
+        # keep_columns are trusted and nothing fails.
+        accept(scan("anything", ("x", "y")), ["x", "y"])
+
+    def test_valid_scan_passes(self, db):
+        accept(scan(), ["a", "b", "c"], db)
+
+
+class TestZoneMaps:
+    def test_pruning_with_config_off(self, db):
+        expect("zonemap.config",
+               scan(cols=("a",), chunk_ids=[0], n_chunks=1), ["a"], db,
+               config=EngineConfig(zone_map_pruning=False))
+
+    def test_pruning_on_memory_table(self, db):
+        expect("zonemap.target",
+               scan(cols=("a",), chunk_ids=[0], n_chunks=1), ["a"], db)
+
+    def test_pruning_on_cte(self, db):
+        expect("zonemap.target",
+               p.Scan("cte", "cte", None, chunk_ids=[0], n_chunks=1),
+               ["x"], db, env={"cte": RelSchema(["x"], 5.0)})
+
+    def test_chunk_count_mismatch(self, stored_db):
+        expect("zonemap.chunks",
+               p.Scan("s", "s", ["id"], chunk_ids=[0], n_chunks=4),
+               ["id"], stored_db)
+
+    def test_chunk_id_out_of_range(self, stored_db):
+        expect("zonemap.chunks",
+               p.Scan("s", "s", ["id"], chunk_ids=[99], n_chunks=8),
+               ["id"], stored_db)
+
+    def test_unsound_pruning(self, stored_db):
+        # id > -1 admits every chunk, so dropping chunks 1..7 is unsound.
+        target = p.Scan("s", "s", ["id"], chunk_ids=[0], n_chunks=8)
+        pred = BinaryOp(">", ColumnRef("id", "s"), Literal(-1))
+        expect("zonemap.sound", p.Filter(target, "s", [pred]),
+               ["id"], stored_db)
+
+    def test_sound_pruning_passes(self, stored_db):
+        # Keeping every chunk is always sound.
+        target = p.Scan("s", "s", ["id"], chunk_ids=list(range(8)),
+                        n_chunks=8)
+        pred = BinaryOp(">", ColumnRef("id", "s"), Literal(-1))
+        accept(p.Filter(target, "s", [pred]), ["id"], stored_db)
+
+
+class TestFilters:
+    def test_subquery_below_join_boundary(self, db):
+        pred = InSubquery(ColumnRef("a"), sel((Literal(1), None)))
+        expect("filter.subquery", p.Filter(scan(), "t", [pred]),
+               ["a", "b", "c"], db)
+
+    def test_mark_out_of_scope_in_residual(self, db):
+        expect("mark.scope",
+               p.ResidualFilter(scan(), [ColumnRef("__mark_7")]),
+               ["a", "b", "c"], db)
+
+
+class TestJoins:
+    def test_wrong_right_binding(self, db):
+        expect("join.binding",
+               p.HashJoin(scan(), scan("u", ("b", "w")), "x",
+                          [(ColumnRef("b", "t"), ColumnRef("b", "u"))]),
+               ["a", "b", "c", "b", "w"], db)
+
+    def test_no_key_pairs(self, db):
+        expect("join.pairs",
+               p.HashJoin(scan(), scan("u", ("b", "w")), "u", []),
+               ["a", "b", "c", "b", "w"], db)
+
+    def test_unknown_join_type(self, db):
+        expect("join.how",
+               p.HashJoin(scan(), scan("u", ("b", "w")), "u",
+                          [(ColumnRef("b", "t"), ColumnRef("b", "u"))],
+                          how="sideways"),
+               ["a", "b", "c", "b", "w"], db)
+
+    def test_residual_on_outer_join(self, db):
+        expect("join.residual-outer",
+               p.HashJoin(scan(), scan("u", ("b", "w")), "u",
+                          [(ColumnRef("b", "t"), ColumnRef("b", "u"))],
+                          how="left",
+                          residual=[BinaryOp(">", ColumnRef("a", "t"),
+                                             ColumnRef("w", "u"))]),
+               ["a", "b", "c", "b", "w"], db)
+
+    def test_mis_sided_key(self, db):
+        # The left key expression resolves only on the right side.
+        expect("join.sides",
+               p.HashJoin(scan(), scan("u", ("b", "w")), "u",
+                          [(ColumnRef("w"), ColumnRef("a"))]),
+               ["a", "b", "c", "b", "w"], db)
+
+    def test_internal_key_dtype_mismatch(self, db):
+        # A planner-generated mark column (numeric) paired against a string
+        # key can only be a rewrite bug; user cross-kind equalities stay
+        # legal (runtime promotes), so only internal columns are strict.
+        marked = p.MarkJoin(scan(), subplan=subplan(), probe_exprs=[],
+                            mark_name="__mark_0", mode="semi")
+        expect("join.keys",
+               p.HashJoin(marked, scan("u", ("b", "w")), "u",
+                          [(ColumnRef("__mark_0"), ColumnRef("b", "u"))]),
+               ["a", "b", "c", "__mark_0", "b", "w"], db)
+
+    def test_user_cross_kind_key_is_legal(self, db):
+        # a (numeric) = b (string) is a user equality — promoted at
+        # runtime, never a plan bug.
+        accept(p.HashJoin(scan(), scan("u", ("b", "w")), "u",
+                          [(ColumnRef("a", "t"), ColumnRef("b", "u"))]),
+               ["a", "b", "c", "b", "w"], db)
+
+    def test_cross_join_passes(self, db):
+        accept(p.CrossJoin(scan(), scan("u", ("w",)), "u"),
+               ["a", "b", "c", "w"], db)
+
+
+class TestSubqueryOperators:
+    def test_values_row_arity(self, db):
+        body = ValuesClause(rows=[[Literal(1), Literal(2)], [Literal(3)]])
+        expect("subquery.values-arity",
+               p.SubqueryScan("v", body, None, None), ["col0", "col1"], db)
+
+    def test_derived_table_rename_arity(self, db):
+        expect("subquery.rename-arity",
+               p.SubqueryScan("v", None, ["x", "y"], None,
+                              subplan=subplan(("w",))),
+               ["x", "y"], db)
+
+    def test_probe_arity_exceeds_subplan(self, db):
+        expect("subquery.probe-arity",
+               p.SemiJoin(scan(), subplan=subplan(("w",)),
+                          probe_exprs=[ColumnRef("a"), ColumnRef("c")]),
+               ["a", "b", "c"], db)
+
+    def test_scalar_subquery_not_single_column(self, db):
+        expect("subquery.scalar-arity",
+               p.ScalarSubqueryScan(scan(), subplan=subplan(("b", "w")),
+                                    scalar_name="__scalar_0"),
+               ["a", "b", "c", "__scalar_0"], db)
+
+    def test_null_aware_anti_join_without_probes(self, db):
+        expect("subquery.null-aware-probe",
+               p.AntiJoin(scan(), subplan=subplan(("w",)),
+                          probe_exprs=[], null_aware=True),
+               ["a", "b", "c"], db)
+
+    def test_null_aware_mark_join_without_probes(self, db):
+        expect("subquery.null-aware-probe",
+               p.MarkJoin(scan(), subplan=subplan(("w",)),
+                          probe_exprs=[], mark_name="__mark_0",
+                          mode="anti-null"),
+               ["a", "b", "c", "__mark_0"], db)
+
+    def test_semi_join_passes(self, db):
+        accept(p.SemiJoin(scan(), subplan=subplan(("w",)),
+                          probe_exprs=[ColumnRef("a")]),
+               ["a", "b", "c"], db)
+
+
+class TestMarkColumns:
+    def test_bad_mark_prefix(self, db):
+        # A mark column outside the __mark_ namespace would leak into
+        # SELECT * output (star expansion skips only that prefix).
+        expect("mark.name",
+               p.MarkJoin(scan(), subplan=subplan(("w",)),
+                          probe_exprs=[], mark_name="mymark", mode="semi"),
+               ["a", "b", "c", "mymark"], db)
+
+    def test_bad_scalar_prefix(self, db):
+        expect("mark.name",
+               p.ScalarSubqueryScan(scan(), subplan=subplan(("w",)),
+                                    scalar_name="result"),
+               ["a", "b", "c", "result"], db)
+
+    def test_duplicate_mark_name(self, db):
+        inner = p.MarkJoin(scan(), subplan=subplan(("w",)),
+                           probe_exprs=[], mark_name="__mark_0",
+                           mode="semi")
+        expect("mark.unique",
+               p.MarkJoin(inner, subplan=subplan(("b",)),
+                          probe_exprs=[], mark_name="__mark_0",
+                          mode="semi"),
+               ["a", "b", "c", "__mark_0", "__mark_0"], db)
+
+    def test_unknown_mark_mode(self, db):
+        expect("mark.mode",
+               p.MarkJoin(scan(), subplan=subplan(("w",)),
+                          probe_exprs=[], mark_name="__mark_0",
+                          mode="weird"),
+               ["a", "b", "c", "__mark_0"], db)
+
+    def test_mark_reference_out_of_scope(self, db):
+        expect("mark.scope",
+               p.Project(scan(), sel((ColumnRef("__mark_3"), None))),
+               ["__mark_3"], db)
+
+    def test_subplan_mark_counter_is_scoped(self, db):
+        # __mark_0 inside a subplan does not collide with the outer tree's
+        # __mark_0: nested plans restart the mark namespace.
+        inner_mark = p.MarkJoin(scan("u", ("w",)), subplan=subplan(("b",)),
+                                probe_exprs=[], mark_name="__mark_0",
+                                mode="semi")
+        inner = p.PhysicalPlan(
+            p.Project(inner_mark, sel((ColumnRef("w"), None))), ["w"])
+        accept(p.MarkJoin(scan(), subplan=inner, probe_exprs=[],
+                          mark_name="__mark_0", mode="semi"),
+               ["a", "b", "c", "__mark_0"], db)
+
+
+class TestWindows:
+    def _window_plan(self, call):
+        w = p.Window(scan(), [call])
+        return p.Project(w, sel((ColumnRef("a"), None)))
+
+    def test_ntile_missing_argument(self, db):
+        expect("window.args", self._window_plan(WindowCall("NTILE")),
+               ["a"], db)
+
+    def test_ntile_nonpositive_buckets(self, db):
+        expect("window.ntile",
+               self._window_plan(WindowCall("NTILE", args=[Literal(0)])),
+               ["a"], db)
+
+    def test_lag_missing_argument(self, db):
+        expect("window.args", self._window_plan(WindowCall("LAG")),
+               ["a"], db)
+
+    def test_windowed_sum_arity(self, db):
+        expect("window.args", self._window_plan(WindowCall("SUM")),
+               ["a"], db)
+
+    def test_unknown_frame_unit(self, db):
+        frame = WindowFrame(unit="pages")
+        expect("window.frame",
+               self._window_plan(WindowCall("SUM", args=[ColumnRef("a")],
+                                            frame=frame)),
+               ["a"], db)
+
+    def test_negative_frame_offset(self, db):
+        frame = WindowFrame(start_kind="preceding", start_offset=-2)
+        expect("window.frame",
+               self._window_plan(WindowCall("SUM", args=[ColumnRef("a")],
+                                            frame=frame)),
+               ["a"], db)
+
+    def test_frame_start_after_end(self, db):
+        frame = WindowFrame(start_kind="current", end_kind="preceding",
+                            end_offset=1)
+        expect("window.frame",
+               self._window_plan(WindowCall("SUM", args=[ColumnRef("a")],
+                                            frame=frame)),
+               ["a"], db)
+
+    def test_unsupported_range_frame(self, db):
+        frame = WindowFrame(unit="range", start_kind="preceding",
+                            start_offset=1)
+        expect("window.frame",
+               self._window_plan(WindowCall("SUM", args=[ColumnRef("a")],
+                                            frame=frame)),
+               ["a"], db)
+
+    def test_window_without_computing_child(self, db):
+        # The projection uses a window function no Window child computed.
+        expect("window.placement",
+               p.Project(scan(), sel((WindowCall("ROW_NUMBER"), "rn"))),
+               ["rn"], db)
+
+    def test_window_inside_aggregate(self, db):
+        expect("window.in-aggregate",
+               p.HashAggregate(scan(),
+                               sel((WindowCall("ROW_NUMBER"), "rn"))),
+               ["rn"], db)
+
+    def test_computed_window_passes(self, db):
+        call = WindowCall("ROW_NUMBER")
+        w = p.Window(scan(), [call])
+        accept(p.Project(w, sel((call, "rn"))), ["rn"], db)
+
+
+class TestAggregates:
+    def test_sum_over_date_column(self, db):
+        expect("agg.input",
+               p.HashAggregate(scan("dated", ("d",)),
+                               sel((AggCall("SUM", ColumnRef("d")), "s"))),
+               ["s"], db)
+
+    def test_sum_over_string_literal(self, db):
+        expect("agg.input",
+               p.HashAggregate(scan(cols=("a",)),
+                               sel((AggCall("AVG", Literal("oops")), "s"))),
+               ["s"], db)
+
+    def test_sum_over_string_column_is_not_static(self, db):
+        # Object dtype ("string" kind) legally holds all-NULL or promoted
+        # numeric data — only the planner's bind-time data probe can
+        # confirm string-ness, so the static verifier must not reject it.
+        accept(p.HashAggregate(scan(cols=("b",)),
+                               sel((AggCall("SUM", ColumnRef("b")), "s"))),
+               ["s"], db)
+
+    def test_numeric_aggregate_passes(self, db):
+        accept(p.HashAggregate(scan(cols=("a",)),
+                               sel((AggCall("SUM", ColumnRef("a")), "s"))),
+               ["s"], db)
+
+
+class TestShapingOperators:
+    def test_sort_without_keys(self, db):
+        expect("sort.keys", p.Sort(scan(), []), ["a", "b", "c"], db)
+
+    def test_topk_without_keys(self, db):
+        expect("topk.preconditions", p.TopK(scan(), [], n=5),
+               ["a", "b", "c"], db)
+
+    def test_topk_negative_count(self, db):
+        expect("topk.preconditions",
+               p.TopK(scan(), [OrderItem(ColumnRef("a"))], n=-1),
+               ["a", "b", "c"], db)
+
+    def test_topk_with_rewrite_disabled(self, db):
+        expect("topk.preconditions",
+               p.TopK(scan(), [OrderItem(ColumnRef("a"))], n=5),
+               ["a", "b", "c"], db,
+               config=EngineConfig(topk_rewrite=False))
+
+    def test_negative_limit(self, db):
+        expect("limit.n", p.Limit(scan(), n=-1), ["a", "b", "c"], db)
+
+    def test_valid_sort_topk_limit(self, db):
+        order = [OrderItem(ColumnRef("a"))]
+        accept(p.Limit(p.TopK(p.Sort(scan(), order), order, n=5), n=3),
+               ["a", "b", "c"], db)
+
+
+class TestSetOps:
+    def test_unknown_operation(self, db):
+        expect("setop.op",
+               p.SetOp(scan(cols=("a",)), scan(cols=("a",)), "xor",
+                       columns=["a"]),
+               ["a"], db)
+
+    def test_operand_arity_mismatch(self, db):
+        expect("setop.arity",
+               p.SetOp(scan(cols=("a",)), scan(cols=("a",)), "union",
+                       columns=["a", "b"]),
+               ["a", "b"], db)
+
+    def test_incomparable_column_types(self, db):
+        expect("setop.types",
+               p.SetOp(scan(cols=("a",)), scan("u", ("b",)), "union",
+                       columns=["a"]),
+               ["a"], db)
+
+    def test_declared_columns_match_neither_side(self, db):
+        expect("setop.columns",
+               p.SetOp(scan(cols=("a",)), scan(cols=("a",)), "union",
+                       columns=["zz"]),
+               ["zz"], db)
+
+    def test_valid_union_passes(self, db):
+        accept(p.SetOp(scan(cols=("a",)), scan(cols=("a",)), "union",
+                       columns=["a"]),
+               ["a"], db)
+
+
+# ---------------------------------------------------------------------------
+# Positive sweeps: every planner-built plan must verify clean.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("q", sorted(TPCH_QUERIES))
+def test_tpch_plan_verifies(q, tpch_db):
+    # explain_plan runs the verifier on every compiled body (CTEs included)
+    # when verify_plans is on; a PlanInvariantError here is a planner bug.
+    sql = TPCH_QUERIES[q].sql("duckdb", level="O4", db=tpch_db)
+    tpch_db.explain_plan(sql, config=EngineConfig(verify_plans=True))
+
+
+@pytest.mark.parametrize("decorrelate", [True, False])
+@pytest.mark.parametrize("knobs", [
+    {},
+    {"topk_rewrite": False},
+    {"zone_map_pruning": False},
+    {"memory_budget": 64, "spill_partitions": 2},
+    {"join_reorder": False},
+])
+def test_knob_matrix_verifies(tpch_db, decorrelate, knobs):
+    # Subquery decorrelation × physical knobs over the queries that
+    # exercise semi/anti/mark/scalar rewrites, TopK, and spill planning.
+    config = EngineConfig(verify_plans=True,
+                          subquery_decorrelate=decorrelate, **knobs)
+    for q in (2, 4, 15, 17, 18, 21, 22):
+        sql = TPCH_QUERIES[q].sql("duckdb", level="O4", db=tpch_db)
+        tpch_db.explain_plan(sql, config=config)
+
+
+def test_execution_path_verifies(db):
+    # verify_plans also gates the execution-time planner (materialized CTE
+    # env): results must be unchanged with the verifier on.
+    sql = ("WITH big AS (SELECT a, b FROM t WHERE a > 1) "
+           "SELECT b, COUNT(*) AS n FROM big GROUP BY b ORDER BY b")
+    on = db.execute(sql, config=EngineConfig(verify_plans=True))
+    off = db.execute(sql, config=EngineConfig(verify_plans=False))
+    assert list(on["b"]) == list(off["b"])
+    assert list(on["n"]) == list(off["n"])

@@ -261,7 +261,9 @@ class TestPipeline:
         assert len([a for a in p.rules[0].body if isinstance(a, AssignAtom)]) == 2
 
     def test_unknown_level_raises(self):
-        with pytest.raises(ValueError):
+        from repro.errors import TondIRError
+
+        with pytest.raises(TondIRError):
             optimize(Program(rules=[], sink="x"), "O9")
 
     def test_covariance_pattern_self_join_plus_groupagg(self):

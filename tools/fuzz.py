@@ -28,7 +28,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.backends import available_backends, get_backend  # noqa: E402
 from repro.bench.sqlfuzz import (  # noqa: E402
-    build_fuzz_db, run_seeds, run_seeds_spill,
+    build_fuzz_db, run_seeds, run_seeds_spill, run_seeds_verify,
 )
 from repro.errors import BackendError  # noqa: E402
 
@@ -49,6 +49,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="spill mode: compare spilled execution under "
                              "this memory budget against the in-memory "
                              "engine instead of an oracle backend")
+    parser.add_argument("--verify-plans", action="store_true",
+                        help="additionally run every seed's query through "
+                             "the static plan verifier (explain path); a "
+                             "PlanInvariantError on a plannable query is "
+                             "reported as a divergence")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report raw failures without shrinking")
     parser.add_argument("--artifact", default=None,
@@ -57,6 +62,36 @@ def main(argv: list[str] | None = None) -> int:
                         help="print progress every N seeds (0 = quiet)")
     args = parser.parse_args(argv)
     threads = tuple(int(t) for t in args.threads.split(","))
+
+    verify_failures: list = []
+    if args.verify_plans:
+        db = build_fuzz_db()
+        started = time.perf_counter()
+        step = max(args.progress_every, 1) if args.progress_every else args.count
+        for lo in range(args.seed, args.seed + args.count, step):
+            hi = min(lo + step, args.seed + args.count)
+            verify_failures.extend(run_seeds_verify(
+                db, range(lo, hi), threads=threads,
+                shrink_failures=not args.no_shrink))
+            if args.progress_every:
+                print(f"[fuzz:verify-plans] {hi - args.seed}/{args.count} "
+                      f"seeds, {len(verify_failures)} violation(s), "
+                      f"{time.perf_counter() - started:.1f}s", flush=True)
+        if verify_failures:
+            reports = "\n\n".join(f.report() for f in verify_failures)
+            print(f"\n{len(verify_failures)} plan-verifier violation(s):"
+                  f"\n\n{reports}")
+            if args.artifact:
+                Path(args.artifact).write_text(
+                    f"plan-verifier fuzz seeds {args.seed}.."
+                    f"{args.seed + args.count - 1} threads={threads}\n\n"
+                    f"{reports}\n"
+                )
+                print(f"\nrepro report written to {args.artifact}")
+        else:
+            print(f"[fuzz] verify-plans clean: {args.count} seeds x "
+                  f"threads {threads} in "
+                  f"{time.perf_counter() - started:.1f}s")
 
     if args.memory_budget is not None:
         # Spill mode: the "oracle" is our own engine without a budget.
@@ -88,7 +123,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[fuzz] clean: {args.count} seeds x threads {threads} "
                   f"spilled-vs-in-memory at budget={args.memory_budget} in "
                   f"{time.perf_counter() - started:.1f}s")
-        return min(len(failures), 125)
+        return min(len(failures) + len(verify_failures), 125)
 
     oracle_names = [b.strip() for b in args.backend.split(",") if b.strip()]
     try:
@@ -134,7 +169,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[fuzz] clean: {args.count} seeds x threads {threads} x "
               f"oracles {','.join(oracle_names)} in "
               f"{time.perf_counter() - started:.1f}s")
-    return min(len(failures), 125)
+    return min(len(failures) + len(verify_failures), 125)
 
 
 if __name__ == "__main__":

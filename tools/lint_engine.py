@@ -1,0 +1,329 @@
+#!/usr/bin/env python
+"""Engine-invariant linter: AST checks for rules the engine relies on but
+that no type checker or generic linter enforces.
+
+Rules
+-----
+ENG001 operator-checkpoint
+    Every ``Operator`` subclass in ``sqlengine/plan.py`` that defines
+    ``execute`` must call ``ctx.checkpoint()`` so cooperative
+    cancellation/timeout fires at operator boundaries.  Operators doing
+    O(1) work (``DualScan``, ``Limit``) are allowlisted.
+
+ENG002 typed-errors
+    Engine code must raise ``repro.errors`` types, never bare builtins —
+    callers (the fuzz differential harness, the server admission layer)
+    dispatch on the typed hierarchy.  ``NotImplementedError`` is exempt
+    (abstract methods); deliberate internal control-flow raises are
+    allowlisted.
+
+ENG003 silent-broad-except
+    A bare ``except:`` / ``except Exception:`` whose body is only ``pass``
+    hides real engine bugs.  Broad excepts with an explicit conservative
+    fallback (zone-map pruning, selectivity sampling) are fine and not
+    flagged.
+
+ENG004 lock-order
+    ``PreparedStatement._refresh_lock`` is acquired *before*
+    ``Database._cache_lock`` (refresh → plan-entry rebuild).  Acquiring
+    ``_refresh_lock`` while holding ``_cache_lock`` inverts that order and
+    can deadlock under concurrent DDL.
+
+ENG005 duration-clock
+    Durations and deadlines must use ``time.perf_counter()`` /
+    ``time.monotonic()``; ``time.time()`` jumps with wall-clock
+    adjustments.  Genuine wall-clock timestamps are allowlisted.
+
+ENG006 mutable-default
+    List/dict/set literals as parameter defaults are shared across calls.
+
+ENG007 eager-analysis-import
+    ``repro.analysis`` imports the SQL engine and the IR, so engine and
+    core modules must import it lazily (inside the function that needs
+    it).  A module-level import reintroduces the cycle
+    ``analysis → core → backends → …``.
+
+Findings are identified as ``path:RULE:symbol`` (symbol = nearest
+enclosing ``Class.function``, or ``<module>``); adding that line to
+``tools/lint_engine_allow.txt`` suppresses the finding.  Run:
+
+    python tools/lint_engine.py          # lint src/repro
+    python tools/lint_engine.py --list   # show every finding id, even allowed
+"""
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+ALLOWLIST = REPO / "tools" / "lint_engine_allow.txt"
+
+# Packages whose raises must come from the repro.errors hierarchy.
+TYPED_ERROR_PACKAGES = ("sqlengine", "backends", "storage", "analysis", "server")
+BUILTIN_EXCEPTIONS = {
+    "Exception", "BaseException", "ValueError", "TypeError", "KeyError",
+    "IndexError", "RuntimeError", "OSError", "IOError", "ArithmeticError",
+    "ZeroDivisionError", "AttributeError", "LookupError", "StopIteration",
+}
+# Operators whose execute does O(1) work; a checkpoint would be pure noise.
+CHECKPOINT_EXEMPT = {"DualScan", "Limit"}
+BROAD_EXCEPTS = {"Exception", "BaseException"}
+
+
+class Finding:
+    def __init__(self, rule: str, path: Path, line: int, symbol: str, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.symbol = symbol
+        self.message = message
+
+    @property
+    def ident(self) -> str:
+        rel = self.path.relative_to(REPO).as_posix()
+        return f"{rel}:{self.rule}:{self.symbol}"
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO).as_posix()
+        return f"{rel}:{self.line}: {self.rule} [{self.symbol}] {self.message}"
+
+
+def _symbol_of(stack: list[str]) -> str:
+    return ".".join(stack) if stack else "<module>"
+
+
+def _is_name(node: ast.expr, name: str) -> bool:
+    return (isinstance(node, ast.Name) and node.id == name) or (
+        isinstance(node, ast.Attribute) and node.attr == name
+    )
+
+
+def _calls_in(node: ast.AST):
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            yield sub
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: Path, findings: list[Finding]):
+        self.path = path
+        self.findings = findings
+        self.stack: list[str] = []
+        self.rel = path.relative_to(REPO).as_posix()
+        self.in_engine = any(f"repro/{pkg}/" in self.rel
+                             for pkg in TYPED_ERROR_PACKAGES)
+
+    def emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(rule, self.path, node.lineno,
+                                     _symbol_of(self.stack), message))
+
+    # -- scope tracking ---------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._check_operator_checkpoint(node)
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def _visit_func(self, node) -> None:
+        self._check_mutable_defaults(node)
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    # -- ENG001 -----------------------------------------------------------
+    def _check_operator_checkpoint(self, node: ast.ClassDef) -> None:
+        if self.rel != "src/repro/sqlengine/plan.py":
+            return
+        if not any(_is_name(b, "Operator") for b in node.bases):
+            return
+        if node.name in CHECKPOINT_EXEMPT:
+            return
+        execute = next((s for s in node.body
+                        if isinstance(s, ast.FunctionDef)
+                        and s.name == "execute"), None)
+        if execute is None:
+            return
+        for call in _calls_in(execute):
+            if isinstance(call.func, ast.Attribute) \
+                    and call.func.attr == "checkpoint":
+                return
+        self.findings.append(Finding(
+            "ENG001", self.path, execute.lineno, node.name,
+            "Operator.execute without a ctx.checkpoint() call — "
+            "cancellation/timeout cannot interrupt this operator"))
+
+    # -- ENG002 -----------------------------------------------------------
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if self.in_engine and node.exc is not None:
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            if name in BUILTIN_EXCEPTIONS:
+                self.emit("ENG002", node,
+                          f"raises builtin {name} — engine errors must "
+                          f"subclass repro.errors.ReproError")
+        self.generic_visit(node)
+
+    # -- ENG003 -----------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        broad = node.type is None or (
+            isinstance(node.type, ast.Name) and node.type.id in BROAD_EXCEPTS
+        )
+        silent = all(isinstance(s, ast.Pass) for s in node.body)
+        if broad and silent:
+            self.emit("ENG003", node,
+                      "broad except with a pass-only body swallows "
+                      "engine bugs silently")
+        self.generic_visit(node)
+
+    # -- ENG004 -----------------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        holds_cache = any(_is_name(item.context_expr, "_cache_lock")
+                          for item in node.items)
+        if holds_cache:
+            for sub in ast.walk(node):
+                if sub is node:
+                    continue
+                if isinstance(sub, ast.With) and any(
+                    _is_name(item.context_expr, "_refresh_lock")
+                    for item in sub.items
+                ):
+                    self.emit("ENG004", sub,
+                              "_refresh_lock acquired while holding "
+                              "_cache_lock — inverts the documented "
+                              "refresh-before-cache order (deadlock risk)")
+        self.generic_visit(node)
+
+    # -- ENG005 -----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "time" \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id == "time":
+            self.emit("ENG005", node,
+                      "time.time() — use time.perf_counter() (or "
+                      "time.monotonic()) for durations/deadlines")
+        self.generic_visit(node)
+
+    # -- ENG006 -----------------------------------------------------------
+    def _check_mutable_defaults(self, node) -> None:
+        defaults = list(node.args.defaults)
+        defaults += [d for d in node.args.kw_defaults if d is not None]
+        for d in defaults:
+            if isinstance(d, (ast.List, ast.Dict, ast.Set)):
+                self.findings.append(Finding(
+                    "ENG006", self.path, d.lineno,
+                    _symbol_of(self.stack + [node.name]),
+                    "mutable literal as parameter default is shared "
+                    "across calls"))
+
+    # -- ENG007 -----------------------------------------------------------
+    def _resolved_module(self, module: str, level: int) -> str:
+        """Absolute dotted path of an import as seen from this file."""
+        if level == 0:
+            return module
+        # src/repro/sqlengine/planner.py → package repro.sqlengine
+        parts = self.rel.removeprefix("src/").removesuffix(".py").split("/")
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        else:
+            parts = parts[:-1]
+        base = parts[: len(parts) - (level - 1)] if level > 1 else parts
+        return ".".join(base + ([module] if module else []))
+
+    def _check_import(self, node, resolved: str) -> None:
+        if self.stack:
+            return  # lazy (function-level) import: exactly what we want
+        if resolved == "repro.analysis" \
+                or resolved.startswith("repro.analysis."):
+            if not self.rel.startswith("src/repro/analysis/"):
+                self.emit("ENG007", node,
+                          f"module-level import of {resolved!r} from engine "
+                          f"code — import repro.analysis lazily to avoid "
+                          f"the analysis → core → backends import cycle")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_import(node, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        # "from ..analysis import x" / "from repro.analysis import x"
+        self._check_import(
+            node, self._resolved_module(node.module or "", node.level))
+
+
+def lint_file(path: Path, findings: list[Finding]) -> None:
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        findings.append(Finding("ENG000", path, exc.lineno or 0, "<module>",
+                                f"syntax error: {exc.msg}"))
+        return
+    _Linter(path, findings).visit(tree)
+
+
+def load_allowlist() -> set[str]:
+    if not ALLOWLIST.exists():
+        return set()
+    entries = set()
+    for line in ALLOWLIST.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line.split("#")[0].strip())
+    return entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint (default: src/repro)")
+    parser.add_argument("--list", action="store_true",
+                        help="print every finding id including allowlisted ones")
+    args = parser.parse_args(argv)
+
+    roots = args.paths or [SRC]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            files.append(root)
+
+    findings: list[Finding] = []
+    for path in files:
+        lint_file(path.resolve(), findings)
+
+    allow = load_allowlist()
+    active = [f for f in findings if f.ident not in allow]
+    stale = allow - {f.ident for f in findings}
+
+    if args.list:
+        for f in findings:
+            mark = "allowed " if f.ident in allow else ""
+            print(f"{mark}{f}")
+    else:
+        for f in active:
+            print(f)
+    for ident in sorted(stale):
+        print(f"stale allowlist entry (no matching finding): {ident}")
+
+    if active or stale:
+        print(f"\n{len(active)} violation(s), {len(stale)} stale "
+              f"allowlist entr(ies)", file=sys.stderr)
+        return 1
+    print(f"lint_engine: clean ({len(files)} files, "
+          f"{len(findings)} finding(s) allowlisted)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -581,6 +581,62 @@ class _Verifier:
                       f"families ({lkind} vs {rkind}) under a memory "
                       f"budget", path)
 
+    def visit_Materialized(self, op: "p.Materialized", path: str) -> _RelInfo:
+        # Leaves of an adaptive re-planned chain: the relation shape is the
+        # already-executed chunk.  A result-less node (plan shape only) has
+        # an unknowable shape.
+        if op.result is None:
+            return _RelInfo([], opaque=True)
+        chunk = op.result.chunk
+        return _RelInfo([
+            ColInfo(name, op.binding, _DTYPE_KINDS.get(arr.dtype.kind))
+            for name, arr in zip(chunk.columns, chunk.arrays)
+        ])
+
+    def visit_AdaptiveJoin(self, op: "p.AdaptiveJoin", path: str) -> _RelInfo:
+        if not self.config.adaptive_execution:
+            self.fail("adaptive.preconditions",
+                      "AdaptiveJoin present but "
+                      "EngineConfig.adaptive_execution is off", path)
+        n = len(op.sources)
+        if n < 2:
+            self.fail("adaptive.sources",
+                      f"AdaptiveJoin over {n} source(s) (a single source "
+                      f"needs no join)", path)
+        indices = [i for i, _ in op.static_order]
+        if sorted(indices) != list(range(n)):
+            self.fail("adaptive.order",
+                      f"static order {indices!r} is not a permutation of "
+                      f"the {n} sources", path)
+        if op.static_order[0][1]:
+            self.fail("adaptive.order",
+                      "first source of the static order carries join "
+                      "pairs (nothing to join against yet)", path)
+        for (i, j, _le, _re) in op.edges:
+            if not (0 <= i < n and 0 <= j < n) or i == j:
+                self.fail("adaptive.edges",
+                          f"edge ({i}, {j}) does not connect two distinct "
+                          f"sources (have {n})", path)
+        rels = []
+        opaque = False
+        for s in op.sources:
+            rel = self.child(s.op, path)
+            if not rel.opaque:
+                bad = [c.name for c in rel.cols
+                       if not c.internal and c.binding != s.binding]
+                if bad:
+                    self.fail("join.binding",
+                              f"source columns {bad!r} are not bound to "
+                              f"the declared binding {s.binding!r}", path)
+            rels.append(rel)
+            opaque = opaque or rel.opaque
+        # Output layout follows the static order (AdaptiveJoin permutes a
+        # re-ordered execution back to this layout).
+        cols: list[ColInfo] = []
+        for i, _pairs in op.static_order:
+            cols.extend(rels[i].cols)
+        return _RelInfo(cols, opaque=opaque)
+
     # -- decorrelated subqueries ------------------------------------------
 
     def _check_probes(self, op: "Any", rel: _RelInfo, inner: _RelInfo,

@@ -37,8 +37,8 @@ from .differential import rows_equal
 from ..backends.rows import chunk_rows, normalize_rows
 
 __all__ = ["build_fuzz_db", "generate", "render", "run_seeds",
-           "run_seeds_spill", "run_seeds_verify", "shrink", "Divergence",
-           "SelectSpec"]
+           "run_seeds_adaptive", "run_seeds_spill", "run_seeds_verify",
+           "shrink", "Divergence", "SelectSpec"]
 
 
 # ---------------------------------------------------------------------------
@@ -497,6 +497,73 @@ def run_seeds_spill(db: Database, seeds, budget: int = 1024,
                 small = shrink(
                     spec,
                     lambda s: _spill_detail(db, render(s), budget, t)
+                    is not None,
+                )
+                failure.shrunk_sql = render(small)
+            failures.append(failure)
+            break  # one report per seed is enough
+    return failures
+
+
+def _adaptive_detail(db: Database, sql: str, threads: int,
+                     ratio: float = 2.0) -> str | None:
+    """One adaptive-vs-static comparison on our own engine: the same query
+    runs under a static config and under adaptive execution with an
+    aggressive re-plan *ratio* (so estimate feedback actually fires); a
+    string describes any divergence."""
+    static_cfg = EngineConfig(threads=threads)
+    adaptive_cfg = EngineConfig(threads=threads, adaptive_execution=True,
+                                adaptive_ratio=ratio)
+    static = adaptive = None
+    static_exc = adaptive_exc = None
+    try:
+        chunk = db.execute_chunk(sql, static_cfg)
+        static = normalize_rows(chunk_rows(chunk)) if chunk.ncols else []
+    except Exception as exc:  # any engine error is data here
+        static_exc = exc
+    try:
+        chunk = db.execute_chunk(sql, adaptive_cfg)
+        adaptive = normalize_rows(chunk_rows(chunk)) if chunk.ncols else []
+    except Exception as exc:
+        adaptive_exc = exc
+    if static_exc is not None and adaptive_exc is not None:
+        return None  # both configs reject the query: agreement
+    if static_exc is not None:
+        return (f"static raised {type(static_exc).__name__}: {static_exc} "
+                f"(adaptive succeeded)")
+    if adaptive_exc is not None:
+        return (f"adaptive raised {type(adaptive_exc).__name__}: "
+                f"{adaptive_exc} (static succeeded)")
+    ok, detail = rows_equal(static, adaptive)
+    return None if ok else detail
+
+
+def run_seeds_adaptive(db: Database, seeds, threads=(1, 4),
+                       ratio: float = 2.0,
+                       shrink_failures: bool = True) -> list[Divergence]:
+    """Differentially test adaptive execution against the static engine.
+
+    Every seed's query runs twice per thread count — once with the static
+    planner's plan, once with adaptive re-optimization at a *ratio* low
+    enough that estimate-feedback re-plans, build-side swaps, and
+    empty-outer short-circuits actually trigger — and the row sets must
+    agree.  Divergences shrink exactly like oracle divergences.
+    """
+    failures: list[Divergence] = []
+    for seed in seeds:
+        spec = generate(seed)
+        sql = render(spec)
+        for t in threads:
+            detail = _adaptive_detail(db, sql, t, ratio)
+            if detail is None:
+                continue
+            failure = Divergence(seed=seed, threads=t, sql=sql,
+                                 detail=detail,
+                                 oracle=f"static(ratio={ratio})")
+            if shrink_failures:
+                small = shrink(
+                    spec,
+                    lambda s: _adaptive_detail(db, render(s), t, ratio)
                     is not None,
                 )
                 failure.shrunk_sql = render(small)

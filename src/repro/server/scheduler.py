@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from ..errors import AdmissionError, QueryCancelledError, QueryTimeoutError
 from ..sqlengine.database import Database, PreparedStatement
+from ..sqlengine.runtime_stats import RuntimeStats
 
 __all__ = ["QueryScheduler", "QueryTicket"]
 
@@ -59,6 +60,7 @@ class QueryTicket:
         self.timeout = timeout
         self.session = session
         self.status = "queued"
+        self.replans = 0
         self.submitted_at = time.monotonic()
         self.started_at: float | None = None
         self.finished_at: float | None = None
@@ -263,10 +265,19 @@ class QueryScheduler:
         try:
             stmt = ticket.statement
             if isinstance(stmt, PreparedStatement) and ticket.config is None:
+                effective = stmt._config
+            else:
+                effective = ticket.config or self.db.config
+            # Attach runtime stats only under adaptive execution, where the
+            # replan counter is meaningful; the stats=None fast path keeps
+            # static queries free of per-operator timing overhead.
+            stats = RuntimeStats() if effective.adaptive_execution else None
+            if isinstance(stmt, PreparedStatement) and ticket.config is None:
                 chunk = stmt.execute_chunk(
                     ticket.params,
                     cancel_event=ticket._cancel,
                     deadline=deadline,
+                    stats=stats,
                 )
             else:
                 # A per-query config override must not reuse the prepared
@@ -279,7 +290,10 @@ class QueryScheduler:
                     ticket.params,
                     cancel_event=ticket._cancel,
                     deadline=deadline,
+                    stats=stats,
                 )
+            if stats is not None:
+                ticket.replans = stats.replans
             ticket._finish("done", chunk=chunk)
             self._account("completed", ticket)
         except QueryTimeoutError as exc:

@@ -47,6 +47,7 @@ class Session:
         self._timeouts = 0
         self._cancelled = 0
         self._rows = 0
+        self._replans = 0
         self._latencies_ms: list[float] = []
         self._latency_count = 0  # samples offered, including replaced ones
         self._rng = random.Random(id(self))
@@ -85,6 +86,7 @@ class Session:
                 self._cancelled += 1
             elif ticket._chunk is not None:
                 self._rows += ticket._chunk.nrows
+            self._replans += getattr(ticket, "replans", 0)
             if ticket.total_ms is not None:
                 # Uniform reservoir sampling: once the buffer is full, each
                 # new sample replaces a random slot with probability
@@ -109,6 +111,7 @@ class Session:
                 "timeouts": self._timeouts,
                 "cancelled": self._cancelled,
                 "rows": self._rows,
+                "replans": self._replans,
                 "p50_ms": percentile(lat, 50),
                 "p99_ms": percentile(lat, 99),
             }

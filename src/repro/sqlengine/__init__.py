@@ -16,6 +16,7 @@ from .params import ParamSignature, bind_parameters, signature_of
 from .parser import parse, parse_expression
 from .plan import PhysicalPlan
 from .planner import Planner
+from .runtime_stats import OpStats, RuntimeStats
 from .table import Chunk, Table
 
 __all__ = [
@@ -33,6 +34,8 @@ __all__ = [
     "parse_expression",
     "PhysicalPlan",
     "Planner",
+    "OpStats",
+    "RuntimeStats",
     "Chunk",
     "Table",
 ]

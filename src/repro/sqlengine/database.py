@@ -173,18 +173,20 @@ class Database:
     # -- querying -------------------------------------------------------------
     def execute_chunk(self, sql: str, config: EngineConfig | None = None,
                       params=None, *, cancel_event=None,
-                      deadline: float | None = None) -> Chunk:
+                      deadline: float | None = None, stats=None) -> Chunk:
         cfg = config or self.config
         entry = self._plan_entry(sql, cfg)
         if entry is None:
             query = parse(sql)
             bound = bind_parameters(signature_of(query), params)
             executor = Executor(self.catalog, cfg, params=bound,
-                                cancel_event=cancel_event, deadline=deadline)
+                                cancel_event=cancel_event, deadline=deadline,
+                                stats=stats)
             return executor.execute(query)
         bound = bind_parameters(entry.signature, params)
         executor = Executor(self.catalog, cfg, plans=entry.plans, params=bound,
-                            cancel_event=cancel_event, deadline=deadline)
+                            cancel_event=cancel_event, deadline=deadline,
+                            stats=stats)
         return executor.execute(entry.query)
 
     def explain(self, sql: str, config: EngineConfig | None = None,
@@ -205,6 +207,19 @@ class Database:
                             plans=entry.plans if entry else None, params=bound)
         executor.execute(query)
         return "\n".join(trace)
+
+    def explain_analyze(self, sql: str, config: EngineConfig | None = None,
+                        params=None) -> str:
+        """EXPLAIN ANALYZE with runtime statistics: execute the query and
+        render the executed plan tree annotated with per-operator estimated
+        vs. actual row counts, inclusive elapsed milliseconds, and any
+        adaptive-execution events (re-plans, build-side swaps, morsel
+        re-tuning, subquery short-circuits)."""
+        from .runtime_stats import RuntimeStats
+
+        stats = RuntimeStats()
+        self.execute_chunk(sql, config, params, stats=stats)
+        return stats.render()
 
     def explain_plan(self, sql: str, config: EngineConfig | None = None) -> str:
         """EXPLAIN: render the statically-compiled physical plan tree
@@ -234,7 +249,10 @@ class Database:
             if cfg.verify_plans:
                 verify_plan(plan, self.catalog, cfg, env_schemas)
             columns = cte.column_names or plan.output_columns
-            env_schemas[cte.name] = RelSchema(list(columns), plan.est_rows or 1000.0)
+            # `est_rows is None` (unknown) falls back to the default, but a
+            # legitimate 0.0 estimate (LIMIT 0 body) must survive as-is.
+            est = plan.est_rows if plan.est_rows is not None else 1000.0
+            env_schemas[cte.name] = RelSchema(list(columns), est)
             lines.append(f"CTE {cte.name}:")
             lines.extend("  " + ln for ln in plan.render().splitlines())
         plan = planner.plan_body(query.body, env_schemas)
@@ -328,12 +346,12 @@ class PreparedStatement:
 
     def execute_chunk(self, params=None, *, cancel_event=None,
                       deadline: float | None = None,
-                      trace: list[str] | None = None) -> Chunk:
+                      trace: list[str] | None = None, stats=None) -> Chunk:
         entry = self._current_entry()
         bound = bind_parameters(entry.signature, params)
         executor = Executor(self._db.catalog, self._config, plans=entry.plans,
                             params=bound, cancel_event=cancel_event,
-                            deadline=deadline, trace=trace)
+                            deadline=deadline, trace=trace, stats=stats)
         return executor.execute(entry.query)
 
     def execute(self, params=None, *, cancel_event=None,

@@ -91,6 +91,19 @@ class EngineConfig:
     # bug, never a user error.  Cheap (pure tree walk, no execution), so
     # it stays on by default in tests, fuzzing, and EXPLAIN.
     verify_plans: bool = True
+    # Adaptive runtime re-optimization (docs/ARCHITECTURE.md "Adaptive
+    # execution"): comma-join trees compile to an AdaptiveJoin operator
+    # that observes each source's *actual* post-filter cardinality and,
+    # when an observation diverges from the static estimate beyond
+    # adaptive_ratio, re-runs the greedy join ordering over the remaining
+    # joins mid-query (the rebuilt subtree is re-verified before it
+    # executes).  Also enables build-side-swap reporting, empty-outer
+    # semi-join short-circuits, and morsel-size auto-tuning.  Results are
+    # identical to static execution up to row order.
+    adaptive_execution: bool = False
+    # Divergence threshold for re-planning: the larger of actual/est and
+    # est/actual must exceed this ratio before a re-plan fires.
+    adaptive_ratio: float = 8.0
 
     def plan_fingerprint(self) -> tuple:
         """Canonical identity of this config for plan-cache keying.
@@ -115,6 +128,11 @@ class EngineConfig:
             # that verifies must not silently adopt a plan cached by one
             # that did not.
             self.verify_plans,
+            # adaptive_execution changes the compiled shape (AdaptiveJoin
+            # vs a static join chain); adaptive_ratio changes when that
+            # operator re-plans, which is runtime behaviour a cached plan
+            # carries with it.
+            self.adaptive_execution, self.adaptive_ratio,
         )
 
 
@@ -131,7 +149,8 @@ class Executor:
                  trace: list[str] | None = None,
                  plans: dict[int, PhysicalPlan] | None = None,
                  params: dict | None = None,
-                 cancel_event=None, deadline: float | None = None):
+                 cancel_event=None, deadline: float | None = None,
+                 stats=None):
         self.catalog = catalog
         self.config = config or EngineConfig()
         self.trace = trace
@@ -143,6 +162,10 @@ class Executor:
         # monotonic deadline) at operator boundaries via check_runtime().
         self.cancel_event = cancel_event
         self.deadline = deadline
+        # Per-execution RuntimeStats sink (EXPLAIN ANALYZE / adaptive
+        # execution); operators record actual cardinalities and timings
+        # into it through Operator.run.  None = zero-overhead execution.
+        self.stats = stats
         self._active_plans: dict[int, PhysicalPlan] = {}
 
     def _note(self, message: str) -> None:
@@ -239,6 +262,8 @@ class Executor:
                         cacheable: bool = True) -> Chunk:
         """Execute a SELECT or compound-select body through its plan."""
         plan = self.plan_for(select, env, cacheable=cacheable)
+        if self.stats is not None:
+            self.stats.record_plan(plan)
         return plan.execute(ExecContext(self, env))
 
     # ------------------------------------------------------------------

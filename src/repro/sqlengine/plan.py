@@ -23,6 +23,7 @@ workloads.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -49,6 +50,7 @@ __all__ = [
     "Filter", "CrossJoin", "HashJoin", "ResidualFilter", "Window", "Project",
     "HashAggregate", "Distinct", "Sort", "TopK", "Limit", "SetOp",
     "SemiJoin", "AntiJoin", "MarkJoin", "ScalarSubqueryScan",
+    "AdaptiveSource", "AdaptiveJoin", "Materialized",
     "PhysicalPlan", "expr_to_str", "window_to_str", "frame_to_str",
 ]
 
@@ -236,6 +238,24 @@ class Operator:
     def execute(self, ctx: ExecContext) -> OpResult:
         raise NotImplementedError
 
+    def run(self, ctx: ExecContext) -> OpResult:
+        """Execute with runtime-stats accounting.
+
+        All parent-to-child invocations go through here.  When the
+        executor carries no :class:`~.runtime_stats.RuntimeStats` (the
+        default), this is a plain ``execute`` call with zero overhead;
+        otherwise the node's actual output cardinality and inclusive
+        elapsed time are recorded for adaptive decisions and EXPLAIN
+        ANALYZE.
+        """
+        stats = ctx.executor.stats
+        if stats is None:
+            return self.execute(ctx)
+        start = time.perf_counter()
+        res = self.execute(ctx)
+        stats.record(self, res.chunk.nrows, time.perf_counter() - start)
+        return res
+
 
 @dataclass
 class Scan(Operator):
@@ -341,13 +361,31 @@ class Filter(Operator):
         return f"Filter {preds}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
-        res = self.child.execute(ctx)
+        res = self.child.run(ctx)
         ctx.checkpoint()
         chunk, scope = res.chunk, res.scope
         config = ctx.config
         params = ctx.params
         n = chunk.nrows
         morsel = config.morsel_size if config.mode == "vectorized" else None
+        if morsel is not None and config.adaptive_execution and n > 0:
+            # Auto-tune the morsel size from the observed input cardinality:
+            # aim for ~8 morsels per worker partition so the pool stays busy
+            # without per-morsel overhead dominating tiny inputs.  Mask
+            # evaluation concatenates per-morsel results, so the output is
+            # independent of the morsel size chosen.
+            per_thread = max(1, n // max(1, config.threads))
+            ideal = max(256, min(65536, per_thread // 8))
+            if ideal >= 2 * morsel or morsel >= 2 * ideal:
+                stats = ctx.executor.stats
+                if stats is not None:
+                    stats.event(
+                        f"filter {self.binding}: morsel size auto-tuned "
+                        f"{morsel} -> {ideal} for {n} input rows"
+                    )
+                ctx.note(f"adaptive: filter {self.binding} morsel size "
+                         f"{morsel} -> {ideal}")
+                morsel = ideal
         exprs = self.predicates
 
         def make_mask(start: int, stop: int) -> np.ndarray:
@@ -413,8 +451,8 @@ class CrossJoin(Operator):
         return f"CrossJoin + {self.right_binding}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
-        lres = self.left.execute(ctx)
-        rres = self.right.execute(ctx)
+        lres = self.left.run(ctx)
+        rres = self.right.run(ctx)
         ctx.checkpoint()
         nl, nr = lres.chunk.nrows, rres.chunk.nrows
         if nl * nr > 50_000_000:
@@ -459,8 +497,8 @@ class HashJoin(Operator):
         return f"HashJoin{how} + {self.right_binding} on {conds}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
-        lres = self.left.execute(ctx)
-        rres = self.right.execute(ctx)
+        lres = self.left.run(ctx)
+        rres = self.right.run(ctx)
         ctx.checkpoint()
         left_chunk, right_chunk = lres.chunk, rres.chunk
         left_eval = Evaluator(left_chunk, lres.scope, params=ctx.params)
@@ -486,6 +524,19 @@ class HashJoin(Operator):
                     f"{spilled.bytes_spilled} bytes to disk"
                 )
         if spilled is None:
+            if ctx.config.adaptive_execution:
+                nl, nr = left_chunk.nrows, right_chunk.nrows
+                if nr > 4 * nl and nr >= 4096:
+                    # The join kernel builds its index on the small left
+                    # side here and morsel-probes with the large right side
+                    # (see joins.join_positions); surface the decision.
+                    stats = ctx.executor.stats
+                    if stats is not None:
+                        stats.event(
+                            f"hash join + {self.right_binding}: build side "
+                            f"swapped — index built on {nl}-row side, "
+                            f"probed with {nr} rows"
+                        )
             lp, rp, lmiss, rmiss = join_positions(lkeys, rkeys, self.how,
                                                   threads=threads)
         chunk = combine_chunks(left_chunk, right_chunk, lp, rp, lmiss, rmiss,
@@ -505,6 +556,191 @@ class HashJoin(Operator):
 
 
 @dataclass
+class Materialized(Operator):
+    """An already-executed relation re-fed into a rebuilt join chain.
+
+    :class:`AdaptiveJoin` executes every join source exactly once, then
+    stitches the materialized results into a (possibly re-ordered) chain of
+    ordinary ``HashJoin``/``CrossJoin`` nodes whose leaves are these.
+    ``result`` is populated at runtime; a plan-shape ``Materialized`` with
+    ``result=None`` (as seen by the verifier before execution) is legal but
+    cannot be executed.
+    """
+
+    binding: str
+    result: OpResult | None = None
+    est_rows: float | None = None
+
+    def label(self) -> str:
+        return f"Materialized {self.binding}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        ctx.checkpoint()
+        if self.result is None:
+            raise SQLExecutionError(
+                f"Materialized {self.binding} executed without a result"
+            )
+        return self.result
+
+
+@dataclass
+class AdaptiveSource(Operator):
+    """One join input under an :class:`AdaptiveJoin`: a planned source
+    subtree plus the static cardinality estimate the planner ordered it by."""
+
+    binding: str
+    op: Operator = None  # type: ignore[assignment]
+    est: float = 1.0
+
+    def children(self) -> list[Operator]:
+        return [self.op]
+
+    def label(self) -> str:  # pragma: no cover - AdaptiveJoin renders sources
+        return f"AdaptiveSource {self.binding}"
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        ctx.checkpoint()
+        return self.op.run(ctx)
+
+
+@dataclass
+class AdaptiveJoin(Operator):
+    """Estimate-feedback join: execute sources, re-order on mis-estimates.
+
+    The planner emits this instead of a static join chain when
+    ``EngineConfig.adaptive_execution`` is on.  Execution first pulls every
+    source subtree (scans + pushed-down filters) exactly once, observing
+    true cardinalities.  If any source's actual row count diverges from its
+    estimate by more than ``EngineConfig.adaptive_ratio`` (in either
+    direction), the greedy join-order algorithm re-runs over the *actual*
+    counts and — when it picks a different order — the join chain is rebuilt
+    over :class:`Materialized` leaves, re-verified by the plan verifier
+    (when ``verify_plans`` is on), and executed in the new order.  The
+    output chunk is permuted back to the static column layout, so results
+    differ from static execution only in row order (inner-join row sets are
+    order-invariant; every consumer that promises ordering sorts above).
+    """
+
+    sources: list[AdaptiveSource] = field(default_factory=list)
+    # Equi-join edges (i, j, left_expr, right_expr): an equality between
+    # source i's expression and source j's expression.
+    edges: list = field(default_factory=list)
+    # The statically chosen order: [(source_index, oriented_pairs)] where
+    # oriented_pairs are (accumulated_side_expr, new_side_expr).
+    static_order: list = field(default_factory=list)
+    est_rows: float | None = None
+
+    def children(self) -> list[Operator]:
+        return [s.op for s in self.sources]
+
+    def label(self) -> str:
+        names = ", ".join(s.binding for s in self.sources)
+        return f"AdaptiveJoin [{names}]"
+
+    def _build_chain(self, order: list, results: list[OpResult],
+                     actuals: list[float]) -> tuple[Operator, list[str]]:
+        """A HashJoin/CrossJoin chain over Materialized leaves in ``order``."""
+        first = order[0][0]
+        root: Operator = Materialized(self.sources[first].binding,
+                                      results[first], est_rows=actuals[first])
+        est = actuals[first]
+        cols = list(results[first].chunk.columns)
+        for idx, pairs in order[1:]:
+            src = self.sources[idx]
+            leaf = Materialized(src.binding, results[idx],
+                                est_rows=actuals[idx])
+            if pairs:
+                est = max(est, actuals[idx])
+                root = HashJoin(root, leaf, src.binding, list(pairs),
+                                est_rows=est)
+            else:
+                est = est * actuals[idx]
+                root = CrossJoin(root, leaf, src.binding, est_rows=est)
+            cols.extend(results[idx].chunk.columns)
+        return root, cols
+
+    def execute(self, ctx: ExecContext) -> OpResult:
+        ctx.checkpoint()
+        stats = ctx.executor.stats
+        results: list[OpResult] = []
+        actuals: list[float] = []
+        for s in self.sources:
+            res = s.op.run(ctx)
+            results.append(res)
+            actuals.append(float(res.chunk.nrows))
+
+        # Divergence check: worst est-vs-actual ratio across sources.
+        cap = max(1.0, ctx.config.adaptive_ratio)
+        worst_ratio, worst_idx = 0.0, 0
+        for i, s in enumerate(self.sources):
+            est, act = max(s.est, 1.0), max(actuals[i], 1.0)
+            ratio = act / est if act > est else est / act
+            if ratio > worst_ratio:
+                worst_ratio, worst_idx = ratio, i
+        order = self.static_order
+        replanned = False
+        if worst_ratio > cap:
+            from .planner import greedy_join_order
+
+            new_order = greedy_join_order(actuals, self.edges, True)
+            if [i for i, _ in new_order] != [i for i, _ in self.static_order]:
+                order = new_order
+                replanned = True
+                src = self.sources[worst_idx]
+                old_names = ", ".join(self.sources[i].binding
+                                      for i, _ in self.static_order)
+                new_names = ", ".join(self.sources[i].binding
+                                      for i, _ in new_order)
+                message = (
+                    f"re-plan: {src.binding} est={int(round(src.est))} vs "
+                    f"actual={int(round(actuals[worst_idx]))} rows "
+                    f"(ratio {worst_ratio:.1f} > {cap:.1f}); join order "
+                    f"[{old_names}] -> [{new_names}]"
+                )
+                if stats is not None:
+                    stats.replan(message)
+                ctx.note(f"adaptive {message}")
+            elif stats is not None:
+                src = self.sources[worst_idx]
+                stats.event(
+                    f"divergence on {src.binding} "
+                    f"(est={int(round(src.est))}, "
+                    f"actual={int(round(actuals[worst_idx]))} rows) "
+                    f"but join order unchanged"
+                )
+
+        root, cols = self._build_chain(order, results, actuals)
+        if replanned and ctx.config.verify_plans:
+            from ..analysis import verify_plan
+
+            verify_plan(PhysicalPlan(root, cols), ctx.executor.catalog,
+                        ctx.config, ctx.env)
+        out = root.run(ctx)
+        if not replanned:
+            return out
+
+        # Permute the executed layout back to the static column order so
+        # downstream operators see the exact scope/slot layout the planner
+        # compiled against.
+        offsets: dict[int, int] = {}
+        pos = 0
+        for i, _ in order:
+            offsets[i] = pos
+            pos += results[i].chunk.ncols
+        arrays: list[np.ndarray] = []
+        names: list[str] = []
+        scope = Scope()
+        for i, _ in self.static_order:
+            chunk = results[i].chunk
+            base = offsets[i]
+            for k, col in enumerate(chunk.columns):
+                scope.add(self.sources[i].binding, col, len(arrays))
+                arrays.append(out.chunk.arrays[base + k])
+                names.append(col)
+        return OpResult(Chunk(names, arrays), scope)
+
+
+@dataclass
 class ResidualFilter(Operator):
     """Post-join WHERE conjuncts (subqueries and multi-source predicates)."""
 
@@ -520,7 +756,7 @@ class ResidualFilter(Operator):
         return f"Filter(residual) {preds}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
-        res = self.child.execute(ctx)
+        res = self.child.run(ctx)
         ctx.checkpoint()
         chunk = res.chunk
         before = chunk.nrows
@@ -538,6 +774,14 @@ class ResidualFilter(Operator):
 # ---------------------------------------------------------------------------
 # Decorrelated subquery operators
 # ---------------------------------------------------------------------------
+
+def _skip_subquery_event(ctx: ExecContext, what: str) -> None:
+    """Note an adaptive empty-outer short-circuit (subquery never runs)."""
+    stats = ctx.executor.stats
+    if stats is not None:
+        stats.event(f"{what}: empty outer input, subquery skipped")
+    ctx.note(f"adaptive: {what} skipped subquery on empty outer input")
+
 
 def _subquery_probe_flags(ctx: ExecContext, res: OpResult,
                           subplan: "PhysicalPlan",
@@ -589,8 +833,11 @@ class SemiJoin(Operator):
         return f"SemiJoin {self.source}{on}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
-        res = self.child.execute(ctx)
+        res = self.child.run(ctx)
         ctx.checkpoint()
+        if ctx.config.adaptive_execution and res.chunk.nrows == 0:
+            _skip_subquery_event(ctx, f"semi join ({self.source.lower()})")
+            return OpResult(res.chunk, res.scope)
         flags, inner = _subquery_probe_flags(ctx, res, self.subplan,
                                              self.probe_exprs)
         chunk = res.chunk.mask(flags)
@@ -673,8 +920,13 @@ class AntiJoin(Operator):
         return f"AntiJoin {kind}{on}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
-        res = self.child.execute(ctx)
+        res = self.child.run(ctx)
         ctx.checkpoint()
+        if ctx.config.adaptive_execution and res.chunk.nrows == 0:
+            _skip_subquery_event(
+                ctx, f"anti join ({'not in' if self.null_aware else 'not exists'})"
+            )
+            return OpResult(res.chunk, res.scope)
         if self.null_aware:
             keep, inner_rows = _null_aware_anti_flags(
                 ctx, res, self.subplan, self.probe_exprs
@@ -732,8 +984,12 @@ class MarkJoin(Operator):
         return f"MarkJoin {self.mark_name} = {self.source}{on}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
-        res = self.child.execute(ctx)
+        res = self.child.run(ctx)
         ctx.checkpoint()
+        if ctx.config.adaptive_execution and res.chunk.nrows == 0:
+            _skip_subquery_event(ctx, f"mark join {self.mark_name}")
+            return _append_column(res, self.mark_name,
+                                  np.zeros(0, dtype=bool))
         if self.mode == "anti-null":
             mark, _ = _null_aware_anti_flags(ctx, res, self.subplan,
                                              self.probe_exprs)
@@ -767,7 +1023,7 @@ class ScalarSubqueryScan(Operator):
         return f"ScalarSubqueryScan {self.scalar_name}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
-        res = self.child.execute(ctx)
+        res = self.child.run(ctx)
         ctx.checkpoint()
         inner = self.subplan.execute(ctx)
         if inner.nrows > 1:
@@ -820,7 +1076,7 @@ class Window(Operator):
             raise UnsupportedFeatureError(
                 f"{config.name}: window functions are not supported by this backend"
             )
-        res = self.child.execute(ctx)
+        res = self.child.run(ctx)
         ctx.checkpoint()
         values = evaluate_window_calls(
             res.chunk, res.scope, self.calls, config, ctx.subquery_cb(),
@@ -855,7 +1111,7 @@ class Project(Operator):
         return f"Project {items}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
-        res = self.child.execute(ctx)
+        res = self.child.run(ctx)
         ctx.checkpoint()
         executor = ctx.executor
         cb = ctx.subquery_cb()
@@ -889,7 +1145,7 @@ class HashAggregate(Operator):
         return label
 
     def execute(self, ctx: ExecContext) -> OpResult:
-        res = self.child.execute(ctx)
+        res = self.child.run(ctx)
         ctx.checkpoint()
         executor = ctx.executor
         cb = ctx.subquery_cb()
@@ -935,7 +1191,7 @@ class Distinct(Operator):
     def execute(self, ctx: ExecContext) -> OpResult:
         from .grouping import factorize_many
 
-        res = self.child.execute(ctx)
+        res = self.child.run(ctx)
         ctx.checkpoint()
         chunk = res.chunk
         if chunk.nrows:
@@ -970,7 +1226,7 @@ class Sort(Operator):
         return f"Sort {_order_keys_str(self.order_by)}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
-        res = self.child.execute(ctx)
+        res = self.child.run(ctx)
         ctx.checkpoint()
         arrays, ascendings = ctx.executor._order_arrays(
             self.order_by, res.chunk, res.order_eval
@@ -1006,7 +1262,7 @@ class TopK(Operator):
     def execute(self, ctx: ExecContext) -> OpResult:
         from .topk import topk_positions
 
-        res = self.child.execute(ctx)
+        res = self.child.run(ctx)
         ctx.checkpoint()
         arrays, ascendings = ctx.executor._order_arrays(
             self.order_by, res.chunk, res.order_eval
@@ -1034,7 +1290,7 @@ class Limit(Operator):
         return f"Limit {self.n}"
 
     def execute(self, ctx: ExecContext) -> OpResult:
-        res = self.child.execute(ctx)
+        res = self.child.run(ctx)
         chunk = res.chunk.head(self.n)
         ctx.note(f"limit: {self.n}")
         return OpResult(chunk, res.scope)
@@ -1070,8 +1326,8 @@ class SetOp(Operator):
     def execute(self, ctx: ExecContext) -> OpResult:
         from .setops import execute_set_op
 
-        lres = self.left.execute(ctx)
-        rres = self.right.execute(ctx)
+        lres = self.left.run(ctx)
+        rres = self.right.run(ctx)
         ctx.checkpoint()
         chunk = execute_set_op(self.op, self.all, lres.chunk, rres.chunk,
                                self.columns, threads=ctx.config.threads)
@@ -1100,7 +1356,7 @@ class PhysicalPlan:
     cache_hits: int = 0
 
     def execute(self, ctx: ExecContext) -> Chunk:
-        return self.root.execute(ctx).chunk
+        return self.root.run(ctx).chunk
 
     def render(self) -> str:
         lines: list[str] = []

@@ -28,9 +28,10 @@ from typing import TYPE_CHECKING
 from ..errors import SQLBindError, UnsupportedFeatureError
 from .catalog import Catalog
 from .plan import (
-    AntiJoin, CrossJoin, Distinct, DualScan, Filter, HashAggregate, HashJoin,
-    Limit, MarkJoin, Operator, PhysicalPlan, Project, ResidualFilter, Scan,
-    ScalarSubqueryScan, SemiJoin, SetOp, Sort, SubqueryScan, TopK, Window,
+    AdaptiveJoin, AdaptiveSource, AntiJoin, CrossJoin, Distinct, DualScan,
+    Filter, HashAggregate, HashJoin, Limit, MarkJoin, Operator, PhysicalPlan,
+    Project, ResidualFilter, Scan, ScalarSubqueryScan, SemiJoin, SetOp, Sort,
+    SubqueryScan, TopK, Window,
 )
 from .expressions import aggregates_of, contains_aggregate, expr_columns
 from .table import Table
@@ -48,7 +49,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["Planner", "RelSchema", "split_conjuncts", "has_subquery",
            "subqueries_of", "has_window", "collect_windows",
-           "collect_needed_columns", "match_subquery_form"]
+           "collect_needed_columns", "match_subquery_form",
+           "greedy_join_order"]
 
 
 _SET_OP_NAMES = {"union": "UNION", "intersect": "INTERSECT", "except": "EXCEPT"}
@@ -303,6 +305,67 @@ class _Source:
     table_name: str | None = None  # base-table sources can be sampled
 
 
+def _est_or_default(est: float | None, default: float = 1000.0) -> float:
+    """A concrete cardinality estimate: ``est`` unless unknown (None).
+
+    ``est`` may legitimately be 0.0 (LIMIT 0 bodies, fully zone-pruned
+    scans) — a falsy ``or`` fallback would silently replace an exact empty
+    estimate with the default and corrupt downstream side choices.
+    """
+    return est if est is not None else default
+
+
+def greedy_join_order(
+    ests: list[float],
+    edges: list[tuple[int, int, Expr, Expr]],
+    reorder: bool,
+) -> list[tuple[int, list[tuple[Expr, Expr]]]]:
+    """Greedy left-deep join order over per-source cardinalities.
+
+    ``ests[i]`` is source *i*'s (estimated or observed) row count; ``edges``
+    are equi-join conjuncts ``(i, j, left_expr, right_expr)`` with the
+    expressions owned by sources *i* and *j* respectively.  Returns the
+    visit order as ``[(source_index, oriented_pairs)]``, where each pair is
+    ``(accumulated_side_expr, new_side_expr)``; an empty pair list means a
+    cartesian step.  With ``reorder`` off the order is syntactic.
+
+    Ties break on the lower source index, deterministically — the order
+    must not depend on set-iteration order, since plan shapes are golden-
+    tested and adaptive re-planning compares orders for equality.
+
+    Shared by static planning (estimates) and :class:`~.plan.AdaptiveJoin`
+    re-planning (observed cardinalities) so both make identical decisions
+    given identical inputs.
+    """
+    n = len(ests)
+    remaining = set(range(n))
+    start = min(remaining, key=lambda i: (ests[i], i)) if reorder else 0
+    remaining.discard(start)
+    acc_set = {start}
+    order: list[tuple[int, list[tuple[Expr, Expr]]]] = [(start, [])]
+
+    while remaining:
+        candidates: dict[int, list[tuple[Expr, Expr]]] = {}
+        for (i, j, le, re_) in edges:
+            if i in acc_set and j in remaining:
+                candidates.setdefault(j, []).append((le, re_))
+            elif j in acc_set and i in remaining:
+                candidates.setdefault(i, []).append((re_, le))
+        if candidates:
+            if reorder:
+                nxt = min(candidates, key=lambda j: (ests[j], j))
+            else:
+                nxt = min(candidates)  # syntactic order
+            pairs = candidates[nxt]
+        else:
+            nxt = min(remaining)
+            pairs = []
+        order.append((nxt, pairs))
+        acc_set.add(nxt)
+        remaining.discard(nxt)
+    return order
+
+
 # ---------------------------------------------------------------------------
 # Selectivity heuristics
 # ---------------------------------------------------------------------------
@@ -321,13 +384,37 @@ def _selectivity(expr: Expr, schema: RelSchema) -> float:
         if expr.op in _RANGE_OPS:
             return 0.3
         if expr.op == "<>":
+            # Inequality on a unique key excludes exactly one row.
+            for side in (expr.left, expr.right):
+                if isinstance(side, ColumnRef) and side.name in schema.unique:
+                    return 1.0 - 1.0 / max(schema.nrows, 1.0)
             return 0.9
         if expr.op == "OR":
-            return min(1.0, _selectivity(expr.left, schema) + _selectivity(expr.right, schema))
+            # Inclusion-exclusion under independence.  The old plain sum
+            # double-counted the overlap: `a = 1 OR a = 2` on a unique key
+            # came out as 2/n-ish but `x < 5 OR y < 5` saturated to 0.6
+            # instead of 0.51, systematically over-estimating disjunctions.
+            sa = _selectivity(expr.left, schema)
+            sb = _selectivity(expr.right, schema)
+            return min(1.0, sa + sb - sa * sb)
+        if expr.op == "AND":
+            # Nested under OR/NOT (top-level ANDs are split upstream).
+            return _selectivity(expr.left, schema) * _selectivity(expr.right, schema)
+    if isinstance(expr, UnaryOp) and expr.op.upper() == "NOT":
+        # Complement, not the unrelated-predicate default of 0.5: NOT over a
+        # 0.05-selective predicate keeps ~95% of rows.
+        return max(0.0, 1.0 - _selectivity(expr.operand, schema))
     if isinstance(expr, BetweenExpr):
         return 0.75 if expr.negated else 0.25
     if isinstance(expr, InList):
-        sel = min(0.5, 0.05 * max(len(expr.items), 1))
+        if isinstance(expr.operand, ColumnRef) and expr.operand.name in schema.unique:
+            # Each list item matches at most one row of a unique column —
+            # the generic 5%-per-item guess is off by orders of magnitude
+            # on keys (3 items on a 10k-row unique column is 3/10000, not
+            # 0.15).
+            sel = min(1.0, float(max(len(expr.items), 1)) / max(schema.nrows, 1.0))
+        else:
+            sel = min(0.5, 0.05 * max(len(expr.items), 1))
         return 1.0 - sel if expr.negated else sel
     if isinstance(expr, LikeExpr):
         return 0.75 if expr.negated else 0.25
@@ -463,7 +550,7 @@ class Planner:
             ncols = len(body.rows[0]) if body.rows else 0
             return [f"col{i}" for i in range(ncols)], float(len(body.rows)), None
         plan = self.plan_body(body, env)
-        return list(plan.output_columns), plan.est_rows or 1000.0, plan
+        return list(plan.output_columns), _est_or_default(plan.est_rows), plan
 
     # -- entry points -------------------------------------------------------
     def plan_body(self, body: Select | CompoundSelect, env: dict[str, RelSchema]) -> PhysicalPlan:
@@ -488,8 +575,8 @@ class Planner:
             )
         self._check_type_compatibility(comp, env)
 
-        l_est = left.est_rows or 1000.0
-        r_est = right.est_rows or 1000.0
+        l_est = _est_or_default(left.est_rows)
+        r_est = _est_or_default(right.est_rows)
         if comp.op == "union":
             est = l_est + r_est if comp.all else max(l_est + r_est, 1.0) * 0.9
         elif comp.op == "intersect":
@@ -913,54 +1000,61 @@ class Planner:
         s.est = max(1.0, float(rows))
         return rows
 
+    @staticmethod
+    def _join_est(est: float, src: _Source, pairs: list[tuple[Expr, Expr]]) -> float:
+        """Estimated cardinality of joining the accumulated side (``est``
+        rows) with *src* on equi-key ``pairs``.
+
+        When a join key is unique on the new side, each accumulated row
+        matches at most one *src* row, so the output is bounded by ``est``
+        scaled by the fraction of *src* rows surviving its filters — not
+        ``max(est, src.est)``, which over-estimated every PK lookup join
+        (e.g. a 6k-row lineitem fragment joining the 200-row filtered part
+        table is ~6k rows, not max-of-sides).
+        """
+        for _, rexpr in pairs:
+            if (isinstance(rexpr, ColumnRef) and rexpr.name in src.schema.unique
+                    and (rexpr.table is None or rexpr.table == src.binding)):
+                return max(1.0, est * min(1.0, src.est / max(src.schema.nrows, 1.0)))
+        return max(est, src.est)
+
     def _order_joins(self, sources: list[_Source],
                      edges: list[tuple[int, int, Expr, Expr]]
                      ) -> tuple[Operator, list[str], dict[str, list[str]], float]:
-        n = len(sources)
         reorder = self.config.join_reorder
-        remaining = set(range(n))
-        if reorder:
-            start = min(remaining, key=lambda i: sources[i].est)
-        else:
-            start = 0
-        remaining.discard(start)
+        order = greedy_join_order([s.est for s in sources], edges, reorder)
 
-        root = sources[start].op
-        est = sources[start].est
-        acc_set = {start}
-        acc_columns = list(sources[start].pruned_columns)
-        binding_columns = {sources[start].binding: list(sources[start].pruned_columns)}
-
-        while remaining:
-            candidates: dict[int, list[tuple[Expr, Expr]]] = {}
-            for (i, j, le, re_) in edges:
-                if i in acc_set and j in remaining:
-                    candidates.setdefault(j, []).append((le, re_))
-                elif j in acc_set and i in remaining:
-                    candidates.setdefault(i, []).append((re_, le))
-            if candidates:
-                if reorder:
-                    nxt = min(candidates, key=lambda j: sources[j].est)
-                else:
-                    nxt = min(candidates)  # syntactic order
-                pairs = candidates[nxt]
-            else:
-                nxt = min(remaining)
-                pairs = []
-
+        first = order[0][0]
+        est = sources[first].est
+        acc_columns = list(sources[first].pruned_columns)
+        binding_columns = {sources[first].binding: list(sources[first].pruned_columns)}
+        for nxt, pairs in order[1:]:
             src = sources[nxt]
-            if pairs:
-                est = max(est, src.est)
-                root = HashJoin(root, src.op, src.binding, pairs, "inner",
-                                est_rows=est)
-            else:
-                est = est * src.est
-                root = CrossJoin(root, src.op, src.binding, est_rows=est)
-            acc_set.add(nxt)
+            est = self._join_est(est, src, pairs) if pairs else est * src.est
             acc_columns.extend(src.pruned_columns)
             binding_columns[src.binding] = list(src.pruned_columns)
-            remaining.discard(nxt)
 
+        if self.config.adaptive_execution and reorder and len(sources) > 1:
+            # Defer the chain to runtime: AdaptiveJoin executes every source
+            # once, then keeps this order or re-runs greedy_join_order over
+            # the observed cardinalities when an estimate diverged.
+            root: Operator = AdaptiveJoin(
+                [AdaptiveSource(s.binding, s.op, s.est) for s in sources],
+                list(edges), order, est_rows=est,
+            )
+            return root, acc_columns, binding_columns, est
+
+        root = sources[first].op
+        chain_est = sources[first].est
+        for nxt, pairs in order[1:]:
+            src = sources[nxt]
+            if pairs:
+                chain_est = self._join_est(chain_est, src, pairs)
+                root = HashJoin(root, src.op, src.binding, pairs, "inner",
+                                est_rows=chain_est)
+            else:
+                chain_est = chain_est * src.est
+                root = CrossJoin(root, src.op, src.binding, est_rows=chain_est)
         return root, acc_columns, binding_columns, est
 
     # -- explicit JOIN clauses ----------------------------------------------
@@ -1025,7 +1119,11 @@ class Planner:
         else:
             how = {"inner": "inner", "left": "left", "right": "right",
                    "full": "full"}[kind]
-            est = max(est, src.est)
+            if how == "inner":
+                est = self._join_est(est, src, pairs)
+            else:
+                # Outer joins emit at least one row per preserved-side row.
+                est = max(est, src.est)
             root = HashJoin(root, src.op, src.binding, pairs, how,
                             residual=residual, est_rows=est)
 
@@ -1130,7 +1228,8 @@ class Planner:
                     lambda root, subplan=subplan, probe=probe_exprs,
                     name=name, mode=mode, source=source:
                     MarkJoin(root, subplan, probe, mark_name=name, mode=mode,
-                             source=source, est_rows=root.est_rows)
+                             source=source,
+                             est_rows=_est_or_default(root.est_rows))
                 )
                 return ColumnRef(name=name)
             if isinstance(e, ScalarSubquery):
@@ -1144,7 +1243,7 @@ class Planner:
                 factories.append(
                     lambda root, subplan=subplan, name=name:
                     ScalarSubqueryScan(root, subplan, scalar_name=name,
-                                       est_rows=root.est_rows)
+                                       est_rows=_est_or_default(root.est_rows))
                 )
                 return ColumnRef(name=name)
             e2 = copy.copy(e)

@@ -1,0 +1,117 @@
+"""Per-execution runtime statistics for adaptive execution / EXPLAIN ANALYZE.
+
+A :class:`RuntimeStats` object rides along one execution (attached to the
+:class:`~.executor.Executor`); every operator pulled through
+:meth:`~.plan.Operator.run` records its actual output cardinality and
+elapsed wall time here, keyed by node identity.  The adaptive-execution
+machinery (:class:`~.plan.AdaptiveJoin` and friends) additionally appends
+human-readable *events* — mid-query re-plans, build-side swaps, morsel
+re-tuning, semi-join short-circuits — and counts the re-plans.
+
+:meth:`render` produces the EXPLAIN ANALYZE text: the executed plan tree
+with ``est`` vs ``actual`` rows and inclusive elapsed milliseconds per
+node, followed by the adaptive events.  Operators that never executed
+(e.g. sources of a skipped subquery) show their estimate only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .plan import Operator, PhysicalPlan
+
+__all__ = ["OpStats", "RuntimeStats"]
+
+
+@dataclass
+class OpStats:
+    """Accumulated runtime observations of one plan node.
+
+    ``actual_rows`` and ``elapsed_ms`` sum over invocations (a subquery
+    plan under a correlated residual predicate may run more than once);
+    ``elapsed_ms`` is *inclusive* of the node's children, mirroring the
+    pull-based execution model.
+    """
+
+    label: str
+    est_rows: float | None
+    actual_rows: int = 0
+    elapsed_ms: float = 0.0
+    invocations: int = 0
+
+
+@dataclass
+class RuntimeStats:
+    """Mutable per-execution statistics sink.
+
+    One instance per query execution — never shared across concurrent
+    queries (each Executor owns at most one), so no locking is needed:
+    operators within one query execute sequentially, only their kernels
+    fan out to the worker pool.
+    """
+
+    ops: dict[int, OpStats] = field(default_factory=dict)
+    events: list[str] = field(default_factory=list)
+    replans: int = 0
+    plans: list["PhysicalPlan"] = field(default_factory=list)
+
+    def record(self, op: "Operator", rows: int, seconds: float) -> None:
+        entry = self.ops.get(id(op))
+        if entry is None:
+            entry = OpStats(op.label(), op.est_rows)
+            self.ops[id(op)] = entry
+        entry.actual_rows += int(rows)
+        entry.elapsed_ms += seconds * 1000.0
+        entry.invocations += 1
+
+    def event(self, message: str) -> None:
+        self.events.append(message)
+
+    def replan(self, message: str) -> None:
+        self.replans += 1
+        self.events.append(message)
+
+    def record_plan(self, plan: "PhysicalPlan") -> None:
+        """Remember an executed plan for rendering (deduplicated)."""
+        if not any(existing is plan for existing in self.plans):
+            self.plans.append(plan)
+
+    # -- rendering --------------------------------------------------------
+
+    def _node_line(self, op: "Operator", depth: int) -> str:
+        parts = ["  " * depth + op.label()]
+        if op.est_rows is not None:
+            parts.append(f"  [est={int(round(op.est_rows))} rows]")
+        entry = self.ops.get(id(op))
+        if entry is not None:
+            detail = f"actual={entry.actual_rows} rows, {entry.elapsed_ms:.1f} ms"
+            if entry.invocations > 1:
+                detail += f", loops={entry.invocations}"
+            parts.append(f" [{detail}]")
+        else:
+            parts.append(" [not executed]")
+        return "".join(parts)
+
+    def render(self) -> str:
+        """EXPLAIN ANALYZE text: executed plan tree(s) + adaptive events."""
+        lines: list[str] = []
+        seen: set[int] = set()
+
+        def walk(op: "Operator", depth: int) -> None:
+            seen.add(id(op))
+            lines.append(self._node_line(op, depth))
+            for child in op.children():
+                walk(child, depth + 1)
+
+        for plan in self.plans:
+            # Derived-table subplans are appended after the outer plan but
+            # already render as SubqueryScan children of it.
+            if id(plan.root) in seen:
+                continue
+            walk(plan.root, 0)
+        if self.events:
+            lines.append("Adaptive events:")
+            lines.extend(f"  {event}" for event in self.events)
+        return "\n".join(lines)

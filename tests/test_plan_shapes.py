@@ -144,6 +144,34 @@ class TestPlanShape:
         first_scan = next(ln for ln in lines if "Scan" in ln)
         assert "Scan u" in first_scan
 
+    def test_intersect_probes_limit_zero_side(self, db):
+        # A LIMIT 0 operand estimates exactly 0 rows.  Regression: the
+        # falsy `or` fallback replaced that 0 with the 1000-row default,
+        # so the provably-empty side looked *bigger* than the 100-row scan
+        # and the probe-side choice inverted.
+        plan = db.explain_plan(
+            "SELECT k FROM big INTERSECT SELECT w FROM u LIMIT 0")
+        lines = plan.splitlines()
+        first_scan = next(ln for ln in lines if "Scan" in ln)
+        assert "Scan u" in first_scan
+
+    def test_adaptive_join_node_shape(self, db):
+        # Adaptive execution plans the reorderable join block as one
+        # AdaptiveJoin whose sources are the per-relation subtrees, in the
+        # same deterministic order the static chain would use.
+        cfg = EngineConfig(join_reorder=True, adaptive_execution=True)
+        plan = db.explain_plan("SELECT t.a FROM t, u WHERE t.b = u.b",
+                               config=cfg)
+        lines = [ln.strip().split()[0] for ln in plan.splitlines()]
+        assert "AdaptiveJoin" in plan
+        assert lines.count("Scan") == 2
+        # The same query without the knob keeps the static HashJoin shape.
+        static = db.explain_plan(
+            "SELECT t.a FROM t, u WHERE t.b = u.b",
+            config=EngineConfig(join_reorder=True))
+        assert "AdaptiveJoin" not in static
+        assert "HashJoin" in static
+
     def test_compound_inside_cte_renders(self, db):
         plan = db.explain_plan(
             "WITH s(a) AS (SELECT a FROM t UNION SELECT w FROM u) "

@@ -28,7 +28,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.backends import available_backends, get_backend  # noqa: E402
 from repro.bench.sqlfuzz import (  # noqa: E402
-    build_fuzz_db, run_seeds, run_seeds_spill, run_seeds_verify,
+    build_fuzz_db, run_seeds, run_seeds_adaptive, run_seeds_spill,
+    run_seeds_verify,
 )
 from repro.errors import BackendError  # noqa: E402
 
@@ -49,6 +50,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="spill mode: compare spilled execution under "
                              "this memory budget against the in-memory "
                              "engine instead of an oracle backend")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="adaptive mode: compare adaptive execution "
+                             "(estimate-feedback re-planning at an "
+                             "aggressive ratio) against the static engine "
+                             "instead of an oracle backend")
+    parser.add_argument("--adaptive-ratio", type=float, default=2.0,
+                        metavar="R",
+                        help="est-vs-actual divergence ratio for --adaptive "
+                             "(default 2.0; lower fires more re-plans)")
     parser.add_argument("--verify-plans", action="store_true",
                         help="additionally run every seed's query through "
                              "the static plan verifier (explain path); a "
@@ -92,6 +102,39 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[fuzz] verify-plans clean: {args.count} seeds x "
                   f"threads {threads} in "
                   f"{time.perf_counter() - started:.1f}s")
+
+    if args.adaptive:
+        # Adaptive mode: the "oracle" is our own engine with static plans.
+        db = build_fuzz_db()
+        started = time.perf_counter()
+        failures = []
+        step = max(args.progress_every, 1) if args.progress_every else args.count
+        for lo in range(args.seed, args.seed + args.count, step):
+            hi = min(lo + step, args.seed + args.count)
+            failures.extend(run_seeds_adaptive(
+                db, range(lo, hi), threads=threads,
+                ratio=args.adaptive_ratio,
+                shrink_failures=not args.no_shrink))
+            if args.progress_every:
+                print(f"[fuzz:adaptive@{args.adaptive_ratio}] "
+                      f"{hi - args.seed}/{args.count} seeds, "
+                      f"{len(failures)} divergence(s), "
+                      f"{time.perf_counter() - started:.1f}s", flush=True)
+        if failures:
+            reports = "\n\n".join(f.report() for f in failures)
+            print(f"\n{len(failures)} divergence(s):\n\n{reports}")
+            if args.artifact:
+                Path(args.artifact).write_text(
+                    f"adaptive fuzz seeds {args.seed}.."
+                    f"{args.seed + args.count - 1} threads={threads} "
+                    f"ratio={args.adaptive_ratio}\n\n{reports}\n"
+                )
+                print(f"\nrepro report written to {args.artifact}")
+        else:
+            print(f"[fuzz] clean: {args.count} seeds x threads {threads} "
+                  f"adaptive-vs-static at ratio={args.adaptive_ratio} in "
+                  f"{time.perf_counter() - started:.1f}s")
+        return min(len(failures) + len(verify_failures), 125)
 
     if args.memory_budget is not None:
         # Spill mode: the "oracle" is our own engine without a budget.

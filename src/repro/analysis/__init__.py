@@ -23,5 +23,6 @@ verification".
 
 from .ir_checker import check_program
 from .plan_verifier import ColInfo, verify_plan
+from .shard_rules import verify_shard_query
 
-__all__ = ["ColInfo", "check_program", "verify_plan"]
+__all__ = ["ColInfo", "check_program", "verify_plan", "verify_shard_query"]

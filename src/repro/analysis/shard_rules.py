@@ -1,0 +1,119 @@
+"""Structural invariants for shard plans (scatter/gather recipes).
+
+:func:`verify_shard_query` is the sharding counterpart of the physical
+plan verifier: it checks the :class:`~repro.server.shard.ShardQuery` a
+coordinator is about to scatter, together with the chunk partition it
+computed, and raises :class:`~repro.errors.PlanInvariantError` on the
+first violation.  Every rule guards a property the merge-correctness
+argument depends on — a recipe that passes these checks either produces
+the serial answer or fails loudly; it cannot silently drop or double-count
+rows.
+
+Rule ids (``shard.*``), like the plan-verifier's, are catalogued in
+docs/ARCHITECTURE.md:
+
+- ``shard.kind``                — recipe kind is ``agg`` or ``topk``
+- ``shard.partition.cover``     — chunk ranges tile ``range(nchunks)``
+                                  exactly: contiguous, ascending, no gap,
+                                  no overlap (gap ⇒ dropped rows, overlap
+                                  ⇒ double-counted rows)
+- ``shard.partition.nonempty``  — no empty worker range
+- ``shard.agg.mergeable``       — every aggregate is in the mergeable set
+- ``shard.items.resolved``      — every output item maps to a group key
+                                  or an aggregate, with in-range indices
+- ``shard.order.resolved``      — every ORDER BY target is a valid item
+                                  or key reference (``agg``) / a named
+                                  output column (``topk``)
+- ``shard.topk.bounded``        — Top-K recipes carry a LIMIT and at
+                                  least one sort column
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanInvariantError
+
+__all__ = ["verify_shard_query"]
+
+_MERGEABLE = frozenset({"SUM", "COUNT", "MIN", "MAX", "AVG"})
+
+
+def _fail(invariant: str, message: str, table: str) -> None:
+    raise PlanInvariantError(invariant, message, path=f"shard({table})")
+
+
+def verify_shard_query(shard_q, nchunks: int,
+                       ranges: list[tuple[int, int]]) -> None:
+    """Validate a scatter recipe and its partition; raise on violation."""
+    table = getattr(shard_q, "table", "?")
+    if shard_q.kind not in ("agg", "topk"):
+        _fail("shard.kind", f"unknown shard kind {shard_q.kind!r}", table)
+    if not isinstance(table, str) or not table:
+        _fail("shard.kind", "shard table name must be a non-empty string",
+              table)
+
+    if not ranges:
+        _fail("shard.partition.cover", "no worker ranges computed", table)
+    expect = 0
+    for lo, hi in ranges:
+        if lo >= hi:
+            _fail("shard.partition.nonempty",
+                  f"empty worker range [{lo}, {hi})", table)
+        if lo != expect:
+            _fail("shard.partition.cover",
+                  f"range [{lo}, {hi}) breaks coverage at chunk {expect} "
+                  "(a gap drops rows; an overlap double-counts them)",
+                  table)
+        expect = hi
+    if expect != nchunks:
+        _fail("shard.partition.cover",
+              f"ranges cover {expect} of {nchunks} chunks", table)
+
+    if shard_q.kind == "agg":
+        for func in shard_q.agg_funcs:
+            if func not in _MERGEABLE:
+                _fail("shard.agg.mergeable",
+                      f"aggregate {func} has no partial/merge decomposition",
+                      table)
+        if len(shard_q.agg_item_indices) != len(shard_q.agg_funcs):
+            _fail("shard.items.resolved",
+                  "aggregate item indices do not match aggregate functions",
+                  table)
+        if len(shard_q.items) != len(shard_q.names):
+            _fail("shard.items.resolved",
+                  f"{len(shard_q.items)} item mappings for "
+                  f"{len(shard_q.names)} output columns", table)
+        for kind, idx in shard_q.items:
+            if kind == "key":
+                if not 0 <= idx < shard_q.nkeys:
+                    _fail("shard.items.resolved",
+                          f"group-key index {idx} out of range "
+                          f"(nkeys={shard_q.nkeys})", table)
+            elif kind == "agg":
+                if not 0 <= idx < len(shard_q.agg_funcs):
+                    _fail("shard.items.resolved",
+                          f"aggregate index {idx} out of range", table)
+            else:
+                _fail("shard.items.resolved",
+                      f"unknown item mapping kind {kind!r}", table)
+        for kind, idx, _asc in shard_q.order:
+            if kind == "item" and not 0 <= idx < len(shard_q.items):
+                _fail("shard.order.resolved",
+                      f"ORDER BY item index {idx} out of range", table)
+            if kind == "key" and not 0 <= idx < shard_q.nkeys:
+                _fail("shard.order.resolved",
+                      f"ORDER BY key index {idx} out of range", table)
+            if kind not in ("item", "key"):
+                _fail("shard.order.resolved",
+                      f"unknown ORDER BY mapping kind {kind!r}", table)
+    else:  # topk
+        if shard_q.limit is None or shard_q.limit < 0:
+            _fail("shard.topk.bounded",
+                  "Top-K scatter requires a non-negative LIMIT", table)
+        if not shard_q.order_cols:
+            _fail("shard.topk.bounded",
+                  "Top-K scatter requires at least one ORDER BY column",
+                  table)
+        for name, _asc in shard_q.order_cols:
+            if not isinstance(name, str) or not name:
+                _fail("shard.order.resolved",
+                      f"unresolved ORDER BY column {name!r}", table)

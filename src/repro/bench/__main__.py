@@ -8,6 +8,7 @@ Examples::
     python -m repro.bench fig5 --scale 0.05 --threads 1
     python -m repro.bench fig10
     python -m repro.bench serve --clients 8 --seconds 2
+    python -m repro.bench serve --net --shard-workers 2 --report net.json
     python -m repro.bench storage --sf 0.005 --budget 65536 --report out.json
     python -m repro.bench all
 """
@@ -48,20 +49,70 @@ def _fig7(args) -> str:
 
 
 def _serve(args) -> str:
-    """Serving-layer load run: N concurrent sessions over a scheduler,
-    replaying the parameterized TPC-H mix; reports QPS and p50/p99."""
-    from ..server import make_tpch_db, run_load
+    """Serving-layer load run: N concurrent sessions replaying the
+    parameterized TPC-H mix; reports QPS and p50/p99.  ``--net`` runs the
+    same mix over real TCP sockets through the wire protocol, and
+    ``--shard-workers K`` serves from a column store with scatter/gather
+    execution across K worker processes."""
+    import json
+
+    from ..server import (make_sharded_tpch_db, make_tpch_db, run_load,
+                          run_net_load)
     from ..sqlengine import EngineConfig
 
-    db = make_tpch_db(scale_factor=args.sf,
-                      config=EngineConfig(threads=args.threads))
-    report = run_load(db, clients=args.clients, duration=args.seconds)
+    config = EngineConfig(threads=args.threads,
+                          shard_workers=max(0, args.shard_workers))
+    if args.shard_workers > 0:
+        db = make_sharded_tpch_db(scale_factor=args.sf, config=config,
+                                  workers=args.shard_workers)
+    else:
+        db = make_tpch_db(scale_factor=args.sf, config=config)
+    if args.net:
+        report = run_net_load(db, clients=args.clients,
+                              duration=args.seconds)
+    else:
+        report = run_load(db, clients=args.clients, duration=args.seconds)
     cache = db.cache_stats()
-    return (
-        report.summary()
-        + f"\nplan cache: {cache['entries']} entries, {cache['hits']} hits, "
-          f"{cache['misses']} misses, {cache['evictions']} evictions"
-    )
+    lines = [
+        report.summary(),
+        f"plan cache: {cache['entries']} entries, {cache['hits']} hits, "
+        f"{cache['misses']} misses, {cache['evictions']} evictions",
+    ]
+    shard = getattr(db, "shard_stats", None)
+    if shard is not None:
+        lines.append(
+            f"sharding:   scattered {shard['scattered']}  fallbacks "
+            f"{shard['fallbacks']}  errors {shard['shard_errors']}  "
+            f"restarts {shard['restarts']}"
+        )
+        db.close_pools()
+    if args.report:
+        payload = {
+            "workload": {
+                "kind": "serve-net" if args.net else "serve",
+                "sf": args.sf,
+                "clients": args.clients,
+                "seconds": args.seconds,
+                "threads": args.threads,
+                "shard_workers": args.shard_workers,
+            },
+            "runs": [{
+                "shard_workers": args.shard_workers,
+                "queries": report.queries,
+                "errors": report.errors,
+                "rejected": report.rejected,
+                "timeouts": report.timeouts,
+                "qps": report.qps,
+                "p50_ms": report.p50_ms,
+                "p99_ms": report.p99_ms,
+            }],
+            "identical_results": None,
+        }
+        with open(args.report, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        lines.append(f"report written to {args.report}")
+    return "\n".join(lines)
 
 
 def _backends(args) -> str:
@@ -134,6 +185,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="load duration in seconds (default 2)")
     serving.add_argument("--threads", type=int, default=1,
                          help="engine worker threads per query (default 1)")
+    serving.add_argument("--net", action="store_true",
+                         help="drive the load over real TCP sockets through "
+                              "the wire protocol (default: in-process)")
+    serving.add_argument("--shard-workers", type=int, default=0,
+                         help="serve from a column store, scattering "
+                              "shardable queries over this many worker "
+                              "processes (default 0 = serial)")
     storage = parser.add_argument_group("storage", "column-store report")
     storage.add_argument("--chunk-rows", type=int, default=4096,
                          help="rows per storage chunk (default 4096)")
@@ -141,7 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="memory budget in bytes for the spill run "
                               "(default 65536)")
     storage.add_argument("--report", default=None,
-                         help="write the storage report as JSON to this path")
+                         help="write the storage/serving report as JSON to "
+                              "this path")
     return parser
 
 

@@ -47,6 +47,27 @@ class UnsupportedFeatureError(SQLError):
     """
 
 
+class ShardError(SQLError):
+    """Multi-process sharded execution failed in a way serial execution
+    would not: a shard worker died mid-query (the pool is rebuilt and
+    subsequent queries are served), a worker returned a malformed partial,
+    or the scatter/gather coordinator lost the pool.  Never raised for
+    ordinary query errors — those surface as their own typed classes even
+    when they happened inside a worker process."""
+
+
+class WireProtocolError(ReproError):
+    """Network-serving protocol violation: a malformed/truncated/oversized
+    frame, an unknown command or statement handle, or an error frame whose
+    code has no richer typed mapping.  ``code`` is the short wire error
+    code (``protocol``, ``handle``, ``internal``, ...) carried in error
+    frames."""
+
+    def __init__(self, message: str, code: str = "protocol"):
+        self.code = code
+        super().__init__(message)
+
+
 class BackendError(ReproError):
     """Backend-registry failure: an unknown backend name was requested, or
     a registered backend cannot run in this environment (e.g. the optional

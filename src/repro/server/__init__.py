@@ -1,4 +1,5 @@
-"""Serving layer: sessions and an admission-controlled query scheduler.
+"""Serving layer: sessions, an admission-controlled scheduler, a TCP wire
+protocol, and multi-process sharded execution.
 
 The :mod:`repro.sqlengine` engine plans and executes one query fast; this
 package is what sits between that engine and *many* concurrent callers:
@@ -7,18 +8,37 @@ package is what sits between that engine and *many* concurrent callers:
   per-query timeouts, cooperative cancellation, serving counters;
 * :class:`Session` — a client connection handle with per-session stats
   (counts, rows, p50/p99 latency) and prepared-statement access;
-* :func:`run_load` — the load generator behind ``python -m repro.bench
-  serve``: N clients replaying a parameterized TPC-H mix, reporting QPS
-  and tail latency.
+* :class:`NetServer` / :class:`NetClient` — the network serving tier: an
+  asyncio TCP server speaking length-prefixed JSON frames (sessions,
+  prepared handles, streamed results, in-flight cancellation, a
+  ``metrics`` endpoint) and its blocking client;
+* :class:`ShardedDatabase` — scatter/gather execution of shardable
+  queries across N ``multiprocessing`` engine workers over a column
+  store, gated by ``EngineConfig.shard_workers``;
+* :func:`run_load` / :func:`run_net_load` — the load generators behind
+  ``python -m repro.bench serve``: N clients replaying a parameterized
+  TPC-H mix in-process or over real sockets, reporting QPS and tail
+  latency.
 
 Prepared statements themselves live on the engine
 (:meth:`repro.sqlengine.Database.prepare`): the serving layer consumes
 them, the engine compiles them.
 """
 
-from .loadgen import LoadReport, QueryTemplate, make_tpch_db, run_load, tpch_mix
+from .loadgen import (
+    LoadReport,
+    QueryTemplate,
+    make_sharded_tpch_db,
+    make_tpch_db,
+    run_load,
+    run_net_load,
+    tpch_mix,
+)
+from .netserver import NetServer
 from .scheduler import QueryScheduler, QueryTicket
 from .session import Session, percentile
+from .shard import ShardedDatabase, ShardPool, ShardQuery, analyze_shard_query
+from .wire import MAX_FRAME, NetClient, NetResult
 
 __all__ = [
     "QueryScheduler",
@@ -29,5 +49,15 @@ __all__ = [
     "QueryTemplate",
     "tpch_mix",
     "make_tpch_db",
+    "make_sharded_tpch_db",
     "run_load",
+    "run_net_load",
+    "NetServer",
+    "NetClient",
+    "NetResult",
+    "MAX_FRAME",
+    "ShardedDatabase",
+    "ShardPool",
+    "ShardQuery",
+    "analyze_shard_query",
 ]

@@ -30,7 +30,9 @@ __all__ = [
     "LoadReport",
     "tpch_mix",
     "run_load",
+    "run_net_load",
     "make_tpch_db",
+    "make_sharded_tpch_db",
 ]
 
 
@@ -52,6 +54,26 @@ def make_tpch_db(scale_factor: float = 0.01, seed: int = 42, config=None) -> Dat
     db = connect(config)
     register_tpch(db, generate(scale_factor=scale_factor, seed=seed))
     return db
+
+
+def make_sharded_tpch_db(scale_factor: float = 0.01, seed: int = 42, *,
+                         workers: int = 2, root=None, config=None):
+    """A :class:`~repro.server.shard.ShardedDatabase` over a freshly
+    written TPC-H column store (a temp directory unless *root* is given),
+    with ``shard_workers`` preset to *workers*."""
+    import tempfile
+
+    from ..bench.storage import store_tpch
+    from ..storage import ColumnStore
+    from ..workloads.tpch import generate
+    from .shard import ShardedDatabase
+
+    if root is None:
+        root = tempfile.mkdtemp(prefix="repro-shard-store-")
+    store = ColumnStore(root)
+    store_tpch(store, generate(scale_factor=scale_factor, seed=seed),
+               chunk_rows=2048)
+    return ShardedDatabase(root, config=config, workers=workers)
 
 
 def tpch_mix() -> list[QueryTemplate]:
@@ -109,6 +131,9 @@ class LoadReport:
     per_template: dict[str, int] = field(default_factory=dict)
     session_stats: list[dict] = field(default_factory=list)
     scheduler_stats: dict = field(default_factory=dict)
+    # Populated by run_net_load only: the server's /metrics snapshot taken
+    # just before shutdown (cache, operator rollup, shard counters).
+    net_metrics: dict | None = None
 
     def summary(self) -> str:
         lines = [
@@ -212,6 +237,113 @@ def run_load(
         per_template=per_template,
         session_stats=[s.stats() for s in sessions],
         scheduler_stats=sched_stats,
+    )
+
+
+def run_net_load(
+    db: Database,
+    *,
+    clients: int = 8,
+    duration: float = 2.0,
+    mix: list[QueryTemplate] | None = None,
+    max_concurrent: int | None = None,
+    queue_limit: int = 256,
+    timeout: float | None = 30.0,
+    prepared_fraction: float = 0.75,
+    seed: int = 0,
+    host: str = "127.0.0.1",
+    batch_rows: int = 1024,
+) -> LoadReport:
+    """:func:`run_load` over real sockets: starts a
+    :class:`~repro.server.netserver.NetServer` around *db*, then drives
+    *clients* concurrent TCP connections through the wire protocol —
+    length-prefixed frames, prepared-statement handles, streamed results —
+    so the measured QPS/latency includes framing, JSON, and loopback TCP.
+
+    Template parameter generators must emit plain Python values (the wire
+    is JSON); the built-in :func:`tpch_mix` does.
+    """
+    from .netserver import NetServer
+    from .wire import NetClient
+
+    mix = mix if mix is not None else tpch_mix()
+    weights = np.array([t.weight for t in mix], dtype=np.float64)
+    weights /= weights.sum()
+    server = NetServer(
+        db, host=host,
+        max_concurrent=max_concurrent or clients,
+        queue_limit=queue_limit,
+        default_timeout=timeout,
+        batch_rows=batch_rows,
+    )
+    server.run_in_thread()
+    counts_lock = threading.Lock()
+    per_template: dict[str, int] = {t.name: 0 for t in mix}
+    totals = {"queries": 0, "errors": 0, "rejected": 0}
+    latencies: list[float] = []
+    # Socket reads must outlive the slowest legitimate query: the server
+    # bounds those with the scheduler timeout, so pad on top of it.
+    sock_timeout = (timeout or 30.0) + 30.0
+    stop_at = time.monotonic() + duration
+
+    def client(idx: int) -> None:
+        rng = np.random.default_rng(seed * 1000 + idx)
+        local_counts = {t.name: 0 for t in mix}
+        local_lat: list[float] = []
+        queries = errors = rejected = 0
+        with NetClient(host, server.port, timeout=sock_timeout) as nc:
+            handles = {t.name: nc.prepare(t.sql) for t in mix}
+            while time.monotonic() < stop_at:
+                template = mix[int(rng.choice(len(mix), p=weights))]
+                params = template.make_params(rng)
+                start = time.perf_counter()
+                try:
+                    if rng.random() < prepared_fraction:
+                        nc.execute_prepared(handles[template.name], params)
+                    else:
+                        nc.execute(_inline(template.sql, params))
+                    queries += 1
+                    local_counts[template.name] += 1
+                    local_lat.append((time.perf_counter() - start) * 1000.0)
+                except AdmissionError:
+                    rejected += 1
+                    time.sleep(0.001)  # back off, then retry the loop
+                except ReproError:
+                    errors += 1
+        with counts_lock:
+            totals["queries"] += queries
+            totals["errors"] += errors
+            totals["rejected"] += rejected
+            latencies.extend(local_lat)
+            for name, c in local_counts.items():
+                per_template[name] += c
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(clients)]
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+    with NetClient(host, server.port, timeout=sock_timeout) as probe:
+        metrics = probe.metrics()
+    server.close()
+    sched_stats = metrics.get("scheduler", {})
+    return LoadReport(
+        clients=clients,
+        duration_s=wall,
+        queries=totals["queries"],
+        errors=totals["errors"],
+        rejected=totals["rejected"],
+        timeouts=sched_stats.get("timeouts", 0),
+        qps=totals["queries"] / wall if wall > 0 else float("nan"),
+        p50_ms=percentile(latencies, 50),
+        p99_ms=percentile(latencies, 99),
+        per_template=per_template,
+        session_stats=[metrics.get("sessions", {})],
+        scheduler_stats=sched_stats,
+        net_metrics=metrics,
     )
 
 

@@ -1,0 +1,409 @@
+"""Asyncio TCP server fronting the :class:`~repro.server.QueryScheduler`.
+
+One server owns one scheduler over one database.  Each TCP connection gets
+a :class:`~repro.server.Session`; frames are length-prefixed JSON (see
+:mod:`repro.server.wire`).  The event loop only parses frames and streams
+results — queries run on the scheduler's dispatcher threads, bridged back
+with ``loop.call_soon_threadsafe`` through
+:meth:`~repro.server.QueryTicket.add_done_callback`, so a slow query never
+blocks frame processing and ``cancel`` frames for it keep flowing.
+
+Error discipline: every failure a client can cause (malformed frame,
+unknown handle, oversized parameter list, bad SQL, admission rejection,
+timeout) becomes one typed ``error`` frame; only unrecoverable stream
+corruption (bad length prefix, undecodable payload) also closes the
+connection, because framing can no longer be trusted.  Ticket hygiene is
+absolute: however a query ends — including the client vanishing mid-stream
+— its ticket leaves the in-flight table and its session accounting runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+
+from ..backends.rows import to_python_cell
+from ..errors import ReproError, SQLBindError, WireProtocolError
+from ..sqlengine.runtime_stats import RuntimeStats
+from .scheduler import QueryScheduler
+from .session import Session, percentile
+from .wire import MAX_FRAME, encode_frame, error_code_for, read_frame_async
+
+__all__ = ["NetServer"]
+
+
+@dataclass
+class _OpRollup:
+    """Per-operator-label aggregate across every served query."""
+
+    invocations: int = 0
+    rows: int = 0
+    ms: float = 0.0
+
+
+@dataclass(eq=False)
+class _Conn:
+    """Per-connection state, touched only from the event loop."""
+
+    session: Session
+    writer: asyncio.StreamWriter
+    handles: dict = field(default_factory=dict)
+    next_handle: int = 1
+    inflight: dict = field(default_factory=dict)  # request id -> QueryTicket
+    wlock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    alive: bool = True
+
+
+class NetServer:
+    """Serve a database over TCP; see the module docstring for protocol.
+
+    ``run_in_thread`` starts the event loop on a daemon thread and returns
+    once the socket is listening (``self.port`` holds the bound port, so
+    ``port=0`` picks a free one) — the shape tests and the load generator
+    use.  ``close`` stops the loop, the scheduler, and every connection.
+    """
+
+    def __init__(
+        self,
+        db,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_concurrent: int = 4,
+        queue_limit: int = 64,
+        default_timeout: float | None = 30.0,
+        max_frame: int = MAX_FRAME,
+        max_params: int = 1024,
+        batch_rows: int = 1024,
+        collect_op_stats: bool = True,
+    ):
+        self.db = db
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self.max_params = max_params
+        self.batch_rows = batch_rows
+        self.collect_op_stats = collect_op_stats
+        self.scheduler = QueryScheduler(
+            db,
+            max_concurrent=max_concurrent,
+            queue_limit=queue_limit,
+            default_timeout=default_timeout,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._conns: set[_Conn] = set()
+        self._conn_seq = 0
+        self._inflight = 0
+        self._queries_total = 0
+        self._closed_sessions: list[dict] = []
+        self._closed_latencies: list[float] = []
+        self._op_rollup: dict[str, _OpRollup] = {}
+        self._op_lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "NetServer":
+        """Bind and start accepting (call from a running event loop)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._conns):
+            conn.alive = False
+            for ticket in list(conn.inflight.values()):
+                ticket.cancel()
+            conn.writer.close()
+        # Let connection handlers observe the closed writers and unwind.
+        await asyncio.sleep(0)
+        self.scheduler.close()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        self._ready.set()
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self.stop()
+
+    def run_in_thread(self) -> "NetServer":
+        """Start the server on a daemon thread; returns once listening."""
+
+        def main() -> None:
+            try:
+                asyncio.run(self.serve_forever())
+            except BaseException as exc:  # surfaced to the starting thread
+                self._startup_error = exc
+                self._ready.set()
+
+        self._thread = threading.Thread(target=main, name="repro-netserver",
+                                        daemon=True)
+        self._thread.start()
+        if not self._ready.wait(30.0):
+            raise WireProtocolError("server failed to start listening",
+                                    code="internal")
+        if self._startup_error is not None:
+            raise WireProtocolError(
+                f"server startup failed: {self._startup_error}", code="internal"
+            )
+        return self
+
+    def close(self) -> None:
+        """Thread-safe shutdown for servers started via run_in_thread."""
+        loop, stop = self._loop, self._stop_event
+        if loop is not None and stop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already torn down between the check and the call
+        if self._thread is not None:
+            self._thread.join(30.0)
+            self._thread = None
+        self.scheduler.close()
+
+    def __enter__(self) -> "NetServer":
+        if self._thread is None and self._server is None:
+            self.run_in_thread()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- connection handling ----------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._conn_seq += 1
+        conn = _Conn(session=Session(self.scheduler,
+                                     name=f"net-{self._conn_seq}"),
+                     writer=writer)
+        self._conns.add(conn)
+        tasks: set[asyncio.Task] = set()
+        try:
+            while conn.alive:
+                try:
+                    msg = await read_frame_async(reader, self.max_frame)
+                except WireProtocolError as exc:
+                    # Framing is unrecoverable: report (best effort), close.
+                    await self._send(conn, {"type": "error", "id": None,
+                                            "code": exc.code,
+                                            "error": str(exc)})
+                    break
+                if msg is None:
+                    break  # clean EOF
+                task = asyncio.create_task(self._dispatch(conn, msg))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            conn.alive = False
+            for ticket in list(conn.inflight.values()):
+                ticket.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # peer already reset; nothing left to flush
+            self._conns.discard(conn)
+            self._closed_sessions.append(conn.session.stats())
+            self._closed_latencies.extend(conn.session.snapshot_latencies())
+            del self._closed_latencies[:-Session._MAX_LATENCIES]
+
+    async def _send(self, conn: _Conn, msg: dict) -> bool:
+        """Write one frame; on transport failure mark the connection dead
+        (the caller stops streaming) instead of raising."""
+        if not conn.alive:
+            return False
+        try:
+            async with conn.wlock:
+                conn.writer.write(encode_frame(msg))
+                await conn.writer.drain()
+            return True
+        except (ConnectionError, OSError, RuntimeError):
+            conn.alive = False
+            return False
+
+    async def _dispatch(self, conn: _Conn, msg: dict) -> None:
+        rid = msg.get("id")
+        if not isinstance(rid, int):
+            await self._send(conn, {
+                "type": "error", "id": None, "code": "protocol",
+                "error": "request is missing an integer 'id'",
+            })
+            return
+        cmd = msg.get("cmd")
+        try:
+            if cmd in ("query", "execute"):
+                await self._cmd_query(conn, rid, msg)
+            elif cmd == "prepare":
+                await self._cmd_prepare(conn, rid, msg)
+            elif cmd == "close_stmt":
+                conn.handles.pop(msg.get("handle"), None)
+                await self._send(conn, {"type": "closed", "id": rid})
+            elif cmd == "cancel":
+                await self._cmd_cancel(conn, rid, msg)
+            elif cmd == "metrics":
+                await self._send(conn, {"type": "metrics", "id": rid,
+                                        "data": self._metrics()})
+            elif cmd == "ping":
+                await self._send(conn, {"type": "pong", "id": rid})
+            else:
+                raise WireProtocolError(f"unknown command {cmd!r}")
+        except ReproError as exc:
+            await self._send(conn, {"type": "error", "id": rid,
+                                    "code": error_code_for(exc),
+                                    "error": str(exc)})
+        except Exception as exc:  # never let a handler kill the loop
+            await self._send(conn, {"type": "error", "id": rid,
+                                    "code": "internal", "error": str(exc)})
+
+    # -- commands ----------------------------------------------------------
+    def _resolve_statement(self, conn: _Conn, msg: dict):
+        if msg.get("cmd") == "execute":
+            handle = msg.get("handle")
+            stmt = conn.handles.get(handle)
+            if stmt is None:
+                raise WireProtocolError(
+                    f"unknown statement handle {handle!r}", code="handle"
+                )
+            return stmt
+        sql = msg.get("sql")
+        if not isinstance(sql, str):
+            raise WireProtocolError("'sql' must be a string")
+        return sql
+
+    def _check_params(self, params):
+        if params is not None and not isinstance(params, (list, dict)):
+            raise SQLBindError(
+                f"parameters must be a list or mapping, got {type(params).__name__}"
+            )
+        if params is not None and len(params) > self.max_params:
+            raise SQLBindError(
+                f"{len(params)} parameters exceed the per-query limit of "
+                f"{self.max_params}"
+            )
+        return params
+
+    async def _cmd_prepare(self, conn: _Conn, rid: int, msg: dict) -> None:
+        sql = msg.get("sql")
+        if not isinstance(sql, str):
+            raise WireProtocolError("'sql' must be a string")
+        stmt = conn.session.prepare(sql)
+        handle = conn.next_handle
+        conn.next_handle += 1
+        conn.handles[handle] = stmt
+        await self._send(conn, {"type": "prepared", "id": rid,
+                                "handle": handle})
+
+    async def _cmd_cancel(self, conn: _Conn, rid: int, msg: dict) -> None:
+        target = msg.get("target")
+        ticket = conn.inflight.get(target)
+        cancelled = ticket.cancel() if ticket is not None else False
+        await self._send(conn, {"type": "cancelled", "id": rid,
+                                "target": target, "cancelled": cancelled})
+
+    async def _cmd_query(self, conn: _Conn, rid: int, msg: dict) -> None:
+        statement = self._resolve_statement(conn, msg)
+        params = self._check_params(msg.get("params"))
+        timeout = msg.get("timeout")
+        stats = RuntimeStats() if self.collect_op_stats else None
+        loop = asyncio.get_running_loop()
+        done = asyncio.Event()
+        # AdmissionError propagates to _dispatch -> one typed error frame.
+        ticket = conn.session.submit(statement, params, timeout=timeout,
+                                     stats=stats)
+        conn.inflight[rid] = ticket
+        self._inflight += 1
+        self._queries_total += 1
+
+        def wake() -> None:
+            try:
+                loop.call_soon_threadsafe(done.set)
+            except RuntimeError:
+                pass  # loop shut down before the query finished
+
+        ticket.add_done_callback(wake)
+        try:
+            await done.wait()
+            chunk = ticket.result_chunk(0)
+        finally:
+            conn.inflight.pop(rid, None)
+            self._inflight -= 1
+            if stats is not None:
+                self._fold_op_stats(stats)
+        await self._stream_chunk(conn, rid, ticket, chunk)
+
+    async def _stream_chunk(self, conn: _Conn, rid: int, ticket, chunk) -> None:
+        columns = list(chunk.columns)
+        cells = [[to_python_cell(v) for v in arr] for arr in chunk.arrays]
+        total = chunk.nrows
+        for start in range(0, total, self.batch_rows):
+            stop = min(start + self.batch_rows, total)
+            batch = [[col[i] for col in cells] for i in range(start, stop)]
+            if not await self._send(conn, {"type": "rows", "id": rid,
+                                           "columns": columns, "rows": batch}):
+                return  # client went away mid-stream; ticket already clean
+        await self._send(conn, {"type": "done", "id": rid, "columns": columns,
+                                "rows": total, "status": ticket.status,
+                                "ms": ticket.total_ms})
+
+    # -- metrics -----------------------------------------------------------
+    def _fold_op_stats(self, stats: RuntimeStats) -> None:
+        with self._op_lock:
+            for op in stats.ops.values():
+                roll = self._op_rollup.setdefault(op.label, _OpRollup())
+                roll.invocations += op.invocations
+                roll.rows += op.actual_rows
+                roll.ms += op.elapsed_ms
+
+    def _session_rollup(self) -> dict:
+        totals = {"sessions": len(self._conns) + len(self._closed_sessions),
+                  "queries": 0, "errors": 0, "timeouts": 0, "cancelled": 0,
+                  "rows": 0, "replans": 0}
+        latencies = list(self._closed_latencies)
+        live = [c.session for c in self._conns]
+        for snap in self._closed_sessions + [s.stats() for s in live]:
+            for key in ("queries", "errors", "timeouts", "cancelled", "rows",
+                        "replans"):
+                totals[key] += snap[key]
+        for session in live:
+            latencies.extend(session.snapshot_latencies())
+        p50 = percentile(latencies, 50)
+        p99 = percentile(latencies, 99)
+        totals["p50_ms"] = None if p50 != p50 else p50
+        totals["p99_ms"] = None if p99 != p99 else p99
+        return totals
+
+    def _metrics(self) -> dict:
+        with self._op_lock:
+            operators = sorted(
+                ({"label": label, "invocations": r.invocations,
+                  "rows": r.rows, "ms": round(r.ms, 3)}
+                 for label, r in self._op_rollup.items()),
+                key=lambda e: e["ms"], reverse=True,
+            )[:32]
+        shard = getattr(self.db, "shard_stats", None)
+        return {
+            "server": {
+                "connections": len(self._conns),
+                "inflight": self._inflight,
+                "queries": self._queries_total,
+            },
+            "scheduler": self.scheduler.stats(),
+            "cache": self.db.cache_stats(),
+            "sessions": self._session_rollup(),
+            "operators": operators,
+            "shard": dict(shard) if shard is not None else None,
+        }

@@ -53,12 +53,16 @@ class QueryTicket:
     tickets and cooperative (next operator boundary) for running ones.
     """
 
-    def __init__(self, statement, params, config, timeout, session):
+    def __init__(self, statement, params, config, timeout, session, stats=None):
         self.statement = statement
         self.params = params
         self.config = config
         self.timeout = timeout
         self.session = session
+        # Caller-provided RuntimeStats sink (the network server attaches one
+        # per query for its per-operator metrics rollup); None lets _run
+        # decide based on adaptive_execution as before.
+        self.stats = stats
         self.status = "queued"
         self.replans = 0
         self.submitted_at = time.monotonic()
@@ -68,6 +72,9 @@ class QueryTicket:
         self._cancel = threading.Event()
         self._chunk = None
         self._error: BaseException | None = None
+        self._cb_lock = threading.Lock()
+        self._callbacks: list | None = []
+        self._callback_error: BaseException | None = None
 
     # -- caller side -------------------------------------------------------
     def cancel(self) -> bool:
@@ -79,6 +86,23 @@ class QueryTicket:
 
     def done(self) -> bool:
         return self._done.is_set()
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn()`` when the ticket finishes (immediately if it already
+        has).  Callbacks fire on the dispatcher thread — they must be cheap
+        and non-blocking (the network server uses one to poke its event
+        loop via ``call_soon_threadsafe``)."""
+        with self._cb_lock:
+            if self._callbacks is not None:
+                self._callbacks.append(fn)
+                return
+        self._invoke_callback(fn)
+
+    def _invoke_callback(self, fn) -> None:
+        try:
+            fn()
+        except Exception as exc:  # a bad callback must not kill a dispatcher
+            self._callback_error = exc
 
     def result_chunk(self, timeout: float | None = None):
         """Block for the raw result chunk; re-raises the query's error."""
@@ -111,7 +135,11 @@ class QueryTicket:
         self._chunk = chunk
         self._error = error
         self.finished_at = time.monotonic()
-        self._done.set()
+        with self._cb_lock:
+            callbacks, self._callbacks = self._callbacks or [], None
+            self._done.set()
+        for fn in callbacks:
+            self._invoke_callback(fn)
 
 
 class QueryScheduler:
@@ -155,6 +183,7 @@ class QueryScheduler:
         config=None,
         timeout: float | None = None,
         session=None,
+        stats=None,
     ) -> QueryTicket:
         """Admit one query — a SQL string or a
         :class:`~repro.sqlengine.PreparedStatement` — returning its ticket.
@@ -168,7 +197,7 @@ class QueryScheduler:
             raise AdmissionError("scheduler is closed")
         if timeout is None:
             timeout = self.default_timeout
-        ticket = QueryTicket(statement, params, config, timeout, session)
+        ticket = QueryTicket(statement, params, config, timeout, session, stats)
         try:
             self._queue.put_nowait(ticket)
         except queue.Full:
@@ -268,10 +297,13 @@ class QueryScheduler:
                 effective = stmt._config
             else:
                 effective = ticket.config or self.db.config
-            # Attach runtime stats only under adaptive execution, where the
-            # replan counter is meaningful; the stats=None fast path keeps
-            # static queries free of per-operator timing overhead.
-            stats = RuntimeStats() if effective.adaptive_execution else None
+            # Attach runtime stats when the caller supplied a sink (metrics
+            # rollups) or under adaptive execution, where the replan counter
+            # is meaningful; the stats=None fast path keeps static queries
+            # free of per-operator timing overhead.
+            stats = ticket.stats
+            if stats is None and effective.adaptive_execution:
+                stats = RuntimeStats()
             if isinstance(stmt, PreparedStatement) and ticket.config is None:
                 chunk = stmt.execute_chunk(
                     ticket.params,

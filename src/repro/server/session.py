@@ -58,7 +58,8 @@ class Session:
         other session executing the same statement shape)."""
         return self._scheduler.db.prepare(sql)
 
-    def submit(self, statement, params=None, *, timeout=None, config=None):
+    def submit(self, statement, params=None, *, timeout=None, config=None,
+               stats=None):
         """Enqueue a query (SQL text or PreparedStatement); returns the
         ticket.  May raise AdmissionError — sessions do not retry."""
         return self._scheduler.submit(
@@ -67,6 +68,7 @@ class Session:
             config=config,
             timeout=timeout,
             session=self,
+            stats=stats,
         )
 
     def execute(self, statement, params=None, *, timeout=None, config=None):
@@ -99,6 +101,13 @@ class Session:
                     slot = self._rng.randrange(self._latency_count)
                     if slot < self._MAX_LATENCIES:
                         self._latencies_ms[slot] = ticket.total_ms
+
+    def snapshot_latencies(self) -> list[float]:
+        """A copy of the latency reservoir (milliseconds) — lets the metrics
+        endpoint compute fleet-wide percentiles over the union of sessions
+        instead of averaging per-session percentiles."""
+        with self._lock:
+            return list(self._latencies_ms)
 
     def stats(self) -> dict:
         """Per-session counters and latency percentiles (milliseconds)."""

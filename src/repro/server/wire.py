@@ -1,0 +1,352 @@
+"""Wire protocol for the network serving tier: framing, error codes, and
+the synchronous client.
+
+Frame format — the same in both directions:
+
+* 4-byte big-endian unsigned length ``n`` (1 ≤ n ≤ ``MAX_FRAME``),
+* ``n`` bytes of UTF-8 JSON encoding one object.
+
+Requests carry ``{"cmd": ..., "id": <int>, ...}``; the ``id`` multiplexes
+concurrent queries over one connection and every response frame echoes it.
+Results stream as zero or more ``rows`` frames followed by one ``done``
+frame; failures of any kind are a single ``error`` frame whose ``code``
+maps 1:1 onto the :mod:`repro.errors` hierarchy (see :data:`ERROR_CODES`),
+so a client raises exactly the exception an in-process caller would have
+seen.
+
+:class:`NetClient` is the blocking client used by tests, the socket load
+generator, and the soak harness; the asyncio server half lives in
+:mod:`repro.server.netserver`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import struct
+import threading
+
+from ..errors import (
+    AdmissionError,
+    PlanInvariantError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ReproError,
+    ShardError,
+    SQLBindError,
+    SQLError,
+    SQLExecutionError,
+    SQLSyntaxError,
+    UnsupportedFeatureError,
+    WireProtocolError,
+)
+
+__all__ = [
+    "MAX_FRAME",
+    "ERROR_CODES",
+    "NetClient",
+    "NetResult",
+    "read_frame",
+    "write_frame",
+    "read_frame_async",
+    "error_code_for",
+    "exception_for",
+]
+
+# Upper bound on one frame's payload; a length prefix beyond it is treated
+# as a protocol violation (oversized parameter payloads, corrupt headers)
+# rather than an allocation request.
+MAX_FRAME = 8 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+# Wire error code ↔ typed exception.  Order matters for classification:
+# the first isinstance match wins, so subclasses precede their bases.
+ERROR_CODES: list[tuple[str, type]] = [
+    ("admission", AdmissionError),
+    ("timeout", QueryTimeoutError),
+    ("cancelled", QueryCancelledError),
+    ("syntax", SQLSyntaxError),
+    ("bind", SQLBindError),
+    ("plan", PlanInvariantError),
+    ("shard", ShardError),
+    ("unsupported", UnsupportedFeatureError),
+    ("execution", SQLExecutionError),
+    ("sql", SQLError),
+]
+
+
+def error_code_for(exc: BaseException) -> str:
+    """The wire code for an exception (``internal`` for non-repro ones)."""
+    if isinstance(exc, WireProtocolError):
+        return exc.code
+    for code, cls in ERROR_CODES:
+        if isinstance(exc, cls):
+            return code
+    return "internal"
+
+
+def exception_for(code: str, message: str) -> ReproError:
+    """Rebuild the typed exception an error frame encodes."""
+    for known, cls in ERROR_CODES:
+        if code == known:
+            try:
+                return cls(message)
+            except TypeError:
+                # Classes with structured constructors (PlanInvariantError)
+                # degrade to the generic SQL error, keeping the message.
+                return SQLExecutionError(f"[{code}] {message}")
+    return WireProtocolError(message, code=code or "internal")
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def _decode(payload: bytes) -> dict:
+    try:
+        msg = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireProtocolError(f"malformed frame: {exc}") from None
+    if not isinstance(msg, dict):
+        raise WireProtocolError(
+            f"malformed frame: expected an object, got {type(msg).__name__}"
+        )
+    return msg
+
+
+def encode_frame(msg: dict) -> bytes:
+    """One message as length-prefixed bytes (shared by client and server)."""
+    payload = json.dumps(msg, separators=(",", ":"), default=str).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise WireProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME}-byte limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def write_frame(sock: socket.socket, msg: dict) -> None:
+    sock.sendall(encode_frame(msg))
+
+
+def _check_length(n: int, max_frame: int) -> None:
+    if n == 0 or n > max_frame:
+        raise WireProtocolError(
+            f"frame length {n} outside (0, {max_frame}] — oversized or corrupt"
+        )
+
+
+def read_frame(rfile, max_frame: int = MAX_FRAME) -> dict | None:
+    """Blocking read of one frame from a file-like socket reader.
+
+    Returns ``None`` on clean EOF (peer closed between frames); raises
+    :class:`~repro.errors.WireProtocolError` on truncation mid-frame,
+    oversized lengths, or undecodable payloads.
+    """
+    header = rfile.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise WireProtocolError("connection closed inside a frame header")
+    (n,) = _HEADER.unpack(header)
+    _check_length(n, max_frame)
+    payload = rfile.read(n)
+    if payload is None or len(payload) < n:
+        raise WireProtocolError("connection closed inside a frame payload")
+    return _decode(payload)
+
+
+async def read_frame_async(reader, max_frame: int = MAX_FRAME) -> dict | None:
+    """Async counterpart of :func:`read_frame` for ``asyncio.StreamReader``.
+
+    Returns ``None`` on clean EOF; truncation mid-frame and protocol
+    violations raise :class:`~repro.errors.WireProtocolError`.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireProtocolError("connection closed inside a frame header") from None
+    (n,) = _HEADER.unpack(header)
+    _check_length(n, max_frame)
+    try:
+        payload = await reader.readexactly(n)
+    except asyncio.IncompleteReadError:
+        raise WireProtocolError("connection closed inside a frame payload") from None
+    return _decode(payload)
+
+
+# ---------------------------------------------------------------------------
+# Client
+# ---------------------------------------------------------------------------
+
+class NetResult:
+    """One query's materialized result: column names + plain-Python rows."""
+
+    def __init__(self, columns: list[str], rows: list[tuple], status: str = "done"):
+        self.columns = columns
+        self.rows = rows
+        self.status = status
+
+    @property
+    def nrows(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"NetResult(cols={self.columns}, n={self.nrows})"
+
+
+class NetClient:
+    """Blocking wire-protocol client (one TCP connection, one session).
+
+    Concurrent in-flight queries are supported through the request-id
+    multiplexing — :meth:`submit` returns an id, :meth:`collect` drains its
+    frames, and frames for *other* ids seen along the way are buffered, so
+    a client can keep a slow query in flight while cancelling it from the
+    same thread.  A socket-level ``timeout`` bounds every read: a silent
+    server surfaces as :class:`~repro.errors.WireProtocolError`, never a
+    hang (the property the soak harness leans on).
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float | None = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+        self._pending: dict[int, list[dict]] = {}
+        self._wlock = threading.Lock()
+        self.closed = False
+
+    # -- low-level ---------------------------------------------------------
+    def _send(self, msg: dict) -> int:
+        rid = next(self._ids)
+        msg["id"] = rid
+        with self._wlock:
+            write_frame(self._sock, msg)
+        return rid
+
+    def _read(self) -> dict:
+        try:
+            frame = read_frame(self._rfile)
+        except OSError as exc:  # socket timeout or reset
+            raise WireProtocolError(f"socket read failed: {exc}") from None
+        if frame is None:
+            raise WireProtocolError("server closed the connection")
+        return frame
+
+    def _next_for(self, rid: int) -> dict:
+        buffered = self._pending.get(rid)
+        if buffered:
+            return buffered.pop(0)
+        while True:
+            frame = self._read()
+            fid = frame.get("id")
+            if fid == rid:
+                return frame
+            self._pending.setdefault(fid, []).append(frame)
+
+    # -- commands ----------------------------------------------------------
+    def submit(self, sql: str, params=None, *, timeout: float | None = None) -> int:
+        """Start a query without waiting; returns its request id."""
+        return self._send(
+            {"cmd": "query", "sql": sql, "params": params, "timeout": timeout}
+        )
+
+    def submit_prepared(self, handle: int, params=None, *,
+                        timeout: float | None = None) -> int:
+        return self._send(
+            {"cmd": "execute", "handle": handle, "params": params,
+             "timeout": timeout}
+        )
+
+    def collect(self, rid: int) -> NetResult:
+        """Drain one query's frames; raises its typed error if it failed."""
+        columns: list[str] = []
+        rows: list[tuple] = []
+        while True:
+            frame = self._next_for(rid)
+            kind = frame.get("type")
+            if kind == "rows":
+                columns = frame.get("columns", columns)
+                rows.extend(tuple(r) for r in frame.get("rows", []))
+            elif kind == "done":
+                columns = frame.get("columns", columns)
+                return NetResult(columns, rows, frame.get("status", "done"))
+            elif kind == "error":
+                raise exception_for(frame.get("code", "internal"),
+                                    frame.get("error", "unknown error"))
+            else:
+                raise WireProtocolError(
+                    f"unexpected frame type {kind!r} for request {rid}"
+                )
+
+    def execute(self, sql: str, params=None, *,
+                timeout: float | None = None) -> NetResult:
+        return self.collect(self.submit(sql, params, timeout=timeout))
+
+    def prepare(self, sql: str) -> int:
+        rid = self._send({"cmd": "prepare", "sql": sql})
+        frame = self._next_for(rid)
+        if frame.get("type") == "error":
+            raise exception_for(frame.get("code", "internal"),
+                                frame.get("error", "prepare failed"))
+        return int(frame["handle"])
+
+    def execute_prepared(self, handle: int, params=None, *,
+                         timeout: float | None = None) -> NetResult:
+        return self.collect(self.submit_prepared(handle, params, timeout=timeout))
+
+    def close_statement(self, handle: int) -> None:
+        rid = self._send({"cmd": "close_stmt", "handle": handle})
+        self._next_for(rid)
+
+    def cancel(self, target: int) -> bool:
+        """Request cancellation of an in-flight request id on this
+        connection; True if the server found it still running."""
+        rid = self._send({"cmd": "cancel", "target": target})
+        frame = self._next_for(rid)
+        if frame.get("type") == "error":
+            raise exception_for(frame.get("code", "internal"),
+                                frame.get("error", "cancel failed"))
+        return bool(frame.get("cancelled"))
+
+    def metrics(self) -> dict:
+        rid = self._send({"cmd": "metrics"})
+        frame = self._next_for(rid)
+        if frame.get("type") == "error":
+            raise exception_for(frame.get("code", "internal"),
+                                frame.get("error", "metrics failed"))
+        return frame.get("data", {})
+
+    def ping(self) -> bool:
+        rid = self._send({"cmd": "ping"})
+        return self._next_for(rid).get("type") == "pong"
+
+    # -- raw access (protocol tests) ---------------------------------------
+    def send_raw(self, data: bytes) -> None:
+        """Write raw bytes — lets tests inject malformed frames."""
+        with self._wlock:
+            self._sock.sendall(data)
+
+    def read_frame(self) -> dict:
+        """Read whatever frame arrives next, regardless of id."""
+        return self._read()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

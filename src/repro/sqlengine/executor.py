@@ -104,6 +104,12 @@ class EngineConfig:
     # Divergence threshold for re-planning: the larger of actual/est and
     # est/actual must exceed this ratio before a re-plan fires.
     adaptive_ratio: float = 8.0
+    # Multi-process sharded execution (repro.server.shard): when > 0, a
+    # ShardedDatabase scatters shardable aggregate/Top-K queries over this
+    # many engine worker processes (stored-table chunks range-partitioned,
+    # partials gathered with the partial-merge kernels) and falls back to
+    # serial in-process execution for every other shape.  0 = serial.
+    shard_workers: int = 0
 
     def plan_fingerprint(self) -> tuple:
         """Canonical identity of this config for plan-cache keying.
@@ -133,6 +139,10 @@ class EngineConfig:
             # operator re-plans, which is runtime behaviour a cached plan
             # carries with it.
             self.adaptive_execution, self.adaptive_ratio,
+            # shard_workers selects between the scatter/gather path and
+            # plain serial execution; a plan-analysis decision cached under
+            # one worker count must not be reused by another.
+            self.shard_workers,
         )
 
 

@@ -8,6 +8,7 @@ speedups are real, mirroring the scalability analysis of Section V-C).
 from __future__ import annotations
 
 import atexit
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
@@ -58,6 +59,24 @@ def shutdown_pools(wait: bool = True) -> None:
 
 
 atexit.register(shutdown_pools)
+
+
+def _reset_after_fork() -> None:
+    """Forget inherited pools in a forked child.
+
+    A fork()ed process (a multiprocessing shard worker) inherits the pool
+    dict but none of its threads — submitting to such an executor would
+    queue work forever.  Dropping the dict (and the lock, which another
+    thread may have held at fork time) lets the child lazily create live
+    pools of its own.
+    """
+    global _POOL_LOCK, _POOLS
+    _POOL_LOCK = threading.Lock()
+    _POOLS = {}
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_after_fork)
 
 
 def partition_bounds(n: int, parts: int) -> list[tuple[int, int]]:

@@ -1,0 +1,449 @@
+"""Wire protocol and network server: error paths, streaming, hygiene.
+
+Every failure a client can cause must come back as exactly one typed
+``error`` frame — malformed and truncated frames, oversized length
+prefixes, unknown statement handles, oversized parameter lists, cancel
+races — and after each the scheduler's ticket table must be clean: no
+stuck in-flight entries, no queued ghosts, and the counters must tile
+(``submitted == completed + failed + cancelled + timeouts``).  Only
+framing corruption closes the connection; everything else leaves it
+usable.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import connect
+from repro.errors import (
+    AdmissionError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ReproError,
+    SQLBindError,
+    SQLExecutionError,
+    SQLSyntaxError,
+    WireProtocolError,
+)
+from repro.server import MAX_FRAME, NetClient, NetServer
+from repro.server.wire import (
+    ERROR_CODES,
+    encode_frame,
+    error_code_for,
+    exception_for,
+    read_frame,
+)
+from repro.sqlengine import EngineConfig
+
+ROWS = 600
+
+
+def make_db(threads: int = 1) -> object:
+    rng = np.random.default_rng(11)
+    db = connect(EngineConfig(threads=threads))
+    db.register(
+        "trades",
+        {
+            "id": np.arange(ROWS, dtype=np.int64),
+            "acct": rng.integers(0, 20, ROWS),
+            "amt": np.round(rng.uniform(0.0, 1000.0, ROWS), 6),
+            "tag": rng.choice(np.array(["buy", "sell", "hold"], dtype=object),
+                              ROWS),
+        },
+        primary_key="id",
+    )
+    return db
+
+
+def assert_tickets_clean(client_or_metrics, *, tries: int = 100) -> dict:
+    """The ticket-hygiene invariant, polled briefly to absorb the gap
+    between a client-visible outcome and the server-side accounting."""
+    last = {}
+    for _ in range(tries):
+        if isinstance(client_or_metrics, dict):
+            last = client_or_metrics
+        else:
+            last = client_or_metrics.metrics()
+        sched = last["scheduler"]
+        balanced = sched["submitted"] == (
+            sched["completed"] + sched["failed"] + sched["cancelled"]
+            + sched["timeouts"]
+        )
+        if balanced and sched["queued"] == 0 and last["server"]["inflight"] == 0:
+            return last
+        time.sleep(0.01)
+    raise AssertionError(f"ticket table never settled: {last}")
+
+
+@pytest.fixture(scope="module")
+def server():
+    with NetServer(make_db(), batch_rows=7, max_params=8) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with NetClient(server.host, server.port, timeout=30.0) as nc:
+        yield nc
+
+
+# ---------------------------------------------------------------------------
+# Wire-format unit tests (no sockets)
+# ---------------------------------------------------------------------------
+
+class TestWireFormat:
+    def test_roundtrip(self):
+        msg = {"cmd": "query", "id": 3, "sql": "SELECT 1"}
+        assert read_frame(io.BytesIO(encode_frame(msg))) == msg
+
+    def test_clean_eof_returns_none(self):
+        assert read_frame(io.BytesIO(b"")) is None
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(WireProtocolError, match="frame header"):
+            read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_truncated_payload_raises(self):
+        data = encode_frame({"id": 1})[:-2]
+        with pytest.raises(WireProtocolError, match="frame payload"):
+            read_frame(io.BytesIO(data))
+
+    def test_oversized_length_prefix_raises(self):
+        header = struct.pack(">I", MAX_FRAME + 1)
+        with pytest.raises(WireProtocolError, match="oversized or corrupt"):
+            read_frame(io.BytesIO(header))
+
+    def test_zero_length_prefix_raises(self):
+        with pytest.raises(WireProtocolError, match="oversized or corrupt"):
+            read_frame(io.BytesIO(struct.pack(">I", 0)))
+
+    def test_undecodable_payload_raises(self):
+        payload = b"{not json"
+        data = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(WireProtocolError, match="malformed frame"):
+            read_frame(io.BytesIO(data))
+
+    def test_non_object_payload_raises(self):
+        payload = b"[1,2,3]"
+        data = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(WireProtocolError, match="expected an object"):
+            read_frame(io.BytesIO(data))
+
+    def test_encode_rejects_oversized_frame(self):
+        with pytest.raises(WireProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+
+    def test_error_code_roundtrip_every_code(self):
+        for code, cls in ERROR_CODES:
+            exc = exception_for(code, "boom")
+            assert isinstance(exc, (cls, SQLExecutionError))
+            if isinstance(exc, cls):
+                assert error_code_for(exc) == code
+
+    def test_plan_code_degrades_with_message(self):
+        # PlanInvariantError's structured constructor cannot be rebuilt
+        # from a bare message; the wire degrades it without losing text.
+        exc = exception_for("plan", "join.keys violated")
+        assert isinstance(exc, SQLExecutionError)
+        assert "join.keys violated" in str(exc)
+
+    def test_unknown_code_becomes_wire_error(self):
+        exc = exception_for("gremlins", "eh")
+        assert isinstance(exc, WireProtocolError)
+        assert exc.code == "gremlins"
+
+    def test_wire_error_code_passthrough(self):
+        assert error_code_for(WireProtocolError("x", code="handle")) == "handle"
+        assert error_code_for(ValueError("x")) == "internal"
+
+
+# ---------------------------------------------------------------------------
+# Happy paths over a real socket
+# ---------------------------------------------------------------------------
+
+class TestQueries:
+    def test_ping(self, client):
+        assert client.ping() is True
+
+    def test_simple_query(self, client):
+        result = client.execute(
+            "SELECT COUNT(*) AS n, SUM(amt) AS total FROM trades")
+        assert result.columns == ["n", "total"]
+        assert result.rows[0][0] == ROWS
+
+    def test_streaming_multiple_rows_frames(self, server, client):
+        # batch_rows=7 forces many rows frames for a full-table scan.
+        result = client.execute("SELECT id, amt FROM trades ORDER BY id")
+        assert result.nrows == ROWS
+        assert [r[0] for r in result.rows] == list(range(ROWS))
+        assert_tickets_clean(client)
+
+    def test_parameter_binding(self, client):
+        result = client.execute(
+            "SELECT id FROM trades WHERE acct = ? AND amt > ? ORDER BY id",
+            [3, 500.0])
+        rerun = client.execute(
+            "SELECT id FROM trades WHERE acct = 3 AND amt > 500.0 ORDER BY id")
+        assert result.rows == rerun.rows
+
+    def test_interleaved_queries_collected_out_of_order(self, client):
+        rid_a = client.submit("SELECT COUNT(*) AS n FROM trades")
+        rid_b = client.submit("SELECT MIN(id) AS lo FROM trades")
+        # Collect in reverse submission order: frames for rid_a seen while
+        # draining rid_b must be buffered, not lost.
+        assert client.collect(rid_b).rows == [(0,)]
+        assert client.collect(rid_a).rows == [(ROWS,)]
+
+    def test_prepared_statement_flow(self, client):
+        handle = client.prepare(
+            "SELECT id, amt FROM trades WHERE acct = ? ORDER BY id")
+        first = client.execute_prepared(handle, [1])
+        second = client.execute_prepared(handle, [2])
+        adhoc = client.execute(
+            "SELECT id, amt FROM trades WHERE acct = 2 ORDER BY id")
+        assert second.rows == adhoc.rows
+        assert first.rows != second.rows
+        client.close_statement(handle)
+
+    def test_metrics_shape(self, client):
+        client.execute("SELECT COUNT(*) AS n FROM trades")
+        metrics = assert_tickets_clean(client)
+        assert set(metrics) == {"server", "scheduler", "cache", "sessions",
+                                "operators", "shard"}
+        assert metrics["shard"] is None  # plain Database: no shard tier
+        assert metrics["server"]["queries"] > 0
+        assert metrics["sessions"]["queries"] > 0
+        assert metrics["cache"]["entries"] >= 1
+        assert any(op["invocations"] > 0 for op in metrics["operators"])
+
+
+# ---------------------------------------------------------------------------
+# Error paths: each one typed, connection state as documented
+# ---------------------------------------------------------------------------
+
+class TestErrorPaths:
+    def test_syntax_error_keeps_connection(self, client):
+        with pytest.raises(SQLSyntaxError):
+            client.execute("SELEC oops FROM")
+        assert client.ping() is True
+        assert_tickets_clean(client)
+
+    def test_unknown_handle_is_typed_and_survivable(self, client):
+        with pytest.raises(WireProtocolError) as info:
+            client.execute_prepared(999_999, [1])
+        assert info.value.code == "handle"
+        assert client.ping() is True
+        assert_tickets_clean(client)
+
+    def test_closed_handle_is_unknown(self, client):
+        handle = client.prepare("SELECT COUNT(*) AS n FROM trades")
+        client.close_statement(handle)
+        with pytest.raises(WireProtocolError) as info:
+            client.execute_prepared(handle)
+        assert info.value.code == "handle"
+
+    def test_oversized_params_rejected_before_submit(self, server, client):
+        # max_params=8 on the fixture server.
+        with pytest.raises(SQLBindError, match="exceed"):
+            client.execute("SELECT COUNT(*) AS n FROM trades",
+                           list(range(server.max_params + 1)))
+        assert client.ping() is True
+        assert_tickets_clean(client)
+
+    def test_params_of_wrong_type_rejected(self, client):
+        with pytest.raises(SQLBindError, match="list or mapping"):
+            client.execute("SELECT COUNT(*) AS n FROM trades", "p1")
+        assert client.ping() is True
+
+    def test_unknown_command_is_typed(self, client):
+        rid = client._send({"cmd": "transmogrify"})
+        frame = client._next_for(rid)
+        assert frame["type"] == "error"
+        assert frame["code"] == "protocol"
+        assert client.ping() is True
+
+    def test_missing_id_reports_and_survives(self, server):
+        with NetClient(server.host, server.port, timeout=10.0) as nc:
+            nc.send_raw(encode_frame({"cmd": "ping"}))  # no "id"
+            frame = nc.read_frame()
+            assert frame["type"] == "error"
+            assert frame["code"] == "protocol"
+            assert frame["id"] is None
+            assert nc.ping() is True
+
+    def test_malformed_json_frame_closes_connection(self, server):
+        with NetClient(server.host, server.port, timeout=10.0) as nc:
+            payload = b"{{{{"
+            nc.send_raw(struct.pack(">I", len(payload)) + payload)
+            frame = nc.read_frame()
+            assert frame["type"] == "error"
+            assert frame["code"] == "protocol"
+            # Framing is no longer trustworthy: the server hangs up.
+            with pytest.raises(WireProtocolError):
+                nc.read_frame()
+
+    def test_oversized_length_prefix_closes_connection(self, server):
+        with NetClient(server.host, server.port, timeout=10.0) as nc:
+            nc.send_raw(struct.pack(">I", server.max_frame + 1))
+            frame = nc.read_frame()
+            assert frame["type"] == "error"
+            assert frame["code"] == "protocol"
+            with pytest.raises(WireProtocolError):
+                nc.read_frame()
+
+    def test_truncated_frame_then_disconnect_leaves_server_up(self, server):
+        with NetClient(server.host, server.port, timeout=10.0) as nc:
+            # Promise 100 bytes, deliver 3, vanish: the server must just
+            # drop the connection without disturbing anyone else.
+            nc.send_raw(struct.pack(">I", 100) + b"abc")
+        with NetClient(server.host, server.port, timeout=10.0) as probe:
+            assert probe.ping() is True
+            assert_tickets_clean(probe)
+
+
+class TestCancellation:
+    def test_cancel_after_complete_returns_false(self, client):
+        rid = client.submit("SELECT COUNT(*) AS n FROM trades")
+        result = client.collect(rid)
+        assert result.nrows == 1
+        assert client.cancel(rid) is False
+        assert_tickets_clean(client)
+
+    def test_cancel_unknown_target_returns_false(self, client):
+        assert client.cancel(987_654) is False
+
+    def test_cancel_race_is_always_a_legal_outcome(self, client):
+        # Cancel immediately after submit: either the cancel wins (typed
+        # cancelled error) or the query completed first — never anything
+        # else, and the ticket table must settle either way.
+        for _ in range(8):
+            rid = client.submit("SELECT acct, COUNT(*) AS n FROM trades "
+                                "GROUP BY acct ORDER BY acct")
+            client.cancel(rid)
+            try:
+                result = client.collect(rid)
+                assert result.nrows == 20
+            except QueryCancelledError:
+                pass
+        assert_tickets_clean(client)
+
+
+class TestGatedScheduler:
+    """Deterministic queue-state tests: a gate on ``db.execute_chunk``
+    holds the single dispatcher busy so queued tickets stay queued."""
+
+    def _gated_server(self, **kw):
+        db = make_db()
+        gate = threading.Event()
+        original = db.execute_chunk
+
+        def gated(sql, config=None, params=None, **kwargs):
+            gate.wait(10)
+            return original(sql, config, params, **kwargs)
+
+        db.execute_chunk = gated
+        server = NetServer(db, max_concurrent=1, **kw)
+        return server, gate
+
+    def test_cancel_while_queued_over_wire(self):
+        server, gate = self._gated_server(queue_limit=8)
+        try:
+            with server, NetClient(server.host, server.port) as nc:
+                blocker = nc.submit("SELECT 1")
+                time.sleep(0.1)  # let the dispatcher pick it up
+                queued = nc.submit("SELECT 2")
+                time.sleep(0.05)
+                assert nc.cancel(queued) is True
+                with pytest.raises(QueryCancelledError):
+                    nc.collect(queued)
+                gate.set()
+                assert nc.collect(blocker).rows == [(1,)]
+                metrics = assert_tickets_clean(nc)
+                assert metrics["scheduler"]["cancelled"] == 1
+        finally:
+            gate.set()
+
+    def test_admission_rejection_over_wire(self):
+        server, gate = self._gated_server(queue_limit=1)
+        try:
+            with server, NetClient(server.host, server.port) as nc:
+                blocker = nc.submit("SELECT 1")
+                time.sleep(0.1)
+                queued = nc.submit("SELECT 2")
+                time.sleep(0.05)
+                with pytest.raises(AdmissionError, match="queue full"):
+                    nc.execute("SELECT 3")
+                assert nc.ping() is True  # rejection never drops the conn
+                gate.set()
+                assert nc.collect(blocker).rows == [(1,)]
+                assert nc.collect(queued).rows == [(2,)]
+                metrics = assert_tickets_clean(nc)
+                assert metrics["scheduler"]["rejected"] == 1
+        finally:
+            gate.set()
+
+    def test_wire_timeout_is_typed(self):
+        server, gate = self._gated_server(queue_limit=8,
+                                          default_timeout=None)
+        try:
+            with server, NetClient(server.host, server.port) as nc:
+                rid = nc.submit("SELECT COUNT(*) AS n FROM trades",
+                                timeout=0.05)
+                with pytest.raises(QueryTimeoutError):
+                    nc.collect(rid)
+                gate.set()
+                metrics = assert_tickets_clean(nc)
+                assert metrics["scheduler"]["timeouts"] >= 1
+        finally:
+            gate.set()
+
+    def test_disconnect_midstream_cleans_ticket(self):
+        db = make_db()
+        with NetServer(db, batch_rows=1) as server:
+            nc = NetClient(server.host, server.port, timeout=10.0)
+            rid = nc.submit("SELECT id FROM trades ORDER BY id")
+            # Read a couple of rows frames, then vanish mid-stream.
+            assert nc._next_for(rid)["type"] == "rows"
+            assert nc._next_for(rid)["type"] == "rows"
+            nc.close()
+            with NetClient(server.host, server.port, timeout=10.0) as probe:
+                metrics = assert_tickets_clean(probe)
+                # The dead session's accounting still ran.
+                assert metrics["sessions"]["queries"] >= 1
+
+
+class TestServerLifecycle:
+    def test_close_is_idempotent(self):
+        server = NetServer(make_db())
+        server.run_in_thread()
+        with NetClient(server.host, server.port) as nc:
+            assert nc.ping() is True
+        server.close()
+        server.close()
+
+    def test_close_cancels_inflight(self):
+        db = make_db()
+        gate = threading.Event()
+        original = db.execute_chunk
+
+        def gated(sql, config=None, params=None, **kwargs):
+            gate.wait(10)
+            return original(sql, config, params, **kwargs)
+
+        db.execute_chunk = gated
+        server = NetServer(db, max_concurrent=1)
+        server.run_in_thread()
+        nc = NetClient(server.host, server.port, timeout=10.0)
+        nc.submit("SELECT 1")
+        time.sleep(0.1)
+        gate.set()
+        server.close()  # must not hang on the in-flight query
+        with pytest.raises((ReproError, OSError)):
+            nc.ping()
+        nc.close()

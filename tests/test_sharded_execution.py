@@ -1,0 +1,401 @@
+"""Multi-process sharded execution: bit-identical to serial, or loudly typed.
+
+The core guarantee: every query a :class:`ShardedDatabase` chooses to
+scatter produces **the same answer serial execution would have** — exact
+for every non-float column, within the engine's float-merge tolerance for
+float aggregates (the same policy the in-process parallel suite uses).
+All 22 TPC-H queries run at workers {1, 4} × threads {1, 4} against the
+serial answer; a purpose-built store stresses the merge kernels where
+partitioning actually bites (groups spanning chunk boundaries, string
+keys, all-NULL partitions with COALESCE fills, Top-K ties straddling the
+partition cut).  The degradation contract — a SIGKILLed worker surfaces a
+typed :class:`ShardError`, never a hang, and the pool serves the next
+query — is tested with a live kill.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import connect
+from repro.analysis import verify_shard_query
+from repro.bench.storage import store_tpch
+from repro.errors import PlanInvariantError, ShardError
+from repro.server.shard import ShardedDatabase, ShardQuery, analyze_shard_query
+from repro.sqlengine import EngineConfig
+from repro.sqlengine.parser import parse
+from repro.storage import ColumnStore, open_store
+from repro.workloads.tpch import QUERIES
+
+RTOL = ATOL = 1e-9  # float-merge tolerance, matching the parallel suite
+
+
+def assert_chunks_match(base, got, context: str) -> None:
+    assert got.columns == base.columns, context
+    assert got.nrows == base.nrows, context
+    for col, a, b in zip(base.columns, base.arrays, got.arrays):
+        a, b = np.asarray(a), np.asarray(b)
+        where = f"{context}:{col}"
+        if a.dtype.kind == "f" or b.dtype.kind == "f":
+            assert np.allclose(a.astype(np.float64), b.astype(np.float64),
+                               rtol=RTOL, atol=ATOL, equal_nan=True), where
+        else:
+            assert list(a) == list(b), where
+
+
+# ---------------------------------------------------------------------------
+# TPC-H differential: every query, workers x threads, vs serial
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def tpch_store_root(tpch_dataset, tmp_path_factory):
+    root = tmp_path_factory.mktemp("tpch-shard-store")
+    store = ColumnStore(root)
+    store_tpch(store, tpch_dataset, chunk_rows=2048)
+    return root
+
+
+@pytest.fixture(scope="module")
+def serial_db(tpch_store_root):
+    db = connect()
+    open_store(tpch_store_root).attach(db)
+    return db
+
+
+@pytest.fixture(scope="module")
+def sharded_db(tpch_store_root):
+    db = ShardedDatabase(tpch_store_root)
+    yield db
+    db.close_pools()
+
+
+@pytest.mark.parametrize("threads", [1, 4])
+@pytest.mark.parametrize("workers", [1, 4])
+@pytest.mark.parametrize("q", sorted(QUERIES))
+def test_tpch_sharded_matches_serial(q, workers, threads, serial_db,
+                                     sharded_db):
+    sql = QUERIES[q].sql("duckdb", level="O4", db=serial_db)
+    base = serial_db.execute_chunk(sql, EngineConfig(threads=threads))
+    cfg = EngineConfig(threads=threads, shard_workers=workers)
+    got = sharded_db.execute_chunk(sql, cfg)
+    assert_chunks_match(base, got,
+                        f"tpch_q{q}[workers={workers},threads={threads}]")
+
+
+def test_q1_and_q6_actually_scatter(serial_db, sharded_db):
+    """The flagship aggregate queries must take the scatter path — a
+    regression that silently falls back would pass the differential."""
+    cfg = EngineConfig(shard_workers=2)
+    for q in (1, 6):
+        sql = QUERIES[q].sql("duckdb", level="O4", db=serial_db)
+        before = sharded_db.shard_stats["scattered"]
+        sharded_db.execute_chunk(sql, cfg)
+        assert sharded_db.shard_stats["scattered"] == before + 1, f"q{q}"
+
+
+def test_topk_actually_scatters(sharded_db):
+    sql = ("SELECT l_orderkey, l_extendedprice FROM lineitem "
+           "ORDER BY l_extendedprice DESC, l_orderkey LIMIT 10")
+    before = sharded_db.shard_stats["scattered"]
+    sharded_db.execute_chunk(sql, EngineConfig(shard_workers=2))
+    assert sharded_db.shard_stats["scattered"] == before + 1
+
+
+def test_zero_workers_never_touches_the_pool(sharded_db):
+    """shard_workers=0 is the serial path bit-for-bit — no pool, no stats."""
+    before = dict(sharded_db.shard_stats)
+    sharded_db.execute_chunk("SELECT COUNT(*) AS n FROM lineitem",
+                             EngineConfig(shard_workers=0))
+    after = sharded_db.shard_stats
+    assert after["scattered"] == before["scattered"]
+    assert after["fallbacks"] == before["fallbacks"]
+
+
+def test_verified_scatter_passes_under_verify_plans(sharded_db):
+    """verify_plans=True routes every recipe through the shard verifier."""
+    cfg = EngineConfig(shard_workers=2, verify_plans=True)
+    got = sharded_db.execute_chunk(
+        "SELECT COUNT(*) AS n FROM lineitem", cfg)
+    assert got.nrows == 1
+
+
+def test_prepared_statement_scatters_with_bound_params(serial_db, sharded_db):
+    sql = ("SELECT l_returnflag, COUNT(*) AS n, SUM(l_extendedprice) AS rev "
+           "FROM lineitem WHERE l_quantity < ? "
+           "GROUP BY l_returnflag ORDER BY l_returnflag")
+    stmt = sharded_db.prepare(sql, EngineConfig(shard_workers=2))
+    before = sharded_db.shard_stats["scattered"]
+    got = stmt.execute_chunk([30])
+    assert sharded_db.shard_stats["scattered"] == before + 1
+    base = serial_db.execute_chunk(sql, EngineConfig(threads=1), [30])
+    assert_chunks_match(base, got, "prepared-scatter")
+
+
+# ---------------------------------------------------------------------------
+# Merge-kernel stress: a store built to make partitioning hurt
+# ---------------------------------------------------------------------------
+
+N_EVENTS = 4_000
+CHUNK = 512  # 8 chunks semantics: groups and ties straddle every boundary
+
+
+@pytest.fixture(scope="module")
+def merge_env(tmp_path_factory):
+    rng = np.random.default_rng(23)
+    amount = np.round(rng.uniform(-100.0, 100.0, N_EVENTS), 6)
+    # Ties by construction: quantize scores so duplicates straddle chunks.
+    score = rng.integers(0, 40, N_EVENTS).astype(np.float64)
+    events = {
+        "ev_id": np.arange(N_EVENTS, dtype=np.int64),
+        # String keys in first-appearance order that differs per partition.
+        "city": rng.choice(np.array(["osaka", "lagos", "quito", "turin",
+                                     "perth"], dtype=object), N_EVENTS),
+        "bucket": rng.integers(0, 13, N_EVENTS),
+        # "late" lives ONLY in the final chunk: with 4 workers three
+        # partitions contribute empty partials for its groups.
+        "phase": np.where(np.arange(N_EVENTS) >= N_EVENTS - CHUNK,
+                          "late", "early").astype(object),
+        "amount": amount,
+        "score": score,
+    }
+    root = tmp_path_factory.mktemp("merge-store")
+    store = ColumnStore(root)
+    store.write_table("events", events, primary_key="ev_id",
+                      chunk_rows=CHUNK)
+    serial = connect()
+    open_store(root).attach(serial)
+    sharded = ShardedDatabase(root)
+    yield serial, sharded
+    sharded.close_pools()
+
+
+MERGE_QUERIES = {
+    "string_keys_every_agg": (
+        "SELECT city, COUNT(*) AS n, SUM(amount) AS s, AVG(amount) AS a, "
+        "MIN(amount) AS lo, MAX(amount) AS hi "
+        "FROM events GROUP BY city ORDER BY city"),
+    "global_aggregate": (
+        "SELECT COUNT(*) AS n, SUM(amount) AS s, AVG(score) AS a "
+        "FROM events"),
+    "global_aggregate_empty_input": (
+        "SELECT COUNT(*) AS n, SUM(amount) AS s FROM events "
+        "WHERE bucket > 1000"),
+    "coalesce_fill_after_merge": (
+        "SELECT bucket, COALESCE(SUM(amount), 0) AS s FROM events "
+        "WHERE amount > 99.0 GROUP BY bucket ORDER BY bucket"),
+    "minmax_on_strings": (
+        "SELECT bucket, MIN(city) AS first_city, MAX(city) AS last_city "
+        "FROM events GROUP BY bucket ORDER BY bucket"),
+    "group_only_in_last_partition": (
+        "SELECT phase, COUNT(*) AS n, SUM(score) AS s FROM events "
+        "GROUP BY phase ORDER BY phase"),
+    "topk_ties_across_partitions": (
+        "SELECT ev_id, score FROM events "
+        "ORDER BY score DESC LIMIT 50"),
+    "topk_with_filter": (
+        "SELECT ev_id, amount FROM events WHERE bucket < 4 "
+        "ORDER BY amount DESC, ev_id LIMIT 17"),
+    "topk_limit_beyond_table": (
+        "SELECT ev_id, score FROM events ORDER BY score, ev_id "
+        "LIMIT 100000"),
+}
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+@pytest.mark.parametrize("name", sorted(MERGE_QUERIES))
+def test_merge_kernels_match_serial(name, workers, merge_env):
+    serial, sharded = merge_env
+    sql = MERGE_QUERIES[name]
+    base = serial.execute_chunk(sql, EngineConfig(threads=1))
+    before = sharded.shard_stats["scattered"]
+    got = sharded.execute_chunk(sql, EngineConfig(shard_workers=workers))
+    assert sharded.shard_stats["scattered"] == before + 1, (
+        f"{name} fell back to serial — the merge path was not exercised")
+    assert_chunks_match(base, got, f"{name}[workers={workers}]")
+
+
+def test_topk_tie_break_is_original_row_order(merge_env):
+    """Ties in the sort key resolve to ascending ev_id (row order) — the
+    stable-sort contract that makes the gather deterministic."""
+    _, sharded = merge_env
+    got = sharded.execute_chunk(MERGE_QUERIES["topk_ties_across_partitions"],
+                                EngineConfig(shard_workers=4))
+    scores = [r for r in np.asarray(got.arrays[1])]
+    ids = list(np.asarray(got.arrays[0]))
+    for value in set(scores):
+        tied = [i for s, i in zip(scores, ids) if s == value]
+        assert tied == sorted(tied)
+
+
+# ---------------------------------------------------------------------------
+# Degradation: worker death is typed, bounded, and non-poisoning
+# ---------------------------------------------------------------------------
+
+def test_worker_kill_yields_typed_error_then_pool_recovers(merge_env):
+    _, sharded = merge_env
+    cfg = EngineConfig(shard_workers=2)
+    sql = MERGE_QUERIES["string_keys_every_agg"]
+    sharded.execute_chunk(sql, cfg)  # warm the pool
+    pids = sharded.pool(2).worker_pids()
+    assert len(pids) == 2
+    errors_before = sharded.shard_stats["shard_errors"]
+    restarts_before = sharded.shard_stats["restarts"]
+    sharded._test_worker_delay = 1.5
+    killer = threading.Timer(0.3, os.kill, (pids[0], signal.SIGKILL))
+    killer.start()
+    start = time.monotonic()
+    try:
+        with pytest.raises(ShardError, match="worker died"):
+            sharded.execute_chunk(sql, cfg)
+    finally:
+        killer.join()
+        sharded._test_worker_delay = 0.0
+    assert time.monotonic() - start < 30.0  # typed error, not a hang
+    assert sharded.shard_stats["shard_errors"] == errors_before + 1
+    assert sharded.shard_stats["restarts"] == restarts_before + 1
+    # The very next query is served by a rebuilt pool.
+    got = sharded.execute_chunk(sql, cfg)
+    assert got.nrows == 5
+
+
+def test_worker_side_query_error_keeps_its_type(merge_env):
+    """An ordinary execution error inside a worker is rebuilt as its own
+    typed class — never laundered into ShardError."""
+    from repro.errors import SQLError
+
+    _, sharded = merge_env
+    errors_before = sharded.shard_stats["shard_errors"]
+    with pytest.raises(SQLError):
+        sharded.execute_chunk(
+            "SELECT no_such_column, COUNT(*) AS n FROM events "
+            "GROUP BY no_such_column", EngineConfig(shard_workers=2))
+    assert sharded.shard_stats["shard_errors"] == errors_before
+
+
+# ---------------------------------------------------------------------------
+# Analysis: what scatters, what must not
+# ---------------------------------------------------------------------------
+
+REJECTED = {
+    "distinct": "SELECT DISTINCT city FROM events",
+    "having": ("SELECT city, COUNT(*) AS n FROM events GROUP BY city "
+               "HAVING COUNT(*) > 10"),
+    "count_distinct": "SELECT COUNT(DISTINCT city) AS n FROM events",
+    "subquery_predicate": ("SELECT COUNT(*) AS n FROM events WHERE bucket IN "
+                           "(SELECT bucket FROM events WHERE score > 30)"),
+    "window_function": ("SELECT ev_id, SUM(amount) OVER "
+                        "(PARTITION BY city) AS w FROM events"),
+    "topk_without_limit": "SELECT ev_id FROM events ORDER BY score",
+    "bare_scan_without_order": "SELECT ev_id, amount FROM events",
+    "expression_over_aggregate": ("SELECT city, SUM(amount) / COUNT(*) AS r "
+                                  "FROM events GROUP BY city"),
+    "unstored_table": "SELECT COUNT(*) AS n FROM not_stored",
+}
+
+
+@pytest.mark.parametrize("name", sorted(REJECTED))
+def test_analysis_rejects_unmergeable_shapes(name, merge_env):
+    _, sharded = merge_env
+    assert analyze_shard_query(parse(REJECTED[name]),
+                               sharded._stored) is None, name
+
+
+def test_rejected_shapes_still_execute_serially(merge_env):
+    """A rejection is a fallback, not a failure: DISTINCT runs serial and
+    bumps the fallback counter."""
+    _, sharded = merge_env
+    before = sharded.shard_stats["fallbacks"]
+    got = sharded.execute_chunk(
+        "SELECT DISTINCT city FROM events", EngineConfig(shard_workers=2))
+    assert got.nrows == 5
+    assert sharded.shard_stats["fallbacks"] == before + 1
+
+
+def test_analysis_accepts_the_canonical_shapes(merge_env):
+    _, sharded = merge_env
+    agg = analyze_shard_query(
+        parse(MERGE_QUERIES["string_keys_every_agg"]), sharded._stored)
+    assert agg is not None and agg.kind == "agg"
+    assert agg.table == "events" and agg.nkeys == 1
+    assert agg.agg_funcs == ["COUNT", "SUM", "AVG", "MIN", "MAX"]
+    topk = analyze_shard_query(
+        parse(MERGE_QUERIES["topk_with_filter"]), sharded._stored)
+    assert topk is not None and topk.kind == "topk"
+    assert topk.limit == 17
+    assert topk.order_cols == [("amount", False), ("ev_id", True)]
+
+
+# ---------------------------------------------------------------------------
+# The shard verifier: one negative per rule id
+# ---------------------------------------------------------------------------
+
+def _agg_recipe(**overrides) -> ShardQuery:
+    base = dict(kind="agg", table="events", nkeys=1,
+                agg_funcs=["SUM"], agg_fills=[None], agg_item_indices=[1],
+                items=[("key", 0), ("agg", 0)], order=[("key", 0, True)],
+                order_cols=[], limit=None, names=["city", "s"])
+    base.update(overrides)
+    return ShardQuery(**base)
+
+
+def _expect(invariant: str, recipe: ShardQuery, nchunks=4,
+            ranges=((0, 2), (2, 4))) -> None:
+    with pytest.raises(PlanInvariantError) as info:
+        verify_shard_query(recipe, nchunks, [tuple(r) for r in ranges])
+    assert info.value.invariant == invariant
+
+
+class TestShardVerifier:
+    def test_valid_recipe_passes(self):
+        verify_shard_query(_agg_recipe(), 4, [(0, 2), (2, 4)])
+
+    def test_shard_kind(self):
+        _expect("shard.kind", _agg_recipe(kind="shuffle"))
+
+    def test_partition_gap_drops_rows(self):
+        _expect("shard.partition.cover", _agg_recipe(),
+                ranges=[(0, 2), (3, 4)])
+
+    def test_partition_overlap_double_counts(self):
+        _expect("shard.partition.cover", _agg_recipe(),
+                ranges=[(0, 3), (2, 4)])
+
+    def test_partition_short_coverage(self):
+        _expect("shard.partition.cover", _agg_recipe(),
+                ranges=[(0, 2), (2, 3)])
+
+    def test_partition_empty_range(self):
+        _expect("shard.partition.nonempty", _agg_recipe(),
+                ranges=[(0, 0), (0, 4)])
+
+    def test_agg_mergeable(self):
+        _expect("shard.agg.mergeable", _agg_recipe(agg_funcs=["MEDIAN"]))
+
+    def test_items_resolved_bad_key_index(self):
+        _expect("shard.items.resolved",
+                _agg_recipe(items=[("key", 5), ("agg", 0)]))
+
+    def test_items_resolved_unknown_kind(self):
+        _expect("shard.items.resolved",
+                _agg_recipe(items=[("literal", 0), ("agg", 0)]))
+
+    def test_order_resolved(self):
+        _expect("shard.order.resolved", _agg_recipe(order=[("item", 9, True)]))
+
+    def test_topk_bounded_requires_limit(self):
+        _expect("shard.topk.bounded",
+                ShardQuery(kind="topk", table="events", nkeys=0,
+                           order_cols=[("score", False)], limit=None,
+                           names=["ev_id", "score"]))
+
+    def test_topk_bounded_requires_sort_columns(self):
+        _expect("shard.topk.bounded",
+                ShardQuery(kind="topk", table="events", nkeys=0,
+                           order_cols=[], limit=10,
+                           names=["ev_id", "score"]))

@@ -1,0 +1,268 @@
+#!/usr/bin/env python
+"""Serving soak: sustained socket load with cancellations and a worker kill.
+
+Run by the nightly workflow (10 minutes) and locally for quick checks::
+
+    python tools/soak_serving.py --seconds 30 --clients 4 --workers 2
+
+The harness starts a :class:`~repro.server.NetServer` over a sharded
+TPC-H database, then hammers it from N wire-protocol client threads with a
+fixed set of verification queries whose serial answers were computed up
+front.  Throughout the run it injects the failures the serving tier must
+absorb:
+
+* random mid-flight cancellations (``cancel`` frames racing completion);
+* one deliberate SIGKILL of a shard worker process while a scatter query
+  is in flight — which must surface as a typed ``shard`` error frame,
+  never a hang, and must not poison subsequent queries.
+
+The soak fails (non-zero exit) on any wrong result, any error that is not
+one of the expected typed codes, a missing typed error after the worker
+kill, or a hang (a watchdog hard-exits if no client makes progress for 90
+seconds; every socket read is timeout-bounded).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.backends.rows import normalize_rows, rows_equal  # noqa: E402
+from repro.errors import (  # noqa: E402
+    AdmissionError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ReproError,
+    ShardError,
+    WireProtocolError,
+)
+from repro.server import NetClient, NetServer, make_sharded_tpch_db  # noqa: E402
+from repro.sqlengine import EngineConfig  # noqa: E402
+
+# Fixed-parameter statements with precomputed serial answers.  The first
+# two scatter (aggregate + Top-K over the sharded lineitem); the rest keep
+# the serial path and the plan cache busy.
+VERIFY_QUERIES = [
+    ("lineitem_agg",
+     "SELECT l_returnflag, COUNT(*) AS cnt, SUM(l_extendedprice) AS rev "
+     "FROM lineitem WHERE l_quantity < 30 "
+     "GROUP BY l_returnflag ORDER BY l_returnflag"),
+    ("lineitem_topk",
+     "SELECT l_orderkey, l_extendedprice FROM lineitem "
+     "ORDER BY l_extendedprice DESC, l_orderkey LIMIT 25"),
+    ("order_lookup",
+     "SELECT o_orderkey, o_totalprice, o_orderstatus FROM orders "
+     "WHERE o_orderkey = 7"),
+    ("customer_join",
+     "SELECT c.c_name, o.o_totalprice FROM customer c, orders o "
+     "WHERE c.c_custkey = o.o_custkey AND o.o_totalprice > 100000.0 "
+     "ORDER BY o.o_totalprice DESC LIMIT 10"),
+]
+EXPECTED_ERROR_TYPES = (AdmissionError, QueryCancelledError,
+                        QueryTimeoutError, ShardError)
+
+
+class SoakState:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.progress = 0          # bumped on every completed op (watchdog)
+        self.queries = 0
+        self.cancels = 0
+        self.typed_errors = 0
+        self.failures: list[str] = []
+        self.post_kill_ok = False
+        self.kill_done = threading.Event()
+
+    def fail(self, message: str) -> None:
+        with self.lock:
+            self.failures.append(message)
+
+    def bump(self, **counts: int) -> None:
+        with self.lock:
+            self.progress += 1
+            for key, value in counts.items():
+                setattr(self, key, getattr(self, key) + value)
+
+
+def client_loop(idx: int, host: str, port: int, expected: dict,
+                stop_at: float, state: SoakState, seed: int) -> None:
+    rng = random.Random(seed * 7919 + idx)
+    try:
+        with NetClient(host, port, timeout=60.0) as nc:
+            while time.monotonic() < stop_at and not state.failures:
+                name, sql = VERIFY_QUERIES[rng.randrange(len(VERIFY_QUERIES))]
+                try:
+                    if rng.random() < 0.1:
+                        # Cancellation race: cancel may land before, during,
+                        # or after completion — all are legal outcomes, but
+                        # a completed query must still verify.
+                        rid = nc.submit(sql, timeout=20.0)
+                        time.sleep(rng.random() * 0.005)
+                        nc.cancel(rid)
+                        result = nc.collect(rid)
+                        state.bump(queries=1, cancels=1)
+                    else:
+                        result = nc.execute(sql, timeout=20.0)
+                        state.bump(queries=1)
+                    if not rows_equal(normalize_rows(result.rows),
+                                      expected[name]):
+                        state.fail(
+                            f"client {idx}: WRONG RESULT for {name}: "
+                            f"{result.rows[:3]!r}..."
+                        )
+                except EXPECTED_ERROR_TYPES as exc:
+                    state.bump(typed_errors=1)
+                    if isinstance(exc, AdmissionError):
+                        time.sleep(0.002)
+                    if (isinstance(exc, ShardError)
+                            and state.kill_done.is_set()):
+                        pass  # expected fallout of the deliberate kill
+                except ReproError as exc:
+                    state.fail(
+                        f"client {idx}: unexpected {type(exc).__name__}: {exc}"
+                    )
+                if state.kill_done.is_set() and not state.post_kill_ok:
+                    with state.lock:
+                        state.post_kill_ok = True
+    except WireProtocolError as exc:
+        state.fail(f"client {idx}: connection-level failure: {exc}")
+
+
+def kill_worker(db, host: str, port: int, state: SoakState) -> None:
+    """Kill one shard worker while scatter queries are mid-flight.
+
+    Some in-flight query — the probe issued here, or any concurrent
+    client's (they share the pool, so whoever's future breaks first wins
+    the race) — must surface the death as a typed ``shard`` error; the
+    invariant checked is the ``shard_errors`` counter, not which victim
+    got the frame.  A silent success across the board means the error was
+    swallowed.
+    """
+    errors_before = db.shard_stats["shard_errors"]
+    try:
+        pids = db.pool(db.config.shard_workers).worker_pids()
+        db._test_worker_delay = 1.5
+        killer = threading.Timer(0.4, os.kill, (pids[0], signal.SIGKILL))
+        killer.start()
+        with NetClient(host, port, timeout=60.0) as nc:
+            try:
+                nc.execute(VERIFY_QUERIES[0][1], timeout=30.0)
+            except ShardError:
+                state.bump(typed_errors=1)
+            except ReproError as exc:
+                state.fail(f"worker kill: wrong error type "
+                           f"{type(exc).__name__}: {exc}")
+        killer.join()
+        if db.shard_stats["shard_errors"] <= errors_before:
+            state.fail("worker kill: no typed shard error surfaced on any "
+                       "in-flight query (the death was swallowed)")
+    finally:
+        db._test_worker_delay = 0.0
+        state.kill_done.set()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=600.0)
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--sf", type=float, default=0.002)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    # Hard wall-clock backstop: whatever goes wrong, the process dies.
+    def too_long(signum, frame):
+        print("SOAK FAIL: wall-clock backstop fired — harness hung",
+              flush=True)
+        os._exit(2)
+
+    signal.signal(signal.SIGALRM, too_long)
+    signal.alarm(int(args.seconds) + 300)
+
+    config = EngineConfig(shard_workers=args.workers)
+    db = make_sharded_tpch_db(scale_factor=args.sf, config=config,
+                              workers=args.workers)
+    serial_cfg = EngineConfig(threads=1)
+    expected = {}
+    for name, sql in VERIFY_QUERIES:
+        chunk = db.execute_chunk(sql, serial_cfg)
+        from repro.backends.rows import chunk_rows
+
+        expected[name] = normalize_rows(chunk_rows(chunk))
+
+    server = NetServer(db, max_concurrent=max(2, args.clients // 2),
+                       queue_limit=256, default_timeout=30.0)
+    server.run_in_thread()
+    state = SoakState()
+    stop_at = time.monotonic() + args.seconds
+    threads = [
+        threading.Thread(target=client_loop,
+                         args=(i, server.host, server.port, expected,
+                               stop_at, state, args.seed),
+                         daemon=True)
+        for i in range(args.clients)
+    ]
+    for t in threads:
+        t.start()
+
+    # The deliberate worker kill lands a third of the way in.
+    kill_at = time.monotonic() + max(2.0, args.seconds / 3.0)
+    killer = threading.Thread(
+        target=lambda: (time.sleep(max(0.0, kill_at - time.monotonic())),
+                        kill_worker(db, server.host, server.port, state)),
+        daemon=True)
+    killer.start()
+
+    # Watchdog: no progress for 90s means a hang — diagnose and hard-exit.
+    last_progress, last_change = -1, time.monotonic()
+    next_report = time.monotonic() + 30.0
+    while any(t.is_alive() for t in threads):
+        time.sleep(1.0)
+        now = time.monotonic()
+        with state.lock:
+            progress = state.progress
+        if progress != last_progress:
+            last_progress, last_change = progress, now
+        elif now - last_change > 90.0:
+            print(f"SOAK FAIL: no client progress for 90s "
+                  f"(queries={state.queries})", flush=True)
+            os._exit(2)
+        if now >= next_report:
+            next_report = now + 30.0
+            remaining = max(0.0, stop_at - now)
+            print(f"soak: {state.queries} queries, {state.cancels} cancels, "
+                  f"{state.typed_errors} typed errors, "
+                  f"{len(state.failures)} failures, {remaining:.0f}s left",
+                  flush=True)
+    killer.join(timeout=60.0)
+    server.close()
+    db.close_pools()
+
+    shard = db.shard_stats
+    print(f"\nsoak finished: {state.queries} queries, {state.cancels} "
+          f"cancels, {state.typed_errors} typed errors")
+    print(f"shard stats: {shard}")
+    if not state.kill_done.is_set():
+        state.fail("the deliberate worker kill never ran")
+    if not state.post_kill_ok:
+        state.fail("no successful query observed after the worker kill")
+    if shard["scattered"] == 0:
+        state.fail("no query ever scattered — the soak exercised nothing")
+    if state.failures:
+        for message in state.failures:
+            print("FAIL:", message)
+        return 1
+    print("SOAK PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
